@@ -1,0 +1,120 @@
+// Ablation study for the design choices DESIGN.md calls out.
+//
+// Each section toggles one mechanism off and shows what breaks:
+//
+//  1. Reduction address refinement (§III-D + our dynamic refinement):
+//     without it, Algorithm 3's plain line test misclassifies single-visit
+//     stencil chains (reg_detect's path recurrence) as reductions.
+//  2. Cross-activation dependence filtering (recursion merging): without
+//     it, the value-return edges of recursive benchmarks close cycles in
+//     the CU graph, collapsing the estimated speedup of fib/sort/strassen.
+//  3. Blocking-efficiency threshold (§III-A, e ~ 0): with the threshold
+//     disabled, 3mm's blocked producer pair is reported as a pipeline and
+//     steals the primary-pattern slot from task parallelism.
+//  4. Hotspot threshold: with an indiscriminate 0% threshold, cold loop
+//     pairs flood the pipeline detector.
+#include <cstdio>
+
+#include "bs/benchmark.hpp"
+#include "core/advisor.hpp"
+#include "core/analyzer.hpp"
+#include "cu/builder.hpp"
+#include "support/table.hpp"
+
+using namespace ppd;
+
+namespace {
+
+void section(const char* title) { std::printf("\n==== %s ====\n\n", title); }
+
+}  // namespace
+
+int main() {
+  std::puts("Ablation study: each mechanism off vs. on");
+
+  // --- 1. reduction address refinement ---------------------------------------
+  section("1. Reduction address refinement (reg_detect stencil chain)");
+  {
+    const bs::Benchmark* reg_detect = bs::find_benchmark("reg_detect");
+    const bs::TracedAnalysis traced = bs::analyze_benchmark(*reg_detect);
+    const RegionId path_loop = traced.ctx->find_region("reg_detect_L2");
+    const auto with = core::detect_reductions(traced.analysis.profile, path_loop, true);
+    const auto without = core::detect_reductions(traced.analysis.profile, path_loop, false);
+    std::printf("reg_detect path loop: %zu candidate(s) with refinement, %zu without\n",
+                with.size(), without.size());
+    std::printf("-> %s\n", without.size() > with.size()
+                               ? "without the refinement, the path[i][j] = path[i-1][j-1] "
+                                 "recurrence is a false reduction"
+                               : "no difference (unexpected)");
+
+    // Sanity: a real reduction keeps its candidate either way.
+    const bs::Benchmark* bicg = bs::find_benchmark("bicg");
+    const bs::TracedAnalysis bicg_traced = bs::analyze_benchmark(*bicg);
+    const RegionId bicg_loop = bicg_traced.ctx->find_region("bicg_loop");
+    std::printf("bicg loop: %zu with refinement, %zu without (true reductions survive)\n",
+                core::detect_reductions(bicg_traced.analysis.profile, bicg_loop, true).size(),
+                core::detect_reductions(bicg_traced.analysis.profile, bicg_loop, false).size());
+  }
+
+  // --- 2. cross-activation filtering -----------------------------------------
+  section("2. Cross-activation dependence filter (recursive task benchmarks)");
+  {
+    support::TextTable t;
+    t.set_header({"Application", "est. speedup (filtered)", "est. speedup (unfiltered)"});
+    t.set_alignment({support::Align::Left, support::Align::Right, support::Align::Right});
+    for (const char* name : {"fib", "sort", "strassen"}) {
+      const bs::Benchmark* benchmark = bs::find_benchmark(name);
+      const bs::TracedAnalysis traced = bs::analyze_benchmark(*benchmark);
+      const pet::NodeIndex scope =
+          traced.analysis.hotspot_node;  // the recursive hotspot function
+      const cu::CuGraph filtered =
+          cu::build_cu_graph(traced.analysis.cus, traced.analysis.profile,
+                             traced.analysis.pet, scope, *traced.ctx, true);
+      const cu::CuGraph unfiltered =
+          cu::build_cu_graph(traced.analysis.cus, traced.analysis.profile,
+                             traced.analysis.pet, scope, *traced.ctx, false);
+      const auto tp_f = core::detect_task_parallelism(filtered);
+      const auto tp_u = core::detect_task_parallelism(unfiltered);
+      t.add_row({name, support::format_fixed(tp_f.estimated_speedup, 2),
+                 support::format_fixed(tp_u.estimated_speedup, 2)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("-> unfiltered value-return edges close cycles; the SCC condensation puts");
+    std::puts("   the whole recursion on the critical path and the speedup collapses.");
+  }
+
+  // --- 3. blocking-efficiency threshold ---------------------------------------
+  section("3. Blocking-efficiency threshold (3mm)");
+  {
+    const bs::Benchmark* three_mm = bs::find_benchmark("3mm");
+    for (double threshold : {0.1, 0.0}) {
+      core::AnalyzerConfig config;
+      config.pipeline.blocking_efficiency = threshold;
+      const bs::TracedAnalysis traced = bs::analyze_benchmark(*three_mm, config);
+      std::printf("blocking_efficiency = %.2f -> primary pattern: %s\n", threshold,
+                  traced.analysis.primary_description.c_str());
+    }
+    std::puts("-> without the threshold, the (E-loop, G-loop) pair with e = 1 is reported");
+    std::puts("   even though the (F-loop, G-loop) pair has e = 0 and blocks any pipeline;");
+    std::puts("   the paper reports 3mm as task parallelism, not a pipeline.");
+  }
+
+  // --- 4. hotspot threshold ----------------------------------------------------
+  section("4. Hotspot threshold (kmeans)");
+  {
+    const bs::Benchmark* kmeans = bs::find_benchmark("kmeans");
+    for (double fraction : {0.02, 0.0}) {
+      core::AnalyzerConfig config;
+      config.hotspot_fraction = fraction;
+      config.pipeline.hotspot_fraction = fraction;
+      const bs::TracedAnalysis traced = bs::analyze_benchmark(*kmeans, config);
+      std::printf("hotspot_fraction = %.2f -> primary: %s, %zu pipeline pair(s) analyzed\n",
+                  fraction, traced.analysis.primary_description.c_str(),
+                  traced.analysis.pipelines.size());
+    }
+    std::puts("-> with no hotspot filter, cold loop pairs inside the ~2% hotspot are");
+    std::puts("   promoted to pipeline candidates (the paper analyzes hotspot pairs only).");
+  }
+
+  return 0;
+}

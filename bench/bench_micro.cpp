@@ -1,0 +1,163 @@
+// Google-benchmark microbenchmarks for the substrates: instrumentation
+// dispatch, shadow-memory dependence profiling, CU-graph construction,
+// linear regression, and the virtual-time scheduler.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "bs/benchmark.hpp"
+#include "comm/comm.hpp"
+#include "cu/builder.hpp"
+#include "pet/pet.hpp"
+#include "prof/profiler.hpp"
+#include "regress/linreg.hpp"
+#include "sim/lowering.hpp"
+#include "sim/task_dag.hpp"
+#include "trace/context.hpp"
+#include "trace/serialize.hpp"
+
+namespace {
+
+using namespace ppd;
+
+void BM_TraceDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    trace::TraceContext ctx;
+    prof::DependenceProfiler profiler;
+    ctx.add_sink(&profiler);
+    const VarId v = ctx.var("v");
+    trace::FunctionScope f(ctx, "f", 1);
+    trace::LoopScope l(ctx, "l", 2);
+    for (int i = 0; i < 1024; ++i) {
+      l.begin_iteration();
+      ctx.write(v, static_cast<std::uint64_t>(i), 3);
+      ctx.read(v, static_cast<std::uint64_t>(i), 4);
+    }
+    benchmark::DoNotOptimize(profiler.dependence_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_TraceDispatch);
+
+void BM_ShadowProfilerCarried(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    trace::TraceContext ctx;
+    prof::DependenceProfiler profiler;
+    ctx.add_sink(&profiler);
+    const VarId v = ctx.var("sum");
+    trace::LoopScope l(ctx, "l", 1);
+    for (std::int64_t i = 0; i < n; ++i) {
+      l.begin_iteration();
+      ctx.read(v, 0, 2);
+      ctx.write(v, 0, 2);
+    }
+    benchmark::DoNotOptimize(profiler.shadow_bytes());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_ShadowProfilerCarried)->Arg(1024)->Arg(16384);
+
+void BM_LinearRegression(benchmark::State& state) {
+  std::vector<prof::IterPair> pairs;
+  for (std::uint64_t i = 0; i < 4096; ++i) pairs.push_back({i, i / 20});
+  for (auto _ : state) {
+    const regress::LinearFit fit = regress::fit(pairs);
+    benchmark::DoNotOptimize(fit.a);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_LinearRegression);
+
+void BM_ListScheduler(benchmark::State& state) {
+  const std::int64_t workers = state.range(0);
+  sim::DagBuilder builder;
+  auto x = builder.lower_loop(1024, 1 << 16, core::LoopClass::DoAll, 256);
+  auto y = builder.lower_loop(1024, 1 << 16, core::LoopClass::Sequential, 256);
+  std::vector<prof::IterPair> pairs;
+  for (std::uint64_t i = 0; i < 1024; ++i) pairs.push_back({i, i});
+  builder.link_pairs(x, y, pairs);
+  const sim::TaskDag dag = builder.take();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::simulate_makespan(dag, static_cast<std::size_t>(workers)));
+  }
+}
+BENCHMARK(BM_ListScheduler)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_CriticalPath(benchmark::State& state) {
+  graph::Digraph g;
+  const int n = 512;
+  for (int i = 0; i < n; ++i) g.add_node(static_cast<Cost>(i % 17 + 1));
+  for (int i = 0; i < n; ++i) {
+    for (int d = 1; d <= 3 && i + d < n; ++d) {
+      g.add_edge(static_cast<graph::NodeIndex>(i), static_cast<graph::NodeIndex>(i + d));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.critical_path().weight);
+  }
+}
+BENCHMARK(BM_CriticalPath);
+
+void BM_CuFormation(benchmark::State& state) {
+  // Formation cost over the fib benchmark's recorded sites.
+  trace::TraceContext ctx;
+  cu::CuFacts facts(ctx);
+  ctx.add_sink(&facts);
+  bs::find_benchmark("fib")->run_traced(ctx);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cu::form_cus(facts, ctx));
+  }
+}
+BENCHMARK(BM_CuFormation);
+
+void BM_FullAnalysis(benchmark::State& state) {
+  // End-to-end: instrument + profile + detect on a mid-size benchmark.
+  const bs::Benchmark* benchmark_ptr = bs::find_benchmark("reg_detect");
+  for (auto _ : state) {
+    const bs::TracedAnalysis traced = bs::analyze_benchmark(*benchmark_ptr);
+    benchmark::DoNotOptimize(traced.analysis.primary);
+  }
+}
+BENCHMARK(BM_FullAnalysis);
+
+void BM_TraceSerializeReplay(benchmark::State& state) {
+  // Round-trip cost of the §III-A dump/post-analysis workflow.
+  std::ostringstream recorded;
+  {
+    trace::TraceContext ctx;
+    trace::TraceWriter writer(ctx, recorded);
+    ctx.add_sink(&writer);
+    bs::find_benchmark("sum_local")->run_traced(ctx);
+    ctx.finish();
+  }
+  const std::string text = recorded.str();
+  for (auto _ : state) {
+    std::istringstream in(text);
+    trace::TraceContext ctx;
+    prof::DependenceProfiler profiler;
+    ctx.add_sink(&profiler);
+    benchmark::DoNotOptimize(trace::replay_trace(in, ctx));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_TraceSerializeReplay);
+
+void BM_CommMatrix(benchmark::State& state) {
+  trace::TraceContext ctx;
+  prof::DependenceProfiler profiler;
+  comm::CommProfiler comm_profiler;
+  ctx.add_sink(&profiler);
+  ctx.add_sink(&comm_profiler);
+  bs::find_benchmark("3mm")->run_traced(ctx);
+  const prof::Profile profile = profiler.take();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm_profiler.build(profile));
+  }
+}
+BENCHMARK(BM_CommMatrix);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+// Regenerates Table I: the mapping of algorithm-structure patterns to
+// organization types and supporting structures.
+#include <cstdio>
+
+#include "core/pattern.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace ppd;
+  using core::PatternKind;
+
+  std::puts("Table I: mapping of algorithm structure patterns to supporting structures\n");
+
+  support::TextTable t;
+  t.set_header({"Pattern", "Type", "Supporting structure"});
+  for (PatternKind kind : {PatternKind::TaskParallelism, PatternKind::GeometricDecomposition,
+                           PatternKind::Reduction, PatternKind::MultiLoopPipeline}) {
+    t.add_row({core::to_string(kind), core::to_string(core::pattern_type(kind)),
+               core::supporting_structure(kind)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::puts("\nPaper Table I: Task parallelism -> Master/worker; Geometric decomposition,");
+  std::puts("Reduction -> SPMD; Multi-loop pipeline -> SPMD.");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Detect-and-run: the full circle the paper aims at (§I: easing the
+// transformation of a sequential application into a parallel one).
+//
+//  1. Instrument and profile a sequential three-stage kernel.
+//  2. Let the detector classify its CU graph (fork / workers / barrier).
+//  3. Map each classified CU onto a real closure and hand the resulting
+//     dependence graph to the runtime DAG executor — the master/worker
+//     supporting structure of Table I, derived rather than hand-written.
+//  4. Check the parallel result against the sequential one.
+//
+// Build & run:  ./build/examples/detect_and_run
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "rt/dag_executor.hpp"
+#include "trace/context.hpp"
+
+using namespace ppd;
+
+namespace {
+
+constexpr std::size_t kN = 256;
+
+struct Data {
+  std::vector<double> a = std::vector<double>(kN, 0.0);
+  std::vector<double> b = std::vector<double>(kN, 0.0);
+  std::vector<double> c = std::vector<double>(kN, 0.0);
+};
+
+// The sequential kernel: two independent producers and a combining stage.
+void produce_a(Data& d) {
+  for (std::size_t i = 0; i < kN; ++i) d.a[i] = static_cast<double>(i) * 0.5;
+}
+void produce_b(Data& d) {
+  for (std::size_t i = 0; i < kN; ++i) d.b[i] = static_cast<double>(kN - i);
+}
+void combine(Data& d) {
+  // Reads b reversed: a gather that rules out fusing with produce_b.
+  for (std::size_t i = 0; i < kN; ++i) d.c[i] = d.a[i] * d.b[kN - 1 - i];
+}
+
+void run_traced(trace::TraceContext& ctx) {
+  Data d;
+  const VarId va = ctx.var("a");
+  const VarId vb = ctx.var("b");
+  const VarId vc = ctx.var("c");
+  const VarId vargs = ctx.var("args");
+  trace::FunctionScope f(ctx, "kernel", 1);
+  {
+    trace::StatementScope s(ctx, "entry", 1);
+    ctx.write(vargs, 0, 1);
+  }
+  {
+    trace::LoopScope l(ctx, "produce_a", 2);
+    produce_a(d);
+    for (std::size_t i = 0; i < kN; ++i) {
+      l.begin_iteration();
+      if (i == 0) ctx.read(vargs, 0, 3);
+      ctx.compute(3, 2);
+      ctx.write(va, i, 3);
+    }
+  }
+  {
+    trace::LoopScope l(ctx, "produce_b", 5);
+    produce_b(d);
+    for (std::size_t i = 0; i < kN; ++i) {
+      l.begin_iteration();
+      if (i == 0) ctx.read(vargs, 0, 6);
+      ctx.compute(6, 2);
+      ctx.write(vb, i, 6);
+    }
+  }
+  {
+    trace::LoopScope l(ctx, "combine", 8);
+    combine(d);
+    for (std::size_t i = 0; i < kN; ++i) {
+      l.begin_iteration();
+      ctx.read(va, i, 9);
+      ctx.read(vb, kN - 1 - i, 9);
+      ctx.compute(9, 1);
+      ctx.write(vc, i, 9);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  // 1. + 2.: profile and classify.
+  trace::TraceContext ctx;
+  core::PatternAnalyzer analyzer(ctx);
+  run_traced(ctx);
+  const core::AnalysisResult result = analyzer.analyze();
+
+  const core::ScopeTaskParallelism* tasks = result.primary_tasks();
+  if (tasks == nullptr) {
+    std::puts("no task parallelism detected (unexpected)");
+    return 1;
+  }
+  std::printf("detected: %s (estimated speedup %.2f)\n\n",
+              result.primary_description.c_str(), tasks->tp.estimated_speedup);
+  std::fputs(tasks->tp.render(tasks->graph).c_str(), stdout);
+
+  // 3.: map the classified CUs onto closures and execute the CU graph.
+  Data parallel_data;
+  const std::map<std::string, std::function<void()>> work{
+      {"entry", [] {}},
+      {"produce_a", [&] { produce_a(parallel_data); }},
+      {"produce_b", [&] { produce_b(parallel_data); }},
+      {"combine", [&] { combine(parallel_data); }},
+  };
+
+  std::vector<rt::DagTask> dag(tasks->graph.size());
+  for (std::size_t i = 0; i < tasks->graph.size(); ++i) {
+    const auto& cu = tasks->graph.cu(static_cast<graph::NodeIndex>(i));
+    auto it = work.find(cu.name);
+    if (it == work.end()) {
+      std::printf("no closure for CU '%s'\n", cu.name.c_str());
+      return 1;
+    }
+    dag[i].work = it->second;
+    // The detected dependence edges, verbatim: dependents wait for their
+    // producers.
+    for (graph::NodeIndex pred :
+         tasks->graph.graph.predecessors(static_cast<graph::NodeIndex>(i))) {
+      dag[i].deps.push_back(pred);
+    }
+  }
+
+  rt::ThreadPool pool(4);
+  rt::execute_dag(pool, std::move(dag));
+
+  // 4.: compare against the sequential execution.
+  Data sequential_data;
+  produce_a(sequential_data);
+  produce_b(sequential_data);
+  combine(sequential_data);
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (sequential_data.c[i] != parallel_data.c[i]) {
+      std::puts("\nmismatch between sequential and executed task graph!");
+      return 1;
+    }
+  }
+  std::puts("\nexecuted the detected task graph on 4 threads: results match the");
+  std::puts("sequential kernel. The master/worker structure came from detection,");
+  std::puts("not from hand-written synchronization.");
+  return 0;
+}

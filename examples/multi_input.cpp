@@ -1,0 +1,72 @@
+// Multi-input profiling: §II of the paper — "we run the profiled
+// application with different representative inputs whenever possible and
+// merge the outputs of the profiled runs" — because a dynamic analysis only
+// sees the dependences the given input exercises.
+//
+// The kernel below scatters updates through an index array. With a
+// permutation input every iteration touches its own element (looks do-all);
+// with a clashing input two iterations hit the same element (loop-carried).
+// Profiling only the first input would wrongly suggest do-all; the merged
+// profile is conservative.
+//
+// Build & run:  ./build/examples/multi_input
+#include <cstdio>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "trace/context.hpp"
+
+using namespace ppd;
+
+namespace {
+
+void run_scatter(trace::TraceContext& ctx, const std::vector<std::uint64_t>& index) {
+  const VarId out = ctx.var("out");
+  const VarId in = ctx.var("in");
+  trace::FunctionScope f(ctx, "scatter_kernel", 1);
+  trace::LoopScope loop(ctx, "scatter_loop", 2);
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    loop.begin_iteration();
+    ctx.read(in, i, 3);
+    ctx.compute(3, 4);
+    ctx.write(out, index[i], 4);
+  }
+}
+
+const char* classify(trace::TraceContext& ctx, const core::AnalysisResult& result) {
+  return core::to_string(
+      core::classify_loop(result.profile, ctx.find_region("scatter_loop")));
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t n = 16;
+  std::vector<std::uint64_t> permutation(n);
+  for (std::size_t i = 0; i < n; ++i) permutation[i] = (i * 5) % n;  // bijective
+  std::vector<std::uint64_t> clashing = permutation;
+  clashing[7] = clashing[3];  // two iterations write the same element
+
+  {
+    trace::TraceContext ctx;
+    core::PatternAnalyzer analyzer(ctx);
+    run_scatter(ctx, permutation);
+    const core::AnalysisResult result = analyzer.analyze();
+    std::printf("profile of the permutation input only:   %s\n", classify(ctx, result));
+  }
+  {
+    trace::TraceContext ctx;
+    core::PatternAnalyzer analyzer(ctx);
+    run_scatter(ctx, permutation);  // representative input 1
+    run_scatter(ctx, clashing);     // representative input 2
+    const core::AnalysisResult result = analyzer.analyze();
+    std::printf("merged profile over both inputs:         %s\n", classify(ctx, result));
+    const auto carried =
+        result.profile.carried_in(ctx.find_region("scatter_loop"));
+    std::printf("loop-carried dependences in the merge:   %zu\n", carried.size());
+  }
+
+  std::puts("\nThe single-input profile would suggest a do-all that input 2 disproves;");
+  std::puts("merging representative inputs keeps the suggestion sound (paper, Section II).");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces Figure 2: a Program Execution Tree with control regions and
+// the CU graph mapped onto them, for a small synthetic program with nested
+// loops, a called function, and a recursive helper.
+//
+// Build & run:  ./build/examples/pet_explorer
+#include <cstdio>
+
+#include "core/analyzer.hpp"
+#include "cu/builder.hpp"
+#include "trace/context.hpp"
+
+using namespace ppd;
+
+namespace {
+
+void helper(trace::TraceContext& ctx, VarId depth_state, int depth) {
+  trace::FunctionScope f(ctx, "recurse", 20);
+  ctx.compute(21, 2);
+  ctx.write(depth_state, static_cast<std::uint64_t>(depth), 21);
+  if (depth < 3) helper(ctx, depth_state, depth + 1);
+}
+
+}  // namespace
+
+int main() {
+  trace::TraceContext ctx;
+  core::PatternAnalyzer analyzer(ctx);
+
+  const VarId grid = ctx.var("grid");
+  const VarId row_sum = ctx.var("row_sum");
+  const VarId depth_state = ctx.var("depth_state");
+
+  {
+    trace::FunctionScope fmain(ctx, "main", 1);
+    {
+      trace::FunctionScope fcompute(ctx, "compute_grid", 3);
+      trace::LoopScope rows(ctx, "row_loop", 4);
+      for (std::uint64_t i = 0; i < 8; ++i) {
+        rows.begin_iteration();
+        {
+          trace::LoopScope cols(ctx, "col_loop", 5);
+          for (std::uint64_t j = 0; j < 8; ++j) {
+            cols.begin_iteration();
+            ctx.compute(6, 3);
+            ctx.write(grid, i * 8 + j, 6);
+          }
+        }
+        ctx.read(grid, i * 8, 8);
+        ctx.read(row_sum, i, 8);
+        ctx.write(row_sum, i, 8);
+      }
+    }
+    helper(ctx, depth_state, 0);
+  }
+
+  const core::AnalysisResult result = analyzer.analyze();
+
+  std::puts("== Program Execution Tree (Fig. 2) ==\n");
+  std::fputs(result.pet.render().c_str(), stdout);
+
+  std::puts("\n== CU graph of compute_grid ==\n");
+  const pet::NodeIndex node = result.pet.find(ctx.find_region("compute_grid"));
+  const cu::CuGraph graph =
+      cu::build_cu_graph(result.cus, result.profile, result.pet, node, ctx);
+  std::fputs(graph.render().c_str(), stdout);
+
+  std::puts("\n== Hotspots (>= 5% of executed cost) ==");
+  for (pet::NodeIndex hotspot : result.pet.hotspots(0.05)) {
+    const pet::PetNode& n = result.pet.node(hotspot);
+    std::printf("%-14s %6.2f%%%s\n", n.name.c_str(),
+                result.pet.cost_fraction(hotspot) * 100.0, n.recursive ? " [recursive]" : "");
+  }
+  return 0;
+}

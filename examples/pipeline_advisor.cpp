@@ -1,0 +1,128 @@
+// Pipeline advisor: runs multi-loop pipeline detection on three kernels
+// with different inter-loop relationships and prints, for each, the
+// regression line, the efficiency factor, the Table II interpretation, and
+// what to do about it (pipeline / fuse / leave alone) — the workflow §III-A
+// proposes for programmers.
+//
+// Build & run:  ./build/examples/pipeline_advisor
+#include <cstdio>
+#include <functional>
+
+#include "core/analyzer.hpp"
+#include "trace/context.hpp"
+
+using namespace ppd;
+
+namespace {
+
+void analyze_kernel(const char* title,
+                    const std::function<void(trace::TraceContext&)>& kernel) {
+  trace::TraceContext ctx;
+  core::PatternAnalyzer analyzer(ctx);
+  kernel(ctx);
+  const core::AnalysisResult result = analyzer.analyze();
+
+  std::printf("== %s ==\n", title);
+  if (result.pipelines.empty()) {
+    std::puts("no multi-loop relationship between hotspot loops\n");
+    return;
+  }
+  for (const core::MultiLoopPipeline& p : result.pipelines) {
+    std::printf("loops %s -> %s: Y = %.2f X + %.2f over %zu pairs, e = %.2f\n",
+                ctx.region(p.loop_x).name.c_str(), ctx.region(p.loop_y).name.c_str(),
+                p.fit.a, p.fit.b, p.samples(), p.e);
+    std::printf("  %s\n", core::describe_coefficients(p.fit.a, p.fit.b, 0.05).c_str());
+    if (p.fusion) {
+      std::puts("  advice: both loops are do-all with a 1:1 dependence -> fuse and");
+      std::puts("          parallelize the fused loop as a do-all.");
+    } else if (p.blocked || p.e < 0.1) {
+      std::puts("  advice: the consumer waits for (nearly) all of the producer ->");
+      std::puts("          pipelining buys nothing; treat the region as a task graph.");
+    } else {
+      std::printf("  advice: implement a 2-stage pipeline (stage 1 %s).\n",
+                  p.x_class == core::LoopClass::DoAll ? "additionally as a do-all"
+                                                      : "sequential");
+    }
+  }
+  std::printf("primary pattern: %s\n\n", result.primary_description.c_str());
+}
+
+}  // namespace
+
+int main() {
+  // Kernel A: perfect 1:1 pipeline into a recurrence (the ludcmp shape).
+  analyze_kernel("A: do-all producer feeding a recurrence", [](trace::TraceContext& ctx) {
+    const VarId b = ctx.var("b");
+    const VarId y = ctx.var("y");
+    trace::FunctionScope f(ctx, "kernel", 1);
+    {
+      trace::LoopScope l1(ctx, "produce", 2);
+      for (std::uint64_t i = 0; i < 64; ++i) {
+        l1.begin_iteration();
+        ctx.compute(3, 16);
+        ctx.write(b, i, 3);
+      }
+    }
+    {
+      trace::LoopScope l2(ctx, "solve", 5);
+      for (std::uint64_t i = 0; i < 64; ++i) {
+        l2.begin_iteration();
+        ctx.read(b, i, 6);
+        if (i > 0) ctx.read(y, i - 1, 6);
+        ctx.write(y, i, 6);
+      }
+    }
+  });
+
+  // Kernel B: both loops do-all, 1:1 -> fusion.
+  analyze_kernel("B: two do-all loops, element-wise", [](trace::TraceContext& ctx) {
+    const VarId t = ctx.var("t");
+    const VarId out = ctx.var("out");
+    trace::FunctionScope f(ctx, "kernel", 1);
+    {
+      trace::LoopScope l1(ctx, "scale", 2);
+      for (std::uint64_t i = 0; i < 64; ++i) {
+        l1.begin_iteration();
+        ctx.compute(3, 4);
+        ctx.write(t, i, 3);
+      }
+    }
+    {
+      trace::LoopScope l2(ctx, "offset", 5);
+      for (std::uint64_t i = 0; i < 64; ++i) {
+        l2.begin_iteration();
+        ctx.read(t, i, 6);
+        ctx.compute(6, 4);
+        ctx.write(out, i, 6);
+      }
+    }
+  });
+
+  // Kernel C: consumer reads everything in its first iteration -> blocked.
+  analyze_kernel("C: consumer needs the whole producer", [](trace::TraceContext& ctx) {
+    const VarId t = ctx.var("t");
+    const VarId out = ctx.var("out");
+    trace::FunctionScope f(ctx, "kernel", 1);
+    {
+      trace::LoopScope l1(ctx, "produce", 2);
+      for (std::uint64_t i = 0; i < 64; ++i) {
+        l1.begin_iteration();
+        ctx.compute(3, 4);
+        ctx.write(t, i, 3);
+      }
+    }
+    {
+      trace::LoopScope l2(ctx, "reduce_all", 5);
+      for (std::uint64_t i = 0; i < 64; ++i) {
+        l2.begin_iteration();
+        if (i == 0) {
+          for (std::uint64_t k = 0; k < 64; ++k) ctx.read(t, k, 6);
+        }
+        ctx.compute(6, 4);
+        ctx.write(out, i, 6);
+      }
+    }
+  });
+
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Benchmark-suite interface.
+//
+// Each of the paper's 17 evaluation applications (plus the two synthetic
+// reduction kernels of Table VI) is reimplemented here as its *hotspot*: the
+// same loop structure, the same dependence structure, the same data-flow
+// shape (DESIGN.md §5). Every benchmark provides:
+//
+//  * run_traced()       — the instrumented sequential kernel (what the
+//                         paper's LLVM pass would profile);
+//  * verify_parallel()  — executes the sequential kernel and the parallel
+//                         implementation of the *detected* pattern on the
+//                         real thread-pool runtime and compares outputs;
+//  * build_sim_dag()    — the task DAG of the implemented parallel version
+//                         for the virtual-time simulator (Table III's
+//                         speedup column; see DESIGN.md substitution table);
+//  * paper()            — the Table III row the paper reports, for
+//                         side-by-side comparison in EXPERIMENTS.md.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "sim/task_dag.hpp"
+#include "staticdet/source_model.hpp"
+#include "trace/context.hpp"
+
+namespace ppd::bs {
+
+/// The paper's Table III row for one application.
+struct PaperRow {
+  const char* name;
+  const char* suite;
+  int loc;             ///< LOC of the original application
+  double hotspot_pct;  ///< "Exec Inst % in Hotspot"
+  double speedup;      ///< best measured speedup
+  int threads;         ///< thread count at best speedup
+  const char* pattern;  ///< "Detected Pattern"
+};
+
+/// Outcome of the sequential-vs-parallel output comparison.
+struct VerifyOutcome {
+  bool ok = false;
+  std::string detail;
+};
+
+/// One reproduced application.
+class Benchmark {
+ public:
+  virtual ~Benchmark() = default;
+
+  [[nodiscard]] virtual const PaperRow& paper() const = 0;
+
+  /// Runs the instrumented sequential kernel, emitting the full event
+  /// stream into `ctx`.
+  virtual void run_traced(trace::TraceContext& ctx) const = 0;
+
+  /// Runs sequential and parallel versions (parallel per the detected
+  /// pattern, on the real thread-pool runtime) and compares outputs.
+  [[nodiscard]] virtual VerifyOutcome verify_parallel(std::size_t threads) const = 0;
+
+  /// Task DAG of the implemented parallel version, with costs taken from
+  /// the analysis of this benchmark's own trace.
+  [[nodiscard]] virtual sim::TaskDag build_sim_dag(
+      const core::AnalysisResult& analysis) const = 0;
+
+  /// Overhead/bandwidth model for the simulator (streaming kernels override
+  /// this with a memory term).
+  [[nodiscard]] virtual sim::SimParams sim_params(
+      const core::AnalysisResult& analysis) const {
+    (void)analysis;
+    return {};
+  }
+
+  /// Static source model of the reduction loop for the Table VI baselines
+  /// (only the reduction benchmarks provide one).
+  [[nodiscard]] virtual std::optional<staticdet::LoopModel> reduction_source_model() const {
+    return std::nullopt;
+  }
+};
+
+/// All registered benchmarks, in Table III order.
+[[nodiscard]] const std::vector<const Benchmark*>& all_benchmarks();
+
+/// Lookup by name; nullptr if unknown.
+[[nodiscard]] const Benchmark* find_benchmark(std::string_view name);
+
+/// Convenience: trace the benchmark into a fresh context and run the full
+/// pattern analysis.
+struct TracedAnalysis {
+  std::unique_ptr<trace::TraceContext> ctx;
+  core::AnalysisResult analysis;
+};
+[[nodiscard]] TracedAnalysis analyze_benchmark(const Benchmark& benchmark,
+                                               core::AnalyzerConfig config = {});
+
+}  // namespace ppd::bs

@@ -1,0 +1,90 @@
+// Shared helpers for the benchmark kernels.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "bs/benchmark.hpp"
+#include "core/analyzer.hpp"
+#include "pet/pet.hpp"
+#include "support/assert.hpp"
+
+namespace ppd::bs {
+
+/// Deterministic xorshift PRNG so every run profiles the same input.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed == 0 ? 0x9e3779b97f4a7c15ull : seed) {}
+
+  std::uint64_t next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) / 9007199254740992.0;  // 2^53
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Row-major dense matrix.
+struct Matrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<double> data;
+
+  Matrix() = default;
+  Matrix(std::size_t r, std::size_t c) : rows(r), cols(c), data(r * c, 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data[r * cols + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const { return data[r * cols + c]; }
+  [[nodiscard]] std::uint64_t index(std::size_t r, std::size_t c) const {
+    return static_cast<std::uint64_t>(r * cols + c);
+  }
+
+  void fill_random(Rng& rng) {
+    for (double& v : data) v = rng.uniform() * 2.0 - 1.0;
+  }
+};
+
+/// Finds the PET node with the given region name (the hottest occurrence);
+/// asserts it exists — a benchmark knows its own region names.
+[[nodiscard]] inline const pet::PetNode& pet_node_named(const core::AnalysisResult& analysis,
+                                                        std::string_view name) {
+  for (const pet::PetNode& n : analysis.pet.nodes()) {
+    if (n.name == name) return n;
+  }
+  PPD_ASSERT_MSG(false, "PET node not found by name");
+}
+
+/// Max |a-b| over two equally sized vectors.
+[[nodiscard]] inline double max_abs_diff(const std::vector<double>& a,
+                                         const std::vector<double>& b) {
+  PPD_ASSERT(a.size() == b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+/// Standard verify helper: compares two result vectors within tolerance.
+[[nodiscard]] inline VerifyOutcome compare_results(const std::vector<double>& sequential,
+                                                   const std::vector<double>& parallel,
+                                                   double tolerance = 1e-9) {
+  const double diff = max_abs_diff(sequential, parallel);
+  VerifyOutcome out;
+  out.ok = diff <= tolerance;
+  out.detail = "max |seq - par| = " + std::to_string(diff);
+  return out;
+}
+
+}  // namespace ppd::bs

@@ -1,0 +1,234 @@
+// Polybench `fdtd-2d` (Table III row 12; Table V row 6).
+//
+// Hotspot reproduced: the time-stepping loop of kernel_fdtd_2d. Each time
+// step contains four CUs — the _fict_ boundary update, the ey update, and
+// the ex update (three independent workers), plus the hz update that reads
+// what all three produced (their barrier). The dependences from hz back to
+// ey/ex belong to the *next* time step: they are carried by the time loop
+// and therefore do not appear in the per-iteration CU graph. The paper
+// implements the task parallelism (with the field updates as do-alls
+// internally) and reports 5.19x at 8 threads.
+#include <vector>
+
+#include "bs/benchmark.hpp"
+#include "bs/detail.hpp"
+#include "rt/parallel.hpp"
+#include "sim/lowering.hpp"
+
+namespace ppd::bs {
+namespace {
+
+constexpr std::size_t kNx = 24;
+constexpr std::size_t kNy = 24;
+constexpr std::size_t kSteps = 20;
+
+struct Fields {
+  Matrix ex{kNx, kNy};
+  Matrix ey{kNx, kNy};
+  Matrix hz{kNx, kNy};
+};
+
+void fict_update(Fields& f, std::size_t t) {
+  for (std::size_t j = 0; j < kNy; ++j) f.ey.at(0, j) = static_cast<double>(t) * 0.01;
+}
+
+void ey_update(Fields& f) {
+  for (std::size_t i = 1; i < kNx; ++i) {
+    for (std::size_t j = 0; j < kNy; ++j) {
+      f.ey.at(i, j) -= 0.5 * (f.hz.at(i, j) - f.hz.at(i - 1, j));
+    }
+  }
+}
+
+void ex_update(Fields& f) {
+  for (std::size_t i = 0; i < kNx; ++i) {
+    for (std::size_t j = 1; j < kNy; ++j) {
+      f.ex.at(i, j) -= 0.5 * (f.hz.at(i, j) - f.hz.at(i, j - 1));
+    }
+  }
+}
+
+void hz_update(Fields& f) {
+  for (std::size_t i = 0; i + 1 < kNx; ++i) {
+    for (std::size_t j = 0; j + 1 < kNy; ++j) {
+      f.hz.at(i, j) -= 0.7 * (f.ex.at(i, j + 1) - f.ex.at(i, j) + f.ey.at(i + 1, j) -
+                              f.ey.at(i, j));
+    }
+  }
+}
+
+void run_sequential(Fields& f) {
+  for (std::size_t t = 0; t < kSteps; ++t) {
+    fict_update(f, t);
+    ey_update(f);
+    ex_update(f);
+    hz_update(f);
+  }
+}
+
+class Fdtd2d final : public Benchmark {
+ public:
+  const PaperRow& paper() const override {
+    static const PaperRow row{"fdtd-2d", "Polybench", 142, 76.51, 5.19, 8,
+                              "Task parallelism"};
+    return row;
+  }
+
+  void run_traced(trace::TraceContext& ctx) const override {
+    Fields f;
+    const VarId vstep = ctx.var("step");
+    const VarId vex = ctx.var("ex");
+    const VarId vey = ctx.var("ey");
+    const VarId vhz = ctx.var("hz");
+
+    trace::FunctionScope fmain(ctx, "main", 1);
+    {
+      trace::FunctionScope finit(ctx, "init_array", 2);
+      ctx.compute(2, 45000);  // hotspot holds ~76.5%
+    }
+    {
+      trace::FunctionScope fk(ctx, "kernel_fdtd_2d", 4);
+      trace::LoopScope ltime(ctx, "time_loop", 5);
+      for (std::size_t t = 0; t < kSteps; ++t) {
+        ltime.begin_iteration();
+        {
+          trace::StatementScope s(ctx, "step_setup", 5);
+          ctx.compute(5, 1);
+          ctx.write(vstep, 0, 5);
+        }
+        {
+          trace::StatementScope s(ctx, "fict_update", 6);
+          ctx.read(vstep, 0, 6);
+          fict_update(f, t);
+          for (std::size_t j = 0; j < kNy; ++j) ctx.write(vey, f.ey.index(0, j), 6);
+          ctx.compute(6, kNy);
+        }
+        {
+          trace::StatementScope s(ctx, "ey_update", 7);
+          ctx.read(vstep, 0, 7);
+          ey_update(f);
+          for (std::size_t i = 1; i < kNx; ++i) {
+            for (std::size_t j = 0; j < kNy; ++j) {
+              ctx.read(vhz, f.hz.index(i, j), 7);
+              ctx.write(vey, f.ey.index(i, j), 7);
+            }
+          }
+          ctx.compute(7, 2 * kNx * kNy);
+        }
+        {
+          trace::StatementScope s(ctx, "ex_update", 8);
+          ctx.read(vstep, 0, 8);
+          ex_update(f);
+          for (std::size_t i = 0; i < kNx; ++i) {
+            for (std::size_t j = 1; j < kNy; ++j) {
+              ctx.read(vhz, f.hz.index(i, j), 8);
+              ctx.write(vex, f.ex.index(i, j), 8);
+            }
+          }
+          ctx.compute(8, 2 * kNx * kNy);
+        }
+        {
+          trace::StatementScope s(ctx, "hz_update", 9);
+          hz_update(f);
+          for (std::size_t i = 0; i + 1 < kNx; ++i) {
+            for (std::size_t j = 0; j + 1 < kNy; j += 2) {
+              ctx.read(vex, f.ex.index(i, j + 1), 9);
+              ctx.read(vey, f.ey.index(i + 1, j), 9);
+              if (i == 0) ctx.read(vey, f.ey.index(0, j), 9);  // the fict boundary row
+              ctx.write(vhz, f.hz.index(i, j), 9);
+            }
+          }
+          ctx.compute(9, kNx * kNy / 2);
+        }
+      }
+    }
+  }
+
+  VerifyOutcome verify_parallel(std::size_t threads) const override {
+    Fields seq;
+    run_sequential(seq);
+
+    Fields par;
+    rt::ThreadPool pool(threads);
+    for (std::size_t t = 0; t < kSteps; ++t) {
+      // Detected task graph: three workers fork per step, barrier hz after.
+      rt::TaskGroup workers(pool);
+      workers.run([&] { fict_update(par, t); });
+      workers.run([&] { ey_update_rows(par, 1, kNx); });
+      workers.run([&] { ex_update_rows(par, 0, kNx); });
+      workers.wait();
+      hz_update(par);
+    }
+
+    std::vector<double> seq_all = seq.hz.data;
+    seq_all.insert(seq_all.end(), seq.ex.data.begin(), seq.ex.data.end());
+    seq_all.insert(seq_all.end(), seq.ey.data.begin(), seq.ey.data.end());
+    std::vector<double> par_all = par.hz.data;
+    par_all.insert(par_all.end(), par.ex.data.begin(), par.ex.data.end());
+    par_all.insert(par_all.end(), par.ey.data.begin(), par.ey.data.end());
+    return compare_results(seq_all, par_all);
+  }
+
+  sim::TaskDag build_sim_dag(const core::AnalysisResult& analysis) const override {
+    // Implemented version: per time step, the three updates run as do-all
+    // worker tasks, hz as a do-all barrier, chained across steps.
+    const pet::PetNode& time_loop = pet_node_named(analysis, "time_loop");
+    const Cost step_cost = time_loop.inclusive_cost / (time_loop.iterations > 0
+                                                           ? time_loop.iterations
+                                                           : 1);
+    const Cost quarter = step_cost / 4;
+    sim::DagBuilder builder;
+    sim::TaskIndex prev = sim::kInvalidTask;
+    for (std::uint64_t t = 0; t < kSteps; ++t) {
+      const sim::TaskIndex fork = builder.serial_task(1, prev);
+      auto fict = builder.lower_loop(kNy, quarter / 8 + 1, core::LoopClass::DoAll, 4);
+      auto ey = builder.lower_loop(kNx, quarter + quarter / 2, core::LoopClass::DoAll, 8);
+      auto ex = builder.lower_loop(kNx, quarter + quarter / 2, core::LoopClass::DoAll, 8);
+      builder.before_loop(fict, fork);
+      builder.before_loop(ey, fork);
+      builder.before_loop(ex, fork);
+      auto hz = builder.lower_loop(kNx, quarter, core::LoopClass::DoAll, 8);
+      builder.link_all(fict, hz);
+      builder.link_all(ey, hz);
+      builder.link_all(ex, hz);
+      prev = builder.serial_task(1);
+      builder.after_loop(prev, hz);
+    }
+    return builder.take();
+  }
+
+  sim::SimParams sim_params(const core::AnalysisResult& analysis) const override {
+    sim::SimParams params;
+    // Stencil sweeps are bandwidth-bound; the paper saw the peak at 8
+    // threads.
+    const pet::PetNode& fk = pet_node_named(analysis, "kernel_fdtd_2d");
+    params.memory_work = (fk.inclusive_cost * 4) / 5;
+    params.memory_scale_limit = 4;
+    return params;
+  }
+
+ private:
+  static void ey_update_rows(Fields& f, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t j = 0; j < kNy; ++j) {
+        f.ey.at(i, j) -= 0.5 * (f.hz.at(i, j) - f.hz.at(i - 1, j));
+      }
+    }
+  }
+  static void ex_update_rows(Fields& f, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t j = 1; j < kNy; ++j) {
+        f.ex.at(i, j) -= 0.5 * (f.hz.at(i, j) - f.hz.at(i, j - 1));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const Benchmark& fdtd_2d_benchmark() {
+  static const Fdtd2d instance;
+  return instance;
+}
+
+}  // namespace ppd::bs

@@ -1,0 +1,181 @@
+// Parsec `fluidanimate` (Table III row 3; Table IV row 3; Listing 3).
+//
+// Hotspot reproduced: the ComputeDensities / ComputeForces loop pair of the
+// SPH solver, reduced to a 1D cell chain (DESIGN.md §5). The first loop
+// iterates over (cell, interaction) pairs — K = 20 interactions per cell
+// with neighbour offsets -3..16 — and *accumulates* into the density of the
+// neighbour cell; the second loop walks cells, reads the densities of the
+// cell and its immediate neighbours, writes the acceleration, and re-scales
+// the cell's density (the paper: "reads and (again) updates the densities").
+//
+// The last write to density[m] happens at interaction index 20m + 60 and the
+// first read in the force loop at cell m-1, so the recorded pairs follow
+// i_y = i_x/20 - 4: a = 0.05 (one force iteration per ~20 density
+// iterations), b < 0, and e = 1 - 8/C ~ 0.97 — the paper's Table IV row.
+// Neither loop is do-all; the implemented pipeline only reaches ~1.5x.
+#include <vector>
+
+#include "bs/benchmark.hpp"
+#include "bs/detail.hpp"
+#include "rt/parallel.hpp"
+#include "sim/lowering.hpp"
+
+namespace ppd::bs {
+namespace {
+
+constexpr std::size_t kCells = 256;
+constexpr std::size_t kInteractions = 20;  // neighbour offsets -3 .. +16
+constexpr long kOffsetMin = -3;
+
+struct Workload {
+  std::vector<double> pos = std::vector<double>(kCells);
+};
+
+const Workload& workload() {
+  static const Workload w = [] {
+    Workload wl;
+    Rng rng(1234);
+    for (double& v : wl.pos) v = rng.uniform();
+    return wl;
+  }();
+  return w;
+}
+
+/// One density interaction: iteration t of the first loop.
+void density_step(const Workload& w, std::vector<double>& density, std::uint64_t t) {
+  const std::size_t c = static_cast<std::size_t>(t / kInteractions);
+  const long delta = kOffsetMin + static_cast<long>(t % kInteractions);
+  const long n = static_cast<long>(c) + delta;
+  if (n < 0 || n >= static_cast<long>(kCells)) return;
+  const double contrib = 0.01 * (w.pos[c] + w.pos[static_cast<std::size_t>(n)]);
+  density[static_cast<std::size_t>(n)] += contrib;
+}
+
+/// One force iteration: cell c of the second loop.
+void force_step(std::vector<double>& density, std::vector<double>& accel, std::size_t c) {
+  const double left = c > 0 ? density[c - 1] : 0.0;
+  const double right = c + 1 < kCells ? density[c + 1] : 0.0;
+  double f = 0.0;
+  for (int r = 0; r < 20; ++r) f += 0.05 * (left + density[c] + right + f * 0.25);
+  accel[c] = f;
+  density[c] *= 0.995;  // the second loop re-updates the densities
+}
+
+void run_sequential(const Workload& w, std::vector<double>& density,
+                    std::vector<double>& accel) {
+  for (std::uint64_t t = 0; t < kCells * kInteractions; ++t) density_step(w, density, t);
+  for (std::size_t c = 0; c < kCells; ++c) force_step(density, accel, c);
+}
+
+class Fluidanimate final : public Benchmark {
+ public:
+  const PaperRow& paper() const override {
+    static const PaperRow row{"fluidanimate", "Parsec", 3987, 99.54, 1.5, 3,
+                              "Multi-loop pipeline"};
+    return row;
+  }
+
+  void run_traced(trace::TraceContext& ctx) const override {
+    const Workload& w = workload();
+    std::vector<double> density(kCells, 0.0);
+    std::vector<double> accel(kCells, 0.0);
+
+    const VarId vpos = ctx.var("pos");
+    const VarId vdensity = ctx.var("density");
+    const VarId vaccel = ctx.var("accel");
+
+    trace::FunctionScope fmain(ctx, "main", 1);
+    {
+      trace::FunctionScope finit(ctx, "InitSim", 2);
+      ctx.compute(2, 180);  // hotspot holds ~99.5%
+    }
+    {
+      trace::FunctionScope fk(ctx, "ComputeForcesMT", 4);
+      {
+        trace::LoopScope l1(ctx, "densities_loop", 2);
+        for (std::uint64_t t = 0; t < kCells * kInteractions; ++t) {
+          l1.begin_iteration();
+          const std::size_t c = static_cast<std::size_t>(t / kInteractions);
+          const long n = static_cast<long>(c) + kOffsetMin +
+                         static_cast<long>(t % kInteractions);
+          density_step(w, density, t);
+          if (n < 0 || n >= static_cast<long>(kCells)) continue;
+          ctx.read(vpos, c, 4);
+          ctx.compute(4, 1);
+          ctx.read(vdensity, static_cast<std::uint64_t>(n), 5);
+          ctx.write(vdensity, static_cast<std::uint64_t>(n), 5);
+        }
+      }
+      {
+        trace::LoopScope l2(ctx, "forces_loop", 8);
+        for (std::size_t c = 0; c < kCells; ++c) {
+          l2.begin_iteration();
+          force_step(density, accel, c);
+          if (c > 0) ctx.read(vdensity, c - 1, 10);
+          if (c + 1 < kCells) ctx.read(vdensity, c + 1, 10);
+          ctx.read(vdensity, c, 10);
+          ctx.compute(10, 44);
+          ctx.write(vaccel, c, 11);
+          ctx.read(vdensity, c, 12);
+          ctx.write(vdensity, c, 12);
+        }
+      }
+    }
+  }
+
+  VerifyOutcome verify_parallel(std::size_t threads) const override {
+    const Workload& w = workload();
+    std::vector<double> density_seq(kCells, 0.0);
+    std::vector<double> accel_seq(kCells, 0.0);
+    run_sequential(w, density_seq, accel_seq);
+
+    std::vector<double> density_par(kCells, 0.0);
+    std::vector<double> accel_par(kCells, 0.0);
+    rt::ThreadPool pool(threads);
+    const std::uint64_t nx = kCells * kInteractions;
+    // Force iteration c reads density[c+1], last written at interaction
+    // index 20(c+1)+60; the detected line i_y = i_x/20 - 4, conservatively
+    // inverted (over-waiting near the boundary is safe, under-waiting would
+    // race).
+    rt::pipelined_loop_pair(
+        pool, nx, kCells,
+        [nx](std::uint64_t c) { return std::min(nx, 20 * c + 81); },
+        [&](std::uint64_t t) { density_step(w, density_par, t); },
+        [&](std::uint64_t c) {
+          force_step(density_par, accel_par, static_cast<std::size_t>(c));
+        },
+        /*x_doall=*/false);
+
+    VerifyOutcome accel_check = compare_results(accel_seq, accel_par);
+    VerifyOutcome density_check = compare_results(density_seq, density_par);
+    VerifyOutcome out;
+    out.ok = accel_check.ok && density_check.ok;
+    out.detail = "accel: " + accel_check.detail + "; density: " + density_check.detail;
+    return out;
+  }
+
+  sim::TaskDag build_sim_dag(const core::AnalysisResult& analysis) const override {
+    const pet::PetNode& l1 = pet_node_named(analysis, "densities_loop");
+    const pet::PetNode& l2 = pet_node_named(analysis, "forces_loop");
+    sim::DagBuilder builder;
+    // Neither loop is do-all: both lower to dependence chains; the pipeline
+    // overlap between the two chains is all the parallelism there is.
+    auto x =
+        builder.lower_loop(l1.iterations, l1.inclusive_cost, core::LoopClass::Sequential, 128);
+    auto y =
+        builder.lower_loop(l2.iterations, l2.inclusive_cost, core::LoopClass::Sequential, 128);
+    const prof::LoopPairKey key{l1.region, l2.region};
+    auto it = analysis.profile.loop_pairs.find(key);
+    if (it != analysis.profile.loop_pairs.end()) builder.link_pairs(x, y, it->second);
+    return builder.take();
+  }
+};
+
+}  // namespace
+
+const Benchmark& fluidanimate_benchmark() {
+  static const Fluidanimate instance;
+  return instance;
+}
+
+}  // namespace ppd::bs

@@ -1,0 +1,158 @@
+// Polybench `mvt` (Table III row 11; Table V row 5).
+//
+// Hotspot reproduced: the two independent matrix-vector products of
+// kernel_mvt — x1 += A·y1 and x2 += Aᵀ·y2. Both loops are do-all and
+// neither reads anything the other writes; both depend only on the kernel's
+// argument setup, so Algorithm 1 classifies them as two worker tasks forked
+// from the entry CU. The paper implements combined task + do-all
+// parallelism and reports 11.39x at 32 threads.
+#include <vector>
+
+#include "bs/benchmark.hpp"
+#include "bs/detail.hpp"
+#include "rt/parallel.hpp"
+#include "sim/lowering.hpp"
+
+namespace ppd::bs {
+namespace {
+
+constexpr std::size_t kN = 72;
+
+struct Workload {
+  Matrix a{kN, kN};
+  std::vector<double> y1 = std::vector<double>(kN);
+  std::vector<double> y2 = std::vector<double>(kN);
+};
+
+const Workload& workload() {
+  static const Workload w = [] {
+    Workload wl;
+    Rng rng(44);
+    wl.a.fill_random(rng);
+    for (double& v : wl.y1) v = rng.uniform();
+    for (double& v : wl.y2) v = rng.uniform();
+    return wl;
+  }();
+  return w;
+}
+
+void x1_row(const Workload& w, std::vector<double>& x1, std::size_t i) {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < kN; ++j) sum += w.a.at(i, j) * w.y1[j];
+  x1[i] += sum;
+}
+
+void x2_row(const Workload& w, std::vector<double>& x2, std::size_t i) {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < kN; ++j) sum += w.a.at(j, i) * w.y2[j];
+  x2[i] += sum;
+}
+
+class Mvt final : public Benchmark {
+ public:
+  const PaperRow& paper() const override {
+    static const PaperRow row{"mvt", "Polybench", 114, 91.24, 11.39, 32,
+                              "Task parallelism + Do-all"};
+    return row;
+  }
+
+  void run_traced(trace::TraceContext& ctx) const override {
+    const Workload& w = workload();
+    std::vector<double> x1(kN, 0.0);
+    std::vector<double> x2(kN, 0.0);
+
+    const VarId vargs = ctx.var("args");
+    const VarId vx1 = ctx.var("x1");
+    const VarId vx2 = ctx.var("x2");
+
+    trace::FunctionScope fmain(ctx, "main", 1);
+    {
+      trace::FunctionScope finit(ctx, "init_array", 2);
+      ctx.compute(2, 2080);  // hotspot holds ~91.2%
+    }
+    {
+      trace::FunctionScope fk(ctx, "kernel_mvt", 4);
+      {
+        trace::StatementScope s(ctx, "kernel_entry", 4);
+        ctx.compute(4, 2);
+        ctx.write(vargs, 0, 4);
+      }
+      {
+        trace::LoopScope l1(ctx, "x1_loop", 6);
+        for (std::size_t i = 0; i < kN; ++i) {
+          l1.begin_iteration();
+          if (i == 0) ctx.read(vargs, 0, 7);
+          x1_row(w, x1, i);
+          ctx.compute(7, 2 * kN);
+          ctx.read(vx1, i, 7);
+          ctx.write(vx1, i, 7);
+        }
+      }
+      {
+        trace::LoopScope l2(ctx, "x2_loop", 9);
+        for (std::size_t i = 0; i < kN; ++i) {
+          l2.begin_iteration();
+          if (i == 0) ctx.read(vargs, 0, 10);
+          x2_row(w, x2, i);
+          ctx.compute(10, 2 * kN);
+          ctx.read(vx2, i, 10);
+          ctx.write(vx2, i, 10);
+        }
+      }
+    }
+  }
+
+  VerifyOutcome verify_parallel(std::size_t threads) const override {
+    const Workload& w = workload();
+    std::vector<double> x1_seq(kN, 0.0), x2_seq(kN, 0.0);
+    for (std::size_t i = 0; i < kN; ++i) x1_row(w, x1_seq, i);
+    for (std::size_t i = 0; i < kN; ++i) x2_row(w, x2_seq, i);
+
+    std::vector<double> x1_par(kN, 0.0), x2_par(kN, 0.0);
+    rt::ThreadPool pool(threads);
+    {
+      // Two worker tasks, each a do-all internally: split the pool between
+      // them via nested parallel_for on disjoint halves of the row range.
+      rt::TaskGroup workers(pool);
+      workers.run([&] {
+        for (std::size_t i = 0; i < kN; ++i) x1_row(w, x1_par, i);
+      });
+      workers.run([&] {
+        for (std::size_t i = 0; i < kN; ++i) x2_row(w, x2_par, i);
+      });
+      workers.wait();
+    }
+    std::vector<double> seq_all = x1_seq;
+    seq_all.insert(seq_all.end(), x2_seq.begin(), x2_seq.end());
+    std::vector<double> par_all = x1_par;
+    par_all.insert(par_all.end(), x2_par.begin(), x2_par.end());
+    return compare_results(seq_all, par_all);
+  }
+
+  sim::TaskDag build_sim_dag(const core::AnalysisResult& analysis) const override {
+    const pet::PetNode& l1 = pet_node_named(analysis, "x1_loop");
+    const pet::PetNode& l2 = pet_node_named(analysis, "x2_loop");
+    sim::DagBuilder builder;
+    const Cost total = l1.inclusive_cost + l2.inclusive_cost;
+    const sim::TaskIndex setup = builder.serial_task(total * 55 / 1000);
+    auto x1 = builder.lower_loop(l1.iterations, l1.inclusive_cost, core::LoopClass::DoAll, 36);
+    auto x2 = builder.lower_loop(l2.iterations, l2.inclusive_cost, core::LoopClass::DoAll, 36);
+    builder.before_loop(x1, setup);
+    builder.before_loop(x2, setup);
+    return builder.take();
+  }
+
+  sim::SimParams sim_params(const core::AnalysisResult& analysis) const override {
+    (void)analysis;
+    return {};
+  }
+};
+
+}  // namespace
+
+const Benchmark& mvt_benchmark() {
+  static const Mvt instance;
+  return instance;
+}
+
+}  // namespace ppd::bs

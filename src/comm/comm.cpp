@@ -1,0 +1,95 @@
+#include "comm/comm.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "trace/context.hpp"
+
+namespace ppd::comm {
+
+const char* to_string(Sharing sharing) {
+  switch (sharing) {
+    case Sharing::Private: return "private";
+    case Sharing::ReadOnly: return "read-only";
+    case Sharing::ProducerConsumer: return "producer/consumer";
+    case Sharing::Migratory: return "migratory";
+  }
+  return "?";
+}
+
+void CommProfiler::on_access(const trace::AccessEvent& access) {
+  Counts& c = counts_[Key{access.var, access.region}];
+  if (access.kind == trace::AccessKind::Read) {
+    ++c.reads;
+  } else {
+    ++c.writes;
+  }
+}
+
+CommunicationMatrix CommProfiler::build(const prof::Profile& profile) const {
+  CommunicationMatrix result;
+
+  // Per-variable usage and sharing classification.
+  std::map<VarId, VarUsage> usage;
+  for (const auto& [key, counts] : counts_) {
+    VarUsage& u = usage[key.var];
+    u.var = key.var;
+    u.reads += counts.reads;
+    u.writes += counts.writes;
+    if (counts.reads > 0) u.reader_regions.push_back(key.region);
+    if (counts.writes > 0) u.writer_regions.push_back(key.region);
+  }
+  for (auto& [var, u] : usage) {
+    std::set<RegionId> touched(u.reader_regions.begin(), u.reader_regions.end());
+    touched.insert(u.writer_regions.begin(), u.writer_regions.end());
+    if (touched.size() <= 1) {
+      u.sharing = Sharing::Private;
+    } else if (u.writer_regions.empty()) {
+      u.sharing = Sharing::ReadOnly;
+    } else if (u.writer_regions.size() == 1) {
+      u.sharing = Sharing::ProducerConsumer;
+    } else {
+      u.sharing = Sharing::Migratory;
+    }
+    result.variables.push_back(u);
+  }
+
+  // Region-to-region RAW traffic.
+  std::map<std::pair<RegionId, RegionId>, CommEdge> edges;
+  std::map<std::pair<RegionId, RegionId>, std::set<VarId>> edge_vars;
+  for (const prof::Dependence& dep : profile.dependences) {
+    if (dep.kind != prof::DepKind::Raw) continue;
+    if (dep.source.region == dep.sink.region) continue;
+    const auto key = std::pair{dep.source.region, dep.sink.region};
+    CommEdge& edge = edges[key];
+    edge.producer = dep.source.region;
+    edge.consumer = dep.sink.region;
+    edge.occurrences += dep.count;
+    edge_vars[key].insert(dep.var);
+  }
+  for (auto& [key, edge] : edges) {
+    edge.variables = edge_vars[key].size();
+    result.edges.push_back(edge);
+  }
+  std::sort(result.edges.begin(), result.edges.end(),
+            [](const CommEdge& a, const CommEdge& b) { return a.occurrences > b.occurrences; });
+  return result;
+}
+
+std::string CommunicationMatrix::render(const trace::TraceContext& program) const {
+  std::string out = "communication matrix (producer -> consumer, RAW traffic):\n";
+  for (const CommEdge& edge : edges) {
+    out += "  " + program.region(edge.producer).name + " -> " +
+           program.region(edge.consumer).name + ": " + std::to_string(edge.occurrences) +
+           " dependences over " + std::to_string(edge.variables) + " variable(s)\n";
+  }
+  out += "variable sharing:\n";
+  for (const VarUsage& u : variables) {
+    out += "  " + program.var_info(u.var).name + ": " + to_string(u.sharing) + " (" +
+           std::to_string(u.reads) + " reads, " + std::to_string(u.writes) + " writes)\n";
+  }
+  return out;
+}
+
+}  // namespace ppd::comm

@@ -1,0 +1,92 @@
+// Loop-level communication-pattern characterization.
+//
+// §II of the paper: the outputs of DiscoPoP's two analyses also feed a
+// characterization of "threads communication patterns" (Mazaheri et al.,
+// ICPP'15 — the paper's reference [16]). Given the dependence profile and
+// per-(variable, region) access counts, this module derives:
+//
+//  * a region-to-region communication matrix (how much data produced in one
+//    control region is consumed by another — the traffic a parallelization
+//    along region boundaries would turn into inter-thread communication);
+//  * a sharing classification per variable: private to one region,
+//    read-only shared, producer/consumer (one writer region, other
+//    readers), or migratory (ownership moves between regions).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "prof/dependence.hpp"
+#include "trace/context.hpp"
+#include "support/ids.hpp"
+#include "trace/events.hpp"
+
+namespace ppd::comm {
+
+/// Sharing behaviour of one variable across control regions.
+enum class Sharing {
+  Private,           ///< touched by exactly one region
+  ReadOnly,          ///< read by several regions, never written
+  ProducerConsumer,  ///< written in one region, read in others
+  Migratory,         ///< written in several regions (ownership moves)
+};
+
+[[nodiscard]] const char* to_string(Sharing sharing);
+
+/// Per-variable access summary used for the classification.
+struct VarUsage {
+  VarId var;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::vector<RegionId> reader_regions;
+  std::vector<RegionId> writer_regions;
+  Sharing sharing = Sharing::Private;
+};
+
+/// One cell of the communication matrix: RAW traffic from producer region to
+/// consumer region.
+struct CommEdge {
+  RegionId producer;
+  RegionId consumer;
+  std::uint64_t occurrences = 0;  ///< dynamic RAW dependences crossing the edge
+  std::uint64_t variables = 0;    ///< distinct variables carried over the edge
+};
+
+/// The characterization result.
+struct CommunicationMatrix {
+  std::vector<CommEdge> edges;       ///< producer != consumer only, sorted by traffic
+  std::vector<VarUsage> variables;   ///< every traced variable, classified
+
+  /// Renders the matrix and the sharing table as text.
+  [[nodiscard]] std::string render(const trace::TraceContext& program) const;
+};
+
+/// Event sink counting per-(variable, region) accesses. Subscribe alongside
+/// the dependence profiler.
+class CommProfiler final : public trace::EventSink {
+ public:
+  void on_access(const trace::AccessEvent& access) override;
+
+  /// Combines the counted accesses with the dependence profile into the
+  /// communication characterization.
+  [[nodiscard]] CommunicationMatrix build(const prof::Profile& profile) const;
+
+ private:
+  struct Key {
+    VarId var;
+    RegionId region;
+    friend bool operator<(const Key& a, const Key& b) {
+      return std::tie(a.var, a.region) < std::tie(b.var, b.region);
+    }
+  };
+  struct Counts {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+  };
+  std::map<Key, Counts> counts_;
+};
+
+}  // namespace ppd::comm

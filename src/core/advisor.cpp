@@ -1,0 +1,294 @@
+#include "core/advisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/table.hpp"
+
+namespace ppd::core {
+namespace {
+
+std::string region_name(const trace::TraceContext& program, RegionId region) {
+  return region.valid() ? program.region(region).name : std::string("<unknown>");
+}
+
+double amdahl(double fraction, double local_speedup) {
+  if (local_speedup <= 1.0) return 1.0;
+  const double f = std::clamp(fraction, 0.0, 1.0);
+  return 1.0 / ((1.0 - f) + f / local_speedup);
+}
+
+/// Local speedup bound of a two-loop pipeline: the producer parallelizes if
+/// do-all, the consumer runs at its own pace, the overlap hides the faster
+/// stage. A crude but monotone bound: (Tx + Ty) / max(serial parts).
+double pipeline_local_speedup(const MultiLoopPipeline& p, const pet::Pet& pet) {
+  const pet::NodeIndex nx = pet.find(p.loop_x);
+  const pet::NodeIndex ny = pet.find(p.loop_y);
+  if (nx == pet::kInvalidPetNode || ny == pet::kInvalidPetNode) return 1.0;
+  const double tx = static_cast<double>(pet.node(nx).inclusive_cost);
+  const double ty = static_cast<double>(pet.node(ny).inclusive_cost);
+  if (tx + ty == 0.0) return 1.0;
+  if (p.fusion) return 16.0;  // a fused do-all scales with the machine
+  const double serial_x = p.x_class == LoopClass::Sequential ? tx : tx / 16.0;
+  const double serial_y = p.y_class == LoopClass::Sequential ? ty : ty / 16.0;
+  const double bound = (tx + ty) / std::max(1.0, std::max(serial_x, serial_y));
+  return std::max(1.0, bound * std::min(1.0, p.e));
+}
+
+}  // namespace
+
+const char* to_string(HintKind kind) {
+  switch (kind) {
+    case HintKind::PeelFirstIterations: return "peel first iterations";
+    case HintKind::DelayConsumerStart: return "start consumer early";
+    case HintKind::FuseLoops: return "fuse loops";
+    case HintKind::ImplementPipeline: return "implement pipeline";
+    case HintKind::PrivatizeAccumulator: return "privatize accumulator";
+    case HintKind::PrivatizeVariables: return "privatize variables";
+    case HintKind::DoacrossSchedule: return "do-across schedule";
+    case HintKind::ChunkFunctionData: return "chunk function data";
+    case HintKind::ForkJoinTasks: return "fork/join tasks";
+  }
+  return "?";
+}
+
+const char* to_string(Effort effort) {
+  switch (effort) {
+    case Effort::Low: return "low";
+    case Effort::Medium: return "medium";
+    case Effort::High: return "high";
+  }
+  return "?";
+}
+
+std::vector<TransformationHint> derive_hints(const AnalysisResult& analysis,
+                                             const trace::TraceContext& program) {
+  std::vector<TransformationHint> hints;
+
+  for (const MultiLoopPipeline* p : analysis.reported_pipelines()) {
+    const std::string x_name = region_name(program, p->loop_x);
+    const std::string y_name = region_name(program, p->loop_y);
+
+    if (p->fusion) {
+      TransformationHint hint;
+      hint.kind = HintKind::FuseLoops;
+      hint.region = p->loop_x;
+      hint.partner_region = p->loop_y;
+      hint.text = "fuse loops '" + x_name + "' and '" + y_name +
+                  "' (both do-all, a=1 b=0) and parallelize the fused loop as a do-all";
+      if (p->shared_addresses > 0 && p->y_footprint > 0) {
+        // §III-A future work: quantify the locality benefit of fusion.
+        const double share = 100.0 * static_cast<double>(p->shared_addresses) /
+                             static_cast<double>(p->y_footprint);
+        hint.text += "; " + std::to_string(p->shared_addresses) +
+                     " elements flow between the loops (" +
+                     support::format_fixed(share, 0) +
+                     "% of the consumer's footprint) and stay cache-hot after fusion";
+      }
+      hints.push_back(std::move(hint));
+      continue;
+    }
+
+    TransformationHint pipe;
+    pipe.kind = HintKind::ImplementPipeline;
+    pipe.region = p->loop_x;
+    pipe.partner_region = p->loop_y;
+    pipe.text = "implement a 2-stage pipeline '" + x_name + "' -> '" + y_name +
+                "': iteration j of the consumer may start once ceil((j - (" +
+                support::format_fixed(p->fit.b, 2) + ")) / " +
+                support::format_fixed(p->fit.a, 2) + ") producer iterations completed" +
+                (p->x_class == LoopClass::DoAll ? "; run the producer stage as a do-all"
+                                                : "");
+    hints.push_back(std::move(pipe));
+
+    // The paper's reg_detect transformation: b = -1 means no consumer
+    // iteration needs the first producer iteration, so peeling it leaves a
+    // clean one-to-one pipeline (§IV-A).
+    if (p->fit.b <= -0.5) {
+      TransformationHint peel;
+      peel.kind = HintKind::PeelFirstIterations;
+      peel.region = p->loop_x;
+      peel.partner_region = p->loop_y;
+      peel.iterations = static_cast<std::uint64_t>(std::llround(-p->fit.b));
+      peel.text = "peel the first " + std::to_string(peel.iterations) + " iteration(s) of '" +
+                  x_name + "': no iteration of '" + y_name + "' depends on them (b = " +
+                  support::format_fixed(p->fit.b, 2) + ")";
+      hints.push_back(std::move(peel));
+    } else if (p->fit.b >= 0.5) {
+      TransformationHint delay;
+      delay.kind = HintKind::DelayConsumerStart;
+      delay.region = p->loop_y;
+      delay.partner_region = p->loop_x;
+      delay.iterations = static_cast<std::uint64_t>(std::llround(p->fit.b));
+      delay.text = "the first " + std::to_string(delay.iterations) + " iteration(s) of '" +
+                   y_name + "' depend on no producer iteration and can start immediately";
+      hints.push_back(std::move(delay));
+    }
+  }
+
+  for (const ReductionCandidate& r : analysis.reductions) {
+    TransformationHint hint;
+    hint.kind = HintKind::PrivatizeAccumulator;
+    hint.region = r.loop;
+    hint.op = r.op;
+    hint.text = "privatize accumulator '" + program.var_info(r.var).name + "' in loop '" +
+                region_name(program, r.loop) + "' (updated at line " + std::to_string(r.line) +
+                ")";
+    if (r.op != trace::UpdateOp::None) {
+      hint.text += std::string(" and combine partial results with operator '") +
+                   trace::to_string(r.op) + "'";
+    } else {
+      hint.text += "; confirm the update operator is associative";
+    }
+    hints.push_back(std::move(hint));
+  }
+
+  // Per-hotspot-loop transformation opportunities (§V: the privatization
+  // and do-across patterns of related tools, applied to *sequential* loops
+  // our primary detectors left behind).
+  for (pet::NodeIndex node : analysis.pet.hotspots(0.02)) {
+    const pet::PetNode& n = analysis.pet.node(node);
+    if (!n.is_loop()) continue;
+    const LoopAnalysis la = analyze_loop(analysis.profile, n.region);
+    if (la.cls != LoopClass::Sequential) continue;
+    if (la.doall_after_transform) {
+      TransformationHint hint;
+      hint.kind = HintKind::PrivatizeVariables;
+      hint.region = n.region;
+      hint.text = "loop '" + n.name + "' becomes do-all after privatizing ";
+      for (std::size_t i = 0; i < la.privatizable.size(); ++i) {
+        hint.text += (i > 0 ? ", " : "") + std::string("'") +
+                     program.var_info(la.privatizable[i]).name + "'";
+      }
+      hint.text += " (only WAR/WAW dependences cross its iterations)";
+      hints.push_back(std::move(hint));
+    } else if (la.doacross_regular && la.doacross_distance >= 1) {
+      TransformationHint hint;
+      hint.kind = HintKind::DoacrossSchedule;
+      hint.region = n.region;
+      hint.iterations = la.doacross_distance;
+      hint.text = "loop '" + n.name + "' admits a do-across schedule: iteration i+" +
+                  std::to_string(la.doacross_distance) +
+                  " may start once iteration i completed (constant dependence distance)";
+      hints.push_back(std::move(hint));
+    }
+  }
+
+  for (const GeometricDecomposition& gd : analysis.geometric) {
+    TransformationHint hint;
+    hint.kind = HintKind::ChunkFunctionData;
+    hint.region = gd.function;
+    hint.text = "split the data of function '" + region_name(program, gd.function) +
+                "' into chunks and invoke it per chunk from separate threads (" +
+                std::to_string(gd.doall_loops.size()) + " do-all / " +
+                std::to_string(gd.reduction_loops.size()) + " reduction loops inside)";
+    hints.push_back(std::move(hint));
+  }
+
+  for (const ScopeTaskParallelism& t : analysis.tasks) {
+    if (t.tp.worker_count() < 2) continue;
+    TransformationHint hint;
+    hint.kind = HintKind::ForkJoinTasks;
+    hint.region = t.tp.scope;
+    hint.text = "fork the " + std::to_string(t.tp.worker_count()) + " worker CU(s) of '" +
+                region_name(program, t.tp.scope) + "' with master/worker and join at the " +
+                std::to_string(t.tp.barrier_count()) + " barrier CU(s); estimated speedup " +
+                support::format_fixed(t.tp.estimated_speedup, 2);
+    if (!t.tp.parallel_barriers.empty()) {
+      hint.text += "; " + std::to_string(t.tp.parallel_barriers.size()) +
+                   " barrier pair(s) can also run in parallel";
+    }
+    hints.push_back(std::move(hint));
+  }
+
+  return hints;
+}
+
+std::vector<RankedPattern> rank_patterns(const AnalysisResult& analysis,
+                                         const trace::TraceContext& program) {
+  std::vector<RankedPattern> ranked;
+  const pet::Pet& pet = analysis.pet;
+
+  auto fraction_of = [&](RegionId region) {
+    const pet::NodeIndex node = pet.find(region);
+    return node == pet::kInvalidPetNode ? 0.0 : pet.cost_fraction(node);
+  };
+  auto effort_factor = [](Effort effort) {
+    switch (effort) {
+      case Effort::Low: return 1.0;
+      case Effort::Medium: return 0.8;
+      case Effort::High: return 0.6;
+    }
+    return 0.8;
+  };
+  auto push = [&](RankedPattern p) {
+    p.expected_benefit = amdahl(p.hotspot_fraction, p.local_speedup);
+    p.score = (p.expected_benefit - 1.0) * effort_factor(p.effort);
+    ranked.push_back(std::move(p));
+  };
+
+  for (const MultiLoopPipeline* p : analysis.reported_pipelines()) {
+    RankedPattern r;
+    r.kind = p->fusion ? PatternKind::Fusion : PatternKind::MultiLoopPipeline;
+    r.description = std::string(to_string(r.kind)) + " over '" +
+                    region_name(program, p->loop_x) + "' -> '" +
+                    region_name(program, p->loop_y) + "'";
+    r.region = p->loop_x;
+    const pet::NodeIndex nx = pet.find(p->loop_x);
+    const pet::NodeIndex ny = pet.find(p->loop_y);
+    r.hotspot_fraction =
+        fraction_of(p->loop_x) + fraction_of(p->loop_y);
+    (void)nx;
+    (void)ny;
+    r.local_speedup = pipeline_local_speedup(*p, pet);
+    // Fusion is a mechanical rewrite; a pipeline needs stage synchronization.
+    r.effort = p->fusion ? Effort::Low : Effort::High;
+    push(std::move(r));
+  }
+
+  for (const ScopeTaskParallelism& t : analysis.tasks) {
+    if (t.tp.worker_count() < 2) continue;
+    RankedPattern r;
+    r.kind = PatternKind::TaskParallelism;
+    r.description = "Task parallelism in '" + region_name(program, t.tp.scope) + "' (" +
+                    std::to_string(t.tp.worker_count()) + " workers)";
+    r.region = t.tp.scope;
+    r.hotspot_fraction = t.scope_node == pet::kInvalidPetNode
+                             ? 0.0
+                             : pet.cost_fraction(t.scope_node);
+    r.local_speedup = t.tp.estimated_speedup;
+    r.effort = Effort::Medium;
+    push(std::move(r));
+  }
+
+  for (const GeometricDecomposition& gd : analysis.geometric) {
+    RankedPattern r;
+    r.kind = PatternKind::GeometricDecomposition;
+    r.description = "Geometric decomposition of '" + region_name(program, gd.function) + "'";
+    r.region = gd.function;
+    r.hotspot_fraction =
+        gd.node == pet::kInvalidPetNode ? 0.0 : pet.cost_fraction(gd.node);
+    // SPMD chunks scale with the machine minus the combine step.
+    r.local_speedup = 12.0;
+    r.effort = Effort::Medium;
+    push(std::move(r));
+  }
+
+  for (const ReductionCandidate& red : analysis.reductions) {
+    RankedPattern r;
+    r.kind = PatternKind::Reduction;
+    r.description = "Reduction of '" + program.var_info(red.var).name + "' in '" +
+                    region_name(program, red.loop) + "'";
+    r.region = red.loop;
+    r.hotspot_fraction = fraction_of(red.loop);
+    r.local_speedup = 8.0;  // typically bandwidth-bound
+    r.effort = Effort::Low;
+    push(std::move(r));
+  }
+
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedPattern& a, const RankedPattern& b) { return a.score > b.score; });
+  return ranked;
+}
+
+}  // namespace ppd::core

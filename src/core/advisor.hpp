@@ -1,0 +1,80 @@
+// Advisor: transformation hints and pattern ranking.
+//
+// The paper's conclusion (§VI) names three future-work items this module
+// implements on top of the detectors:
+//
+//  * loop optimizations such as *peeling*: the paper peels the first
+//    iteration of reg_detect's producer loop by hand because the detected
+//    intercept was b = -1 — derive_hints() derives exactly that suggestion
+//    from the regression line;
+//  * metrics to *choose the best pattern* among several detected ones:
+//    rank_patterns() scores every detected pattern instance by its expected
+//    whole-program benefit (Amdahl-weighted by the hotspot's cost share)
+//    and the estimated transformation effort;
+//  * operator inference feeds the PrivatizeAccumulator hint with the
+//    concrete reduction operator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+
+namespace ppd::core {
+
+/// Kind of source transformation suggested to the programmer.
+enum class HintKind {
+  PeelFirstIterations,   ///< peel the first |b| producer iterations (b < 0)
+  DelayConsumerStart,    ///< the first b consumer iterations are independent (b > 0)
+  FuseLoops,             ///< merge the two loops, parallelize as do-all
+  ImplementPipeline,     ///< two-stage pipeline with the derived need() function
+  PrivatizeAccumulator,  ///< per-thread accumulator + combine (reduction)
+  PrivatizeVariables,    ///< per-thread copies remove WAR/WAW-only carried deps
+  DoacrossSchedule,      ///< ordered parallelism with a fixed sync distance
+  ChunkFunctionData,     ///< split the function's input data (geometric decomp.)
+  ForkJoinTasks,         ///< master/worker over the classified fork/worker/barrier CUs
+};
+
+[[nodiscard]] const char* to_string(HintKind kind);
+
+/// One actionable suggestion tied to the program locations it concerns.
+struct TransformationHint {
+  HintKind kind = HintKind::ImplementPipeline;
+  RegionId region;            ///< the loop/function the hint applies to
+  RegionId partner_region;    ///< second loop for pipeline/fusion hints
+  std::uint64_t iterations = 0;  ///< e.g. how many iterations to peel
+  trace::UpdateOp op = trace::UpdateOp::None;  ///< for reduction hints
+  std::string text;           ///< human-readable instruction
+};
+
+/// Derives every applicable hint from an analysis result.
+[[nodiscard]] std::vector<TransformationHint> derive_hints(const AnalysisResult& analysis,
+                                                           const trace::TraceContext& program);
+
+/// Relative programmer effort of applying a pattern's supporting structure.
+enum class Effort { Low, Medium, High };
+
+[[nodiscard]] const char* to_string(Effort effort);
+
+/// One ranked pattern instance.
+struct RankedPattern {
+  PatternKind kind = PatternKind::None;
+  std::string description;
+  RegionId region;             ///< anchor region
+  double local_speedup = 1.0;  ///< speedup of the pattern's own region
+  double hotspot_fraction = 0.0;
+  /// Amdahl-weighted whole-program speedup bound:
+  /// 1 / ((1 - f) + f / local_speedup).
+  double expected_benefit = 1.0;
+  Effort effort = Effort::Medium;
+  /// benefit-per-effort score used for the ranking.
+  double score = 0.0;
+};
+
+/// Scores and ranks every pattern instance the analysis found, best first.
+/// This answers the paper's "choose the best pattern among multiple
+/// detected parallel patterns" (§VI).
+[[nodiscard]] std::vector<RankedPattern> rank_patterns(const AnalysisResult& analysis,
+                                                       const trace::TraceContext& program);
+
+}  // namespace ppd::core

@@ -1,0 +1,172 @@
+#include "core/analyzer.hpp"
+
+#include <algorithm>
+
+namespace ppd::core {
+
+const ScopeTaskParallelism* AnalysisResult::primary_tasks() const {
+  if (primary != PatternKind::TaskParallelism) return nullptr;
+  if (hotspot_node == pet::kInvalidPetNode) return nullptr;
+  for (const ScopeTaskParallelism& t : tasks) {
+    if (t.scope_node == hotspot_node) return &t;
+  }
+  return nullptr;
+}
+
+std::vector<const MultiLoopPipeline*> AnalysisResult::reported_pipelines() const {
+  std::vector<const MultiLoopPipeline*> out;
+  for (const MultiLoopPipeline& p : pipelines) {
+    if (!p.blocked) out.push_back(&p);
+  }
+  return out;
+}
+
+PatternAnalyzer::PatternAnalyzer(trace::TraceContext& ctx, AnalyzerConfig config)
+    : ctx_(ctx), config_(config) {
+  ctx_.add_sink(&profiler_);
+  ctx_.add_sink(&pet_builder_);
+  ctx_.add_sink(&cu_facts_);
+}
+
+AnalysisResult PatternAnalyzer::analyze() {
+  ctx_.finish();
+
+  AnalysisResult result;
+  result.profile = profiler_.take();
+  result.pet = pet_builder_.take();
+  result.cus = cu::form_cus(cu_facts_, ctx_);
+  result.reductions = detect_reductions(result.profile);
+  result.pipelines = detect_pipelines(result.profile, result.pet, config_.pipeline);
+  result.geometric =
+      detect_geometric_decomposition(result.profile, result.pet, config_.hotspot_fraction);
+
+  // Task parallelism on every hotspot scope that has structure to offer.
+  for (pet::NodeIndex node : result.pet.hotspots(config_.hotspot_fraction)) {
+    cu::CuGraph graph =
+        cu::build_cu_graph(result.cus, result.profile, result.pet, node, ctx_);
+    if (graph.size() < 2) continue;
+    TaskParallelism tp = detect_task_parallelism(graph);
+    result.tasks.push_back(ScopeTaskParallelism{node, std::move(graph), std::move(tp)});
+  }
+
+  choose_primary(result);
+  return result;
+}
+
+void PatternAnalyzer::choose_primary(AnalysisResult& result) const {
+  const pet::Pet& pet = result.pet;
+  auto set_hotspot = [&](pet::NodeIndex node) {
+    result.hotspot_node = node;
+    result.hotspot_cost_fraction =
+        node == pet::kInvalidPetNode ? 0.0 : pet.cost_fraction(node);
+  };
+
+  // 1. Multi-loop pipeline / fusion.
+  const auto reported = result.reported_pipelines();
+  if (!reported.empty()) {
+    const bool all_fusion =
+        std::all_of(reported.begin(), reported.end(),
+                    [](const MultiLoopPipeline* p) { return p->fusion; });
+    result.primary = all_fusion ? PatternKind::Fusion : PatternKind::MultiLoopPipeline;
+    result.primary_description = to_string(result.primary);
+    // Hotspot: nearest common ancestor of the hottest reported pair.
+    const MultiLoopPipeline* hottest = reported.front();
+    const pet::NodeIndex nx = pet.find(hottest->loop_x);
+    const pet::NodeIndex ny = pet.find(hottest->loop_y);
+    set_hotspot(pet.nearest_common_ancestor(nx, ny));
+    return;
+  }
+
+  // 2. Task parallelism (best worthwhile scope).
+  const ScopeTaskParallelism* best_tasks = nullptr;
+  for (const ScopeTaskParallelism& t : result.tasks) {
+    if (t.tp.worker_count() < config_.min_workers) continue;
+    if (t.tp.estimated_speedup < config_.min_task_speedup) continue;
+    if (best_tasks == nullptr ||
+        t.tp.estimated_speedup > best_tasks->tp.estimated_speedup) {
+      best_tasks = &t;
+    }
+  }
+  if (best_tasks != nullptr) {
+    result.primary = PatternKind::TaskParallelism;
+    // "+ Do-all" when the worker tasks are collapsed do-all loops (3mm/mvt).
+    bool workers_doall = true;
+    bool any_collapsed = false;
+    for (std::size_t i = 0; i < best_tasks->tp.roles.size(); ++i) {
+      if (best_tasks->tp.roles[i] != CuRole::Worker) continue;
+      const cu::Cu& c = best_tasks->graph.cu(static_cast<graph::NodeIndex>(i));
+      if (!c.collapsed) {
+        workers_doall = false;
+        break;
+      }
+      any_collapsed = true;
+      if (classify_loop(result.profile, c.collapsed_region) != LoopClass::DoAll) {
+        workers_doall = false;
+        break;
+      }
+    }
+    result.primary_description = "Task parallelism";
+    if (workers_doall && any_collapsed) result.primary_description += " + Do-all";
+    set_hotspot(best_tasks->scope_node);
+    return;
+  }
+
+  // 3. Geometric decomposition of a function called inside a sequential
+  //    hotspot loop.
+  for (const GeometricDecomposition& gd : result.geometric) {
+    bool sequential_caller = false;
+    for (pet::NodeIndex n = pet.node(gd.node).parent; n != pet::kInvalidPetNode;
+         n = pet.node(n).parent) {
+      if (pet.node(n).is_loop() &&
+          classify_loop(result.profile, pet.node(n).region) == LoopClass::Sequential) {
+        sequential_caller = true;
+        break;
+      }
+    }
+    if (!sequential_caller) continue;
+    result.primary = PatternKind::GeometricDecomposition;
+    result.primary_description = "Geometric decomposition";
+    // "+ Reduction" only when the reduction loops carry real weight; the
+    // paper lists kmeans (heavy centroid accumulation) with the suffix but
+    // not streamcluster, whose reduction loops are not hotspots (§IV-D).
+    Cost reduction_cost = 0;
+    for (pet::NodeIndex loop : gd.reduction_loops) {
+      reduction_cost += pet.node(loop).inclusive_cost;
+    }
+    const Cost function_cost = pet.node(gd.node).inclusive_cost;
+    if (function_cost > 0 &&
+        static_cast<double>(reduction_cost) >= 0.1 * static_cast<double>(function_cost)) {
+      result.primary_description += " + Reduction";
+    }
+    set_hotspot(gd.node);
+    return;
+  }
+
+  // 4. Reduction in a hotspot loop (hottest qualifying loop wins).
+  for (pet::NodeIndex node : pet.hotspots(config_.hotspot_fraction)) {
+    if (!pet.node(node).is_loop()) continue;
+    if (classify_loop(result.profile, pet.node(node).region) != LoopClass::Reduction) {
+      continue;
+    }
+    result.primary = PatternKind::Reduction;
+    result.primary_description = "Reduction";
+    set_hotspot(node);
+    return;
+  }
+
+  // 5. Plain do-all.
+  for (pet::NodeIndex node : pet.hotspots(config_.hotspot_fraction)) {
+    if (!pet.node(node).is_loop()) continue;
+    if (classify_loop(result.profile, pet.node(node).region) != LoopClass::DoAll) continue;
+    result.primary = PatternKind::DoAll;
+    result.primary_description = "Do-all";
+    set_hotspot(node);
+    return;
+  }
+
+  result.primary = PatternKind::None;
+  result.primary_description = "None";
+  set_hotspot(pet::kInvalidPetNode);
+}
+
+}  // namespace ppd::core

@@ -1,0 +1,95 @@
+// PatternAnalyzer: the end-to-end detection pipeline.
+//
+// Wires the three DiscoPoP analyses (dependence profiler, PET builder, CU
+// facts) to a TraceContext, then runs every pattern detector over the
+// profiled data and selects the *primary* pattern the way the paper reports
+// one pattern per application in Table III:
+//
+//   1. multi-loop pipeline / fusion between hotspot loops (unless another
+//      producer blocks the consumer loop entirely — the 3mm case, which is
+//      a task graph, not a pipeline);
+//   2. task parallelism in a hotspot region (>= 2 workers and a worthwhile
+//      estimated speedup), annotated "+ Do-all" when the worker tasks are
+//      do-all loops;
+//   3. geometric decomposition of a function called inside a sequential
+//      hotspot loop (the streamcluster/kmeans narrative of §IV-C),
+//      annotated "+ Reduction" when reduction loops sit inside;
+//   4. reduction in a hotspot loop;
+//   5. plain do-all.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/geometric.hpp"
+#include "core/loop_class.hpp"
+#include "core/multiloop_pipeline.hpp"
+#include "core/pattern.hpp"
+#include "core/task_parallelism.hpp"
+#include "cu/builder.hpp"
+#include "cu/facts.hpp"
+#include "pet/pet.hpp"
+#include "prof/profiler.hpp"
+#include "trace/context.hpp"
+
+namespace ppd::core {
+
+/// Tuning knobs for the full analysis.
+struct AnalyzerConfig {
+  PipelineConfig pipeline;
+  /// Minimum inclusive-cost share for hotspot regions.
+  double hotspot_fraction = 0.02;
+  /// Task parallelism is reported only with at least this estimated speedup.
+  double min_task_speedup = 1.3;
+  /// ... and at least this many worker CUs.
+  std::size_t min_workers = 2;
+};
+
+/// Task-parallelism result bound to the scope it was detected in.
+struct ScopeTaskParallelism {
+  pet::NodeIndex scope_node = pet::kInvalidPetNode;
+  cu::CuGraph graph;
+  TaskParallelism tp;
+};
+
+/// Everything the analysis produced.
+struct AnalysisResult {
+  prof::Profile profile;
+  pet::Pet pet{std::vector<pet::PetNode>{}};
+  std::vector<cu::Cu> cus;
+  std::vector<ReductionCandidate> reductions;
+  std::vector<MultiLoopPipeline> pipelines;
+  std::vector<ScopeTaskParallelism> tasks;
+  std::vector<GeometricDecomposition> geometric;
+
+  PatternKind primary = PatternKind::None;
+  std::string primary_description;  ///< Table III "Detected Pattern" text
+  pet::NodeIndex hotspot_node = pet::kInvalidPetNode;
+  double hotspot_cost_fraction = 0.0;  ///< Table III "Exec Inst % in Hotspot"
+
+  /// The task-parallelism result backing the primary pattern (if any).
+  [[nodiscard]] const ScopeTaskParallelism* primary_tasks() const;
+  /// The unblocked pipeline relationships (Table IV rows).
+  [[nodiscard]] std::vector<const MultiLoopPipeline*> reported_pipelines() const;
+};
+
+/// End-to-end analyzer. Construct *before* running the instrumented kernel
+/// (it subscribes its sinks), run the kernel, then call analyze().
+class PatternAnalyzer {
+ public:
+  explicit PatternAnalyzer(trace::TraceContext& ctx, AnalyzerConfig config = {});
+
+  /// Finishes the trace and runs every detector.
+  [[nodiscard]] AnalysisResult analyze();
+
+ private:
+  void choose_primary(AnalysisResult& result) const;
+
+  trace::TraceContext& ctx_;
+  AnalyzerConfig config_;
+  prof::DependenceProfiler profiler_;
+  pet::PetBuilder pet_builder_;
+  cu::CuFacts cu_facts_{ctx_};
+};
+
+}  // namespace ppd::core

@@ -1,0 +1,79 @@
+#include "core/geometric.hpp"
+
+#include <algorithm>
+
+namespace ppd::core {
+namespace {
+
+/// Checks every loop in the subtree of `node`: all must be do-all or
+/// reduction. Collects the classified loops.
+bool all_loops_doall_or_reduction(const prof::Profile& profile, const pet::Pet& pet,
+                                  pet::NodeIndex node, GeometricDecomposition* out) {
+  std::vector<pet::NodeIndex> stack{node};
+  bool ok = true;
+  while (!stack.empty()) {
+    const pet::PetNode& n = pet.node(stack.back());
+    stack.pop_back();
+    if (n.is_loop()) {
+      switch (classify_loop(profile, n.region)) {
+        case LoopClass::DoAll:
+          if (out != nullptr) out->doall_loops.push_back(n.index);
+          break;
+        case LoopClass::Reduction:
+          if (out != nullptr) out->reduction_loops.push_back(n.index);
+          break;
+        case LoopClass::Sequential:
+          ok = false;
+          break;
+      }
+      if (!ok) return false;
+    }
+    for (pet::NodeIndex child : n.children) stack.push_back(child);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_geometric_decomposition(const prof::Profile& profile, const pet::Pet& pet,
+                                pet::NodeIndex func_node, GeometricDecomposition* out) {
+  const pet::PetNode& func = pet.node(func_node);
+  if (!func.is_function()) return false;
+
+  GeometricDecomposition local;
+  local.function = func.region;
+  local.node = func_node;
+
+  // Algorithm 2: immediate children. A loop child must itself be
+  // do-all/reduction and so must every loop nested below it; a function
+  // child must contain only do-all/reduction loops.
+  bool any_loop = false;
+  for (pet::NodeIndex child_index : func.children) {
+    const pet::PetNode& child = pet.node(child_index);
+    const std::size_t loops_before = local.doall_loops.size() + local.reduction_loops.size();
+    if (!all_loops_doall_or_reduction(profile, pet, child_index, &local)) return false;
+    if (local.doall_loops.size() + local.reduction_loops.size() > loops_before ||
+        child.is_loop()) {
+      any_loop = true;
+    }
+  }
+  if (!any_loop) return false;
+
+  if (out != nullptr) *out = std::move(local);
+  return true;
+}
+
+std::vector<GeometricDecomposition> detect_geometric_decomposition(
+    const prof::Profile& profile, const pet::Pet& pet, double hotspot_fraction) {
+  std::vector<GeometricDecomposition> result;
+  for (pet::NodeIndex node : pet.hotspots(hotspot_fraction)) {
+    if (!pet.node(node).is_function()) continue;
+    GeometricDecomposition gd;
+    if (is_geometric_decomposition(profile, pet, node, &gd)) {
+      result.push_back(std::move(gd));
+    }
+  }
+  return result;
+}
+
+}  // namespace ppd::core

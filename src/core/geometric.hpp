@@ -1,0 +1,40 @@
+// Geometric-decomposition detection (§III-C, Algorithm 2).
+//
+// A hotspot function is a geometric-decomposition candidate when every loop
+// among its immediate PET children is do-all or reduction, and every
+// directly called function likewise contains only do-all/reduction loops.
+// Such a function can be invoked on separate chunks of its input data from
+// separate threads (SPMD), which coarsens granularity compared to
+// parallelizing each loop individually.
+#pragma once
+
+#include <vector>
+
+#include "core/loop_class.hpp"
+#include "pet/pet.hpp"
+#include "prof/dependence.hpp"
+
+namespace ppd::core {
+
+/// One geometric-decomposition candidate.
+struct GeometricDecomposition {
+  RegionId function;
+  pet::NodeIndex node = pet::kInvalidPetNode;
+  /// Loops (PET nodes) inside that were classified do-all.
+  std::vector<pet::NodeIndex> doall_loops;
+  /// Loops (PET nodes) inside that were classified reduction.
+  std::vector<pet::NodeIndex> reduction_loops;
+};
+
+/// Algorithm 2 on one function node. Returns true (and fills the loop
+/// lists) when the function qualifies. A function with no loops anywhere
+/// does not qualify (there is nothing to decompose).
+[[nodiscard]] bool is_geometric_decomposition(const prof::Profile& profile,
+                                              const pet::Pet& pet, pet::NodeIndex func_node,
+                                              GeometricDecomposition* out = nullptr);
+
+/// All geometric-decomposition candidates among hotspot functions.
+[[nodiscard]] std::vector<GeometricDecomposition> detect_geometric_decomposition(
+    const prof::Profile& profile, const pet::Pet& pet, double hotspot_fraction = 0.02);
+
+}  // namespace ppd::core

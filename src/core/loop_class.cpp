@@ -1,0 +1,128 @@
+#include "core/loop_class.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace ppd::core {
+
+const char* to_string(LoopClass cls) {
+  switch (cls) {
+    case LoopClass::DoAll: return "do-all";
+    case LoopClass::Reduction: return "reduction";
+    case LoopClass::Sequential: return "sequential";
+  }
+  return "?";
+}
+
+std::vector<ReductionCandidate> detect_reductions(const prof::Profile& profile,
+                                                  RegionId loop, bool address_refinement) {
+  std::vector<ReductionCandidate> result;
+  auto it = profile.carried_vars.find(loop);
+  if (it == profile.carried_vars.end()) return result;
+
+  for (const auto& [var, access] : it->second) {
+    // Algorithm 3: exactly one write line, reads only at that same line.
+    if (access.write_lines.size() != 1) continue;
+    if (access.read_lines.size() != 1) continue;
+    if (*access.read_lines.begin() != *access.write_lines.begin()) continue;
+    // Dynamic refinement: a reduction re-updates the same accumulator
+    // addresses iteration after iteration.
+    if (address_refinement && access.occurrences < 2 * access.addresses.size()) continue;
+    ReductionCandidate candidate{loop, var, *access.write_lines.begin(),
+                                 trace::UpdateOp::None};
+    // Operator inference: a single consistent tag across every
+    // participating write names the operator.
+    if (access.ops.size() == 1) candidate.op = *access.ops.begin();
+    result.push_back(candidate);
+  }
+  std::sort(result.begin(), result.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.line, a.var) < std::tie(b.line, b.var);
+  });
+  return result;
+}
+
+std::vector<ReductionCandidate> detect_reductions(const prof::Profile& profile) {
+  std::vector<ReductionCandidate> result;
+  for (const auto& [loop, info] : profile.loops) {
+    auto candidates = detect_reductions(profile, loop);
+    result.insert(result.end(), candidates.begin(), candidates.end());
+  }
+  std::sort(result.begin(), result.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.loop, a.line, a.var) < std::tie(b.loop, b.line, b.var);
+  });
+  return result;
+}
+
+LoopAnalysis analyze_loop(const prof::Profile& profile, RegionId loop) {
+  LoopAnalysis out;
+  out.cls = classify_loop(profile, loop);
+  out.reductions = detect_reductions(profile, loop);
+
+  const auto carried = profile.carried_in(loop);
+  auto is_reduction_var = [&](VarId v) {
+    return std::any_of(out.reductions.begin(), out.reductions.end(),
+                       [&](const ReductionCandidate& r) { return r.var == v; });
+  };
+
+  // Group the carried dependences per variable.
+  std::vector<VarId> raw_vars;
+  std::vector<VarId> waronly_vars;
+  for (const prof::Dependence* dep : carried) {
+    if (dep->kind == prof::DepKind::Raw && !is_reduction_var(dep->var)) {
+      raw_vars.push_back(dep->var);
+    }
+  }
+  std::sort(raw_vars.begin(), raw_vars.end());
+  raw_vars.erase(std::unique(raw_vars.begin(), raw_vars.end()), raw_vars.end());
+
+  for (const prof::Dependence* dep : carried) {
+    const VarId v = dep->var;
+    if (is_reduction_var(v)) continue;
+    if (std::binary_search(raw_vars.begin(), raw_vars.end(), v)) continue;
+    waronly_vars.push_back(v);  // only WAR/WAW carried: privatizable
+  }
+  std::sort(waronly_vars.begin(), waronly_vars.end());
+  waronly_vars.erase(std::unique(waronly_vars.begin(), waronly_vars.end()),
+                     waronly_vars.end());
+  out.privatizable = std::move(waronly_vars);
+
+  if (out.cls == LoopClass::Sequential) {
+    out.doall_after_transform = raw_vars.empty() && !out.privatizable.empty();
+  }
+
+  // Residual carried RAW dependences -> do-across characterization.
+  std::uint64_t min_distance = ~std::uint64_t{0};
+  bool regular = true;
+  bool any = false;
+  for (const prof::Dependence* dep : carried) {
+    if (dep->kind != prof::DepKind::Raw || is_reduction_var(dep->var)) continue;
+    any = true;
+    min_distance = std::min(min_distance, dep->min_distance);
+    if (dep->min_distance != dep->max_distance) regular = false;
+  }
+  if (any) {
+    out.doacross_distance = min_distance;
+    out.doacross_regular = regular;
+  }
+  return out;
+}
+
+LoopClass classify_loop(const prof::Profile& profile, RegionId loop) {
+  const auto carried = profile.carried_in(loop);
+  if (carried.empty()) return LoopClass::DoAll;
+
+  const auto reductions = detect_reductions(profile, loop);
+  auto is_reduction_dep = [&](const prof::Dependence& dep) {
+    return std::any_of(reductions.begin(), reductions.end(),
+                       [&](const ReductionCandidate& r) {
+                         return r.var == dep.var && r.line == dep.source.line &&
+                                r.line == dep.sink.line;
+                       });
+  };
+  const bool all_reduction = std::all_of(
+      carried.begin(), carried.end(),
+      [&](const prof::Dependence* dep) { return is_reduction_dep(*dep); });
+  return all_reduction && !reductions.empty() ? LoopClass::Reduction : LoopClass::Sequential;
+}
+
+}  // namespace ppd::core

@@ -1,0 +1,85 @@
+// Per-loop classification: do-all, reduction, or sequential.
+//
+// Do-all and reduction classification is the substrate several detectors
+// share: fusion requires both loops to be do-all (§III-A), geometric
+// decomposition requires every loop of a function to be do-all or reduction
+// (Algorithm 2), and Table III's "+ Do-all" annotations come from here.
+#pragma once
+
+#include <vector>
+
+#include "prof/dependence.hpp"
+#include "trace/events.hpp"
+#include "support/ids.hpp"
+
+namespace ppd::core {
+
+/// Reduction candidate found by Algorithm 3.
+struct ReductionCandidate {
+  RegionId loop;
+  VarId var;
+  SourceLine line = 0;  ///< the single source line performing the update
+  /// Inferred reduction operator (None when the kernel was traced with
+  /// untagged writes or the tags are inconsistent). The paper leaves
+  /// operator identification to the programmer (§III-D) and names automatic
+  /// inference as future work (§VI); tagged self-updates provide it here.
+  trace::UpdateOp op = trace::UpdateOp::None;
+};
+
+/// How a loop can be parallelized on its own.
+enum class LoopClass {
+  DoAll,      ///< no loop-carried dependences
+  Reduction,  ///< the only carried dependences are reduction updates
+  Sequential, ///< other carried dependences present
+};
+
+[[nodiscard]] const char* to_string(LoopClass cls);
+
+/// Algorithm 3 over the profiled inter-iteration access summaries: a
+/// variable written at exactly one source line of the loop and read only at
+/// that same line is a reduction candidate. As a dynamic refinement, the
+/// dependence must re-update the same accumulator addresses across
+/// iterations (occurrences exceeding distinct addresses); this separates
+/// reductions from single-visit stencil chains such as reg_detect's
+/// `path[i][j] = path[i-1][j-1] + ...`, which Algorithm 3's line test alone
+/// cannot distinguish.
+/// `address_refinement` enables the dynamic refinement described above;
+/// disabling it yields the paper's plain line test (the ablation bench shows
+/// the stencil false positives that reappear without it).
+[[nodiscard]] std::vector<ReductionCandidate> detect_reductions(const prof::Profile& profile,
+                                                                RegionId loop,
+                                                                bool address_refinement = true);
+
+/// All reduction candidates of every profiled loop.
+[[nodiscard]] std::vector<ReductionCandidate> detect_reductions(const prof::Profile& profile);
+
+/// Classifies `loop`: do-all if it has no loop-carried dependences,
+/// reduction if all carried dependences belong to reduction candidates,
+/// sequential otherwise.
+[[nodiscard]] LoopClass classify_loop(const prof::Profile& profile, RegionId loop);
+
+/// Extended per-loop analysis covering the transformations related tools
+/// detect (§V: Sambamba lists privatization and do-across): which carried
+/// dependences are removable and what remains.
+struct LoopAnalysis {
+  LoopClass cls = LoopClass::Sequential;
+  std::vector<ReductionCandidate> reductions;
+  /// Variables whose only carried dependences are WAR/WAW: each iteration
+  /// writes before (or without) reading the previous iteration's value, so
+  /// a per-thread private copy removes the dependence.
+  std::vector<VarId> privatizable;
+  /// True when the loop is Sequential but privatization + reduction remove
+  /// *all* carried dependences: a do-all after transformation.
+  bool doall_after_transform = false;
+  /// Minimum iteration distance over the residual carried RAW dependences
+  /// (0 when there are none): a regular distance d >= 1 admits a do-across
+  /// schedule where iteration i+d starts once iteration i finished.
+  std::uint64_t doacross_distance = 0;
+  /// True when every residual carried RAW dependence has one constant
+  /// distance (the do-across synchronization is a fixed stride).
+  bool doacross_regular = false;
+};
+
+[[nodiscard]] LoopAnalysis analyze_loop(const prof::Profile& profile, RegionId loop);
+
+}  // namespace ppd::core

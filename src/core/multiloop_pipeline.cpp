@@ -1,0 +1,166 @@
+#include "core/multiloop_pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "support/table.hpp"
+
+namespace ppd::core {
+
+std::vector<MultiLoopPipeline> detect_pipelines(const prof::Profile& profile,
+                                                const pet::Pet& pet,
+                                                const PipelineConfig& config) {
+  auto is_hotspot_loop = [&](RegionId loop) {
+    const pet::NodeIndex node = pet.find(loop);
+    if (node == pet::kInvalidPetNode) return false;
+    return pet.cost_fraction(node) >= config.hotspot_fraction;
+  };
+
+  std::vector<MultiLoopPipeline> result;
+  for (const auto& [key, pairs] : profile.loop_pairs) {
+    if (pairs.size() < config.min_samples) continue;
+    if (!is_hotspot_loop(key.x) || !is_hotspot_loop(key.y)) continue;
+
+    MultiLoopPipeline p;
+    p.loop_x = key.x;
+    p.loop_y = key.y;
+    p.fit = regress::fit(pairs);
+    const prof::LoopInfo* info_x = profile.loop_info(key.x);
+    const prof::LoopInfo* info_y = profile.loop_info(key.y);
+    p.nx = info_x != nullptr ? info_x->max_iterations : 0;
+    p.ny = info_y != nullptr ? info_y->max_iterations : 0;
+    p.shared_addresses = pairs.size();  // one recorded pair per communicated address
+    p.x_footprint = info_x != nullptr ? info_x->distinct_addresses : 0;
+    p.y_footprint = info_y != nullptr ? info_y->distinct_addresses : 0;
+    p.e = regress::efficiency_factor(p.fit, static_cast<double>(p.nx),
+                                     static_cast<double>(p.ny));
+    p.x_class = classify_loop(profile, key.x);
+    p.y_class = classify_loop(profile, key.y);
+    p.fusion = p.x_class == LoopClass::DoAll && p.y_class == LoopClass::DoAll &&
+               std::abs(p.fit.a - 1.0) <= config.coefficient_tolerance &&
+               std::abs(p.fit.b) <= config.coefficient_tolerance;
+    result.push_back(p);
+  }
+
+  // A pair is useless when it is itself inefficient (e ~ 0: loop y waits
+  // for nearly all of loop x, §III-A) or when some other hotspot producer z
+  // blocks loop y entirely: y then waits for all of z regardless of the
+  // (x, y) overlap, and the region is a task-graph case (e.g. 3mm), not a
+  // pipeline.
+  // Pass 1 — self-blocked pairs: inefficient (e ~ 0: loop y waits for
+  // nearly all of loop x, §III-A), or a reversed dependence (a < 0): later
+  // consumer iterations depend on *earlier* producer iterations, so the
+  // first consumer iteration already needs the producer's tail and no
+  // overlap exists, even though Eq. 2's area ratio is direction-blind.
+  std::vector<bool> self_blocked(result.size(), false);
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    self_blocked[i] = result[i].fit.a < 0.0 || result[i].e < config.blocking_efficiency;
+    result[i].blocked = self_blocked[i];
+  }
+  // Pass 2 — a consumer stalled by one producer gains nothing from
+  // overlapping any other producer (the 3mm case): every pair feeding the
+  // same consumer loop is blocked too.
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    if (result[i].blocked) continue;
+    for (std::size_t j = 0; j < result.size(); ++j) {
+      if (i != j && self_blocked[j] && result[j].loop_y == result[i].loop_y) {
+        result[i].blocked = true;
+        break;
+      }
+    }
+  }
+
+  std::sort(result.begin(), result.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.loop_x, a.loop_y) < std::tie(b.loop_x, b.loop_y);
+  });
+  return result;
+}
+
+std::vector<PipelineChain> build_pipeline_chains(
+    const std::vector<MultiLoopPipeline>& pipelines) {
+  // Usable links only.
+  std::vector<const MultiLoopPipeline*> links;
+  for (const MultiLoopPipeline& p : pipelines) {
+    if (!p.blocked) links.push_back(&p);
+  }
+
+  auto outgoing = [&](RegionId loop) {
+    std::vector<const MultiLoopPipeline*> out;
+    for (const MultiLoopPipeline* p : links) {
+      if (p->loop_x == loop) out.push_back(p);
+    }
+    return out;
+  };
+  auto incoming_count = [&](RegionId loop) {
+    std::size_t n = 0;
+    for (const MultiLoopPipeline* p : links) {
+      if (p->loop_y == loop) ++n;
+    }
+    return n;
+  };
+
+  std::vector<PipelineChain> chains;
+  std::vector<bool> used(links.size(), false);
+  for (std::size_t start = 0; start < links.size(); ++start) {
+    if (used[start]) continue;
+    const MultiLoopPipeline* first = links[start];
+    // Chains start at a loop with no usable producer (or a branch point).
+    if (incoming_count(first->loop_x) == 1) continue;
+
+    PipelineChain chain;
+    chain.stages.push_back(first->loop_x);
+    const MultiLoopPipeline* current = first;
+    for (;;) {
+      const auto it = std::find(links.begin(), links.end(), current);
+      used[static_cast<std::size_t>(it - links.begin())] = true;
+      chain.links.push_back(current);
+      chain.stages.push_back(current->loop_y);
+      const auto next = outgoing(current->loop_y);
+      // Extend only through unambiguous, unconsumed single links.
+      if (next.size() != 1 || incoming_count(next.front()->loop_y) != 1) break;
+      const auto next_it = std::find(links.begin(), links.end(), next.front());
+      if (used[static_cast<std::size_t>(next_it - links.begin())]) break;
+      current = next.front();
+    }
+    chains.push_back(std::move(chain));
+  }
+  // Any links left (cycles/branches): emit them as two-stage chains.
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if (used[i]) continue;
+    PipelineChain chain;
+    chain.stages = {links[i]->loop_x, links[i]->loop_y};
+    chain.links = {links[i]};
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+std::string describe_coefficients(double a, double b, double tolerance) {
+  std::string out;
+  if (std::abs(a - 1.0) <= tolerance) {
+    out += "a = 1: one iteration of loop y depends exactly on one iteration of loop x.";
+  } else if (std::abs(a) <= tolerance * 0.1) {
+    out += "a = 0: every iteration of loop y depends on (nearly) all iterations of "
+           "loop x.";
+  } else if (a < 1.0) {
+    out += "a < 1: one iteration of loop y depends on " +
+           support::format_fixed(1.0 / a, 1) + " iterations of loop x.";
+  } else {
+    out += "a > 1: " + support::format_fixed(a, 1) +
+           " iterations of loop y can be executed after one iteration of loop x.";
+  }
+  out += ' ';
+  if (std::abs(b) <= tolerance) {
+    out += "b = 0: iteration i of loop y depends on iteration i of loop x.";
+  } else if (b < 0.0) {
+    out += "b < 0: no iteration of loop y depends on the first " +
+           support::format_fixed(-b, 1) + " iterations of loop x.";
+  } else {
+    out += "b > 0: the first " + support::format_fixed(b, 1) +
+           " iterations of loop y do not depend on any iteration of loop x.";
+  }
+  return out;
+}
+
+}  // namespace ppd::core

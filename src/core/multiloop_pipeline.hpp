@@ -1,0 +1,91 @@
+// Multi-loop pipeline and loop-fusion detection (§III-A).
+//
+// A multi-loop pipeline is a pipeline hidden across two (or more) loops:
+// iterations of a later loop depend on iterations of an earlier loop. The
+// detector takes the iteration pairs (i_x, i_y) the profiler filtered out
+// (last write of an address in loop x, first read in loop y), fits the line
+// Y = aX + b by linear regression (Eq. 1), and computes the efficiency
+// factor e (Eq. 2). Table II's interpretation of a and b is provided as
+// text. Fusion is the special case where both loops are do-all and a = 1,
+// b = 0: the loops can be merged and parallelized as a single do-all.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/loop_class.hpp"
+#include "pet/pet.hpp"
+#include "prof/dependence.hpp"
+#include "regress/linreg.hpp"
+
+namespace ppd::core {
+
+/// One detected loop-pair relationship. Chains of n dependent loops yield
+/// n-1 of these (§III-A).
+struct MultiLoopPipeline {
+  RegionId loop_x;
+  RegionId loop_y;
+  regress::LinearFit fit;  ///< Y = aX + b over the recorded iteration pairs
+  double e = 0.0;          ///< efficiency factor (Eq. 2)
+  std::uint64_t nx = 0;    ///< trip count of loop x
+  std::uint64_t ny = 0;    ///< trip count of loop y
+  /// Distinct addresses flowing from x to y (the recorded last-writer /
+  /// first-reader pairs), and each loop's own footprint: the inputs to the
+  /// locality argument for fusion (§III-A).
+  std::uint64_t shared_addresses = 0;
+  std::uint64_t x_footprint = 0;
+  std::uint64_t y_footprint = 0;
+  LoopClass x_class = LoopClass::Sequential;
+  LoopClass y_class = LoopClass::Sequential;
+  bool fusion = false;  ///< both do-all with a=1, b=0 (hence e=1)
+  /// True when the pair itself is unusable (e ~ 0, or a reversed a < 0
+  /// dependence whose first consumer iteration needs the producer's tail)
+  /// or when another hotspot loop pair (z, y) blocks loop y entirely:
+  /// y cannot start until z finishes, so pipelining (x, y) buys nothing and
+  /// the region is better handled as a task graph.
+  bool blocked = false;
+
+  [[nodiscard]] std::size_t samples() const { return fit.samples; }
+};
+
+/// Detector configuration.
+struct PipelineConfig {
+  /// Minimum inclusive-cost share for a loop to count as a hotspot; only
+  /// hotspot loop pairs are analyzed (§III-A gathers hotspot pairs from the
+  /// PET).
+  double hotspot_fraction = 0.02;
+  /// Minimum number of filtered iteration pairs for a meaningful regression.
+  std::size_t min_samples = 3;
+  /// Coefficient tolerance for the exact a=1, b=0 fusion test.
+  double coefficient_tolerance = 1e-6;
+  /// Efficiency below which a producing pair blocks its consumer loop.
+  double blocking_efficiency = 0.1;
+};
+
+/// Detects all multi-loop pipeline relationships between hotspot loops.
+[[nodiscard]] std::vector<MultiLoopPipeline> detect_pipelines(
+    const prof::Profile& profile, const pet::Pet& pet, const PipelineConfig& config = {});
+
+/// Table II: plain-text interpretation of the regression coefficients.
+[[nodiscard]] std::string describe_coefficients(double a, double b,
+                                                double tolerance = 1e-6);
+
+/// A chain of dependent loops (§III-A: "if there is a chain dependence of n
+/// loops, it gives n pairs of relationships. A pipeline of n stages can be
+/// easily implemented by merging the information provided by the tool.").
+/// stages[i] feeds stages[i+1]; links[i] is the detected relationship
+/// between them.
+struct PipelineChain {
+  std::vector<RegionId> stages;
+  std::vector<const MultiLoopPipeline*> links;
+
+  [[nodiscard]] std::size_t stage_count() const { return stages.size(); }
+};
+
+/// Merges the pairwise relationships into maximal chains. Only unblocked
+/// pairs participate; a loop feeding (or fed by) several loops starts/ends a
+/// chain at the branch point.
+[[nodiscard]] std::vector<PipelineChain> build_pipeline_chains(
+    const std::vector<MultiLoopPipeline>& pipelines);
+
+}  // namespace ppd::core

@@ -1,0 +1,170 @@
+#include "core/omp_codegen.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/table.hpp"
+
+namespace ppd::core {
+namespace {
+
+std::string region_name(const trace::TraceContext& program, RegionId region) {
+  return region.valid() ? program.region(region).name : std::string("<unknown>");
+}
+
+const char* omp_operator(trace::UpdateOp op) {
+  switch (op) {
+    case trace::UpdateOp::Sum: return "+";
+    case trace::UpdateOp::Product: return "*";
+    case trace::UpdateOp::Min: return "min";
+    case trace::UpdateOp::Max: return "max";
+    case trace::UpdateOp::None: return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<OmpSuggestion> generate_openmp(const AnalysisResult& analysis,
+                                           const trace::TraceContext& program) {
+  std::vector<OmpSuggestion> out;
+
+  // Fused loops / pipelines.
+  for (const MultiLoopPipeline* p : analysis.reported_pipelines()) {
+    OmpSuggestion s;
+    s.region = p->loop_x;
+    if (p->fusion) {
+      s.construct = "#pragma omp parallel for";
+      s.note = "after fusing '" + region_name(program, p->loop_x) + "' and '" +
+               region_name(program, p->loop_y) + "' into one loop body";
+    } else {
+      s.construct =
+          "#pragma omp parallel sections\n"
+          "{\n"
+          "  #pragma omp section\n"
+          "  { /* stage 1: " +
+          region_name(program, p->loop_x) +
+          (p->x_class == LoopClass::DoAll ? " (internally a parallel for)" : "") +
+          ", publish completed iterations */ }\n"
+          "  #pragma omp section\n"
+          "  { /* stage 2: " +
+          region_name(program, p->loop_y) + ", before iteration j wait for " +
+          std::to_string(static_cast<long long>(p->fit.a == 0.0
+                                                    ? 0
+                                                    : 1)) +
+          "*ceil((j - (" + support::format_fixed(p->fit.b, 2) + ")) / " +
+          support::format_fixed(p->fit.a, 2) + ") stage-1 iterations */ }\n"
+          "}";
+      s.note = "the stage handshake needs a progress counter (see "
+               "rt::pipelined_loop_pair for a reference implementation)";
+    }
+    out.push_back(std::move(s));
+  }
+
+  // Reductions, grouped per loop so several accumulators share one clause.
+  std::map<RegionId, std::vector<const ReductionCandidate*>> by_loop;
+  for (const ReductionCandidate& r : analysis.reductions) {
+    by_loop[r.loop].push_back(&r);
+  }
+  for (const auto& [loop, candidates] : by_loop) {
+    // One clause per operator present in the loop.
+    std::map<std::string, std::vector<std::string>> per_op;
+    bool unknown = false;
+    for (const ReductionCandidate* r : candidates) {
+      const char* op = omp_operator(r->op);
+      if (op == nullptr) {
+        unknown = true;
+        per_op["?"].push_back(program.var_info(r->var).name);
+      } else {
+        per_op[op].push_back(program.var_info(r->var).name);
+      }
+    }
+    OmpSuggestion s;
+    s.region = loop;
+    s.construct = "#pragma omp parallel for";
+    for (const auto& [op, vars] : per_op) {
+      s.construct += " reduction(" + op + ":";
+      for (std::size_t i = 0; i < vars.size(); ++i) {
+        s.construct += (i > 0 ? "," : "") + vars[i];
+      }
+      s.construct += ")";
+    }
+    s.note = "for loop '" + region_name(program, loop) + "'";
+    if (unknown) {
+      s.note += "; the '?' operator was not inferred — confirm associativity and "
+                "substitute it";
+    }
+    out.push_back(std::move(s));
+  }
+
+  // Task parallelism: the fork/worker/barrier classification as tasks.
+  for (const ScopeTaskParallelism& t : analysis.tasks) {
+    if (t.tp.worker_count() < 2) continue;
+    OmpSuggestion s;
+    s.region = t.tp.scope;
+    s.construct = "#pragma omp parallel\n#pragma omp single\n{\n";
+    for (std::size_t i = 0; i < t.tp.roles.size(); ++i) {
+      const auto& cu = t.graph.cu(static_cast<graph::NodeIndex>(i));
+      if (t.tp.roles[i] == CuRole::Worker) {
+        s.construct += "  #pragma omp task  // " + cu.name + "\n  { ... }\n";
+      } else if (t.tp.roles[i] == CuRole::Barrier) {
+        s.construct += "  #pragma omp taskwait  // before " + cu.name + "\n  // " +
+                       cu.name + " ...\n";
+      }
+    }
+    s.construct += "}";
+    s.note = "in '" + region_name(program, t.tp.scope) + "'; " +
+             std::to_string(t.tp.parallel_barriers.size()) +
+             " barrier pair(s) may themselves run as sibling tasks";
+    out.push_back(std::move(s));
+  }
+
+  // Geometric decomposition: chunked SPMD call.
+  for (const GeometricDecomposition& gd : analysis.geometric) {
+    OmpSuggestion s;
+    s.region = gd.function;
+    s.construct =
+        "#pragma omp parallel\n"
+        "{\n"
+        "  int chunk = omp_get_thread_num();\n"
+        "  " +
+        region_name(program, gd.function) +
+        "(data + chunk * chunk_size, chunk_size);\n"
+        "}";
+    s.note = "split the input of '" + region_name(program, gd.function) +
+             "' into per-thread chunks; combine per-chunk results afterwards";
+    out.push_back(std::move(s));
+  }
+
+  // Do-across schedules for residual sequential hotspot loops.
+  for (pet::NodeIndex node : analysis.pet.hotspots(0.02)) {
+    const pet::PetNode& n = analysis.pet.node(node);
+    if (!n.is_loop()) continue;
+    const LoopAnalysis la = analyze_loop(analysis.profile, n.region);
+    if (la.cls != LoopClass::Sequential) continue;
+    if (la.doall_after_transform) {
+      OmpSuggestion s;
+      s.region = n.region;
+      s.construct = "#pragma omp parallel for private(";
+      for (std::size_t i = 0; i < la.privatizable.size(); ++i) {
+        s.construct += (i > 0 ? "," : "") + program.var_info(la.privatizable[i]).name;
+      }
+      s.construct += ")";
+      s.note = "for loop '" + n.name + "': privatization removes every carried dependence";
+      out.push_back(std::move(s));
+    } else if (la.doacross_regular && la.doacross_distance >= 1) {
+      OmpSuggestion s;
+      s.region = n.region;
+      s.construct = "#pragma omp parallel for ordered(1)\n...\n#pragma omp ordered depend(sink: i-" +
+                    std::to_string(la.doacross_distance) +
+                    ")\n...\n#pragma omp ordered depend(source)";
+      s.note = "do-across schedule for loop '" + n.name + "' (constant distance " +
+               std::to_string(la.doacross_distance) + ")";
+      out.push_back(std::move(s));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace ppd::core

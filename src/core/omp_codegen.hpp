@@ -1,0 +1,32 @@
+// OpenMP skeleton generation from detected patterns.
+//
+// The paper's conclusion aims at "semi-automatic code transformation of a
+// sequential application into a parallel one" (§VI). This module turns each
+// detected pattern into the concrete OpenMP construct a programmer would
+// paste in: `parallel for` for do-all and fused loops, `reduction(op:vars)`
+// clauses with the inferred operator, `task`/`taskwait` skeletons following
+// the fork/worker/barrier classification, `ordered depend` loops for
+// do-across schedules, and chunked `parallel` regions for geometric
+// decomposition.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+
+namespace ppd::core {
+
+/// One generated suggestion: where it applies and the code to paste.
+struct OmpSuggestion {
+  RegionId region;        ///< the loop/function the construct wraps
+  std::string construct;  ///< the pragma line(s), '\n'-separated
+  std::string note;       ///< what the programmer still has to check
+};
+
+/// Generates OpenMP constructs for every detected pattern instance,
+/// primary-pattern suggestions first.
+[[nodiscard]] std::vector<OmpSuggestion> generate_openmp(const AnalysisResult& analysis,
+                                                         const trace::TraceContext& program);
+
+}  // namespace ppd::core

@@ -1,0 +1,55 @@
+#include "core/pattern.hpp"
+
+namespace ppd::core {
+
+const char* to_string(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::None: return "None";
+    case PatternKind::DoAll: return "Do-all";
+    case PatternKind::Reduction: return "Reduction";
+    case PatternKind::GeometricDecomposition: return "Geometric decomposition";
+    case PatternKind::TaskParallelism: return "Task parallelism";
+    case PatternKind::MultiLoopPipeline: return "Multi-loop pipeline";
+    case PatternKind::Fusion: return "Fusion";
+  }
+  return "?";
+}
+
+const char* supporting_structure(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::TaskParallelism:
+      return "Master/worker";
+    case PatternKind::GeometricDecomposition:
+    case PatternKind::Reduction:
+    case PatternKind::MultiLoopPipeline:
+    case PatternKind::Fusion:
+    case PatternKind::DoAll:
+      return "SPMD";
+    case PatternKind::None:
+      return "-";
+  }
+  return "?";
+}
+
+PatternType pattern_type(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::TaskParallelism:
+      return PatternType::ByTask;
+    case PatternKind::MultiLoopPipeline:
+    case PatternKind::Fusion:
+      return PatternType::ByFlowOfData;
+    default:
+      return PatternType::ByData;
+  }
+}
+
+const char* to_string(PatternType type) {
+  switch (type) {
+    case PatternType::ByTask: return "Task";
+    case PatternType::ByData: return "Data";
+    case PatternType::ByFlowOfData: return "Flow of data";
+  }
+  return "?";
+}
+
+}  // namespace ppd::core

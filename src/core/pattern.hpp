@@ -1,0 +1,35 @@
+// Pattern taxonomy: the algorithm-structure design space covered by the
+// paper and its mapping onto supporting structures (Table I).
+#pragma once
+
+#include <string>
+
+namespace ppd::core {
+
+/// Algorithm-structure patterns detected by this library.
+enum class PatternKind {
+  None,
+  DoAll,
+  Reduction,
+  GeometricDecomposition,
+  TaskParallelism,
+  MultiLoopPipeline,
+  Fusion,
+};
+
+/// Organization principle of the pattern (Table I, "Type" row).
+enum class PatternType { ByTask, ByData, ByFlowOfData };
+
+[[nodiscard]] const char* to_string(PatternKind kind);
+
+/// Table I: the best supporting structure for implementing each pattern
+/// ("Master/worker" for task parallelism, "SPMD" for the data-organized
+/// and flow-organized patterns).
+[[nodiscard]] const char* supporting_structure(PatternKind kind);
+
+/// Table I: whether the pattern organizes by task, by data, or by data flow.
+[[nodiscard]] PatternType pattern_type(PatternKind kind);
+
+[[nodiscard]] const char* to_string(PatternType type);
+
+}  // namespace ppd::core

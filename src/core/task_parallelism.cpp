@@ -1,0 +1,117 @@
+#include "core/task_parallelism.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/assert.hpp"
+
+namespace ppd::core {
+
+const char* to_string(CuRole role) {
+  switch (role) {
+    case CuRole::Unmarked: return "unmarked";
+    case CuRole::Fork: return "fork";
+    case CuRole::Worker: return "worker";
+    case CuRole::Barrier: return "barrier";
+  }
+  return "?";
+}
+
+std::size_t TaskParallelism::worker_count() const {
+  return static_cast<std::size_t>(
+      std::count(roles.begin(), roles.end(), CuRole::Worker));
+}
+
+std::size_t TaskParallelism::barrier_count() const {
+  return static_cast<std::size_t>(
+      std::count(roles.begin(), roles.end(), CuRole::Barrier));
+}
+
+TaskParallelism detect_task_parallelism(const cu::CuGraph& cu_graph) {
+  const graph::Digraph& g = cu_graph.graph;
+  const std::size_t n = g.node_count();
+
+  TaskParallelism result;
+  result.scope = cu_graph.scope;
+  result.roles.assign(n, CuRole::Unmarked);
+
+  // Algorithm 1. CU graph nodes are already in serial order, so the first
+  // unmarked CU is the lowest unmarked index. Each node enters the queue at
+  // most once per marking event (first mark or barrier upgrade), which
+  // bounds the traversal on diamonds and keeps the paper's semantics.
+  std::deque<graph::NodeIndex> queue;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (result.roles[start] != CuRole::Unmarked) continue;
+    result.roles[start] = CuRole::Fork;
+    queue.push_back(static_cast<graph::NodeIndex>(start));
+    while (!queue.empty()) {
+      const graph::NodeIndex node = queue.front();
+      queue.pop_front();
+      ForkGroup group;
+      group.fork = node;
+      for (graph::NodeIndex dep : g.successors(node)) {
+        if (result.roles[dep] == CuRole::Unmarked) {
+          result.roles[dep] = CuRole::Worker;
+          group.workers.push_back(dep);
+          queue.push_back(dep);
+        } else if (result.roles[dep] != CuRole::Barrier) {
+          // Already marked once: it depends on more than one CU.
+          result.roles[dep] = CuRole::Barrier;
+          queue.push_back(dep);
+        }
+      }
+      if (!group.workers.empty()) result.forks.push_back(std::move(group));
+    }
+  }
+
+  // checkParallelBarriers: two barriers can run in parallel iff there is no
+  // directed path between them in either direction.
+  std::vector<graph::NodeIndex> barriers;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (result.roles[i] == CuRole::Barrier) {
+      barriers.push_back(static_cast<graph::NodeIndex>(i));
+    }
+  }
+  for (std::size_t i = 0; i < barriers.size(); ++i) {
+    for (std::size_t j = i + 1; j < barriers.size(); ++j) {
+      if (!g.reachable(barriers[i], barriers[j]) &&
+          !g.reachable(barriers[j], barriers[i])) {
+        result.parallel_barriers.emplace_back(barriers[i], barriers[j]);
+      }
+    }
+  }
+
+  // Estimated speedup: total hotspot instructions / critical-path
+  // instructions (§III-B).
+  result.total_cost = g.total_weight();
+  const graph::Digraph::CriticalPath cp = g.critical_path();
+  result.critical_path_cost = cp.weight;
+  result.critical_path = cp.nodes;
+  result.estimated_speedup =
+      cp.weight == 0 ? 1.0
+                     : static_cast<double>(result.total_cost) /
+                           static_cast<double>(cp.weight);
+  return result;
+}
+
+std::string TaskParallelism::render(const cu::CuGraph& graph) const {
+  PPD_ASSERT(roles.size() == graph.size());
+  std::string out;
+  for (std::size_t i = 0; i < roles.size(); ++i) {
+    out += "CU_" + std::to_string(i) + " (" + graph.cu(static_cast<graph::NodeIndex>(i)).name +
+           "): " + to_string(roles[i]) + "\n";
+  }
+  for (const ForkGroup& f : forks) {
+    out += "CU_" + std::to_string(f.fork) + " forks";
+    for (graph::NodeIndex w : f.workers) out += " CU_" + std::to_string(w);
+    out += "\n";
+  }
+  for (const auto& [a, b] : parallel_barriers) {
+    out += "barriers CU_" + std::to_string(a) + " and CU_" + std::to_string(b) +
+           " can run in parallel\n";
+  }
+  out += "estimated speedup = " + std::to_string(estimated_speedup) + "\n";
+  return out;
+}
+
+}  // namespace ppd::core

@@ -1,0 +1,56 @@
+// Task-parallelism detection (§III-B, Algorithm 1).
+//
+// BFS over the CU graph of a hotspot region classifies CUs into fork,
+// worker, and barrier roles: the first unmarked CU in serial order becomes a
+// fork, its unmarked dependents become workers, and an already-marked
+// dependent becomes a barrier (it waits on more than one CU). Two barriers
+// can run in parallel iff neither reaches the other in the CU graph
+// (checkParallelBarriers). The estimated-speedup metric divides the
+// hotspot's total cost by the cost of the weighted critical path (Table V).
+// The fork/worker/barrier output maps directly onto master/worker and
+// fork/join supporting structures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cu/cu.hpp"
+#include "graph/digraph.hpp"
+
+namespace ppd::core {
+
+/// Role assigned to a CU by Algorithm 1.
+enum class CuRole { Unmarked, Fork, Worker, Barrier };
+
+[[nodiscard]] const char* to_string(CuRole role);
+
+/// One fork relationship: which CU forks which workers.
+struct ForkGroup {
+  graph::NodeIndex fork = 0;
+  std::vector<graph::NodeIndex> workers;
+};
+
+/// Result of task-parallelism detection on one CU graph.
+struct TaskParallelism {
+  RegionId scope;
+  std::vector<CuRole> roles;  ///< parallel to the CU graph's nodes
+  std::vector<ForkGroup> forks;
+  /// Barrier pairs with no directed path between them (may run in parallel).
+  std::vector<std::pair<graph::NodeIndex, graph::NodeIndex>> parallel_barriers;
+  Cost total_cost = 0;          ///< total instructions in the hotspot
+  Cost critical_path_cost = 0;  ///< instructions on the critical path
+  std::vector<graph::NodeIndex> critical_path;
+  double estimated_speedup = 1.0;
+
+  [[nodiscard]] std::size_t worker_count() const;
+  [[nodiscard]] std::size_t barrier_count() const;
+
+  /// Renders the classification (Fig. 3-style) as text.
+  [[nodiscard]] std::string render(const cu::CuGraph& graph) const;
+};
+
+/// Runs Algorithm 1 + checkParallelBarriers + the estimated-speedup metric
+/// on one CU graph.
+[[nodiscard]] TaskParallelism detect_task_parallelism(const cu::CuGraph& graph);
+
+}  // namespace ppd::core

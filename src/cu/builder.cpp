@@ -1,0 +1,293 @@
+#include "cu/builder.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <unordered_map>
+
+#include "support/assert.hpp"
+
+namespace ppd::cu {
+namespace {
+
+/// Plain union-find over site indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void merge(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<Cu> form_cus(const CuFacts& facts, const trace::TraceContext& program) {
+  std::vector<const SiteFacts*> sites;
+  sites.reserve(facts.sites().size());
+  for (const auto& [key, site] : facts.sites()) sites.push_back(&site);
+
+  auto is_local = [&](VarId v) { return program.var_info(v).local; };
+  auto is_explicit = [](const SiteFacts& s) { return s.key.stmt.valid(); };
+
+  UnionFind uf(sites.size());
+  for (std::size_t a = 0; a < sites.size(); ++a) {
+    for (std::size_t b = a + 1; b < sites.size(); ++b) {
+      const SiteFacts& sa = *sites[a];
+      const SiteFacts& sb = *sites[b];
+      if (sa.region != sb.region) continue;
+      if (is_explicit(sa) && is_explicit(sb)) continue;  // call-site CUs stay apart
+
+      // Rule (a): two auto sites updating the same global state variable are
+      // one read-compute-write unit (Fig. 1: lines 1 and 5 both write x).
+      if (!is_explicit(sa) && !is_explicit(sb)) {
+        bool shared_global_write = false;
+        for (VarId v : sa.writes) {
+          if (!is_local(v) && sb.writes.count(v) != 0) {
+            shared_global_write = true;
+            break;
+          }
+        }
+        if (shared_global_write) {
+          uf.merge(a, b);
+          continue;
+        }
+      }
+
+      // Rule (b): a local temporary written by one site and read by the
+      // other glues them into one CU (Fig. 1: a and b glue lines 3-5).
+      // Matching is by address: reusing a local's *name* elsewhere must not
+      // merge unrelated CUs.
+      auto glued = [](const SiteFacts& w, const SiteFacts& r) {
+        for (Address addr : w.local_writes) {
+          if (r.local_reads.count(addr) != 0) return true;
+        }
+        return false;
+      };
+      if (glued(sa, sb) || glued(sb, sa)) uf.merge(a, b);
+    }
+  }
+
+  std::map<std::size_t, Cu> groups;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const SiteFacts& site = *sites[i];
+    Cu& cu = groups[uf.find(i)];
+    cu.region = site.region;
+    cu.lines.insert(site.lines.begin(), site.lines.end());
+    if (site.key.stmt.valid()) cu.stmts.insert(site.key.stmt);
+    for (VarId v : site.writes) {
+      if (!is_local(v)) cu.state_vars.insert(v);
+    }
+    cu.cost += site.cost;
+    cu.serial_order = std::min(cu.serial_order == 0 ? ~std::uint64_t{0} : cu.serial_order,
+                               site.first_seq);
+  }
+
+  std::vector<Cu> cus;
+  cus.reserve(groups.size());
+  for (auto& [root, cu] : groups) cus.push_back(std::move(cu));
+  std::sort(cus.begin(), cus.end(),
+            [](const Cu& a, const Cu& b) { return a.serial_order < b.serial_order; });
+
+  for (std::size_t i = 0; i < cus.size(); ++i) {
+    Cu& cu = cus[i];
+    cu.id = CuId(static_cast<CuId::rep_type>(i));
+    if (!cu.stmts.empty()) {
+      cu.name = program.statement(*cu.stmts.begin()).name;
+    } else if (!cu.state_vars.empty()) {
+      cu.name = "CU_" + program.var_info(*cu.state_vars.begin()).name;
+    } else {
+      cu.name = "CU_line" + std::to_string(*cu.lines.begin());
+    }
+  }
+  return cus;
+}
+
+namespace {
+
+/// Endpoint-to-CU lookup tables.
+struct CuLookup {
+  std::unordered_map<StatementId, std::size_t> by_stmt;
+  std::map<std::pair<RegionId, SourceLine>, std::size_t> by_line;
+
+  explicit CuLookup(const std::vector<Cu>& cus) {
+    for (std::size_t i = 0; i < cus.size(); ++i) {
+      for (StatementId s : cus[i].stmts) by_stmt.emplace(s, i);
+      for (SourceLine line : cus[i].lines) by_line.emplace(std::pair{cus[i].region, line}, i);
+    }
+  }
+
+  [[nodiscard]] std::size_t find(const prof::DepSite& site) const {
+    if (site.stmt.valid()) {
+      auto it = by_stmt.find(site.stmt);
+      if (it != by_stmt.end()) return it->second;
+    }
+    auto it = by_line.find(std::pair{site.region, site.line});
+    return it == by_line.end() ? ~std::size_t{0} : it->second;
+  }
+};
+
+}  // namespace
+
+CuGraph build_cu_graph(const std::vector<Cu>& cus, const prof::Profile& profile,
+                       const pet::Pet& pet, pet::NodeIndex scope_node,
+                       const trace::TraceContext& program, bool filter_cross_activation) {
+  (void)program;  // reserved for name resolution in render paths
+  const pet::PetNode& scope = pet.node(scope_node);
+
+  CuGraph result;
+  result.scope = scope.region;
+
+  // Region -> graph node resolution: a CU directly in the scope gets its own
+  // vertex; a CU inside a child subtree maps to that child's collapsed
+  // vertex.
+  std::unordered_map<RegionId, std::size_t> region_to_child;  // -> index into children
+  for (std::size_t c = 0; c < scope.children.size(); ++c) {
+    // Collect every region in the child's subtree.
+    std::vector<pet::NodeIndex> stack{scope.children[c]};
+    while (!stack.empty()) {
+      const pet::PetNode& n = pet.node(stack.back());
+      stack.pop_back();
+      region_to_child.emplace(n.region, c);
+      for (pet::NodeIndex grandchild : n.children) stack.push_back(grandchild);
+    }
+  }
+
+  constexpr std::size_t kNone = ~std::size_t{0};
+  std::vector<std::size_t> cu_to_graph_node(cus.size(), kNone);
+  std::vector<std::size_t> child_to_graph_node(scope.children.size(), kNone);
+
+  struct PendingNode {
+    Cu cu;
+    std::uint64_t serial;
+  };
+  std::vector<PendingNode> pending;
+
+  // Direct CUs of the scope region.
+  for (std::size_t i = 0; i < cus.size(); ++i) {
+    if (cus[i].region != scope.region) continue;
+    pending.push_back(PendingNode{cus[i], cus[i].serial_order});
+  }
+
+  // One collapsed vertex per child region subtree carrying cost.
+  for (std::size_t c = 0; c < scope.children.size(); ++c) {
+    const pet::PetNode& child = pet.node(scope.children[c]);
+    if (child.inclusive_cost == 0) continue;
+    Cu collapsed;
+    collapsed.name = child.name;
+    collapsed.region = scope.region;
+    collapsed.collapsed = true;
+    collapsed.collapsed_region = child.region;
+    collapsed.cost = child.inclusive_cost;
+    // Serial position: earliest CU inside the subtree, or after everything
+    // observed if none (cost-only subtree).
+    std::uint64_t serial = ~std::uint64_t{0};
+    for (const Cu& cu : cus) {
+      auto it = region_to_child.find(cu.region);
+      if (it != region_to_child.end() && it->second == c) {
+        serial = std::min(serial, cu.serial_order);
+        collapsed.lines.insert(cu.lines.begin(), cu.lines.end());
+      }
+    }
+    pending.push_back(PendingNode{std::move(collapsed), serial});
+  }
+
+  std::sort(pending.begin(), pending.end(),
+            [](const PendingNode& a, const PendingNode& b) { return a.serial < b.serial; });
+
+  for (PendingNode& p : pending) {
+    const std::size_t node = result.cus.size();
+    p.cu.id = CuId(static_cast<CuId::rep_type>(node));
+    p.cu.serial_order = p.serial;
+    result.graph.add_node(p.cu.cost);
+    result.cus.push_back(std::move(p.cu));
+  }
+
+  for (std::size_t node = 0; node < result.cus.size(); ++node) {
+    const Cu& cu = result.cus[node];
+    if (cu.collapsed) {
+      for (std::size_t c = 0; c < scope.children.size(); ++c) {
+        if (pet.node(scope.children[c]).region == cu.collapsed_region) {
+          child_to_graph_node[c] = node;
+        }
+      }
+    }
+  }
+
+  const CuLookup lookup(cus);
+  auto map_endpoint = [&](const prof::DepSite& site) -> std::size_t {
+    const std::size_t cu_index = lookup.find(site);
+    if (cu_index == kNone) return kNone;
+    const Cu& cu = cus[cu_index];
+    if (cu.region == scope.region) {
+      // Find its direct vertex by matching serial order.
+      for (std::size_t node = 0; node < result.cus.size(); ++node) {
+        if (!result.cus[node].collapsed &&
+            result.cus[node].serial_order == cu.serial_order) {
+          return node;
+        }
+      }
+      return kNone;
+    }
+    auto it = region_to_child.find(cu.region);
+    if (it == region_to_child.end()) return kNone;
+    return child_to_graph_node[it->second];
+  };
+  (void)cu_to_graph_node;
+
+  for (const prof::Dependence& dep : profile.dependences) {
+    // Value-return edges between different activations of a merged
+    // recursive function are not part of this activation's structure.
+    if (filter_cross_activation && dep.cross_activation) continue;
+    if (dep.carrier_loop.valid()) {
+      if (dep.carrier_loop == scope.region) {
+        result.has_cross_iteration_deps = true;
+        continue;
+      }
+      // Carried by a loop outside this scope's subtree: irrelevant here.
+      const pet::NodeIndex carrier_node = pet.find(dep.carrier_loop);
+      if (carrier_node == pet::kInvalidPetNode ||
+          !pet.in_subtree(scope_node, carrier_node)) {
+        continue;
+      }
+    }
+    const std::size_t src = map_endpoint(dep.source);
+    const std::size_t dst = map_endpoint(dep.sink);
+    if (src == kNone || dst == kNone || src == dst) continue;
+    result.graph.add_edge(static_cast<graph::NodeIndex>(src),
+                          static_cast<graph::NodeIndex>(dst));
+  }
+  return result;
+}
+
+std::string CuGraph::render() const {
+  std::string out;
+  for (std::size_t i = 0; i < cus.size(); ++i) {
+    out += "CU_" + std::to_string(i) + " (" + cus[i].name;
+    out += ", cost=" + std::to_string(cus[i].cost) + ")";
+    const auto& succ = graph.successors(static_cast<graph::NodeIndex>(i));
+    if (!succ.empty()) {
+      out += " -> ";
+      for (std::size_t k = 0; k < succ.size(); ++k) {
+        out += "CU_" + std::to_string(succ[k]);
+        if (k + 1 < succ.size()) out += ", ";
+      }
+    }
+    out += "\n";
+  }
+  if (has_cross_iteration_deps) out += "[scope has cross-iteration dependences]\n";
+  return out;
+}
+
+}  // namespace ppd::cu

@@ -1,0 +1,43 @@
+// CU formation and CU-graph construction.
+//
+// form_cus() reproduces the read-compute-write grouping of Fig. 1: sites
+// (statements / source lines) within a region merge into one CU when they
+// update the same global state variable or are glued together by local
+// temporaries (a local written by one site and read by another). Explicit
+// statement scopes are kept as separate CUs — they model distinct call-site
+// units like the two recursive calls of `fib`.
+//
+// build_cu_graph() maps the profiled data dependences onto CU pairs for one
+// scope region (§II): CUs lexically in the scope become vertices, each child
+// region of the scope collapses into a single vertex weighted with its whole
+// subtree cost (the paper's loop-level tasks of `3mm`/`mvt`), and only
+// dependences that are loop-independent with respect to the scope become
+// edges (writer -> dependent reader). Dependences carried by the scope loop
+// itself are flagged instead — they rule out naive per-iteration forking.
+#pragma once
+
+#include <vector>
+
+#include "cu/cu.hpp"
+#include "cu/facts.hpp"
+#include "pet/pet.hpp"
+#include "prof/dependence.hpp"
+#include "trace/context.hpp"
+
+namespace ppd::cu {
+
+/// Groups the collected sites into CUs (Fig. 1 semantics).
+[[nodiscard]] std::vector<Cu> form_cus(const CuFacts& facts,
+                                       const trace::TraceContext& program);
+
+/// Builds the CU graph of the region at PET node `scope_node`.
+/// `filter_cross_activation` excludes value-return dependences between
+/// different activations of a merged recursive function (the default); the
+/// ablation bench shows the cycles that appear without the filter.
+[[nodiscard]] CuGraph build_cu_graph(const std::vector<Cu>& cus,
+                                     const prof::Profile& profile, const pet::Pet& pet,
+                                     pet::NodeIndex scope_node,
+                                     const trace::TraceContext& program,
+                                     bool filter_cross_activation = true);
+
+}  // namespace ppd::cu

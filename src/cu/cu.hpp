@@ -1,0 +1,61 @@
+// Computational Units and CU graphs.
+//
+// DiscoPoP's first analysis divides code into Computational Units following
+// the read-compute-write pattern (§II, Fig. 1): program state is read, a new
+// state is computed through local temporaries, and written back. CUs are the
+// building blocks of patterns — tasks in a task pool, stages in a pipeline.
+// Data dependences are mapped onto CU pairs, giving the *CU graph* with CUs
+// as vertices and dependences as edges (§II).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "support/ids.hpp"
+
+namespace ppd::trace {
+class TraceContext;
+}
+namespace ppd::prof {
+struct Profile;
+}
+namespace ppd::pet {
+class Pet;
+}
+
+namespace ppd::cu {
+
+/// One computational unit.
+struct Cu {
+  CuId id;
+  std::string name;           ///< "CU_<state var>" or the explicit statement name
+  RegionId region;            ///< region the CU lexically belongs to
+  bool collapsed = false;     ///< true if this node stands for a whole child region
+  RegionId collapsed_region;  ///< the child region, when collapsed
+  std::set<SourceLine> lines;
+  std::set<StatementId> stmts;  ///< explicit statements merged into this CU
+  std::set<VarId> state_vars;   ///< global variables the CU writes
+  Cost cost = 0;
+  std::uint64_t serial_order = 0;  ///< first dynamic occurrence (program order)
+};
+
+/// CU graph of one region scope. Graph node index i corresponds to cus[i];
+/// edges run in dependence-flow direction, writer -> dependent reader.
+struct CuGraph {
+  RegionId scope;
+  std::vector<Cu> cus;
+  graph::Digraph graph;
+  /// True when the scope is a loop and dependences cross its own iterations
+  /// (such a scope cannot simply be forked per iteration).
+  bool has_cross_iteration_deps = false;
+
+  [[nodiscard]] const Cu& cu(graph::NodeIndex index) const { return cus.at(index); }
+  [[nodiscard]] std::size_t size() const { return cus.size(); }
+
+  /// Renders nodes and dependence edges as text (Fig. 3-style inspection).
+  [[nodiscard]] std::string render() const;
+};
+
+}  // namespace ppd::cu

@@ -1,0 +1,94 @@
+// CuFacts: per-site dynamic facts feeding CU formation.
+//
+// A *site* is the static unit an access is attributed to: the enclosing
+// explicit statement scope if one is active, otherwise the (region, line)
+// pair. CU formation (ppd::cu::form_cus) merges sites into CUs along the
+// read-compute-write pattern.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "support/ids.hpp"
+#include "trace/context.hpp"
+#include "trace/events.hpp"
+
+namespace ppd::cu {
+
+/// Identity of a site. Exactly one of `stmt` (valid) or (region, line) keys
+/// the site.
+struct SiteKey {
+  StatementId stmt;
+  RegionId region;
+  SourceLine line = 0;
+
+  friend auto operator<=>(const SiteKey&, const SiteKey&) = default;
+};
+
+/// Facts accumulated for one site.
+struct SiteFacts {
+  SiteKey key;
+  RegionId region;
+  std::set<SourceLine> lines;
+  std::set<VarId> reads;
+  std::set<VarId> writes;
+  /// Addresses of *local temporaries* read/written by this site. The Fig. 1
+  /// glue rule is dataflow-based: reusing a local's *name* in another CU
+  /// must not merge the CUs, so gluing matches on addresses, not names.
+  std::set<Address> local_reads;
+  std::set<Address> local_writes;
+  Cost cost = 0;
+  std::uint64_t first_seq = ~std::uint64_t{0};  ///< serial order of first occurrence
+};
+
+/// Event sink collecting site facts during a traced run. Needs the trace
+/// context to resolve variable locality at event time.
+class CuFacts final : public trace::EventSink {
+ public:
+  explicit CuFacts(const trace::TraceContext& program) : program_(program) {}
+
+  void on_access(const trace::AccessEvent& access) override {
+    SiteFacts& site = site_for(access.stmt, access.region, access.line);
+    site.lines.insert(access.line);
+    const bool local = program_.var_info(access.var).local;
+    if (access.kind == trace::AccessKind::Read) {
+      site.reads.insert(access.var);
+      if (local) site.local_reads.insert(access.addr);
+    } else {
+      site.writes.insert(access.var);
+      if (local) site.local_writes.insert(access.addr);
+    }
+    site.cost += access.cost;
+    site.first_seq = std::min(site.first_seq, access.seq);
+  }
+
+  void on_compute(const trace::ComputeEvent& compute) override {
+    SiteFacts& site = site_for(compute.stmt, compute.region, compute.line);
+    site.lines.insert(compute.line);
+    site.cost += compute.cost;
+  }
+
+  [[nodiscard]] const std::map<SiteKey, SiteFacts>& sites() const { return sites_; }
+
+ private:
+  SiteFacts& site_for(StatementId stmt, RegionId region, SourceLine line) {
+    SiteKey key;
+    if (stmt.valid()) {
+      key.stmt = stmt;
+    } else {
+      key.region = region;
+      key.line = line;
+    }
+    SiteFacts& site = sites_[key];
+    site.key = key;
+    site.region = region;
+    return site;
+  }
+
+  const trace::TraceContext& program_;
+  std::map<SiteKey, SiteFacts> sites_;
+};
+
+}  // namespace ppd::cu

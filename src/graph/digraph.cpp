@@ -1,0 +1,197 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/assert.hpp"
+
+namespace ppd::graph {
+
+NodeIndex Digraph::add_node(Cost weight) {
+  const NodeIndex n = static_cast<NodeIndex>(successors_.size());
+  successors_.emplace_back();
+  predecessors_.emplace_back();
+  weights_.push_back(weight);
+  return n;
+}
+
+void Digraph::add_edge(NodeIndex from, NodeIndex to, bool allow_self_loops) {
+  PPD_ASSERT(from < node_count() && to < node_count());
+  if (from == to && !allow_self_loops) return;
+  if (has_edge(from, to)) return;
+  successors_[from].push_back(to);
+  predecessors_[to].push_back(from);
+  ++edge_count_;
+}
+
+bool Digraph::has_edge(NodeIndex from, NodeIndex to) const {
+  const auto& succ = successors_[from];
+  return std::find(succ.begin(), succ.end(), to) != succ.end();
+}
+
+bool Digraph::reachable(NodeIndex from, NodeIndex to) const {
+  if (from == to) return true;
+  std::vector<bool> seen(node_count(), false);
+  std::deque<NodeIndex> queue{from};
+  seen[from] = true;
+  while (!queue.empty()) {
+    const NodeIndex n = queue.front();
+    queue.pop_front();
+    for (NodeIndex succ : successors_[n]) {
+      if (succ == to) return true;
+      if (!seen[succ]) {
+        seen[succ] = true;
+        queue.push_back(succ);
+      }
+    }
+  }
+  return false;
+}
+
+std::optional<std::vector<NodeIndex>> Digraph::topological_order() const {
+  std::vector<std::uint32_t> indegree(node_count(), 0);
+  for (NodeIndex n = 0; n < node_count(); ++n) {
+    for (NodeIndex succ : successors_[n]) ++indegree[succ];
+  }
+  std::deque<NodeIndex> ready;
+  for (NodeIndex n = 0; n < node_count(); ++n) {
+    if (indegree[n] == 0) ready.push_back(n);
+  }
+  std::vector<NodeIndex> order;
+  order.reserve(node_count());
+  while (!ready.empty()) {
+    const NodeIndex n = ready.front();
+    ready.pop_front();
+    order.push_back(n);
+    for (NodeIndex succ : successors_[n]) {
+      if (--indegree[succ] == 0) ready.push_back(succ);
+    }
+  }
+  if (order.size() != node_count()) return std::nullopt;
+  return order;
+}
+
+Cost Digraph::total_weight() const {
+  Cost total = 0;
+  for (Cost w : weights_) total += w;
+  return total;
+}
+
+std::vector<std::uint32_t> Digraph::strongly_connected_components(
+    std::uint32_t* component_count) const {
+  // Iterative Tarjan (the CU graphs of recursive benchmarks can be deep).
+  const std::uint32_t n = static_cast<std::uint32_t>(node_count());
+  constexpr std::uint32_t kUnvisited = ~std::uint32_t{0};
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::uint32_t> component(n, kUnvisited);
+  std::vector<NodeIndex> stack;
+  std::uint32_t next_index = 0;
+  std::uint32_t next_component = 0;
+
+  struct Frame {
+    NodeIndex node;
+    std::size_t child = 0;
+  };
+  std::vector<Frame> frames;
+
+  for (NodeIndex root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back(Frame{root});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const NodeIndex v = f.node;
+      if (f.child == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool recursed = false;
+      while (f.child < successors_[v].size()) {
+        const NodeIndex w = successors_[v][f.child++];
+        if (index[w] == kUnvisited) {
+          frames.push_back(Frame{w});
+          recursed = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (recursed) continue;
+      if (lowlink[v] == index[v]) {
+        NodeIndex w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          component[w] = next_component;
+        } while (w != v);
+        ++next_component;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        const NodeIndex parent = frames.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  if (component_count != nullptr) *component_count = next_component;
+  return component;
+}
+
+Digraph::CriticalPath Digraph::critical_path() const {
+  if (node_count() == 0) return {};
+
+  // Condense cycles: an SCC executes sequentially, so its entire weight
+  // contributes to any path through it.
+  std::uint32_t num_components = 0;
+  const std::vector<std::uint32_t> component = strongly_connected_components(&num_components);
+
+  std::vector<Cost> comp_weight(num_components, 0);
+  std::vector<NodeIndex> comp_representative(num_components, kInvalidNode);
+  for (NodeIndex v = 0; v < node_count(); ++v) {
+    comp_weight[component[v]] += weights_[v];
+    if (comp_representative[component[v]] == kInvalidNode) comp_representative[component[v]] = v;
+  }
+
+  Digraph condensed;
+  for (std::uint32_t c = 0; c < num_components; ++c) condensed.add_node(comp_weight[c]);
+  for (NodeIndex v = 0; v < node_count(); ++v) {
+    for (NodeIndex w : successors_[v]) {
+      if (component[v] != component[w]) {
+        condensed.add_edge(component[v], component[w]);
+      }
+    }
+  }
+
+  const auto order = condensed.topological_order();
+  PPD_ASSERT_MSG(order.has_value(), "condensation must be acyclic");
+
+  std::vector<Cost> best(num_components, 0);
+  std::vector<std::uint32_t> best_pred(num_components, kInvalidNode);
+  Cost best_total = 0;
+  std::uint32_t best_end = kInvalidNode;
+  for (NodeIndex c : *order) {
+    best[c] += condensed.weight(c);
+    for (NodeIndex succ : condensed.successors(c)) {
+      if (best[c] > best[succ]) {
+        best[succ] = best[c];
+        best_pred[succ] = c;
+      }
+    }
+    if (best[c] > best_total) {
+      best_total = best[c];
+      best_end = c;
+    }
+  }
+
+  CriticalPath result;
+  result.weight = best_total;
+  for (std::uint32_t c = best_end; c != kInvalidNode; c = best_pred[c]) {
+    result.nodes.push_back(comp_representative[c]);
+  }
+  std::reverse(result.nodes.begin(), result.nodes.end());
+  return result;
+}
+
+}  // namespace ppd::graph

@@ -1,0 +1,77 @@
+// Generic directed-graph kernel.
+//
+// Used for CU graphs (CUs as vertices, data dependences as edges), for the
+// reachability test behind the parallel-barrier check (§III-B), and for the
+// weighted critical-path computation behind the estimated-speedup metric.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "support/ids.hpp"
+
+namespace ppd::graph {
+
+using NodeIndex = std::uint32_t;
+inline constexpr NodeIndex kInvalidNode = ~NodeIndex{0};
+
+/// Adjacency-list digraph with deduplicated edges and per-node weights.
+class Digraph {
+ public:
+  /// Adds a node with the given weight; returns its index.
+  NodeIndex add_node(Cost weight = 0);
+
+  /// Adds edge from -> to (ignored if it already exists or is a self-loop
+  /// when `allow_self_loops` is false).
+  void add_edge(NodeIndex from, NodeIndex to, bool allow_self_loops = false);
+
+  [[nodiscard]] std::size_t node_count() const { return successors_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+
+  [[nodiscard]] const std::vector<NodeIndex>& successors(NodeIndex n) const {
+    return successors_[n];
+  }
+  [[nodiscard]] const std::vector<NodeIndex>& predecessors(NodeIndex n) const {
+    return predecessors_[n];
+  }
+  [[nodiscard]] Cost weight(NodeIndex n) const { return weights_[n]; }
+  void set_weight(NodeIndex n, Cost w) { weights_[n] = w; }
+  void add_weight(NodeIndex n, Cost w) { weights_[n] += w; }
+
+  [[nodiscard]] bool has_edge(NodeIndex from, NodeIndex to) const;
+
+  /// BFS reachability: is `to` reachable from `from` following edges?
+  /// A node is considered reachable from itself.
+  [[nodiscard]] bool reachable(NodeIndex from, NodeIndex to) const;
+
+  /// Topological order, or nullopt if the graph has a cycle.
+  [[nodiscard]] std::optional<std::vector<NodeIndex>> topological_order() const;
+
+  /// Sum of all node weights.
+  [[nodiscard]] Cost total_weight() const;
+
+  /// Weighted critical path (heaviest path by node weights). Works on any
+  /// digraph: cycles are condensed into strongly connected components first
+  /// (an SCC executes sequentially, so its whole weight lies on the path).
+  /// Returns the path weight and one witness path of original node indices
+  /// (for condensed components, a representative member).
+  struct CriticalPath {
+    Cost weight = 0;
+    std::vector<NodeIndex> nodes;
+  };
+  [[nodiscard]] CriticalPath critical_path() const;
+
+  /// Tarjan strongly-connected components. Returns component id per node;
+  /// ids are in reverse topological order of the condensation.
+  [[nodiscard]] std::vector<std::uint32_t> strongly_connected_components(
+      std::uint32_t* component_count = nullptr) const;
+
+ private:
+  std::vector<std::vector<NodeIndex>> successors_;
+  std::vector<std::vector<NodeIndex>> predecessors_;
+  std::vector<Cost> weights_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace ppd::graph

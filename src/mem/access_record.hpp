@@ -1,0 +1,90 @@
+// Per-address access records kept in shadow memory.
+//
+// The dependence profiler needs, for every traced address, where the last
+// write and the last read came from — source line, statement, region, and
+// the loop-iteration vector at the time of access — to classify RAW/WAR/WAW
+// dependences and decide whether they are loop-carried.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "support/assert.hpp"
+#include "support/ids.hpp"
+#include "trace/events.hpp"
+
+namespace ppd::mem {
+
+/// Fixed-capacity copy of the enclosing-loop iteration vector at the moment
+/// of an access. Inline storage avoids a heap allocation per traced access.
+class InlineLoopStack {
+ public:
+  static constexpr std::size_t kMaxDepth = 8;
+
+  InlineLoopStack() = default;
+
+  explicit InlineLoopStack(std::span<const trace::LoopPosition> positions) {
+    PPD_ASSERT_MSG(positions.size() <= kMaxDepth, "loop nesting deeper than supported");
+    size_ = static_cast<std::uint8_t>(positions.size());
+    for (std::size_t i = 0; i < positions.size(); ++i) positions_[i] = positions[i];
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] const trace::LoopPosition& operator[](std::size_t i) const {
+    PPD_ASSERT(i < size_);
+    return positions_[i];
+  }
+
+  [[nodiscard]] std::span<const trace::LoopPosition> span() const {
+    return {positions_.data(), size_};
+  }
+
+  /// Iteration index of `loop` in this stack, or UINT64_MAX if `loop` was not
+  /// active at the time of the access.
+  [[nodiscard]] std::uint64_t iteration_of(RegionId loop) const {
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (positions_[i].loop == loop) return positions_[i].iteration;
+    }
+    return ~std::uint64_t{0};
+  }
+
+ private:
+  std::array<trace::LoopPosition, kMaxDepth> positions_{};
+  std::uint8_t size_ = 0;
+};
+
+/// Snapshot of one memory access (one side of a dependence).
+struct AccessRecord {
+  bool valid = false;
+  SourceLine line = 0;
+  trace::UpdateOp op = trace::UpdateOp::None;  ///< self-update tag (writes)
+  StatementId stmt;
+  RegionId region;
+  RegionId func;                      ///< innermost enclosing function
+  std::uint64_t func_activation = 0;  ///< dynamic activation of that function
+  std::uint64_t seq = 0;
+  InlineLoopStack loops;
+
+  [[nodiscard]] static AccessRecord from_event(const trace::AccessEvent& ev) {
+    AccessRecord rec;
+    rec.valid = true;
+    rec.line = ev.line;
+    rec.op = ev.op;
+    rec.stmt = ev.stmt;
+    rec.region = ev.region;
+    rec.func = ev.func;
+    rec.func_activation = ev.func_activation;
+    rec.seq = ev.seq;
+    rec.loops = InlineLoopStack(ev.loop_stack);
+    return rec;
+  }
+};
+
+/// Shadow cell: the state the profiler keeps per traced address.
+struct ShadowCell {
+  AccessRecord last_write;
+  AccessRecord last_read;
+};
+
+}  // namespace ppd::mem

@@ -1,0 +1,71 @@
+// Paged shadow memory.
+//
+// DiscoPoP's dependence profiler keeps per-address metadata in a shadow
+// memory; we reproduce that with a two-level paged map over the synthetic
+// element-granular address space. Pages are allocated on first touch, which
+// keeps the footprint proportional to the touched working set rather than to
+// the address-space size.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "support/ids.hpp"
+
+namespace ppd::mem {
+
+/// Two-level paged map Address -> Cell. Cells are value types default-
+/// constructed on first touch.
+template <typename Cell, std::size_t PageBits = 8>
+class ShadowMemory {
+ public:
+  static constexpr std::size_t kPageSize = std::size_t{1} << PageBits;
+
+  /// Returns the cell for `addr`, creating its page if needed.
+  Cell& cell(Address addr) {
+    const std::uint64_t page_index = addr >> PageBits;
+    std::unique_ptr<Page>& page = pages_[page_index];
+    if (!page) {
+      page = std::make_unique<Page>();
+      ++page_count_;
+    }
+    return page->cells[addr & (kPageSize - 1)];
+  }
+
+  /// Returns the cell for `addr` if its page exists, else nullptr.
+  [[nodiscard]] const Cell* find(Address addr) const {
+    auto it = pages_.find(addr >> PageBits);
+    if (it == pages_.end()) return nullptr;
+    return &it->second->cells[addr & (kPageSize - 1)];
+  }
+
+  /// Invokes fn(address, cell) for every cell in every allocated page.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [page_index, page] : pages_) {
+      for (std::size_t i = 0; i < kPageSize; ++i) {
+        fn((page_index << PageBits) | i, page->cells[i]);
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t page_count() const { return page_count_; }
+  [[nodiscard]] std::size_t touched_bytes() const { return page_count_ * sizeof(Page); }
+
+  void clear() {
+    pages_.clear();
+    page_count_ = 0;
+  }
+
+ private:
+  struct Page {
+    std::array<Cell, kPageSize> cells{};
+  };
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+  std::size_t page_count_ = 0;
+};
+
+}  // namespace ppd::mem

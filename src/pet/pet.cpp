@@ -1,0 +1,163 @@
+#include "pet/pet.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/table.hpp"
+
+namespace ppd::pet {
+
+double Pet::cost_fraction(NodeIndex index) const {
+  const Cost total = total_cost();
+  if (total == 0) return 0.0;
+  return static_cast<double>(node(index).inclusive_cost) / static_cast<double>(total);
+}
+
+NodeIndex Pet::find(RegionId region) const {
+  NodeIndex best = kInvalidPetNode;
+  for (const PetNode& n : nodes_) {
+    if (n.region == region &&
+        (best == kInvalidPetNode || n.inclusive_cost > node(best).inclusive_cost)) {
+      best = n.index;
+    }
+  }
+  return best;
+}
+
+std::vector<NodeIndex> Pet::find_all(RegionId region) const {
+  std::vector<NodeIndex> result;
+  for (const PetNode& n : nodes_) {
+    if (n.region == region) result.push_back(n.index);
+  }
+  return result;
+}
+
+std::vector<NodeIndex> Pet::hotspots(double min_fraction) const {
+  std::vector<NodeIndex> result;
+  for (const PetNode& n : nodes_) {
+    if (n.index == 0) continue;  // synthetic root
+    if (cost_fraction(n.index) >= min_fraction) result.push_back(n.index);
+  }
+  std::sort(result.begin(), result.end(), [this](NodeIndex a, NodeIndex b) {
+    return node(a).inclusive_cost > node(b).inclusive_cost;
+  });
+  return result;
+}
+
+bool Pet::in_subtree(NodeIndex ancestor, NodeIndex descendant) const {
+  NodeIndex n = descendant;
+  while (n != kInvalidPetNode) {
+    if (n == ancestor) return true;
+    n = node(n).parent;
+  }
+  return false;
+}
+
+NodeIndex Pet::nearest_common_ancestor(NodeIndex a, NodeIndex b) const {
+  std::vector<bool> on_a_path(nodes_.size(), false);
+  for (NodeIndex n = a; n != kInvalidPetNode; n = node(n).parent) on_a_path[n] = true;
+  for (NodeIndex n = b; n != kInvalidPetNode; n = node(n).parent) {
+    if (on_a_path[n]) return n;
+  }
+  return 0;  // the synthetic root is a common ancestor of everything
+}
+
+std::string Pet::render() const {
+  std::string out;
+  struct Item {
+    NodeIndex node;
+    int depth;
+  };
+  std::vector<Item> stack{{0, 0}};
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    const PetNode& n = node(item.node);
+    out += std::string(static_cast<std::size_t>(item.depth) * 2, ' ');
+    out += n.index == 0 ? "<program>" : (n.is_loop() ? "loop " : "func ") + n.name;
+    if (n.recursive) out += " [recursive]";
+    if (n.is_loop()) out += " iterations=" + std::to_string(n.iterations);
+    out += " cost=" + std::to_string(n.inclusive_cost);
+    out += " (" + support::format_fixed(cost_fraction(n.index) * 100.0, 2) + "%)\n";
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back({*it, item.depth + 1});
+    }
+  }
+  return out;
+}
+
+PetBuilder::PetBuilder() {
+  PetNode root;
+  root.index = 0;
+  root.name = "<program>";
+  nodes_.push_back(std::move(root));
+  stack_.push_back(0);
+}
+
+NodeIndex PetBuilder::child_for(NodeIndex parent, const trace::RegionInfo& region) {
+  for (NodeIndex child : nodes_[parent].children) {
+    if (nodes_[child].region == region.id) return child;
+  }
+  const NodeIndex index = static_cast<NodeIndex>(nodes_.size());
+  PetNode n;
+  n.index = index;
+  n.region = region.id;
+  n.kind = region.kind;
+  n.name = region.name;
+  n.line = region.line;
+  n.parent = parent;
+  nodes_.push_back(std::move(n));
+  nodes_[parent].children.push_back(index);
+  return index;
+}
+
+void PetBuilder::on_region_enter(const trace::RegionInfo& region) {
+  // Recursive re-entry of a function already on the path merges into the
+  // existing node instead of growing the tree.
+  for (NodeIndex on_path : stack_) {
+    if (nodes_[on_path].region == region.id) {
+      nodes_[on_path].recursive = true;
+      ++nodes_[on_path].instances;
+      stack_.push_back(on_path);
+      return;
+    }
+  }
+  const NodeIndex child = child_for(stack_.back(), region);
+  ++nodes_[child].instances;
+  stack_.push_back(child);
+}
+
+void PetBuilder::on_region_exit(const trace::RegionInfo& region) {
+  PPD_ASSERT_MSG(stack_.size() > 1 && nodes_[stack_.back()].region == region.id,
+                 "PET exit does not match the current path");
+  stack_.pop_back();
+}
+
+void PetBuilder::on_iteration(const trace::RegionInfo& loop, std::uint64_t iteration) {
+  (void)iteration;
+  PPD_ASSERT(nodes_[stack_.back()].region == loop.id);
+  ++nodes_[stack_.back()].iterations;
+}
+
+void PetBuilder::on_access(const trace::AccessEvent& access) {
+  nodes_[stack_.back()].exclusive_cost += access.cost;
+}
+
+void PetBuilder::on_compute(const trace::ComputeEvent& compute) {
+  nodes_[stack_.back()].exclusive_cost += compute.cost;
+}
+
+Pet PetBuilder::take() const {
+  std::vector<PetNode> nodes = nodes_;
+  // Children are created after parents, so a reverse sweep accumulates
+  // inclusive costs bottom-up.
+  for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
+    it->inclusive_cost += it->exclusive_cost;
+    if (it->parent != kInvalidPetNode) {
+      nodes[it->parent].inclusive_cost += it->inclusive_cost;
+    }
+  }
+  return Pet(std::move(nodes));
+}
+
+}  // namespace ppd::pet

@@ -1,0 +1,104 @@
+// Program Execution Tree (PET).
+//
+// Reproduces the paper's §II/§III structure: nodes are control regions
+// (functions and loops); all iterations of a loop merge into one node with
+// the total iteration count recorded; recursive activations of a function
+// merge into one node explicitly marked recursive; every node carries the
+// cost (IR-instruction-count stand-in) of its region, and nodes with a high
+// share of the executed cost are the hotspots. Children keep the sequential
+// execution order of first encounter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/ids.hpp"
+#include "trace/events.hpp"
+
+namespace ppd::pet {
+
+using NodeIndex = std::uint32_t;
+inline constexpr NodeIndex kInvalidPetNode = ~NodeIndex{0};
+
+/// One PET node: a static control region in a specific tree position.
+struct PetNode {
+  NodeIndex index = 0;
+  RegionId region;
+  trace::RegionKind kind = trace::RegionKind::Function;
+  std::string name;
+  SourceLine line = 0;
+  NodeIndex parent = kInvalidPetNode;
+  std::vector<NodeIndex> children;  ///< sequential first-encounter order
+  std::uint64_t instances = 0;      ///< dynamic entries merged into this node
+  std::uint64_t iterations = 0;     ///< total loop iterations (loops only)
+  bool recursive = false;           ///< merged recursive activations (functions)
+  Cost exclusive_cost = 0;          ///< cost observed directly in this region
+  Cost inclusive_cost = 0;          ///< exclusive + all descendants
+
+  [[nodiscard]] bool is_loop() const { return kind == trace::RegionKind::Loop; }
+  [[nodiscard]] bool is_function() const { return kind == trace::RegionKind::Function; }
+};
+
+/// The finished tree.
+class Pet {
+ public:
+  explicit Pet(std::vector<PetNode> nodes) : nodes_(std::move(nodes)) {}
+
+  [[nodiscard]] const std::vector<PetNode>& nodes() const { return nodes_; }
+  [[nodiscard]] const PetNode& node(NodeIndex index) const { return nodes_.at(index); }
+  /// The synthetic program root (always node 0).
+  [[nodiscard]] const PetNode& root() const { return nodes_.front(); }
+
+  /// Total executed cost of the program.
+  [[nodiscard]] Cost total_cost() const { return root().inclusive_cost; }
+
+  /// Fraction of the total executed cost spent in `node` (inclusively).
+  [[nodiscard]] double cost_fraction(NodeIndex index) const;
+
+  /// First node for a region (regions can appear in several tree positions;
+  /// returns the hottest occurrence). kInvalidPetNode if absent.
+  [[nodiscard]] NodeIndex find(RegionId region) const;
+
+  /// All nodes for a region.
+  [[nodiscard]] std::vector<NodeIndex> find_all(RegionId region) const;
+
+  /// Hotspot nodes: regions whose inclusive cost is at least
+  /// `min_fraction` of the total, sorted hottest-first (root excluded).
+  [[nodiscard]] std::vector<NodeIndex> hotspots(double min_fraction) const;
+
+  /// True if `descendant` lies in the subtree of `ancestor` (inclusive).
+  [[nodiscard]] bool in_subtree(NodeIndex ancestor, NodeIndex descendant) const;
+
+  /// Nearest common ancestor of two nodes (possibly one of them).
+  [[nodiscard]] NodeIndex nearest_common_ancestor(NodeIndex a, NodeIndex b) const;
+
+  /// Renders the tree as indented text (for the pet_explorer example).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<PetNode> nodes_;
+};
+
+/// Online PET builder; subscribe to a TraceContext before running.
+class PetBuilder final : public trace::EventSink {
+ public:
+  PetBuilder();
+
+  void on_region_enter(const trace::RegionInfo& region) override;
+  void on_region_exit(const trace::RegionInfo& region) override;
+  void on_iteration(const trace::RegionInfo& loop, std::uint64_t iteration) override;
+  void on_access(const trace::AccessEvent& access) override;
+  void on_compute(const trace::ComputeEvent& compute) override;
+
+  /// Finalizes inclusive costs and returns the tree.
+  [[nodiscard]] Pet take() const;
+
+ private:
+  NodeIndex child_for(NodeIndex parent, const trace::RegionInfo& region);
+
+  std::vector<PetNode> nodes_;
+  std::vector<NodeIndex> stack_;  ///< current path; stack_[0] is the root
+};
+
+}  // namespace ppd::pet

@@ -1,0 +1,130 @@
+// Data-dependence model produced by the dynamic profiler.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/ids.hpp"
+#include "trace/events.hpp"
+
+namespace ppd::prof {
+
+/// Dependence kind. RAW = true/flow dependence (read-after-write), the kind
+/// that drives pattern structure; WAR/WAW are recorded for do-all checks.
+enum class DepKind : std::uint8_t { Raw, War, Waw };
+
+[[nodiscard]] const char* to_string(DepKind kind);
+
+/// One side of a dependence (the static access site).
+struct DepSite {
+  SourceLine line = 0;
+  StatementId stmt;
+  RegionId region;
+
+  friend bool operator==(const DepSite&, const DepSite&) = default;
+};
+
+/// A (deduplicated) static data dependence: `sink` depends on `source`.
+struct Dependence {
+  DepKind kind = DepKind::Raw;
+  VarId var;
+  DepSite source;  ///< the earlier access
+  DepSite sink;    ///< the later access that depends on it
+  /// True when both endpoints sit in the same (recursion-merged) function
+  /// but in *different* dynamic activations — e.g. the value returned from a
+  /// recursive call to the caller. Such dependences are excluded from the
+  /// per-activation CU graph (Fig. 3 shows one cilksort activation).
+  bool cross_activation = false;
+  /// The outermost common loop whose iteration differs between the two
+  /// accesses; invalid if the dependence is loop-independent.
+  RegionId carrier_loop;
+  /// Iteration-distance range observed at the carrier loop (0 when
+  /// loop-independent).
+  std::uint64_t min_distance = 0;
+  std::uint64_t max_distance = 0;
+  /// Number of dynamic occurrences merged into this record.
+  std::uint64_t count = 0;
+
+  [[nodiscard]] bool loop_carried() const { return carrier_loop.valid(); }
+};
+
+/// Dynamic facts about one static loop.
+struct LoopInfo {
+  RegionId loop;
+  std::uint64_t total_iterations = 0;  ///< sum over all dynamic instances
+  std::uint64_t instances = 0;         ///< number of dynamic loop entries
+  std::uint64_t max_iterations = 0;    ///< largest single-instance trip count
+  /// Distinct addresses touched inside the loop: its data footprint. §III-A
+  /// names locality-aware fusion advice as future work ("DiscoPoP currently
+  /// does not report the amount of data being handled"); this field provides
+  /// the missing measurement.
+  std::uint64_t distinct_addresses = 0;
+};
+
+/// Per-variable line summary of loop-carried accesses inside one loop; the
+/// input to reduction detection (Algorithm 3): which source lines wrote the
+/// variable and which lines read it, restricted to accesses participating in
+/// inter-iteration dependences of that loop.
+struct CarriedVarAccess {
+  std::set<SourceLine> write_lines;
+  std::set<SourceLine> read_lines;
+  /// Distinct addresses participating in the inter-iteration dependences.
+  std::set<Address> addresses;
+  /// Dynamic occurrences of the inter-iteration dependences. A genuine
+  /// reduction re-updates the *same* accumulator address every iteration
+  /// (occurrences >> addresses); a stencil chain like reg_detect's
+  /// `path[i][j] = path[i-1][j-1] + ...` touches each address once.
+  std::uint64_t occurrences = 0;
+  /// Update-operation tags observed on the participating writes.
+  std::set<trace::UpdateOp> ops;
+};
+
+/// An ordered pair of loops with a cross-loop RAW dependence, i.e. a
+/// multi-loop pipeline candidate: loop `x` writes memory that loop `y`
+/// later reads (§III-A).
+struct LoopPairKey {
+  RegionId x;
+  RegionId y;
+
+  friend bool operator==(const LoopPairKey&, const LoopPairKey&) = default;
+};
+
+struct LoopPairKeyHash {
+  std::size_t operator()(const LoopPairKey& key) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(key.x.value()) << 32) | key.y.value());
+  }
+};
+
+/// One filtered iteration pair: iteration `iy` of loop y first read a memory
+/// location whose last write happened in iteration `ix` of loop x.
+struct IterPair {
+  std::uint64_t ix = 0;
+  std::uint64_t iy = 0;
+
+  friend bool operator==(const IterPair&, const IterPair&) = default;
+};
+
+/// Everything the dynamic dependence profiler extracts from one traced
+/// execution (possibly merged over several representative inputs).
+struct Profile {
+  std::vector<Dependence> dependences;
+  std::unordered_map<RegionId, LoopInfo> loops;
+  /// loop -> var -> carried access-line summary (reduction detection input).
+  std::unordered_map<RegionId, std::unordered_map<VarId, CarriedVarAccess>> carried_vars;
+  /// Multi-loop pipeline iteration pairs per cross-loop RAW loop pair.
+  std::unordered_map<LoopPairKey, std::vector<IterPair>, LoopPairKeyHash> loop_pairs;
+
+  /// All loop-carried dependences of `loop`.
+  [[nodiscard]] std::vector<const Dependence*> carried_in(RegionId loop) const;
+
+  /// All dependences whose sink lies in region `region`.
+  [[nodiscard]] std::vector<const Dependence*> with_sink_in(RegionId region) const;
+
+  [[nodiscard]] const LoopInfo* loop_info(RegionId loop) const;
+};
+
+}  // namespace ppd::prof

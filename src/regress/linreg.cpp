@@ -1,0 +1,100 @@
+#include "regress/linreg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace ppd::regress {
+
+LinearFit fit(std::span<const double> xs, std::span<const double> ys) {
+  PPD_ASSERT(xs.size() == ys.size());
+  LinearFit result;
+  result.samples = xs.size();
+  if (xs.empty()) return result;
+
+  const double n = static_cast<double>(xs.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+
+  if (sxx == 0.0) {
+    // Degenerate: all X equal; horizontal line through the Y mean.
+    result.a = 0.0;
+    result.b = my;
+    result.r2 = 0.0;
+    return result;
+  }
+
+  result.a = sxy / sxx;
+  result.b = my - result.a * mx;
+  if (syy == 0.0) {
+    result.r2 = 1.0;  // all residuals are zero on a horizontal target
+  } else {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double pred = result.a * xs[i] + result.b;
+      ss_res += (ys[i] - pred) * (ys[i] - pred);
+    }
+    result.r2 = 1.0 - ss_res / syy;
+  }
+  return result;
+}
+
+LinearFit fit(std::span<const prof::IterPair> pairs) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(pairs.size());
+  ys.reserve(pairs.size());
+  for (const prof::IterPair& p : pairs) {
+    xs.push_back(static_cast<double>(p.ix));
+    ys.push_back(static_cast<double>(p.iy));
+  }
+  return fit(xs, ys);
+}
+
+double efficiency_factor(const LinearFit& fit_result, double nx, double ny) {
+  if (nx <= 0.0 || ny <= 0.0) return 0.0;
+  // Area under the fitted line over [0, nx]; negative stretches (where the
+  // line is below zero) contribute nothing, matching the intuition that an
+  // iteration cannot depend on a negative iteration index.
+  const double a = fit_result.a;
+  const double b = fit_result.b;
+  auto primitive = [&](double x) { return 0.5 * a * x * x + b * x; };
+  double current = 0.0;
+  if (a == 0.0) {
+    current = b > 0.0 ? b * nx : 0.0;
+  } else {
+    const double root = -b / a;
+    double lo = 0.0;
+    double hi = nx;
+    if (a > 0.0) {
+      lo = std::clamp(root, 0.0, nx);  // line positive above the root
+      current = primitive(hi) - primitive(lo);
+    } else {
+      hi = std::clamp(root, 0.0, nx);  // line positive below the root
+      current = primitive(hi) - primitive(lo);
+    }
+    current = std::max(current, 0.0);
+  }
+  const double perfect = 0.5 * ny * nx;  // diagonal (0,0) -> (nx, ny)
+  PPD_ASSERT(perfect > 0.0);
+  return current / perfect;
+}
+
+}  // namespace ppd::regress

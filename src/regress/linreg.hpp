@@ -1,0 +1,40 @@
+// Ordinary-least-squares linear regression and the multi-loop pipeline
+// efficiency factor (Eq. 1 and Eq. 2 of the paper).
+#pragma once
+
+#include <span>
+
+#include "prof/dependence.hpp"
+
+namespace ppd::regress {
+
+/// Fitted line Y = a·X + b.
+struct LinearFit {
+  double a = 0.0;  ///< slope
+  double b = 0.0;  ///< intercept
+  double r2 = 0.0;  ///< coefficient of determination
+  std::size_t samples = 0;
+
+  [[nodiscard]] bool usable() const { return samples >= 2; }
+};
+
+/// OLS fit over (x, y) samples. With fewer than two samples or zero X
+/// variance, the fit degenerates to a horizontal line through the mean.
+[[nodiscard]] LinearFit fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Convenience overload over recorded iteration pairs.
+[[nodiscard]] LinearFit fit(std::span<const prof::IterPair> pairs);
+
+/// Efficiency factor e = ∫current / ∫perfect (Eq. 2).
+///
+/// ∫current is the area under the fitted line over X ∈ [0, nx]. The
+/// *perfect* pipeline line is the normalized diagonal from (0,0) to
+/// (nx, ny): iteration fractions of the two loops correspond one-to-one
+/// (for equal trip counts this is the paper's Y = X line; for unequal trip
+/// counts the diagonal rescales, which reproduces the paper's fluidanimate
+/// value e = 0.97 at a = 0.05). Clamped to be non-negative; e ≈ 1 is a
+/// perfect pipeline, e ≈ 0 means loop y waits for nearly all of loop x, and
+/// e >> 1 means both loops can run almost concurrently (§III-A).
+[[nodiscard]] double efficiency_factor(const LinearFit& fit_result, double nx, double ny);
+
+}  // namespace ppd::regress

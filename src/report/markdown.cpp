@@ -1,0 +1,142 @@
+#include "report/markdown.hpp"
+
+#include "core/task_parallelism.hpp"
+#include "support/table.hpp"
+
+namespace ppd::report {
+namespace {
+
+using support::format_fixed;
+
+std::string region_name(const trace::TraceContext& program, RegionId region) {
+  return region.valid() ? program.region(region).name : std::string("<unknown>");
+}
+
+const char* role_color(core::CuRole role) {
+  switch (role) {
+    case core::CuRole::Fork: return "lightblue";
+    case core::CuRole::Worker: return "palegreen";
+    case core::CuRole::Barrier: return "lightsalmon";
+    case core::CuRole::Unmarked: return "white";
+  }
+  return "white";
+}
+
+}  // namespace
+
+std::string markdown_report(const core::AnalysisResult& analysis,
+                            const trace::TraceContext& program, const std::string& title) {
+  std::string md;
+  md += "# Pattern analysis: " + title + "\n\n";
+  md += "Primary pattern: **" + analysis.primary_description + "** (supporting structure: " +
+        core::supporting_structure(analysis.primary) + ")\n\n";
+
+  md += "## Hotspots\n\n| Region | Kind | Share |\n|---|---|---|\n";
+  for (pet::NodeIndex node : analysis.pet.hotspots(0.02)) {
+    const pet::PetNode& n = analysis.pet.node(node);
+    md += "| `" + n.name + "` | " + (n.is_loop() ? "loop" : "function") +
+          (n.recursive ? " (recursive)" : "") + " | " +
+          format_fixed(analysis.pet.cost_fraction(node) * 100.0, 2) + "% |\n";
+  }
+  md += "\n";
+
+  const auto pipelines = analysis.reported_pipelines();
+  if (!pipelines.empty()) {
+    md += "## Multi-loop pipelines\n\n| Producer | Consumer | a | b | e | Fusion |\n"
+          "|---|---|---|---|---|---|\n";
+    for (const core::MultiLoopPipeline* p : pipelines) {
+      md += "| `" + region_name(program, p->loop_x) + "` | `" +
+            region_name(program, p->loop_y) + "` | " + format_fixed(p->fit.a, 2) + " | " +
+            format_fixed(p->fit.b, 2) + " | " + format_fixed(p->e, 2) + " | " +
+            (p->fusion ? "yes" : "no") + " |\n";
+    }
+    md += "\n";
+  }
+
+  if (!analysis.reductions.empty()) {
+    md += "## Reductions (Algorithm 3)\n\n| Loop | Variable | Line | Operator |\n"
+          "|---|---|---|---|\n";
+    for (const core::ReductionCandidate& r : analysis.reductions) {
+      md += "| `" + region_name(program, r.loop) + "` | `" + program.var_info(r.var).name +
+            "` | " + std::to_string(r.line) + " | " + trace::to_string(r.op) + " |\n";
+    }
+    md += "\n";
+  }
+
+  const core::ScopeTaskParallelism* tasks = analysis.primary_tasks();
+  if (tasks != nullptr && tasks->tp.worker_count() >= 1) {
+    md += "## Task classification in `" + region_name(program, tasks->tp.scope) + "`\n\n";
+    md += "| CU | Name | Role |\n|---|---|---|\n";
+    for (std::size_t i = 0; i < tasks->tp.roles.size(); ++i) {
+      md += "| CU_" + std::to_string(i) + " | `" +
+            tasks->graph.cu(static_cast<graph::NodeIndex>(i)).name + "` | " +
+            core::to_string(tasks->tp.roles[i]) + " |\n";
+    }
+    md += "\nEstimated speedup: " + format_fixed(tasks->tp.estimated_speedup, 2) + "\n\n";
+  }
+
+  const auto ranked = core::rank_patterns(analysis, program);
+  if (!ranked.empty()) {
+    md += "## Ranked patterns\n\n| Pattern | Benefit | Effort | Score |\n|---|---|---|---|\n";
+    for (const core::RankedPattern& r : ranked) {
+      md += "| " + r.description + " | " + format_fixed(r.expected_benefit, 2) + "x | " +
+            core::to_string(r.effort) + " | " + format_fixed(r.score, 3) + " |\n";
+    }
+    md += "\n";
+  }
+
+  const auto hints = core::derive_hints(analysis, program);
+  if (!hints.empty()) {
+    md += "## Transformation hints\n\n";
+    for (const core::TransformationHint& h : hints) {
+      md += "- **" + std::string(core::to_string(h.kind)) + "**: " + h.text + "\n";
+    }
+    md += "\n";
+  }
+  return md;
+}
+
+std::string pet_to_dot(const pet::Pet& pet) {
+  std::string dot = "digraph PET {\n  rankdir=TB;\n  node [shape=box, style=filled];\n";
+  for (const pet::PetNode& n : pet.nodes()) {
+    const double share = pet.cost_fraction(n.index);
+    std::string label = n.index == 0 ? "<program>" : n.name;
+    if (n.is_loop()) label += "\\n(loop, " + std::to_string(n.iterations) + " iters)";
+    if (n.recursive) label += "\\n[recursive]";
+    label += "\\n" + support::format_fixed(share * 100.0, 1) + "%";
+    // Hotter nodes get a warmer fill.
+    const char* fill = share >= 0.5 ? "salmon" : share >= 0.1 ? "khaki" : "white";
+    dot += "  n" + std::to_string(n.index) + " [label=\"" + label + "\", fillcolor=" + fill +
+           "];\n";
+  }
+  for (const pet::PetNode& n : pet.nodes()) {
+    for (pet::NodeIndex child : n.children) {
+      dot += "  n" + std::to_string(n.index) + " -> n" + std::to_string(child) + ";\n";
+    }
+  }
+  dot += "}\n";
+  return dot;
+}
+
+std::string cu_graph_to_dot(const cu::CuGraph& graph, const core::TaskParallelism* roles) {
+  std::string dot = "digraph CUGraph {\n  rankdir=LR;\n  node [shape=ellipse, style=filled];\n";
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const cu::Cu& cu = graph.cu(static_cast<graph::NodeIndex>(i));
+    std::string label = "CU_" + std::to_string(i) + "\\n" + cu.name;
+    const char* fill = "white";
+    if (roles != nullptr && i < roles->roles.size()) {
+      label += "\\n[" + std::string(core::to_string(roles->roles[i])) + "]";
+      fill = role_color(roles->roles[i]);
+    }
+    dot += "  c" + std::to_string(i) + " [label=\"" + label + "\", fillcolor=" + fill + "];\n";
+  }
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    for (graph::NodeIndex succ : graph.graph.successors(static_cast<graph::NodeIndex>(i))) {
+      dot += "  c" + std::to_string(i) + " -> c" + std::to_string(succ) + ";\n";
+    }
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace ppd::report

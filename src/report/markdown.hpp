@@ -1,0 +1,31 @@
+// Markdown analysis report and Graphviz exports.
+//
+// The CLI can persist a full analysis as a markdown document (for code
+// review / issue threads) and the PET / CU graph as DOT for rendering with
+// Graphviz — the release-facing counterpart of the paper's textual output.
+#pragma once
+
+#include <string>
+
+#include "core/advisor.hpp"
+#include "core/analyzer.hpp"
+#include "cu/cu.hpp"
+#include "pet/pet.hpp"
+#include "trace/context.hpp"
+
+namespace ppd::report {
+
+/// Renders the complete analysis (hotspots, primary pattern, pipelines,
+/// reductions, task classification, ranking, hints) as a markdown document.
+[[nodiscard]] std::string markdown_report(const core::AnalysisResult& analysis,
+                                          const trace::TraceContext& program,
+                                          const std::string& title);
+
+/// Graphviz DOT of the Program Execution Tree (hotspot share per node).
+[[nodiscard]] std::string pet_to_dot(const pet::Pet& pet);
+
+/// Graphviz DOT of a CU graph, optionally colored by the Algorithm 1 roles.
+[[nodiscard]] std::string cu_graph_to_dot(const cu::CuGraph& graph,
+                                          const core::TaskParallelism* roles = nullptr);
+
+}  // namespace ppd::report

@@ -1,0 +1,66 @@
+#include "report/tables.hpp"
+
+namespace ppd::report {
+
+using support::Align;
+using support::format_fixed;
+using support::TextTable;
+
+TextTable make_table3(const std::vector<Table3Row>& rows) {
+  TextTable t;
+  t.set_header({"Application", "Benchmark Suite", "LOC", "Exec Inst % in Hotspot", "Speedup",
+                "Threads", "Detected Pattern"});
+  t.set_alignment({Align::Left, Align::Left, Align::Right, Align::Right, Align::Right,
+                   Align::Right, Align::Left});
+  for (const Table3Row& r : rows) {
+    t.add_row({r.application, r.suite, std::to_string(r.loc),
+               format_fixed(r.hotspot_pct, 2) + "%", format_fixed(r.speedup, 2),
+               std::to_string(r.threads), r.pattern});
+  }
+  return t;
+}
+
+TextTable make_table4(const std::vector<Table4Row>& rows) {
+  TextTable t;
+  t.set_header({"Application", "a", "b", "e"});
+  t.set_alignment({Align::Left, Align::Right, Align::Right, Align::Right});
+  for (const Table4Row& r : rows) {
+    t.add_row({r.application, format_fixed(r.a, 2), format_fixed(r.b, 2),
+               format_fixed(r.e, 2)});
+  }
+  return t;
+}
+
+TextTable make_table5(const std::vector<Table5Row>& rows) {
+  TextTable t;
+  t.set_header({"Application", "Total Instructions", "Instructions on Critical Path",
+                "Estimated Speedup"});
+  t.set_alignment({Align::Left, Align::Right, Align::Right, Align::Right});
+  for (const Table5Row& r : rows) {
+    t.add_row({r.application, std::to_string(r.total_instructions),
+               std::to_string(r.critical_path), format_fixed(r.estimated_speedup, 2)});
+  }
+  return t;
+}
+
+TextTable make_table6(const std::vector<Table6Column>& columns) {
+  TextTable t;
+  std::vector<std::string> header{"Tool"};
+  for (const Table6Column& c : columns) header.push_back(c.benchmark);
+  t.set_header(header);
+
+  std::vector<std::string> sambamba{"Sambamba"};
+  std::vector<std::string> icc{"icc"};
+  std::vector<std::string> discopop{"DiscoPoP"};
+  for (const Table6Column& c : columns) {
+    sambamba.push_back(c.sambamba);
+    icc.push_back(c.icc);
+    discopop.push_back(c.discopop);
+  }
+  t.add_row(sambamba);
+  t.add_row(icc);
+  t.add_row(discopop);
+  return t;
+}
+
+}  // namespace ppd::report

@@ -1,0 +1,55 @@
+// Evaluation-table assembly (Tables III-VI of the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/table.hpp"
+
+namespace ppd::report {
+
+/// One measured Table III row.
+struct Table3Row {
+  std::string application;
+  std::string suite;
+  int loc = 0;
+  double hotspot_pct = 0.0;
+  double speedup = 1.0;
+  int threads = 1;
+  std::string pattern;
+};
+
+/// Builds the Table III text table (measured values).
+[[nodiscard]] support::TextTable make_table3(const std::vector<Table3Row>& rows);
+
+/// One measured Table IV row (multi-loop pipeline summary).
+struct Table4Row {
+  std::string application;
+  double a = 0.0;
+  double b = 0.0;
+  double e = 0.0;
+};
+
+[[nodiscard]] support::TextTable make_table4(const std::vector<Table4Row>& rows);
+
+/// One measured Table V row (task parallelism summary).
+struct Table5Row {
+  std::string application;
+  std::uint64_t total_instructions = 0;
+  std::uint64_t critical_path = 0;
+  double estimated_speedup = 1.0;
+};
+
+[[nodiscard]] support::TextTable make_table5(const std::vector<Table5Row>& rows);
+
+/// One Table VI column (a benchmark) with the three tools' verdicts.
+struct Table6Column {
+  std::string benchmark;
+  std::string sambamba;
+  std::string icc;
+  std::string discopop;
+};
+
+[[nodiscard]] support::TextTable make_table6(const std::vector<Table6Column>& columns);
+
+}  // namespace ppd::report

@@ -1,0 +1,76 @@
+#include "rt/dag_executor.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+#include "support/assert.hpp"
+
+namespace ppd::rt {
+
+void execute_dag(ThreadPool& pool, std::vector<DagTask> tasks) {
+  if (tasks.empty()) return;
+
+  struct State {
+    std::vector<DagTask> tasks;
+    std::vector<std::atomic<std::size_t>> pending;
+    std::vector<std::vector<std::size_t>> dependents;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t remaining;
+    std::exception_ptr first_error;
+
+    explicit State(std::vector<DagTask> t)
+        : tasks(std::move(t)), pending(tasks.size()), dependents(tasks.size()),
+          remaining(tasks.size()) {}
+  };
+  State state(std::move(tasks));
+
+  for (std::size_t i = 0; i < state.tasks.size(); ++i) {
+    for (std::size_t dep : state.tasks[i].deps) {
+      PPD_ASSERT_MSG(dep < i, "DAG dependencies must point at earlier tasks");
+      state.dependents[dep].push_back(i);
+    }
+    state.pending[i].store(state.tasks[i].deps.size(), std::memory_order_relaxed);
+  }
+
+  // submit() is recursive through completions; define as a fixed function.
+  struct Runner {
+    State& state;
+    ThreadPool& pool;
+
+    void submit(std::size_t index) {
+      pool.submit([this, index] {
+        try {
+          state.tasks[index].work();
+        } catch (...) {
+          std::lock_guard lock(state.mutex);
+          if (!state.first_error) state.first_error = std::current_exception();
+        }
+        for (std::size_t dependent : state.dependents[index]) {
+          if (state.pending[dependent].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            submit(dependent);
+          }
+        }
+        // Notify while holding the lock: the waiter owns `state`, and it may
+        // destroy it the moment it observes remaining == 0 — notifying after
+        // unlocking would race with that destruction.
+        std::lock_guard lock(state.mutex);
+        --state.remaining;
+        if (state.remaining == 0) state.cv.notify_all();
+      });
+    }
+  };
+  Runner runner{state, pool};
+
+  for (std::size_t i = 0; i < state.tasks.size(); ++i) {
+    if (state.tasks[i].deps.empty()) runner.submit(i);
+  }
+
+  std::unique_lock lock(state.mutex);
+  state.cv.wait(lock, [&] { return state.remaining == 0; });
+  if (state.first_error) std::rethrow_exception(state.first_error);
+}
+
+}  // namespace ppd::rt

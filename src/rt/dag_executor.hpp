@@ -1,0 +1,29 @@
+// DAG executor: runs a dependency graph of closures on the thread pool.
+//
+// This is the executable counterpart of the CU graphs the detector
+// classifies: each CU (or collapsed loop) becomes a node with its
+// dependences as edges, and the executor releases a node the moment its
+// last dependence finishes — the fork/worker/barrier schedule of §III-B
+// without explicit barriers.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "rt/thread_pool.hpp"
+
+namespace ppd::rt {
+
+/// One executable node. Dependencies must refer to earlier indices (the
+/// same deps-point-backwards invariant as sim::TaskDag).
+struct DagTask {
+  std::function<void()> work;
+  std::vector<std::size_t> deps;
+};
+
+/// Executes all tasks respecting the dependence edges; returns when every
+/// task has finished. Throws the first captured task exception. Tasks whose
+/// dependencies are all satisfied run concurrently, bounded by the pool.
+void execute_dag(ThreadPool& pool, std::vector<DagTask> tasks);
+
+}  // namespace ppd::rt

@@ -1,0 +1,91 @@
+#include "rt/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace ppd::rt {
+
+void pipelined_loop_pair(ThreadPool& pool, std::uint64_t nx, std::uint64_t ny,
+                         const std::function<std::uint64_t(std::uint64_t)>& need,
+                         const std::function<void(std::uint64_t)>& run_x,
+                         const std::function<void(std::uint64_t)>& run_y, bool x_doall) {
+  IterationBarrier barrier;
+  TaskGroup group(pool);
+
+  // Shared do-all state for stage x (ordered block self-scheduling: workers
+  // grab the next block; a completion bitmap advances the published prefix
+  // in order so stage y sees monotone progress).
+  const std::uint64_t block =
+      std::max<std::uint64_t>(1, nx / (static_cast<std::uint64_t>(pool.thread_count()) * 4 + 1));
+  const std::size_t block_count = nx == 0 ? 0 : static_cast<std::size_t>((nx + block - 1) / block);
+  std::atomic<std::uint64_t> next{0};
+  std::mutex done_mutex;
+  std::vector<bool> block_done(block_count, false);
+  std::uint64_t frontier = 0;
+
+  if (x_doall && pool.thread_count() > 1 && nx > 0) {
+    // One pool thread is reserved for stage y; the rest run stage-x blocks.
+    // All tasks are siblings in one flat group — no task ever blocks on a
+    // nested group, so the pool cannot deadlock.
+    const std::size_t workers = pool.thread_count() - 1;
+    for (std::size_t w = 0; w < workers; ++w) {
+      group.run([&] {
+        for (;;) {
+          const std::uint64_t b = next.fetch_add(1);
+          const std::uint64_t lo = b * block;
+          if (lo >= nx) return;
+          const std::uint64_t hi = std::min(nx, lo + block);
+          for (std::uint64_t i = lo; i < hi; ++i) run_x(i);
+          std::lock_guard lock(done_mutex);
+          block_done[static_cast<std::size_t>(b)] = true;
+          while (frontier < block_done.size() && block_done[static_cast<std::size_t>(frontier)]) {
+            ++frontier;
+          }
+          barrier.publish(std::min(nx, frontier * block));
+        }
+      });
+    }
+  } else {
+    group.run([&] {
+      for (std::uint64_t i = 0; i < nx; ++i) {
+        run_x(i);
+        barrier.publish(i + 1);
+      }
+      barrier.publish(nx);  // covers nx == 0
+    });
+  }
+
+  group.run([&] {
+    for (std::uint64_t j = 0; j < ny; ++j) {
+      barrier.wait_for(std::min(nx, need(j)));
+      run_y(j);
+    }
+  });
+
+  group.wait();
+}
+
+void pipelined_loop_chain(ThreadPool& pool, std::vector<PipelineStage> stages) {
+  if (stages.empty()) return;
+  // barriers[k] publishes stage k's completed-iteration prefix.
+  std::vector<IterationBarrier> barriers(stages.size());
+  TaskGroup group(pool);
+  for (std::size_t k = 0; k < stages.size(); ++k) {
+    group.run([&, k] {
+      const PipelineStage& stage = stages[k];
+      for (std::uint64_t j = 0; j < stage.iterations; ++j) {
+        if (k > 0 && stage.need) {
+          barriers[k - 1].wait_for(std::min(stages[k - 1].iterations, stage.need(j)));
+        } else if (k > 0) {
+          barriers[k - 1].wait_for(std::min(stages[k - 1].iterations, j + 1));
+        }
+        stage.run(j);
+        barriers[k].publish(j + 1);
+      }
+      barriers[k].publish(stage.iterations);
+    });
+  }
+  group.wait();
+}
+
+}  // namespace ppd::rt

@@ -1,0 +1,122 @@
+// SPMD supporting-structure primitives: parallel_for (do-all), parallel
+// reduction, and the pipelined loop-pair executor for multi-loop pipelines.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "rt/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace ppd::rt {
+
+/// Do-all: applies fn(i) for i in [begin, end), statically chunked over the
+/// pool's workers. Blocks until every iteration finished.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::uint64_t begin, std::uint64_t end, Fn&& fn) {
+  if (begin >= end) return;
+  const std::uint64_t n = end - begin;
+  const std::uint64_t chunks =
+      std::min<std::uint64_t>(n, static_cast<std::uint64_t>(pool.thread_count()));
+  TaskGroup group(pool);
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    const std::uint64_t lo = begin + n * c / chunks;
+    const std::uint64_t hi = begin + n * (c + 1) / chunks;
+    group.run([lo, hi, &fn] {
+      for (std::uint64_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  group.wait();
+}
+
+/// Parallel reduction over [begin, end): each worker folds its chunk with
+/// fold(acc, i) starting from `identity`; partial results are combined with
+/// the associative combine(a, b).
+template <typename T, typename Fold, typename Combine>
+[[nodiscard]] T parallel_reduce(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
+                                T identity, Fold&& fold, Combine&& combine) {
+  if (begin >= end) return identity;
+  const std::uint64_t n = end - begin;
+  const std::uint64_t chunks =
+      std::min<std::uint64_t>(n, static_cast<std::uint64_t>(pool.thread_count()));
+  std::vector<T> partial(chunks, identity);
+  TaskGroup group(pool);
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    const std::uint64_t lo = begin + n * c / chunks;
+    const std::uint64_t hi = begin + n * (c + 1) / chunks;
+    group.run([lo, hi, c, &partial, &fold, identity] {
+      T acc = identity;
+      for (std::uint64_t i = lo; i < hi; ++i) acc = fold(acc, i);
+      partial[c] = acc;
+    });
+  }
+  group.wait();
+  T acc = identity;
+  for (const T& p : partial) acc = combine(acc, p);
+  return acc;
+}
+
+/// Progress counter used to overlap dependent loops: producers publish how
+/// many iterations completed; consumers block until a prefix is done.
+class IterationBarrier {
+ public:
+  /// Marks iterations [0, count) of the producer loop as complete.
+  void publish(std::uint64_t count) {
+    {
+      std::lock_guard lock(mutex_);
+      if (count > completed_) completed_ = count;
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until at least `count` producer iterations completed.
+  void wait_for(std::uint64_t count) {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return completed_ >= count; });
+  }
+
+  [[nodiscard]] std::uint64_t completed() const {
+    std::lock_guard lock(mutex_);
+    return completed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t completed_ = 0;
+};
+
+/// Multi-loop pipeline executor (SPMD over two dependent loops).
+///
+/// Runs loop x (nx iterations) and loop y (ny iterations) overlapped:
+/// y-iteration j may start once x-iterations [0, need(j)) completed —
+/// `need` comes straight from the detected regression line,
+/// need(j) = clamp(ceil((j - b) / a), 0, nx). When `x_doall` is set, loop x
+/// itself runs as a do-all over pool workers, publishing progress in order.
+void pipelined_loop_pair(ThreadPool& pool, std::uint64_t nx, std::uint64_t ny,
+                         const std::function<std::uint64_t(std::uint64_t)>& need,
+                         const std::function<void(std::uint64_t)>& run_x,
+                         const std::function<void(std::uint64_t)>& run_y, bool x_doall);
+
+/// One stage of an n-stage pipeline chain (§III-A: a chain of n dependent
+/// loops is implemented by merging the pairwise relationships).
+struct PipelineStage {
+  std::uint64_t iterations = 0;
+  /// Executes iteration i of this stage.
+  std::function<void(std::uint64_t)> run;
+  /// How many completed iterations of the *previous* stage iteration j of
+  /// this stage requires (from the detected regression line). Null for the
+  /// first stage.
+  std::function<std::uint64_t(std::uint64_t)> need;
+};
+
+/// Runs the whole chain overlapped: each stage advances as soon as its
+/// predecessor published enough iterations. Stages run sequentially within
+/// themselves; the parallelism is the stage overlap.
+void pipelined_loop_chain(ThreadPool& pool, std::vector<PipelineStage> stages);
+
+}  // namespace ppd::rt

@@ -1,0 +1,85 @@
+#include "rt/thread_pool.hpp"
+
+#include "support/assert.hpp"
+
+namespace ppd::rt {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  PPD_ASSERT(threads > 0);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    PPD_ASSERT_MSG(!stopping_, "submit on a stopping pool");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  // A TaskGroup must not be destroyed with tasks in flight; wait() first.
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void TaskGroup::run(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    ++pending_;
+  }
+  pool_.submit([this, task = std::move(task)] {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    // Notify while holding the lock: the waiter owns this TaskGroup and may
+    // destroy it the moment it observes pending_ == 0 — notifying after
+    // unlocking would race with that destruction.
+    std::lock_guard lock(mutex_);
+    --pending_;
+    if (pending_ == 0) cv_.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace ppd::rt

@@ -1,0 +1,73 @@
+// Minimal work-queue thread pool.
+//
+// The paper implements its detected patterns by hand with threads; this
+// runtime provides the supporting structures of Table I (master/worker via
+// TaskGroup, SPMD via parallel_for / parallel_reduce, and the pipelined
+// loop-pair executor) so the benchmark suite can run each detected pattern
+// for real and verify that the parallel result equals the sequential one.
+// Wall-clock speedup is *not* measured here (see ppd::sim): the build
+// machine is single-core, so speedups come from the virtual-time simulator.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ppd::rt {
+
+/// Fixed-size pool of worker threads consuming a shared FIFO work queue.
+/// Exceptions thrown by tasks are captured; the first one is rethrown from
+/// TaskGroup::wait() (tasks submitted raw via submit() must not throw).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void submit(std::function<void()> task);
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+/// Fork/join group: run() forks tasks onto the pool, wait() joins them all
+/// and rethrows the first captured exception.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Forks `task` onto the pool.
+  void run(std::function<void()> task);
+
+  /// Blocks until every forked task finished; rethrows the first exception.
+  void wait();
+
+ private:
+  ThreadPool& pool_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace ppd::rt

@@ -1,0 +1,116 @@
+#include "sim/lowering.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace ppd::sim {
+
+DagBuilder::LoweredLoop DagBuilder::lower_loop(std::uint64_t iterations, Cost total_cost,
+                                               core::LoopClass cls, std::size_t max_blocks) {
+  LoweredLoop loop;
+  loop.iterations = iterations;
+  if (iterations == 0) return loop;
+
+  const std::uint64_t blocks =
+      std::min<std::uint64_t>(iterations, static_cast<std::uint64_t>(std::max<std::size_t>(1, max_blocks)));
+  loop.iters_per_block = (iterations + blocks - 1) / blocks;
+  const std::uint64_t actual_blocks =
+      (iterations + loop.iters_per_block - 1) / loop.iters_per_block;
+
+  const Cost per_block = total_cost / actual_blocks;
+  Cost remainder = total_cost - per_block * actual_blocks;
+
+  TaskIndex prev = kInvalidTask;
+  for (std::uint64_t b = 0; b < actual_blocks; ++b) {
+    Cost cost = per_block;
+    if (remainder > 0) {
+      ++cost;
+      --remainder;
+    }
+    const TaskIndex t = dag_.add_task(cost);
+    if (cls == core::LoopClass::Sequential && prev != kInvalidTask) {
+      dag_.add_dep(t, prev);
+    }
+    loop.blocks.push_back(t);
+    prev = t;
+  }
+
+  if (cls == core::LoopClass::Sequential) {
+    loop.tail = loop.blocks.back();
+  } else if (cls == core::LoopClass::Reduction) {
+    // Partial accumulators combine in one cheap join.
+    const TaskIndex combine = dag_.add_task(1);
+    for (TaskIndex b : loop.blocks) dag_.add_dep(combine, b);
+    loop.tail = combine;
+  }
+  return loop;
+}
+
+TaskIndex DagBuilder::serial_task(Cost cost, TaskIndex after) {
+  const TaskIndex t = dag_.add_task(cost);
+  if (after != kInvalidTask) dag_.add_dep(t, after);
+  return t;
+}
+
+void DagBuilder::link_all(const LoweredLoop& from, const LoweredLoop& to) {
+  for (TaskIndex dst : to.blocks) {
+    if (from.tail != kInvalidTask) {
+      dag_.add_dep(dst, from.tail);
+    } else {
+      for (TaskIndex src : from.blocks) dag_.add_dep(dst, src);
+    }
+  }
+}
+
+void DagBuilder::link_pairs(const LoweredLoop& x, const LoweredLoop& y,
+                            std::span<const prof::IterPair> pairs) {
+  if (x.blocks.empty() || y.blocks.empty()) return;
+  // Deduplicate per (y block): keep the latest required x block.
+  std::vector<TaskIndex> needed(y.blocks.size(), kInvalidTask);
+  for (const prof::IterPair& p : pairs) {
+    const std::size_t yb =
+        std::min<std::size_t>(static_cast<std::size_t>(p.iy / y.iters_per_block),
+                              y.blocks.size() - 1);
+    const TaskIndex xb = x.block_of(p.ix);
+    if (needed[yb] == kInvalidTask || xb > needed[yb]) needed[yb] = xb;
+  }
+  for (std::size_t yb = 0; yb < needed.size(); ++yb) {
+    if (needed[yb] != kInvalidTask) dag_.add_dep(y.blocks[yb], needed[yb]);
+  }
+}
+
+void DagBuilder::after_loop(TaskIndex task, const LoweredLoop& loop) {
+  if (loop.blocks.empty()) return;
+  if (loop.tail != kInvalidTask) {
+    dag_.add_dep(task, loop.tail);
+  } else {
+    for (TaskIndex b : loop.blocks) dag_.add_dep(task, b);
+  }
+}
+
+void DagBuilder::before_loop(const LoweredLoop& loop, TaskIndex task) {
+  for (TaskIndex b : loop.blocks) dag_.add_dep(b, task);
+}
+
+TaskIndex DagBuilder::recursion_tree(std::size_t branching, std::size_t depth,
+                                     Cost leaf_cost, Cost fork_cost, Cost join_cost,
+                                     TaskIndex after) {
+  PPD_ASSERT(branching >= 1);
+  if (depth == 0) {
+    return serial_task(leaf_cost, after);
+  }
+  const TaskIndex fork = serial_task(fork_cost, after);
+  std::vector<TaskIndex> children;
+  children.reserve(branching);
+  for (std::size_t c = 0; c < branching; ++c) {
+    children.push_back(
+        recursion_tree(branching, depth - 1, leaf_cost, fork_cost, join_cost, fork));
+  }
+  const TaskIndex join = dag_.add_task(join_cost);
+  for (TaskIndex child : children) dag_.add_dep(join, child);
+  dag_.add_dep(join, fork);
+  return join;
+}
+
+}  // namespace ppd::sim

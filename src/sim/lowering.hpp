@@ -1,0 +1,85 @@
+// Lowering detected patterns onto the virtual-time task DAG.
+//
+// Each benchmark's "implemented parallel version" is expressed as a TaskDag
+// built from these helpers; the simulator then sweeps thread counts to
+// produce the Table III speedup column. The helpers mirror the supporting
+// structures: lower_loop() is SPMD (do-all blocks / reduction blocks + a
+// combine / a sequential chain), link_pairs() wires a multi-loop pipeline
+// from the profiler's recorded iteration pairs, link_all() is a barrier, and
+// recursion_tree() is the fork/join shape of the BOTS-style recursive task
+// benchmarks.
+#pragma once
+
+#include <span>
+
+#include "core/loop_class.hpp"
+#include "prof/dependence.hpp"
+#include "sim/task_dag.hpp"
+
+namespace ppd::sim {
+
+/// Incrementally builds a TaskDag out of pattern-shaped pieces.
+class DagBuilder {
+ public:
+  /// A loop lowered to block tasks. Blocks are in iteration order.
+  struct LoweredLoop {
+    std::vector<TaskIndex> blocks;
+    std::uint64_t iterations = 0;
+    std::uint64_t iters_per_block = 1;
+    /// The task completing the whole loop (last chain link, the reduction
+    /// combine, or kInvalidTask for a plain do-all — use blocks directly).
+    TaskIndex tail = kInvalidTask;
+
+    /// Block containing iteration i.
+    [[nodiscard]] TaskIndex block_of(std::uint64_t i) const {
+      const std::size_t b = static_cast<std::size_t>(i / iters_per_block);
+      return blocks[std::min(b, blocks.size() - 1)];
+    }
+  };
+
+  /// Lowers a loop of `iterations` iterations and `total_cost` total work:
+  /// do-all -> independent blocks; reduction -> independent blocks plus a
+  /// combine task; sequential -> a dependence chain of blocks. At most
+  /// `max_blocks` tasks are created (iterations group into blocks beyond
+  /// that).
+  LoweredLoop lower_loop(std::uint64_t iterations, Cost total_cost, core::LoopClass cls,
+                         std::size_t max_blocks = 256);
+
+  /// A single serial task, optionally dependent on a previous task.
+  TaskIndex serial_task(Cost cost, TaskIndex after = kInvalidTask);
+
+  /// Barrier: every block of `to` depends on every block (and tail) of
+  /// `from`.
+  void link_all(const LoweredLoop& from, const LoweredLoop& to);
+
+  /// Multi-loop pipeline edges from recorded iteration pairs: y's block of
+  /// iteration iy depends on x's block of iteration ix.
+  void link_pairs(const LoweredLoop& x, const LoweredLoop& y,
+                  std::span<const prof::IterPair> pairs);
+
+  /// Makes `task` depend on the completion of `loop` (its tail, or all
+  /// blocks for a plain do-all).
+  void after_loop(TaskIndex task, const LoweredLoop& loop);
+
+  /// Makes every block of `loop` depend on `task` (serial setup before a
+  /// parallel loop).
+  void before_loop(const LoweredLoop& loop, TaskIndex task);
+
+  void link(TaskIndex task, TaskIndex dep) { dag_.add_dep(task, dep); }
+
+  /// Fork/join recursion tree with branching factor k and the given depth:
+  /// each internal node forks k children and joins them with a combine task;
+  /// leaves carry `leaf_cost`. Returns the root's join task. This is the
+  /// shape of the implemented BOTS task benchmarks (fib/sort/strassen),
+  /// whose parallel versions recurse with a cutoff.
+  TaskIndex recursion_tree(std::size_t branching, std::size_t depth, Cost leaf_cost,
+                           Cost fork_cost, Cost join_cost, TaskIndex after = kInvalidTask);
+
+  [[nodiscard]] TaskDag take() { return std::move(dag_); }
+  [[nodiscard]] const TaskDag& dag() const { return dag_; }
+
+ private:
+  TaskDag dag_;
+};
+
+}  // namespace ppd::sim

@@ -1,0 +1,95 @@
+// Virtual-time parallel-execution model.
+//
+// The paper measures speedups on a 2x8-core Xeon with 32 hyper-threads; the
+// build machine for this reproduction has a single core, so wall-clock
+// speedup is physically unobservable. Instead, the benchmark harness
+// *replays the profiled dependence structure* — the same iteration pairs,
+// task graphs, and cost weights the detectors extracted — under P virtual
+// workers with a calibrated overhead model (see DESIGN.md, substitution
+// table). This preserves the shape of Table III: which applications scale
+// to 32 threads, which saturate at 3-16, and roughly by what factor.
+//
+// The model is a task DAG with per-task costs plus a list scheduler. Every
+// pattern lowers onto it: do-all loops become independent per-iteration (or
+// per-block) tasks, sequential loops become dependence chains, multi-loop
+// pipelines add cross-loop edges straight from the recorded (i_x, i_y)
+// pairs, and task parallelism uses the CU graph itself.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/ids.hpp"
+
+namespace ppd::sim {
+
+using TaskIndex = std::uint32_t;
+inline constexpr TaskIndex kInvalidTask = ~TaskIndex{0};
+
+/// One schedulable unit of virtual work.
+struct SimTask {
+  Cost cost = 0;
+  std::vector<TaskIndex> deps;  ///< tasks that must finish first
+};
+
+/// A DAG of virtual tasks.
+class TaskDag {
+ public:
+  TaskIndex add_task(Cost cost);
+  void add_dep(TaskIndex task, TaskIndex dep);
+
+  [[nodiscard]] std::size_t size() const { return tasks_.size(); }
+  [[nodiscard]] const SimTask& task(TaskIndex t) const { return tasks_[t]; }
+  [[nodiscard]] const std::vector<SimTask>& tasks() const { return tasks_; }
+
+  /// Sum of all task costs: the sequential execution time (no overheads).
+  [[nodiscard]] Cost total_work() const;
+
+  /// Longest dependence chain by cost: a lower bound on any makespan.
+  [[nodiscard]] Cost critical_path() const;
+
+ private:
+  std::vector<SimTask> tasks_;
+};
+
+/// Overhead model for the virtual machine.
+struct SimParams {
+  /// Cost added to every task when executed in parallel mode (thread wakeup,
+  /// queue traffic). Zero tasks still pay it.
+  Cost spawn_overhead = 2;
+  /// One-time cost per run for team startup/teardown per worker.
+  Cost startup_per_worker = 2;
+  /// Roofline-style memory term: the portion of the total work that is
+  /// memory traffic at one thread. Bandwidth stops scaling past
+  /// memory_scale_limit workers, so T(P) >= memory_work / min(P, limit).
+  /// Streaming kernels (bicg, gesummv, kmeans) saturate around 8 threads on
+  /// the paper's two-socket machine; this term reproduces that saturation.
+  Cost memory_work = 0;
+  std::size_t memory_scale_limit = 8;
+};
+
+/// List-schedules the DAG on `workers` virtual workers (critical-path-first
+/// priority) and returns the makespan in virtual time units. With one
+/// worker, no overheads apply (that is the sequential execution).
+[[nodiscard]] Cost simulate_makespan(const TaskDag& dag, std::size_t workers,
+                                     const SimParams& params = {});
+
+/// Result of a thread sweep.
+struct SweepPoint {
+  std::size_t threads = 1;
+  Cost makespan = 0;
+  double speedup = 1.0;
+};
+struct SweepResult {
+  std::vector<SweepPoint> points;
+  SweepPoint best;
+};
+
+/// Simulates the DAG for each thread count (default: the paper's sweep
+/// 1..32) and reports the highest speedup and where it occurred (Table III's
+/// "Speedup" and "Threads" columns).
+[[nodiscard]] SweepResult sweep_threads(const TaskDag& dag, const SimParams& params = {},
+                                        const std::vector<std::size_t>& thread_counts = {
+                                            1, 2, 3, 4, 8, 16, 32});
+
+}  // namespace ppd::sim

@@ -1,0 +1,60 @@
+#include "staticdet/source_model.hpp"
+
+#include <algorithm>
+
+namespace ppd::staticdet {
+namespace {
+
+bool is_accumulation(const Stmt& stmt) {
+  return stmt.op == Op::AddAssign || stmt.op == Op::MulAssign;
+}
+
+/// Does any statement in `body` pass an accumulator into a call (by
+/// reference), i.e. is the reduction performed across the call boundary?
+bool accumulates_through_call(const std::vector<Stmt>& body) {
+  return std::any_of(body.begin(), body.end(),
+                     [](const Stmt& s) { return s.op == Op::Call; });
+}
+
+}  // namespace
+
+const char* to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::Detected: return "yes";
+    case Verdict::NotDetected: return "no";
+    case Verdict::NotApplicable: return "NA";
+  }
+  return "?";
+}
+
+Verdict IccStyleDetector::detect(const LoopModel& loop) const {
+  // Conservative static analysis: any call in the body defeats the
+  // dependence analysis; so does an accumulator it cannot disambiguate
+  // (array elements and pointer-based scalars may alias the inputs).
+  if (accumulates_through_call(loop.body)) return Verdict::NotDetected;
+  for (const Stmt& stmt : loop.body) {
+    if (!is_accumulation(stmt)) continue;
+    if (stmt.target == TargetKind::ScalarLocal) return Verdict::Detected;
+  }
+  return Verdict::NotDetected;
+}
+
+Verdict SambambaStyleDetector::detect(const LoopModel& loop) const {
+  if (loop.unsupported_by_sambamba) return Verdict::NotApplicable;
+  // Intra-procedural but with better alias analysis: scalar and
+  // array-element accumulators are both recognized when the accumulation is
+  // in the lexical extent of the loop.
+  for (const Stmt& stmt : loop.body) {
+    if (!is_accumulation(stmt)) continue;
+    if (stmt.target == TargetKind::ScalarLocal ||
+        stmt.target == TargetKind::ArrayElement ||
+        stmt.target == TargetKind::ScalarThrough) {
+      return Verdict::Detected;
+    }
+  }
+  // A reduction hidden inside a callee (sum_module) is invisible to an
+  // intra-procedural analysis.
+  return Verdict::NotDetected;
+}
+
+}  // namespace ppd::staticdet

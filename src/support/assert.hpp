@@ -1,0 +1,29 @@
+// Lightweight always-on assertion macro for internal invariants.
+//
+// The profiling and detection pipeline is driven entirely by dynamic data, so
+// a silent invariant violation (e.g. a region exit without a matching enter)
+// would corrupt every downstream analysis. Invariants therefore stay checked
+// in release builds; the cost is negligible next to trace processing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ppd::support {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "ppd: assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace ppd::support
+
+#define PPD_ASSERT(expr)                                                    \
+  ((expr) ? static_cast<void>(0)                                            \
+          : ::ppd::support::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define PPD_ASSERT_MSG(expr, msg)                                        \
+  ((expr) ? static_cast<void>(0)                                        \
+          : ::ppd::support::assert_fail(#expr, __FILE__, __LINE__, msg))

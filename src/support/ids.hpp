@@ -1,0 +1,75 @@
+// Strong identifier types shared across the ppd subsystems.
+//
+// Each analysis (trace, profiler, PET, CU graph) refers to the same static
+// program entities; strong types keep region ids, statement ids, and source
+// lines from being mixed up at call sites.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace ppd {
+
+/// A tagged integral id. `Tag` is an empty struct used only to distinguish
+/// id spaces at compile time.
+template <typename Tag, typename Rep = std::uint32_t>
+class Id {
+ public:
+  using rep_type = Rep;
+
+  constexpr Id() = default;
+  constexpr explicit Id(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != invalid_rep(); }
+
+  /// The reserved "no id" sentinel.
+  [[nodiscard]] static constexpr Id invalid() { return Id(); }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  static constexpr Rep invalid_rep() { return std::numeric_limits<Rep>::max(); }
+  Rep value_ = invalid_rep();
+};
+
+struct RegionTag {};
+struct StatementTag {};
+struct CuTag {};
+struct VarTag {};
+
+/// Identifies a *static* control region (a function or a loop); all dynamic
+/// instances of the same source-level region share one RegionId, mirroring
+/// the paper's merging of loop iterations and recursive calls into one PET
+/// node per static region.
+using RegionId = Id<RegionTag>;
+
+/// Identifies a static statement (one read-compute-write site).
+using StatementId = Id<StatementTag>;
+
+/// Identifies a computational unit in a CU graph.
+using CuId = Id<CuTag>;
+
+/// Identifies a named program variable (array or scalar) in the registry.
+using VarId = Id<VarTag>;
+
+/// A 1-based source line number. Line 0 means "unknown".
+using SourceLine = std::uint32_t;
+
+/// Abstract work measure: stands in for the paper's LLVM-IR instruction
+/// counts (see DESIGN.md, substitution table).
+using Cost = std::uint64_t;
+
+/// An abstract memory address, element-granular.
+using Address = std::uint64_t;
+
+}  // namespace ppd
+
+template <typename Tag, typename Rep>
+struct std::hash<ppd::Id<Tag, Rep>> {
+  std::size_t operator()(ppd::Id<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};

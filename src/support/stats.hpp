@@ -1,0 +1,18 @@
+// Small statistics helpers shared by the regression and simulation modules.
+#pragma once
+
+#include <span>
+
+namespace ppd::support {
+
+/// Arithmetic mean; returns 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Population variance; returns 0 for fewer than two samples.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Sample Pearson correlation of two equally sized spans; returns 0 when
+/// either side has zero variance.
+[[nodiscard]] double correlation(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace ppd::support

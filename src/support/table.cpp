@@ -1,0 +1,90 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/assert.hpp"
+
+namespace ppd::support {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::set_alignment(std::vector<Align> alignment) {
+  alignment_ = std::move(alignment);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  PPD_ASSERT_MSG(row.size() == header_.size(), "row width must match header");
+  rows_.push_back(Row{std::move(row), /*separator=*/false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, /*separator=*/true}); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+  }
+
+  auto pad = [&](const std::string& cell, std::size_t c) {
+    const Align align =
+        c < alignment_.size() ? alignment_[c] : Align::Left;
+    std::string padding(widths[c] - cell.size(), ' ');
+    return align == Align::Left ? cell + padding : padding + cell;
+  };
+
+  std::string out;
+  auto emit_rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out += std::string(widths[c] + 2, '-');
+      out += c + 1 < widths.size() ? "+" : "\n";
+    }
+  };
+
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += ' ';
+    out += pad(header_[c], c);
+    out += c + 1 < header_.size() ? " |" : " \n";
+  }
+  emit_rule();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      emit_rule();
+      continue;
+    }
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      out += ' ';
+      out += pad(row.cells[c], c);
+      out += c + 1 < row.cells.size() ? " |" : " \n";
+    }
+  }
+  return out;
+}
+
+std::string TextTable::render_csv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += cells[c];
+      out += c + 1 < cells.size() ? "," : "\n";
+    }
+  };
+  emit(header_);
+  for (const Row& row : rows_) {
+    if (!row.separator) emit(row.cells);
+  }
+  return out;
+}
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace ppd::support

@@ -1,0 +1,55 @@
+// Plain-text table rendering for the evaluation harnesses.
+//
+// Every bench binary reproduces one of the paper's tables; this renderer
+// prints aligned monospace tables (and optionally CSV) so the output can be
+// diffed against the paper's rows.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ppd::support {
+
+/// Column alignment within a rendered table.
+enum class Align { Left, Right };
+
+/// An aligned plain-text table. Add a header, then rows; render at the end.
+class TextTable {
+ public:
+  /// Sets the header row and column count. Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Sets per-column alignment; defaults to left for all columns.
+  void set_alignment(std::vector<Align> alignment);
+
+  /// Appends a data row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line at this position.
+  void add_separator();
+
+  /// Renders the table with column-aligned cells and a header rule.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders the table as RFC-4180-ish CSV (no quoting of embedded commas;
+  /// cell text in this project never contains commas).
+  [[nodiscard]] std::string render_csv() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Align> alignment_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with `digits` fractional digits ("3.25", "0.97").
+[[nodiscard]] std::string format_fixed(double value, int digits);
+
+}  // namespace ppd::support

@@ -1,0 +1,65 @@
+// TraceBuffer: an EventSink that records the full event stream.
+//
+// Used by tests and by the example programs to inspect traces; the real
+// analyses consume events online instead of buffering them.
+#pragma once
+
+#include <vector>
+
+#include "trace/events.hpp"
+
+namespace ppd::trace {
+
+/// A recorded access with the loop stack copied out of the transient event.
+struct RecordedAccess {
+  AccessKind kind = AccessKind::Read;
+  Address addr = 0;
+  VarId var;
+  SourceLine line = 0;
+  Cost cost = 1;
+  StatementId stmt;
+  RegionId region;
+  std::vector<LoopPosition> loop_stack;
+  std::uint64_t seq = 0;
+};
+
+/// Records every event for later inspection.
+class TraceBuffer final : public EventSink {
+ public:
+  void on_region_enter(const RegionInfo& region) override { enters_.push_back(region.id); }
+  void on_region_exit(const RegionInfo& region) override { exits_.push_back(region.id); }
+  void on_iteration(const RegionInfo& loop, std::uint64_t iteration) override {
+    iterations_.emplace_back(loop.id, iteration);
+  }
+  void on_access(const AccessEvent& access) override {
+    RecordedAccess rec;
+    rec.kind = access.kind;
+    rec.addr = access.addr;
+    rec.var = access.var;
+    rec.line = access.line;
+    rec.cost = access.cost;
+    rec.stmt = access.stmt;
+    rec.region = access.region;
+    rec.loop_stack.assign(access.loop_stack.begin(), access.loop_stack.end());
+    rec.seq = access.seq;
+    accesses_.push_back(std::move(rec));
+  }
+  void on_trace_end() override { ended_ = true; }
+
+  [[nodiscard]] const std::vector<RegionId>& enters() const { return enters_; }
+  [[nodiscard]] const std::vector<RegionId>& exits() const { return exits_; }
+  [[nodiscard]] const std::vector<std::pair<RegionId, std::uint64_t>>& iterations() const {
+    return iterations_;
+  }
+  [[nodiscard]] const std::vector<RecordedAccess>& accesses() const { return accesses_; }
+  [[nodiscard]] bool ended() const { return ended_; }
+
+ private:
+  std::vector<RegionId> enters_;
+  std::vector<RegionId> exits_;
+  std::vector<std::pair<RegionId, std::uint64_t>> iterations_;
+  std::vector<RecordedAccess> accesses_;
+  bool ended_ = false;
+};
+
+}  // namespace ppd::trace

@@ -1,0 +1,225 @@
+#include "trace/context.hpp"
+
+#include "support/assert.hpp"
+
+namespace ppd::trace {
+
+void TraceContext::add_sink(EventSink* sink) {
+  PPD_ASSERT(sink != nullptr);
+  sinks_.push_back(sink);
+}
+
+VarId TraceContext::var(std::string_view name) {
+  auto it = var_by_name_.find(std::string(name));
+  if (it != var_by_name_.end()) return it->second;
+  const VarId id(static_cast<VarId::rep_type>(vars_.size()));
+  vars_.push_back(VarInfo{id, std::string(name), /*local=*/false});
+  var_by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+VarId TraceContext::local_var(std::string_view name) {
+  const VarId id = var(name);
+  vars_[id.value()].local = true;
+  return id;
+}
+
+RegionId TraceContext::find_region(std::string_view name) const {
+  for (const RegionInfo& r : regions_) {
+    if (r.name == name) return r.id;
+  }
+  return RegionId::invalid();
+}
+
+VarId TraceContext::find_var(std::string_view name) const {
+  auto it = var_by_name_.find(std::string(name));
+  return it == var_by_name_.end() ? VarId::invalid() : it->second;
+}
+
+RegionId TraceContext::intern_region(RegionKind kind, std::string_view name,
+                                     SourceLine line) {
+  // Static regions are keyed by kind+name: all dynamic instances of the same
+  // source-level region share one id (the PET merges iterations and
+  // recursive activations into one node per static region).
+  std::string key = (kind == RegionKind::Function ? "f:" : "l:") + std::string(name);
+  auto it = region_by_key_.find(key);
+  if (it != region_by_key_.end()) return it->second;
+  const RegionId id(static_cast<RegionId::rep_type>(regions_.size()));
+  regions_.push_back(RegionInfo{id, kind, std::string(name), line, /*recursive=*/false});
+  function_depth_.push_back(0);
+  activation_count_.push_back(0);
+  region_by_key_.emplace(std::move(key), id);
+  return id;
+}
+
+StatementId TraceContext::intern_statement(std::string_view name, SourceLine line) {
+  const RegionId region = current_region();
+  std::string key = std::to_string(region.valid() ? region.value() : ~0u);
+  key += ':';
+  key += name;
+  auto it = statement_by_key_.find(key);
+  if (it != statement_by_key_.end()) return it->second;
+  const StatementId id(static_cast<StatementId::rep_type>(statements_.size()));
+  statements_.push_back(StatementInfo{id, region, std::string(name), line});
+  statement_by_key_.emplace(std::move(key), id);
+  return id;
+}
+
+void TraceContext::enter_region(RegionId id) {
+  PPD_ASSERT(!finished_);
+  RegionInfo& info = regions_.at(id.value());
+  if (info.kind == RegionKind::Function) {
+    // A function entered while already active is a recursive activation;
+    // the PET marks the merged node explicitly as recursive.
+    if (function_depth_[id.value()] > 0) info.recursive = true;
+    ++function_depth_[id.value()];
+    ++activation_count_[id.value()];
+    function_stack_.emplace_back(id, activation_count_[id.value()]);
+  } else {
+    loop_stack_.push_back(ActiveLoop{id, 0, false});
+    loop_positions_.push_back(LoopPosition{id, 0});
+  }
+  region_stack_.push_back(id);
+  ++seq_;
+  for (EventSink* sink : sinks_) sink->on_region_enter(info);
+}
+
+void TraceContext::exit_region(RegionId id) {
+  PPD_ASSERT_MSG(!region_stack_.empty() && region_stack_.back() == id,
+                 "region exit does not match innermost entered region");
+  region_stack_.pop_back();
+  RegionInfo& info = regions_.at(id.value());
+  if (info.kind == RegionKind::Function) {
+    PPD_ASSERT(function_depth_[id.value()] > 0);
+    --function_depth_[id.value()];
+    PPD_ASSERT(!function_stack_.empty() && function_stack_.back().first == id);
+    function_stack_.pop_back();
+  } else {
+    PPD_ASSERT(!loop_stack_.empty() && loop_stack_.back().loop == id);
+    loop_stack_.pop_back();
+    loop_positions_.pop_back();
+  }
+  ++seq_;
+  for (EventSink* sink : sinks_) sink->on_region_exit(info);
+}
+
+void TraceContext::begin_iteration(RegionId loop) {
+  PPD_ASSERT_MSG(!loop_stack_.empty() && loop_stack_.back().loop == loop,
+                 "begin_iteration outside the innermost loop scope");
+  ActiveLoop& active = loop_stack_.back();
+  const std::uint64_t iteration = active.next_iteration++;
+  active.iterating = true;
+  loop_positions_.back().iteration = iteration;
+  ++seq_;
+  const RegionInfo& info = regions_.at(loop.value());
+  for (EventSink* sink : sinks_) sink->on_iteration(info, iteration);
+}
+
+void TraceContext::read(VarId v, std::uint64_t index, SourceLine line, Cost cost) {
+  AccessEvent ev;
+  ev.kind = AccessKind::Read;
+  ev.addr = addr(v, index);
+  ev.var = v;
+  ev.line = line;
+  ev.cost = cost;
+  ev.stmt = current_statement();
+  ev.region = current_region();
+  if (!function_stack_.empty()) {
+    ev.func = function_stack_.back().first;
+    ev.func_activation = function_stack_.back().second;
+  }
+  ev.loop_stack = loop_positions_;
+  ev.seq = ++seq_;
+  total_cost_ += cost;
+  for (EventSink* sink : sinks_) sink->on_access(ev);
+}
+
+const char* to_string(UpdateOp op) {
+  switch (op) {
+    case UpdateOp::None: return "none";
+    case UpdateOp::Sum: return "+";
+    case UpdateOp::Product: return "*";
+    case UpdateOp::Min: return "min";
+    case UpdateOp::Max: return "max";
+  }
+  return "?";
+}
+
+void TraceContext::write(VarId v, std::uint64_t index, SourceLine line, Cost cost) {
+  write_impl(v, index, line, cost, UpdateOp::None);
+}
+
+void TraceContext::update(VarId v, std::uint64_t index, SourceLine line, UpdateOp op,
+                          Cost cost) {
+  read(v, index, line, cost);
+  write_impl(v, index, line, cost, op);
+}
+
+void TraceContext::write_impl(VarId v, std::uint64_t index, SourceLine line, Cost cost,
+                              UpdateOp op) {
+  AccessEvent ev;
+  ev.kind = AccessKind::Write;
+  ev.op = op;
+  ev.addr = addr(v, index);
+  ev.var = v;
+  ev.line = line;
+  ev.cost = cost;
+  ev.stmt = current_statement();
+  ev.region = current_region();
+  if (!function_stack_.empty()) {
+    ev.func = function_stack_.back().first;
+    ev.func_activation = function_stack_.back().second;
+  }
+  ev.loop_stack = loop_positions_;
+  ev.seq = ++seq_;
+  total_cost_ += cost;
+  for (EventSink* sink : sinks_) sink->on_access(ev);
+}
+
+void TraceContext::compute(SourceLine line, Cost cost) {
+  ComputeEvent ev;
+  ev.line = line;
+  ev.cost = cost;
+  ev.stmt = current_statement();
+  ev.region = current_region();
+  total_cost_ += cost;
+  ++seq_;
+  for (EventSink* sink : sinks_) sink->on_compute(ev);
+}
+
+void TraceContext::finish() {
+  if (finished_) return;
+  PPD_ASSERT_MSG(region_stack_.empty(), "finish() with regions still active");
+  finished_ = true;
+  for (EventSink* sink : sinks_) sink->on_trace_end();
+}
+
+FunctionScope::FunctionScope(TraceContext& ctx, std::string_view name, SourceLine line)
+    : ctx_(ctx), id_(ctx.intern_region(RegionKind::Function, name, line)) {
+  ctx_.enter_region(id_);
+}
+
+FunctionScope::~FunctionScope() { ctx_.exit_region(id_); }
+
+LoopScope::LoopScope(TraceContext& ctx, std::string_view name, SourceLine line)
+    : ctx_(ctx), id_(ctx.intern_region(RegionKind::Loop, name, line)) {
+  ctx_.enter_region(id_);
+}
+
+LoopScope::~LoopScope() { ctx_.exit_region(id_); }
+
+void LoopScope::begin_iteration() { ctx_.begin_iteration(id_); }
+
+StatementScope::StatementScope(TraceContext& ctx, std::string_view name, SourceLine line)
+    : ctx_(ctx), id_(ctx.intern_statement(name, line)) {
+  ctx_.statement_stack_.push_back(id_);
+  for (EventSink* sink : ctx_.sinks_) sink->on_statement_enter(ctx_.statement(id_));
+}
+
+StatementScope::~StatementScope() {
+  PPD_ASSERT(!ctx_.statement_stack_.empty() && ctx_.statement_stack_.back() == id_);
+  ctx_.statement_stack_.pop_back();
+  for (EventSink* sink : ctx_.sinks_) sink->on_statement_exit(ctx_.statement(id_));
+}
+
+}  // namespace ppd::trace

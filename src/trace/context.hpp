@@ -1,0 +1,216 @@
+// TraceContext: the instrumentation runtime.
+//
+// This module substitutes for the paper's LLVM instrumentation pass (see
+// DESIGN.md): benchmark kernels are hand-instrumented with RAII region
+// scopes and read()/write() hooks, producing exactly the event stream the
+// pass would produce — addresses, source lines, loop iteration vectors, and
+// abstract costs. Static program structure (regions, variables, statements)
+// is registered on first use and queryable afterwards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "support/ids.hpp"
+#include "trace/events.hpp"
+
+namespace ppd::trace {
+
+class FunctionScope;
+class LoopScope;
+class StatementScope;
+
+/// Central instrumentation context. One per traced execution. Not
+/// thread-safe: the paper profiles *sequential* applications.
+class TraceContext {
+ public:
+  TraceContext() = default;
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  /// Subscribes an analysis; the pointer must stay valid for the lifetime of
+  /// the traced execution.
+  void add_sink(EventSink* sink);
+
+  // ---- static program structure -------------------------------------------
+
+  /// Registers (or retrieves) a named variable.
+  [[nodiscard]] VarId var(std::string_view name);
+
+  /// Registers (or retrieves) a named *local temporary*. Locals carry no
+  /// program state of their own: CU formation uses them only to glue
+  /// statements together (Fig. 1 of the paper).
+  [[nodiscard]] VarId local_var(std::string_view name);
+
+  /// Synthetic element address of `var[index]`. Addresses are element-
+  /// granular and unique per (variable, index).
+  [[nodiscard]] static Address addr(VarId var, std::uint64_t index) {
+    return (static_cast<Address>(var.value()) << kIndexBits) | (index & kIndexMask);
+  }
+
+  /// Recovers the variable a synthetic address belongs to.
+  [[nodiscard]] static VarId addr_var(Address address) {
+    return VarId(static_cast<VarId::rep_type>(address >> kIndexBits));
+  }
+
+  /// Recovers the element index of a synthetic address.
+  [[nodiscard]] static std::uint64_t addr_index(Address address) {
+    return address & kIndexMask;
+  }
+
+  [[nodiscard]] const std::vector<RegionInfo>& regions() const { return regions_; }
+  [[nodiscard]] const std::vector<VarInfo>& vars() const { return vars_; }
+  [[nodiscard]] const std::vector<StatementInfo>& statements() const { return statements_; }
+
+  [[nodiscard]] const RegionInfo& region(RegionId id) const { return regions_.at(id.value()); }
+  [[nodiscard]] const VarInfo& var_info(VarId id) const { return vars_.at(id.value()); }
+  [[nodiscard]] const StatementInfo& statement(StatementId id) const {
+    return statements_.at(id.value());
+  }
+
+  /// Looks up a region by name; returns RegionId::invalid() if absent.
+  [[nodiscard]] RegionId find_region(std::string_view name) const;
+
+  /// Looks up a variable by name; returns VarId::invalid() if absent.
+  [[nodiscard]] VarId find_var(std::string_view name) const;
+
+  // ---- dynamic events -------------------------------------------------------
+
+  /// Instrumented load of `var[index]`.
+  void read(VarId v, std::uint64_t index, SourceLine line, Cost cost = 1);
+
+  /// Internal shared implementation of write()/update().
+  void write_impl(VarId v, std::uint64_t index, SourceLine line, Cost cost, UpdateOp op);
+
+  /// Instrumented store to `var[index]`.
+  void write(VarId v, std::uint64_t index, SourceLine line, Cost cost = 1);
+
+  /// Instrumented self-update `var[index] op= expr`: emits the read and the
+  /// tagged write of the accumulator in one call.
+  void update(VarId v, std::uint64_t index, SourceLine line, UpdateOp op, Cost cost = 1);
+
+  /// Attributes pure computation work (the arithmetic between instrumented
+  /// loads and stores) to the current statement/region.
+  void compute(SourceLine line, Cost cost);
+
+  /// Marks the end of the traced execution and finalizes all sinks. Called
+  /// automatically at most once; safe to call explicitly.
+  void finish();
+
+  /// Total cost observed across the whole execution.
+  [[nodiscard]] Cost total_cost() const { return total_cost_; }
+
+  /// Number of events emitted so far (sequence counter).
+  [[nodiscard]] std::uint64_t sequence() const { return seq_; }
+
+ private:
+  friend class FunctionScope;
+  friend class LoopScope;
+  friend class StatementScope;
+
+  static constexpr unsigned kIndexBits = 40;
+  static constexpr std::uint64_t kIndexMask = (std::uint64_t{1} << kIndexBits) - 1;
+
+  RegionId intern_region(RegionKind kind, std::string_view name, SourceLine line);
+  StatementId intern_statement(std::string_view name, SourceLine line);
+
+  void enter_region(RegionId id);
+  void exit_region(RegionId id);
+  void begin_iteration(RegionId loop);
+
+  [[nodiscard]] RegionId current_region() const {
+    return region_stack_.empty() ? RegionId::invalid() : region_stack_.back();
+  }
+
+  /// The innermost statement scope, but only if it is lexically in the
+  /// current region: accesses inside a callee do not belong to the caller's
+  /// call statement.
+  [[nodiscard]] StatementId current_statement() const {
+    if (statement_stack_.empty()) return StatementId::invalid();
+    const StatementId s = statement_stack_.back();
+    return statements_[s.value()].region == current_region() ? s : StatementId::invalid();
+  }
+
+  struct ActiveLoop {
+    RegionId loop;
+    std::uint64_t next_iteration = 0;  ///< iteration index assigned at next begin_iteration
+    bool iterating = false;            ///< true once the first iteration began
+  };
+
+  std::vector<EventSink*> sinks_;
+
+  std::vector<RegionInfo> regions_;
+  std::unordered_map<std::string, RegionId> region_by_key_;
+  std::vector<VarInfo> vars_;
+  std::unordered_map<std::string, VarId> var_by_name_;
+  std::vector<StatementInfo> statements_;
+  std::unordered_map<std::string, StatementId> statement_by_key_;
+
+  std::vector<RegionId> region_stack_;
+  std::vector<std::uint32_t> function_depth_;  ///< per function region: active activations
+  std::vector<std::uint64_t> activation_count_;  ///< per function region: total entries
+  std::vector<std::pair<RegionId, std::uint64_t>> function_stack_;  ///< (func, activation)
+  std::vector<ActiveLoop> loop_stack_;
+  std::vector<LoopPosition> loop_positions_;  ///< parallel to loop_stack_, for event spans
+  std::vector<StatementId> statement_stack_;
+
+  std::uint64_t seq_ = 0;
+  Cost total_cost_ = 0;
+  bool finished_ = false;
+};
+
+/// RAII scope for an instrumented function region.
+class FunctionScope {
+ public:
+  FunctionScope(TraceContext& ctx, std::string_view name, SourceLine line);
+  ~FunctionScope();
+  FunctionScope(const FunctionScope&) = delete;
+  FunctionScope& operator=(const FunctionScope&) = delete;
+
+  [[nodiscard]] RegionId id() const { return id_; }
+
+ private:
+  TraceContext& ctx_;
+  RegionId id_;
+};
+
+/// RAII scope for an instrumented loop region. Call begin_iteration() at the
+/// top of every executed loop-body pass.
+class LoopScope {
+ public:
+  LoopScope(TraceContext& ctx, std::string_view name, SourceLine line);
+  ~LoopScope();
+  LoopScope(const LoopScope&) = delete;
+  LoopScope& operator=(const LoopScope&) = delete;
+
+  /// Starts the next iteration of this loop (0-based numbering).
+  void begin_iteration();
+
+  [[nodiscard]] RegionId id() const { return id_; }
+
+ private:
+  TraceContext& ctx_;
+  RegionId id_;
+};
+
+/// RAII scope marking one read-compute-write statement instance. Accesses
+/// performed inside the scope are attributed to this statement; statements
+/// are the seeds of CU formation (ppd::cu).
+class StatementScope {
+ public:
+  StatementScope(TraceContext& ctx, std::string_view name, SourceLine line);
+  ~StatementScope();
+  StatementScope(const StatementScope&) = delete;
+  StatementScope& operator=(const StatementScope&) = delete;
+
+  [[nodiscard]] StatementId id() const { return id_; }
+
+ private:
+  TraceContext& ctx_;
+  StatementId id_;
+};
+
+}  // namespace ppd::trace

@@ -1,0 +1,125 @@
+// Dynamic event model produced by the instrumentation runtime.
+//
+// This is the stream the paper's LLVM pass emits at run time: region
+// enter/exit for functions and loops, loop-iteration advances, and
+// instrumented memory accesses carrying their source line, the enclosing
+// loop-iteration vector, and an abstract cost (the IR-instruction-count
+// stand-in). All profiling analyses (dependence profiler, PET builder,
+// CU builder) are observers of this stream.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "support/ids.hpp"
+
+namespace ppd::trace {
+
+/// Control-region kind; the paper uses functions and loops as the control
+/// regions of the Program Execution Tree.
+enum class RegionKind { Function, Loop };
+
+/// Memory access direction.
+enum class AccessKind { Read, Write };
+
+/// Operation tag a write may carry when it is a self-update of the written
+/// location (x op= expr). The profiler propagates the tag into reduction
+/// candidates, inferring the reduction operator — the paper lists this as
+/// future work (§VI).
+enum class UpdateOp : std::uint8_t { None, Sum, Product, Min, Max };
+
+[[nodiscard]] const char* to_string(UpdateOp op);
+
+/// Static description of a control region (one per source-level region;
+/// dynamic instances, loop iterations, and recursive activations all map to
+/// the same RegionId).
+struct RegionInfo {
+  RegionId id;
+  RegionKind kind = RegionKind::Function;
+  std::string name;
+  SourceLine line = 0;
+  /// Set when a function region was entered while already active
+  /// (the PET marks such nodes explicitly as recursive).
+  bool recursive = false;
+};
+
+/// Static description of a named program variable (scalar or array).
+struct VarInfo {
+  VarId id;
+  std::string name;
+  /// Local temporaries are ignored as program state during CU formation
+  /// (the paper's Fig. 1: locals `a` and `b` only glue lines into a CU).
+  bool local = false;
+};
+
+/// Static description of a statement: one read-compute-write site. CUs are
+/// formed from statements (see ppd::cu).
+struct StatementInfo {
+  StatementId id;
+  RegionId region;  ///< innermost region the statement is lexically in
+  std::string name;
+  SourceLine line = 0;
+};
+
+/// Position within one enclosing loop: which loop, and the 0-based index of
+/// the iteration currently executing.
+struct LoopPosition {
+  RegionId loop;
+  std::uint64_t iteration = 0;
+
+  friend bool operator==(const LoopPosition&, const LoopPosition&) = default;
+};
+
+/// One instrumented memory access, as observed dynamically.
+struct AccessEvent {
+  AccessKind kind = AccessKind::Read;
+  Address addr = 0;
+  VarId var;
+  SourceLine line = 0;
+  Cost cost = 1;
+  UpdateOp op = UpdateOp::None;  ///< self-update operation, writes only
+  StatementId stmt;                          ///< enclosing statement scope, if any
+  RegionId region;                           ///< innermost enclosing region
+  RegionId func;                             ///< innermost enclosing *function* region
+  /// Dynamic activation number of `func` (counts its entries). Recursive
+  /// activations of a merged function are distinguished by this: a value
+  /// returned from a recursive call produces a dependence between different
+  /// activations, which must not appear as an edge in the per-activation CU
+  /// graph (Fig. 3 shows one activation of cilksort).
+  std::uint64_t func_activation = 0;
+  std::span<const LoopPosition> loop_stack;  ///< outermost-first enclosing loops
+  std::uint64_t seq = 0;                     ///< global program-order sequence number
+};
+
+/// Pure computation work attributed to a line/statement (arithmetic between
+/// the instrumented loads and stores).
+struct ComputeEvent {
+  SourceLine line = 0;
+  Cost cost = 0;
+  StatementId stmt;
+  RegionId region;
+};
+
+/// Observer interface over the dynamic event stream. Analyses subscribe to a
+/// TraceContext and maintain whatever state they need; events arrive in
+/// program order.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  virtual void on_region_enter(const RegionInfo& /*region*/) {}
+  virtual void on_region_exit(const RegionInfo& /*region*/) {}
+  /// A new iteration of `loop` begins; `iteration` is 0-based within the
+  /// current dynamic loop instance.
+  virtual void on_iteration(const RegionInfo& /*loop*/, std::uint64_t /*iteration*/) {}
+  virtual void on_access(const AccessEvent& /*access*/) {}
+  virtual void on_compute(const ComputeEvent& /*compute*/) {}
+  /// A read-compute-write statement scope opens/closes (used by the trace
+  /// serializer; the analyses read the statement id off each access).
+  virtual void on_statement_enter(const StatementInfo& /*stmt*/) {}
+  virtual void on_statement_exit(const StatementInfo& /*stmt*/) {}
+  /// The traced execution finished; analyses may finalize.
+  virtual void on_trace_end() {}
+};
+
+}  // namespace ppd::trace

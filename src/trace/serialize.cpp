@@ -1,0 +1,264 @@
+#include "trace/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "support/assert.hpp"
+
+namespace ppd::trace {
+namespace {
+
+void ensure_slot(std::vector<bool>& defined, std::size_t index) {
+  if (defined.size() <= index) defined.resize(index + 1, false);
+}
+
+[[noreturn]] void malformed(std::uint64_t line_no, const std::string& line) {
+  throw std::runtime_error("malformed trace record at line " + std::to_string(line_no) +
+                           ": " + line);
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const TraceContext& program, std::ostream& out)
+    : program_(program), out_(out) {
+  out_ << "ppd-trace 1\n";
+}
+
+void TraceWriter::ensure_var(VarId var) {
+  ensure_slot(var_defined_, var.value());
+  if (var_defined_[var.value()]) return;
+  const VarInfo& info = program_.var_info(var);
+  PPD_ASSERT_MSG(info.name.find_first_of(" \t\n") == std::string::npos,
+                 "serialized names must not contain whitespace");
+  out_ << "var " << var.value() << ' ' << (info.local ? 1 : 0) << ' ' << info.name << '\n';
+  var_defined_[var.value()] = true;
+}
+
+void TraceWriter::ensure_region(const RegionInfo& region) {
+  ensure_slot(region_defined_, region.id.value());
+  if (region_defined_[region.id.value()]) return;
+  PPD_ASSERT_MSG(region.name.find_first_of(" \t\n") == std::string::npos,
+                 "serialized names must not contain whitespace");
+  out_ << (region.kind == RegionKind::Function ? "fn " : "lp ") << region.id.value() << ' '
+       << region.line << ' ' << region.name << '\n';
+  region_defined_[region.id.value()] = true;
+}
+
+void TraceWriter::ensure_statement(const StatementInfo& stmt) {
+  ensure_slot(stmt_defined_, stmt.id.value());
+  if (stmt_defined_[stmt.id.value()]) return;
+  PPD_ASSERT_MSG(stmt.name.find_first_of(" \t\n") == std::string::npos,
+                 "serialized names must not contain whitespace");
+  out_ << "st " << stmt.id.value() << ' ' << stmt.line << ' ' << stmt.name << '\n';
+  stmt_defined_[stmt.id.value()] = true;
+}
+
+void TraceWriter::on_region_enter(const RegionInfo& region) {
+  ensure_region(region);
+  out_ << "E " << region.id.value() << '\n';
+  ++records_;
+}
+
+void TraceWriter::on_region_exit(const RegionInfo& region) {
+  out_ << "X " << region.id.value() << '\n';
+  ++records_;
+}
+
+void TraceWriter::on_iteration(const RegionInfo& loop, std::uint64_t iteration) {
+  (void)iteration;  // iterations are implicit: replay re-counts from zero
+  out_ << "I " << loop.id.value() << '\n';
+  ++records_;
+}
+
+void TraceWriter::on_access(const AccessEvent& access) {
+  ensure_var(access.var);
+  const std::uint64_t index = TraceContext::addr_index(access.addr);
+  if (access.kind == AccessKind::Read) {
+    out_ << "R " << access.var.value() << ' ' << index << ' ' << access.line << ' '
+         << access.cost << '\n';
+  } else {
+    out_ << "W " << access.var.value() << ' ' << index << ' ' << access.line << ' '
+         << access.cost << ' ' << static_cast<int>(access.op) << '\n';
+  }
+  ++records_;
+}
+
+void TraceWriter::on_compute(const ComputeEvent& compute) {
+  out_ << "C " << compute.line << ' ' << compute.cost << '\n';
+  ++records_;
+}
+
+void TraceWriter::on_statement_enter(const StatementInfo& stmt) {
+  ensure_statement(stmt);
+  out_ << "S " << stmt.id.value() << '\n';
+  ++records_;
+}
+
+void TraceWriter::on_statement_exit(const StatementInfo& stmt) {
+  out_ << "P " << stmt.id.value() << '\n';
+  ++records_;
+}
+
+void TraceWriter::on_trace_end() { out_.flush(); }
+
+std::uint64_t replay_trace(std::istream& in, TraceContext& ctx) {
+  std::string header;
+  if (!std::getline(in, header) || header != "ppd-trace 1") {
+    throw std::runtime_error("not a ppd trace file (missing 'ppd-trace 1' header)");
+  }
+
+  struct RegionDef {
+    RegionKind kind;
+    SourceLine line;
+    std::string name;
+  };
+  struct StmtDef {
+    SourceLine line;
+    std::string name;
+  };
+  std::unordered_map<std::uint32_t, VarId> vars;
+  std::unordered_map<std::uint32_t, RegionDef> regions;
+  std::unordered_map<std::uint32_t, StmtDef> stmts;
+
+  // Open scopes, reconstructed with the RAII wrappers on the heap. The
+  // variant keeps destruction order identical to the original execution.
+  struct OpenScope {
+    std::unique_ptr<FunctionScope> function;
+    std::unique_ptr<LoopScope> loop;
+    std::unique_ptr<StatementScope> statement;
+    std::uint32_t file_id = 0;
+    char kind = 0;  // 'f', 'l', 's'
+  };
+  std::vector<OpenScope> scope_stack;
+
+  std::uint64_t records = 0;
+  std::uint64_t line_no = 1;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream is(line);
+    std::string tag;
+    is >> tag;
+
+    if (tag == "var") {
+      std::uint32_t id = 0;
+      int local = 0;
+      std::string name;
+      if (!(is >> id >> local >> name)) malformed(line_no, line);
+      vars.emplace(id, local != 0 ? ctx.local_var(name) : ctx.var(name));
+    } else if (tag == "fn" || tag == "lp") {
+      std::uint32_t id = 0;
+      SourceLine src_line = 0;
+      std::string name;
+      if (!(is >> id >> src_line >> name)) malformed(line_no, line);
+      regions.emplace(
+          id, RegionDef{tag == "fn" ? RegionKind::Function : RegionKind::Loop, src_line,
+                        std::move(name)});
+    } else if (tag == "st") {
+      std::uint32_t id = 0;
+      SourceLine src_line = 0;
+      std::string name;
+      if (!(is >> id >> src_line >> name)) malformed(line_no, line);
+      stmts.emplace(id, StmtDef{src_line, std::move(name)});
+    } else if (tag == "E") {
+      std::uint32_t id = 0;
+      if (!(is >> id)) malformed(line_no, line);
+      auto def = regions.find(id);
+      if (def == regions.end()) malformed(line_no, line);
+      OpenScope scope;
+      scope.file_id = id;
+      if (def->second.kind == RegionKind::Function) {
+        scope.kind = 'f';
+        scope.function =
+            std::make_unique<FunctionScope>(ctx, def->second.name, def->second.line);
+      } else {
+        scope.kind = 'l';
+        scope.loop = std::make_unique<LoopScope>(ctx, def->second.name, def->second.line);
+      }
+      scope_stack.push_back(std::move(scope));
+      ++records;
+    } else if (tag == "X") {
+      std::uint32_t id = 0;
+      if (!(is >> id)) malformed(line_no, line);
+      if (scope_stack.empty() || scope_stack.back().kind == 's' ||
+          scope_stack.back().file_id != id) {
+        malformed(line_no, line);
+      }
+      scope_stack.pop_back();
+      ++records;
+    } else if (tag == "I") {
+      std::uint32_t id = 0;
+      if (!(is >> id)) malformed(line_no, line);
+      if (scope_stack.empty() || scope_stack.back().kind != 'l' ||
+          scope_stack.back().file_id != id) {
+        malformed(line_no, line);
+      }
+      scope_stack.back().loop->begin_iteration();
+      ++records;
+    } else if (tag == "S") {
+      std::uint32_t id = 0;
+      if (!(is >> id)) malformed(line_no, line);
+      auto def = stmts.find(id);
+      if (def == stmts.end()) malformed(line_no, line);
+      OpenScope scope;
+      scope.file_id = id;
+      scope.kind = 's';
+      scope.statement =
+          std::make_unique<StatementScope>(ctx, def->second.name, def->second.line);
+      scope_stack.push_back(std::move(scope));
+      ++records;
+    } else if (tag == "P") {
+      std::uint32_t id = 0;
+      if (!(is >> id)) malformed(line_no, line);
+      if (scope_stack.empty() || scope_stack.back().kind != 's' ||
+          scope_stack.back().file_id != id) {
+        malformed(line_no, line);
+      }
+      scope_stack.pop_back();
+      ++records;
+    } else if (tag == "R" || tag == "W") {
+      std::uint32_t var_id = 0;
+      std::uint64_t index = 0;
+      SourceLine src_line = 0;
+      Cost cost = 0;
+      if (!(is >> var_id >> index >> src_line >> cost)) malformed(line_no, line);
+      auto var = vars.find(var_id);
+      if (var == vars.end()) malformed(line_no, line);
+      if (tag == "R") {
+        ctx.read(var->second, index, src_line, cost);
+      } else {
+        int op = 0;
+        if (!(is >> op) || op < 0 || op > 4) malformed(line_no, line);
+        if (op == 0) {
+          ctx.write(var->second, index, src_line, cost);
+        } else {
+          // update() would emit an extra read; re-emit the tagged write only.
+          ctx.write_impl(var->second, index, src_line, cost, static_cast<UpdateOp>(op));
+        }
+      }
+      ++records;
+    } else if (tag == "C") {
+      SourceLine src_line = 0;
+      Cost cost = 0;
+      if (!(is >> src_line >> cost)) malformed(line_no, line);
+      ctx.compute(src_line, cost);
+      ++records;
+    } else {
+      malformed(line_no, line);
+    }
+  }
+
+  if (!scope_stack.empty()) {
+    throw std::runtime_error("trace ended with " + std::to_string(scope_stack.size()) +
+                             " scope(s) still open");
+  }
+  ctx.finish();
+  return records;
+}
+
+}  // namespace ppd::trace

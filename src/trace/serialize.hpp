@@ -1,0 +1,75 @@
+// Trace serialization and replay.
+//
+// The paper's instrumented programs dump "all the recorded information
+// about the iteration numbers and memory addresses into an output file"
+// whose post-analysis drives the detectors (§III-A). This module provides
+// that decoupling: TraceWriter records the full event stream (plus the
+// static region/variable/statement definitions it references) into a
+// line-oriented text format, and replay_trace() re-drives a fresh
+// TraceContext from such a file, so any combination of analyses can run
+// long after the profiled execution — including analyses that did not exist
+// when the trace was taken.
+//
+// Format (one record per line, space-separated; names must not contain
+// whitespace):
+//
+//   ppd-trace 1                  header
+//   var <id> <local> <name>      variable definition (on first use)
+//   fn|lp <id> <line> <name>     region definition (on first entry)
+//   st <id> <line> <name>        statement definition (on first entry)
+//   E <region>  /  X <region>    region enter / exit
+//   I <loop>                     begin_iteration of the innermost loop
+//   S <stmt>  /  P <stmt>        statement scope open / close
+//   R <var> <index> <line> <cost>            read
+//   W <var> <index> <line> <cost> <op>       write (op: 0=none 1=+ 2=* 3=min 4=max)
+//   C <line> <cost>              compute
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "trace/context.hpp"
+#include "trace/events.hpp"
+
+namespace ppd::trace {
+
+/// Event sink streaming the trace to `out`. Definitions are emitted lazily
+/// before the first record that references them.
+class TraceWriter final : public EventSink {
+ public:
+  TraceWriter(const TraceContext& program, std::ostream& out);
+
+  void on_region_enter(const RegionInfo& region) override;
+  void on_region_exit(const RegionInfo& region) override;
+  void on_iteration(const RegionInfo& loop, std::uint64_t iteration) override;
+  void on_access(const AccessEvent& access) override;
+  void on_compute(const ComputeEvent& compute) override;
+  void on_statement_enter(const StatementInfo& stmt) override;
+  void on_statement_exit(const StatementInfo& stmt) override;
+  void on_trace_end() override;
+
+  [[nodiscard]] std::uint64_t records_written() const { return records_; }
+
+ private:
+  void ensure_var(VarId var);
+  void ensure_region(const RegionInfo& region);
+  void ensure_statement(const StatementInfo& stmt);
+
+  const TraceContext& program_;
+  std::ostream& out_;
+  std::vector<bool> var_defined_;
+  std::vector<bool> region_defined_;
+  std::vector<bool> stmt_defined_;
+  std::uint64_t records_ = 0;
+};
+
+/// Replays a serialized trace into `ctx` (whose sinks must already be
+/// subscribed): regions, variables, and statements are re-interned and every
+/// recorded event re-dispatched in order; finish() is called at the end.
+/// Returns the number of records replayed. Throws std::runtime_error on
+/// malformed input.
+std::uint64_t replay_trace(std::istream& in, TraceContext& ctx);
+
+}  // namespace ppd::trace

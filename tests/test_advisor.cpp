@@ -1,0 +1,263 @@
+// Unit tests for the advisor extensions (§VI future work): transformation
+// hints (peeling, fusion, privatization), reduction-operator inference, and
+// pattern ranking.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bs/benchmark.hpp"
+#include "core/advisor.hpp"
+#include "core/analyzer.hpp"
+#include "trace/context.hpp"
+
+namespace ppd::core {
+namespace {
+
+using trace::LoopScope;
+using trace::TraceContext;
+using trace::UpdateOp;
+
+const TransformationHint* find_hint(const std::vector<TransformationHint>& hints,
+                                    HintKind kind) {
+  for (const TransformationHint& h : hints) {
+    if (h.kind == kind) return &h;
+  }
+  return nullptr;
+}
+
+// ---- operator inference -------------------------------------------------------
+
+AnalysisResult run_tagged_reduction(UpdateOp op_a, UpdateOp op_b, TraceContext& ctx) {
+  PatternAnalyzer analyzer(ctx);
+  const VarId acc = ctx.var("acc");
+  {
+    LoopScope l(ctx, "loop", 1);
+    for (int i = 0; i < 16; ++i) {
+      l.begin_iteration();
+      ctx.update(acc, 0, 4, i % 2 == 0 ? op_a : op_b);
+    }
+  }
+  return analyzer.analyze();
+}
+
+TEST(OperatorInference, SumInferred) {
+  TraceContext ctx;
+  const AnalysisResult res = run_tagged_reduction(UpdateOp::Sum, UpdateOp::Sum, ctx);
+  ASSERT_EQ(res.reductions.size(), 1u);
+  EXPECT_EQ(res.reductions[0].op, UpdateOp::Sum);
+}
+
+TEST(OperatorInference, MinInferred) {
+  TraceContext ctx;
+  const AnalysisResult res = run_tagged_reduction(UpdateOp::Min, UpdateOp::Min, ctx);
+  ASSERT_EQ(res.reductions.size(), 1u);
+  EXPECT_EQ(res.reductions[0].op, UpdateOp::Min);
+}
+
+TEST(OperatorInference, MixedOperatorsStayUnknown) {
+  TraceContext ctx;
+  const AnalysisResult res = run_tagged_reduction(UpdateOp::Sum, UpdateOp::Product, ctx);
+  ASSERT_EQ(res.reductions.size(), 1u);
+  EXPECT_EQ(res.reductions[0].op, UpdateOp::None);
+}
+
+TEST(OperatorInference, UntaggedWritesStayUnknown) {
+  TraceContext ctx;
+  PatternAnalyzer analyzer(ctx);
+  const VarId acc = ctx.var("acc");
+  {
+    LoopScope l(ctx, "loop", 1);
+    for (int i = 0; i < 16; ++i) {
+      l.begin_iteration();
+      ctx.read(acc, 0, 4);
+      ctx.write(acc, 0, 4);
+    }
+  }
+  const AnalysisResult res = analyzer.analyze();
+  ASSERT_EQ(res.reductions.size(), 1u);
+  EXPECT_EQ(res.reductions[0].op, UpdateOp::None);
+}
+
+TEST(OperatorInference, BenchmarkReductionsCarrySum) {
+  const bs::Benchmark* bicg = bs::find_benchmark("bicg");
+  ASSERT_NE(bicg, nullptr);
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*bicg);
+  ASSERT_FALSE(traced.analysis.reductions.empty());
+  for (const ReductionCandidate& r : traced.analysis.reductions) {
+    EXPECT_EQ(r.op, UpdateOp::Sum);
+  }
+}
+
+// ---- transformation hints -----------------------------------------------------
+
+TEST(Hints, RegDetectGetsPeelingHint) {
+  // The paper peels the first iteration of reg_detect's producer loop
+  // because b = -1 (§IV-A); the advisor derives exactly that.
+  const bs::Benchmark* reg_detect = bs::find_benchmark("reg_detect");
+  ASSERT_NE(reg_detect, nullptr);
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*reg_detect);
+  const auto hints = derive_hints(traced.analysis, *traced.ctx);
+
+  const TransformationHint* peel = find_hint(hints, HintKind::PeelFirstIterations);
+  ASSERT_NE(peel, nullptr);
+  EXPECT_EQ(peel->iterations, 1u);
+  EXPECT_NE(find_hint(hints, HintKind::ImplementPipeline), nullptr);
+  EXPECT_EQ(find_hint(hints, HintKind::FuseLoops), nullptr);
+}
+
+TEST(Hints, FusionHintQuantifiesLocality) {
+  // SIII-A future work: report the data volume fusion keeps cache-hot.
+  const bs::Benchmark* rotcc = bs::find_benchmark("rot-cc");
+  ASSERT_NE(rotcc, nullptr);
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*rotcc);
+  const auto reported = traced.analysis.reported_pipelines();
+  ASSERT_FALSE(reported.empty());
+  const MultiLoopPipeline& p = *reported.front();
+  // Every pixel of the intermediate image flows between the two loops.
+  EXPECT_GT(p.shared_addresses, 0u);
+  EXPECT_GT(p.x_footprint, 0u);
+  EXPECT_GE(p.y_footprint, p.shared_addresses);
+
+  const auto hints = derive_hints(traced.analysis, *traced.ctx);
+  const TransformationHint* fuse = find_hint(hints, HintKind::FuseLoops);
+  ASSERT_NE(fuse, nullptr);
+  EXPECT_NE(fuse->text.find("cache-hot"), std::string::npos);
+}
+
+TEST(Hints, LoopFootprintsMeasured) {
+  const bs::Benchmark* two_mm = bs::find_benchmark("2mm");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*two_mm);
+  const prof::LoopInfo* info =
+      traced.analysis.profile.loop_info(traced.ctx->find_region("tmp_loop"));
+  ASSERT_NE(info, nullptr);
+  // The tmp loop touches A (40x40) and tmp (40x40): 3200 distinct elements.
+  EXPECT_EQ(info->distinct_addresses, 3200u);
+}
+
+TEST(Hints, FusionBenchmarkGetsFuseHint) {
+  const bs::Benchmark* two_mm = bs::find_benchmark("2mm");
+  ASSERT_NE(two_mm, nullptr);
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*two_mm);
+  const auto hints = derive_hints(traced.analysis, *traced.ctx);
+  ASSERT_NE(find_hint(hints, HintKind::FuseLoops), nullptr);
+  EXPECT_EQ(find_hint(hints, HintKind::ImplementPipeline), nullptr);
+}
+
+TEST(Hints, ReductionGetsPrivatizationWithOperator) {
+  const bs::Benchmark* gesummv = bs::find_benchmark("gesummv");
+  ASSERT_NE(gesummv, nullptr);
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*gesummv);
+  const auto hints = derive_hints(traced.analysis, *traced.ctx);
+  const TransformationHint* priv = find_hint(hints, HintKind::PrivatizeAccumulator);
+  ASSERT_NE(priv, nullptr);
+  EXPECT_EQ(priv->op, UpdateOp::Sum);
+  EXPECT_NE(priv->text.find("combine partial results"), std::string::npos);
+}
+
+TEST(Hints, GeometricDecompositionGetsChunkHint) {
+  const bs::Benchmark* kmeans = bs::find_benchmark("kmeans");
+  ASSERT_NE(kmeans, nullptr);
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*kmeans);
+  const auto hints = derive_hints(traced.analysis, *traced.ctx);
+  const TransformationHint* chunk = find_hint(hints, HintKind::ChunkFunctionData);
+  ASSERT_NE(chunk, nullptr);
+  EXPECT_NE(chunk->text.find("cluster"), std::string::npos);
+}
+
+TEST(Hints, TaskParallelismGetsForkJoinHint) {
+  const bs::Benchmark* mvt = bs::find_benchmark("mvt");
+  ASSERT_NE(mvt, nullptr);
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*mvt);
+  const auto hints = derive_hints(traced.analysis, *traced.ctx);
+  const TransformationHint* fork = find_hint(hints, HintKind::ForkJoinTasks);
+  ASSERT_NE(fork, nullptr);
+  EXPECT_NE(fork->text.find("2 worker CU(s)"), std::string::npos);
+}
+
+TEST(Hints, DelayConsumerForPositiveIntercept) {
+  // b > 0: the first consumer iterations depend on nothing.
+  TraceContext ctx;
+  PatternAnalyzer analyzer(ctx);
+  const VarId buf = ctx.var("buf");
+  const VarId out = ctx.var("out");
+  constexpr std::uint64_t n = 32;
+  constexpr std::uint64_t shift = 8;
+  {
+    trace::FunctionScope fn(ctx, "k", 1);
+    {
+      LoopScope x(ctx, "x", 2);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        x.begin_iteration();
+        ctx.write(buf, i, 3, 8);
+      }
+    }
+    {
+      LoopScope y(ctx, "y", 5);
+      for (std::uint64_t i = 0; i < n + shift; ++i) {
+        y.begin_iteration();
+        if (i >= shift) ctx.read(buf, i - shift, 6);
+        if (i > 0) ctx.read(out, i - 1, 7);
+        ctx.write(out, i, 7);
+      }
+    }
+  }
+  const AnalysisResult res = analyzer.analyze();
+  const auto hints = derive_hints(res, ctx);
+  const TransformationHint* delay = find_hint(hints, HintKind::DelayConsumerStart);
+  ASSERT_NE(delay, nullptr);
+  EXPECT_EQ(delay->iterations, shift);
+}
+
+// ---- ranking -------------------------------------------------------------------
+
+TEST(Ranking, OrderedByScoreDescending) {
+  const bs::Benchmark* kmeans = bs::find_benchmark("kmeans");
+  ASSERT_NE(kmeans, nullptr);
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*kmeans);
+  const auto ranked = rank_patterns(traced.analysis, *traced.ctx);
+  ASSERT_FALSE(ranked.empty());
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].score, ranked[i].score);
+  }
+}
+
+TEST(Ranking, BenefitIsAmdahlBounded) {
+  for (const char* name : {"ludcmp", "3mm", "streamcluster"}) {
+    const bs::Benchmark* benchmark = bs::find_benchmark(name);
+    ASSERT_NE(benchmark, nullptr);
+    const bs::TracedAnalysis traced = bs::analyze_benchmark(*benchmark);
+    for (const RankedPattern& r : rank_patterns(traced.analysis, *traced.ctx)) {
+      EXPECT_GE(r.expected_benefit, 1.0);
+      EXPECT_LE(r.expected_benefit, r.local_speedup + 1e-9)
+          << name << ": whole-program benefit cannot exceed the local speedup";
+    }
+  }
+}
+
+TEST(Ranking, HotspotPatternOutranksColdPattern) {
+  // kmeans: the GD of cluster() (~2% hotspot) yields a small benefit; the
+  // ranking must reflect the Amdahl weighting rather than the local speedup.
+  const bs::Benchmark* kmeans = bs::find_benchmark("kmeans");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*kmeans);
+  for (const RankedPattern& r : rank_patterns(traced.analysis, *traced.ctx)) {
+    EXPECT_LT(r.expected_benefit, 1.1);  // nothing in kmeans is worth much overall
+  }
+}
+
+TEST(Ranking, FusionScoresAboveSequentialPipeline) {
+  // Equal hotspot shares: a fusion (low effort, scalable) must outrank a
+  // pipeline into a sequential consumer (high effort, bounded overlap).
+  TraceContext fusion_ctx;
+  const bs::Benchmark* two_mm = bs::find_benchmark("2mm");
+  const bs::Benchmark* fluid = bs::find_benchmark("fluidanimate");
+  const bs::TracedAnalysis fused = bs::analyze_benchmark(*two_mm);
+  const bs::TracedAnalysis piped = bs::analyze_benchmark(*fluid);
+  const auto fusion_rank = rank_patterns(fused.analysis, *fused.ctx);
+  const auto pipe_rank = rank_patterns(piped.analysis, *piped.ctx);
+  ASSERT_FALSE(fusion_rank.empty());
+  ASSERT_FALSE(pipe_rank.empty());
+  EXPECT_GT(fusion_rank.front().score, pipe_rank.front().score);
+}
+
+}  // namespace
+}  // namespace ppd::core

@@ -1,0 +1,140 @@
+// Unit tests for the analyzer facade: configuration knobs, primary-pattern
+// precedence, and the AnalysisResult accessors.
+#include <gtest/gtest.h>
+
+#include "bs/benchmark.hpp"
+#include "core/analyzer.hpp"
+#include "trace/context.hpp"
+
+namespace ppd::core {
+namespace {
+
+using trace::FunctionScope;
+using trace::LoopScope;
+using trace::StatementScope;
+using trace::TraceContext;
+
+TEST(Analyzer, EmptyTraceYieldsNone) {
+  TraceContext ctx;
+  PatternAnalyzer analyzer(ctx);
+  const AnalysisResult res = analyzer.analyze();
+  EXPECT_EQ(res.primary, PatternKind::None);
+  EXPECT_EQ(res.hotspot_node, pet::kInvalidPetNode);
+  EXPECT_TRUE(res.pipelines.empty());
+  EXPECT_TRUE(res.reductions.empty());
+}
+
+TEST(Analyzer, PlainDoAllFallsThroughToDoAll) {
+  TraceContext ctx;
+  PatternAnalyzer analyzer(ctx);
+  const VarId out = ctx.var("out");
+  {
+    FunctionScope f(ctx, "k", 1);
+    LoopScope l(ctx, "loop", 2);
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      l.begin_iteration();
+      ctx.compute(3, 4);
+      ctx.write(out, i, 3);
+    }
+  }
+  const AnalysisResult res = analyzer.analyze();
+  EXPECT_EQ(res.primary, PatternKind::DoAll);
+  EXPECT_EQ(res.primary_description, "Do-all");
+}
+
+TEST(Analyzer, PipelineOutranksTaskParallelism) {
+  // ludcmp has both a worthwhile task scope and a perfect pipeline; the
+  // pipeline wins (the paper's Table III row).
+  const bs::Benchmark* ludcmp = bs::find_benchmark("ludcmp");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*ludcmp);
+  EXPECT_EQ(traced.analysis.primary, PatternKind::MultiLoopPipeline);
+}
+
+TEST(Analyzer, MinWorkersGate) {
+  // With an absurd worker minimum, task parallelism cannot be primary.
+  AnalyzerConfig config;
+  config.min_workers = 100;
+  const bs::Benchmark* mvt = bs::find_benchmark("mvt");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*mvt, config);
+  EXPECT_NE(traced.analysis.primary, PatternKind::TaskParallelism);
+}
+
+TEST(Analyzer, MinTaskSpeedupGate) {
+  AnalyzerConfig config;
+  config.min_task_speedup = 100.0;
+  const bs::Benchmark* three_mm = bs::find_benchmark("3mm");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*three_mm, config);
+  EXPECT_NE(traced.analysis.primary, PatternKind::TaskParallelism);
+}
+
+TEST(Analyzer, HotspotFractionGatesPipelines) {
+  AnalyzerConfig config;
+  config.pipeline.hotspot_fraction = 0.99;  // nothing qualifies
+  const bs::Benchmark* ludcmp = bs::find_benchmark("ludcmp");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*ludcmp, config);
+  EXPECT_TRUE(traced.analysis.pipelines.empty());
+  EXPECT_NE(traced.analysis.primary, PatternKind::MultiLoopPipeline);
+}
+
+TEST(Analyzer, MinSamplesGatesRegression) {
+  AnalyzerConfig config;
+  config.pipeline.min_samples = 1000000;
+  const bs::Benchmark* ludcmp = bs::find_benchmark("ludcmp");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*ludcmp, config);
+  EXPECT_TRUE(traced.analysis.pipelines.empty());
+}
+
+TEST(Analyzer, PrimaryTasksReturnsTheHotspotScope) {
+  const bs::Benchmark* mvt = bs::find_benchmark("mvt");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*mvt);
+  ASSERT_EQ(traced.analysis.primary, PatternKind::TaskParallelism);
+  const ScopeTaskParallelism* tasks = traced.analysis.primary_tasks();
+  ASSERT_NE(tasks, nullptr);
+  EXPECT_EQ(tasks->scope_node, traced.analysis.hotspot_node);
+}
+
+TEST(Analyzer, PrimaryTasksNullForNonTaskPrimary) {
+  const bs::Benchmark* rotcc = bs::find_benchmark("rot-cc");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*rotcc);
+  EXPECT_EQ(traced.analysis.primary, PatternKind::Fusion);
+  EXPECT_EQ(traced.analysis.primary_tasks(), nullptr);
+}
+
+TEST(Analyzer, HotspotFractionMatchesPetForAnchor) {
+  const bs::Benchmark* bicg = bs::find_benchmark("bicg");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*bicg);
+  ASSERT_NE(traced.analysis.hotspot_node, pet::kInvalidPetNode);
+  EXPECT_DOUBLE_EQ(traced.analysis.hotspot_cost_fraction,
+                   traced.analysis.pet.cost_fraction(traced.analysis.hotspot_node));
+}
+
+TEST(Analyzer, ReductionPrecedesDoAll) {
+  // A hotspot reduction loop and a hotspot do-all loop: Reduction wins the
+  // primary slot (the paper reports gesummv as Reduction although its outer
+  // row loop is a do-all).
+  const bs::Benchmark* gesummv = bs::find_benchmark("gesummv");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*gesummv);
+  EXPECT_EQ(traced.analysis.primary, PatternKind::Reduction);
+}
+
+TEST(Analyzer, GeometricNeedsSequentialCaller) {
+  // A function whose loops are all do-all/reduction but whose callers are
+  // not sequential loops must not become a GD primary (the bicg/gesummv
+  // kernels pass Algorithm 2 but the paper reports them as Reduction).
+  const bs::Benchmark* bicg = bs::find_benchmark("bicg");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*bicg);
+  EXPECT_NE(traced.analysis.primary, PatternKind::GeometricDecomposition);
+}
+
+TEST(Analyzer, TaskScopesSortedAndConsistent) {
+  const bs::Benchmark* three_mm = bs::find_benchmark("3mm");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*three_mm);
+  for (const ScopeTaskParallelism& t : traced.analysis.tasks) {
+    EXPECT_EQ(t.tp.roles.size(), t.graph.size());
+    EXPECT_GE(t.tp.total_cost, t.tp.critical_path_cost);
+    EXPECT_GE(t.tp.estimated_speedup, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace ppd::core

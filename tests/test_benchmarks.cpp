@@ -1,0 +1,93 @@
+// Integration tests: the full detection pipeline over every reproduced
+// benchmark must find the pattern the paper reports (Table III's "Detected
+// Pattern" column), and the parallel implementation of each detected
+// pattern must compute the same result as the sequential kernel.
+#include <gtest/gtest.h>
+
+#include "bs/benchmark.hpp"
+#include "core/analyzer.hpp"
+
+namespace ppd::bs {
+namespace {
+
+class DetectionMatchesPaper : public ::testing::TestWithParam<const Benchmark*> {};
+
+TEST_P(DetectionMatchesPaper, PrimaryPattern) {
+  const Benchmark& benchmark = *GetParam();
+  const TracedAnalysis traced = analyze_benchmark(benchmark);
+  EXPECT_EQ(traced.analysis.primary_description, benchmark.paper().pattern)
+      << "for " << benchmark.paper().name;
+}
+
+TEST_P(DetectionMatchesPaper, HotspotIdentified) {
+  const Benchmark& benchmark = *GetParam();
+  const TracedAnalysis traced = analyze_benchmark(benchmark);
+  ASSERT_NE(traced.analysis.hotspot_node, pet::kInvalidPetNode);
+  EXPECT_GT(traced.analysis.hotspot_cost_fraction, 0.0);
+}
+
+TEST_P(DetectionMatchesPaper, SimDagIsConsistent) {
+  const Benchmark& benchmark = *GetParam();
+  const TracedAnalysis traced = analyze_benchmark(benchmark);
+  const sim::TaskDag dag = benchmark.build_sim_dag(traced.analysis);
+  ASSERT_GT(dag.size(), 0u);
+  EXPECT_GT(dag.total_work(), 0u);
+  EXPECT_LE(dag.critical_path(), dag.total_work());
+}
+
+class ParallelMatchesSequential
+    : public ::testing::TestWithParam<std::tuple<const Benchmark*, std::size_t>> {};
+
+TEST_P(ParallelMatchesSequential, SameOutput) {
+  const auto [benchmark, threads] = GetParam();
+  const VerifyOutcome outcome = benchmark->verify_parallel(threads);
+  EXPECT_TRUE(outcome.ok) << benchmark->paper().name << " with " << threads
+                          << " threads: " << outcome.detail;
+}
+
+std::vector<const Benchmark*> benchmarks() { return all_benchmarks(); }
+
+std::string benchmark_name(const ::testing::TestParamInfo<const Benchmark*>& info) {
+  std::string name = info.param->paper().name;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, DetectionMatchesPaper,
+                         ::testing::ValuesIn(benchmarks()), benchmark_name);
+
+std::string parallel_name(
+    const ::testing::TestParamInfo<std::tuple<const Benchmark*, std::size_t>>& info) {
+  std::string name = std::get<0>(info.param)->paper().name;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name + "_t" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ParallelMatchesSequential,
+                         ::testing::Combine(::testing::ValuesIn(benchmarks()),
+                                            ::testing::Values(std::size_t{2}, std::size_t{4},
+                                                              std::size_t{8})),
+                         parallel_name);
+
+TEST(Registry, HasAllNineteenBenchmarks) {
+  EXPECT_EQ(all_benchmarks().size(), 19u);
+  EXPECT_NE(find_benchmark("ludcmp"), nullptr);
+  EXPECT_NE(find_benchmark("fluidanimate"), nullptr);
+  EXPECT_EQ(find_benchmark("not-a-benchmark"), nullptr);
+}
+
+TEST(Registry, PaperRowsAreComplete) {
+  for (const Benchmark* b : all_benchmarks()) {
+    const PaperRow& row = b->paper();
+    EXPECT_NE(row.name, nullptr);
+    EXPECT_GT(row.loc, 0);
+    EXPECT_FALSE(std::string(row.pattern).empty());
+  }
+}
+
+}  // namespace
+}  // namespace ppd::bs

@@ -1,0 +1,201 @@
+// Unit tests for pipeline-chain assembly (§III-A n-stage chains), the
+// n-stage chain executor, and the OpenMP skeleton generator.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bs/benchmark.hpp"
+#include "core/analyzer.hpp"
+#include "core/multiloop_pipeline.hpp"
+#include "core/omp_codegen.hpp"
+#include "rt/parallel.hpp"
+#include "trace/context.hpp"
+
+namespace ppd::core {
+namespace {
+
+using trace::FunctionScope;
+using trace::LoopScope;
+using trace::TraceContext;
+
+// ---- chain assembly -----------------------------------------------------------
+
+AnalysisResult run_three_loop_chain(TraceContext& ctx) {
+  PatternAnalyzer analyzer(ctx);
+  const VarId a = ctx.var("a");
+  const VarId b = ctx.var("b");
+  const VarId c = ctx.var("c");
+  constexpr std::uint64_t n = 24;
+  {
+    FunctionScope fn(ctx, "k", 1);
+    {
+      LoopScope x(ctx, "x", 2);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        x.begin_iteration();
+        ctx.write(a, i, 3, 4);
+      }
+    }
+    {
+      LoopScope y(ctx, "y", 5);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        y.begin_iteration();
+        ctx.read(a, i, 6);
+        if (i > 0) ctx.read(b, i - 1, 6);
+        ctx.write(b, i, 6, 4);
+      }
+    }
+    {
+      LoopScope z(ctx, "z", 8);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        z.begin_iteration();
+        ctx.read(b, i, 9);
+        ctx.write(c, i, 9, 4);
+      }
+    }
+  }
+  return analyzer.analyze();
+}
+
+TEST(PipelineChains, ThreeLoopChainAssembles) {
+  TraceContext ctx;
+  const AnalysisResult res = run_three_loop_chain(ctx);
+  // §III-A: a chain of 3 dependent loops yields 2 pairwise relationships.
+  ASSERT_EQ(res.reported_pipelines().size(), 2u);
+  const auto chains = build_pipeline_chains(res.pipelines);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].stage_count(), 3u);
+  EXPECT_EQ(ctx.region(chains[0].stages[0]).name, "x");
+  EXPECT_EQ(ctx.region(chains[0].stages[1]).name, "y");
+  EXPECT_EQ(ctx.region(chains[0].stages[2]).name, "z");
+  ASSERT_EQ(chains[0].links.size(), 2u);
+  EXPECT_NEAR(chains[0].links[0]->fit.a, 1.0, 1e-9);
+}
+
+TEST(PipelineChains, TwoLoopPairIsAChainOfTwo) {
+  const bs::Benchmark* ludcmp = bs::find_benchmark("ludcmp");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*ludcmp);
+  const auto chains = build_pipeline_chains(traced.analysis.pipelines);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].stage_count(), 2u);
+}
+
+TEST(PipelineChains, BlockedLinksExcluded) {
+  const bs::Benchmark* three_mm = bs::find_benchmark("3mm");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*three_mm);
+  EXPECT_TRUE(build_pipeline_chains(traced.analysis.pipelines).empty());
+}
+
+// ---- n-stage chain executor ------------------------------------------------------
+
+class ChainExecutor : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainExecutor, ThreeStageChainMatchesSequential) {
+  const std::size_t threads = static_cast<std::size_t>(GetParam());
+  constexpr std::uint64_t n = 120;
+  std::vector<std::int64_t> a(n, 0), b(n, 0), c(n, 0);
+
+  rt::ThreadPool pool(threads);
+  std::vector<rt::PipelineStage> stages(3);
+  stages[0].iterations = n;
+  stages[0].run = [&](std::uint64_t i) { a[i] = static_cast<std::int64_t>(i) + 1; };
+  stages[1].iterations = n;
+  stages[1].run = [&](std::uint64_t i) { b[i] = a[i] + (i > 0 ? b[i - 1] : 0); };
+  stages[1].need = [](std::uint64_t j) { return j + 1; };
+  stages[2].iterations = n;
+  stages[2].run = [&](std::uint64_t i) { c[i] = 2 * b[i]; };
+  stages[2].need = [](std::uint64_t j) { return j + 1; };
+  rt::pipelined_loop_chain(pool, std::move(stages));
+
+  std::int64_t prefix = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    prefix += static_cast<std::int64_t>(i) + 1;
+    EXPECT_EQ(b[i], prefix);
+    EXPECT_EQ(c[i], 2 * prefix);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ChainExecutor, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(ChainExecutorEdge, EmptyChainIsNoop) {
+  rt::ThreadPool pool(2);
+  rt::pipelined_loop_chain(pool, {});
+}
+
+TEST(ChainExecutorEdge, SingleStageRunsAll) {
+  rt::ThreadPool pool(2);
+  std::vector<int> hits(16, 0);
+  std::vector<rt::PipelineStage> stages(1);
+  stages[0].iterations = hits.size();
+  stages[0].run = [&](std::uint64_t i) { hits[i] = 1; };
+  rt::pipelined_loop_chain(pool, std::move(stages));
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 16);
+}
+
+// ---- OpenMP generation -------------------------------------------------------------
+
+std::string all_constructs(const std::vector<OmpSuggestion>& suggestions) {
+  std::string joined;
+  for (const OmpSuggestion& s : suggestions) joined += s.construct + "\n---\n";
+  return joined;
+}
+
+TEST(OmpCodegen, ReductionClauseWithInferredOperator) {
+  const bs::Benchmark* bicg = bs::find_benchmark("bicg");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*bicg);
+  const auto suggestions = generate_openmp(traced.analysis, *traced.ctx);
+  const std::string joined = all_constructs(suggestions);
+  EXPECT_NE(joined.find("reduction(+:"), std::string::npos);
+  EXPECT_NE(joined.find("s"), std::string::npos);
+}
+
+TEST(OmpCodegen, TwoAccumulatorsShareOneClause) {
+  const bs::Benchmark* gesummv = bs::find_benchmark("gesummv");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*gesummv);
+  const auto suggestions = generate_openmp(traced.analysis, *traced.ctx);
+  bool found = false;
+  for (const OmpSuggestion& s : suggestions) {
+    if (s.construct.find("reduction(+:tmp,y)") != std::string::npos ||
+        s.construct.find("reduction(+:y,tmp)") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << all_constructs(suggestions);
+}
+
+TEST(OmpCodegen, FusionBecomesParallelFor) {
+  const bs::Benchmark* two_mm = bs::find_benchmark("2mm");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*two_mm);
+  const auto suggestions = generate_openmp(traced.analysis, *traced.ctx);
+  ASSERT_FALSE(suggestions.empty());
+  EXPECT_NE(suggestions[0].construct.find("#pragma omp parallel for"), std::string::npos);
+  EXPECT_NE(suggestions[0].note.find("after fusing"), std::string::npos);
+}
+
+TEST(OmpCodegen, TaskSkeletonFollowsClassification) {
+  const bs::Benchmark* mvt = bs::find_benchmark("mvt");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*mvt);
+  const auto suggestions = generate_openmp(traced.analysis, *traced.ctx);
+  const std::string joined = all_constructs(suggestions);
+  EXPECT_NE(joined.find("#pragma omp task"), std::string::npos);
+  EXPECT_NE(joined.find("#pragma omp single"), std::string::npos);
+}
+
+TEST(OmpCodegen, GeometricDecompositionChunks) {
+  const bs::Benchmark* streamcluster = bs::find_benchmark("streamcluster");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*streamcluster);
+  const auto suggestions = generate_openmp(traced.analysis, *traced.ctx);
+  const std::string joined = all_constructs(suggestions);
+  EXPECT_NE(joined.find("omp_get_thread_num"), std::string::npos);
+  EXPECT_NE(joined.find("localSearch"), std::string::npos);
+}
+
+TEST(OmpCodegen, DoacrossOrderedDepend) {
+  const bs::Benchmark* reg_detect = bs::find_benchmark("reg_detect");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*reg_detect);
+  const auto suggestions = generate_openmp(traced.analysis, *traced.ctx);
+  const std::string joined = all_constructs(suggestions);
+  EXPECT_NE(joined.find("ordered depend(sink: i-1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppd::core

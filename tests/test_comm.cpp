@@ -1,0 +1,259 @@
+// Unit tests for the communication-pattern characterization (§II, ref [16])
+// and the extended loop analysis (privatization / do-across).
+#include <gtest/gtest.h>
+
+#include "bs/benchmark.hpp"
+#include "comm/comm.hpp"
+#include "core/advisor.hpp"
+#include "core/analyzer.hpp"
+#include "prof/profiler.hpp"
+#include "trace/context.hpp"
+
+namespace ppd {
+namespace {
+
+using trace::FunctionScope;
+using trace::LoopScope;
+using trace::TraceContext;
+
+struct CommFixture {
+  TraceContext ctx;
+  prof::DependenceProfiler profiler;
+  comm::CommProfiler comm_profiler;
+  CommFixture() {
+    ctx.add_sink(&profiler);
+    ctx.add_sink(&comm_profiler);
+  }
+  comm::CommunicationMatrix build() { return comm_profiler.build(profiler.take()); }
+};
+
+const comm::VarUsage* usage_of(const comm::CommunicationMatrix& m, VarId var) {
+  for (const comm::VarUsage& u : m.variables) {
+    if (u.var == var) return &u;
+  }
+  return nullptr;
+}
+
+TEST(Comm, PrivateVariable) {
+  CommFixture f;
+  const VarId v = f.ctx.var("v");
+  {
+    FunctionScope fn(f.ctx, "only", 1);
+    f.ctx.write(v, 0, 2);
+    f.ctx.read(v, 0, 3);
+  }
+  const auto m = f.build();
+  const comm::VarUsage* u = usage_of(m, v);
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(u->sharing, comm::Sharing::Private);
+  EXPECT_TRUE(m.edges.empty());
+}
+
+TEST(Comm, ReadOnlySharing) {
+  CommFixture f;
+  const VarId v = f.ctx.var("table");
+  {
+    FunctionScope a(f.ctx, "reader_a", 1);
+    f.ctx.read(v, 0, 2);
+  }
+  {
+    FunctionScope b(f.ctx, "reader_b", 4);
+    f.ctx.read(v, 0, 5);
+  }
+  const auto m = f.build();
+  EXPECT_EQ(usage_of(m, v)->sharing, comm::Sharing::ReadOnly);
+}
+
+TEST(Comm, ProducerConsumerEdge) {
+  CommFixture f;
+  const VarId v = f.ctx.var("buf");
+  RegionId producer;
+  RegionId consumer;
+  {
+    FunctionScope p(f.ctx, "producer", 1);
+    producer = p.id();
+    for (std::uint64_t i = 0; i < 8; ++i) f.ctx.write(v, i, 2);
+  }
+  {
+    FunctionScope c(f.ctx, "consumer", 4);
+    consumer = c.id();
+    for (std::uint64_t i = 0; i < 8; ++i) f.ctx.read(v, i, 5);
+  }
+  const auto m = f.build();
+  EXPECT_EQ(usage_of(m, v)->sharing, comm::Sharing::ProducerConsumer);
+  ASSERT_EQ(m.edges.size(), 1u);
+  EXPECT_EQ(m.edges[0].producer, producer);
+  EXPECT_EQ(m.edges[0].consumer, consumer);
+  EXPECT_EQ(m.edges[0].occurrences, 8u);
+  EXPECT_EQ(m.edges[0].variables, 1u);
+}
+
+TEST(Comm, MigratoryOwnership) {
+  CommFixture f;
+  const VarId v = f.ctx.var("token");
+  {
+    FunctionScope a(f.ctx, "stage_a", 1);
+    f.ctx.read(v, 0, 2);
+    f.ctx.write(v, 0, 2);
+  }
+  {
+    FunctionScope b(f.ctx, "stage_b", 4);
+    f.ctx.read(v, 0, 5);
+    f.ctx.write(v, 0, 5);
+  }
+  const auto m = f.build();
+  EXPECT_EQ(usage_of(m, v)->sharing, comm::Sharing::Migratory);
+}
+
+TEST(Comm, EdgesSortedByTraffic) {
+  CommFixture f;
+  const VarId hot = f.ctx.var("hot");
+  const VarId cold = f.ctx.var("cold");
+  {
+    FunctionScope p(f.ctx, "p", 1);
+    for (std::uint64_t i = 0; i < 16; ++i) f.ctx.write(hot, i, 2);
+    f.ctx.write(cold, 0, 3);
+  }
+  {
+    FunctionScope c1(f.ctx, "c_hot", 5);
+    for (std::uint64_t i = 0; i < 16; ++i) f.ctx.read(hot, i, 6);
+  }
+  {
+    FunctionScope c2(f.ctx, "c_cold", 8);
+    f.ctx.read(cold, 0, 9);
+  }
+  const auto m = f.build();
+  ASSERT_EQ(m.edges.size(), 2u);
+  EXPECT_GT(m.edges[0].occurrences, m.edges[1].occurrences);
+}
+
+TEST(Comm, RenderNamesRegionsAndVars) {
+  CommFixture f;
+  const VarId v = f.ctx.var("payload");
+  {
+    FunctionScope p(f.ctx, "writer", 1);
+    f.ctx.write(v, 0, 2);
+  }
+  {
+    FunctionScope c(f.ctx, "reader", 4);
+    f.ctx.read(v, 0, 5);
+  }
+  const auto m = f.build();
+  const std::string out = m.render(f.ctx);
+  EXPECT_NE(out.find("writer -> reader"), std::string::npos);
+  EXPECT_NE(out.find("payload: producer/consumer"), std::string::npos);
+}
+
+// ---- extended loop analysis ------------------------------------------------------
+
+TEST(LoopAnalysis, PrivatizableTemporary) {
+  // t is written then read within each iteration; across iterations only
+  // WAR/WAW cross — privatization turns the loop into a do-all.
+  TraceContext ctx;
+  core::PatternAnalyzer analyzer(ctx);
+  const VarId t = ctx.var("t");
+  const VarId out = ctx.var("out");
+  RegionId loop_id;
+  {
+    LoopScope l(ctx, "loop", 1);
+    loop_id = l.id();
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      l.begin_iteration();
+      ctx.write(t, 0, 2);
+      ctx.read(t, 0, 3);
+      ctx.write(out, i, 3);
+    }
+  }
+  const core::AnalysisResult res = analyzer.analyze();
+  const core::LoopAnalysis la = core::analyze_loop(res.profile, loop_id);
+  EXPECT_EQ(la.cls, core::LoopClass::Sequential);
+  ASSERT_EQ(la.privatizable.size(), 1u);
+  EXPECT_EQ(la.privatizable[0], t);
+  EXPECT_TRUE(la.doall_after_transform);
+  EXPECT_EQ(la.doacross_distance, 0u);
+
+  const auto hints = core::derive_hints(res, ctx);
+  bool found = false;
+  for (const auto& h : hints) {
+    if (h.kind == core::HintKind::PrivatizeVariables) {
+      found = true;
+      EXPECT_NE(h.text.find("'t'"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LoopAnalysis, DoacrossConstantDistance) {
+  TraceContext ctx;
+  core::PatternAnalyzer analyzer(ctx);
+  const VarId a = ctx.var("a");
+  RegionId loop_id;
+  {
+    LoopScope l(ctx, "loop", 1);
+    loop_id = l.id();
+    for (std::uint64_t i = 3; i < 32; ++i) {
+      l.begin_iteration();
+      ctx.read(a, i - 3, 2);  // distance-3 recurrence
+      ctx.write(a, i, 3);
+    }
+  }
+  const core::AnalysisResult res = analyzer.analyze();
+  const core::LoopAnalysis la = core::analyze_loop(res.profile, loop_id);
+  EXPECT_EQ(la.cls, core::LoopClass::Sequential);
+  EXPECT_EQ(la.doacross_distance, 3u);
+  EXPECT_TRUE(la.doacross_regular);
+  EXPECT_FALSE(la.doall_after_transform);
+}
+
+TEST(LoopAnalysis, IrregularDistanceNotDoacross) {
+  TraceContext ctx;
+  core::PatternAnalyzer analyzer(ctx);
+  const VarId a = ctx.var("a");
+  RegionId loop_id;
+  {
+    LoopScope l(ctx, "loop", 1);
+    loop_id = l.id();
+    for (std::uint64_t i = 1; i < 32; ++i) {
+      l.begin_iteration();
+      ctx.read(a, i / 2, 2);  // varying distance
+      ctx.write(a, i, 3);
+    }
+  }
+  const core::AnalysisResult res = analyzer.analyze();
+  const core::LoopAnalysis la = core::analyze_loop(res.profile, loop_id);
+  EXPECT_FALSE(la.doacross_regular);
+}
+
+TEST(LoopAnalysis, RegDetectPathLoopIsDoacross) {
+  const bs::Benchmark* reg_detect = bs::find_benchmark("reg_detect");
+  ASSERT_NE(reg_detect, nullptr);
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*reg_detect);
+  const core::LoopAnalysis la = core::analyze_loop(
+      traced.analysis.profile, traced.ctx->find_region("reg_detect_L2"));
+  EXPECT_EQ(la.cls, core::LoopClass::Sequential);
+  EXPECT_EQ(la.doacross_distance, 1u);
+  EXPECT_TRUE(la.doacross_regular);
+}
+
+TEST(LoopAnalysis, DoAllLoopHasNothingToTransform) {
+  TraceContext ctx;
+  core::PatternAnalyzer analyzer(ctx);
+  const VarId out = ctx.var("out");
+  RegionId loop_id;
+  {
+    LoopScope l(ctx, "loop", 1);
+    loop_id = l.id();
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      l.begin_iteration();
+      ctx.write(out, i, 2);
+    }
+  }
+  const core::AnalysisResult res = analyzer.analyze();
+  const core::LoopAnalysis la = core::analyze_loop(res.profile, loop_id);
+  EXPECT_EQ(la.cls, core::LoopClass::DoAll);
+  EXPECT_TRUE(la.privatizable.empty());
+  EXPECT_FALSE(la.doall_after_transform);
+}
+
+}  // namespace
+}  // namespace ppd

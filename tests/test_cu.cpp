@@ -1,0 +1,233 @@
+// Unit tests for CU formation (Fig. 1 semantics) and CU-graph construction.
+#include <gtest/gtest.h>
+
+#include "cu/builder.hpp"
+#include "pet/pet.hpp"
+#include "prof/profiler.hpp"
+#include "trace/context.hpp"
+
+namespace ppd::cu {
+namespace {
+
+using trace::FunctionScope;
+using trace::LoopScope;
+using trace::StatementScope;
+using trace::TraceContext;
+
+struct Fixture {
+  TraceContext ctx;
+  prof::DependenceProfiler profiler;
+  pet::PetBuilder pet_builder;
+  CuFacts facts{ctx};
+  Fixture() {
+    ctx.add_sink(&profiler);
+    ctx.add_sink(&pet_builder);
+    ctx.add_sink(&facts);
+  }
+};
+
+const Cu* find_cu(const std::vector<Cu>& cus, const std::string& name) {
+  for (const Cu& cu : cus) {
+    if (cu.name == name) return &cu;
+  }
+  return nullptr;
+}
+
+// Figure 1 of the paper: two CUs form around the state variables x and y;
+// locals a and b glue lines 3-5 into CU_x and lines 6-8 into CU_y.
+TEST(CuFormation, Figure1Example) {
+  Fixture f;
+  const VarId x = f.ctx.var("x");
+  const VarId y = f.ctx.var("y");
+  const VarId a = f.ctx.local_var("a");
+  const VarId b = f.ctx.local_var("b");
+  {
+    FunctionScope fn(f.ctx, "example", 0);
+    f.ctx.write(x, 0, 1);  // line 1: x = read_value()
+    f.ctx.write(y, 0, 2);  // line 2: y = read_value()
+    f.ctx.read(x, 0, 3);   // line 3: a = x * x
+    f.ctx.write(a, 0, 3);
+    f.ctx.read(x, 0, 4);  // line 4: b = 2 * x
+    f.ctx.write(b, 0, 4);
+    f.ctx.read(a, 0, 5);  // line 5: x = a + b
+    f.ctx.read(b, 0, 5);
+    f.ctx.write(x, 0, 5);
+    f.ctx.read(y, 0, 6);  // line 6: a' = y + 1 (reusing local names)
+    f.ctx.write(a, 1, 6);
+    f.ctx.read(y, 0, 7);  // line 7: b' = y / 2
+    f.ctx.write(b, 1, 7);
+    f.ctx.read(a, 1, 8);  // line 8: y = a' - b'
+    f.ctx.read(b, 1, 8);
+    f.ctx.write(y, 0, 8);
+  }
+  const auto cus = form_cus(f.facts, f.ctx);
+  ASSERT_EQ(cus.size(), 2u);
+  const Cu* cu_x = find_cu(cus, "CU_x");
+  const Cu* cu_y = find_cu(cus, "CU_y");
+  ASSERT_NE(cu_x, nullptr);
+  ASSERT_NE(cu_y, nullptr);
+  EXPECT_EQ(cu_x->lines, (std::set<SourceLine>{1, 3, 4, 5}));
+  EXPECT_EQ(cu_y->lines, (std::set<SourceLine>{2, 6, 7, 8}));
+}
+
+TEST(CuFormation, ExplicitStatementsStayApart) {
+  Fixture f;
+  const VarId arr = f.ctx.var("arr");
+  {
+    FunctionScope fn(f.ctx, "k", 0);
+    {
+      StatementScope s1(f.ctx, "first_call", 1);
+      f.ctx.write(arr, 0, 1);
+    }
+    {
+      StatementScope s2(f.ctx, "second_call", 2);
+      f.ctx.write(arr, 1, 2);  // writes the same global array
+    }
+  }
+  const auto cus = form_cus(f.facts, f.ctx);
+  // Same written variable, but the explicit call-site statements do not
+  // merge (the two recursive calls of fib stay distinct CUs).
+  EXPECT_EQ(cus.size(), 2u);
+  EXPECT_NE(find_cu(cus, "first_call"), nullptr);
+  EXPECT_NE(find_cu(cus, "second_call"), nullptr);
+}
+
+TEST(CuFormation, SerialOrderFollowsFirstOccurrence) {
+  Fixture f;
+  const VarId p = f.ctx.var("p");
+  const VarId q = f.ctx.var("q");
+  {
+    FunctionScope fn(f.ctx, "k", 0);
+    f.ctx.write(q, 0, 2);
+    f.ctx.write(p, 0, 5);
+  }
+  const auto cus = form_cus(f.facts, f.ctx);
+  ASSERT_EQ(cus.size(), 2u);
+  EXPECT_EQ(cus[0].name, "CU_q");
+  EXPECT_EQ(cus[1].name, "CU_p");
+  EXPECT_LT(cus[0].serial_order, cus[1].serial_order);
+}
+
+// The fib diamond (Listing 4 / §III-B): check forks x and y; the return
+// depends on both.
+TEST(CuGraph, FibDiamond) {
+  Fixture f;
+  const VarId ok = f.ctx.var("ok");
+  const VarId x = f.ctx.var("x");
+  const VarId y = f.ctx.var("y");
+  const VarId ret = f.ctx.var("ret");
+  {
+    FunctionScope fn(f.ctx, "fib", 1);
+    {
+      StatementScope s(f.ctx, "check", 2);
+      f.ctx.write(ok, 0, 2);
+    }
+    {
+      StatementScope s(f.ctx, "x_call", 4);
+      f.ctx.read(ok, 0, 4);
+      f.ctx.write(x, 0, 4);
+    }
+    {
+      StatementScope s(f.ctx, "y_call", 5);
+      f.ctx.read(ok, 0, 5);
+      f.ctx.write(y, 0, 5);
+    }
+    {
+      StatementScope s(f.ctx, "ret", 6);
+      f.ctx.read(x, 0, 6);
+      f.ctx.read(y, 0, 6);
+      f.ctx.write(ret, 0, 6);
+    }
+  }
+  const auto profile = f.profiler.take();
+  const auto pet = f.pet_builder.take();
+  const auto cus = form_cus(f.facts, f.ctx);
+  const pet::NodeIndex fib_node = pet.find(f.ctx.find_region("fib"));
+  const CuGraph graph = build_cu_graph(cus, profile, pet, fib_node, f.ctx);
+
+  ASSERT_EQ(graph.size(), 4u);
+  EXPECT_EQ(graph.cu(0).name, "check");
+  EXPECT_EQ(graph.cu(1).name, "x_call");
+  EXPECT_EQ(graph.cu(2).name, "y_call");
+  EXPECT_EQ(graph.cu(3).name, "ret");
+  EXPECT_TRUE(graph.graph.has_edge(0, 1));
+  EXPECT_TRUE(graph.graph.has_edge(0, 2));
+  EXPECT_TRUE(graph.graph.has_edge(1, 3));
+  EXPECT_TRUE(graph.graph.has_edge(2, 3));
+  EXPECT_FALSE(graph.graph.has_edge(1, 2));
+  EXPECT_FALSE(graph.has_cross_iteration_deps);
+}
+
+TEST(CuGraph, ChildLoopsCollapse) {
+  Fixture f;
+  const VarId a = f.ctx.var("a");
+  const VarId b = f.ctx.var("b");
+  {
+    FunctionScope fn(f.ctx, "k", 1);
+    {
+      LoopScope l1(f.ctx, "produce", 2);
+      for (int i = 0; i < 3; ++i) {
+        l1.begin_iteration();
+        f.ctx.write(a, static_cast<std::uint64_t>(i), 3, 10);
+      }
+    }
+    {
+      LoopScope l2(f.ctx, "consume", 5);
+      for (int i = 0; i < 3; ++i) {
+        l2.begin_iteration();
+        f.ctx.read(a, static_cast<std::uint64_t>(i), 6);
+        f.ctx.write(b, static_cast<std::uint64_t>(i), 6, 10);
+      }
+    }
+  }
+  const auto profile = f.profiler.take();
+  const auto pet = f.pet_builder.take();
+  const auto cus = form_cus(f.facts, f.ctx);
+  const pet::NodeIndex k = pet.find(f.ctx.find_region("k"));
+  const CuGraph graph = build_cu_graph(cus, profile, pet, k, f.ctx);
+
+  ASSERT_EQ(graph.size(), 2u);
+  EXPECT_TRUE(graph.cu(0).collapsed);
+  EXPECT_TRUE(graph.cu(1).collapsed);
+  EXPECT_EQ(graph.cu(0).name, "produce");
+  EXPECT_EQ(graph.cu(1).name, "consume");
+  EXPECT_TRUE(graph.graph.has_edge(0, 1));
+  EXPECT_EQ(graph.graph.weight(0), 30u);  // 3 traced writes of cost 10
+}
+
+TEST(CuGraph, CrossIterationDepsFlaggedOnLoopScope) {
+  Fixture f;
+  const VarId v = f.ctx.var("v");
+  RegionId loop_region;
+  {
+    LoopScope l(f.ctx, "loop", 1);
+    loop_region = l.id();
+    for (int i = 0; i < 3; ++i) {
+      l.begin_iteration();
+      f.ctx.read(v, 0, 2);
+      f.ctx.write(v, 0, 3);
+    }
+  }
+  const auto profile = f.profiler.take();
+  const auto pet = f.pet_builder.take();
+  const auto cus = form_cus(f.facts, f.ctx);
+  const CuGraph graph = build_cu_graph(cus, profile, pet, pet.find(loop_region), f.ctx);
+  EXPECT_TRUE(graph.has_cross_iteration_deps);
+}
+
+TEST(CuGraph, RenderListsCus) {
+  Fixture f;
+  const VarId v = f.ctx.var("v");
+  {
+    FunctionScope fn(f.ctx, "k", 1);
+    f.ctx.write(v, 0, 2);
+  }
+  const auto profile = f.profiler.take();
+  const auto pet = f.pet_builder.take();
+  const auto cus = form_cus(f.facts, f.ctx);
+  const CuGraph graph = build_cu_graph(cus, profile, pet, pet.find(f.ctx.find_region("k")), f.ctx);
+  EXPECT_NE(graph.render().find("CU_v"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppd::cu

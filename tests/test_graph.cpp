@@ -1,0 +1,166 @@
+// Unit tests for the digraph kernel: reachability, topological order, SCC
+// condensation, weighted critical path.
+#include <gtest/gtest.h>
+
+#include "graph/digraph.hpp"
+
+namespace ppd::graph {
+namespace {
+
+Digraph diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 with weights 1, 5, 7, 2.
+  Digraph g;
+  g.add_node(1);
+  g.add_node(5);
+  g.add_node(7);
+  g.add_node(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(Digraph, EdgesDeduplicate) {
+  Digraph g;
+  g.add_node();
+  g.add_node();
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Digraph, SelfLoopsIgnoredByDefault) {
+  Digraph g;
+  g.add_node();
+  g.add_edge(0, 0);
+  EXPECT_EQ(g.edge_count(), 0u);
+  g.add_edge(0, 0, /*allow_self_loops=*/true);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Digraph, Reachability) {
+  const Digraph g = diamond();
+  EXPECT_TRUE(g.reachable(0, 3));
+  EXPECT_TRUE(g.reachable(1, 3));
+  EXPECT_FALSE(g.reachable(3, 0));
+  EXPECT_FALSE(g.reachable(1, 2));
+  EXPECT_TRUE(g.reachable(2, 2));  // reflexive
+}
+
+TEST(Digraph, TopologicalOrderOnDag) {
+  const Digraph g = diamond();
+  const auto order = g.topological_order();
+  ASSERT_TRUE(order.has_value());
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(Digraph, TopologicalOrderRejectsCycle) {
+  Digraph g;
+  g.add_node();
+  g.add_node();
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_FALSE(g.topological_order().has_value());
+}
+
+TEST(Digraph, CriticalPathOnDiamond) {
+  const Digraph g = diamond();
+  const auto cp = g.critical_path();
+  // Heaviest path: 0 -> 2 -> 3 = 1 + 7 + 2 = 10.
+  EXPECT_EQ(cp.weight, 10u);
+  ASSERT_EQ(cp.nodes.size(), 3u);
+  EXPECT_EQ(cp.nodes.front(), 0u);
+  EXPECT_EQ(cp.nodes[1], 2u);
+  EXPECT_EQ(cp.nodes.back(), 3u);
+}
+
+TEST(Digraph, CriticalPathWithCycleCondenses) {
+  // 0 -> (1 <-> 2) -> 3: the SCC {1,2} counts as one sequential unit.
+  Digraph g;
+  g.add_node(1);
+  g.add_node(4);
+  g.add_node(6);
+  g.add_node(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);
+  g.add_edge(2, 3);
+  const auto cp = g.critical_path();
+  EXPECT_EQ(cp.weight, 1u + 4u + 6u + 2u);
+}
+
+TEST(Digraph, SccIdentifiesComponents) {
+  Digraph g;
+  for (int i = 0; i < 4; ++i) g.add_node();
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  std::uint32_t count = 0;
+  const auto comp = g.strongly_connected_components(&count);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_NE(comp[1], comp[2]);
+  EXPECT_NE(comp[2], comp[3]);
+}
+
+TEST(Digraph, TotalWeight) {
+  const Digraph g = diamond();
+  EXPECT_EQ(g.total_weight(), 15u);
+}
+
+TEST(Digraph, CriticalPathEmptyGraph) {
+  Digraph g;
+  EXPECT_EQ(g.critical_path().weight, 0u);
+}
+
+TEST(Digraph, CriticalPathSingleNode) {
+  Digraph g;
+  g.add_node(42);
+  const auto cp = g.critical_path();
+  EXPECT_EQ(cp.weight, 42u);
+  ASSERT_EQ(cp.nodes.size(), 1u);
+}
+
+// Property sweep: on random DAGs, critical path <= total weight and the
+// witness path is a real path.
+class DigraphProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DigraphProperty, CriticalPathBounds) {
+  const int seed = GetParam();
+  std::uint64_t state = static_cast<std::uint64_t>(seed) * 2654435761u + 1;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  Digraph g;
+  const std::size_t n = 2 + next() % 30;
+  for (std::size_t i = 0; i < n; ++i) g.add_node(next() % 100);
+  for (std::size_t e = 0; e < 2 * n; ++e) {
+    const NodeIndex a = static_cast<NodeIndex>(next() % n);
+    const NodeIndex b = static_cast<NodeIndex>(next() % n);
+    if (a < b) g.add_edge(a, b);  // forward edges only: a DAG
+  }
+  const auto cp = g.critical_path();
+  EXPECT_LE(cp.weight, g.total_weight());
+  EXPECT_GE(cp.nodes.size(), 1u);
+  for (std::size_t i = 0; i + 1 < cp.nodes.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(cp.nodes[i], cp.nodes[i + 1]));
+  }
+  Cost path_weight = 0;
+  for (NodeIndex node : cp.nodes) path_weight += g.weight(node);
+  EXPECT_EQ(path_weight, cp.weight);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, DigraphProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace ppd::graph

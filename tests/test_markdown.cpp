@@ -1,0 +1,72 @@
+// Unit tests for the markdown report and the Graphviz exports.
+#include <gtest/gtest.h>
+
+#include "bs/benchmark.hpp"
+#include "core/task_parallelism.hpp"
+#include "report/markdown.hpp"
+
+namespace ppd::report {
+namespace {
+
+TEST(Markdown, ReportContainsEverySection) {
+  const bs::Benchmark* kmeans = bs::find_benchmark("kmeans");
+  ASSERT_NE(kmeans, nullptr);
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*kmeans);
+  const std::string md = markdown_report(traced.analysis, *traced.ctx, "kmeans");
+
+  EXPECT_NE(md.find("# Pattern analysis: kmeans"), std::string::npos);
+  EXPECT_NE(md.find("**Geometric decomposition + Reduction**"), std::string::npos);
+  EXPECT_NE(md.find("## Hotspots"), std::string::npos);
+  EXPECT_NE(md.find("## Reductions"), std::string::npos);
+  EXPECT_NE(md.find("## Ranked patterns"), std::string::npos);
+  EXPECT_NE(md.find("## Transformation hints"), std::string::npos);
+  EXPECT_NE(md.find("`cluster`"), std::string::npos);
+}
+
+TEST(Markdown, PipelineSectionForPipelineBenchmark) {
+  const bs::Benchmark* ludcmp = bs::find_benchmark("ludcmp");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*ludcmp);
+  const std::string md = markdown_report(traced.analysis, *traced.ctx, "ludcmp");
+  EXPECT_NE(md.find("## Multi-loop pipelines"), std::string::npos);
+  EXPECT_NE(md.find("| `ludcmp_L1` | `ludcmp_L2` | 1.00 | 0.00 | 1.00 | no |"),
+            std::string::npos);
+}
+
+TEST(Dot, PetExportIsWellFormed) {
+  const bs::Benchmark* fib = bs::find_benchmark("fib");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*fib);
+  const std::string dot = pet_to_dot(traced.analysis.pet);
+  EXPECT_EQ(dot.rfind("digraph PET {", 0), 0u);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("fib"), std::string::npos);
+  EXPECT_NE(dot.find("[recursive]"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(Dot, CuGraphExportColorsRoles) {
+  const bs::Benchmark* sort_benchmark = bs::find_benchmark("sort");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*sort_benchmark);
+  const core::ScopeTaskParallelism* tasks = traced.analysis.primary_tasks();
+  ASSERT_NE(tasks, nullptr);
+  const std::string dot = cu_graph_to_dot(tasks->graph, &tasks->tp);
+  EXPECT_NE(dot.find("fillcolor=lightblue"), std::string::npos);   // fork
+  EXPECT_NE(dot.find("fillcolor=palegreen"), std::string::npos);   // worker
+  EXPECT_NE(dot.find("fillcolor=lightsalmon"), std::string::npos); // barrier
+  EXPECT_NE(dot.find("sort_q1"), std::string::npos);
+  EXPECT_NE(dot.find("merge_final"), std::string::npos);
+}
+
+TEST(Dot, CuGraphWithoutRolesIsPlain) {
+  const bs::Benchmark* mvt = bs::find_benchmark("mvt");
+  const bs::TracedAnalysis traced = bs::analyze_benchmark(*mvt);
+  ASSERT_FALSE(traced.analysis.tasks.empty());
+  const std::string dot = cu_graph_to_dot(traced.analysis.tasks.front().graph, nullptr);
+  EXPECT_EQ(dot.find("fillcolor=palegreen"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=white"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppd::report

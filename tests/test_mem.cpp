@@ -1,0 +1,130 @@
+// Unit tests for the shadow-memory substrate and the inline loop stack.
+#include <gtest/gtest.h>
+
+#include "mem/access_record.hpp"
+#include "mem/shadow.hpp"
+#include "trace/context.hpp"
+
+namespace ppd::mem {
+namespace {
+
+TEST(InlineLoopStack, EmptyByDefault) {
+  InlineLoopStack stack;
+  EXPECT_TRUE(stack.empty());
+  EXPECT_EQ(stack.size(), 0u);
+  EXPECT_EQ(stack.iteration_of(RegionId(1)), ~std::uint64_t{0});
+}
+
+TEST(InlineLoopStack, CopiesPositions) {
+  const std::vector<trace::LoopPosition> positions{{RegionId(3), 7}, {RegionId(5), 2}};
+  InlineLoopStack stack{std::span<const trace::LoopPosition>(positions)};
+  ASSERT_EQ(stack.size(), 2u);
+  EXPECT_EQ(stack[0].loop, RegionId(3));
+  EXPECT_EQ(stack[0].iteration, 7u);
+  EXPECT_EQ(stack.iteration_of(RegionId(5)), 2u);
+  EXPECT_EQ(stack.iteration_of(RegionId(9)), ~std::uint64_t{0});
+}
+
+TEST(InlineLoopStack, SpanRoundTrips) {
+  const std::vector<trace::LoopPosition> positions{{RegionId(1), 4}};
+  InlineLoopStack stack{std::span<const trace::LoopPosition>(positions)};
+  const auto span = stack.span();
+  ASSERT_EQ(span.size(), 1u);
+  EXPECT_EQ(span[0].iteration, 4u);
+}
+
+TEST(InlineLoopStack, MaxDepthAccepted) {
+  std::vector<trace::LoopPosition> positions;
+  for (std::uint32_t i = 0; i < InlineLoopStack::kMaxDepth; ++i) {
+    positions.push_back({RegionId(i), i});
+  }
+  InlineLoopStack stack{std::span<const trace::LoopPosition>(positions)};
+  EXPECT_EQ(stack.size(), InlineLoopStack::kMaxDepth);
+  EXPECT_EQ(stack.iteration_of(RegionId(InlineLoopStack::kMaxDepth - 1)),
+            InlineLoopStack::kMaxDepth - 1);
+}
+
+TEST(ShadowMemory, DefaultCellOnFirstTouch) {
+  ShadowMemory<ShadowCell> shadow;
+  const ShadowCell& cell = shadow.cell(12345);
+  EXPECT_FALSE(cell.last_write.valid);
+  EXPECT_FALSE(cell.last_read.valid);
+}
+
+TEST(ShadowMemory, WritesPersist) {
+  ShadowMemory<int> shadow;
+  shadow.cell(100) = 7;
+  shadow.cell(100) += 1;
+  EXPECT_EQ(*shadow.find(100), 8);
+}
+
+TEST(ShadowMemory, CellsAreIndependent) {
+  ShadowMemory<int, 4> shadow;
+  shadow.cell(0) = 1;
+  shadow.cell(15) = 2;  // same 16-cell page
+  shadow.cell(16) = 3;  // next page
+  EXPECT_EQ(*shadow.find(0), 1);
+  EXPECT_EQ(*shadow.find(15), 2);
+  EXPECT_EQ(*shadow.find(16), 3);
+  EXPECT_EQ(shadow.page_count(), 2u);
+}
+
+TEST(ShadowMemory, ClearReleasesPages) {
+  ShadowMemory<int> shadow;
+  shadow.cell(1) = 1;
+  shadow.cell(1 << 20) = 2;
+  EXPECT_EQ(shadow.page_count(), 2u);
+  shadow.clear();
+  EXPECT_EQ(shadow.page_count(), 0u);
+  EXPECT_EQ(shadow.find(1), nullptr);
+}
+
+TEST(ShadowMemory, TouchedBytesGrowWithPages) {
+  ShadowMemory<int, 4> shadow;
+  EXPECT_EQ(shadow.touched_bytes(), 0u);
+  shadow.cell(0) = 1;
+  const std::size_t one_page = shadow.touched_bytes();
+  EXPECT_GT(one_page, 0u);
+  shadow.cell(1 << 16) = 1;
+  EXPECT_EQ(shadow.touched_bytes(), 2 * one_page);
+}
+
+TEST(ShadowMemory, SparseAddressesFromDistinctVars) {
+  // Synthetic addresses place each variable 2^40 apart; the paged map must
+  // not allocate anything in between.
+  ShadowMemory<int> shadow;
+  shadow.cell(trace::TraceContext::addr(VarId(0), 0)) = 1;
+  shadow.cell(trace::TraceContext::addr(VarId(1000), 0)) = 2;
+  EXPECT_EQ(shadow.page_count(), 2u);
+}
+
+TEST(AccessRecord, FromEventCopiesEverything) {
+  trace::AccessEvent ev;
+  ev.kind = trace::AccessKind::Write;
+  ev.addr = 42;
+  ev.var = VarId(3);
+  ev.line = 17;
+  ev.cost = 5;
+  ev.op = trace::UpdateOp::Max;
+  ev.stmt = StatementId(2);
+  ev.region = RegionId(1);
+  ev.func = RegionId(0);
+  ev.func_activation = 9;
+  ev.seq = 1234;
+  const std::vector<trace::LoopPosition> loops{{RegionId(1), 6}};
+  ev.loop_stack = loops;
+
+  const AccessRecord rec = AccessRecord::from_event(ev);
+  EXPECT_TRUE(rec.valid);
+  EXPECT_EQ(rec.line, 17u);
+  EXPECT_EQ(rec.op, trace::UpdateOp::Max);
+  EXPECT_EQ(rec.stmt, StatementId(2));
+  EXPECT_EQ(rec.region, RegionId(1));
+  EXPECT_EQ(rec.func, RegionId(0));
+  EXPECT_EQ(rec.func_activation, 9u);
+  EXPECT_EQ(rec.seq, 1234u);
+  EXPECT_EQ(rec.loops.iteration_of(RegionId(1)), 6u);
+}
+
+}  // namespace
+}  // namespace ppd::mem

@@ -1,0 +1,443 @@
+// Unit tests for the core detectors: do-all/reduction classification,
+// multi-loop pipeline + fusion, task parallelism (Algorithm 1), geometric
+// decomposition (Algorithm 2), and the analyzer's primary-pattern choice.
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+#include "trace/context.hpp"
+
+namespace ppd::core {
+namespace {
+
+using trace::FunctionScope;
+using trace::LoopScope;
+using trace::StatementScope;
+using trace::TraceContext;
+
+// ---- loop classification ----------------------------------------------------
+
+struct AnalyzerRun {
+  TraceContext ctx;
+  PatternAnalyzer analyzer{ctx};
+};
+
+TEST(LoopClass, DoAllLoop) {
+  AnalyzerRun r;
+  const VarId v = r.ctx.var("v");
+  RegionId loop_id;
+  {
+    LoopScope l(r.ctx, "loop", 1);
+    loop_id = l.id();
+    for (int i = 0; i < 8; ++i) {
+      l.begin_iteration();
+      r.ctx.write(v, static_cast<std::uint64_t>(i), 2);
+    }
+  }
+  const AnalysisResult res = r.analyzer.analyze();
+  EXPECT_EQ(classify_loop(res.profile, loop_id), LoopClass::DoAll);
+}
+
+TEST(LoopClass, ReductionLoop) {
+  AnalyzerRun r;
+  const VarId sum = r.ctx.var("sum");
+  const VarId arr = r.ctx.var("arr");
+  RegionId loop_id;
+  {
+    LoopScope l(r.ctx, "loop", 1);
+    loop_id = l.id();
+    for (int i = 0; i < 16; ++i) {
+      l.begin_iteration();
+      r.ctx.read(arr, static_cast<std::uint64_t>(i), 2);
+      r.ctx.read(sum, 0, 2);
+      r.ctx.write(sum, 0, 2);
+    }
+  }
+  const AnalysisResult res = r.analyzer.analyze();
+  EXPECT_EQ(classify_loop(res.profile, loop_id), LoopClass::Reduction);
+  const auto candidates = detect_reductions(res.profile, loop_id);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].line, 2u);
+}
+
+TEST(LoopClass, StencilChainIsSequentialNotReduction) {
+  // path[i] = path[i-1] + x at one line: Algorithm 3's line test alone would
+  // call it a reduction; the address refinement rejects it (each address is
+  // visited once).
+  AnalyzerRun r;
+  const VarId path = r.ctx.var("path");
+  RegionId loop_id;
+  {
+    LoopScope l(r.ctx, "loop", 1);
+    loop_id = l.id();
+    for (int i = 1; i < 16; ++i) {
+      l.begin_iteration();
+      r.ctx.read(path, static_cast<std::uint64_t>(i - 1), 3);
+      r.ctx.write(path, static_cast<std::uint64_t>(i), 3);
+    }
+  }
+  const AnalysisResult res = r.analyzer.analyze();
+  EXPECT_TRUE(detect_reductions(res.profile, loop_id).empty());
+  EXPECT_EQ(classify_loop(res.profile, loop_id), LoopClass::Sequential);
+}
+
+TEST(LoopClass, TwoReductionVariablesBothReported) {
+  AnalyzerRun r;
+  const VarId t1 = r.ctx.var("tmp");
+  const VarId t2 = r.ctx.var("y");
+  RegionId loop_id;
+  {
+    LoopScope l(r.ctx, "loop", 1);
+    loop_id = l.id();
+    for (int i = 0; i < 12; ++i) {
+      l.begin_iteration();
+      r.ctx.read(t1, 0, 4);
+      r.ctx.write(t1, 0, 4);
+      r.ctx.read(t2, 0, 5);
+      r.ctx.write(t2, 0, 5);
+    }
+  }
+  const AnalysisResult res = r.analyzer.analyze();
+  EXPECT_EQ(detect_reductions(res.profile, loop_id).size(), 2u);
+}
+
+TEST(LoopClass, CarriedReadAtSecondLineDisqualifies) {
+  // The accumulator is also read at a *different* line before the update:
+  // that read sees the previous iteration's value (an inter-iteration RAW
+  // at a second source line), so Algorithm 3's |readLines| == 1 test fails.
+  AnalyzerRun r;
+  const VarId v = r.ctx.var("v");
+  RegionId loop_id;
+  {
+    LoopScope l(r.ctx, "loop", 1);
+    loop_id = l.id();
+    for (int i = 0; i < 8; ++i) {
+      l.begin_iteration();
+      r.ctx.read(v, 0, 3);  // pre-update read: carried RAW at line 3
+      r.ctx.read(v, 0, 4);
+      r.ctx.write(v, 0, 4);
+    }
+  }
+  const AnalysisResult res = r.analyzer.analyze();
+  EXPECT_TRUE(detect_reductions(res.profile, loop_id).empty());
+}
+
+TEST(LoopClass, SameIterationPostUpdateReadIsHarmless) {
+  // Reading the accumulator *after* the update in the same iteration is
+  // loop-independent and compatible with privatized reduction; Algorithm 3
+  // keeps the candidate.
+  AnalyzerRun r;
+  const VarId v = r.ctx.var("v");
+  RegionId loop_id;
+  {
+    LoopScope l(r.ctx, "loop", 1);
+    loop_id = l.id();
+    for (int i = 0; i < 8; ++i) {
+      l.begin_iteration();
+      r.ctx.read(v, 0, 4);
+      r.ctx.write(v, 0, 4);
+      r.ctx.read(v, 0, 9);  // reads this iteration's own partial value
+    }
+  }
+  const AnalysisResult res = r.analyzer.analyze();
+  EXPECT_EQ(detect_reductions(res.profile, loop_id).size(), 1u);
+}
+
+// ---- multi-loop pipeline ----------------------------------------------------
+
+AnalysisResult run_two_loop_pipeline(std::uint64_t n, bool y_carried) {
+  TraceContext ctx;
+  PatternAnalyzer analyzer(ctx);
+  const VarId buf = ctx.var("buf");
+  const VarId out = ctx.var("out");
+  {
+    FunctionScope fn(ctx, "k", 1);
+    {
+      LoopScope x(ctx, "x", 2);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        x.begin_iteration();
+        ctx.write(buf, i, 3, 8);
+      }
+    }
+    {
+      LoopScope y(ctx, "y", 5);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        y.begin_iteration();
+        ctx.read(buf, i, 6);
+        if (y_carried && i > 0) ctx.read(out, i - 1, 7);
+        ctx.write(out, i, 7);
+      }
+    }
+  }
+  return analyzer.analyze();
+}
+
+TEST(Pipeline, PerfectPipelineDetected) {
+  const AnalysisResult res = run_two_loop_pipeline(32, /*y_carried=*/true);
+  ASSERT_EQ(res.pipelines.size(), 1u);
+  const MultiLoopPipeline& p = res.pipelines[0];
+  EXPECT_NEAR(p.fit.a, 1.0, 1e-9);
+  EXPECT_NEAR(p.fit.b, 0.0, 1e-9);
+  EXPECT_NEAR(p.e, 1.0, 1e-9);
+  EXPECT_EQ(p.x_class, LoopClass::DoAll);
+  EXPECT_EQ(p.y_class, LoopClass::Sequential);
+  EXPECT_FALSE(p.fusion);
+  EXPECT_FALSE(p.blocked);
+  EXPECT_EQ(res.primary, PatternKind::MultiLoopPipeline);
+}
+
+TEST(Pipeline, FusionWhenBothDoAll) {
+  const AnalysisResult res = run_two_loop_pipeline(32, /*y_carried=*/false);
+  ASSERT_EQ(res.pipelines.size(), 1u);
+  EXPECT_TRUE(res.pipelines[0].fusion);
+  EXPECT_EQ(res.primary, PatternKind::Fusion);
+  EXPECT_EQ(res.primary_description, "Fusion");
+}
+
+TEST(Pipeline, BlockingProducerSuppressesReport) {
+  // y reads everything z wrote in its first iteration (e ~ 0 pair), plus a
+  // perfect 1:1 pair from x; the blocked consumer suppresses both.
+  TraceContext ctx;
+  PatternAnalyzer analyzer(ctx);
+  const VarId a = ctx.var("a");
+  const VarId b = ctx.var("b");
+  const VarId g = ctx.var("g");
+  constexpr std::uint64_t n = 24;
+  {
+    FunctionScope fn(ctx, "k", 1);
+    {
+      LoopScope x(ctx, "x", 2);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        x.begin_iteration();
+        ctx.write(a, i, 3, 4);
+      }
+    }
+    {
+      LoopScope z(ctx, "z", 5);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        z.begin_iteration();
+        ctx.write(b, i, 6, 4);
+      }
+    }
+    {
+      LoopScope y(ctx, "y", 8);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        y.begin_iteration();
+        ctx.read(a, i, 9);
+        if (i == 0) {
+          for (std::uint64_t k = 0; k < n; ++k) ctx.read(b, k, 9);
+        }
+        ctx.write(g, i, 10);
+      }
+    }
+  }
+  const AnalysisResult res = analyzer.analyze();
+  ASSERT_EQ(res.pipelines.size(), 2u);
+  for (const MultiLoopPipeline& p : res.pipelines) EXPECT_TRUE(p.blocked);
+  EXPECT_TRUE(res.reported_pipelines().empty());
+  EXPECT_NE(res.primary, PatternKind::MultiLoopPipeline);
+  EXPECT_NE(res.primary, PatternKind::Fusion);
+}
+
+TEST(Pipeline, ReversedDependenceIsBlocked) {
+  // Consumer iteration i reads element n-1-i: a = -1. Eq. 2's area ratio is
+  // direction-blind (the area under the reversed diagonal equals the
+  // perfect one), but the first consumer iteration needs the *last*
+  // producer iteration, so the pair must be blocked.
+  TraceContext ctx;
+  PatternAnalyzer analyzer(ctx);
+  const VarId buf = ctx.var("buf");
+  const VarId out = ctx.var("out");
+  constexpr std::uint64_t n = 24;
+  {
+    FunctionScope fn(ctx, "k", 1);
+    {
+      LoopScope x(ctx, "x", 2);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        x.begin_iteration();
+        ctx.write(buf, i, 3, 4);
+      }
+    }
+    {
+      LoopScope y(ctx, "y", 5);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        y.begin_iteration();
+        ctx.read(buf, n - 1 - i, 6);
+        ctx.write(out, i, 7, 4);
+      }
+    }
+  }
+  const AnalysisResult res = analyzer.analyze();
+  ASSERT_EQ(res.pipelines.size(), 1u);
+  EXPECT_LT(res.pipelines[0].fit.a, 0.0);
+  EXPECT_TRUE(res.pipelines[0].blocked);
+  EXPECT_NE(res.primary, PatternKind::MultiLoopPipeline);
+  EXPECT_NE(res.primary, PatternKind::Fusion);
+}
+
+TEST(Pipeline, DescribeCoefficientsMatchesTable2) {
+  EXPECT_NE(describe_coefficients(1.0, 0.0).find("exactly on one iteration"),
+            std::string::npos);
+  EXPECT_NE(describe_coefficients(0.05, -3.5).find("20.0 iterations of loop x"),
+            std::string::npos);
+  EXPECT_NE(describe_coefficients(2.0, 0.0).find("2.0 iterations of loop y"),
+            std::string::npos);
+  EXPECT_NE(describe_coefficients(1.0, -1.0).find("no iteration of loop y depends"),
+            std::string::npos);
+  EXPECT_NE(describe_coefficients(1.0, 3.0).find("first 3.0 iterations of loop y"),
+            std::string::npos);
+}
+
+// ---- task parallelism (Algorithm 1) -----------------------------------------
+
+TEST(TaskPar, DiamondClassification) {
+  cu::CuGraph graph;
+  graph.scope = RegionId(0);
+  for (int i = 0; i < 4; ++i) {
+    cu::Cu cu;
+    cu.id = CuId(static_cast<CuId::rep_type>(i));
+    cu.name = "CU_" + std::to_string(i);
+    cu.cost = 10;
+    graph.cus.push_back(cu);
+    graph.graph.add_node(10);
+  }
+  graph.graph.add_edge(0, 1);
+  graph.graph.add_edge(0, 2);
+  graph.graph.add_edge(1, 3);
+  graph.graph.add_edge(2, 3);
+
+  const TaskParallelism tp = detect_task_parallelism(graph);
+  EXPECT_EQ(tp.roles[0], CuRole::Fork);
+  EXPECT_EQ(tp.roles[1], CuRole::Worker);
+  EXPECT_EQ(tp.roles[2], CuRole::Worker);
+  EXPECT_EQ(tp.roles[3], CuRole::Barrier);
+  EXPECT_EQ(tp.worker_count(), 2u);
+  EXPECT_EQ(tp.total_cost, 40u);
+  EXPECT_EQ(tp.critical_path_cost, 30u);  // fork + one worker + barrier
+  EXPECT_NEAR(tp.estimated_speedup, 4.0 / 3.0, 1e-9);
+}
+
+TEST(TaskPar, CilksortGraphMatchesFigure3) {
+  // Figure 3: CU_0 forks CU_1..4; CU_5 barrier of 1,2; CU_6 barrier of 3,4;
+  // CU_7 barrier of 5,6. CU_5 and CU_6 can run in parallel; CU_7 cannot run
+  // in parallel with either.
+  cu::CuGraph graph;
+  graph.scope = RegionId(0);
+  for (int i = 0; i < 8; ++i) {
+    cu::Cu cu;
+    cu.id = CuId(static_cast<CuId::rep_type>(i));
+    cu.name = "CU_" + std::to_string(i);
+    cu.cost = 10;
+    graph.cus.push_back(cu);
+    graph.graph.add_node(10);
+  }
+  for (int w = 1; w <= 4; ++w) graph.graph.add_edge(0, static_cast<graph::NodeIndex>(w));
+  graph.graph.add_edge(1, 5);
+  graph.graph.add_edge(2, 5);
+  graph.graph.add_edge(3, 6);
+  graph.graph.add_edge(4, 6);
+  graph.graph.add_edge(5, 7);
+  graph.graph.add_edge(6, 7);
+
+  const TaskParallelism tp = detect_task_parallelism(graph);
+  EXPECT_EQ(tp.roles[0], CuRole::Fork);
+  for (int w = 1; w <= 4; ++w) EXPECT_EQ(tp.roles[static_cast<std::size_t>(w)], CuRole::Worker);
+  EXPECT_EQ(tp.roles[5], CuRole::Barrier);
+  EXPECT_EQ(tp.roles[6], CuRole::Barrier);
+  EXPECT_EQ(tp.roles[7], CuRole::Barrier);
+  ASSERT_EQ(tp.parallel_barriers.size(), 1u);
+  EXPECT_EQ(tp.parallel_barriers[0], (std::pair<graph::NodeIndex, graph::NodeIndex>{5, 6}));
+}
+
+TEST(TaskPar, DisconnectedComponentsEachGetAFork) {
+  cu::CuGraph graph;
+  graph.scope = RegionId(0);
+  for (int i = 0; i < 2; ++i) {
+    cu::Cu cu;
+    cu.id = CuId(static_cast<CuId::rep_type>(i));
+    cu.cost = 5;
+    graph.cus.push_back(cu);
+    graph.graph.add_node(5);
+  }
+  const TaskParallelism tp = detect_task_parallelism(graph);
+  EXPECT_EQ(tp.roles[0], CuRole::Fork);
+  EXPECT_EQ(tp.roles[1], CuRole::Fork);
+  EXPECT_EQ(tp.worker_count(), 0u);
+  EXPECT_NEAR(tp.estimated_speedup, 2.0, 1e-9);
+}
+
+// ---- geometric decomposition (Algorithm 2) ----------------------------------
+
+AnalysisResult run_gd_shape(bool inner_sequential) {
+  TraceContext ctx;
+  PatternAnalyzer analyzer(ctx);
+  const VarId state = ctx.var("state");
+  const VarId data = ctx.var("data");
+  const VarId sum = ctx.var("sum");
+  {
+    FunctionScope fmain(ctx, "main", 1);
+    LoopScope outer(ctx, "while_loop", 2);
+    for (int round = 0; round < 3; ++round) {
+      outer.begin_iteration();
+      {
+        FunctionScope worker(ctx, "work", 4);
+        {
+          LoopScope l1(ctx, "doall_loop", 5);
+          for (int i = 0; i < 8; ++i) {
+            l1.begin_iteration();
+            ctx.read(state, 0, 6);
+            ctx.write(data, static_cast<std::uint64_t>(i), 6, 10);
+            if (inner_sequential && i > 0) {
+              ctx.read(data, static_cast<std::uint64_t>(i - 1), 7);
+            }
+          }
+        }
+        {
+          LoopScope l2(ctx, "sum_loop", 9);
+          for (int i = 0; i < 8; ++i) {
+            l2.begin_iteration();
+            ctx.read(sum, 0, 10);
+            ctx.write(sum, 0, 10);
+          }
+        }
+      }
+      // The round's result feeds the next round: the outer loop stays
+      // sequential.
+      ctx.read(sum, 0, 13);
+      ctx.write(state, 0, 13);
+    }
+  }
+  return analyzer.analyze();
+}
+
+TEST(Geometric, DetectedWhenAllLoopsDoallOrReduction) {
+  const AnalysisResult res = run_gd_shape(/*inner_sequential=*/false);
+  ASSERT_FALSE(res.geometric.empty());
+  EXPECT_EQ(res.primary, PatternKind::GeometricDecomposition);
+  EXPECT_EQ(res.geometric[0].doall_loops.size(), 1u);
+  EXPECT_EQ(res.geometric[0].reduction_loops.size(), 1u);
+}
+
+TEST(Geometric, RejectedWhenALoopIsSequential) {
+  const AnalysisResult res = run_gd_shape(/*inner_sequential=*/true);
+  EXPECT_TRUE(res.geometric.empty());
+  EXPECT_NE(res.primary, PatternKind::GeometricDecomposition);
+}
+
+// ---- pattern taxonomy (Table I) ----------------------------------------------
+
+TEST(Taxonomy, SupportingStructures) {
+  EXPECT_STREQ(supporting_structure(PatternKind::TaskParallelism), "Master/worker");
+  EXPECT_STREQ(supporting_structure(PatternKind::GeometricDecomposition), "SPMD");
+  EXPECT_STREQ(supporting_structure(PatternKind::Reduction), "SPMD");
+  EXPECT_STREQ(supporting_structure(PatternKind::MultiLoopPipeline), "SPMD");
+}
+
+TEST(Taxonomy, PatternTypes) {
+  EXPECT_EQ(pattern_type(PatternKind::TaskParallelism), PatternType::ByTask);
+  EXPECT_EQ(pattern_type(PatternKind::GeometricDecomposition), PatternType::ByData);
+  EXPECT_EQ(pattern_type(PatternKind::MultiLoopPipeline), PatternType::ByFlowOfData);
+  EXPECT_EQ(pattern_type(PatternKind::Fusion), PatternType::ByFlowOfData);
+}
+
+}  // namespace
+}  // namespace ppd::core

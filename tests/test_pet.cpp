@@ -1,0 +1,189 @@
+// Unit tests for the Program Execution Tree: structure, iteration/recursion
+// merging, cost attribution, hotspot identification.
+#include <gtest/gtest.h>
+
+#include "pet/pet.hpp"
+#include "trace/context.hpp"
+
+namespace ppd::pet {
+namespace {
+
+using trace::FunctionScope;
+using trace::LoopScope;
+using trace::TraceContext;
+
+struct Fixture {
+  TraceContext ctx;
+  PetBuilder builder;
+  Fixture() { ctx.add_sink(&builder); }
+};
+
+TEST(Pet, RootIsSynthetic) {
+  Fixture f;
+  const Pet pet = f.builder.take();
+  EXPECT_EQ(pet.root().name, "<program>");
+  EXPECT_EQ(pet.nodes().size(), 1u);
+}
+
+TEST(Pet, ChildrenKeepSequentialOrder) {
+  Fixture f;
+  {
+    FunctionScope a(f.ctx, "a", 1);
+  }
+  {
+    FunctionScope b(f.ctx, "b", 2);
+  }
+  const Pet pet = f.builder.take();
+  ASSERT_EQ(pet.root().children.size(), 2u);
+  EXPECT_EQ(pet.node(pet.root().children[0]).name, "a");
+  EXPECT_EQ(pet.node(pet.root().children[1]).name, "b");
+}
+
+TEST(Pet, LoopIterationsMergeIntoOneNode) {
+  Fixture f;
+  {
+    LoopScope l(f.ctx, "loop", 1);
+    for (int i = 0; i < 7; ++i) l.begin_iteration();
+  }
+  const Pet pet = f.builder.take();
+  ASSERT_EQ(pet.root().children.size(), 1u);
+  const PetNode& loop = pet.node(pet.root().children[0]);
+  EXPECT_TRUE(loop.is_loop());
+  EXPECT_EQ(loop.iterations, 7u);
+  EXPECT_EQ(loop.instances, 1u);
+}
+
+TEST(Pet, RepeatedLoopInstancesAccumulate) {
+  Fixture f;
+  for (int instance = 0; instance < 3; ++instance) {
+    LoopScope l(f.ctx, "loop", 1);
+    l.begin_iteration();
+    l.begin_iteration();
+  }
+  const Pet pet = f.builder.take();
+  const PetNode& loop = pet.node(pet.root().children[0]);
+  EXPECT_EQ(loop.instances, 3u);
+  EXPECT_EQ(loop.iterations, 6u);
+}
+
+TEST(Pet, RecursionMergesAndMarks) {
+  Fixture f;
+  const VarId v = f.ctx.var("v");
+  {
+    FunctionScope outer(f.ctx, "rec", 1);
+    f.ctx.compute(2, 10);
+    {
+      FunctionScope inner(f.ctx, "rec", 1);
+      f.ctx.compute(2, 10);
+      {
+        FunctionScope innermost(f.ctx, "rec", 1);
+        f.ctx.write(v, 0, 3, 5);
+      }
+    }
+  }
+  const Pet pet = f.builder.take();
+  ASSERT_EQ(pet.root().children.size(), 1u);
+  const PetNode& rec = pet.node(pet.root().children[0]);
+  EXPECT_TRUE(rec.recursive);
+  EXPECT_EQ(rec.instances, 3u);
+  EXPECT_EQ(rec.inclusive_cost, 25u);
+  EXPECT_TRUE(rec.children.empty());  // merged, no self-child
+}
+
+TEST(Pet, InclusiveCostSumsSubtree) {
+  Fixture f;
+  {
+    FunctionScope fn(f.ctx, "f", 1);
+    f.ctx.compute(1, 5);
+    {
+      LoopScope l(f.ctx, "l", 2);
+      l.begin_iteration();
+      f.ctx.compute(3, 20);
+    }
+  }
+  const Pet pet = f.builder.take();
+  const PetNode& fn = pet.node(pet.root().children[0]);
+  EXPECT_EQ(fn.exclusive_cost, 5u);
+  EXPECT_EQ(fn.inclusive_cost, 25u);
+  EXPECT_EQ(pet.total_cost(), 25u);
+}
+
+TEST(Pet, HotspotsSortedByCost) {
+  Fixture f;
+  {
+    FunctionScope cold(f.ctx, "cold", 1);
+    f.ctx.compute(1, 5);
+  }
+  {
+    FunctionScope hot(f.ctx, "hot", 2);
+    f.ctx.compute(2, 95);
+  }
+  const Pet pet = f.builder.take();
+  const auto hotspots = pet.hotspots(0.5);
+  ASSERT_EQ(hotspots.size(), 1u);
+  EXPECT_EQ(pet.node(hotspots[0]).name, "hot");
+  const auto all = pet.hotspots(0.01);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(pet.node(all[0]).name, "hot");
+}
+
+TEST(Pet, CostFraction) {
+  Fixture f;
+  {
+    FunctionScope a(f.ctx, "a", 1);
+    f.ctx.compute(1, 25);
+  }
+  {
+    FunctionScope b(f.ctx, "b", 2);
+    f.ctx.compute(2, 75);
+  }
+  const Pet pet = f.builder.take();
+  EXPECT_DOUBLE_EQ(pet.cost_fraction(pet.find(f.ctx.find_region("a"))), 0.25);
+}
+
+TEST(Pet, SubtreeAndNca) {
+  Fixture f;
+  RegionId l1_region;
+  RegionId l2_region;
+  {
+    FunctionScope fn(f.ctx, "k", 1);
+    {
+      LoopScope l1(f.ctx, "l1", 2);
+      l1_region = l1.id();
+      l1.begin_iteration();
+    }
+    {
+      LoopScope l2(f.ctx, "l2", 3);
+      l2_region = l2.id();
+      l2.begin_iteration();
+    }
+  }
+  const Pet pet = f.builder.take();
+  const NodeIndex k = pet.find(f.ctx.find_region("k"));
+  const NodeIndex l1 = pet.find(l1_region);
+  const NodeIndex l2 = pet.find(l2_region);
+  EXPECT_TRUE(pet.in_subtree(k, l1));
+  EXPECT_TRUE(pet.in_subtree(0, l2));
+  EXPECT_FALSE(pet.in_subtree(l1, k));
+  EXPECT_EQ(pet.nearest_common_ancestor(l1, l2), k);
+  EXPECT_EQ(pet.nearest_common_ancestor(l1, l1), l1);
+  EXPECT_EQ(pet.nearest_common_ancestor(k, l2), k);
+}
+
+TEST(Pet, RenderMentionsStructure) {
+  Fixture f;
+  {
+    FunctionScope fn(f.ctx, "kernel", 1);
+    LoopScope l(f.ctx, "inner", 2);
+    l.begin_iteration();
+    f.ctx.compute(2, 3);
+  }
+  const Pet pet = f.builder.take();
+  const std::string out = pet.render();
+  EXPECT_NE(out.find("func kernel"), std::string::npos);
+  EXPECT_NE(out.find("loop inner"), std::string::npos);
+  EXPECT_NE(out.find("iterations=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppd::pet

@@ -1,0 +1,117 @@
+// End-to-end property test: synthesize two-loop programs with a *known*
+// iteration relationship i_y = round((i_x - b) / ... ) — i.e. the producer
+// index read by consumer iteration j is f(j) = a_inv * j + c — and check
+// that the full pipeline (instrumentation -> shadow profiler -> pair filter
+// -> regression) recovers the ground-truth line.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/advisor.hpp"
+#include "core/analyzer.hpp"
+#include "trace/context.hpp"
+
+namespace ppd::core {
+namespace {
+
+using trace::FunctionScope;
+using trace::LoopScope;
+using trace::TraceContext;
+
+struct GroundTruth {
+  // Consumer iteration j first reads the element written at producer
+  // iteration stride * j + offset (clamped to the producer range).
+  std::uint64_t stride;
+  std::uint64_t offset;
+  std::uint64_t n_consumer;
+};
+
+AnalysisResult run_synthetic(const GroundTruth& g, TraceContext& ctx) {
+  PatternAnalyzer analyzer(ctx);
+  const std::uint64_t n_producer = g.stride * g.n_consumer + g.offset + 1;
+  const VarId buf = ctx.var("buf");
+  const VarId out = ctx.var("out");
+  {
+    FunctionScope fn(ctx, "k", 1);
+    {
+      LoopScope x(ctx, "x", 2);
+      for (std::uint64_t i = 0; i < n_producer; ++i) {
+        x.begin_iteration();
+        ctx.write(buf, i, 3, 4);
+      }
+    }
+    {
+      LoopScope y(ctx, "y", 5);
+      for (std::uint64_t j = 0; j < g.n_consumer; ++j) {
+        y.begin_iteration();
+        ctx.read(buf, g.stride * j + g.offset, 6);
+        ctx.write(out, j, 7, 4);
+      }
+    }
+  }
+  return analyzer.analyze();
+}
+
+class PipelineRecovery : public ::testing::TestWithParam<GroundTruth> {};
+
+TEST_P(PipelineRecovery, RegressionRecoversGroundTruth) {
+  const GroundTruth g = GetParam();
+  TraceContext ctx;
+  const AnalysisResult res = run_synthetic(g, ctx);
+  ASSERT_EQ(res.pipelines.size(), 1u);
+  const MultiLoopPipeline& p = res.pipelines[0];
+
+  // Pairs are (i_x, i_y) with i_x = stride*j + offset, i_y = j; the fitted
+  // line Y = aX + b must therefore have a = 1/stride, b = -offset/stride.
+  const double expected_a = 1.0 / static_cast<double>(g.stride);
+  const double expected_b =
+      -static_cast<double>(g.offset) / static_cast<double>(g.stride);
+  EXPECT_NEAR(p.fit.a, expected_a, 1e-9);
+  EXPECT_NEAR(p.fit.b, expected_b, 1e-9);
+  EXPECT_EQ(p.samples(), g.n_consumer);
+  EXPECT_GE(p.fit.r2, 0.999);
+
+  // The efficiency factor follows the closed form over the recovered line.
+  const double nx = static_cast<double>(p.nx);
+  const double ny = static_cast<double>(p.ny);
+  double current = 0.5 * expected_a * nx * nx + expected_b * nx;
+  if (expected_b < 0.0) {
+    current += expected_b * expected_b / (2.0 * expected_a);
+  }
+  EXPECT_NEAR(p.e, current / (0.5 * ny * nx), 1e-9);
+  EXPECT_FALSE(p.blocked);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GroundTruths, PipelineRecovery,
+    ::testing::Values(GroundTruth{1, 0, 48},   // perfect pipeline
+                      GroundTruth{1, 1, 48},   // reg_detect shape (b = -1)
+                      GroundTruth{1, 5, 48},   // deeper peel (b = -5)
+                      GroundTruth{2, 0, 48},   // a = 0.5
+                      GroundTruth{4, 2, 32},   // a = 0.25, b = -0.5
+                      GroundTruth{20, 60, 24}  // fluidanimate-like a = 0.05
+                      ),
+    [](const ::testing::TestParamInfo<GroundTruth>& param_info) {
+      return "stride" + std::to_string(param_info.param.stride) + "_offset" +
+             std::to_string(param_info.param.offset);
+    });
+
+// The peel hint must match the ground-truth offset.
+TEST(PipelineRecovery, PeelHintMatchesOffset) {
+  for (std::uint64_t offset : {1ull, 3ull, 7ull}) {
+    TraceContext ctx;
+    const AnalysisResult res = run_synthetic(GroundTruth{1, offset, 40}, ctx);
+    const auto hints = derive_hints(res, ctx);
+    bool found = false;
+    for (const auto& h : hints) {
+      if (h.kind == HintKind::PeelFirstIterations) {
+        EXPECT_EQ(h.iterations, offset);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "offset " << offset;
+  }
+}
+
+}  // namespace
+}  // namespace ppd::core

@@ -1,0 +1,312 @@
+// Unit tests for the dynamic dependence profiler: RAW/WAR/WAW detection,
+// loop-carried classification, pipeline pair recording, reduction
+// summaries, cross-activation flags, and shadow memory.
+#include <gtest/gtest.h>
+
+#include "mem/shadow.hpp"
+#include "prof/profiler.hpp"
+#include "trace/context.hpp"
+
+namespace ppd::prof {
+namespace {
+
+using trace::FunctionScope;
+using trace::LoopScope;
+using trace::TraceContext;
+
+struct Fixture {
+  TraceContext ctx;
+  DependenceProfiler profiler;
+  Fixture() { ctx.add_sink(&profiler); }
+};
+
+const Dependence* find_dep(const Profile& p, DepKind kind, SourceLine src, SourceLine dst) {
+  for (const Dependence& d : p.dependences) {
+    if (d.kind == kind && d.source.line == src && d.sink.line == dst) return &d;
+  }
+  return nullptr;
+}
+
+TEST(Profiler, DetectsRaw) {
+  Fixture f;
+  const VarId v = f.ctx.var("v");
+  {
+    FunctionScope fs(f.ctx, "f", 1);
+    f.ctx.write(v, 0, 10);
+    f.ctx.read(v, 0, 20);
+  }
+  const Profile p = f.profiler.take();
+  const Dependence* dep = find_dep(p, DepKind::Raw, 10, 20);
+  ASSERT_NE(dep, nullptr);
+  EXPECT_FALSE(dep->loop_carried());
+  EXPECT_EQ(dep->count, 1u);
+}
+
+TEST(Profiler, DetectsWawAndWar) {
+  Fixture f;
+  const VarId v = f.ctx.var("v");
+  {
+    FunctionScope fs(f.ctx, "f", 1);
+    f.ctx.write(v, 0, 10);
+    f.ctx.read(v, 0, 20);
+    f.ctx.write(v, 0, 30);
+  }
+  const Profile p = f.profiler.take();
+  EXPECT_NE(find_dep(p, DepKind::Waw, 10, 30), nullptr);
+  EXPECT_NE(find_dep(p, DepKind::War, 20, 30), nullptr);
+}
+
+TEST(Profiler, NoDependenceOnDistinctAddresses) {
+  Fixture f;
+  const VarId v = f.ctx.var("v");
+  {
+    FunctionScope fs(f.ctx, "f", 1);
+    f.ctx.write(v, 0, 10);
+    f.ctx.read(v, 1, 20);
+  }
+  EXPECT_EQ(f.profiler.take().dependences.size(), 0u);
+}
+
+TEST(Profiler, LoopCarriedDetection) {
+  Fixture f;
+  const VarId v = f.ctx.var("acc");
+  {
+    LoopScope l(f.ctx, "loop", 1);
+    for (int i = 0; i < 4; ++i) {
+      l.begin_iteration();
+      f.ctx.read(v, 0, 5);
+      f.ctx.write(v, 0, 5);
+    }
+  }
+  const Profile p = f.profiler.take();
+  const Dependence* raw = find_dep(p, DepKind::Raw, 5, 5);
+  ASSERT_NE(raw, nullptr);
+  EXPECT_TRUE(raw->loop_carried());
+  EXPECT_EQ(raw->min_distance, 1u);
+  EXPECT_EQ(raw->max_distance, 1u);
+}
+
+TEST(Profiler, LoopIndependentWithinIteration) {
+  Fixture f;
+  const VarId v = f.ctx.var("v");
+  {
+    LoopScope l(f.ctx, "loop", 1);
+    for (int i = 0; i < 3; ++i) {
+      l.begin_iteration();
+      f.ctx.write(v, static_cast<std::uint64_t>(i), 5);
+      f.ctx.read(v, static_cast<std::uint64_t>(i), 6);
+    }
+  }
+  const Profile p = f.profiler.take();
+  const Dependence* raw = find_dep(p, DepKind::Raw, 5, 6);
+  ASSERT_NE(raw, nullptr);
+  EXPECT_FALSE(raw->loop_carried());
+}
+
+TEST(Profiler, OuterLoopCarriesWhenInnerIterationMatches) {
+  // a[j] written in outer iteration t, read in outer iteration t+1, same
+  // inner iteration j: carried by the *outer* loop.
+  Fixture f;
+  const VarId v = f.ctx.var("a");
+  RegionId outer_id;
+  {
+    LoopScope outer(f.ctx, "outer", 1);
+    outer_id = outer.id();
+    for (int t = 0; t < 2; ++t) {
+      outer.begin_iteration();
+      LoopScope inner(f.ctx, "inner", 2);
+      for (int j = 0; j < 3; ++j) {
+        inner.begin_iteration();
+        f.ctx.read(v, static_cast<std::uint64_t>(j), 5);
+        f.ctx.write(v, static_cast<std::uint64_t>(j), 6);
+      }
+    }
+  }
+  const Profile p = f.profiler.take();
+  const Dependence* raw = find_dep(p, DepKind::Raw, 6, 5);
+  ASSERT_NE(raw, nullptr);
+  EXPECT_EQ(raw->carrier_loop, outer_id);
+}
+
+TEST(Profiler, PipelinePairsOneToOne) {
+  Fixture f;
+  const VarId v = f.ctx.var("buf");
+  RegionId x_id;
+  RegionId y_id;
+  {
+    FunctionScope fs(f.ctx, "k", 1);
+    {
+      LoopScope x(f.ctx, "x", 2);
+      x_id = x.id();
+      for (int i = 0; i < 5; ++i) {
+        x.begin_iteration();
+        f.ctx.write(v, static_cast<std::uint64_t>(i), 3);
+      }
+    }
+    {
+      LoopScope y(f.ctx, "y", 5);
+      y_id = y.id();
+      for (int i = 0; i < 5; ++i) {
+        y.begin_iteration();
+        f.ctx.read(v, static_cast<std::uint64_t>(i), 6);
+      }
+    }
+  }
+  const Profile p = f.profiler.take();
+  const LoopPairKey key{x_id, y_id};
+  auto it = p.loop_pairs.find(key);
+  ASSERT_NE(it, p.loop_pairs.end());
+  ASSERT_EQ(it->second.size(), 5u);
+  for (const IterPair& pair : it->second) EXPECT_EQ(pair.ix, pair.iy);
+}
+
+TEST(Profiler, PipelinePairKeepsLastWriterFirstReader) {
+  Fixture f;
+  const VarId v = f.ctx.var("buf");
+  RegionId x_id;
+  RegionId y_id;
+  {
+    FunctionScope fs(f.ctx, "k", 1);
+    {
+      LoopScope x(f.ctx, "x", 2);
+      x_id = x.id();
+      for (int i = 0; i < 4; ++i) {
+        x.begin_iteration();
+        f.ctx.write(v, 0, 3);  // every iteration overwrites the same address
+      }
+    }
+    {
+      LoopScope y(f.ctx, "y", 5);
+      y_id = y.id();
+      for (int i = 0; i < 4; ++i) {
+        y.begin_iteration();
+        f.ctx.read(v, 0, 6);  // every iteration reads it
+      }
+    }
+  }
+  const Profile p = f.profiler.take();
+  auto it = p.loop_pairs.find(LoopPairKey{x_id, y_id});
+  ASSERT_NE(it, p.loop_pairs.end());
+  // One address -> exactly one pair: last writer (3), first reader (0).
+  ASSERT_EQ(it->second.size(), 1u);
+  EXPECT_EQ(it->second[0].ix, 3u);
+  EXPECT_EQ(it->second[0].iy, 0u);
+}
+
+TEST(Profiler, NoPipelinePairWithinOneLoop) {
+  Fixture f;
+  const VarId v = f.ctx.var("v");
+  {
+    LoopScope l(f.ctx, "only", 1);
+    for (int i = 0; i < 3; ++i) {
+      l.begin_iteration();
+      f.ctx.write(v, static_cast<std::uint64_t>(i), 2);
+      if (i > 0) f.ctx.read(v, static_cast<std::uint64_t>(i - 1), 3);
+    }
+  }
+  EXPECT_TRUE(f.profiler.take().loop_pairs.empty());
+}
+
+TEST(Profiler, ReductionSummaryRecordsSingleLine) {
+  Fixture f;
+  const VarId sum = f.ctx.var("sum");
+  RegionId loop_id;
+  {
+    LoopScope l(f.ctx, "loop", 1);
+    loop_id = l.id();
+    for (int i = 0; i < 6; ++i) {
+      l.begin_iteration();
+      f.ctx.read(sum, 0, 4);
+      f.ctx.write(sum, 0, 4);
+    }
+  }
+  const Profile p = f.profiler.take();
+  const auto& vars = p.carried_vars.at(loop_id);
+  const CarriedVarAccess& acc = vars.at(sum);
+  EXPECT_EQ(acc.write_lines.size(), 1u);
+  EXPECT_EQ(acc.read_lines, acc.write_lines);
+  EXPECT_EQ(acc.addresses.size(), 1u);
+  EXPECT_GE(acc.occurrences, 5u);
+}
+
+TEST(Profiler, CrossActivationFlagOnRecursion) {
+  Fixture f;
+  const VarId ret = f.ctx.var("ret");
+  {
+    FunctionScope outer(f.ctx, "rec", 1);
+    {
+      FunctionScope inner(f.ctx, "rec", 1);
+      f.ctx.write(ret, 1, 5);
+    }
+    f.ctx.read(ret, 1, 6);  // parent consumes the child's value
+  }
+  const Profile p = f.profiler.take();
+  const Dependence* raw = find_dep(p, DepKind::Raw, 5, 6);
+  ASSERT_NE(raw, nullptr);
+  EXPECT_TRUE(raw->cross_activation);
+}
+
+TEST(Profiler, SameActivationNotFlagged) {
+  Fixture f;
+  const VarId v = f.ctx.var("v");
+  {
+    FunctionScope fs(f.ctx, "f", 1);
+    f.ctx.write(v, 0, 5);
+    f.ctx.read(v, 0, 6);
+  }
+  const Profile p = f.profiler.take();
+  const Dependence* raw = find_dep(p, DepKind::Raw, 5, 6);
+  ASSERT_NE(raw, nullptr);
+  EXPECT_FALSE(raw->cross_activation);
+}
+
+TEST(Profiler, MergesRepeatedDynamicOccurrences) {
+  Fixture f;
+  const VarId v = f.ctx.var("v");
+  {
+    LoopScope l(f.ctx, "loop", 1);
+    for (int i = 0; i < 10; ++i) {
+      l.begin_iteration();
+      f.ctx.read(v, 0, 4);
+      f.ctx.write(v, 0, 4);
+    }
+  }
+  const Profile p = f.profiler.take();
+  const Dependence* raw = find_dep(p, DepKind::Raw, 4, 4);
+  ASSERT_NE(raw, nullptr);
+  EXPECT_EQ(raw->count, 9u);  // 9 cross-iteration occurrences merged
+}
+
+TEST(ShadowMemory, PagesAllocateOnFirstTouch) {
+  mem::ShadowMemory<int> shadow;
+  EXPECT_EQ(shadow.page_count(), 0u);
+  shadow.cell(0) = 1;
+  shadow.cell(1) = 2;  // same page
+  EXPECT_EQ(shadow.page_count(), 1u);
+  shadow.cell(1 << 20) = 3;  // a far page
+  EXPECT_EQ(shadow.page_count(), 2u);
+}
+
+TEST(ShadowMemory, FindWithoutTouchReturnsNull) {
+  mem::ShadowMemory<int> shadow;
+  EXPECT_EQ(shadow.find(42), nullptr);
+  shadow.cell(42) = 7;
+  ASSERT_NE(shadow.find(42), nullptr);
+  EXPECT_EQ(*shadow.find(42), 7);
+}
+
+TEST(ShadowMemory, ForEachVisitsAllCells) {
+  mem::ShadowMemory<int, 4> shadow;  // 16 cells per page
+  shadow.cell(3) = 5;
+  int visited = 0;
+  int nonzero = 0;
+  shadow.for_each([&](Address, const int& cell) {
+    ++visited;
+    if (cell != 0) ++nonzero;
+  });
+  EXPECT_EQ(visited, 16);
+  EXPECT_EQ(nonzero, 1);
+}
+
+}  // namespace
+}  // namespace ppd::prof

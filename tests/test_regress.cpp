@@ -1,0 +1,146 @@
+// Unit and property tests for linear regression and the efficiency factor
+// (Eq. 1 and Eq. 2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "regress/linreg.hpp"
+
+namespace ppd::regress {
+namespace {
+
+TEST(LinReg, PerfectLineRecovered) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 * i + 3.0);
+  }
+  const LinearFit fit_result = fit(xs, ys);
+  EXPECT_NEAR(fit_result.a, 2.0, 1e-12);
+  EXPECT_NEAR(fit_result.b, 3.0, 1e-12);
+  EXPECT_NEAR(fit_result.r2, 1.0, 1e-12);
+}
+
+TEST(LinReg, IterPairOverload) {
+  std::vector<prof::IterPair> pairs;
+  for (std::uint64_t i = 1; i < 10; ++i) pairs.push_back({i, i - 1});
+  const LinearFit fit_result = fit(pairs);
+  EXPECT_NEAR(fit_result.a, 1.0, 1e-12);
+  EXPECT_NEAR(fit_result.b, -1.0, 1e-12);
+}
+
+TEST(LinReg, EmptyInput) {
+  const LinearFit fit_result = fit(std::span<const double>{}, std::span<const double>{});
+  EXPECT_FALSE(fit_result.usable());
+  EXPECT_EQ(fit_result.samples, 0u);
+}
+
+TEST(LinReg, DegenerateConstantX) {
+  const std::vector<double> xs{2.0, 2.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  const LinearFit fit_result = fit(xs, ys);
+  EXPECT_DOUBLE_EQ(fit_result.a, 0.0);
+  EXPECT_DOUBLE_EQ(fit_result.b, 2.0);
+}
+
+TEST(Efficiency, PerfectPipelineIsOne) {
+  LinearFit f;
+  f.a = 1.0;
+  f.b = 0.0;
+  f.samples = 10;
+  EXPECT_NEAR(efficiency_factor(f, 100.0, 100.0), 1.0, 1e-12);
+}
+
+TEST(Efficiency, RegDetectShape) {
+  // a = 1, b = -1 over N iterations: e = (N-2)/N (paper: 0.99 for large N).
+  LinearFit f;
+  f.a = 1.0;
+  f.b = -1.0;
+  f.samples = 10;
+  const double e = efficiency_factor(f, 200.0, 200.0);
+  EXPECT_NEAR(e, 0.99, 0.005);
+}
+
+TEST(Efficiency, FluidanimateShape) {
+  // a = 0.05 with nx = 20*ny, b = -4: e ~ 1 - 8/ny.
+  LinearFit f;
+  f.a = 0.05;
+  f.b = -4.0;
+  f.samples = 100;
+  const double ny = 256.0;
+  const double nx = 20.0 * ny;
+  const double e = efficiency_factor(f, nx, ny);
+  // Closed form with the clamped negative stretch: the line is positive only
+  // above its root -b/a, so the area gains b^2/(2a) over the naive integral.
+  const double expected =
+      (0.5 * f.a * nx * nx + f.b * nx + f.b * f.b / (2.0 * f.a)) / (0.5 * ny * nx);
+  EXPECT_NEAR(e, expected, 1e-12);
+  EXPECT_NEAR(e, 0.97, 0.005);  // the paper's Table IV value
+}
+
+TEST(Efficiency, BlockingProducerIsZero) {
+  // a = 0, b = 0: every y iteration waits for all of x.
+  LinearFit f;
+  f.a = 0.0;
+  f.b = 0.0;
+  f.samples = 5;
+  EXPECT_DOUBLE_EQ(efficiency_factor(f, 50.0, 50.0), 0.0);
+}
+
+TEST(Efficiency, EarlyStartExceedsOne) {
+  // b > 0: y can start before x produces anything -> e > 1 (§III-A: the
+  // loops can run almost in parallel).
+  LinearFit f;
+  f.a = 1.0;
+  f.b = 20.0;
+  f.samples = 5;
+  EXPECT_GT(efficiency_factor(f, 100.0, 100.0), 1.0);
+}
+
+TEST(Efficiency, NegativeStretchClamped) {
+  // A line deep below zero contributes no negative area.
+  LinearFit f;
+  f.a = 0.5;
+  f.b = -1000.0;
+  f.samples = 5;
+  EXPECT_DOUBLE_EQ(efficiency_factor(f, 10.0, 10.0), 0.0);
+}
+
+// Property sweep: regression recovers arbitrary lines exactly from exact
+// samples, and the efficiency factor of the recovered line matches the
+// closed-form area ratio.
+class LineRecovery : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(LineRecovery, RecoversCoefficients) {
+  const auto [a, b] = GetParam();
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(a * i + b);
+  }
+  const LinearFit fit_result = fit(xs, ys);
+  EXPECT_NEAR(fit_result.a, a, 1e-9);
+  EXPECT_NEAR(fit_result.b, b, 1e-9);
+  EXPECT_GE(fit_result.r2, a == 0.0 ? 0.0 : 0.999);
+
+  const double nx = 50.0;
+  const double ny = 50.0;
+  const double e = efficiency_factor(fit_result, nx, ny);
+  EXPECT_GE(e, 0.0);
+  if (a > 0.0 && b >= 0.0) {
+    const double expected = (0.5 * a * nx * nx + b * nx) / (0.5 * ny * nx);
+    EXPECT_NEAR(e, expected, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lines, LineRecovery,
+    ::testing::Values(std::tuple{1.0, 0.0}, std::tuple{1.0, -1.0}, std::tuple{0.05, -3.5},
+                      std::tuple{2.0, 5.0}, std::tuple{0.5, 10.0}, std::tuple{0.0, 7.0},
+                      std::tuple{3.0, -20.0}));
+
+}  // namespace
+}  // namespace ppd::regress

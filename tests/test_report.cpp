@@ -1,0 +1,116 @@
+// Unit tests for the evaluation-table renderers and instrumentation misuse
+// (death tests: the runtime must refuse corrupted region nesting rather
+// than silently corrupt every downstream analysis).
+#include <gtest/gtest.h>
+
+#include "prof/profiler.hpp"
+#include "report/tables.hpp"
+#include "trace/context.hpp"
+
+namespace ppd {
+namespace {
+
+TEST(Report, Table3RowFormatting) {
+  report::Table3Row row;
+  row.application = "ludcmp";
+  row.suite = "Polybench";
+  row.loc = 135;
+  row.hotspot_pct = 88.64;
+  row.speedup = 14.06;
+  row.threads = 32;
+  row.pattern = "Multi-loop pipeline";
+  const auto table = report::make_table3({row});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("ludcmp"), std::string::npos);
+  EXPECT_NE(out.find("88.64%"), std::string::npos);
+  EXPECT_NE(out.find("14.06"), std::string::npos);
+  EXPECT_NE(out.find("Multi-loop pipeline"), std::string::npos);
+}
+
+TEST(Report, Table4TwoDecimalPlaces) {
+  report::Table4Row row{"fluidanimate", 0.05, -3.5, 0.97};
+  const std::string out = report::make_table4({row}).render();
+  EXPECT_NE(out.find("0.05"), std::string::npos);
+  EXPECT_NE(out.find("-3.50"), std::string::npos);
+  EXPECT_NE(out.find("0.97"), std::string::npos);
+}
+
+TEST(Report, Table5Integers) {
+  report::Table5Row row{"fib", 52, 16, 3.25};
+  const std::string out = report::make_table5({row}).render();
+  EXPECT_NE(out.find("52"), std::string::npos);
+  EXPECT_NE(out.find("16"), std::string::npos);
+  EXPECT_NE(out.find("3.25"), std::string::npos);
+}
+
+TEST(Report, Table6ToolRows) {
+  report::Table6Column col{"sum_module", "no", "no", "yes"};
+  const std::string out = report::make_table6({col}).render();
+  EXPECT_NE(out.find("Sambamba"), std::string::npos);
+  EXPECT_NE(out.find("icc"), std::string::npos);
+  EXPECT_NE(out.find("DiscoPoP"), std::string::npos);
+  EXPECT_NE(out.find("sum_module"), std::string::npos);
+}
+
+TEST(Report, EmptyTablesRenderHeaders) {
+  EXPECT_NE(report::make_table3({}).render().find("Application"), std::string::npos);
+  EXPECT_NE(report::make_table4({}).render().find("e"), std::string::npos);
+  EXPECT_NE(report::make_table5({}).render().find("Critical Path"), std::string::npos);
+}
+
+using InstrumentationDeath = ::testing::Test;
+
+TEST(InstrumentationDeath, FinishWithOpenRegionAborts) {
+  EXPECT_DEATH(
+      {
+        trace::TraceContext ctx;
+        auto* leak = new trace::FunctionScope(ctx, "f", 1);  // never closed
+        (void)leak;
+        ctx.finish();
+      },
+      "regions still active");
+}
+
+TEST(InstrumentationDeath, IterationOutsideInnermostLoopAborts) {
+  EXPECT_DEATH(
+      {
+        trace::TraceContext ctx;
+        trace::LoopScope outer(ctx, "outer", 1);
+        trace::LoopScope inner(ctx, "inner", 2);
+        outer.begin_iteration();  // outer is not the innermost loop
+      },
+      "innermost loop");
+}
+
+TEST(InstrumentationDeath, TooDeepLoopNestAborts) {
+  EXPECT_DEATH(
+      {
+        trace::TraceContext ctx;
+        prof::DependenceProfiler profiler;
+        ctx.add_sink(&profiler);
+        // Deeper than InlineLoopStack::kMaxDepth (8).
+        trace::LoopScope l0(ctx, "l0", 1);
+        l0.begin_iteration();
+        trace::LoopScope l1(ctx, "l1", 1);
+        l1.begin_iteration();
+        trace::LoopScope l2(ctx, "l2", 1);
+        l2.begin_iteration();
+        trace::LoopScope l3(ctx, "l3", 1);
+        l3.begin_iteration();
+        trace::LoopScope l4(ctx, "l4", 1);
+        l4.begin_iteration();
+        trace::LoopScope l5(ctx, "l5", 1);
+        l5.begin_iteration();
+        trace::LoopScope l6(ctx, "l6", 1);
+        l6.begin_iteration();
+        trace::LoopScope l7(ctx, "l7", 1);
+        l7.begin_iteration();
+        trace::LoopScope l8(ctx, "l8", 1);
+        l8.begin_iteration();
+        ctx.write(ctx.var("v"), 0, 2);
+      },
+      "loop nesting deeper");
+}
+
+}  // namespace
+}  // namespace ppd

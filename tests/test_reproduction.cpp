@@ -1,0 +1,254 @@
+// Reproduction guards: the paper's quantitative results, asserted from the
+// real end-to-end pipeline so regressions in any substrate surface here.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "bs/benchmark.hpp"
+#include "core/analyzer.hpp"
+#include "core/task_parallelism.hpp"
+#include "cu/builder.hpp"
+#include "sim/task_dag.hpp"
+
+namespace ppd::bs {
+namespace {
+
+// ---- Table IV -----------------------------------------------------------------
+
+struct PipelineExpectation {
+  const char* app;
+  double a;
+  double b;
+  double e;
+  double tol_a;
+  double tol_b;
+  double tol_e;
+};
+
+class Table4 : public ::testing::TestWithParam<PipelineExpectation> {};
+
+TEST_P(Table4, CoefficientsMatchPaper) {
+  const PipelineExpectation expected = GetParam();
+  const Benchmark* benchmark = find_benchmark(expected.app);
+  ASSERT_NE(benchmark, nullptr);
+  const TracedAnalysis traced = analyze_benchmark(*benchmark);
+  const auto reported = traced.analysis.reported_pipelines();
+  ASSERT_FALSE(reported.empty());
+  const core::MultiLoopPipeline& p = *reported.front();
+  EXPECT_NEAR(p.fit.a, expected.a, expected.tol_a);
+  EXPECT_NEAR(p.fit.b, expected.b, expected.tol_b);
+  EXPECT_NEAR(p.e, expected.e, expected.tol_e);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, Table4,
+    ::testing::Values(PipelineExpectation{"ludcmp", 1.0, 0.0, 1.0, 1e-9, 1e-9, 1e-9},
+                      PipelineExpectation{"reg_detect", 1.0, -1.0, 0.99, 1e-9, 1e-9, 0.005},
+                      // The intercept depends on the reproduced neighbour
+                      // span (ours: -4; the paper's 3D grid: -3.5).
+                      PipelineExpectation{"fluidanimate", 0.05, -3.5, 0.97, 0.005, 1.0, 0.01}),
+    [](const ::testing::TestParamInfo<PipelineExpectation>& param_info) {
+      std::string name = param_info.param.app;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+// ---- fusion triage (§IV-A) -----------------------------------------------------
+
+class FusionTriage : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FusionTriage, ReportedAsFusionWithExactCoefficients) {
+  const Benchmark* benchmark = find_benchmark(GetParam());
+  ASSERT_NE(benchmark, nullptr);
+  const TracedAnalysis traced = analyze_benchmark(*benchmark);
+  const auto reported = traced.analysis.reported_pipelines();
+  ASSERT_FALSE(reported.empty());
+  for (const core::MultiLoopPipeline* p : reported) {
+    EXPECT_TRUE(p->fusion);
+    EXPECT_NEAR(p->fit.a, 1.0, 1e-9);
+    EXPECT_NEAR(p->fit.b, 0.0, 1e-9);
+    EXPECT_EQ(p->x_class, core::LoopClass::DoAll);
+    EXPECT_EQ(p->y_class, core::LoopClass::DoAll);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper, FusionTriage,
+                         ::testing::Values("rot-cc", "Correlation", "2mm"),
+                         [](const ::testing::TestParamInfo<const char*>& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+// ---- Table V -------------------------------------------------------------------
+
+struct TaskExpectation {
+  const char* app;
+  double est_speedup;
+  double tolerance;
+};
+
+class Table5 : public ::testing::TestWithParam<TaskExpectation> {};
+
+TEST_P(Table5, EstimatedSpeedupInRange) {
+  const TaskExpectation expected = GetParam();
+  const Benchmark* benchmark = find_benchmark(expected.app);
+  ASSERT_NE(benchmark, nullptr);
+  const TracedAnalysis traced = analyze_benchmark(*benchmark);
+  const core::ScopeTaskParallelism* best = traced.analysis.primary_tasks();
+  if (best == nullptr) {
+    for (const core::ScopeTaskParallelism& t : traced.analysis.tasks) {
+      if (best == nullptr || t.tp.estimated_speedup > best->tp.estimated_speedup) best = &t;
+    }
+  }
+  ASSERT_NE(best, nullptr);
+  EXPECT_NEAR(best->tp.estimated_speedup, expected.est_speedup, expected.tolerance);
+  EXPECT_GE(best->tp.total_cost, best->tp.critical_path_cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, Table5,
+    ::testing::Values(TaskExpectation{"3mm", 1.5, 0.05},    // paper 1.5
+                      TaskExpectation{"mvt", 1.96, 0.1},    // paper 1.96
+                      TaskExpectation{"sort", 2.11, 0.25},  // paper 2.11
+                      TaskExpectation{"strassen", 3.5, 0.5},  // paper 3.5
+                      TaskExpectation{"fib", 1.9, 0.25},      // bounded by 2 (see EXPERIMENTS.md)
+                      TaskExpectation{"fdtd-2d", 1.9, 0.35}),
+    [](const ::testing::TestParamInfo<TaskExpectation>& param_info) {
+      std::string name = param_info.param.app;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---- Figure 3 structure ----------------------------------------------------------
+
+TEST(Figure3, CilksortClassification) {
+  const Benchmark* sort_benchmark = find_benchmark("sort");
+  ASSERT_NE(sort_benchmark, nullptr);
+  const TracedAnalysis traced = analyze_benchmark(*sort_benchmark);
+  const pet::NodeIndex cilksort =
+      traced.analysis.pet.find(traced.ctx->find_region("cilksort"));
+  ASSERT_NE(cilksort, pet::kInvalidPetNode);
+  const cu::CuGraph graph = cu::build_cu_graph(
+      traced.analysis.cus, traced.analysis.profile, traced.analysis.pet, cilksort, *traced.ctx);
+  const core::TaskParallelism tp = core::detect_task_parallelism(graph);
+
+  // Fig. 3: four workers (the recursive sorts), three barriers (the merges),
+  // and exactly one pair of barriers able to run in parallel (the two pair
+  // merges); the final merge is ordered after both.
+  EXPECT_EQ(tp.worker_count(), 4u);
+  EXPECT_EQ(tp.barrier_count(), 3u);
+  ASSERT_EQ(tp.parallel_barriers.size(), 1u);
+  const auto [m12, m34] = tp.parallel_barriers[0];
+  EXPECT_EQ(graph.cu(m12).name, "merge_q1q2");
+  EXPECT_EQ(graph.cu(m34).name, "merge_q3q4");
+
+  graph::NodeIndex final_merge = graph::kInvalidNode;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    if (graph.cu(static_cast<graph::NodeIndex>(i)).name == "merge_final") {
+      final_merge = static_cast<graph::NodeIndex>(i);
+    }
+  }
+  ASSERT_NE(final_merge, graph::kInvalidNode);
+  EXPECT_TRUE(graph.graph.reachable(m12, final_merge));
+  EXPECT_TRUE(graph.graph.reachable(m34, final_merge));
+}
+
+TEST(Figure3, FibListingClassification) {
+  // Listing 4: base check (sync) forks the two recursive calls (workers);
+  // the summing return is their barrier (sync).
+  const Benchmark* fib_benchmark = find_benchmark("fib");
+  const TracedAnalysis traced = analyze_benchmark(*fib_benchmark);
+  const core::ScopeTaskParallelism* tasks = traced.analysis.primary_tasks();
+  ASSERT_NE(tasks, nullptr);
+  // The two recursive calls are workers; the base-case return also depends
+  // on the check and is classified worker too (the paper folds it into the
+  // "sync" lines of Listing 4).
+  EXPECT_GE(tasks->tp.worker_count(), 2u);
+  EXPECT_LE(tasks->tp.worker_count(), 3u);
+  EXPECT_GE(tasks->tp.barrier_count(), 1u);
+  bool x_is_worker = false;
+  bool y_is_worker = false;
+  for (std::size_t i = 0; i < tasks->graph.size(); ++i) {
+    const auto& cu = tasks->graph.cu(static_cast<graph::NodeIndex>(i));
+    if (cu.name == "x=fib(n-1)") x_is_worker = tasks->tp.roles[i] == core::CuRole::Worker;
+    if (cu.name == "y=fib(n-2)") y_is_worker = tasks->tp.roles[i] == core::CuRole::Worker;
+  }
+  EXPECT_TRUE(x_is_worker);
+  EXPECT_TRUE(y_is_worker);
+}
+
+// ---- speedup shape (Table III) ----------------------------------------------------
+
+struct SpeedupExpectation {
+  const char* app;
+  double paper_speedup;
+  double rel_tolerance;  // fraction of the paper value
+};
+
+class Table3Speedup : public ::testing::TestWithParam<SpeedupExpectation> {};
+
+TEST_P(Table3Speedup, SimulatedSpeedupNearPaper) {
+  const SpeedupExpectation expected = GetParam();
+  const Benchmark* benchmark = find_benchmark(expected.app);
+  ASSERT_NE(benchmark, nullptr);
+  const TracedAnalysis traced = analyze_benchmark(*benchmark);
+  const sim::TaskDag dag = benchmark->build_sim_dag(traced.analysis);
+  const sim::SweepResult sweep =
+      sim::sweep_threads(dag, benchmark->sim_params(traced.analysis));
+  EXPECT_NEAR(sweep.best.speedup, expected.paper_speedup,
+              expected.paper_speedup * expected.rel_tolerance)
+      << expected.app;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, Table3Speedup,
+    ::testing::Values(SpeedupExpectation{"ludcmp", 14.06, 0.15},
+                      SpeedupExpectation{"fluidanimate", 1.5, 0.15},
+                      SpeedupExpectation{"rot-cc", 16.18, 0.15},
+                      SpeedupExpectation{"fib", 13.25, 0.15},
+                      SpeedupExpectation{"3mm", 12.93, 0.15},
+                      SpeedupExpectation{"fdtd-2d", 5.19, 0.15},
+                      SpeedupExpectation{"kmeans", 3.97, 0.15},
+                      SpeedupExpectation{"bicg", 5.64, 0.15},
+                      SpeedupExpectation{"gesummv", 5.06, 0.15},
+                      SpeedupExpectation{"nqueens", 8.38, 0.15}),
+    [](const ::testing::TestParamInfo<SpeedupExpectation>& param_info) {
+      std::string name = param_info.param.app;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---- gesummv detail (§IV-D) --------------------------------------------------------
+
+TEST(Gesummv, TwoReductionVariablesReported) {
+  const Benchmark* gesummv = find_benchmark("gesummv");
+  const TracedAnalysis traced = analyze_benchmark(*gesummv);
+  // "The reduction loop of gesummv had two reduction variables and our tool
+  // reported both of them."
+  const RegionId inner = traced.ctx->find_region("accumulate_loop");
+  ASSERT_TRUE(inner.valid());
+  const auto candidates = core::detect_reductions(traced.analysis.profile, inner);
+  EXPECT_EQ(candidates.size(), 2u);
+}
+
+TEST(Streamcluster, NoPatternInOuterStreamLoop) {
+  // §IV-C: "we detected no parallel pattern in streamCluster()" — the outer
+  // while loop carries the clusters between rounds.
+  const Benchmark* sc = find_benchmark("streamcluster");
+  const TracedAnalysis traced = analyze_benchmark(*sc);
+  const RegionId stream_loop = traced.ctx->find_region("stream_loop");
+  ASSERT_TRUE(stream_loop.valid());
+  EXPECT_EQ(core::classify_loop(traced.analysis.profile, stream_loop),
+            core::LoopClass::Sequential);
+}
+
+}  // namespace
+}  // namespace ppd::bs

@@ -1,0 +1,150 @@
+// Unit tests for the parallel runtime: thread pool, fork/join, do-all,
+// reduction, and the pipelined loop-pair executor.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "rt/parallel.hpp"
+#include "rt/thread_pool.hpp"
+
+namespace ppd::rt {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 100; ++i) {
+    group.run([&counter] { counter.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  TaskGroup group(pool);
+  group.run([&counter] { counter.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(TaskGroup, PropagatesFirstException) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.run([] { throw std::runtime_error("boom"); });
+  group.run([] {});
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(TaskGroup, WaitIsReusable) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> counter{0};
+  group.run([&] { counter.fetch_add(1); });
+  group.wait();
+  group.run([&] { counter.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(pool, 0, hits.size(), [&](std::uint64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  parallel_for(pool, 5, 5, [&](std::uint64_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelReduce, SumsCorrectly) {
+  ThreadPool pool(4);
+  const std::uint64_t n = 1000;
+  const std::int64_t total = parallel_reduce<std::int64_t>(
+      pool, 0, n, 0,
+      [](std::int64_t acc, std::uint64_t i) { return acc + static_cast<std::int64_t>(i); },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+  EXPECT_EQ(total, static_cast<std::int64_t>(n * (n - 1) / 2));
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsIdentity) {
+  ThreadPool pool(2);
+  const int result = parallel_reduce<int>(
+      pool, 3, 3, 42, [](int acc, std::uint64_t) { return acc + 1; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(result, 42);
+}
+
+TEST(IterationBarrier, PublishIsMonotone) {
+  IterationBarrier barrier;
+  barrier.publish(5);
+  barrier.publish(3);  // lower publish must not regress
+  EXPECT_EQ(barrier.completed(), 5u);
+  barrier.wait_for(5);  // returns immediately
+}
+
+class PipelinedPairTest : public ::testing::TestWithParam<std::tuple<std::size_t, bool>> {};
+
+TEST_P(PipelinedPairTest, OneToOnePipelineComputesSequentialResult) {
+  const auto [threads, x_doall] = GetParam();
+  const std::uint64_t n = 200;
+  std::vector<std::int64_t> b(n, 0);
+  std::vector<std::int64_t> y(n, 0);
+  ThreadPool pool(threads);
+  pipelined_loop_pair(
+      pool, n, n, [](std::uint64_t j) { return j + 1; },
+      [&](std::uint64_t i) { b[i] = static_cast<std::int64_t>(i) * 3; },
+      [&](std::uint64_t j) { y[j] = b[j] + (j > 0 ? y[j - 1] : 0); }, x_doall);
+  std::int64_t acc = 0;
+  for (std::uint64_t j = 0; j < n; ++j) {
+    acc += static_cast<std::int64_t>(j) * 3;
+    EXPECT_EQ(y[j], acc);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadsAndModes, PipelinedPairTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4, 8),
+                                            ::testing::Bool()));
+
+TEST(PipelinedPair, ShiftedDependenceWindow) {
+  // y_j needs x up to 2j+5 (an a<1-style relationship).
+  const std::uint64_t nx = 100;
+  const std::uint64_t ny = 40;
+  std::vector<int> x(nx, 0);
+  std::vector<int> y(ny, 0);
+  ThreadPool pool(3);
+  pipelined_loop_pair(
+      pool, nx, ny,
+      [nx](std::uint64_t j) { return std::min<std::uint64_t>(nx, 2 * j + 5); },
+      [&](std::uint64_t i) { x[i] = 1; },
+      [&](std::uint64_t j) {
+        int sum = 0;
+        for (std::uint64_t i = 0; i < std::min<std::uint64_t>(nx, 2 * j + 5); ++i) sum += x[i];
+        y[j] = sum;
+      },
+      /*x_doall=*/true);
+  for (std::uint64_t j = 0; j < ny; ++j) {
+    EXPECT_EQ(y[j], static_cast<int>(std::min<std::uint64_t>(nx, 2 * j + 5)));
+  }
+}
+
+TEST(PipelinedPair, ZeroIterations) {
+  ThreadPool pool(2);
+  bool ran_y = false;
+  pipelined_loop_pair(
+      pool, 0, 0, [](std::uint64_t) { return 0; }, [](std::uint64_t) {},
+      [&](std::uint64_t) { ran_y = true; }, true);
+  EXPECT_FALSE(ran_y);
+}
+
+}  // namespace
+}  // namespace ppd::rt

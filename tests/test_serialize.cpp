@@ -1,0 +1,187 @@
+// Unit tests for trace serialization and replay: format round trips, the
+// replayed analysis equals the live analysis, malformed inputs are rejected.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bs/benchmark.hpp"
+#include "core/analyzer.hpp"
+#include "trace/buffer.hpp"
+#include "trace/serialize.hpp"
+
+namespace ppd::trace {
+namespace {
+
+/// Runs the given instrumented body while recording a trace; returns the
+/// serialized text.
+template <typename Body>
+std::string record(Body&& body) {
+  std::ostringstream out;
+  TraceContext ctx;
+  TraceWriter writer(ctx, out);
+  ctx.add_sink(&writer);
+  body(ctx);
+  ctx.finish();
+  return out.str();
+}
+
+TEST(Serialize, HeaderAndDefinitions) {
+  const std::string text = record([](TraceContext& ctx) {
+    const VarId v = ctx.var("data");
+    FunctionScope f(ctx, "kernel", 3);
+    ctx.write(v, 7, 4);
+  });
+  EXPECT_EQ(text.rfind("ppd-trace 1\n", 0), 0u);
+  EXPECT_NE(text.find("fn 0 3 kernel"), std::string::npos);
+  EXPECT_NE(text.find("var 0 0 data"), std::string::npos);
+  EXPECT_NE(text.find("W 0 7 4 1 0"), std::string::npos);
+}
+
+TEST(Serialize, LocalVarFlagAndUpdateOpSurvive) {
+  const std::string text = record([](TraceContext& ctx) {
+    const VarId t = ctx.local_var("tmp");
+    const VarId acc = ctx.var("acc");
+    FunctionScope f(ctx, "k", 1);
+    ctx.write(t, 0, 2);
+    ctx.update(acc, 0, 3, UpdateOp::Product);
+  });
+  EXPECT_NE(text.find("var 0 1 tmp"), std::string::npos);   // local flag
+  EXPECT_NE(text.find("W 1 0 3 1 2"), std::string::npos);   // Product tag
+}
+
+TEST(Replay, RoundTripPreservesEvents) {
+  const std::string text = record([](TraceContext& ctx) {
+    const VarId v = ctx.var("v");
+    FunctionScope f(ctx, "k", 1);
+    LoopScope l(ctx, "loop", 2);
+    for (int i = 0; i < 3; ++i) {
+      l.begin_iteration();
+      ctx.read(v, static_cast<std::uint64_t>(i), 3, 2);
+      ctx.write(v, static_cast<std::uint64_t>(i), 4, 5);
+      ctx.compute(5, 7);
+    }
+  });
+
+  std::istringstream in(text);
+  TraceContext ctx;
+  TraceBuffer buffer;
+  ctx.add_sink(&buffer);
+  const std::uint64_t records = replay_trace(in, ctx);
+  EXPECT_GT(records, 0u);
+  EXPECT_TRUE(buffer.ended());
+  EXPECT_EQ(buffer.enters().size(), 2u);
+  EXPECT_EQ(buffer.iterations().size(), 3u);
+  ASSERT_EQ(buffer.accesses().size(), 6u);
+  EXPECT_EQ(buffer.accesses()[0].cost, 2u);
+  EXPECT_EQ(buffer.accesses()[1].cost, 5u);
+  ASSERT_EQ(buffer.accesses()[2].loop_stack.size(), 1u);
+  EXPECT_EQ(buffer.accesses()[2].loop_stack[0].iteration, 1u);
+  EXPECT_EQ(ctx.total_cost(), 3u * (2 + 5 + 7));
+}
+
+TEST(Replay, StatementScopesSurvive) {
+  const std::string text = record([](TraceContext& ctx) {
+    const VarId v = ctx.var("v");
+    FunctionScope f(ctx, "k", 1);
+    StatementScope s(ctx, "the_call", 2);
+    ctx.write(v, 0, 2);
+  });
+  std::istringstream in(text);
+  TraceContext ctx;
+  TraceBuffer buffer;
+  ctx.add_sink(&buffer);
+  (void)replay_trace(in, ctx);
+  ASSERT_EQ(buffer.accesses().size(), 1u);
+  ASSERT_TRUE(buffer.accesses()[0].stmt.valid());
+  EXPECT_EQ(ctx.statement(buffer.accesses()[0].stmt).name, "the_call");
+}
+
+TEST(Replay, RejectsMissingHeader) {
+  std::istringstream in("garbage\n");
+  TraceContext ctx;
+  EXPECT_THROW((void)replay_trace(in, ctx), std::runtime_error);
+}
+
+TEST(Replay, RejectsUnknownTag) {
+  std::istringstream in("ppd-trace 1\nZZ 1 2 3\n");
+  TraceContext ctx;
+  EXPECT_THROW((void)replay_trace(in, ctx), std::runtime_error);
+}
+
+TEST(Replay, RejectsUndefinedVariable) {
+  std::istringstream in("ppd-trace 1\nR 5 0 1 1\n");
+  TraceContext ctx;
+  EXPECT_THROW((void)replay_trace(in, ctx), std::runtime_error);
+}
+
+TEST(Replay, RejectsMismatchedExit) {
+  std::istringstream in("ppd-trace 1\nfn 0 1 a\nfn 1 1 b\nE 0\nX 1\n");
+  TraceContext ctx;
+  EXPECT_THROW((void)replay_trace(in, ctx), std::runtime_error);
+}
+
+TEST(Replay, RejectsUnclosedScopes) {
+  std::istringstream in("ppd-trace 1\nfn 0 1 a\nE 0\n");
+  TraceContext ctx;
+  EXPECT_THROW((void)replay_trace(in, ctx), std::runtime_error);
+}
+
+TEST(Replay, RejectsIterationOutsideLoop) {
+  std::istringstream in("ppd-trace 1\nfn 0 1 a\nE 0\nI 0\nX 0\n");
+  TraceContext ctx;
+  EXPECT_THROW((void)replay_trace(in, ctx), std::runtime_error);
+}
+
+// End-to-end: for a representative subset of benchmarks, the analysis of a
+// replayed trace must agree with the live analysis (same primary pattern,
+// same reduction count, same pipeline coefficients).
+class ReplayEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ReplayEquivalence, SameAnalysis) {
+  const bs::Benchmark* benchmark = bs::find_benchmark(GetParam());
+  ASSERT_NE(benchmark, nullptr);
+
+  // Live run, recording the trace on the side.
+  std::ostringstream recorded;
+  TraceContext live_ctx;
+  core::PatternAnalyzer live_analyzer(live_ctx);
+  TraceWriter writer(live_ctx, recorded);
+  live_ctx.add_sink(&writer);
+  benchmark->run_traced(live_ctx);
+  const core::AnalysisResult live = live_analyzer.analyze();
+
+  // Replayed run.
+  std::istringstream in(recorded.str());
+  TraceContext replay_ctx;
+  core::PatternAnalyzer replay_analyzer(replay_ctx);
+  (void)replay_trace(in, replay_ctx);
+  const core::AnalysisResult replayed = replay_analyzer.analyze();
+
+  EXPECT_EQ(replayed.primary_description, live.primary_description);
+  EXPECT_EQ(replayed.reductions.size(), live.reductions.size());
+  EXPECT_EQ(replayed.pipelines.size(), live.pipelines.size());
+  ASSERT_EQ(replayed.profile.dependences.size(), live.profile.dependences.size());
+  EXPECT_NEAR(replayed.hotspot_cost_fraction, live.hotspot_cost_fraction, 1e-12);
+  for (std::size_t i = 0; i < live.pipelines.size(); ++i) {
+    EXPECT_NEAR(replayed.pipelines[i].fit.a, live.pipelines[i].fit.a, 1e-12);
+    EXPECT_NEAR(replayed.pipelines[i].fit.b, live.pipelines[i].fit.b, 1e-12);
+    EXPECT_NEAR(replayed.pipelines[i].e, live.pipelines[i].e, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, ReplayEquivalence,
+                         ::testing::Values("ludcmp", "reg_detect", "fluidanimate", "rot-cc",
+                                           "Correlation", "2mm", "fib", "sort", "strassen",
+                                           "3mm", "mvt", "fdtd-2d", "kmeans",
+                                           "streamcluster", "nqueens", "bicg", "gesummv",
+                                           "sum_local", "sum_module"),
+                         [](const ::testing::TestParamInfo<const char*>& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace ppd::trace

@@ -1,0 +1,213 @@
+// Unit and property tests for the virtual-time simulator: makespan bounds,
+// thread sweeps, pattern lowering.
+#include <gtest/gtest.h>
+
+#include "core/loop_class.hpp"
+#include "sim/lowering.hpp"
+#include "sim/task_dag.hpp"
+
+namespace ppd::sim {
+namespace {
+
+SimParams no_overhead() {
+  SimParams p;
+  p.spawn_overhead = 0;
+  p.startup_per_worker = 0;
+  return p;
+}
+
+TEST(TaskDag, TotalsAndCriticalPath) {
+  TaskDag dag;
+  const TaskIndex a = dag.add_task(10);
+  const TaskIndex b = dag.add_task(20);
+  const TaskIndex c = dag.add_task(5);
+  dag.add_dep(b, a);
+  dag.add_dep(c, b);
+  EXPECT_EQ(dag.total_work(), 35u);
+  EXPECT_EQ(dag.critical_path(), 35u);  // a chain
+}
+
+TEST(TaskDag, CriticalPathOfIndependentTasks) {
+  TaskDag dag;
+  dag.add_task(10);
+  dag.add_task(30);
+  dag.add_task(20);
+  EXPECT_EQ(dag.critical_path(), 30u);
+}
+
+TEST(Simulate, OneWorkerEqualsTotalWork) {
+  TaskDag dag;
+  for (int i = 0; i < 10; ++i) dag.add_task(7);
+  EXPECT_EQ(simulate_makespan(dag, 1, no_overhead()), 70u);
+}
+
+TEST(Simulate, IndependentTasksScaleLinearly) {
+  TaskDag dag;
+  for (int i = 0; i < 32; ++i) dag.add_task(10);
+  EXPECT_EQ(simulate_makespan(dag, 4, no_overhead()), 80u);
+  EXPECT_EQ(simulate_makespan(dag, 32, no_overhead()), 10u);
+}
+
+TEST(Simulate, ChainDoesNotScale) {
+  TaskDag dag;
+  TaskIndex prev = dag.add_task(5);
+  for (int i = 0; i < 9; ++i) {
+    const TaskIndex t = dag.add_task(5);
+    dag.add_dep(t, prev);
+    prev = t;
+  }
+  EXPECT_EQ(simulate_makespan(dag, 8, no_overhead()), 50u);
+}
+
+TEST(Simulate, SpawnOverheadCharged) {
+  TaskDag dag;
+  dag.add_task(10);
+  dag.add_task(10);
+  SimParams p = no_overhead();
+  p.spawn_overhead = 3;
+  EXPECT_EQ(simulate_makespan(dag, 2, p), 13u);
+  // Sequential mode (1 worker) pays no overhead.
+  EXPECT_EQ(simulate_makespan(dag, 1, p), 20u);
+}
+
+TEST(Simulate, MemoryTermFloorsMakespan) {
+  TaskDag dag;
+  for (int i = 0; i < 16; ++i) dag.add_task(10);
+  SimParams p = no_overhead();
+  p.memory_work = 160;
+  p.memory_scale_limit = 2;
+  // Compute would finish in 10 at 16 workers, but bandwidth floors at 80.
+  EXPECT_EQ(simulate_makespan(dag, 16, p), 80u);
+}
+
+TEST(Sweep, PrefersSmallestThreadCountOnPlateau) {
+  TaskDag dag;
+  for (int i = 0; i < 8; ++i) dag.add_task(100);
+  SimParams p = no_overhead();
+  p.memory_work = 800;
+  p.memory_scale_limit = 4;  // no speedup beyond 4 threads
+  const SweepResult sweep = sweep_threads(dag, p);
+  EXPECT_EQ(sweep.best.threads, 4u);
+  EXPECT_NEAR(sweep.best.speedup, 4.0, 1e-9);
+}
+
+TEST(Sweep, ReportsAllPoints) {
+  TaskDag dag;
+  dag.add_task(100);
+  const SweepResult sweep = sweep_threads(dag, no_overhead(), {1, 2, 4});
+  ASSERT_EQ(sweep.points.size(), 3u);
+  EXPECT_EQ(sweep.points[0].threads, 1u);
+  EXPECT_DOUBLE_EQ(sweep.points[0].speedup, 1.0);
+}
+
+// Property sweep: for any random DAG and worker count, the makespan is
+// bounded below by both work/P and the critical path, and above by the
+// total work (greedy list scheduling without overheads).
+class MakespanBounds : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MakespanBounds, GreedyBoundsHold) {
+  const auto [seed, workers] = GetParam();
+  std::uint64_t state = static_cast<std::uint64_t>(seed) * 40503u + 11;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  TaskDag dag;
+  const std::size_t n = 3 + next() % 40;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TaskIndex t = dag.add_task(1 + next() % 50);
+    for (std::size_t d = 0; d < 2 && i > 0; ++d) {
+      if (next() % 3 == 0) dag.add_dep(t, static_cast<TaskIndex>(next() % i));
+    }
+  }
+  const Cost makespan = simulate_makespan(dag, static_cast<std::size_t>(workers), no_overhead());
+  EXPECT_GE(makespan, dag.critical_path());
+  EXPECT_GE(makespan * static_cast<Cost>(workers), dag.total_work());
+  EXPECT_LE(makespan, dag.total_work());
+  // Graham bound: greedy <= work/P + critical path.
+  EXPECT_LE(makespan,
+            dag.total_work() / static_cast<Cost>(workers) + dag.critical_path() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, MakespanBounds,
+                         ::testing::Combine(::testing::Range(0, 12),
+                                            ::testing::Values(1, 2, 4, 16)));
+
+// ---- lowering ---------------------------------------------------------------
+
+TEST(Lowering, DoAllLoopBlocks) {
+  DagBuilder b;
+  const auto loop = b.lower_loop(100, 1000, core::LoopClass::DoAll, 10);
+  EXPECT_EQ(loop.blocks.size(), 10u);
+  EXPECT_EQ(loop.tail, kInvalidTask);
+  EXPECT_EQ(b.dag().total_work(), 1000u);
+  // Blocks are independent: near-linear scaling.
+  EXPECT_EQ(simulate_makespan(b.dag(), 10, no_overhead()), 100u);
+}
+
+TEST(Lowering, SequentialLoopIsAChain) {
+  DagBuilder b;
+  const auto loop = b.lower_loop(100, 1000, core::LoopClass::Sequential, 10);
+  EXPECT_EQ(loop.tail, loop.blocks.back());
+  EXPECT_EQ(simulate_makespan(b.dag(), 8, no_overhead()), 1000u);
+}
+
+TEST(Lowering, ReductionAddsCombine) {
+  DagBuilder b;
+  const auto loop = b.lower_loop(64, 640, core::LoopClass::Reduction, 8);
+  ASSERT_NE(loop.tail, kInvalidTask);
+  EXPECT_EQ(b.dag().size(), 9u);  // 8 blocks + combine
+  EXPECT_EQ(simulate_makespan(b.dag(), 8, no_overhead()), 81u);
+}
+
+TEST(Lowering, CostRemainderDistributed) {
+  DagBuilder b;
+  (void)b.lower_loop(3, 10, core::LoopClass::DoAll, 3);
+  EXPECT_EQ(b.dag().total_work(), 10u);
+}
+
+TEST(Lowering, LinkPairsWiresPipeline) {
+  DagBuilder b;
+  const auto x = b.lower_loop(10, 100, core::LoopClass::DoAll, 10);
+  const auto y = b.lower_loop(10, 100, core::LoopClass::Sequential, 10);
+  std::vector<prof::IterPair> pairs;
+  for (std::uint64_t i = 0; i < 10; ++i) pairs.push_back({i, i});
+  b.link_pairs(x, y, pairs);
+  // y_0 waits for x_0 only: with enough workers the pipeline overlaps and
+  // the makespan is x_0 + the whole y chain.
+  EXPECT_EQ(simulate_makespan(b.dag(), 16, no_overhead()), 110u);
+}
+
+TEST(Lowering, LinkAllIsABarrier) {
+  DagBuilder b;
+  const auto x = b.lower_loop(4, 40, core::LoopClass::DoAll, 4);
+  const auto y = b.lower_loop(4, 40, core::LoopClass::DoAll, 4);
+  b.link_all(x, y);
+  EXPECT_EQ(simulate_makespan(b.dag(), 4, no_overhead()), 20u);
+}
+
+TEST(Lowering, RecursionTreeShape) {
+  DagBuilder b;
+  (void)b.recursion_tree(2, 3, /*leaf=*/10, /*fork=*/1, /*join=*/1);
+  // 2^3 = 8 leaves; internal nodes: 7 forks + 7 joins.
+  EXPECT_EQ(b.dag().size(), 8u + 7u + 7u);
+  EXPECT_EQ(b.dag().total_work(), 8u * 10 + 7u + 7u);
+  // Parallel execution approaches leaves/P + tree depth.
+  const Cost t1 = simulate_makespan(b.dag(), 1, no_overhead());
+  const Cost t8 = simulate_makespan(b.dag(), 8, no_overhead());
+  EXPECT_GT(t1, 3 * t8);
+}
+
+TEST(Lowering, BlockOfMapsIterations) {
+  DagBuilder b;
+  const auto loop = b.lower_loop(100, 100, core::LoopClass::DoAll, 10);
+  EXPECT_EQ(loop.block_of(0), loop.blocks[0]);
+  EXPECT_EQ(loop.block_of(15), loop.blocks[1]);
+  EXPECT_EQ(loop.block_of(99), loop.blocks[9]);
+  EXPECT_EQ(loop.block_of(1000), loop.blocks[9]);  // clamped
+}
+
+}  // namespace
+}  // namespace ppd::sim

@@ -1,0 +1,117 @@
+// Unit tests for the modeled static baselines (Table VI): the verdicts must
+// derive from statement structure, not from benchmark names.
+#include <gtest/gtest.h>
+
+#include "bs/benchmark.hpp"
+#include "staticdet/source_model.hpp"
+
+namespace ppd::staticdet {
+namespace {
+
+LoopModel lexical_scalar_reduction() {
+  LoopModel loop;
+  loop.name = "sum_local";
+  Stmt acc;
+  acc.line = 4;
+  acc.op = Op::AddAssign;
+  acc.target = TargetKind::ScalarLocal;
+  acc.target_name = "sum";
+  loop.body.push_back(acc);
+  return loop;
+}
+
+TEST(Icc, DetectsLexicalScalarReduction) {
+  EXPECT_EQ(IccStyleDetector{}.detect(lexical_scalar_reduction()), Verdict::Detected);
+}
+
+TEST(Icc, ArrayElementTargetDefeatsAliasAnalysis) {
+  LoopModel loop = lexical_scalar_reduction();
+  loop.body[0].target = TargetKind::ArrayElement;
+  EXPECT_EQ(IccStyleDetector{}.detect(loop), Verdict::NotDetected);
+}
+
+TEST(Icc, CallInBodyBlocksDetection) {
+  LoopModel loop = lexical_scalar_reduction();
+  Stmt call;
+  call.op = Op::Call;
+  call.callee = "helper";
+  loop.body.push_back(call);
+  EXPECT_EQ(IccStyleDetector{}.detect(loop), Verdict::NotDetected);
+}
+
+TEST(Icc, PlainAssignIsNotAReduction) {
+  LoopModel loop = lexical_scalar_reduction();
+  loop.body[0].op = Op::Assign;
+  EXPECT_EQ(IccStyleDetector{}.detect(loop), Verdict::NotDetected);
+}
+
+TEST(Sambamba, DetectsArrayElementReduction) {
+  LoopModel loop = lexical_scalar_reduction();
+  loop.body[0].target = TargetKind::ArrayElement;
+  EXPECT_EQ(SambambaStyleDetector{}.detect(loop), Verdict::Detected);
+}
+
+TEST(Sambamba, MissesInterProceduralReduction) {
+  LoopModel loop;
+  loop.name = "sum_module";
+  Stmt call;
+  call.op = Op::Call;
+  call.callee = "impl";
+  loop.body.push_back(call);
+  CalleeModel impl;
+  impl.name = "impl";
+  Stmt acc;
+  acc.op = Op::AddAssign;
+  acc.target = TargetKind::ScalarThrough;
+  impl.body.push_back(acc);
+  loop.callees.push_back(impl);
+  EXPECT_EQ(SambambaStyleDetector{}.detect(loop), Verdict::NotDetected);
+}
+
+TEST(Sambamba, UnsupportedProgramIsNa) {
+  LoopModel loop = lexical_scalar_reduction();
+  loop.unsupported_by_sambamba = true;
+  EXPECT_EQ(SambambaStyleDetector{}.detect(loop), Verdict::NotApplicable);
+}
+
+TEST(Verdict, Strings) {
+  EXPECT_STREQ(to_string(Verdict::Detected), "yes");
+  EXPECT_STREQ(to_string(Verdict::NotDetected), "no");
+  EXPECT_STREQ(to_string(Verdict::NotApplicable), "NA");
+}
+
+// Table VI end-to-end: run the modeled baselines over the benchmarks' own
+// source models and check the paper's matrix.
+struct Expected {
+  const char* benchmark;
+  Verdict sambamba;
+  Verdict icc;
+};
+
+class Table6Matrix : public ::testing::TestWithParam<Expected> {};
+
+TEST_P(Table6Matrix, MatchesPaper) {
+  const Expected expected = GetParam();
+  const bs::Benchmark* benchmark = bs::find_benchmark(expected.benchmark);
+  ASSERT_NE(benchmark, nullptr);
+  const auto model = benchmark->reduction_source_model();
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ(SambambaStyleDetector{}.detect(*model), expected.sambamba);
+  EXPECT_EQ(IccStyleDetector{}.detect(*model), expected.icc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table6Matrix,
+    ::testing::Values(
+        Expected{"nqueens", Verdict::NotApplicable, Verdict::NotDetected},
+        Expected{"kmeans", Verdict::NotApplicable, Verdict::NotDetected},
+        Expected{"bicg", Verdict::Detected, Verdict::NotDetected},
+        Expected{"gesummv", Verdict::Detected, Verdict::NotDetected},
+        Expected{"sum_local", Verdict::Detected, Verdict::Detected},
+        Expected{"sum_module", Verdict::NotDetected, Verdict::NotDetected}),
+    [](const ::testing::TestParamInfo<Expected>& param_info) {
+      return std::string(param_info.param.benchmark);
+    });
+
+}  // namespace
+}  // namespace ppd::staticdet

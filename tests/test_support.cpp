@@ -1,0 +1,104 @@
+// Unit tests for the support substrate: strong ids, table rendering, stats.
+#include <gtest/gtest.h>
+
+#include "support/ids.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace ppd {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  RegionId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, RegionId::invalid());
+}
+
+TEST(Ids, ValueRoundTrip) {
+  RegionId id(7);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<RegionId, CuId>);
+  static_assert(!std::is_same_v<VarId, StatementId>);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(RegionId(1), RegionId(2));
+  EXPECT_EQ(RegionId(3), RegionId(3));
+}
+
+TEST(Ids, Hashable) {
+  std::hash<RegionId> h;
+  EXPECT_EQ(h(RegionId(5)), h(RegionId(5)));
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  support::TextTable t;
+  t.set_header({"name", "value"});
+  t.set_alignment({support::Align::Left, support::Align::Right});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "23"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  // Right-aligned: "23" ends at the same column as header "value".
+  EXPECT_NE(out.find("   23"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  support::TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.render_csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, SeparatorDoesNotAffectCsv) {
+  support::TextTable t;
+  t.set_header({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  EXPECT_EQ(t.render_csv(), "a\n1\n2\n");
+  EXPECT_EQ(t.row_count(), 3u);  // separator counts as a row slot
+}
+
+TEST(FormatFixed, Rounds) {
+  EXPECT_EQ(support::format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(support::format_fixed(0.975, 2), "0.97");  // printf rounding of the double
+  EXPECT_EQ(support::format_fixed(14.058, 2), "14.06");
+}
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(support::mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(support::variance(xs), 1.25);
+}
+
+TEST(Stats, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(support::mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(support::variance({}), 0.0);
+}
+
+TEST(Stats, PerfectCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0};
+  EXPECT_NEAR(support::correlation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, AntiCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{3.0, 2.0, 1.0};
+  EXPECT_NEAR(support::correlation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, ZeroVarianceIsZeroCorrelation) {
+  const std::vector<double> xs{1.0, 1.0, 1.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(support::correlation(xs, ys), 0.0);
+}
+
+}  // namespace
+}  // namespace ppd

@@ -1,0 +1,176 @@
+// Unit tests for the instrumentation runtime: region scopes, iteration
+// numbering, statement attribution, recursion merging, activation tracking.
+#include <gtest/gtest.h>
+
+#include "trace/buffer.hpp"
+#include "trace/context.hpp"
+
+namespace ppd::trace {
+namespace {
+
+TEST(Trace, VarInterningIsStable) {
+  TraceContext ctx;
+  const VarId a1 = ctx.var("a");
+  const VarId a2 = ctx.var("a");
+  const VarId b = ctx.var("b");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(ctx.var_info(a1).name, "a");
+}
+
+TEST(Trace, LocalVarFlag) {
+  TraceContext ctx;
+  const VarId t = ctx.local_var("t");
+  EXPECT_TRUE(ctx.var_info(t).local);
+  EXPECT_FALSE(ctx.var_info(ctx.var("g")).local);
+}
+
+TEST(Trace, AddressEncodingRoundTrips) {
+  const VarId v(3);
+  const Address addr = TraceContext::addr(v, 12345);
+  EXPECT_EQ(TraceContext::addr_var(addr), v);
+  EXPECT_EQ(TraceContext::addr_index(addr), 12345u);
+}
+
+TEST(Trace, AddressesOfDistinctVarsNeverCollide) {
+  EXPECT_NE(TraceContext::addr(VarId(0), 7), TraceContext::addr(VarId(1), 7));
+  EXPECT_NE(TraceContext::addr(VarId(0), 0), TraceContext::addr(VarId(1), 0));
+}
+
+TEST(Trace, RegionEnterExitEventsBalance) {
+  TraceContext ctx;
+  TraceBuffer buffer;
+  ctx.add_sink(&buffer);
+  {
+    FunctionScope f(ctx, "f", 1);
+    LoopScope l(ctx, "l", 2);
+    l.begin_iteration();
+  }
+  ctx.finish();
+  EXPECT_EQ(buffer.enters().size(), 2u);
+  EXPECT_EQ(buffer.exits().size(), 2u);
+  EXPECT_TRUE(buffer.ended());
+}
+
+TEST(Trace, SameNamedRegionSharesId) {
+  TraceContext ctx;
+  RegionId first;
+  RegionId second;
+  {
+    FunctionScope f(ctx, "f", 1);
+    first = f.id();
+  }
+  {
+    FunctionScope f(ctx, "f", 1);
+    second = f.id();
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(Trace, IterationNumbersRestartPerInstance) {
+  TraceContext ctx;
+  TraceBuffer buffer;
+  ctx.add_sink(&buffer);
+  for (int instance = 0; instance < 2; ++instance) {
+    LoopScope l(ctx, "loop", 1);
+    l.begin_iteration();
+    l.begin_iteration();
+  }
+  ASSERT_EQ(buffer.iterations().size(), 4u);
+  EXPECT_EQ(buffer.iterations()[0].second, 0u);
+  EXPECT_EQ(buffer.iterations()[1].second, 1u);
+  EXPECT_EQ(buffer.iterations()[2].second, 0u);  // restarted
+  EXPECT_EQ(buffer.iterations()[3].second, 1u);
+}
+
+TEST(Trace, AccessCarriesLoopStack) {
+  TraceContext ctx;
+  TraceBuffer buffer;
+  ctx.add_sink(&buffer);
+  const VarId v = ctx.var("v");
+  {
+    LoopScope outer(ctx, "outer", 1);
+    outer.begin_iteration();
+    outer.begin_iteration();
+    {
+      LoopScope inner(ctx, "inner", 2);
+      inner.begin_iteration();
+      ctx.write(v, 0, 3);
+    }
+  }
+  ASSERT_EQ(buffer.accesses().size(), 1u);
+  const RecordedAccess& acc = buffer.accesses()[0];
+  ASSERT_EQ(acc.loop_stack.size(), 2u);
+  EXPECT_EQ(acc.loop_stack[0].iteration, 1u);  // outer is on its 2nd iteration
+  EXPECT_EQ(acc.loop_stack[1].iteration, 0u);
+}
+
+TEST(Trace, RecursionMarksRegionRecursive) {
+  TraceContext ctx;
+  {
+    FunctionScope outer(ctx, "rec", 1);
+    EXPECT_FALSE(ctx.region(outer.id()).recursive);
+    {
+      FunctionScope inner(ctx, "rec", 1);
+      EXPECT_TRUE(ctx.region(inner.id()).recursive);
+      EXPECT_EQ(inner.id(), outer.id());
+    }
+  }
+}
+
+TEST(Trace, StatementAttributionStopsAtCallBoundary) {
+  TraceContext ctx;
+  TraceBuffer buffer;
+  ctx.add_sink(&buffer);
+  const VarId v = ctx.var("v");
+  {
+    FunctionScope caller(ctx, "caller", 1);
+    StatementScope stmt(ctx, "call_site", 2);
+    ctx.write(v, 0, 2);  // caller access: attributed to the statement
+    {
+      FunctionScope callee(ctx, "callee", 5);
+      ctx.write(v, 1, 6);  // callee access: NOT attributed to caller's stmt
+    }
+  }
+  ASSERT_EQ(buffer.accesses().size(), 2u);
+  EXPECT_TRUE(buffer.accesses()[0].stmt.valid());
+  EXPECT_FALSE(buffer.accesses()[1].stmt.valid());
+}
+
+TEST(Trace, CostAccumulates) {
+  TraceContext ctx;
+  const VarId v = ctx.var("v");
+  {
+    FunctionScope f(ctx, "f", 1);
+    ctx.write(v, 0, 2, 3);
+    ctx.read(v, 0, 3, 2);
+    ctx.compute(4, 10);
+  }
+  EXPECT_EQ(ctx.total_cost(), 15u);
+}
+
+TEST(Trace, FinishIsIdempotent) {
+  TraceContext ctx;
+  TraceBuffer buffer;
+  ctx.add_sink(&buffer);
+  ctx.finish();
+  ctx.finish();
+  EXPECT_TRUE(buffer.ended());
+}
+
+TEST(Trace, FindRegionAndVar) {
+  TraceContext ctx;
+  const VarId v = ctx.var("data");
+  RegionId region;
+  {
+    FunctionScope f(ctx, "kernel", 1);
+    region = f.id();
+  }
+  EXPECT_EQ(ctx.find_var("data"), v);
+  EXPECT_EQ(ctx.find_region("kernel"), region);
+  EXPECT_FALSE(ctx.find_var("nope").valid());
+  EXPECT_FALSE(ctx.find_region("nope").valid());
+}
+
+}  // namespace
+}  // namespace ppd::trace

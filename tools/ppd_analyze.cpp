@@ -1,0 +1,232 @@
+// ppd-analyze: command-line front end of the pattern-detection pipeline.
+//
+// Usage:
+//   ppd-analyze --list                       list the bundled benchmarks
+//   ppd-analyze <benchmark>                  profile + detect + report
+//   ppd-analyze <benchmark> --dump-trace F   also write the event trace to F
+//   ppd-analyze <benchmark> --markdown F     also write a markdown report to F
+//   ppd-analyze <benchmark> --dot PREFIX     also write PREFIX.pet.dot / PREFIX.cu.dot
+//   ppd-analyze <benchmark> --comm on        print the communication matrix (§II [16])
+//   ppd-analyze <benchmark> --omp on         print OpenMP skeletons per pattern
+//   ppd-analyze --trace F                    analyze a previously dumped trace
+//
+// The report covers: the PET with hotspots, the detected patterns (primary
+// first), multi-loop pipeline coefficients with the Table II reading,
+// reduction candidates with inferred operators, the fork/worker/barrier
+// classification of the best task-parallel scope, the ranked pattern list,
+// and the derived transformation hints.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "bs/benchmark.hpp"
+#include "comm/comm.hpp"
+#include "core/advisor.hpp"
+#include "core/analyzer.hpp"
+#include "core/omp_codegen.hpp"
+#include "report/markdown.hpp"
+#include "trace/serialize.hpp"
+
+namespace {
+
+using namespace ppd;
+
+int usage() {
+  std::puts("usage: ppd-analyze --list");
+  std::puts("       ppd-analyze <benchmark> [--dump-trace FILE] [--markdown FILE]");
+  std::puts("                   [--dot PREFIX] [--comm on] [--omp on]");
+  std::puts("       ppd-analyze --trace FILE");
+  return 2;
+}
+
+void print_report(const core::AnalysisResult& result, const trace::TraceContext& ctx) {
+  std::puts("== Program execution tree (hotspots >= 2%) ==");
+  for (pet::NodeIndex node : result.pet.hotspots(0.02)) {
+    const pet::PetNode& n = result.pet.node(node);
+    std::printf("  %-24s %6.2f%%  (%s%s)\n", n.name.c_str(),
+                result.pet.cost_fraction(node) * 100.0, n.is_loop() ? "loop" : "function",
+                n.recursive ? ", recursive" : "");
+  }
+
+  std::printf("\nPrimary pattern: %s\n", result.primary_description.c_str());
+  std::printf("Supporting structure: %s\n\n", core::supporting_structure(result.primary));
+
+  const auto pipelines = result.reported_pipelines();
+  if (!pipelines.empty()) {
+    std::puts("== Multi-loop pipelines ==");
+    for (const core::MultiLoopPipeline* p : pipelines) {
+      std::printf("  %s -> %s: a=%.2f b=%.2f e=%.2f%s\n",
+                  ctx.region(p->loop_x).name.c_str(), ctx.region(p->loop_y).name.c_str(),
+                  p->fit.a, p->fit.b, p->e, p->fusion ? " [fusion]" : "");
+      std::printf("    %s\n", core::describe_coefficients(p->fit.a, p->fit.b, 0.05).c_str());
+    }
+    std::puts("");
+  }
+
+  if (!result.reductions.empty()) {
+    std::puts("== Reduction candidates (Algorithm 3) ==");
+    for (const core::ReductionCandidate& r : result.reductions) {
+      std::printf("  loop '%s': variable '%s' at line %u, operator %s\n",
+                  ctx.region(r.loop).name.c_str(), ctx.var_info(r.var).name.c_str(), r.line,
+                  trace::to_string(r.op));
+    }
+    std::puts("");
+  }
+
+  const core::ScopeTaskParallelism* tasks = result.primary_tasks();
+  if (tasks == nullptr) {
+    for (const core::ScopeTaskParallelism& t : result.tasks) {
+      if (t.tp.worker_count() >= 2 &&
+          (tasks == nullptr || t.tp.estimated_speedup > tasks->tp.estimated_speedup)) {
+        tasks = &t;
+      }
+    }
+  }
+  if (tasks != nullptr && tasks->tp.worker_count() >= 1) {
+    std::printf("== Task classification in '%s' ==\n",
+                ctx.region(tasks->tp.scope).name.c_str());
+    std::fputs(tasks->tp.render(tasks->graph).c_str(), stdout);
+    std::puts("");
+  }
+
+  const auto ranked = core::rank_patterns(result, ctx);
+  if (!ranked.empty()) {
+    std::puts("== Ranked patterns (best first) ==");
+    for (const core::RankedPattern& r : ranked) {
+      std::printf("  %-60s  benefit %.2fx  effort %-6s score %.3f\n", r.description.c_str(),
+                  r.expected_benefit, core::to_string(r.effort), r.score);
+    }
+    std::puts("");
+  }
+
+  const auto hints = core::derive_hints(result, ctx);
+  if (!hints.empty()) {
+    std::puts("== Transformation hints ==");
+    for (const core::TransformationHint& h : hints) {
+      std::printf("  [%s] %s\n", core::to_string(h.kind), h.text.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+
+  if (std::strcmp(argv[1], "--list") == 0) {
+    for (const bs::Benchmark* b : bs::all_benchmarks()) {
+      std::printf("%-14s (%s) -- paper: %s\n", b->paper().name, b->paper().suite,
+                  b->paper().pattern);
+    }
+    return 0;
+  }
+
+  if (std::strcmp(argv[1], "--trace") == 0) {
+    if (argc < 3) return usage();
+    std::ifstream in(argv[2]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open trace file '%s'\n", argv[2]);
+      return 1;
+    }
+    trace::TraceContext ctx;
+    core::PatternAnalyzer analyzer(ctx);
+    try {
+      const std::uint64_t records = trace::replay_trace(in, ctx);
+      std::printf("replayed %llu records from %s\n\n",
+                  static_cast<unsigned long long>(records), argv[2]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "replay failed: %s\n", e.what());
+      return 1;
+    }
+    const core::AnalysisResult result = analyzer.analyze();
+    print_report(result, ctx);
+    return 0;
+  }
+
+  const bs::Benchmark* benchmark = bs::find_benchmark(argv[1]);
+  if (benchmark == nullptr) {
+    std::fprintf(stderr, "unknown benchmark '%s' (try --list)\n", argv[1]);
+    return 1;
+  }
+
+  trace::TraceContext ctx;
+  core::PatternAnalyzer analyzer(ctx);
+
+  const char* dump_path = nullptr;
+  const char* markdown_path = nullptr;
+  const char* dot_prefix = nullptr;
+  bool want_comm = false;
+  bool want_omp = false;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--dump-trace") == 0) {
+      dump_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--markdown") == 0) {
+      markdown_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--dot") == 0) {
+      dot_prefix = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--comm") == 0) {
+      want_comm = true;
+    } else if (std::strcmp(argv[i], "--omp") == 0) {
+      want_omp = true;
+    } else {
+      return usage();
+    }
+  }
+
+  comm::CommProfiler comm_profiler;
+  if (want_comm) ctx.add_sink(&comm_profiler);
+
+  std::unique_ptr<std::ofstream> dump;
+  std::unique_ptr<trace::TraceWriter> writer;
+  if (dump_path != nullptr) {
+    dump = std::make_unique<std::ofstream>(dump_path);
+    if (!*dump) {
+      std::fprintf(stderr, "cannot write trace file '%s'\n", dump_path);
+      return 1;
+    }
+    writer = std::make_unique<trace::TraceWriter>(ctx, *dump);
+    ctx.add_sink(writer.get());
+  }
+
+  benchmark->run_traced(ctx);
+  const core::AnalysisResult result = analyzer.analyze();
+  if (writer != nullptr) {
+    std::printf("trace written: %llu records\n\n",
+                static_cast<unsigned long long>(writer->records_written()));
+  }
+  print_report(result, ctx);
+
+  if (want_comm) {
+    std::puts("\n== Communication characterization ==");
+    std::fputs(comm_profiler.build(result.profile).render(ctx).c_str(), stdout);
+  }
+
+  if (want_omp) {
+    std::puts("\n== OpenMP skeletons ==");
+    for (const core::OmpSuggestion& s : core::generate_openmp(result, ctx)) {
+      std::printf("\n%s\n  // note: %s\n", s.construct.c_str(), s.note.c_str());
+    }
+  }
+
+  if (markdown_path != nullptr) {
+    std::ofstream md(markdown_path);
+    md << report::markdown_report(result, ctx, benchmark->paper().name);
+    std::printf("\nmarkdown report written to %s\n", markdown_path);
+  }
+  if (dot_prefix != nullptr) {
+    {
+      std::ofstream pet_dot(std::string(dot_prefix) + ".pet.dot");
+      pet_dot << report::pet_to_dot(result.pet);
+    }
+    const core::ScopeTaskParallelism* tasks = result.primary_tasks();
+    if (tasks == nullptr && !result.tasks.empty()) tasks = &result.tasks.front();
+    if (tasks != nullptr) {
+      std::ofstream cu_dot(std::string(dot_prefix) + ".cu.dot");
+      cu_dot << report::cu_graph_to_dot(tasks->graph, &tasks->tp);
+    }
+    std::printf("Graphviz files written with prefix %s\n", dot_prefix);
+  }
+  return 0;
+}
