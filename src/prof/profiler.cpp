@@ -161,6 +161,14 @@ void DependenceProfiler::maybe_record_pipeline_pair(const trace::AccessEvent& re
 }
 
 void DependenceProfiler::on_access(const trace::AccessEvent& access) {
+  // Guard against corrupt streams (replayed traces are untrusted input): an
+  // access without a defined variable or with loop nesting beyond what the
+  // inline records hold is ignored and counted instead of killing the run.
+  if (!access.var.valid() ||
+      access.loop_stack.size() > mem::InlineLoopStack::kMaxDepth) {
+    ++ignored_events_;
+    return;
+  }
   for (const trace::LoopPosition& pos : access.loop_stack) {
     loop_footprints_[pos.loop].insert(access.addr);
   }

@@ -49,6 +49,12 @@ class DependenceProfiler final : public trace::EventSink {
   /// Shadow-memory footprint (for the profiler microbenchmarks).
   [[nodiscard]] std::size_t shadow_bytes() const { return shadow_.touched_bytes(); }
 
+  /// Accesses ignored because they violated profiler limits (undefined
+  /// variable id, or loop nesting deeper than InlineLoopStack::kMaxDepth).
+  /// Non-zero means the profile is degraded — report it, don't trust it
+  /// blindly.
+  [[nodiscard]] std::uint64_t ignored_events() const { return ignored_events_; }
+
  private:
   struct DepKey {
     DepKind kind;
@@ -96,6 +102,7 @@ class DependenceProfiler final : public trace::EventSink {
     std::unordered_set<Address> recorded_addresses;
   };
   std::unordered_map<LoopPairKey, PairData, LoopPairKeyHash> loop_pairs_;
+  std::uint64_t ignored_events_ = 0;
 };
 
 }  // namespace ppd::prof

@@ -1,76 +1,163 @@
 #include "rt/dag_executor.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
-#include <exception>
 #include <mutex>
-
-#include "support/assert.hpp"
+#include <stdexcept>
+#include <string>
 
 namespace ppd::rt {
+namespace {
 
-void execute_dag(ThreadPool& pool, std::vector<DagTask> tasks) {
-  if (tasks.empty()) return;
+using support::ErrorCode;
+using support::Status;
 
-  struct State {
-    std::vector<DagTask> tasks;
-    std::vector<std::atomic<std::size_t>> pending;
-    std::vector<std::vector<std::size_t>> dependents;
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::size_t remaining;
-    std::exception_ptr first_error;
+constexpr std::uint8_t kPending = 0;
+constexpr std::uint8_t kOk = 1;
+constexpr std::uint8_t kFailed = 2;
+constexpr std::uint8_t kSkipped = 3;
 
-    explicit State(std::vector<DagTask> t)
-        : tasks(std::move(t)), pending(tasks.size()), dependents(tasks.size()),
-          remaining(tasks.size()) {}
-  };
-  State state(std::move(tasks));
+struct State {
+  std::vector<DagTask> tasks;
+  std::vector<std::atomic<std::size_t>> pending;
+  std::vector<std::atomic<std::uint8_t>> outcome;
+  std::vector<std::vector<std::size_t>> dependents;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t remaining;
+  DagReport report;
 
-  for (std::size_t i = 0; i < state.tasks.size(); ++i) {
-    for (std::size_t dep : state.tasks[i].deps) {
-      PPD_ASSERT_MSG(dep < i, "DAG dependencies must point at earlier tasks");
-      state.dependents[dep].push_back(i);
+  explicit State(std::vector<DagTask> t)
+      : tasks(std::move(t)), pending(tasks.size()), outcome(tasks.size()),
+        dependents(tasks.size()), remaining(tasks.size()) {}
+};
+
+struct Runner {
+  State& state;
+  ThreadPool& pool;
+
+  /// True if any dependency of `index` did not complete successfully. Safe
+  /// to read without the mutex: outcomes are written with release order
+  /// before the dependent's pending counter is decremented.
+  [[nodiscard]] bool has_bad_dependency(std::size_t index) const {
+    const std::vector<std::size_t>& deps = state.tasks[index].deps;
+    return std::any_of(deps.begin(), deps.end(), [this](std::size_t dep) {
+      return state.outcome[dep].load(std::memory_order_acquire) != kOk;
+    });
+  }
+
+  void run_task(std::size_t index) {
+    std::uint8_t outcome = kOk;
+    try {
+      state.tasks[index].work();
+    } catch (...) {
+      outcome = kFailed;
+      std::lock_guard lock(state.mutex);
+      state.report.failed.push_back(index);
+      if (!state.report.first_error) state.report.first_error = std::current_exception();
     }
+    state.outcome[index].store(outcome, std::memory_order_release);
+    settle(index);
+  }
+
+  /// Accounts `index` as done and releases its dependents: runnable ones go
+  /// to the pool; ones poisoned by a failed/skipped dependency are cancelled
+  /// here, iteratively, so arbitrarily long skip chains cannot overflow the
+  /// stack.
+  void settle(std::size_t index) {
+    std::vector<std::size_t> done{index};
+    while (!done.empty()) {
+      const std::size_t current = done.back();
+      done.pop_back();
+      for (std::size_t dependent : state.dependents[current]) {
+        if (state.pending[dependent].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          if (has_bad_dependency(dependent)) {
+            state.outcome[dependent].store(kSkipped, std::memory_order_release);
+            std::lock_guard lock(state.mutex);
+            state.report.skipped.push_back(dependent);
+            done.push_back(dependent);
+          } else {
+            pool.submit([this, dependent] { run_task(dependent); });
+          }
+        }
+      }
+      // Notify while holding the lock: the waiter owns `state`, and it may
+      // destroy it the moment it observes remaining == 0 — notifying after
+      // unlocking would race with that destruction. `current`'s dependents
+      // were handled above, so remaining can only reach zero on the last
+      // settled task.
+      std::lock_guard lock(state.mutex);
+      --state.remaining;
+      if (state.remaining == 0) state.cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+DagReport execute_dag_checked(ThreadPool& pool, std::vector<DagTask> tasks) {
+  // Validate the deps-point-backwards invariant before anything runs:
+  // self- and forward edges are exactly the ones that could close a cycle,
+  // and out-of-range edges would index out of bounds.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    for (std::size_t dep : tasks[i].deps) {
+      if (dep >= tasks.size()) {
+        DagReport report;
+        report.status = Status::error(
+            ErrorCode::InvalidDag, "task " + std::to_string(i) + " depends on task " +
+                                       std::to_string(dep) + ", which is out of range");
+        return report;
+      }
+      if (dep >= i) {
+        DagReport report;
+        report.status = Status::error(
+            ErrorCode::InvalidDag,
+            "task " + std::to_string(i) + " depends on task " + std::to_string(dep) +
+                "; dependencies must point at earlier tasks (a self or forward edge "
+                "would admit a cycle)");
+        return report;
+      }
+    }
+  }
+  if (tasks.empty()) return DagReport{};
+
+  State state(std::move(tasks));
+  for (std::size_t i = 0; i < state.tasks.size(); ++i) {
+    for (std::size_t dep : state.tasks[i].deps) state.dependents[dep].push_back(i);
     state.pending[i].store(state.tasks[i].deps.size(), std::memory_order_relaxed);
   }
 
-  // submit() is recursive through completions; define as a fixed function.
-  struct Runner {
-    State& state;
-    ThreadPool& pool;
-
-    void submit(std::size_t index) {
-      pool.submit([this, index] {
-        try {
-          state.tasks[index].work();
-        } catch (...) {
-          std::lock_guard lock(state.mutex);
-          if (!state.first_error) state.first_error = std::current_exception();
-        }
-        for (std::size_t dependent : state.dependents[index]) {
-          if (state.pending[dependent].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-            submit(dependent);
-          }
-        }
-        // Notify while holding the lock: the waiter owns `state`, and it may
-        // destroy it the moment it observes remaining == 0 — notifying after
-        // unlocking would race with that destruction.
-        std::lock_guard lock(state.mutex);
-        --state.remaining;
-        if (state.remaining == 0) state.cv.notify_all();
-      });
-    }
-  };
   Runner runner{state, pool};
-
   for (std::size_t i = 0; i < state.tasks.size(); ++i) {
-    if (state.tasks[i].deps.empty()) runner.submit(i);
+    if (state.tasks[i].deps.empty()) {
+      pool.submit([&runner, i] { runner.run_task(i); });
+    }
   }
 
-  std::unique_lock lock(state.mutex);
-  state.cv.wait(lock, [&] { return state.remaining == 0; });
-  if (state.first_error) std::rethrow_exception(state.first_error);
+  {
+    std::unique_lock lock(state.mutex);
+    state.cv.wait(lock, [&] { return state.remaining == 0; });
+  }
+
+  DagReport report = std::move(state.report);
+  std::sort(report.failed.begin(), report.failed.end());
+  std::sort(report.skipped.begin(), report.skipped.end());
+  if (!report.failed.empty()) {
+    report.status = Status::error(
+        ErrorCode::TaskFailed,
+        std::to_string(report.failed.size()) + " task(s) failed (first: task " +
+            std::to_string(report.failed.front()) + "); " +
+            std::to_string(report.skipped.size()) + " dependent(s) skipped");
+  }
+  return report;
+}
+
+void execute_dag(ThreadPool& pool, std::vector<DagTask> tasks) {
+  DagReport report = execute_dag_checked(pool, std::move(tasks));
+  if (report.ok()) return;
+  if (report.first_error) std::rethrow_exception(report.first_error);
+  throw std::invalid_argument(report.status.to_string());
 }
 
 }  // namespace ppd::rt

@@ -5,12 +5,22 @@
 // dependences as edges, and the executor releases a node the moment its
 // last dependence finishes — the fork/worker/barrier schedule of §III-B
 // without explicit barriers.
+//
+// The executor is hardened against bad graphs and failing tasks: the
+// deps-point-backwards invariant is validated up front (out-of-range,
+// self-, or forward dependencies — i.e. anything that could encode a
+// cycle — are rejected as a Status, not undefined behavior), and after the
+// first task failure every not-yet-released transitive dependent is
+// cancelled rather than run on top of missing results. The report says
+// exactly which tasks failed and which were skipped.
 #pragma once
 
+#include <exception>
 #include <functional>
 #include <vector>
 
 #include "rt/thread_pool.hpp"
+#include "support/status.hpp"
 
 namespace ppd::rt {
 
@@ -21,9 +31,31 @@ struct DagTask {
   std::vector<std::size_t> deps;
 };
 
-/// Executes all tasks respecting the dependence edges; returns when every
-/// task has finished. Throws the first captured task exception. Tasks whose
+/// Outcome of a DAG execution.
+struct DagReport {
+  /// Ok; invalid-dag (nothing ran); or task-failed (dependents skipped).
+  support::Status status;
+  /// Indices of tasks whose work threw, ascending.
+  std::vector<std::size_t> failed;
+  /// Indices of tasks skipped because a transitive dependency failed,
+  /// ascending. Tasks independent of every failure still ran.
+  std::vector<std::size_t> skipped;
+  /// The first captured task exception, if any.
+  std::exception_ptr first_error;
+
+  [[nodiscard]] bool ok() const { return status.is_ok(); }
+};
+
+/// Executes all runnable tasks respecting the dependence edges; returns when
+/// every task has either finished or been cancelled. Never throws: graph
+/// defects and task failures are reported in the DagReport. Tasks whose
 /// dependencies are all satisfied run concurrently, bounded by the pool.
+[[nodiscard]] DagReport execute_dag_checked(ThreadPool& pool, std::vector<DagTask> tasks);
+
+/// Throwing convenience wrapper: rethrows the first captured task exception
+/// (dependents of the failed task were skipped), or throws
+/// std::invalid_argument for a graph that violates the deps-point-backwards
+/// invariant.
 void execute_dag(ThreadPool& pool, std::vector<DagTask> tasks);
 
 }  // namespace ppd::rt

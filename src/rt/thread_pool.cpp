@@ -1,6 +1,10 @@
 #include "rt/thread_pool.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "support/assert.hpp"
+#include "support/status.hpp"
 
 namespace ppd::rt {
 
@@ -12,19 +16,32 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+bool ThreadPool::is_shut_down() const {
+  std::lock_guard lock(mutex_);
+  return stopping_;
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
-    PPD_ASSERT_MSG(!stopping_, "submit on a stopping pool");
+    if (stopping_) {
+      throw std::runtime_error(
+          std::string(support::to_string(support::ErrorCode::PoolShutdown)) +
+          ": submit on a shut-down thread pool");
+    }
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
@@ -55,31 +72,51 @@ void TaskGroup::run(std::function<void()> task) {
     std::lock_guard lock(mutex_);
     ++pending_;
   }
-  pool_.submit([this, task = std::move(task)] {
-    try {
-      task();
-    } catch (...) {
+  try {
+    pool_.submit([this, task = std::move(task)] {
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard lock(mutex_);
+        ++error_count_;
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      // Notify while holding the lock: the waiter owns this TaskGroup and may
+      // destroy it the moment it observes pending_ == 0 — notifying after
+      // unlocking would race with that destruction.
       std::lock_guard lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
-    }
-    // Notify while holding the lock: the waiter owns this TaskGroup and may
-    // destroy it the moment it observes pending_ == 0 — notifying after
-    // unlocking would race with that destruction.
+      --pending_;
+      if (pending_ == 0) cv_.notify_all();
+    });
+  } catch (...) {
+    // The pool rejected the task (shut down): roll the fork back.
     std::lock_guard lock(mutex_);
     --pending_;
     if (pending_ == 0) cv_.notify_all();
-  });
+    throw;
+  }
 }
 
 void TaskGroup::wait() {
   std::unique_lock lock(mutex_);
   cv_.wait(lock, [this] { return pending_ == 0; });
-  if (first_error_) {
-    std::exception_ptr err = first_error_;
-    first_error_ = nullptr;
-    lock.unlock();
+  if (!first_error_) return;
+  std::exception_ptr err = first_error_;
+  const std::size_t suppressed = error_count_ - 1;
+  first_error_ = nullptr;
+  error_count_ = 0;
+  lock.unlock();
+  if (suppressed == 0) std::rethrow_exception(err);
+  std::string detail;
+  try {
     std::rethrow_exception(err);
+  } catch (const std::exception& e) {
+    detail = e.what();
+  } catch (...) {
+    detail = "non-standard task exception";
   }
+  throw std::runtime_error(detail + " (+" + std::to_string(suppressed) +
+                           " more task error(s) suppressed)");
 }
 
 }  // namespace ppd::rt

@@ -31,15 +31,24 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution on some worker.
+  /// Enqueues a task for execution on some worker. Submitting to a pool
+  /// that was shut down is a defined, recoverable error: it throws
+  /// std::runtime_error (code pool-shutdown) and the task is not enqueued.
   void submit(std::function<void()> task);
+
+  /// Drains the queue, stops the workers, and joins them. Idempotent; called
+  /// by the destructor. After shutdown, submit() throws.
+  void shutdown();
+
+  /// True once shutdown() has begun; submissions are rejected from then on.
+  [[nodiscard]] bool is_shut_down() const;
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
  private:
   void worker_loop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
@@ -47,7 +56,9 @@ class ThreadPool {
 };
 
 /// Fork/join group: run() forks tasks onto the pool, wait() joins them all
-/// and rethrows the first captured exception.
+/// and rethrows the first captured exception. When several tasks failed,
+/// the rethrown message carries the count of additionally suppressed
+/// errors, so multi-failure runs are not silently under-reported.
 class TaskGroup {
  public:
   explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
@@ -56,10 +67,14 @@ class TaskGroup {
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
 
-  /// Forks `task` onto the pool.
+  /// Forks `task` onto the pool. If the pool rejects the submission (shut
+  /// down), the pending count is rolled back and the error propagates.
   void run(std::function<void()> task);
 
-  /// Blocks until every forked task finished; rethrows the first exception.
+  /// Blocks until every forked task finished. Rethrows the first captured
+  /// exception as-is when it was the only one; with further suppressed
+  /// errors, throws std::runtime_error citing the first message and the
+  /// suppressed count.
   void wait();
 
  private:
@@ -67,6 +82,7 @@ class TaskGroup {
   std::mutex mutex_;
   std::condition_variable cv_;
   std::size_t pending_ = 0;
+  std::size_t error_count_ = 0;
   std::exception_ptr first_error_;
 };
 

@@ -1,0 +1,52 @@
+#include "support/assert.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ppd::support {
+namespace {
+
+[[noreturn]] void default_failure_handler(const char* expr, const char* file, int line,
+                                          const char* msg) {
+  std::fprintf(stderr, "ppd: assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+std::atomic<FailureHandler> g_handler{&default_failure_handler};
+
+}  // namespace
+
+FailureHandler set_failure_handler(FailureHandler handler) noexcept {
+  if (handler == nullptr) handler = &default_failure_handler;
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+FailureHandler failure_handler() noexcept {
+  return g_handler.load(std::memory_order_acquire);
+}
+
+void assert_fail(const char* expr, const char* file, int line, const char* msg) {
+  failure_handler()(expr, file, line, msg);
+  // A handler must not return; enforce the no-return contract regardless.
+  std::abort();
+}
+
+void throwing_failure_handler(const char* expr, const char* file, int line,
+                              const char* msg) {
+  std::string what = "assertion failed: ";
+  what += expr;
+  what += " at ";
+  what += file;
+  what += ':';
+  what += std::to_string(line);
+  if (msg != nullptr && *msg != '\0') {
+    what += " (";
+    what += msg;
+    what += ')';
+  }
+  throw AssertionError(what);
+}
+
+}  // namespace ppd::support

@@ -4,19 +4,59 @@
 // a silent invariant violation (e.g. a region exit without a matching enter)
 // would corrupt every downstream analysis. Invariants therefore stay checked
 // in release builds; the cost is negligible next to trace processing.
+//
+// The failure action is pluggable: the default handler prints and aborts,
+// but embedders (and the test suite) can install a handler that throws a
+// recoverable exception instead, so invariant violations can be asserted on
+// rather than killing the process. A handler must not return; if it does,
+// the process still aborts.
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace ppd::support {
 
-[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
-                                     const char* msg) {
-  std::fprintf(stderr, "ppd: assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
-               msg != nullptr ? msg : "");
-  std::abort();
-}
+/// Called on assertion failure with the failing expression, location, and
+/// optional message. Must abort or throw; returning falls through to abort().
+using FailureHandler = void (*)(const char* expr, const char* file, int line,
+                                const char* msg);
+
+/// Installs `handler` as the process-wide failure handler and returns the
+/// previous one. Passing nullptr restores the default print-and-abort
+/// handler.
+FailureHandler set_failure_handler(FailureHandler handler) noexcept;
+
+/// The currently installed failure handler.
+[[nodiscard]] FailureHandler failure_handler() noexcept;
+
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const char* msg);
+
+/// Exception thrown by throwing_failure_handler(); carries the formatted
+/// assertion text.
+class AssertionError : public std::logic_error {
+ public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Ready-made handler that throws AssertionError instead of aborting.
+[[noreturn]] void throwing_failure_handler(const char* expr, const char* file, int line,
+                                           const char* msg);
+
+/// RAII guard installing a failure handler for the current scope (used by
+/// tests to assert that an invariant violation is detected).
+class ScopedFailureHandler {
+ public:
+  explicit ScopedFailureHandler(FailureHandler handler)
+      : previous_(set_failure_handler(handler)) {}
+  ~ScopedFailureHandler() { set_failure_handler(previous_); }
+  ScopedFailureHandler(const ScopedFailureHandler&) = delete;
+  ScopedFailureHandler& operator=(const ScopedFailureHandler&) = delete;
+
+ private:
+  FailureHandler previous_;
+};
 
 }  // namespace ppd::support
 

@@ -1,0 +1,79 @@
+#include "support/status.hpp"
+
+namespace ppd::support {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::Ok: return "ok";
+    case ErrorCode::BadHeader: return "bad-header";
+    case ErrorCode::MalformedRecord: return "malformed-record";
+    case ErrorCode::UnknownTag: return "unknown-tag";
+    case ErrorCode::DuplicateDefinition: return "duplicate-definition";
+    case ErrorCode::UndefinedId: return "undefined-id";
+    case ErrorCode::ScopeMismatch: return "scope-mismatch";
+    case ErrorCode::IterationOutsideLoop: return "iteration-outside-loop";
+    case ErrorCode::BadWriteOp: return "bad-write-op";
+    case ErrorCode::TrailingGarbage: return "trailing-garbage";
+    case ErrorCode::UnclosedScope: return "unclosed-scope";
+    case ErrorCode::ResourceLimit: return "resource-limit";
+    case ErrorCode::InvalidDag: return "invalid-dag";
+    case ErrorCode::TaskFailed: return "task-failed";
+    case ErrorCode::PoolShutdown: return "pool-shutdown";
+    case ErrorCode::AnalysisFailed: return "analysis-failed";
+    case ErrorCode::Internal: return "internal";
+  }
+  return "unknown";
+}
+
+Status Status::error(ErrorCode code, std::string message, std::uint64_t line) {
+  Status status;
+  status.code_ = code;
+  status.message_ = std::move(message);
+  status.line_ = line;
+  return status;
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string text = support::to_string(code_);
+  text += ": ";
+  text += message_;
+  if (line_ != 0) {
+    text += " (line ";
+    text += std::to_string(line_);
+    text += ')';
+  }
+  return text;
+}
+
+std::string Diag::to_string() const {
+  std::string text = support::to_string(code);
+  text += ": ";
+  text += message;
+  if (line != 0) {
+    text += " (line ";
+    text += std::to_string(line);
+    text += ')';
+  }
+  return text;
+}
+
+void DiagSink::report(Diag diag) {
+  ++total_;
+  if (diags_.size() < kMaxRetained) diags_.push_back(std::move(diag));
+}
+
+std::uint64_t DiagSink::count(ErrorCode code) const {
+  std::uint64_t n = 0;
+  for (const Diag& d : diags_) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+void DiagSink::clear() {
+  diags_.clear();
+  total_ = 0;
+}
+
+}  // namespace ppd::support

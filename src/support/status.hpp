@@ -1,0 +1,105 @@
+// Recoverable error taxonomy for the ingestion and runtime boundary.
+//
+// The whole pipeline is driven by dynamic trace data produced by untrusted
+// runs (the paper's §III-A dump files), so errors at the ingestion boundary
+// must be *values*, not aborts: a Status carries a stable error code, a
+// human-readable message, and — for trace ingestion — the 1-based line of
+// the offending record, so a service can log, skip, and keep serving.
+// Diags are the non-fatal counterpart: warnings collected by a DiagSink
+// while lenient ingestion repairs what it can.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppd::support {
+
+/// Stable error codes shared by trace ingestion and the runtime. Codes are
+/// part of the tool's contract (tests assert on them; services switch on
+/// them), so new codes are appended, never renumbered.
+enum class ErrorCode : std::uint8_t {
+  Ok = 0,
+  // ---- trace ingestion ----
+  BadHeader,             ///< missing/unrecognized "ppd-trace 1" header
+  MalformedRecord,       ///< record fields missing, non-numeric, or negative
+  UnknownTag,            ///< record tag not in the format grammar
+  DuplicateDefinition,   ///< var/region/statement id defined twice (mismatched)
+  UndefinedId,           ///< event references an id with no prior definition
+  ScopeMismatch,         ///< exit does not match the innermost open scope
+  IterationOutsideLoop,  ///< iteration record outside its loop scope
+  BadWriteOp,            ///< write carries an unknown update-op code
+  TrailingGarbage,       ///< extra tokens after a well-formed record
+  UnclosedScope,         ///< trace ended with scopes still open
+  ResourceLimit,         ///< event-count/definition/line-length cap exceeded
+  // ---- runtime ----
+  InvalidDag,            ///< dependency out of range or not pointing backwards
+  TaskFailed,            ///< a DAG task threw; dependents were skipped
+  PoolShutdown,          ///< submit() on a shut-down thread pool
+  // ---- general ----
+  AnalysisFailed,        ///< post-ingestion analysis raised an error
+  Internal,              ///< invariant violation reported by a failure handler
+};
+
+[[nodiscard]] const char* to_string(ErrorCode code);
+
+/// A recoverable operation outcome: Ok, or an error code plus message plus
+/// (for ingestion errors) the trace line that triggered it.
+class [[nodiscard]] Status {
+ public:
+  /// Default-constructed Status is Ok.
+  Status() = default;
+
+  [[nodiscard]] static Status ok() { return Status(); }
+  [[nodiscard]] static Status error(ErrorCode code, std::string message,
+                                    std::uint64_t line = 0);
+
+  [[nodiscard]] bool is_ok() const { return code_ == ErrorCode::Ok; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+  /// 1-based line of the offending trace record; 0 when not applicable.
+  [[nodiscard]] std::uint64_t line() const { return line_; }
+
+  /// "error-code: message (line N)" — the canonical log form.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::Ok;
+  std::uint64_t line_ = 0;
+  std::string message_;
+};
+
+/// One non-fatal finding: what was wrong, where, and what was done about it.
+struct Diag {
+  ErrorCode code = ErrorCode::Ok;
+  std::uint64_t line = 0;  ///< 1-based trace line; 0 when not applicable
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Collects Diags emitted while an operation degrades gracefully (lenient
+/// trace replay, validators). Override report() to stream them elsewhere;
+/// the base class retains them for inspection, dropping (but still counting)
+/// everything past a retention cap so hostile inputs cannot OOM the sink.
+class DiagSink {
+ public:
+  virtual ~DiagSink() = default;
+
+  virtual void report(Diag diag);
+
+  [[nodiscard]] const std::vector<Diag>& diags() const { return diags_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t count(ErrorCode code) const;
+  [[nodiscard]] bool empty() const { return total_ == 0; }
+  void clear();
+
+  /// Retention cap for the in-memory vector; report() keeps counting past it.
+  static constexpr std::size_t kMaxRetained = 1024;
+
+ private:
+  std::vector<Diag> diags_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ppd::support

@@ -1,0 +1,191 @@
+#include "trace/fault_injector.hpp"
+
+#include <vector>
+
+namespace ppd::trace {
+namespace {
+
+/// Splits into lines without their terminators; a trailing fragment with no
+/// newline is kept as a line of its own.
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) {
+      if (begin < text.size()) lines.emplace_back(text.substr(begin));
+      break;
+    }
+    lines.emplace_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* FaultInjector::to_string(Fault fault) {
+  switch (fault) {
+    case Fault::TruncateTail: return "truncate-tail";
+    case Fault::TruncateMidLine: return "truncate-mid-line";
+    case Fault::DropRecord: return "drop-record";
+    case Fault::DropExit: return "drop-exit";
+    case Fault::DuplicateRecord: return "duplicate-record";
+    case Fault::CorruptId: return "corrupt-id";
+    case Fault::CorruptField: return "corrupt-field";
+    case Fault::GarbageLine: return "garbage-line";
+    case Fault::BitFlip: return "bit-flip";
+    case Fault::SwapAdjacent: return "swap-adjacent";
+    case Fault::kCount_: break;
+  }
+  return "unknown-fault";
+}
+
+std::uint64_t FaultInjector::next() {
+  // splitmix64: tiny, deterministic, and good enough for fault placement.
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t FaultInjector::next_below(std::uint64_t bound) {
+  return bound == 0 ? 0 : next() % bound;
+}
+
+std::string FaultInjector::apply_random(std::string_view trace) {
+  const auto pick =
+      static_cast<Fault>(next_below(static_cast<std::uint64_t>(Fault::kCount_)));
+  return apply(trace, pick);
+}
+
+std::string FaultInjector::apply(std::string_view trace, Fault fault) {
+  std::vector<std::string> lines = split_lines(trace);
+  // Index 0 is the header; mutations target the record body when possible so
+  // every fault kind exercises the record-level handling at least sometimes.
+  const std::size_t body_begin = lines.size() > 1 ? 1 : 0;
+  const std::size_t body_count = lines.size() - body_begin;
+
+  switch (fault) {
+    case Fault::TruncateTail: {
+      if (trace.empty()) return std::string(trace);
+      // Cut somewhere in the last two thirds, so a prefix usually survives.
+      const std::size_t cut =
+          trace.size() / 3 + next_below(trace.size() - trace.size() / 3);
+      return std::string(trace.substr(0, cut));
+    }
+    case Fault::TruncateMidLine: {
+      if (body_count == 0) return join_lines(lines);
+      const std::size_t victim = body_begin + next_below(body_count);
+      std::string& line = lines[victim];
+      line = line.substr(0, next_below(line.size() + 1));
+      lines.resize(victim + 1);
+      std::string out = join_lines(lines);
+      if (!out.empty()) out.pop_back();  // drop the final newline: a torn write
+      return out;
+    }
+    case Fault::DropRecord: {
+      if (body_count == 0) return join_lines(lines);
+      lines.erase(lines.begin() +
+                  static_cast<std::ptrdiff_t>(body_begin + next_below(body_count)));
+      return join_lines(lines);
+    }
+    case Fault::DropExit: {
+      std::vector<std::size_t> exits;
+      for (std::size_t i = body_begin; i < lines.size(); ++i) {
+        if (lines[i].rfind("X ", 0) == 0 || lines[i].rfind("P ", 0) == 0) {
+          exits.push_back(i);
+        }
+      }
+      if (exits.empty()) return join_lines(lines);
+      lines.erase(lines.begin() +
+                  static_cast<std::ptrdiff_t>(exits[next_below(exits.size())]));
+      return join_lines(lines);
+    }
+    case Fault::DuplicateRecord: {
+      if (body_count == 0) return join_lines(lines);
+      const std::size_t victim = body_begin + next_below(body_count);
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(victim), lines[victim]);
+      return join_lines(lines);
+    }
+    case Fault::CorruptId: {
+      if (body_count == 0) return join_lines(lines);
+      const std::size_t victim = body_begin + next_below(body_count);
+      std::string& line = lines[victim];
+      const std::size_t space = line.find(' ');
+      if (space != std::string::npos) {
+        const std::size_t end = line.find(' ', space + 1);
+        line.replace(space + 1,
+                     (end == std::string::npos ? line.size() : end) - space - 1,
+                     std::to_string(3000000000ull + next_below(1000000000ull)));
+      }
+      return join_lines(lines);
+    }
+    case Fault::CorruptField: {
+      if (body_count == 0) return join_lines(lines);
+      const std::size_t victim = body_begin + next_below(body_count);
+      std::string& line = lines[victim];
+      // Replace the token at a random space boundary with a hostile value.
+      static constexpr const char* kPoison[] = {"-1", "1e9", "0x10", "NaN", "",
+                                                "99999999999999999999"};
+      std::vector<std::size_t> spaces;
+      for (std::size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == ' ') spaces.push_back(i);
+      }
+      if (spaces.empty()) {
+        line += ' ';
+        line += kPoison[next_below(std::size(kPoison))];
+      } else {
+        const std::size_t at = spaces[next_below(spaces.size())] + 1;
+        const std::size_t end = line.find(' ', at);
+        line.replace(at, (end == std::string::npos ? line.size() : end) - at,
+                     kPoison[next_below(std::size(kPoison))]);
+      }
+      return join_lines(lines);
+    }
+    case Fault::GarbageLine: {
+      std::string garbage;
+      const std::size_t len = 1 + next_below(40);
+      for (std::size_t i = 0; i < len; ++i) {
+        char c = static_cast<char>(1 + next_below(255));
+        if (c == '\n') c = '?';
+        garbage += c;
+      }
+      const std::size_t at = body_begin + next_below(body_count + 1);
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(at), garbage);
+      return join_lines(lines);
+    }
+    case Fault::BitFlip: {
+      std::string out(trace);
+      if (out.empty()) return out;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const std::size_t at = next_below(out.size());
+        const char flipped =
+            static_cast<char>(out[at] ^ static_cast<char>(1 << next_below(7)));
+        if (out[at] == '\n' || flipped == '\n') continue;  // keep line structure
+        out[at] = flipped;
+        break;
+      }
+      return out;
+    }
+    case Fault::SwapAdjacent: {
+      if (body_count < 2) return join_lines(lines);
+      const std::size_t at = body_begin + next_below(body_count - 1);
+      std::swap(lines[at], lines[at + 1]);
+      return join_lines(lines);
+    }
+    case Fault::kCount_: break;
+  }
+  return std::string(trace);
+}
+
+}  // namespace ppd::trace

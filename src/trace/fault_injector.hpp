@@ -1,0 +1,56 @@
+// Deterministic trace-mutation harness.
+//
+// Robustness of the ingestion boundary is proven, not assumed: the fault
+// injector takes a well-formed serialized trace and applies one of a fixed
+// set of corruption patterns — truncation, dropped exits, duplicated
+// records, corrupted ids/fields, interleaved garbage, bit flips — chosen
+// and parameterized by a seeded deterministic PRNG, so every failure found
+// by the fuzz-style suite reproduces from its (benchmark, fault, seed)
+// triple alone. The suite asserts that replaying any mutant never crashes:
+// strict mode returns a precise Status, lenient mode completes a degraded
+// analysis and accounts for every dropped record.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ppd::trace {
+
+class FaultInjector {
+ public:
+  /// Corruption patterns. Keep kCount_ last.
+  enum class Fault : std::uint8_t {
+    TruncateTail,     ///< cut the trace at an arbitrary byte offset
+    TruncateMidLine,  ///< cut inside a record, dropping the rest of the file
+    DropRecord,       ///< remove one random record line
+    DropExit,         ///< remove one region/statement exit (unbalances scopes)
+    DuplicateRecord,  ///< repeat one record line in place
+    CorruptId,        ///< replace a numeric field with an out-of-range id
+    CorruptField,     ///< replace a token with a non-numeric/negative value
+    GarbageLine,      ///< interleave a line of binary garbage
+    BitFlip,          ///< flip one bit of one byte
+    SwapAdjacent,     ///< swap two adjacent lines (reorders the stream)
+    kCount_,
+  };
+
+  [[nodiscard]] static const char* to_string(Fault fault);
+
+  /// Same seed + same input + same fault => same mutant.
+  explicit FaultInjector(std::uint64_t seed) : state_(seed * 0x9E3779B97F4A7C15ull + 1) {}
+
+  /// Applies `fault` once to `trace` and returns the mutated text.
+  [[nodiscard]] std::string apply(std::string_view trace, Fault fault);
+
+  /// Applies a fault chosen by the PRNG.
+  [[nodiscard]] std::string apply_random(std::string_view trace);
+
+ private:
+  [[nodiscard]] std::uint64_t next();
+  /// Uniform value in [0, bound); bound must be > 0.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound);
+
+  std::uint64_t state_;
+};
+
+}  // namespace ppd::trace

@@ -1,25 +1,492 @@
 #include "trace/serialize.hpp"
 
 #include <istream>
+#include <limits>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 
 #include "support/assert.hpp"
 
 namespace ppd::trace {
 namespace {
 
+using support::ErrorCode;
+using support::Status;
+
 void ensure_slot(std::vector<bool>& defined, std::size_t index) {
   if (defined.size() <= index) defined.resize(index + 1, false);
 }
 
-[[noreturn]] void malformed(std::uint64_t line_no, const std::string& line) {
-  throw std::runtime_error("malformed trace record at line " + std::to_string(line_no) +
-                           ": " + line);
-}
+/// Splits one record line into whitespace-separated fields with checked
+/// unsigned parsing. Rejects negative numbers (which operator>> into an
+/// unsigned type would silently wrap) and overflow.
+class FieldParser {
+ public:
+  explicit FieldParser(std::string_view line) : line_(line) {}
+
+  [[nodiscard]] std::string_view next_token() {
+    skip_spaces();
+    const std::size_t begin = pos_;
+    while (pos_ < line_.size() && !is_space(line_[pos_])) ++pos_;
+    return line_.substr(begin, pos_ - begin);
+  }
+
+  [[nodiscard]] bool parse_u64(std::uint64_t& out) {
+    const std::string_view token = next_token();
+    if (token.empty()) return false;
+    std::uint64_t value = 0;
+    for (const char c : token) {
+      if (c < '0' || c > '9') return false;
+      const auto digit = static_cast<std::uint64_t>(c - '0');
+      if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) return false;
+      value = value * 10 + digit;
+    }
+    out = value;
+    return true;
+  }
+
+  /// Parses an id field. The all-ones value is the Id<> invalid sentinel and
+  /// is rejected, so every accepted id round-trips through the strong types.
+  [[nodiscard]] bool parse_id(std::uint32_t& out) {
+    std::uint64_t value = 0;
+    if (!parse_u64(value) || value >= std::numeric_limits<std::uint32_t>::max()) {
+      return false;
+    }
+    out = static_cast<std::uint32_t>(value);
+    return true;
+  }
+
+  /// True when only trailing whitespace remains.
+  [[nodiscard]] bool at_end() {
+    skip_spaces();
+    return pos_ >= line_.size();
+  }
+
+ private:
+  static bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+  void skip_spaces() {
+    while (pos_ < line_.size() && is_space(line_[pos_])) ++pos_;
+  }
+
+  std::string_view line_;
+  std::size_t pos_ = 0;
+};
+
+/// Stateful single-pass replayer; shared by both modes.
+class Replayer {
+ public:
+  Replayer(TraceContext& ctx, const ReplayOptions& options)
+      : ctx_(ctx), options_(options) {}
+
+  ReplayResult run(std::istream& in) {
+    std::string line;
+    std::uint64_t line_no = 1;
+    if (!std::getline(in, line)) {
+      result_.status = Status::error(ErrorCode::BadHeader, "empty input", 1);
+      return result_;
+    }
+    if (line != "ppd-trace 1") {
+      const Status bad = Status::error(
+          ErrorCode::BadHeader, "not a ppd trace file (missing 'ppd-trace 1' header)", 1);
+      if (strict()) {
+        result_.status = bad;
+        return result_;
+      }
+      diag(bad);
+      // The first line may simply be a record of a header-stripped trace;
+      // fall through and let record parsing judge it.
+      const Status s = handle_line(line, line_no);
+      if (!s.is_ok() && !note_record_error(s)) return result_;
+    }
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.size() > options_.limits.max_line_length) {
+        result_.status = Status::error(
+            ErrorCode::ResourceLimit,
+            "record longer than " + std::to_string(options_.limits.max_line_length) +
+                " bytes",
+            line_no);
+        unwind_scopes();
+        return result_;
+      }
+      const Status s = handle_line(line, line_no);
+      if (!s.is_ok() && !note_record_error(s)) return result_;
+    }
+    finish(line_no);
+    return result_;
+  }
+
+ private:
+  struct RegionDef {
+    RegionKind kind;
+    SourceLine line;
+    std::string name;
+  };
+  struct StmtDef {
+    SourceLine line;
+    std::string name;
+  };
+  struct VarDef {
+    bool local;
+    std::string name;
+    VarId id;
+  };
+
+  // Open scopes, reconstructed with the RAII wrappers on the heap. Exactly
+  // one member is active per entry; entries are destroyed strictly LIFO so
+  // the emitted exit events mirror a well-nested execution.
+  struct OpenScope {
+    std::unique_ptr<FunctionScope> function;
+    std::unique_ptr<LoopScope> loop;
+    std::unique_ptr<StatementScope> statement;
+    std::uint32_t file_id = 0;
+    char kind = 0;  // 'f', 'l', 's'
+  };
+
+  [[nodiscard]] bool strict() const { return options_.mode == ReplayMode::Strict; }
+
+  void diag(const Status& status) {
+    if (options_.diags != nullptr) {
+      options_.diags->report(
+          support::Diag{status.code(), status.line(), status.message()});
+    }
+  }
+
+  /// Routes a per-record error: lenient drops and continues (true), strict —
+  /// and resource exhaustion in either mode — stops the replay (false).
+  [[nodiscard]] bool note_record_error(const Status& status) {
+    if (strict() || status.code() == ErrorCode::ResourceLimit) {
+      result_.status = status;
+      unwind_scopes();
+      return false;
+    }
+    diag(status);
+    ++result_.dropped;
+    return true;
+  }
+
+  [[nodiscard]] Status count_event(std::uint64_t line_no) {
+    if (result_.records >= options_.limits.max_records) {
+      return Status::error(ErrorCode::ResourceLimit,
+                           "event count exceeds cap of " +
+                               std::to_string(options_.limits.max_records),
+                           line_no);
+    }
+    return Status::ok();
+  }
+
+  [[nodiscard]] Status count_definition(std::uint64_t line_no) {
+    const std::uint64_t total = vars_.size() + regions_.size() + stmts_.size();
+    if (total >= options_.limits.max_definitions) {
+      return Status::error(ErrorCode::ResourceLimit,
+                           "definition count exceeds cap of " +
+                               std::to_string(options_.limits.max_definitions),
+                           line_no);
+    }
+    return Status::ok();
+  }
+
+  [[nodiscard]] static Status malformed(std::uint64_t line_no, std::string_view what) {
+    return Status::error(ErrorCode::MalformedRecord, std::string(what), line_no);
+  }
+
+  [[nodiscard]] Status handle_line(const std::string& line, std::uint64_t line_no) {
+    FieldParser fields(line);
+    const std::string_view tag = fields.next_token();
+    if (tag.empty()) return Status::ok();  // blank line
+
+    if (tag == "var") return handle_var(fields, line_no);
+    if (tag == "fn" || tag == "lp") return handle_region_def(fields, line_no, tag == "fn");
+    if (tag == "st") return handle_stmt_def(fields, line_no);
+    if (tag == "E") return handle_enter(fields, line_no);
+    if (tag == "X") return handle_exit(fields, line_no);
+    if (tag == "I") return handle_iteration(fields, line_no);
+    if (tag == "S") return handle_stmt_enter(fields, line_no);
+    if (tag == "P") return handle_stmt_exit(fields, line_no);
+    if (tag == "R" || tag == "W") return handle_access(fields, line_no, tag == "W");
+    if (tag == "C") return handle_compute(fields, line_no);
+    return Status::error(ErrorCode::UnknownTag,
+                         "unknown record tag '" + std::string(tag) + "'", line_no);
+  }
+
+  [[nodiscard]] Status require_end(FieldParser& fields, std::uint64_t line_no) {
+    if (fields.at_end()) return Status::ok();
+    return Status::error(ErrorCode::TrailingGarbage,
+                         "extra fields after a complete record", line_no);
+  }
+
+  Status handle_var(FieldParser& fields, std::uint64_t line_no) {
+    std::uint32_t id = 0;
+    std::uint64_t local = 0;
+    if (!fields.parse_id(id)) return malformed(line_no, "bad variable id");
+    if (!fields.parse_u64(local) || local > 1) {
+      return malformed(line_no, "variable 'local' flag must be 0 or 1");
+    }
+    const std::string name(fields.next_token());
+    if (name.empty()) return malformed(line_no, "missing variable name");
+    if (Status s = require_end(fields, line_no); !s.is_ok()) return s;
+
+    auto it = vars_.find(id);
+    if (it != vars_.end()) {
+      if (it->second.local == (local != 0) && it->second.name == name) {
+        return Status::ok();  // idempotent re-definition
+      }
+      return Status::error(ErrorCode::DuplicateDefinition,
+                           "variable id " + std::to_string(id) + " redefined differently",
+                           line_no);
+    }
+    if (Status s = count_definition(line_no); !s.is_ok()) return s;
+    const VarId var = local != 0 ? ctx_.local_var(name) : ctx_.var(name);
+    vars_.emplace(id, VarDef{local != 0, name, var});
+    return Status::ok();
+  }
+
+  Status handle_region_def(FieldParser& fields, std::uint64_t line_no, bool is_function) {
+    std::uint32_t id = 0;
+    std::uint64_t src_line = 0;
+    if (!fields.parse_id(id)) return malformed(line_no, "bad region id");
+    if (!fields.parse_u64(src_line) ||
+        src_line > std::numeric_limits<SourceLine>::max()) {
+      return malformed(line_no, "bad region source line");
+    }
+    std::string name(fields.next_token());
+    if (name.empty()) return malformed(line_no, "missing region name");
+    if (Status s = require_end(fields, line_no); !s.is_ok()) return s;
+
+    const RegionKind kind = is_function ? RegionKind::Function : RegionKind::Loop;
+    auto it = regions_.find(id);
+    if (it != regions_.end()) {
+      if (it->second.kind == kind && it->second.line == src_line &&
+          it->second.name == name) {
+        return Status::ok();
+      }
+      return Status::error(ErrorCode::DuplicateDefinition,
+                           "region id " + std::to_string(id) + " redefined differently",
+                           line_no);
+    }
+    if (Status s = count_definition(line_no); !s.is_ok()) return s;
+    regions_.emplace(
+        id, RegionDef{kind, static_cast<SourceLine>(src_line), std::move(name)});
+    return Status::ok();
+  }
+
+  Status handle_stmt_def(FieldParser& fields, std::uint64_t line_no) {
+    std::uint32_t id = 0;
+    std::uint64_t src_line = 0;
+    if (!fields.parse_id(id)) return malformed(line_no, "bad statement id");
+    if (!fields.parse_u64(src_line) ||
+        src_line > std::numeric_limits<SourceLine>::max()) {
+      return malformed(line_no, "bad statement source line");
+    }
+    std::string name(fields.next_token());
+    if (name.empty()) return malformed(line_no, "missing statement name");
+    if (Status s = require_end(fields, line_no); !s.is_ok()) return s;
+
+    auto it = stmts_.find(id);
+    if (it != stmts_.end()) {
+      if (it->second.line == src_line && it->second.name == name) return Status::ok();
+      return Status::error(ErrorCode::DuplicateDefinition,
+                           "statement id " + std::to_string(id) + " redefined differently",
+                           line_no);
+    }
+    if (Status s = count_definition(line_no); !s.is_ok()) return s;
+    stmts_.emplace(id, StmtDef{static_cast<SourceLine>(src_line), std::move(name)});
+    return Status::ok();
+  }
+
+  Status handle_enter(FieldParser& fields, std::uint64_t line_no) {
+    std::uint32_t id = 0;
+    if (!fields.parse_id(id)) return malformed(line_no, "bad region id");
+    if (Status s = require_end(fields, line_no); !s.is_ok()) return s;
+    auto def = regions_.find(id);
+    if (def == regions_.end()) {
+      return Status::error(ErrorCode::UndefinedId,
+                           "enter of undefined region " + std::to_string(id), line_no);
+    }
+    if (Status s = count_event(line_no); !s.is_ok()) return s;
+    OpenScope scope;
+    scope.file_id = id;
+    if (def->second.kind == RegionKind::Function) {
+      scope.kind = 'f';
+      scope.function =
+          std::make_unique<FunctionScope>(ctx_, def->second.name, def->second.line);
+    } else {
+      scope.kind = 'l';
+      scope.loop = std::make_unique<LoopScope>(ctx_, def->second.name, def->second.line);
+    }
+    scope_stack_.push_back(std::move(scope));
+    ++result_.records;
+    return Status::ok();
+  }
+
+  Status handle_exit(FieldParser& fields, std::uint64_t line_no) {
+    std::uint32_t id = 0;
+    if (!fields.parse_id(id)) return malformed(line_no, "bad region id");
+    if (Status s = require_end(fields, line_no); !s.is_ok()) return s;
+    if (scope_stack_.empty() || scope_stack_.back().kind == 's' ||
+        scope_stack_.back().file_id != id) {
+      return Status::error(ErrorCode::ScopeMismatch,
+                           "exit of region " + std::to_string(id) +
+                               " does not match the innermost open scope",
+                           line_no);
+    }
+    if (Status s = count_event(line_no); !s.is_ok()) return s;
+    scope_stack_.pop_back();
+    ++result_.records;
+    return Status::ok();
+  }
+
+  Status handle_iteration(FieldParser& fields, std::uint64_t line_no) {
+    std::uint32_t id = 0;
+    if (!fields.parse_id(id)) return malformed(line_no, "bad loop id");
+    if (Status s = require_end(fields, line_no); !s.is_ok()) return s;
+    if (scope_stack_.empty() || scope_stack_.back().kind != 'l' ||
+        scope_stack_.back().file_id != id) {
+      return Status::error(ErrorCode::IterationOutsideLoop,
+                           "iteration of loop " + std::to_string(id) +
+                               " outside its innermost loop scope",
+                           line_no);
+    }
+    if (Status s = count_event(line_no); !s.is_ok()) return s;
+    scope_stack_.back().loop->begin_iteration();
+    ++result_.records;
+    return Status::ok();
+  }
+
+  Status handle_stmt_enter(FieldParser& fields, std::uint64_t line_no) {
+    std::uint32_t id = 0;
+    if (!fields.parse_id(id)) return malformed(line_no, "bad statement id");
+    if (Status s = require_end(fields, line_no); !s.is_ok()) return s;
+    auto def = stmts_.find(id);
+    if (def == stmts_.end()) {
+      return Status::error(ErrorCode::UndefinedId,
+                           "open of undefined statement " + std::to_string(id), line_no);
+    }
+    if (Status s = count_event(line_no); !s.is_ok()) return s;
+    OpenScope scope;
+    scope.file_id = id;
+    scope.kind = 's';
+    scope.statement =
+        std::make_unique<StatementScope>(ctx_, def->second.name, def->second.line);
+    scope_stack_.push_back(std::move(scope));
+    ++result_.records;
+    return Status::ok();
+  }
+
+  Status handle_stmt_exit(FieldParser& fields, std::uint64_t line_no) {
+    std::uint32_t id = 0;
+    if (!fields.parse_id(id)) return malformed(line_no, "bad statement id");
+    if (Status s = require_end(fields, line_no); !s.is_ok()) return s;
+    if (scope_stack_.empty() || scope_stack_.back().kind != 's' ||
+        scope_stack_.back().file_id != id) {
+      return Status::error(ErrorCode::ScopeMismatch,
+                           "close of statement " + std::to_string(id) +
+                               " does not match the innermost open scope",
+                           line_no);
+    }
+    if (Status s = count_event(line_no); !s.is_ok()) return s;
+    scope_stack_.pop_back();
+    ++result_.records;
+    return Status::ok();
+  }
+
+  Status handle_access(FieldParser& fields, std::uint64_t line_no, bool is_write) {
+    std::uint32_t var_id = 0;
+    std::uint64_t index = 0;
+    std::uint64_t src_line = 0;
+    std::uint64_t cost = 0;
+    if (!fields.parse_id(var_id)) return malformed(line_no, "bad variable id");
+    if (!fields.parse_u64(index)) return malformed(line_no, "bad element index");
+    if (!fields.parse_u64(src_line) ||
+        src_line > std::numeric_limits<SourceLine>::max()) {
+      return malformed(line_no, "bad access source line");
+    }
+    if (!fields.parse_u64(cost)) {
+      return malformed(line_no, "access cost must be a non-negative integer");
+    }
+    std::uint64_t op = 0;
+    if (is_write) {
+      if (!fields.parse_u64(op) || op > static_cast<std::uint64_t>(UpdateOp::Max)) {
+        return Status::error(ErrorCode::BadWriteOp,
+                             "unknown write update-op code", line_no);
+      }
+    }
+    if (Status s = require_end(fields, line_no); !s.is_ok()) return s;
+    auto var = vars_.find(var_id);
+    if (var == vars_.end()) {
+      return Status::error(ErrorCode::UndefinedId,
+                           "access to undefined variable " + std::to_string(var_id),
+                           line_no);
+    }
+    if (Status s = count_event(line_no); !s.is_ok()) return s;
+    if (!is_write) {
+      ctx_.read(var->second.id, index, static_cast<SourceLine>(src_line), cost);
+    } else if (op == 0) {
+      ctx_.write(var->second.id, index, static_cast<SourceLine>(src_line), cost);
+    } else {
+      // update() would emit an extra read; re-emit the tagged write only.
+      ctx_.write_impl(var->second.id, index, static_cast<SourceLine>(src_line), cost,
+                      static_cast<UpdateOp>(op));
+    }
+    ++result_.records;
+    return Status::ok();
+  }
+
+  Status handle_compute(FieldParser& fields, std::uint64_t line_no) {
+    std::uint64_t src_line = 0;
+    std::uint64_t cost = 0;
+    if (!fields.parse_u64(src_line) ||
+        src_line > std::numeric_limits<SourceLine>::max()) {
+      return malformed(line_no, "bad compute source line");
+    }
+    if (!fields.parse_u64(cost)) {
+      return malformed(line_no, "compute cost must be a non-negative integer");
+    }
+    if (Status s = require_end(fields, line_no); !s.is_ok()) return s;
+    if (Status s = count_event(line_no); !s.is_ok()) return s;
+    ctx_.compute(static_cast<SourceLine>(src_line), cost);
+    ++result_.records;
+    return Status::ok();
+  }
+
+  /// Closes any open scopes strictly LIFO (the RAII destructors emit the
+  /// matching exit events, keeping the context's own invariants intact).
+  void unwind_scopes() {
+    while (!scope_stack_.empty()) scope_stack_.pop_back();
+  }
+
+  void finish(std::uint64_t line_no) {
+    if (!scope_stack_.empty()) {
+      const Status unclosed = Status::error(
+          ErrorCode::UnclosedScope,
+          "trace ended with " + std::to_string(scope_stack_.size()) +
+              " scope(s) still open",
+          line_no);
+      if (strict()) {
+        result_.status = unclosed;
+        unwind_scopes();
+        return;
+      }
+      diag(unclosed);
+      result_.repaired_scopes = scope_stack_.size();
+      unwind_scopes();  // repair: synthesize the missing exits
+    }
+    ctx_.finish();
+    result_.finished = true;
+  }
+
+  TraceContext& ctx_;
+  const ReplayOptions& options_;
+  ReplayResult result_;
+  std::unordered_map<std::uint32_t, VarDef> vars_;
+  std::unordered_map<std::uint32_t, RegionDef> regions_;
+  std::unordered_map<std::uint32_t, StmtDef> stmts_;
+  std::vector<OpenScope> scope_stack_;
+};
 
 }  // namespace
 
@@ -105,160 +572,15 @@ void TraceWriter::on_statement_exit(const StatementInfo& stmt) {
 
 void TraceWriter::on_trace_end() { out_.flush(); }
 
+ReplayResult replay_trace(std::istream& in, TraceContext& ctx,
+                          const ReplayOptions& options) {
+  return Replayer(ctx, options).run(in);
+}
+
 std::uint64_t replay_trace(std::istream& in, TraceContext& ctx) {
-  std::string header;
-  if (!std::getline(in, header) || header != "ppd-trace 1") {
-    throw std::runtime_error("not a ppd trace file (missing 'ppd-trace 1' header)");
-  }
-
-  struct RegionDef {
-    RegionKind kind;
-    SourceLine line;
-    std::string name;
-  };
-  struct StmtDef {
-    SourceLine line;
-    std::string name;
-  };
-  std::unordered_map<std::uint32_t, VarId> vars;
-  std::unordered_map<std::uint32_t, RegionDef> regions;
-  std::unordered_map<std::uint32_t, StmtDef> stmts;
-
-  // Open scopes, reconstructed with the RAII wrappers on the heap. The
-  // variant keeps destruction order identical to the original execution.
-  struct OpenScope {
-    std::unique_ptr<FunctionScope> function;
-    std::unique_ptr<LoopScope> loop;
-    std::unique_ptr<StatementScope> statement;
-    std::uint32_t file_id = 0;
-    char kind = 0;  // 'f', 'l', 's'
-  };
-  std::vector<OpenScope> scope_stack;
-
-  std::uint64_t records = 0;
-  std::uint64_t line_no = 1;
-  std::string line;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    std::istringstream is(line);
-    std::string tag;
-    is >> tag;
-
-    if (tag == "var") {
-      std::uint32_t id = 0;
-      int local = 0;
-      std::string name;
-      if (!(is >> id >> local >> name)) malformed(line_no, line);
-      vars.emplace(id, local != 0 ? ctx.local_var(name) : ctx.var(name));
-    } else if (tag == "fn" || tag == "lp") {
-      std::uint32_t id = 0;
-      SourceLine src_line = 0;
-      std::string name;
-      if (!(is >> id >> src_line >> name)) malformed(line_no, line);
-      regions.emplace(
-          id, RegionDef{tag == "fn" ? RegionKind::Function : RegionKind::Loop, src_line,
-                        std::move(name)});
-    } else if (tag == "st") {
-      std::uint32_t id = 0;
-      SourceLine src_line = 0;
-      std::string name;
-      if (!(is >> id >> src_line >> name)) malformed(line_no, line);
-      stmts.emplace(id, StmtDef{src_line, std::move(name)});
-    } else if (tag == "E") {
-      std::uint32_t id = 0;
-      if (!(is >> id)) malformed(line_no, line);
-      auto def = regions.find(id);
-      if (def == regions.end()) malformed(line_no, line);
-      OpenScope scope;
-      scope.file_id = id;
-      if (def->second.kind == RegionKind::Function) {
-        scope.kind = 'f';
-        scope.function =
-            std::make_unique<FunctionScope>(ctx, def->second.name, def->second.line);
-      } else {
-        scope.kind = 'l';
-        scope.loop = std::make_unique<LoopScope>(ctx, def->second.name, def->second.line);
-      }
-      scope_stack.push_back(std::move(scope));
-      ++records;
-    } else if (tag == "X") {
-      std::uint32_t id = 0;
-      if (!(is >> id)) malformed(line_no, line);
-      if (scope_stack.empty() || scope_stack.back().kind == 's' ||
-          scope_stack.back().file_id != id) {
-        malformed(line_no, line);
-      }
-      scope_stack.pop_back();
-      ++records;
-    } else if (tag == "I") {
-      std::uint32_t id = 0;
-      if (!(is >> id)) malformed(line_no, line);
-      if (scope_stack.empty() || scope_stack.back().kind != 'l' ||
-          scope_stack.back().file_id != id) {
-        malformed(line_no, line);
-      }
-      scope_stack.back().loop->begin_iteration();
-      ++records;
-    } else if (tag == "S") {
-      std::uint32_t id = 0;
-      if (!(is >> id)) malformed(line_no, line);
-      auto def = stmts.find(id);
-      if (def == stmts.end()) malformed(line_no, line);
-      OpenScope scope;
-      scope.file_id = id;
-      scope.kind = 's';
-      scope.statement =
-          std::make_unique<StatementScope>(ctx, def->second.name, def->second.line);
-      scope_stack.push_back(std::move(scope));
-      ++records;
-    } else if (tag == "P") {
-      std::uint32_t id = 0;
-      if (!(is >> id)) malformed(line_no, line);
-      if (scope_stack.empty() || scope_stack.back().kind != 's' ||
-          scope_stack.back().file_id != id) {
-        malformed(line_no, line);
-      }
-      scope_stack.pop_back();
-      ++records;
-    } else if (tag == "R" || tag == "W") {
-      std::uint32_t var_id = 0;
-      std::uint64_t index = 0;
-      SourceLine src_line = 0;
-      Cost cost = 0;
-      if (!(is >> var_id >> index >> src_line >> cost)) malformed(line_no, line);
-      auto var = vars.find(var_id);
-      if (var == vars.end()) malformed(line_no, line);
-      if (tag == "R") {
-        ctx.read(var->second, index, src_line, cost);
-      } else {
-        int op = 0;
-        if (!(is >> op) || op < 0 || op > 4) malformed(line_no, line);
-        if (op == 0) {
-          ctx.write(var->second, index, src_line, cost);
-        } else {
-          // update() would emit an extra read; re-emit the tagged write only.
-          ctx.write_impl(var->second, index, src_line, cost, static_cast<UpdateOp>(op));
-        }
-      }
-      ++records;
-    } else if (tag == "C") {
-      SourceLine src_line = 0;
-      Cost cost = 0;
-      if (!(is >> src_line >> cost)) malformed(line_no, line);
-      ctx.compute(src_line, cost);
-      ++records;
-    } else {
-      malformed(line_no, line);
-    }
-  }
-
-  if (!scope_stack.empty()) {
-    throw std::runtime_error("trace ended with " + std::to_string(scope_stack.size()) +
-                             " scope(s) still open");
-  }
-  ctx.finish();
-  return records;
+  const ReplayResult result = replay_trace(in, ctx, ReplayOptions{});
+  if (!result.status.is_ok()) throw std::runtime_error(result.status.to_string());
+  return result.records;
 }
 
 }  // namespace ppd::trace

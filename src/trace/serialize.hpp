@@ -10,6 +10,16 @@
 // long after the profiled execution — including analyses that did not exist
 // when the trace was taken.
 //
+// Replay is the trust boundary of the whole pipeline: traces come from
+// arbitrary instrumented runs, so every record is validated before it is
+// dispatched. Two modes are offered (ReplayMode): *strict* stops at the
+// first violation with a Status naming the offending line; *lenient*
+// drops unparseable or inconsistent records (resyncing at the next line),
+// repairs unbalanced region/statement scopes at end of input, collects a
+// Diag per problem, and still completes a degraded analysis. Both modes
+// enforce configurable resource caps so hostile inputs fail gracefully
+// instead of exhausting memory.
+//
 // Format (one record per line, space-separated; names must not contain
 // whitespace):
 //
@@ -30,6 +40,7 @@
 #include <span>
 #include <vector>
 
+#include "support/status.hpp"
 #include "trace/context.hpp"
 #include "trace/events.hpp"
 
@@ -65,11 +76,51 @@ class TraceWriter final : public EventSink {
   std::uint64_t records_ = 0;
 };
 
+/// How replay reacts to a bad record.
+enum class ReplayMode {
+  /// Stop at the first violation; ReplayResult.status names the line.
+  Strict,
+  /// Drop bad records (resync at the next line), repair unbalanced scopes
+  /// at end of input, collect a Diag per problem, and finish the analysis.
+  Lenient,
+};
+
+/// Resource caps enforced in both modes; exceeding one yields a
+/// resource-limit Status instead of unbounded memory growth.
+struct ReplayLimits {
+  std::uint64_t max_records = std::uint64_t{1} << 32;      ///< dispatched events
+  std::uint64_t max_definitions = std::uint64_t{1} << 24;  ///< var+region+stmt defs
+  std::uint64_t max_line_length = std::uint64_t{1} << 20;  ///< bytes per record
+};
+
+struct ReplayOptions {
+  ReplayMode mode = ReplayMode::Strict;
+  ReplayLimits limits;
+  /// Optional collector for non-fatal findings (lenient drops/repairs).
+  support::DiagSink* diags = nullptr;
+};
+
+/// Outcome of a replay. `status` is Ok when the trace was ingested to the
+/// end (possibly degraded, in lenient mode); on error it carries the code
+/// and the 1-based line of the offending record.
+struct ReplayResult {
+  support::Status status;
+  std::uint64_t records = 0;          ///< events successfully dispatched
+  std::uint64_t dropped = 0;          ///< lenient: records dropped
+  std::uint64_t repaired_scopes = 0;  ///< lenient: scopes auto-closed at EOF
+  bool finished = false;              ///< ctx.finish() was reached
+};
+
 /// Replays a serialized trace into `ctx` (whose sinks must already be
 /// subscribed): regions, variables, and statements are re-interned and every
-/// recorded event re-dispatched in order; finish() is called at the end.
-/// Returns the number of records replayed. Throws std::runtime_error on
-/// malformed input.
+/// recorded event re-dispatched in order; finish() is called at the end of a
+/// successful (or successfully repaired) replay. Never throws on malformed
+/// input — problems are reported through the returned ReplayResult.
+[[nodiscard]] ReplayResult replay_trace(std::istream& in, TraceContext& ctx,
+                                        const ReplayOptions& options);
+
+/// Legacy strict replay: returns the number of records replayed, throwing
+/// std::runtime_error (with the Status text) on malformed input.
 std::uint64_t replay_trace(std::istream& in, TraceContext& ctx);
 
 }  // namespace ppd::trace

@@ -1,0 +1,118 @@
+#include "trace/validator.hpp"
+
+#include <string>
+
+namespace ppd::trace {
+
+using support::ErrorCode;
+using support::Status;
+
+void Validator::violation(ErrorCode code, std::string message) {
+  ++violations_;
+  message += " (event ";
+  message += std::to_string(events_);
+  message += ')';
+  if (first_.is_ok()) first_ = Status::error(code, message);
+  if (sink_ != nullptr) sink_->report(support::Diag{code, 0, std::move(message)});
+}
+
+void Validator::on_region_enter(const RegionInfo& region) {
+  ++events_;
+  if (!region.id.valid()) {
+    violation(ErrorCode::UndefinedId, "region enter with invalid id");
+    return;
+  }
+  if (ended_) violation(ErrorCode::ScopeMismatch, "region enter after trace end");
+  regions_.push_back(OpenRegion{region.id, region.kind, 0});
+}
+
+void Validator::on_region_exit(const RegionInfo& region) {
+  ++events_;
+  if (regions_.empty() || regions_.back().id != region.id) {
+    violation(ErrorCode::ScopeMismatch,
+              "exit of region '" + region.name + "' does not match the innermost enter");
+    return;
+  }
+  regions_.pop_back();
+}
+
+void Validator::on_iteration(const RegionInfo& loop, std::uint64_t iteration) {
+  ++events_;
+  if (regions_.empty() || regions_.back().id != loop.id ||
+      regions_.back().kind != RegionKind::Loop) {
+    violation(ErrorCode::IterationOutsideLoop,
+              "iteration of '" + loop.name + "' outside its innermost loop scope");
+    return;
+  }
+  if (iteration != regions_.back().next_iteration) {
+    violation(ErrorCode::MalformedRecord,
+              "non-sequential iteration number in loop '" + loop.name + "': expected " +
+                  std::to_string(regions_.back().next_iteration) + ", got " +
+                  std::to_string(iteration));
+  }
+  regions_.back().next_iteration = iteration + 1;
+}
+
+void Validator::on_access(const AccessEvent& access) {
+  ++events_;
+  if (!access.var.valid()) {
+    violation(ErrorCode::UndefinedId, "access references an undefined variable id");
+  }
+  if (access.cost > kCostSanityCap) {
+    violation(ErrorCode::MalformedRecord,
+              "access cost " + std::to_string(access.cost) + " exceeds the sanity cap");
+  }
+  if (access.kind == AccessKind::Read && access.op != UpdateOp::None) {
+    violation(ErrorCode::BadWriteOp, "read event carries a write update-op");
+  }
+  if (access.op > UpdateOp::Max) {
+    violation(ErrorCode::BadWriteOp, "write carries an unknown update-op code");
+  }
+  if (!regions_.empty() && access.region != regions_.back().id) {
+    violation(ErrorCode::ScopeMismatch,
+              "access attributed to a region other than the innermost open one");
+  }
+}
+
+void Validator::on_compute(const ComputeEvent& compute) {
+  ++events_;
+  if (compute.cost > kCostSanityCap) {
+    violation(ErrorCode::MalformedRecord,
+              "compute cost " + std::to_string(compute.cost) + " exceeds the sanity cap");
+  }
+  if (!regions_.empty() && compute.region != regions_.back().id) {
+    violation(ErrorCode::ScopeMismatch,
+              "compute attributed to a region other than the innermost open one");
+  }
+}
+
+void Validator::on_statement_enter(const StatementInfo& stmt) {
+  ++events_;
+  if (!stmt.id.valid()) {
+    violation(ErrorCode::UndefinedId, "statement enter with invalid id");
+    return;
+  }
+  statements_.push_back(stmt.id);
+}
+
+void Validator::on_statement_exit(const StatementInfo& stmt) {
+  ++events_;
+  if (statements_.empty() || statements_.back() != stmt.id) {
+    violation(ErrorCode::ScopeMismatch,
+              "close of statement '" + stmt.name + "' does not match the innermost open one");
+    return;
+  }
+  statements_.pop_back();
+}
+
+void Validator::on_trace_end() {
+  ++events_;
+  if (!regions_.empty() || !statements_.empty()) {
+    violation(ErrorCode::UnclosedScope,
+              "trace ended with " + std::to_string(regions_.size()) + " region and " +
+                  std::to_string(statements_.size()) + " statement scope(s) open");
+  }
+  ended_ = true;
+}
+
+}  // namespace ppd::trace

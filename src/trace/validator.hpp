@@ -1,0 +1,69 @@
+// Stream-invariant validator.
+//
+// An EventSink that re-checks, event by event, the well-formedness contract
+// every downstream analysis (profiler, PET builder, CU builder) assumes:
+// region enters/exits are properly nested, iterations only occur inside
+// their innermost loop and count up from zero, statement scopes are
+// balanced, every event references defined ids, costs stay within a sanity
+// cap, and write update-ops are from the known set. Subscribing a Validator
+// next to the analyses turns "garbage in, garbage out" into an explicit,
+// attributable violation report — the graph-labelling literature
+// (Telegin et al., arXiv:2212.04818) assumes validated input graphs; this
+// is where that guarantee is established.
+//
+// Violations are collected as Diags (and optionally forwarded to a
+// DiagSink); the first one is also available as a Status. The validator
+// never throws and never aborts — it observes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/status.hpp"
+#include "trace/events.hpp"
+
+namespace ppd::trace {
+
+class Validator final : public EventSink {
+ public:
+  /// `sink` (optional) additionally receives every violation as a Diag.
+  explicit Validator(support::DiagSink* sink = nullptr) : sink_(sink) {}
+
+  void on_region_enter(const RegionInfo& region) override;
+  void on_region_exit(const RegionInfo& region) override;
+  void on_iteration(const RegionInfo& loop, std::uint64_t iteration) override;
+  void on_access(const AccessEvent& access) override;
+  void on_compute(const ComputeEvent& compute) override;
+  void on_statement_enter(const StatementInfo& stmt) override;
+  void on_statement_exit(const StatementInfo& stmt) override;
+  void on_trace_end() override;
+
+  [[nodiscard]] bool ok() const { return violations_ == 0; }
+  [[nodiscard]] std::uint64_t violations() const { return violations_; }
+
+  /// Ok, or the first violation observed.
+  [[nodiscard]] const support::Status& status() const { return first_; }
+
+  /// Costs above this are treated as corrupt (e.g. a negative value wrapped
+  /// through an unsigned parse); no real kernel gets anywhere near it.
+  static constexpr Cost kCostSanityCap = Cost{1} << 56;
+
+ private:
+  void violation(support::ErrorCode code, std::string message);
+
+  struct OpenRegion {
+    RegionId id;
+    RegionKind kind;
+    std::uint64_t next_iteration = 0;
+  };
+
+  support::DiagSink* sink_;
+  std::vector<OpenRegion> regions_;
+  std::vector<StatementId> statements_;
+  std::uint64_t violations_ = 0;
+  std::uint64_t events_ = 0;  ///< event ordinal, reported with each violation
+  support::Status first_;
+  bool ended_ = false;
+};
+
+}  // namespace ppd::trace

@@ -114,5 +114,102 @@ INSTANTIATE_TEST_SUITE_P(RandomDags, DagExecutorProperty,
                          ::testing::Combine(::testing::Range(0, 10),
                                             ::testing::Values(1, 2, 4)));
 
+// ---- hardening: invalid graphs and failing tasks ----
+
+TEST(DagExecutor, RejectsOutOfRangeDependency) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  std::vector<DagTask> tasks(2);
+  tasks[0].work = [&ran] { ran = true; };
+  tasks[1].work = [&ran] { ran = true; };
+  tasks[1].deps = {5};  // no such task
+  const DagReport report = execute_dag_checked(pool, std::move(tasks));
+  EXPECT_EQ(report.status.code(), support::ErrorCode::InvalidDag);
+  EXPECT_FALSE(ran.load()) << "nothing may run on an invalid graph";
+}
+
+TEST(DagExecutor, RejectsSelfAndForwardDependencies) {
+  ThreadPool pool(2);
+  {
+    std::vector<DagTask> tasks(1);
+    tasks[0].work = [] {};
+    tasks[0].deps = {0};  // self edge: a 1-cycle
+    const DagReport report = execute_dag_checked(pool, std::move(tasks));
+    EXPECT_EQ(report.status.code(), support::ErrorCode::InvalidDag);
+  }
+  {
+    std::vector<DagTask> tasks(2);
+    tasks[0].work = [] {};
+    tasks[0].deps = {1};  // forward edge: would admit a cycle
+    tasks[1].work = [] {};
+    const DagReport report = execute_dag_checked(pool, std::move(tasks));
+    EXPECT_EQ(report.status.code(), support::ErrorCode::InvalidDag);
+  }
+}
+
+TEST(DagExecutor, ThrowingWrapperSignalsInvalidGraphs) {
+  ThreadPool pool(2);
+  std::vector<DagTask> tasks(1);
+  tasks[0].work = [] {};
+  tasks[0].deps = {3};
+  EXPECT_THROW(execute_dag(pool, std::move(tasks)), std::invalid_argument);
+}
+
+// A failure mid-graph cancels everything downstream of it — transitively —
+// while every task independent of the failure still runs exactly once.
+TEST(DagExecutor, FailureSkipsDependentsButRunsIndependents) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(6);
+  auto work = [&hits](std::size_t i) {
+    return [&hits, i] { hits[i].fetch_add(1); };
+  };
+  std::vector<DagTask> tasks(6);
+  tasks[0].work = work(0);
+  tasks[1].work = [&hits] {
+    hits[1].fetch_add(1);
+    throw std::runtime_error("mid-graph failure");
+  };
+  tasks[1].deps = {0};
+  tasks[2].work = work(2);  // direct dependent of the failure: skipped
+  tasks[2].deps = {1};
+  tasks[3].work = work(3);  // transitive dependent: skipped
+  tasks[3].deps = {2};
+  tasks[4].work = work(4);  // depends on a healthy task only: runs
+  tasks[4].deps = {0};
+  tasks[5].work = work(5);  // fully independent: runs
+  const DagReport report = execute_dag_checked(pool, std::move(tasks));
+
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status.code(), support::ErrorCode::TaskFailed);
+  EXPECT_EQ(report.failed, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(report.skipped, (std::vector<std::size_t>{2, 3}));
+  ASSERT_TRUE(report.first_error);
+  EXPECT_THROW(std::rethrow_exception(report.first_error), std::runtime_error);
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[2].load(), 0);
+  EXPECT_EQ(hits[3].load(), 0);
+  EXPECT_EQ(hits[4].load(), 1);
+  EXPECT_EQ(hits[5].load(), 1);
+}
+
+// A diamond whose two middle branches both fail: the join is skipped once,
+// both failures are reported, and the report stays deterministic.
+TEST(DagExecutor, MultipleFailuresAreAllReported) {
+  ThreadPool pool(4);
+  std::vector<DagTask> tasks(4);
+  tasks[0].work = [] {};
+  tasks[1].work = [] { throw std::runtime_error("left"); };
+  tasks[1].deps = {0};
+  tasks[2].work = [] { throw std::runtime_error("right"); };
+  tasks[2].deps = {0};
+  tasks[3].work = [] { FAIL() << "join of two failed branches must not run"; };
+  tasks[3].deps = {1, 2};
+  const DagReport report = execute_dag_checked(pool, std::move(tasks));
+
+  EXPECT_EQ(report.status.code(), support::ErrorCode::TaskFailed);
+  EXPECT_EQ(report.failed, (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(report.skipped, (std::vector<std::size_t>{3}));
+}
+
 }  // namespace
 }  // namespace ppd::rt

@@ -1,0 +1,331 @@
+// Tests for the fault-tolerant ingestion boundary: per-record-type
+// malformed-trace diagnostics (exact error code and offending line),
+// lenient-mode recovery and scope repair, resource caps, the stream
+// invariant Validator, the pluggable assertion failure handler, and the
+// Status/Diag formatting contract.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "support/assert.hpp"
+#include "support/status.hpp"
+#include "trace/buffer.hpp"
+#include "trace/context.hpp"
+#include "trace/serialize.hpp"
+#include "trace/validator.hpp"
+
+namespace ppd::trace {
+namespace {
+
+using support::DiagSink;
+using support::ErrorCode;
+using support::Status;
+
+ReplayResult replay(const std::string& text, ReplayMode mode, DiagSink* diags = nullptr,
+                    ReplayLimits limits = ReplayLimits{}) {
+  std::istringstream in(text);
+  TraceContext ctx;
+  ReplayOptions options;
+  options.mode = mode;
+  options.limits = limits;
+  options.diags = diags;
+  return replay_trace(in, ctx, options);
+}
+
+// One corrupted sample per record type of the format grammar
+// (var/fn/lp/st/E/X/I/S/P/R/W/C) plus the header and cross-record rules;
+// strict replay must stop with exactly this code at exactly this line.
+struct MalformedCase {
+  const char* label;
+  const char* trace;
+  ErrorCode code;
+  std::uint64_t line;
+};
+
+const MalformedCase kMalformedCases[] = {
+    {"var_bad_id", "ppd-trace 1\nvar x 0 v\n", ErrorCode::MalformedRecord, 2},
+    {"var_bad_local_flag", "ppd-trace 1\nvar 0 7 v\n", ErrorCode::MalformedRecord, 2},
+    {"fn_negative_line", "ppd-trace 1\nfn 0 -3 f\n", ErrorCode::MalformedRecord, 2},
+    {"lp_missing_name", "ppd-trace 1\nlp 0 1\n", ErrorCode::MalformedRecord, 2},
+    {"st_bad_line", "ppd-trace 1\nst 0 abc s\n", ErrorCode::MalformedRecord, 2},
+    {"enter_undefined_region", "ppd-trace 1\nE 7\n", ErrorCode::UndefinedId, 2},
+    {"exit_mismatched_region", "ppd-trace 1\nfn 0 1 f\nE 0\nX 1\n",
+     ErrorCode::ScopeMismatch, 4},
+    {"iteration_outside_loop", "ppd-trace 1\nfn 0 1 f\nE 0\nI 0\nX 0\n",
+     ErrorCode::IterationOutsideLoop, 4},
+    {"stmt_open_undefined", "ppd-trace 1\nS 3\n", ErrorCode::UndefinedId, 2},
+    {"stmt_close_mismatched", "ppd-trace 1\nst 0 1 s\nS 0\nP 1\n",
+     ErrorCode::ScopeMismatch, 4},
+    {"read_negative_cost", "ppd-trace 1\nvar 0 0 v\nR 0 0 1 -1\n",
+     ErrorCode::MalformedRecord, 3},
+    {"write_unknown_op", "ppd-trace 1\nvar 0 0 v\nW 0 0 1 1 9\n", ErrorCode::BadWriteOp, 3},
+    {"write_missing_op", "ppd-trace 1\nvar 0 0 v\nW 0 0 1 1\n", ErrorCode::BadWriteOp, 3},
+    {"compute_missing_cost", "ppd-trace 1\nC 1\n", ErrorCode::MalformedRecord, 2},
+    {"unknown_tag", "ppd-trace 1\nQ 1\n", ErrorCode::UnknownTag, 2},
+    {"trailing_garbage", "ppd-trace 1\nvar 0 0 v junk\n", ErrorCode::TrailingGarbage, 2},
+    {"duplicate_definition", "ppd-trace 1\nvar 0 0 v\nvar 0 1 v\n",
+     ErrorCode::DuplicateDefinition, 3},
+    {"id_is_invalid_sentinel", "ppd-trace 1\nE 4294967295\n", ErrorCode::MalformedRecord, 2},
+    {"missing_header", "bogus 1\n", ErrorCode::BadHeader, 1},
+    {"unclosed_scope", "ppd-trace 1\nfn 0 1 f\nE 0\n", ErrorCode::UnclosedScope, 3},
+};
+
+class MalformedRecordCase : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(MalformedRecordCase, StrictStopsWithExactCodeAndLine) {
+  const MalformedCase& c = GetParam();
+  const ReplayResult result = replay(c.trace, ReplayMode::Strict);
+  EXPECT_FALSE(result.status.is_ok());
+  EXPECT_EQ(result.status.code(), c.code) << result.status.to_string();
+  EXPECT_EQ(result.status.line(), c.line) << result.status.to_string();
+  EXPECT_FALSE(result.finished);
+}
+
+TEST_P(MalformedRecordCase, LenientRecoversAndReportsTheSameFinding) {
+  const MalformedCase& c = GetParam();
+  DiagSink diags;
+  const ReplayResult result = replay(c.trace, ReplayMode::Lenient, &diags);
+  EXPECT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_TRUE(result.finished);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags.diags()[0].code, c.code) << diags.diags()[0].to_string();
+  EXPECT_EQ(diags.diags()[0].line, c.line) << diags.diags()[0].to_string();
+  EXPECT_GT(result.dropped + result.repaired_scopes + diags.total(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RecordTypes, MalformedRecordCase,
+                         ::testing::ValuesIn(kMalformedCases),
+                         [](const ::testing::TestParamInfo<MalformedCase>& param_info) {
+                           return param_info.param.label;
+                         });
+
+TEST(StrictReplay, LegacyApiThrowsWithTheStatusText) {
+  std::istringstream in("ppd-trace 1\nfn 0 1 f\nE 0\nX 1\n");
+  TraceContext ctx;
+  try {
+    (void)replay_trace(in, ctx);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("scope-mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+  }
+}
+
+TEST(LenientReplay, ResyncsAtTheNextRecordAfterACorruptOne) {
+  const std::string text =
+      "ppd-trace 1\n"
+      "var 0 0 v\n"
+      "fn 0 1 main\n"
+      "E 0\n"
+      "W 0 0 2 1 0\n"
+      "W 0 zz 2 1 0\n"  // corrupt element index
+      "R 0 0 3 1\n"
+      "X 0\n";
+  std::istringstream in(text);
+  TraceContext ctx;
+  TraceBuffer buffer;
+  ctx.add_sink(&buffer);
+  DiagSink diags;
+  ReplayOptions options;
+  options.mode = ReplayMode::Lenient;
+  options.diags = &diags;
+  const ReplayResult result = replay_trace(in, ctx, options);
+
+  EXPECT_TRUE(result.status.is_ok());
+  EXPECT_TRUE(result.finished);
+  EXPECT_EQ(result.dropped, 1u);
+  EXPECT_EQ(result.records, 4u);  // E, W, R, X survived
+  EXPECT_TRUE(buffer.ended());
+  ASSERT_EQ(buffer.accesses().size(), 2u);
+  ASSERT_EQ(diags.total(), 1u);
+  EXPECT_EQ(diags.diags()[0].line, 6u);
+}
+
+TEST(LenientReplay, RepairsDanglingScopesAtEndOfInput) {
+  const std::string text =
+      "ppd-trace 1\n"
+      "fn 0 1 main\n"
+      "E 0\n"
+      "lp 1 2 loop\n"
+      "E 1\n"
+      "st 0 3 stmt\n"
+      "S 0\n";  // statement, loop, and function all left open
+  std::istringstream in(text);
+  TraceContext ctx;
+  TraceBuffer buffer;
+  Validator validator;
+  ctx.add_sink(&buffer);
+  ctx.add_sink(&validator);
+  DiagSink diags;
+  ReplayOptions options;
+  options.mode = ReplayMode::Lenient;
+  options.diags = &diags;
+  const ReplayResult result = replay_trace(in, ctx, options);
+
+  EXPECT_TRUE(result.status.is_ok());
+  EXPECT_TRUE(result.finished);
+  EXPECT_EQ(result.repaired_scopes, 3u);
+  EXPECT_EQ(diags.count(ErrorCode::UnclosedScope), 1u);
+  EXPECT_TRUE(buffer.ended());
+  // The synthesized exits unwind LIFO, so the repaired stream still honours
+  // every invariant the downstream analyses assume.
+  EXPECT_TRUE(validator.ok()) << validator.status().to_string();
+}
+
+TEST(ReplayLimitsTest, EventCountCapIsFatalInBothModes) {
+  const std::string text =
+      "ppd-trace 1\n"
+      "var 0 0 v\n"
+      "fn 0 1 f\n"
+      "E 0\n"
+      "W 0 0 2 1 0\n"
+      "W 0 1 2 1 0\n"
+      "X 0\n";
+  ReplayLimits limits;
+  limits.max_records = 2;
+  for (const ReplayMode mode : {ReplayMode::Strict, ReplayMode::Lenient}) {
+    const ReplayResult result = replay(text, mode, nullptr, limits);
+    EXPECT_EQ(result.status.code(), ErrorCode::ResourceLimit);
+    EXPECT_FALSE(result.finished);
+  }
+}
+
+TEST(ReplayLimitsTest, LineLengthCapRejectsHugeRecords) {
+  const std::string text = "ppd-trace 1\nvar 0 0 " + std::string(64, 'a') + "\n";
+  ReplayLimits limits;
+  limits.max_line_length = 16;
+  const ReplayResult result = replay(text, ReplayMode::Lenient, nullptr, limits);
+  EXPECT_EQ(result.status.code(), ErrorCode::ResourceLimit);
+  EXPECT_EQ(result.status.line(), 2u);
+}
+
+TEST(ReplayLimitsTest, DefinitionCapBoundsInternedNames) {
+  const std::string text = "ppd-trace 1\nvar 0 0 a\nvar 1 0 b\n";
+  ReplayLimits limits;
+  limits.max_definitions = 1;
+  const ReplayResult result = replay(text, ReplayMode::Strict, nullptr, limits);
+  EXPECT_EQ(result.status.code(), ErrorCode::ResourceLimit);
+  EXPECT_EQ(result.status.line(), 3u);
+}
+
+TEST(ValidatorTest, CleanInstrumentedRunHasNoViolations) {
+  TraceContext ctx;
+  Validator validator;
+  ctx.add_sink(&validator);
+  const VarId v = ctx.var("v");
+  {
+    FunctionScope f(ctx, "f", 1);
+    LoopScope l(ctx, "l", 2);
+    for (int i = 0; i < 3; ++i) {
+      l.begin_iteration();
+      ctx.read(v, 0, 3);
+      ctx.write(v, 0, 4);
+    }
+  }
+  ctx.finish();
+  EXPECT_TRUE(validator.ok()) << validator.status().to_string();
+  EXPECT_EQ(validator.violations(), 0u);
+}
+
+TEST(ValidatorTest, FlagsExitWithoutMatchingEnter) {
+  Validator validator;
+  RegionInfo region;
+  region.id = RegionId{0};
+  region.name = "f";
+  validator.on_region_exit(region);
+  EXPECT_FALSE(validator.ok());
+  EXPECT_EQ(validator.status().code(), ErrorCode::ScopeMismatch);
+}
+
+TEST(ValidatorTest, FlagsNonSequentialIterationNumbers) {
+  DiagSink diags;
+  Validator validator(&diags);
+  RegionInfo loop;
+  loop.id = RegionId{1};
+  loop.kind = RegionKind::Loop;
+  loop.name = "l";
+  validator.on_region_enter(loop);
+  validator.on_iteration(loop, 0);
+  validator.on_iteration(loop, 2);  // skipped iteration 1
+  EXPECT_EQ(validator.violations(), 1u);
+  EXPECT_EQ(validator.status().code(), ErrorCode::MalformedRecord);
+  EXPECT_EQ(diags.count(ErrorCode::MalformedRecord), 1u);
+}
+
+TEST(ValidatorTest, FlagsCorruptAccessEvents) {
+  Validator validator;
+  AccessEvent access;
+  access.kind = AccessKind::Read;
+  access.var = VarId{0};
+  access.cost = Validator::kCostSanityCap + 1;  // wrapped negative cost
+  access.op = UpdateOp::Sum;                    // update-op on a read
+  validator.on_access(access);
+  EXPECT_EQ(validator.violations(), 2u);
+  EXPECT_EQ(validator.status().code(), ErrorCode::MalformedRecord);
+}
+
+TEST(ValidatorTest, FlagsScopesLeftOpenAtTraceEnd) {
+  Validator validator;
+  RegionInfo loop;
+  loop.id = RegionId{0};
+  loop.kind = RegionKind::Loop;
+  loop.name = "l";
+  validator.on_region_enter(loop);
+  validator.on_trace_end();
+  EXPECT_FALSE(validator.ok());
+  EXPECT_EQ(validator.status().code(), ErrorCode::UnclosedScope);
+}
+
+TEST(FailureHandlerTest, ThrowingHandlerTurnsAssertionsIntoExceptions) {
+  support::ScopedFailureHandler guard(&support::throwing_failure_handler);
+  try {
+    support::assert_fail("x == y", "file.cpp", 12, "context");
+    FAIL() << "assert_fail must not return";
+  } catch (const support::AssertionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("x == y"), std::string::npos) << what;
+    EXPECT_NE(what.find("file.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(FailureHandlerTest, ScopedGuardRestoresThePreviousHandler) {
+  const support::FailureHandler before = support::failure_handler();
+  {
+    support::ScopedFailureHandler guard(&support::throwing_failure_handler);
+    EXPECT_EQ(support::failure_handler(), &support::throwing_failure_handler);
+  }
+  EXPECT_EQ(support::failure_handler(), before);
+}
+
+TEST(FailureHandlerTest, ContextMisuseThrowsInsteadOfAborting) {
+  support::ScopedFailureHandler guard(&support::throwing_failure_handler);
+  TraceContext ctx;
+  FunctionScope f(ctx, "f", 1);
+  EXPECT_THROW(ctx.finish(), support::AssertionError);  // region still active
+}
+
+TEST(StatusTest, FormatsCodeMessageAndLine) {
+  EXPECT_STREQ(support::to_string(ErrorCode::MalformedRecord), "malformed-record");
+  EXPECT_EQ(Status::ok().to_string(), "ok");
+  EXPECT_EQ(Status::error(ErrorCode::ScopeMismatch, "oops", 7).to_string(),
+            "scope-mismatch: oops (line 7)");
+  EXPECT_EQ(Status::error(ErrorCode::InvalidDag, "cycle").to_string(),
+            "invalid-dag: cycle");
+}
+
+TEST(DiagSinkTest, RetainsUpToTheCapButCountsEverything) {
+  DiagSink sink;
+  for (std::uint64_t i = 0; i < 1500; ++i) {
+    sink.report(support::Diag{ErrorCode::UnknownTag, i + 1, "x"});
+  }
+  EXPECT_EQ(sink.diags().size(), DiagSink::kMaxRetained);
+  EXPECT_EQ(sink.total(), 1500u);
+  EXPECT_EQ(sink.count(ErrorCode::UnknownTag), DiagSink::kMaxRetained);
+  sink.clear();
+  EXPECT_TRUE(sink.empty());
+}
+
+}  // namespace
+}  // namespace ppd::trace

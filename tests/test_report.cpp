@@ -82,34 +82,40 @@ TEST(InstrumentationDeath, IterationOutsideInnermostLoopAborts) {
       "innermost loop");
 }
 
-TEST(InstrumentationDeath, TooDeepLoopNestAborts) {
-  EXPECT_DEATH(
-      {
-        trace::TraceContext ctx;
-        prof::DependenceProfiler profiler;
-        ctx.add_sink(&profiler);
-        // Deeper than InlineLoopStack::kMaxDepth (8).
-        trace::LoopScope l0(ctx, "l0", 1);
-        l0.begin_iteration();
-        trace::LoopScope l1(ctx, "l1", 1);
-        l1.begin_iteration();
-        trace::LoopScope l2(ctx, "l2", 1);
-        l2.begin_iteration();
-        trace::LoopScope l3(ctx, "l3", 1);
-        l3.begin_iteration();
-        trace::LoopScope l4(ctx, "l4", 1);
-        l4.begin_iteration();
-        trace::LoopScope l5(ctx, "l5", 1);
-        l5.begin_iteration();
-        trace::LoopScope l6(ctx, "l6", 1);
-        l6.begin_iteration();
-        trace::LoopScope l7(ctx, "l7", 1);
-        l7.begin_iteration();
-        trace::LoopScope l8(ctx, "l8", 1);
-        l8.begin_iteration();
-        ctx.write(ctx.var("v"), 0, 2);
-      },
-      "loop nesting deeper");
+// Untrusted (replayed) traces may nest loops deeper than the profiler's
+// inline records support; such accesses are ignored and counted rather than
+// killing the process.
+TEST(Instrumentation, TooDeepLoopNestIsIgnoredAndCounted) {
+  trace::TraceContext ctx;
+  prof::DependenceProfiler profiler;
+  ctx.add_sink(&profiler);
+  {
+    // Deeper than InlineLoopStack::kMaxDepth (8).
+    trace::LoopScope l0(ctx, "l0", 1);
+    l0.begin_iteration();
+    trace::LoopScope l1(ctx, "l1", 1);
+    l1.begin_iteration();
+    trace::LoopScope l2(ctx, "l2", 1);
+    l2.begin_iteration();
+    trace::LoopScope l3(ctx, "l3", 1);
+    l3.begin_iteration();
+    trace::LoopScope l4(ctx, "l4", 1);
+    l4.begin_iteration();
+    trace::LoopScope l5(ctx, "l5", 1);
+    l5.begin_iteration();
+    trace::LoopScope l6(ctx, "l6", 1);
+    l6.begin_iteration();
+    trace::LoopScope l7(ctx, "l7", 1);
+    l7.begin_iteration();
+    trace::LoopScope l8(ctx, "l8", 1);
+    l8.begin_iteration();
+    ctx.write(ctx.var("v"), 0, 2);
+    EXPECT_EQ(profiler.ignored_events(), 1u);
+    EXPECT_EQ(profiler.dependence_count(), 0u);
+    // Within the supported depth the profiler keeps working.
+  }
+  ctx.read(ctx.var("v"), 0, 3);
+  EXPECT_EQ(profiler.ignored_events(), 1u);
 }
 
 }  // namespace

@@ -41,6 +41,55 @@ TEST(TaskGroup, PropagatesFirstException) {
   EXPECT_THROW(group.wait(), std::runtime_error);
 }
 
+TEST(ThreadPool, SubmitAfterShutdownIsADefinedError) {
+  ThreadPool pool(2);
+  pool.submit([] {});
+  pool.shutdown();
+  EXPECT_TRUE(pool.is_shut_down());
+  try {
+    pool.submit([] { FAIL() << "must not run"; });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("pool-shutdown"), std::string::npos)
+        << e.what();
+  }
+  pool.shutdown();  // idempotent
+}
+
+TEST(TaskGroup, SingleTaskErrorIsRethrownUnwrapped) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.run([] { throw std::invalid_argument("sole failure"); });
+  // The original exception type survives when nothing was suppressed.
+  EXPECT_THROW(group.wait(), std::invalid_argument);
+}
+
+TEST(TaskGroup, AggregatesSuppressedErrorCountIntoTheMessage) {
+  ThreadPool pool(4);
+  TaskGroup group(pool);
+  for (int i = 0; i < 5; ++i) {
+    group.run([] { throw std::runtime_error("task boom"); });
+  }
+  group.run([] {});
+  try {
+    group.wait();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("task boom"), std::string::npos) << what;
+    EXPECT_NE(what.find("(+4 more task error(s) suppressed)"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(TaskGroup, RunOnShutDownPoolRollsTheForkBack) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  TaskGroup group(pool);
+  EXPECT_THROW(group.run([] {}), std::runtime_error);
+  group.wait();  // pending was rolled back; this must not hang
+}
+
 TEST(TaskGroup, WaitIsReusable) {
   ThreadPool pool(2);
   TaskGroup group(pool);

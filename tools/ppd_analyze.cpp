@@ -8,7 +8,16 @@
 //   ppd-analyze <benchmark> --dot PREFIX     also write PREFIX.pet.dot / PREFIX.cu.dot
 //   ppd-analyze <benchmark> --comm on        print the communication matrix (§II [16])
 //   ppd-analyze <benchmark> --omp on         print OpenMP skeletons per pattern
-//   ppd-analyze --trace F                    analyze a previously dumped trace
+//   ppd-analyze --trace F [--strict|--lenient] [--max-records N]
+//                                            analyze a previously dumped trace
+//
+// Traces are untrusted input: --strict (the default) stops at the first
+// malformed record with a diagnostic naming the offending line; --lenient
+// drops bad records, repairs unbalanced scopes at EOF, and completes a
+// degraded analysis, reporting what was dropped in the diagnostics section.
+//
+// Exit codes: 0 success; 1 I/O error; 2 usage; 3 malformed trace;
+// 4 analysis failure.
 //
 // The report covers: the PET with hotspots, the detected patterns (primary
 // first), multi-loop pipeline coefficients with the Table II reading,
@@ -16,6 +25,7 @@
 // classification of the best task-parallel scope, the ranked pattern list,
 // and the derived transformation hints.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -27,18 +37,28 @@
 #include "core/analyzer.hpp"
 #include "core/omp_codegen.hpp"
 #include "report/markdown.hpp"
+#include "support/status.hpp"
 #include "trace/serialize.hpp"
+#include "trace/validator.hpp"
 
 namespace {
 
 using namespace ppd;
 
+constexpr int kExitOk = 0;
+constexpr int kExitIo = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitBadTrace = 3;
+constexpr int kExitAnalysis = 4;
+
 int usage() {
   std::puts("usage: ppd-analyze --list");
   std::puts("       ppd-analyze <benchmark> [--dump-trace FILE] [--markdown FILE]");
   std::puts("                   [--dot PREFIX] [--comm on] [--omp on]");
-  std::puts("       ppd-analyze --trace FILE");
-  return 2;
+  std::puts("       ppd-analyze --trace FILE [--strict|--lenient] [--max-records N]");
+  std::puts("exit codes: 0 ok, 1 i/o error, 2 usage, 3 malformed trace,");
+  std::puts("            4 analysis failure");
+  return kExitUsage;
 }
 
 void print_report(const core::AnalysisResult& result, const trace::TraceContext& ctx) {
@@ -110,6 +130,66 @@ void print_report(const core::AnalysisResult& result, const trace::TraceContext&
   }
 }
 
+void print_diagnostics(const trace::ReplayResult& replay, const support::DiagSink& diags,
+                       const trace::Validator& validator, trace::ReplayMode mode) {
+  std::puts("== Diagnostics ==");
+  std::printf("  mode: %s\n",
+              mode == trace::ReplayMode::Strict ? "strict" : "lenient");
+  std::printf("  records replayed: %llu, dropped: %llu, repaired scopes: %llu\n",
+              static_cast<unsigned long long>(replay.records),
+              static_cast<unsigned long long>(replay.dropped),
+              static_cast<unsigned long long>(replay.repaired_scopes));
+  std::printf("  stream-invariant violations: %llu\n",
+              static_cast<unsigned long long>(validator.violations()));
+  constexpr std::size_t kMaxShown = 10;
+  std::size_t shown = 0;
+  for (const support::Diag& d : diags.diags()) {
+    if (shown++ == kMaxShown) break;
+    std::printf("  - %s\n", d.to_string().c_str());
+  }
+  if (diags.total() > kMaxShown) {
+    std::printf("  ... and %llu more\n",
+                static_cast<unsigned long long>(diags.total() - kMaxShown));
+  }
+  std::puts("");
+}
+
+int analyze_trace_file(const char* path, trace::ReplayOptions options) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open trace file '%s'\n", path);
+    return kExitIo;
+  }
+
+  trace::TraceContext ctx;
+  core::PatternAnalyzer analyzer(ctx);
+  support::DiagSink diags;
+  trace::Validator validator(&diags);
+  ctx.add_sink(&validator);
+  options.diags = &diags;
+
+  const trace::ReplayResult replay = trace::replay_trace(in, ctx, options);
+  if (!replay.status.is_ok()) {
+    std::fprintf(stderr, "replay failed: %s\n", replay.status.to_string().c_str());
+    return kExitBadTrace;
+  }
+  std::printf("replayed %llu records from %s\n\n",
+              static_cast<unsigned long long>(replay.records), path);
+  if (replay.dropped != 0 || replay.repaired_scopes != 0 || !validator.ok() ||
+      !diags.empty()) {
+    print_diagnostics(replay, diags, validator, options.mode);
+  }
+
+  try {
+    const core::AnalysisResult result = analyzer.analyze();
+    print_report(result, ctx);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "analysis failed: %s\n", e.what());
+    return kExitAnalysis;
+  }
+  return kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -120,35 +200,33 @@ int main(int argc, char** argv) {
       std::printf("%-14s (%s) -- paper: %s\n", b->paper().name, b->paper().suite,
                   b->paper().pattern);
     }
-    return 0;
+    return kExitOk;
   }
 
   if (std::strcmp(argv[1], "--trace") == 0) {
     if (argc < 3) return usage();
-    std::ifstream in(argv[2]);
-    if (!in) {
-      std::fprintf(stderr, "cannot open trace file '%s'\n", argv[2]);
-      return 1;
+    trace::ReplayOptions options;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--strict") == 0) {
+        options.mode = trace::ReplayMode::Strict;
+      } else if (std::strcmp(argv[i], "--lenient") == 0) {
+        options.mode = trace::ReplayMode::Lenient;
+      } else if (std::strcmp(argv[i], "--max-records") == 0 && i + 1 < argc) {
+        char* end = nullptr;
+        const unsigned long long cap = std::strtoull(argv[++i], &end, 10);
+        if (end == nullptr || *end != '\0' || cap == 0) return usage();
+        options.limits.max_records = cap;
+      } else {
+        return usage();
+      }
     }
-    trace::TraceContext ctx;
-    core::PatternAnalyzer analyzer(ctx);
-    try {
-      const std::uint64_t records = trace::replay_trace(in, ctx);
-      std::printf("replayed %llu records from %s\n\n",
-                  static_cast<unsigned long long>(records), argv[2]);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "replay failed: %s\n", e.what());
-      return 1;
-    }
-    const core::AnalysisResult result = analyzer.analyze();
-    print_report(result, ctx);
-    return 0;
+    return analyze_trace_file(argv[2], options);
   }
 
   const bs::Benchmark* benchmark = bs::find_benchmark(argv[1]);
   if (benchmark == nullptr) {
     std::fprintf(stderr, "unknown benchmark '%s' (try --list)\n", argv[1]);
-    return 1;
+    return kExitUsage;
   }
 
   trace::TraceContext ctx;
@@ -184,49 +262,54 @@ int main(int argc, char** argv) {
     dump = std::make_unique<std::ofstream>(dump_path);
     if (!*dump) {
       std::fprintf(stderr, "cannot write trace file '%s'\n", dump_path);
-      return 1;
+      return kExitIo;
     }
     writer = std::make_unique<trace::TraceWriter>(ctx, *dump);
     ctx.add_sink(writer.get());
   }
 
-  benchmark->run_traced(ctx);
-  const core::AnalysisResult result = analyzer.analyze();
-  if (writer != nullptr) {
-    std::printf("trace written: %llu records\n\n",
-                static_cast<unsigned long long>(writer->records_written()));
-  }
-  print_report(result, ctx);
-
-  if (want_comm) {
-    std::puts("\n== Communication characterization ==");
-    std::fputs(comm_profiler.build(result.profile).render(ctx).c_str(), stdout);
-  }
-
-  if (want_omp) {
-    std::puts("\n== OpenMP skeletons ==");
-    for (const core::OmpSuggestion& s : core::generate_openmp(result, ctx)) {
-      std::printf("\n%s\n  // note: %s\n", s.construct.c_str(), s.note.c_str());
+  try {
+    benchmark->run_traced(ctx);
+    const core::AnalysisResult result = analyzer.analyze();
+    if (writer != nullptr) {
+      std::printf("trace written: %llu records\n\n",
+                  static_cast<unsigned long long>(writer->records_written()));
     }
-  }
+    print_report(result, ctx);
 
-  if (markdown_path != nullptr) {
-    std::ofstream md(markdown_path);
-    md << report::markdown_report(result, ctx, benchmark->paper().name);
-    std::printf("\nmarkdown report written to %s\n", markdown_path);
-  }
-  if (dot_prefix != nullptr) {
-    {
-      std::ofstream pet_dot(std::string(dot_prefix) + ".pet.dot");
-      pet_dot << report::pet_to_dot(result.pet);
+    if (want_comm) {
+      std::puts("\n== Communication characterization ==");
+      std::fputs(comm_profiler.build(result.profile).render(ctx).c_str(), stdout);
     }
-    const core::ScopeTaskParallelism* tasks = result.primary_tasks();
-    if (tasks == nullptr && !result.tasks.empty()) tasks = &result.tasks.front();
-    if (tasks != nullptr) {
-      std::ofstream cu_dot(std::string(dot_prefix) + ".cu.dot");
-      cu_dot << report::cu_graph_to_dot(tasks->graph, &tasks->tp);
+
+    if (want_omp) {
+      std::puts("\n== OpenMP skeletons ==");
+      for (const core::OmpSuggestion& s : core::generate_openmp(result, ctx)) {
+        std::printf("\n%s\n  // note: %s\n", s.construct.c_str(), s.note.c_str());
+      }
     }
-    std::printf("Graphviz files written with prefix %s\n", dot_prefix);
+
+    if (markdown_path != nullptr) {
+      std::ofstream md(markdown_path);
+      md << report::markdown_report(result, ctx, benchmark->paper().name);
+      std::printf("\nmarkdown report written to %s\n", markdown_path);
+    }
+    if (dot_prefix != nullptr) {
+      {
+        std::ofstream pet_dot(std::string(dot_prefix) + ".pet.dot");
+        pet_dot << report::pet_to_dot(result.pet);
+      }
+      const core::ScopeTaskParallelism* tasks = result.primary_tasks();
+      if (tasks == nullptr && !result.tasks.empty()) tasks = &result.tasks.front();
+      if (tasks != nullptr) {
+        std::ofstream cu_dot(std::string(dot_prefix) + ".cu.dot");
+        cu_dot << report::cu_graph_to_dot(tasks->graph, &tasks->tp);
+      }
+      std::printf("Graphviz files written with prefix %s\n", dot_prefix);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "analysis failed: %s\n", e.what());
+    return kExitAnalysis;
   }
-  return 0;
+  return kExitOk;
 }
