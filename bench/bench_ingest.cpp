@@ -1,0 +1,189 @@
+// Ingestion throughput: text replay vs the .ppdt binary container.
+//
+// The binary container exists to make trace ingestion fast: varint/delta
+// decode beats text parsing per event, and independent chunks let the
+// decode fan out over a thread pool. This benchmark measures both effects
+// on an amplified trace (the recorded stream body repeated many times —
+// definitions are idempotent, so the amplified text is a valid trace):
+//
+//   * text replay throughput (the baseline every PR-3 user pays today),
+//   * binary replay at 1/2/4/8 decode jobs.
+//
+// Results are printed as JSON to stdout and written to BENCH_ingest.json.
+// Each configuration reports events/s and MB/s (input bytes over wall
+// time); speedups are derived from the single-thread text baseline.
+// Machines with few cores will show flat parallel scaling — the
+// single-thread binary-vs-text ratio is the portable number.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bs/benchmark.hpp"
+#include "store/reader.hpp"
+#include "store/writer.hpp"
+#include "trace/context.hpp"
+#include "trace/serialize.hpp"
+
+namespace {
+
+using namespace ppd;
+
+constexpr int kAmplify = 40;   // body repetitions in the amplified trace
+constexpr int kReps = 3;       // timing repetitions; best (min) is reported
+
+std::string record_text_trace(const bs::Benchmark& benchmark) {
+  std::ostringstream out;
+  trace::TraceContext ctx;
+  trace::TraceWriter writer(ctx, out);
+  ctx.add_sink(&writer);
+  benchmark.run_traced(ctx);
+  ctx.finish();
+  return out.str();
+}
+
+/// Repeats the record body of a text trace `times` times. Definitions are
+/// idempotent on replay and every repetition is scope-balanced, so the
+/// amplified text is itself a well-formed trace with `times` x the events.
+std::string amplify(const std::string& text, int times) {
+  const std::size_t eol = text.find('\n');
+  const std::string header = text.substr(0, eol + 1);
+  const std::string body = text.substr(eol + 1);
+  std::string out = header;
+  out.reserve(header.size() + body.size() * static_cast<std::size_t>(times));
+  for (int i = 0; i < times; ++i) out += body;
+  return out;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct Measurement {
+  double seconds = 0;
+  std::uint64_t records = 0;
+};
+
+template <typename Fn>
+Measurement best_of(Fn&& run) {
+  Measurement best;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const Measurement m = run();
+    if (rep == 0 || m.seconds < best.seconds) best = m;
+  }
+  return best;
+}
+
+Measurement run_text(const std::string& text) {
+  const auto start = std::chrono::steady_clock::now();
+  trace::TraceContext ctx;
+  std::istringstream in(text);
+  const trace::ReplayResult result = trace::replay_trace(in, ctx, trace::ReplayOptions{});
+  Measurement m;
+  m.seconds = seconds_since(start);
+  m.records = result.status.is_ok() ? result.records : 0;
+  return m;
+}
+
+Measurement run_binary(const std::string& binary, std::size_t jobs) {
+  const auto start = std::chrono::steady_clock::now();
+  trace::TraceContext ctx;
+  store::ReadOptions options;
+  options.jobs = jobs;
+  const store::ReadResult result = store::read_trace(binary, ctx, options);
+  Measurement m;
+  m.seconds = seconds_since(start);
+  m.records = result.status.is_ok() ? result.records : 0;
+  return m;
+}
+
+void emit_config(std::string& json, const char* name, const Measurement& m,
+                 std::size_t input_bytes, double baseline_seconds, bool last) {
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "    {\"config\": \"%s\", \"seconds\": %.6f, "
+                "\"events_per_sec\": %.0f, \"mb_per_sec\": %.2f, "
+                "\"speedup_vs_text\": %.2f}%s\n",
+                name, m.seconds,
+                m.seconds > 0 ? static_cast<double>(m.records) / m.seconds : 0.0,
+                m.seconds > 0
+                    ? static_cast<double>(input_bytes) / (1e6 * m.seconds)
+                    : 0.0,
+                m.seconds > 0 ? baseline_seconds / m.seconds : 0.0,
+                last ? "" : ",");
+  json += buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* name = argc > 1 ? argv[1] : "2mm";
+  const bs::Benchmark* benchmark = bs::find_benchmark(name);
+  if (benchmark == nullptr) {
+    std::fprintf(stderr, "benchmark %s not registered\n", name);
+    return 1;
+  }
+
+  const std::string text = amplify(record_text_trace(*benchmark), kAmplify);
+
+  // text -> binary conversion, small chunks so the decode has real fan-out.
+  std::ostringstream binary_out;
+  {
+    trace::TraceContext ctx;
+    store::BinaryTraceWriter::Options options;
+    options.target_chunk_bytes = std::uint32_t{1} << 14;
+    store::BinaryTraceWriter writer(ctx, binary_out, options);
+    ctx.add_sink(&writer);
+    std::istringstream in(text);
+    const trace::ReplayResult replay =
+        trace::replay_trace(in, ctx, trace::ReplayOptions{});
+    if (!replay.status.is_ok()) {
+      std::fprintf(stderr, "amplified trace did not replay: %s\n",
+                   replay.status.to_string().c_str());
+      return 1;
+    }
+  }
+  const std::string binary = binary_out.str();
+
+  const Measurement text_m = best_of([&] { return run_text(text); });
+  if (text_m.records == 0) {
+    std::fprintf(stderr, "text replay failed\n");
+    return 1;
+  }
+
+  std::string json = "{\n";
+  {
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "  \"benchmark\": \"%s\", \"amplify\": %d, \"events\": %llu,\n"
+                  "  \"text_bytes\": %zu, \"binary_bytes\": %zu,\n"
+                  "  \"configs\": [\n",
+                  name, kAmplify, static_cast<unsigned long long>(text_m.records),
+                  text.size(), binary.size());
+    json += buffer;
+  }
+  emit_config(json, "text_1t", text_m, text.size(), text_m.seconds, false);
+
+  const std::size_t job_counts[] = {1, 2, 4, 8};
+  for (std::size_t i = 0; i < std::size(job_counts); ++i) {
+    const std::size_t jobs = job_counts[i];
+    const Measurement m = best_of([&] { return run_binary(binary, jobs); });
+    if (m.records != text_m.records) {
+      std::fprintf(stderr, "binary replay record mismatch at jobs=%zu\n", jobs);
+      return 1;
+    }
+    char config[32];
+    std::snprintf(config, sizeof(config), "binary_%zuj", jobs);
+    emit_config(json, config, m, binary.size(), text_m.seconds,
+                i + 1 == std::size(job_counts));
+  }
+  json += "  ]\n}\n";
+
+  std::fputs(json.c_str(), stdout);
+  std::ofstream out("BENCH_ingest.json", std::ios::trunc);
+  out << json;
+  return out ? 0 : 1;
+}

@@ -1,0 +1,184 @@
+#include "store/batch.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "rt/thread_pool.hpp"
+#include "store/format.hpp"
+#include "support/status.hpp"
+
+namespace ppd::store {
+namespace {
+
+using support::ErrorCode;
+using support::Status;
+
+constexpr std::string_view kTextHeader = "ppd-trace 1";
+constexpr std::string_view kCacheHeader = "ppd-report 1";
+
+/// Cache entries are framed so a torn write is detected and treated as a
+/// miss: "ppd-report 1 <key-hex> <length>\n" followed by the report bytes.
+std::string frame_cache_entry(std::uint64_t key, std::string_view report) {
+  char header[64];
+  std::snprintf(header, sizeof(header), "%s %016llx %zu\n",
+                std::string(kCacheHeader).c_str(),
+                static_cast<unsigned long long>(key), report.size());
+  return std::string(header) + std::string(report);
+}
+
+bool parse_cache_entry(const std::string& bytes, std::uint64_t key,
+                       std::string& report) {
+  const std::size_t eol = bytes.find('\n');
+  if (eol == std::string::npos) return false;
+  std::istringstream header(bytes.substr(0, eol));
+  std::string tag;
+  std::string version;
+  std::string key_hex;
+  std::size_t length = 0;
+  if (!(header >> tag >> version >> key_hex >> length)) return false;
+  if (tag + " " + version != kCacheHeader) return false;
+  char expected[32];
+  std::snprintf(expected, sizeof(expected), "%016llx",
+                static_cast<unsigned long long>(key));
+  if (key_hex != expected) return false;
+  if (bytes.size() - eol - 1 != length) return false;
+  report = bytes.substr(eol + 1);
+  return true;
+}
+
+/// Atomic-enough cache store: write a sibling temp file, then rename over.
+void store_cache_entry(const std::string& path, std::uint64_t key,
+                       std::string_view report) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;  // cache is best-effort; failure to store is not an error
+    const std::string framed = frame_cache_entry(key, report);
+    out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+    if (!out) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+}
+
+void process_one(const std::string& path, const BatchOptions& options,
+                 const AnalyzeFn& analyze, BatchItem& item) {
+  item.path = path;
+  std::string bytes;
+  if (!slurp_file(path, bytes)) {
+    item.status = Status::error(ErrorCode::IoError,
+                                "cannot read trace file '" + path + "'");
+    item.log = "cannot read trace file '" + path + "'\n";
+    return;
+  }
+  item.key = content_key(bytes, options.salt);
+
+  const bool use_cache = !options.cache_dir.empty();
+  const std::string entry_path =
+      use_cache ? cache_path(options.cache_dir, item.key) : std::string();
+  if (use_cache && !options.refresh) {
+    std::string cached;
+    if (slurp_file(entry_path, cached) &&
+        parse_cache_entry(cached, item.key, item.report)) {
+      item.cached = true;
+      item.status = Status::ok();
+      item.log = "served from cache (" + entry_path + ")\n";
+      return;
+    }
+  }
+
+  AnalyzeOutcome outcome = analyze(path, bytes);
+  item.status = outcome.status;
+  item.report = std::move(outcome.report);
+  item.log = std::move(outcome.log);
+  if (use_cache && outcome.cacheable && item.status.is_ok()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.cache_dir, ec);
+    store_cache_entry(entry_path, item.key, item.report);
+  }
+}
+
+}  // namespace
+
+std::uint64_t content_key(std::string_view bytes, std::uint64_t salt) {
+  return fnv1a64(bytes, kFnv1aOffset ^ salt);
+}
+
+std::string cache_path(const std::string& dir, std::uint64_t key) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.ppdr",
+                static_cast<unsigned long long>(key));
+  return (std::filesystem::path(dir) / name).string();
+}
+
+bool slurp_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return false;
+  out = buffer.str();
+  return true;
+}
+
+bool is_trace_content(std::string_view bytes) {
+  if (is_binary_trace(bytes)) return true;
+  return bytes.substr(0, kTextHeader.size()) == kTextHeader;
+}
+
+std::vector<std::string> find_traces(const std::string& path) {
+  std::vector<std::string> traces;
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+      if (!entry.is_regular_file(ec)) continue;
+      std::string bytes;
+      // Sniff just enough of the file to recognize either format.
+      std::ifstream in(entry.path(), std::ios::binary);
+      char head[16] = {};
+      in.read(head, sizeof(head));
+      if (is_trace_content(std::string_view(head, static_cast<std::size_t>(in.gcount())))) {
+        traces.push_back(entry.path().string());
+      }
+    }
+    std::sort(traces.begin(), traces.end());
+  } else {
+    traces.push_back(path);
+  }
+  return traces;
+}
+
+BatchSummary analyze_batch(const std::vector<std::string>& paths,
+                           const BatchOptions& options, const AnalyzeFn& analyze) {
+  BatchSummary summary;
+  summary.items.resize(paths.size());
+  if (options.jobs > 1 && paths.size() > 1) {
+    rt::ThreadPool pool(std::min(options.jobs, paths.size()));
+    rt::TaskGroup group(pool);
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      group.run([&, i] { process_one(paths[i], options, analyze, summary.items[i]); });
+    }
+    group.wait();
+  } else {
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      process_one(paths[i], options, analyze, summary.items[i]);
+    }
+  }
+  for (const BatchItem& item : summary.items) {
+    if (!item.status.is_ok()) ++summary.failures;
+    if (item.cached) ++summary.cache_hits;
+  }
+  return summary;
+}
+
+}  // namespace ppd::store

@@ -1,0 +1,93 @@
+// Batch analysis driver: many traces, one invocation.
+//
+// Evaluating a detector means sweeping whole benchmark suites repeatedly
+// (Barakhshan & Eigenmann 2022 re-run NAS many times); the batch driver
+// turns that sweep into a single command. Traces are analyzed concurrently
+// on a thread pool — one task per trace, each with its own TraceContext —
+// and the per-trace outputs are collected into input order, so stdout is
+// deterministic regardless of scheduling.
+//
+// A content-hash keyed artifact cache skips traces whose bytes (and
+// analysis configuration, folded into the key as a salt) have not changed:
+// the rendered report is stored under `<cache_dir>/<key>.ppdr` and replayed
+// verbatim on the next run. Only clean analyses (Ok status, caller marked
+// them cacheable) are stored, so degraded runs keep reproducing their
+// diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace ppd::store {
+
+struct BatchOptions {
+  /// Concurrent analysis tasks (and thread-pool size).
+  std::size_t jobs = 1;
+  /// Directory for cached reports; empty disables the cache.
+  std::string cache_dir;
+  /// Folded into every content key; callers mix in everything that changes
+  /// the report (replay mode, limits, tool/format version).
+  std::uint64_t salt = 0;
+  /// Re-analyze even on a cache hit (fresh results still refresh the cache).
+  bool refresh = false;
+};
+
+/// What the per-trace analysis callback produced.
+struct AnalyzeOutcome {
+  support::Status status;
+  std::string report;     ///< the stdout payload
+  std::string log;        ///< progress/diagnostics, kept off stdout
+  bool cacheable = true;  ///< false: never store (e.g. degraded analyses)
+};
+
+/// One per-trace result in the batch summary.
+struct BatchItem {
+  std::string path;
+  support::Status status;
+  std::string report;
+  std::string log;
+  bool cached = false;  ///< report served from the artifact cache
+  std::uint64_t key = 0;
+};
+
+struct BatchSummary {
+  std::vector<BatchItem> items;  ///< in input order
+  std::size_t failures = 0;
+  std::size_t cache_hits = 0;
+};
+
+/// Analysis callback: receives the trace path and its raw bytes.
+using AnalyzeFn =
+    std::function<AnalyzeOutcome(const std::string& path, const std::string& bytes)>;
+
+/// Analyzes every path concurrently (`options.jobs` workers), consulting and
+/// populating the artifact cache. Missing/unreadable files become failed
+/// items, not exceptions.
+[[nodiscard]] BatchSummary analyze_batch(const std::vector<std::string>& paths,
+                                         const BatchOptions& options,
+                                         const AnalyzeFn& analyze);
+
+/// Content key of one trace: FNV-1a over the bytes, seeded with the salt.
+[[nodiscard]] std::uint64_t content_key(std::string_view bytes, std::uint64_t salt);
+
+/// `<dir>/<key as hex>.ppdr`.
+[[nodiscard]] std::string cache_path(const std::string& dir, std::uint64_t key);
+
+/// Binary-safe file slurp; false on any I/O error.
+[[nodiscard]] bool slurp_file(const std::string& path, std::string& out);
+
+/// True when the bytes look like either trace format (text header or .ppdt
+/// magic) — the batch scanner's admission test.
+[[nodiscard]] bool is_trace_content(std::string_view bytes);
+
+/// Non-recursive scan of `dir` for trace files (by content sniff), sorted by
+/// path for deterministic batch order. A path that is already a file is
+/// returned as-is.
+[[nodiscard]] std::vector<std::string> find_traces(const std::string& path);
+
+}  // namespace ppd::store

@@ -1,0 +1,86 @@
+#include "store/format.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace ppd::store {
+namespace {
+
+// Slice-by-8 CRC-32: table[0] is the classic byte-at-a-time table; table[k]
+// advances a byte through k additional zero bytes, so eight input bytes fold
+// in one step. CRC-ing every chunk is a fixed per-byte cost of ingestion,
+// and this cuts it several-fold.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    tables[0][i] = c;
+  }
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      tables[k][i] = tables[0][tables[k - 1][i] & 0xFFu] ^ (tables[k - 1][i] >> 8);
+    }
+  }
+  return tables;
+}
+
+constexpr std::array<std::array<std::uint32_t, 256>, 8> kCrcTables = make_crc_tables();
+
+}  // namespace
+
+bool is_binary_trace(std::string_view bytes) {
+  return bytes.size() >= kMagicSize &&
+         std::memcmp(bytes.data(), kMagic, kMagicSize) == 0;
+}
+
+std::uint32_t crc32(std::string_view bytes) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  const char* p = bytes.data();
+  std::size_t n = bytes.size();
+  while (n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    c ^= lo;  // assumes little-endian, like the rest of the on-disk format
+    c = kCrcTables[7][c & 0xFFu] ^ kCrcTables[6][(c >> 8) & 0xFFu] ^
+        kCrcTables[5][(c >> 16) & 0xFFu] ^ kCrcTables[4][c >> 24] ^
+        kCrcTables[3][hi & 0xFFu] ^ kCrcTables[2][(hi >> 8) & 0xFFu] ^
+        kCrcTables[1][(hi >> 16) & 0xFFu] ^ kCrcTables[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  for (; n != 0; ++p, --n) {
+    c = kCrcTables[0][(c ^ static_cast<unsigned char>(*p)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (const char byte : bytes) {
+    hash ^= static_cast<unsigned char>(byte);
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+void put_u32le(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xFFu));
+  out.push_back(static_cast<char>((value >> 8) & 0xFFu));
+  out.push_back(static_cast<char>((value >> 16) & 0xFFu));
+  out.push_back(static_cast<char>((value >> 24) & 0xFFu));
+}
+
+void put_varint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80u) {
+    out.push_back(static_cast<char>(0x80u | (value & 0x7Fu)));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+}  // namespace ppd::store

@@ -1,0 +1,183 @@
+// ppd::store — compact binary trace container (.ppdt), format version 1.
+//
+// The paper's workflow dumps the whole dynamic event stream to a file and
+// post-analyzes it (§III-A). The text format of ppd::trace reproduces that
+// faithfully but replays at parser speed on one thread; this container is
+// the production ingestion format: the same event stream, varint/delta
+// encoded into independently decodable chunks so a reader can fan the
+// decode out over a thread pool and still dispatch events in exact
+// program order.
+//
+// Layout (all fixed-width integers little-endian, varints LEB128):
+//
+//   file    := magic sections trailer
+//   magic   := "PPDT" 0x01 "\r\n" 0x00                   (8 bytes)
+//   section := kind:u8  payload_len:u32  record_count:u32  crc32:u32  payload
+//   trailer := footer_section_len:u32  "PPDF"            (8 bytes)
+//
+// Section kinds:
+//   Events      — a chunk of encoded event records. Delta baselines (variable
+//                 id, element index, source line) reset at every chunk start,
+//                 so chunks decode independently and in parallel.
+//   StringTable — the var/region/statement definitions, in first-use order.
+//                 Replaying them in table order reproduces the exact id
+//                 assignment of a text replay, which keeps detector output
+//                 bit-identical across the two formats.
+//   Footer      — seekable index: per-chunk file offsets and record counts,
+//                 the string-table offset, and the stream totals. Located
+//                 via the fixed-size trailer; when it is damaged, a lenient
+//                 reader falls back to a forward scan of the self-delimiting
+//                 section headers.
+//
+// Every section carries a CRC32 of its payload and its record count, so
+// corruption is detected per chunk: strict readers stop with a Status,
+// lenient readers skip the chunk, report a Diag, and keep going.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ppd::store {
+
+inline constexpr std::size_t kMagicSize = 8;
+inline constexpr char kMagic[kMagicSize] = {'P', 'P', 'D', 'T', 0x01, '\r', '\n', 0x00};
+
+inline constexpr std::size_t kTrailerSize = 8;  // u32 footer section length + "PPDF"
+inline constexpr char kTrailerMagic[4] = {'P', 'P', 'D', 'F'};
+
+/// kind + payload_len + record_count + crc32.
+inline constexpr std::size_t kSectionHeaderSize = 1 + 4 + 4 + 4;
+
+inline constexpr std::uint64_t kFormatVersion = 1;
+
+enum class SectionKind : std::uint8_t {
+  Events = 1,
+  StringTable = 2,
+  Footer = 3,
+};
+
+/// Event record tags. The encodings mirror the text grammar one to one
+/// (serialize.hpp): E X I S P R W C.
+enum class RecordTag : std::uint8_t {
+  RegionEnter = 1,    ///< varint region-id
+  RegionExit = 2,     ///< varint region-id
+  Iteration = 3,      ///< varint loop-id
+  StatementEnter = 4, ///< varint statement-id
+  StatementExit = 5,  ///< varint statement-id
+  Read = 6,           ///< zigzag Δvar, zigzag Δindex, zigzag Δline, varint cost
+  Write = 7,          ///< as Read, plus op:u8
+  Compute = 8,        ///< zigzag Δline, varint cost
+};
+
+/// String-table entry kinds.
+enum class DefKind : std::uint8_t {
+  Var = 1,        ///< varint id, local:u8, varint name_len, name
+  Function = 2,   ///< varint id, varint line, varint name_len, name
+  Loop = 3,       ///< varint id, varint line, varint name_len, name
+  Statement = 4,  ///< varint id, varint line, varint name_len, name
+};
+
+/// Longest accepted definition name; hostile tables cannot balloon memory.
+inline constexpr std::uint64_t kMaxNameLength = 4096;
+
+/// True when `bytes` starts with the .ppdt magic (format sniffing for tools
+/// that accept either the text or the binary trace format).
+[[nodiscard]] bool is_binary_trace(std::string_view bytes);
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `bytes`.
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes);
+
+/// FNV-1a 64-bit content hash, seedable so callers can fold configuration
+/// into the key (the batch driver's cache keying).
+inline constexpr std::uint64_t kFnv1aOffset = 0xCBF29CE484222325ull;
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes,
+                                    std::uint64_t seed = kFnv1aOffset);
+
+// ---- little-endian / varint primitives --------------------------------------
+
+void put_u32le(std::string& out, std::uint32_t value);
+
+/// Appends `value` as LEB128 (7 bits per byte, high bit = continuation).
+void put_varint(std::string& out, std::uint64_t value);
+
+/// Zigzag maps signed deltas onto small unsigned varints.
+[[nodiscard]] constexpr std::uint64_t zigzag(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+[[nodiscard]] constexpr std::int64_t unzigzag(std::uint64_t value) {
+  return static_cast<std::int64_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+
+/// Bounds-checked cursor over a byte span; every read reports truncation
+/// instead of walking off the end, so decoding hostile files is safe.
+/// Defined inline: these reads are the per-field inner loop of the chunk
+/// decoder, and keeping them visible to the caller is worth measurable
+/// ingestion throughput.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] bool read_u8(std::uint8_t& out) {
+    if (remaining() < 1) return false;
+    out = static_cast<std::uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+
+  [[nodiscard]] bool read_u32le(std::uint32_t& out) {
+    if (remaining() < 4) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(bytes_[pos_ + static_cast<std::size_t>(i)]))
+             << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  /// Rejects varints longer than 10 bytes or with set bits past 64.
+  [[nodiscard]] bool read_varint(std::uint64_t& out) {
+    // Fast path: most fields (delta-encoded ids, lines, unit costs) fit a
+    // single byte.
+    if (pos_ < bytes_.size()) {
+      const auto first = static_cast<unsigned char>(bytes_[pos_]);
+      if ((first & 0x80u) == 0) {
+        ++pos_;
+        out = first;
+        return true;
+      }
+    }
+    out = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      if (at_end()) return false;
+      const auto byte = static_cast<unsigned char>(bytes_[pos_++]);
+      const std::uint64_t payload = byte & 0x7Fu;
+      // The 10th byte may only contribute the final bit of a 64-bit value.
+      if (shift == 63 && payload > 1) return false;
+      out |= payload << shift;
+      if ((byte & 0x80u) == 0) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool read_bytes(std::string_view& out, std::size_t count) {
+    if (remaining() < count) return false;
+    out = bytes_.substr(pos_, count);
+    pos_ += count;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+  [[nodiscard]] bool at_end() const { return pos_ >= bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ppd::store

@@ -1,0 +1,790 @@
+#include "store/reader.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "rt/thread_pool.hpp"
+#include "store/format.hpp"
+#include "trace/validator.hpp"
+
+namespace ppd::store {
+namespace {
+
+using support::ErrorCode;
+using support::Status;
+
+struct Section {
+  SectionKind kind = SectionKind::Events;
+  std::uint32_t records = 0;
+  std::uint32_t crc = 0;
+  std::string_view payload;
+  std::uint64_t offset = 0;  ///< absolute offset of the section header
+};
+
+/// One decoded event record; the flat per-chunk shard state.
+struct Rec {
+  RecordTag tag = RecordTag::RegionEnter;
+  std::uint8_t op = 0;
+  std::uint32_t id = 0;
+  std::uint32_t line = 0;
+  std::uint64_t index = 0;
+  std::uint64_t cost = 0;
+};
+
+struct DecodedChunk {
+  std::vector<Rec> recs;
+  Status error;  ///< non-ok: the chunk is corrupt and recs is empty
+};
+
+class BinaryReplayer {
+ public:
+  BinaryReplayer(trace::TraceContext& ctx, const ReadOptions& options)
+      : ctx_(ctx), options_(options) {}
+
+  ReadResult run(std::string_view bytes) {
+    if (Status s = locate_sections(bytes); !s.is_ok()) {
+      result_.status = s;
+      return result_;
+    }
+    result_.chunks = chunks_.size();
+    if (Status s = decode_strtab(); !s.is_ok()) {
+      result_.status = s;
+      return result_;
+    }
+    if (Status s = precheck_record_total(); !s.is_ok()) {
+      result_.status = s;
+      return result_;
+    }
+    if (!dispatch_all(decode_chunks())) return result_;
+    finish();
+    return result_;
+  }
+
+ private:
+  struct VarDef {
+    bool local = false;
+    std::string name;
+    VarId interned;  ///< assigned lazily at first access, like text replay
+  };
+  struct RegionDef {
+    trace::RegionKind kind = trace::RegionKind::Function;
+    SourceLine line = 0;
+    std::string name;
+  };
+  struct StmtDef {
+    SourceLine line = 0;
+    std::string name;
+  };
+
+  // Open scopes, reconstructed with the RAII wrappers on the heap; entries
+  // are destroyed strictly LIFO so the emitted exit events mirror a
+  // well-nested execution (same technique as the text Replayer).
+  struct OpenScope {
+    std::unique_ptr<trace::FunctionScope> function;
+    std::unique_ptr<trace::LoopScope> loop;
+    std::unique_ptr<trace::StatementScope> statement;
+    std::uint32_t file_id = 0;
+    char kind = 0;  // 'f', 'l', 's'
+  };
+
+  [[nodiscard]] bool strict() const {
+    return options_.mode == trace::ReplayMode::Strict;
+  }
+
+  void diag(const Status& status) {
+    if (options_.diags != nullptr) {
+      options_.diags->report(
+          support::Diag{status.code(), status.line(), status.message()});
+    }
+  }
+
+  /// Routes a per-record error: lenient drops and continues (true), strict —
+  /// and resource exhaustion in either mode — stops the replay (false).
+  [[nodiscard]] bool note_record_error(const Status& status) {
+    if (strict() || status.code() == ErrorCode::ResourceLimit) {
+      result_.status = status;
+      unwind_scopes();
+      return false;
+    }
+    diag(status);
+    ++result_.dropped;
+    return true;
+  }
+
+  [[nodiscard]] static std::string name_chunk(std::uint64_t ordinal) {
+    return "chunk " + std::to_string(ordinal);
+  }
+
+  [[nodiscard]] static Status bad_footer(std::string what) {
+    return Status::error(ErrorCode::BadFooter, std::move(what), 1);
+  }
+
+  // ---- section discovery ----------------------------------------------------
+
+  /// Parses and bounds-checks one section header + payload at `offset`.
+  [[nodiscard]] Status parse_section_at(std::string_view bytes, std::uint64_t offset,
+                                        Section& out) const {
+    if (offset > bytes.size() || bytes.size() - offset < kSectionHeaderSize) {
+      return Status::error(ErrorCode::ChunkCorrupt,
+                           "section header truncated at offset " +
+                               std::to_string(offset),
+                           1);
+    }
+    ByteReader r(bytes.substr(offset));
+    std::uint8_t kind = 0;
+    std::uint32_t payload_len = 0;
+    (void)r.read_u8(kind);
+    (void)r.read_u32le(payload_len);
+    Section section;
+    section.offset = offset;
+    (void)r.read_u32le(section.records);
+    (void)r.read_u32le(section.crc);
+    if (kind < static_cast<std::uint8_t>(SectionKind::Events) ||
+        kind > static_cast<std::uint8_t>(SectionKind::Footer)) {
+      return Status::error(ErrorCode::ChunkCorrupt,
+                           "unknown section kind at offset " + std::to_string(offset),
+                           1);
+    }
+    section.kind = static_cast<SectionKind>(kind);
+    if (payload_len > options_.max_chunk_bytes) {
+      return Status::error(ErrorCode::ResourceLimit,
+                           "section payload exceeds cap of " +
+                               std::to_string(options_.max_chunk_bytes) + " bytes",
+                           1);
+    }
+    if (!r.read_bytes(section.payload, payload_len)) {
+      return Status::error(ErrorCode::ChunkCorrupt,
+                           "section payload truncated at offset " +
+                               std::to_string(offset),
+                           1);
+    }
+    out = section;
+    return Status::ok();
+  }
+
+  /// Parses the trailer-addressed footer and builds the section lists from
+  /// its index.
+  [[nodiscard]] Status locate_via_footer(std::string_view bytes) {
+    if (bytes.size() < kMagicSize + kTrailerSize) {
+      return bad_footer("file too short to hold a footer trailer");
+    }
+    const std::string_view trailer = bytes.substr(bytes.size() - kTrailerSize);
+    if (trailer.substr(4) != std::string_view(kTrailerMagic, 4)) {
+      return bad_footer("trailer magic missing (not sealed or damaged)");
+    }
+    std::uint32_t footer_len = 0;
+    {
+      ByteReader r(trailer);
+      (void)r.read_u32le(footer_len);
+    }
+    const std::uint64_t body_end = bytes.size() - kTrailerSize;
+    if (footer_len < kSectionHeaderSize || footer_len > body_end ||
+        body_end - footer_len < kMagicSize) {
+      return bad_footer("trailer cites an impossible footer size");
+    }
+    Section footer;
+    if (Status s = parse_section_at(bytes, body_end - footer_len, footer); !s.is_ok()) {
+      return bad_footer("footer section unreadable: " + s.message());
+    }
+    if (footer.kind != SectionKind::Footer ||
+        kSectionHeaderSize + footer.payload.size() != footer_len) {
+      return bad_footer("trailer does not point at a footer section");
+    }
+    if (crc32(footer.payload) != footer.crc) {
+      return bad_footer("footer checksum mismatch");
+    }
+
+    ByteReader r(footer.payload);
+    std::uint64_t version = 0;
+    std::uint64_t total_records = 0;
+    std::uint64_t def_count = 0;
+    std::uint64_t strtab_offset = 0;
+    std::uint64_t chunk_count = 0;
+    if (!r.read_varint(version) || !r.read_varint(total_records) ||
+        !r.read_varint(def_count) || !r.read_varint(strtab_offset) ||
+        !r.read_varint(chunk_count)) {
+      return bad_footer("footer index truncated");
+    }
+    if (version != kFormatVersion) {
+      return bad_footer("unsupported container version " + std::to_string(version));
+    }
+    if (chunk_count > bytes.size() / kSectionHeaderSize) {
+      return bad_footer("footer cites more chunks than the file could hold");
+    }
+    Section strtab;
+    if (Status s = parse_section_at(bytes, strtab_offset, strtab); !s.is_ok()) {
+      return bad_footer("string table unreadable: " + s.message());
+    }
+    if (strtab.kind != SectionKind::StringTable) {
+      return bad_footer("footer string-table offset points at a non-table section");
+    }
+    std::vector<Section> chunks;
+    chunks.reserve(chunk_count);
+    for (std::uint64_t i = 0; i < chunk_count; ++i) {
+      std::uint64_t offset = 0;
+      std::uint64_t records = 0;
+      if (!r.read_varint(offset) || !r.read_varint(records)) {
+        return bad_footer("footer chunk index truncated");
+      }
+      Section chunk;
+      if (Status s = parse_section_at(bytes, offset, chunk); !s.is_ok()) {
+        return bad_footer("indexed chunk " + std::to_string(i + 1) +
+                          " unreadable: " + s.message());
+      }
+      if (chunk.kind != SectionKind::Events || chunk.records != records) {
+        return bad_footer("footer disagrees with chunk " + std::to_string(i + 1) +
+                          " header");
+      }
+      chunks.push_back(chunk);
+    }
+    if (!r.at_end()) return bad_footer("trailing bytes after the footer index");
+    strtab_ = strtab;
+    chunks_ = std::move(chunks);
+    return Status::ok();
+  }
+
+  /// Lenient fallback: forward scan of the self-delimiting section headers,
+  /// salvaging every section that still frames correctly.
+  void scan_sections(std::string_view bytes) {
+    chunks_.clear();
+    strtab_.reset();
+    std::uint64_t offset = kMagicSize;
+    while (offset + kSectionHeaderSize <= bytes.size()) {
+      Section section;
+      if (Status s = parse_section_at(bytes, offset, section); !s.is_ok()) {
+        diag(s);
+        return;
+      }
+      switch (section.kind) {
+        case SectionKind::Events:
+          chunks_.push_back(section);
+          break;
+        case SectionKind::StringTable:
+          if (!strtab_.has_value()) strtab_ = section;
+          break;
+        case SectionKind::Footer:
+          return;  // the index adds nothing a completed scan doesn't have
+      }
+      offset = section.offset + kSectionHeaderSize + section.payload.size();
+    }
+  }
+
+  [[nodiscard]] Status locate_sections(std::string_view bytes) {
+    if (!is_binary_trace(bytes)) {
+      const Status bad = Status::error(
+          ErrorCode::BadHeader, "not a ppd binary trace (missing PPDT magic)", 1);
+      if (strict()) return bad;
+      diag(bad);
+      if (bytes.size() < kMagicSize) return Status::ok();  // nothing to salvage
+    }
+    Status via_footer = locate_via_footer(bytes);
+    if (via_footer.is_ok()) return Status::ok();
+    if (strict()) return via_footer;
+    diag(via_footer);
+    scan_sections(bytes);
+    return Status::ok();
+  }
+
+  // ---- string table ---------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t defs_total() const {
+    return vars_.size() + regions_.size() + stmts_.size();
+  }
+
+  [[nodiscard]] static bool valid_name(std::string_view name) {
+    return !name.empty() && name.size() <= kMaxNameLength &&
+           name.find_first_of(" \t\n\r") == std::string_view::npos;
+  }
+
+  /// Decodes the definition table. Order matters: interning at dispatch
+  /// follows first use exactly as text replay does, so ids match.
+  [[nodiscard]] Status decode_strtab() {
+    if (!strtab_.has_value()) {
+      const Status missing = Status::error(
+          ErrorCode::ChunkCorrupt, "container has no string table", 1);
+      if (strict()) return missing;
+      diag(missing);
+      return Status::ok();
+    }
+    bool integrity_ok = crc32(strtab_->payload) == strtab_->crc;
+    if (!integrity_ok) {
+      const Status bad = Status::error(ErrorCode::ChunkCorrupt,
+                                       "string table checksum mismatch", 1);
+      if (strict()) return bad;
+      diag(bad);  // decode best-effort below; every field is bounds-checked
+    }
+    ByteReader r(strtab_->payload);
+    std::uint64_t ordinal = 0;
+    while (!r.at_end()) {
+      ++ordinal;
+      if (defs_total() >= options_.limits.max_definitions) {
+        return Status::error(ErrorCode::ResourceLimit,
+                             "definition count exceeds cap of " +
+                                 std::to_string(options_.limits.max_definitions),
+                             ordinal);
+      }
+      std::uint8_t kind = 0;
+      std::uint64_t id = 0;
+      Status malformed = Status::error(
+          ErrorCode::MalformedRecord,
+          "malformed definition " + std::to_string(ordinal), ordinal);
+      if (!r.read_u8(kind) || !r.read_varint(id) ||
+          id >= std::numeric_limits<std::uint32_t>::max() ||
+          kind < static_cast<std::uint8_t>(DefKind::Var) ||
+          kind > static_cast<std::uint8_t>(DefKind::Statement)) {
+        if (strict()) return malformed;
+        diag(malformed);
+        break;  // binary streams cannot resync after a framing error
+      }
+      std::uint64_t extra = 0;
+      if (static_cast<DefKind>(kind) == DefKind::Var) {
+        std::uint8_t local = 0;
+        if (!r.read_u8(local) || local > 1) {
+          if (strict()) return malformed;
+          diag(malformed);
+          break;
+        }
+        extra = local;
+      } else if (!r.read_varint(extra) ||
+                 extra > std::numeric_limits<SourceLine>::max()) {
+        if (strict()) return malformed;
+        diag(malformed);
+        break;
+      }
+      std::uint64_t name_len = 0;
+      std::string_view name;
+      if (!r.read_varint(name_len) || name_len > kMaxNameLength ||
+          !r.read_bytes(name, name_len) || !valid_name(name)) {
+        if (strict()) return malformed;
+        diag(malformed);
+        break;
+      }
+      if (Status s = add_def(static_cast<DefKind>(kind),
+                             static_cast<std::uint32_t>(id), extra, name, ordinal);
+          !s.is_ok()) {
+        if (strict()) return s;
+        diag(s);
+      }
+    }
+    return Status::ok();
+  }
+
+  [[nodiscard]] Status add_def(DefKind kind, std::uint32_t id, std::uint64_t extra,
+                               std::string_view name, std::uint64_t ordinal) {
+    const Status duplicate = Status::error(
+        ErrorCode::DuplicateDefinition,
+        "definition id " + std::to_string(id) + " redefined differently", ordinal);
+    switch (kind) {
+      case DefKind::Var: {
+        auto it = vars_.find(id);
+        if (it != vars_.end()) {
+          return it->second.local == (extra != 0) && it->second.name == name
+                     ? Status::ok()
+                     : duplicate;
+        }
+        vars_.emplace(id, VarDef{extra != 0, std::string(name), VarId()});
+        return Status::ok();
+      }
+      case DefKind::Function:
+      case DefKind::Loop: {
+        const trace::RegionKind region_kind = kind == DefKind::Function
+                                                  ? trace::RegionKind::Function
+                                                  : trace::RegionKind::Loop;
+        auto it = regions_.find(id);
+        if (it != regions_.end()) {
+          return it->second.kind == region_kind && it->second.line == extra &&
+                         it->second.name == name
+                     ? Status::ok()
+                     : duplicate;
+        }
+        regions_.emplace(id, RegionDef{region_kind, static_cast<SourceLine>(extra),
+                                       std::string(name)});
+        return Status::ok();
+      }
+      case DefKind::Statement: {
+        auto it = stmts_.find(id);
+        if (it != stmts_.end()) {
+          return it->second.line == extra && it->second.name == name ? Status::ok()
+                                                                     : duplicate;
+        }
+        stmts_.emplace(id, StmtDef{static_cast<SourceLine>(extra), std::string(name)});
+        return Status::ok();
+      }
+    }
+    return Status::error(ErrorCode::Internal, "unreachable definition kind", ordinal);
+  }
+
+  // ---- chunk decode (the parallel phase) ------------------------------------
+
+  [[nodiscard]] Status precheck_record_total() const {
+    std::uint64_t declared = 0;
+    for (const Section& chunk : chunks_) declared += chunk.records;
+    if (declared > options_.limits.max_records) {
+      return Status::error(ErrorCode::ResourceLimit,
+                           "event count exceeds cap of " +
+                               std::to_string(options_.limits.max_records),
+                           1);
+    }
+    return Status::ok();
+  }
+
+  /// Structural decode of one chunk; runs concurrently with other chunks.
+  /// `base` is the record ordinal preceding this chunk, for attribution.
+  [[nodiscard]] DecodedChunk decode_chunk(const Section& chunk,
+                                          std::uint64_t chunk_ordinal,
+                                          std::uint64_t base) const {
+    DecodedChunk out;
+    const auto corrupt = [&](std::string what) {
+      out.recs.clear();
+      out.error = Status::error(ErrorCode::ChunkCorrupt,
+                                name_chunk(chunk_ordinal) + ": " + std::move(what),
+                                chunk_ordinal);
+    };
+    if (crc32(chunk.payload) != chunk.crc) {
+      corrupt("checksum mismatch");
+      return out;
+    }
+    out.recs.reserve(chunk.records);
+    ByteReader r(chunk.payload);
+    std::uint64_t prev_var = 0;
+    std::uint64_t prev_index = 0;
+    std::uint64_t prev_line = 0;
+    while (!r.at_end()) {
+      const std::uint64_t ordinal = base + out.recs.size() + 1;
+      const auto malformed = [&](std::string_view what) {
+        out.recs.clear();
+        out.error = Status::error(ErrorCode::MalformedRecord,
+                                  "record " + std::to_string(ordinal) + ": " +
+                                      std::string(what),
+                                  ordinal);
+      };
+      std::uint8_t tag = 0;
+      (void)r.read_u8(tag);
+      Rec rec;
+      if (tag >= static_cast<std::uint8_t>(RecordTag::RegionEnter) &&
+          tag <= static_cast<std::uint8_t>(RecordTag::StatementExit)) {
+        rec.tag = static_cast<RecordTag>(tag);
+        std::uint64_t id = 0;
+        if (!r.read_varint(id) || id >= std::numeric_limits<std::uint32_t>::max()) {
+          malformed("bad id field");
+          return out;
+        }
+        rec.id = static_cast<std::uint32_t>(id);
+      } else if (tag == static_cast<std::uint8_t>(RecordTag::Read) ||
+                 tag == static_cast<std::uint8_t>(RecordTag::Write)) {
+        rec.tag = static_cast<RecordTag>(tag);
+        std::uint64_t dv = 0;
+        std::uint64_t di = 0;
+        std::uint64_t dl = 0;
+        if (!r.read_varint(dv) || !r.read_varint(di) || !r.read_varint(dl) ||
+            !r.read_varint(rec.cost)) {
+          malformed("truncated access record");
+          return out;
+        }
+        const std::uint64_t var =
+            prev_var + static_cast<std::uint64_t>(unzigzag(dv));
+        const std::uint64_t line =
+            prev_line + static_cast<std::uint64_t>(unzigzag(dl));
+        if (var >= std::numeric_limits<std::uint32_t>::max()) {
+          malformed("bad variable id");
+          return out;
+        }
+        if (line > std::numeric_limits<SourceLine>::max()) {
+          malformed("bad access source line");
+          return out;
+        }
+        if (rec.cost >= trace::Validator::kCostSanityCap) {
+          malformed("access cost beyond the sanity cap");
+          return out;
+        }
+        rec.id = static_cast<std::uint32_t>(var);
+        rec.index = prev_index + static_cast<std::uint64_t>(unzigzag(di));
+        rec.line = static_cast<SourceLine>(line);
+        if (tag == static_cast<std::uint8_t>(RecordTag::Write)) {
+          if (!r.read_u8(rec.op) ||
+              rec.op > static_cast<std::uint8_t>(trace::UpdateOp::Max)) {
+            out.recs.clear();
+            out.error = Status::error(ErrorCode::BadWriteOp,
+                                      "record " + std::to_string(ordinal) +
+                                          ": unknown write update-op code",
+                                      ordinal);
+            return out;
+          }
+        }
+        prev_var = var;
+        prev_index = rec.index;
+        prev_line = line;
+      } else if (tag == static_cast<std::uint8_t>(RecordTag::Compute)) {
+        rec.tag = RecordTag::Compute;
+        std::uint64_t dl = 0;
+        if (!r.read_varint(dl) || !r.read_varint(rec.cost)) {
+          malformed("truncated compute record");
+          return out;
+        }
+        const std::uint64_t line =
+            prev_line + static_cast<std::uint64_t>(unzigzag(dl));
+        if (line > std::numeric_limits<SourceLine>::max()) {
+          malformed("bad compute source line");
+          return out;
+        }
+        if (rec.cost >= trace::Validator::kCostSanityCap) {
+          malformed("compute cost beyond the sanity cap");
+          return out;
+        }
+        rec.line = static_cast<SourceLine>(line);
+        prev_line = line;
+      } else {
+        out.recs.clear();
+        out.error = Status::error(ErrorCode::UnknownTag,
+                                  "record " + std::to_string(ordinal) +
+                                      ": unknown record tag " + std::to_string(tag),
+                                  ordinal);
+        return out;
+      }
+      out.recs.push_back(rec);
+    }
+    if (out.recs.size() != chunk.records) {
+      corrupt("decoded " + std::to_string(out.recs.size()) + " records, header claims " +
+              std::to_string(chunk.records));
+    }
+    return out;
+  }
+
+  /// Decodes every chunk, fanning out over a thread pool when configured.
+  /// Results land in chunk order regardless of scheduling, so the merge into
+  /// the dispatch phase is deterministic.
+  [[nodiscard]] std::vector<DecodedChunk> decode_chunks() {
+    std::vector<std::uint64_t> base(chunks_.size(), 0);
+    for (std::size_t i = 1; i < chunks_.size(); ++i) {
+      base[i] = base[i - 1] + chunks_[i - 1].records;
+    }
+    std::vector<DecodedChunk> decoded(chunks_.size());
+    rt::ThreadPool* pool = options_.pool;
+    std::unique_ptr<rt::ThreadPool> local_pool;
+    if (pool == nullptr && options_.jobs > 1 && chunks_.size() > 1) {
+      local_pool = std::make_unique<rt::ThreadPool>(
+          std::min<std::size_t>(options_.jobs, chunks_.size()));
+      pool = local_pool.get();
+    }
+    if (pool != nullptr && pool->thread_count() > 1 && chunks_.size() > 1) {
+      rt::TaskGroup group(*pool);
+      for (std::size_t i = 0; i < chunks_.size(); ++i) {
+        group.run([this, &decoded, &base, i] {
+          decoded[i] = decode_chunk(chunks_[i], i + 1, base[i]);
+        });
+      }
+      group.wait();
+    } else {
+      for (std::size_t i = 0; i < chunks_.size(); ++i) {
+        decoded[i] = decode_chunk(chunks_[i], i + 1, base[i]);
+      }
+    }
+    return decoded;
+  }
+
+  // ---- sequential dispatch --------------------------------------------------
+
+  [[nodiscard]] Status count_event(std::uint64_t ordinal) const {
+    if (result_.records >= options_.limits.max_records) {
+      return Status::error(ErrorCode::ResourceLimit,
+                           "event count exceeds cap of " +
+                               std::to_string(options_.limits.max_records),
+                           ordinal);
+    }
+    return Status::ok();
+  }
+
+  /// Replays decoded chunks in order. Returns false when the replay stopped
+  /// with a fatal status.
+  [[nodiscard]] bool dispatch_all(std::vector<DecodedChunk> decoded) {
+    for (std::size_t i = 0; i < decoded.size(); ++i) {
+      DecodedChunk& chunk = decoded[i];
+      if (!chunk.error.is_ok()) {
+        if (strict() || chunk.error.code() == ErrorCode::ResourceLimit) {
+          result_.status = chunk.error;
+          unwind_scopes();
+          return false;
+        }
+        diag(chunk.error);
+        ++result_.skipped_chunks;
+        result_.dropped += chunks_[i].records;
+        continue;
+      }
+      for (const Rec& rec : chunk.recs) {
+        ++ordinal_;
+        if (Status s = dispatch(rec, ordinal_); !s.is_ok() && !note_record_error(s)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] Status dispatch(const Rec& rec, std::uint64_t ordinal) {
+    switch (rec.tag) {
+      case RecordTag::RegionEnter: {
+        auto def = regions_.find(rec.id);
+        if (def == regions_.end()) {
+          return Status::error(ErrorCode::UndefinedId,
+                               "enter of undefined region " + std::to_string(rec.id),
+                               ordinal);
+        }
+        if (Status s = count_event(ordinal); !s.is_ok()) return s;
+        OpenScope scope;
+        scope.file_id = rec.id;
+        if (def->second.kind == trace::RegionKind::Function) {
+          scope.kind = 'f';
+          scope.function = std::make_unique<trace::FunctionScope>(
+              ctx_, def->second.name, def->second.line);
+        } else {
+          scope.kind = 'l';
+          scope.loop = std::make_unique<trace::LoopScope>(ctx_, def->second.name,
+                                                          def->second.line);
+        }
+        scope_stack_.push_back(std::move(scope));
+        break;
+      }
+      case RecordTag::RegionExit: {
+        if (scope_stack_.empty() || scope_stack_.back().kind == 's' ||
+            scope_stack_.back().file_id != rec.id) {
+          return Status::error(ErrorCode::ScopeMismatch,
+                               "exit of region " + std::to_string(rec.id) +
+                                   " does not match the innermost open scope",
+                               ordinal);
+        }
+        if (Status s = count_event(ordinal); !s.is_ok()) return s;
+        scope_stack_.pop_back();
+        break;
+      }
+      case RecordTag::Iteration: {
+        if (scope_stack_.empty() || scope_stack_.back().kind != 'l' ||
+            scope_stack_.back().file_id != rec.id) {
+          return Status::error(ErrorCode::IterationOutsideLoop,
+                               "iteration of loop " + std::to_string(rec.id) +
+                                   " outside its innermost loop scope",
+                               ordinal);
+        }
+        if (Status s = count_event(ordinal); !s.is_ok()) return s;
+        scope_stack_.back().loop->begin_iteration();
+        break;
+      }
+      case RecordTag::StatementEnter: {
+        auto def = stmts_.find(rec.id);
+        if (def == stmts_.end()) {
+          return Status::error(ErrorCode::UndefinedId,
+                               "open of undefined statement " + std::to_string(rec.id),
+                               ordinal);
+        }
+        if (Status s = count_event(ordinal); !s.is_ok()) return s;
+        OpenScope scope;
+        scope.file_id = rec.id;
+        scope.kind = 's';
+        scope.statement = std::make_unique<trace::StatementScope>(
+            ctx_, def->second.name, def->second.line);
+        scope_stack_.push_back(std::move(scope));
+        break;
+      }
+      case RecordTag::StatementExit: {
+        if (scope_stack_.empty() || scope_stack_.back().kind != 's' ||
+            scope_stack_.back().file_id != rec.id) {
+          return Status::error(ErrorCode::ScopeMismatch,
+                               "close of statement " + std::to_string(rec.id) +
+                                   " does not match the innermost open scope",
+                               ordinal);
+        }
+        if (Status s = count_event(ordinal); !s.is_ok()) return s;
+        scope_stack_.pop_back();
+        break;
+      }
+      case RecordTag::Read:
+      case RecordTag::Write: {
+        auto def = vars_.find(rec.id);
+        if (def == vars_.end()) {
+          return Status::error(ErrorCode::UndefinedId,
+                               "access to undefined variable " + std::to_string(rec.id),
+                               ordinal);
+        }
+        if (Status s = count_event(ordinal); !s.is_ok()) return s;
+        VarDef& var = def->second;
+        if (!var.interned.valid()) {
+          // First access interns the variable — the same moment (relative to
+          // every other first use) at which a text replay interns it, so the
+          // assigned ids are identical across formats.
+          var.interned = var.local ? ctx_.local_var(var.name) : ctx_.var(var.name);
+        }
+        if (rec.tag == RecordTag::Read) {
+          ctx_.read(var.interned, rec.index, rec.line, rec.cost);
+        } else if (rec.op == 0) {
+          ctx_.write(var.interned, rec.index, rec.line, rec.cost);
+        } else {
+          // update() would emit an extra read; re-emit the tagged write only.
+          ctx_.write_impl(var.interned, rec.index, rec.line, rec.cost,
+                          static_cast<trace::UpdateOp>(rec.op));
+        }
+        break;
+      }
+      case RecordTag::Compute: {
+        if (Status s = count_event(ordinal); !s.is_ok()) return s;
+        ctx_.compute(rec.line, rec.cost);
+        break;
+      }
+    }
+    ++result_.records;
+    return Status::ok();
+  }
+
+  /// Closes any open scopes strictly LIFO (the RAII destructors emit the
+  /// matching exit events, keeping the context's own invariants intact).
+  void unwind_scopes() {
+    while (!scope_stack_.empty()) scope_stack_.pop_back();
+  }
+
+  void finish() {
+    if (!scope_stack_.empty()) {
+      const Status unclosed = Status::error(
+          ErrorCode::UnclosedScope,
+          "trace ended with " + std::to_string(scope_stack_.size()) +
+              " scope(s) still open",
+          ordinal_);
+      if (strict()) {
+        result_.status = unclosed;
+        unwind_scopes();
+        return;
+      }
+      diag(unclosed);
+      result_.repaired_scopes = scope_stack_.size();
+      unwind_scopes();  // repair: synthesize the missing exits
+    }
+    ctx_.finish();
+    result_.finished = true;
+  }
+
+  trace::TraceContext& ctx_;
+  const ReadOptions& options_;
+  ReadResult result_;
+
+  std::optional<Section> strtab_;
+  std::vector<Section> chunks_;
+
+  std::unordered_map<std::uint32_t, VarDef> vars_;
+  std::unordered_map<std::uint32_t, RegionDef> regions_;
+  std::unordered_map<std::uint32_t, StmtDef> stmts_;
+
+  std::vector<OpenScope> scope_stack_;
+  std::uint64_t ordinal_ = 0;  ///< 1-based record ordinal across all chunks
+};
+
+}  // namespace
+
+ReadResult read_trace(std::string_view bytes, trace::TraceContext& ctx,
+                      const ReadOptions& options) {
+  return BinaryReplayer(ctx, options).run(bytes);
+}
+
+}  // namespace ppd::store

@@ -1,0 +1,76 @@
+// Chunk-parallel reader for the .ppdt binary trace container.
+//
+// Reading happens in two phases. *Decode* — CRC check plus varint/delta
+// decode of each event chunk into a flat record buffer — is embarrassingly
+// parallel because chunks are self-contained; with jobs > 1 it fans out
+// over an rt::ThreadPool, one task per chunk, and the per-chunk results
+// land in an index-ordered vector, so the merge is deterministic no matter
+// how the scheduler interleaved the workers. *Dispatch* — re-driving the
+// TraceContext (scope nesting, id interning, event fan-out to the
+// subscribed detectors) — is inherently order-dependent and runs
+// sequentially over the merged buffers. The expensive part of text replay
+// is the parsing, so this split parallelizes the dominant cost while
+// keeping detector output bit-identical to a text replay of the same
+// stream.
+//
+// The PR-3 diagnostics contract carries over: strict mode stops at the
+// first problem with a Status; lenient mode skips corrupt chunks and drops
+// bad records, reporting a Diag for each, repairs unbalanced scopes at end
+// of input, and still completes a degraded analysis. A damaged footer
+// downgrades to a forward scan of the self-delimiting section headers in
+// lenient mode. Resource caps (ReplayLimits) are enforced in both modes.
+//
+// Binary records have no text line numbers; the `line` carried by a Status
+// or Diag is the 1-based *record ordinal* for record-level problems and the
+// 1-based *chunk ordinal* for chunk-level problems (the message says
+// which).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "support/status.hpp"
+#include "trace/context.hpp"
+#include "trace/serialize.hpp"
+
+namespace ppd::rt {
+class ThreadPool;
+}
+
+namespace ppd::store {
+
+struct ReadOptions {
+  trace::ReplayMode mode = trace::ReplayMode::Strict;
+  trace::ReplayLimits limits;
+  /// Optional collector for non-fatal findings (lenient skips/repairs).
+  support::DiagSink* diags = nullptr;
+  /// Decode concurrency: chunks are decoded on `jobs` pool workers. 1 =
+  /// decode inline on the calling thread.
+  std::size_t jobs = 1;
+  /// Optional externally owned pool to decode on; overrides `jobs` for
+  /// sizing (a pool is created internally only when this is null and
+  /// jobs > 1).
+  rt::ThreadPool* pool = nullptr;
+  /// Cap on a single section's declared payload size.
+  std::uint64_t max_chunk_bytes = std::uint64_t{1} << 26;
+};
+
+/// Outcome of a binary replay; mirrors trace::ReplayResult.
+struct ReadResult {
+  support::Status status;
+  std::uint64_t records = 0;          ///< events successfully dispatched
+  std::uint64_t dropped = 0;          ///< lenient: records dropped
+  std::uint64_t skipped_chunks = 0;   ///< lenient: corrupt chunks skipped whole
+  std::uint64_t repaired_scopes = 0;  ///< lenient: scopes auto-closed at EOF
+  std::uint64_t chunks = 0;           ///< event chunks seen in the container
+  bool finished = false;              ///< ctx.finish() was reached
+};
+
+/// Replays a .ppdt container into `ctx` (whose sinks must already be
+/// subscribed). Never throws on malformed input — problems are reported
+/// through the returned ReadResult, exactly like trace::replay_trace.
+[[nodiscard]] ReadResult read_trace(std::string_view bytes, trace::TraceContext& ctx,
+                                    const ReadOptions& options);
+
+}  // namespace ppd::store

@@ -1,0 +1,197 @@
+#include "store/writer.hpp"
+
+#include <limits>
+#include <ostream>
+
+#include "store/format.hpp"
+#include "support/assert.hpp"
+
+namespace ppd::store {
+namespace {
+
+void ensure_slot(std::vector<bool>& defined, std::size_t index) {
+  if (defined.size() <= index) defined.resize(index + 1, false);
+}
+
+}  // namespace
+
+BinaryTraceWriter::BinaryTraceWriter(const trace::TraceContext& program,
+                                     std::ostream& out)
+    : BinaryTraceWriter(program, out, Options{}) {}
+
+BinaryTraceWriter::BinaryTraceWriter(const trace::TraceContext& program,
+                                     std::ostream& out, Options options)
+    : program_(program), out_(out), options_(options) {
+  out_.write(kMagic, static_cast<std::streamsize>(kMagicSize));
+  bytes_ = kMagicSize;
+}
+
+void BinaryTraceWriter::def_entry(DefKind kind, std::uint32_t id, std::uint64_t extra,
+                                  const std::string& name) {
+  PPD_ASSERT_MSG(name.size() <= kMaxNameLength, "definition name too long");
+  strtab_.push_back(static_cast<char>(kind));
+  put_varint(strtab_, id);
+  if (kind == DefKind::Var) {
+    strtab_.push_back(static_cast<char>(extra));  // local flag
+  } else {
+    put_varint(strtab_, extra);  // source line
+  }
+  put_varint(strtab_, name.size());
+  strtab_ += name;
+  ++def_count_;
+}
+
+void BinaryTraceWriter::ensure_var(VarId var) {
+  ensure_slot(var_defined_, var.value());
+  if (var_defined_[var.value()]) return;
+  const trace::VarInfo& info = program_.var_info(var);
+  def_entry(DefKind::Var, var.value(), info.local ? 1 : 0, info.name);
+  var_defined_[var.value()] = true;
+}
+
+void BinaryTraceWriter::ensure_region(const trace::RegionInfo& region) {
+  ensure_slot(region_defined_, region.id.value());
+  if (region_defined_[region.id.value()]) return;
+  def_entry(region.kind == trace::RegionKind::Function ? DefKind::Function
+                                                       : DefKind::Loop,
+            region.id.value(), region.line, region.name);
+  region_defined_[region.id.value()] = true;
+}
+
+void BinaryTraceWriter::ensure_statement(const trace::StatementInfo& stmt) {
+  ensure_slot(stmt_defined_, stmt.id.value());
+  if (stmt_defined_[stmt.id.value()]) return;
+  def_entry(DefKind::Statement, stmt.id.value(), stmt.line, stmt.name);
+  stmt_defined_[stmt.id.value()] = true;
+}
+
+void BinaryTraceWriter::record_written() {
+  ++records_;
+  ++chunk_records_;
+  if (chunk_.size() >= options_.target_chunk_bytes ||
+      chunk_records_ >= options_.max_chunk_records) {
+    flush_chunk();
+  }
+}
+
+void BinaryTraceWriter::on_region_enter(const trace::RegionInfo& region) {
+  ensure_region(region);
+  chunk_.push_back(static_cast<char>(RecordTag::RegionEnter));
+  put_varint(chunk_, region.id.value());
+  record_written();
+}
+
+void BinaryTraceWriter::on_region_exit(const trace::RegionInfo& region) {
+  chunk_.push_back(static_cast<char>(RecordTag::RegionExit));
+  put_varint(chunk_, region.id.value());
+  record_written();
+}
+
+void BinaryTraceWriter::on_iteration(const trace::RegionInfo& loop,
+                                     std::uint64_t iteration) {
+  (void)iteration;  // iterations are implicit: replay re-counts from zero
+  chunk_.push_back(static_cast<char>(RecordTag::Iteration));
+  put_varint(chunk_, loop.id.value());
+  record_written();
+}
+
+void BinaryTraceWriter::on_access(const trace::AccessEvent& access) {
+  ensure_var(access.var);
+  const std::uint64_t var = access.var.value();
+  const std::uint64_t index = trace::TraceContext::addr_index(access.addr);
+  const std::uint64_t line = access.line;
+  chunk_.push_back(static_cast<char>(access.kind == trace::AccessKind::Read
+                                         ? RecordTag::Read
+                                         : RecordTag::Write));
+  put_varint(chunk_, zigzag(static_cast<std::int64_t>(var - prev_var_)));
+  put_varint(chunk_, zigzag(static_cast<std::int64_t>(index - prev_index_)));
+  put_varint(chunk_, zigzag(static_cast<std::int64_t>(line - prev_line_)));
+  put_varint(chunk_, access.cost);
+  if (access.kind == trace::AccessKind::Write) {
+    chunk_.push_back(static_cast<char>(access.op));
+  }
+  prev_var_ = var;
+  prev_index_ = index;
+  prev_line_ = line;
+  record_written();
+}
+
+void BinaryTraceWriter::on_compute(const trace::ComputeEvent& compute) {
+  const std::uint64_t line = compute.line;
+  chunk_.push_back(static_cast<char>(RecordTag::Compute));
+  put_varint(chunk_, zigzag(static_cast<std::int64_t>(line - prev_line_)));
+  put_varint(chunk_, compute.cost);
+  prev_line_ = line;
+  record_written();
+}
+
+void BinaryTraceWriter::on_statement_enter(const trace::StatementInfo& stmt) {
+  ensure_statement(stmt);
+  chunk_.push_back(static_cast<char>(RecordTag::StatementEnter));
+  put_varint(chunk_, stmt.id.value());
+  record_written();
+}
+
+void BinaryTraceWriter::on_statement_exit(const trace::StatementInfo& stmt) {
+  chunk_.push_back(static_cast<char>(RecordTag::StatementExit));
+  put_varint(chunk_, stmt.id.value());
+  record_written();
+}
+
+void BinaryTraceWriter::on_trace_end() { finalize(); }
+
+void BinaryTraceWriter::write_section(SectionKind kind, std::string_view payload,
+                                      std::uint32_t record_count) {
+  PPD_ASSERT_MSG(payload.size() <= std::numeric_limits<std::uint32_t>::max(),
+                 "section payload exceeds the 4 GiB framing limit");
+  std::string header;
+  header.reserve(kSectionHeaderSize);
+  header.push_back(static_cast<char>(kind));
+  put_u32le(header, static_cast<std::uint32_t>(payload.size()));
+  put_u32le(header, record_count);
+  put_u32le(header, crc32(payload));
+  out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  bytes_ += header.size() + payload.size();
+}
+
+void BinaryTraceWriter::flush_chunk() {
+  if (chunk_.empty()) return;
+  index_.push_back(ChunkIndexEntry{bytes_, chunk_records_});
+  write_section(SectionKind::Events, chunk_, chunk_records_);
+  chunk_.clear();
+  chunk_records_ = 0;
+  prev_var_ = prev_index_ = prev_line_ = 0;
+}
+
+void BinaryTraceWriter::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  flush_chunk();
+
+  const std::uint64_t strtab_offset = bytes_;
+  write_section(SectionKind::StringTable, strtab_, def_count_);
+
+  std::string footer;
+  put_varint(footer, kFormatVersion);
+  put_varint(footer, records_);
+  put_varint(footer, def_count_);
+  put_varint(footer, strtab_offset);
+  put_varint(footer, index_.size());
+  for (const ChunkIndexEntry& entry : index_) {
+    put_varint(footer, entry.offset);
+    put_varint(footer, entry.records);
+  }
+  const std::uint64_t footer_section_len = kSectionHeaderSize + footer.size();
+  write_section(SectionKind::Footer, footer,
+                static_cast<std::uint32_t>(index_.size()));
+
+  std::string trailer;
+  put_u32le(trailer, static_cast<std::uint32_t>(footer_section_len));
+  trailer.append(kTrailerMagic, sizeof(kTrailerMagic));
+  out_.write(trailer.data(), static_cast<std::streamsize>(trailer.size()));
+  bytes_ += trailer.size();
+  out_.flush();
+}
+
+}  // namespace ppd::store

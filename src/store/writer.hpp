@@ -1,0 +1,97 @@
+// Binary trace writer: an EventSink streaming the dynamic event stream into
+// the .ppdt container (see format.hpp).
+//
+// Definitions are collected in first-use order — variables at their first
+// access, regions at their first enter, statements at their first open —
+// which is exactly the order the text TraceWriter emits its definition
+// lines. The reader interns them in the same order, so the two formats
+// assign identical ids and downstream analyses produce bit-identical
+// results either way.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "store/format.hpp"
+#include "trace/context.hpp"
+#include "trace/events.hpp"
+
+namespace ppd::store {
+
+class BinaryTraceWriter final : public trace::EventSink {
+ public:
+  struct Options {
+    /// A chunk is flushed once its payload reaches this size. Smaller chunks
+    /// mean more decode parallelism and finer-grained corruption containment
+    /// at a slightly worse compression ratio.
+    std::uint32_t target_chunk_bytes = std::uint32_t{1} << 16;
+    /// Hard record cap per chunk (keeps the per-chunk decode bounded even
+    /// for streams of tiny records).
+    std::uint32_t max_chunk_records = std::uint32_t{1} << 14;
+  };
+
+  BinaryTraceWriter(const trace::TraceContext& program, std::ostream& out);
+  BinaryTraceWriter(const trace::TraceContext& program, std::ostream& out,
+                    Options options);
+
+  void on_region_enter(const trace::RegionInfo& region) override;
+  void on_region_exit(const trace::RegionInfo& region) override;
+  void on_iteration(const trace::RegionInfo& loop, std::uint64_t iteration) override;
+  void on_access(const trace::AccessEvent& access) override;
+  void on_compute(const trace::ComputeEvent& compute) override;
+  void on_statement_enter(const trace::StatementInfo& stmt) override;
+  void on_statement_exit(const trace::StatementInfo& stmt) override;
+  void on_trace_end() override;
+
+  /// Flushes the open chunk and writes the string table, footer, and
+  /// trailer. Called by on_trace_end(); idempotent.
+  void finalize();
+
+  [[nodiscard]] std::uint64_t records_written() const { return records_; }
+  [[nodiscard]] std::uint64_t chunks_written() const { return index_.size(); }
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_; }
+
+ private:
+  void ensure_var(VarId var);
+  void ensure_region(const trace::RegionInfo& region);
+  void ensure_statement(const trace::StatementInfo& stmt);
+  void def_entry(DefKind kind, std::uint32_t id, std::uint64_t extra,
+                 const std::string& name);
+
+  void record_written();
+  void flush_chunk();
+  void write_section(SectionKind kind, std::string_view payload,
+                     std::uint32_t record_count);
+
+  const trace::TraceContext& program_;
+  std::ostream& out_;
+  Options options_;
+
+  std::string chunk_;  ///< payload of the chunk being built
+  std::uint32_t chunk_records_ = 0;
+  // Delta baselines; reset at every chunk boundary so chunks decode
+  // independently.
+  std::uint64_t prev_var_ = 0;
+  std::uint64_t prev_index_ = 0;
+  std::uint64_t prev_line_ = 0;
+
+  std::string strtab_;  ///< definition payload, first-use order
+  std::uint32_t def_count_ = 0;
+  std::vector<bool> var_defined_;
+  std::vector<bool> region_defined_;
+  std::vector<bool> stmt_defined_;
+
+  struct ChunkIndexEntry {
+    std::uint64_t offset = 0;  ///< absolute file offset of the section header
+    std::uint32_t records = 0;
+  };
+  std::vector<ChunkIndexEntry> index_;
+
+  std::uint64_t bytes_ = 0;
+  std::uint64_t records_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace ppd::store

@@ -21,6 +21,9 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::PoolShutdown: return "pool-shutdown";
     case ErrorCode::AnalysisFailed: return "analysis-failed";
     case ErrorCode::Internal: return "internal";
+    case ErrorCode::BadFooter: return "bad-footer";
+    case ErrorCode::ChunkCorrupt: return "chunk-corrupt";
+    case ErrorCode::IoError: return "io-error";
   }
   return "unknown";
 }

@@ -39,6 +39,10 @@ enum class ErrorCode : std::uint8_t {
   // ---- general ----
   AnalysisFailed,        ///< post-ingestion analysis raised an error
   Internal,              ///< invariant violation reported by a failure handler
+  // ---- binary trace container (ppd::store) ----
+  BadFooter,             ///< .ppdt footer/trailer missing, damaged, or lying
+  ChunkCorrupt,          ///< .ppdt section failed its CRC or framing checks
+  IoError,               ///< file could not be read or written
 };
 
 [[nodiscard]] const char* to_string(ErrorCode code);

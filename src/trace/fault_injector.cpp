@@ -45,6 +45,9 @@ const char* FaultInjector::to_string(Fault fault) {
     case Fault::GarbageLine: return "garbage-line";
     case Fault::BitFlip: return "bit-flip";
     case Fault::SwapAdjacent: return "swap-adjacent";
+    case Fault::ChunkTruncate: return "chunk-truncate";
+    case Fault::CrcCorrupt: return "crc-corrupt";
+    case Fault::FooterDamage: return "footer-damage";
     case Fault::kCount_: break;
   }
   return "unknown-fault";
@@ -69,6 +72,37 @@ std::string FaultInjector::apply_random(std::string_view trace) {
 }
 
 std::string FaultInjector::apply(std::string_view trace, Fault fault) {
+  // Byte-level faults come first: they must see the raw stream, not the
+  // line-split/rejoined view (which would normalize binary payload bytes).
+  switch (fault) {
+    case Fault::ChunkTruncate: {
+      if (trace.size() < 2) return std::string(trace);
+      return std::string(trace.substr(0, 1 + next_below(trace.size() - 1)));
+    }
+    case Fault::CrcCorrupt: {
+      std::string out(trace);
+      if (out.empty()) return out;
+      // Hit the middle third, where chunk payloads live.
+      const std::size_t third = out.size() / 3;
+      const std::size_t at = third + next_below(out.size() - 2 * third);
+      out[at] = static_cast<char>(
+          static_cast<unsigned char>(out[at]) ^
+          static_cast<unsigned char>(1 + next_below(255)));
+      return out;
+    }
+    case Fault::FooterDamage: {
+      std::string out(trace);
+      if (out.empty()) return out;
+      const std::size_t window = out.size() < 16 ? out.size() : 16;
+      const std::size_t at = out.size() - 1 - next_below(window);
+      out[at] = static_cast<char>(
+          static_cast<unsigned char>(out[at]) ^
+          static_cast<unsigned char>(1 + next_below(255)));
+      return out;
+    }
+    default: break;
+  }
+
   std::vector<std::string> lines = split_lines(trace);
   // Index 0 is the header; mutations target the record body when possible so
   // every fault kind exercises the record-level handling at least sometimes.
@@ -183,7 +217,10 @@ std::string FaultInjector::apply(std::string_view trace, Fault fault) {
       std::swap(lines[at], lines[at + 1]);
       return join_lines(lines);
     }
-    case Fault::kCount_: break;
+    case Fault::ChunkTruncate:
+    case Fault::CrcCorrupt:
+    case Fault::FooterDamage:
+    case Fault::kCount_: break;  // handled above / unreachable
   }
   return std::string(trace);
 }

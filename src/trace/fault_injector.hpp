@@ -31,6 +31,11 @@ class FaultInjector {
     GarbageLine,      ///< interleave a line of binary garbage
     BitFlip,          ///< flip one bit of one byte
     SwapAdjacent,     ///< swap two adjacent lines (reorders the stream)
+    // Byte-level faults aimed at the binary .ppdt container (they corrupt
+    // text traces too, just less surgically).
+    ChunkTruncate,    ///< cut the byte stream mid-chunk (torn write)
+    CrcCorrupt,       ///< xor one payload byte, invalidating a section CRC
+    FooterDamage,     ///< mutate a byte in the trailer/footer region
     kCount_,
   };
 

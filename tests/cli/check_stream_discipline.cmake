@@ -1,0 +1,70 @@
+# Output-discipline contract of ppd-analyze, exercised end to end:
+#   - the report is the only thing on stdout (pipeable),
+#   - progress and diagnostics go to stderr,
+#   - binary (.ppdt) replay reproduces the text-replay report byte for byte.
+#
+# Driven by ctest:  cmake -DPPD_ANALYZE=<exe> -DWORK_DIR=<dir> -P <this file>
+if(NOT DEFINED PPD_ANALYZE OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DPPD_ANALYZE=<exe> -DWORK_DIR=<dir> -P check_stream_discipline.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_tool out_var err_var)
+  execute_process(
+    COMMAND ${PPD_ANALYZE} ${ARGN}
+    WORKING_DIRECTORY "${WORK_DIR}"
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "ppd-analyze ${ARGN} exited with ${code}\nstderr:\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+  set(${err_var} "${err}" PARENT_SCOPE)
+endfunction()
+
+function(expect_contains text needle what)
+  string(FIND "${text}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "${what}: expected to find \"${needle}\" in:\n${text}")
+  endif()
+endfunction()
+
+function(expect_absent text needle what)
+  string(FIND "${text}" "${needle}" at)
+  if(NOT at EQUAL -1)
+    message(FATAL_ERROR "${what}: \"${needle}\" must not appear in:\n${text}")
+  endif()
+endfunction()
+
+# 1. Benchmark run with a trace dump: report on stdout, progress on stderr.
+run_tool(bench_out bench_err fib --dump-trace fib.txt)
+expect_contains("${bench_out}" "Primary pattern:" "benchmark stdout")
+expect_absent("${bench_out}" "trace written" "benchmark stdout")
+expect_contains("${bench_err}" "trace written" "benchmark stderr")
+
+# 2. Text replay: report on stdout, progress on stderr.
+run_tool(text_out text_err --trace fib.txt --strict)
+expect_contains("${text_out}" "Primary pattern:" "text replay stdout")
+expect_absent("${text_out}" "replayed" "text replay stdout")
+expect_contains("${text_err}" "replayed" "text replay stderr")
+
+# 3. Lenient replay of a damaged trace: diagnostics on stderr only.
+file(READ "${WORK_DIR}/fib.txt" trace_text)
+file(WRITE "${WORK_DIR}/bad.txt" "${trace_text}bogus record\n")
+run_tool(bad_out bad_err --trace bad.txt --lenient)
+expect_contains("${bad_out}" "Primary pattern:" "lenient stdout")
+expect_absent("${bad_out}" "Diagnostics" "lenient stdout")
+expect_contains("${bad_err}" "== Diagnostics ==" "lenient stderr")
+
+# 4. Binary replay reproduces the text report byte for byte.
+run_tool(conv_out conv_err convert fib.txt fib.ppdt)
+expect_contains("${conv_err}" "converted" "convert stderr")
+run_tool(bin_out bin_err --trace fib.ppdt --jobs 2)
+if(NOT bin_out STREQUAL text_out)
+  message(FATAL_ERROR "binary replay report differs from the text replay report")
+endif()
+
+message(STATUS "cli stream discipline: ok")

@@ -15,6 +15,8 @@
 
 #include "bs/benchmark.hpp"
 #include "core/analyzer.hpp"
+#include "store/reader.hpp"
+#include "store/writer.hpp"
 #include "support/assert.hpp"
 #include "support/status.hpp"
 #include "trace/context.hpp"
@@ -104,6 +106,95 @@ TEST_P(FaultInjection, MutatedTracesNeverCrashEitherReplayMode) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Benchmarks, FaultInjection,
+                         ::testing::Values("ludcmp", "reg_detect", "fluidanimate",
+                                           "rot-cc", "Correlation", "2mm", "fib", "sort",
+                                           "strassen", "3mm", "mvt", "fdtd-2d", "kmeans",
+                                           "streamcluster", "nqueens", "bicg", "gesummv",
+                                           "sum_local", "sum_module"),
+                         [](const ::testing::TestParamInfo<const char*>& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+// ---- binary container (.ppdt) enrollment ------------------------------------
+
+std::string record_pristine_binary(const bs::Benchmark& benchmark) {
+  std::ostringstream out;
+  TraceContext ctx;
+  store::BinaryTraceWriter::Options options;
+  // Tiny chunks so every trace spans many sections and the mutations hit
+  // chunk payloads, headers, the string table, and the footer alike.
+  options.target_chunk_bytes = 512;
+  store::BinaryTraceWriter writer(ctx, out, options);
+  ctx.add_sink(&writer);
+  benchmark.run_traced(ctx);
+  ctx.finish();
+  return out.str();
+}
+
+class BinaryFaultInjection : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BinaryFaultInjection, MutatedContainersNeverCrashEitherReadMode) {
+  const bs::Benchmark* benchmark = bs::find_benchmark(GetParam());
+  ASSERT_NE(benchmark, nullptr);
+  const std::string pristine = record_pristine_binary(*benchmark);
+  ASSERT_FALSE(pristine.empty());
+
+  support::ScopedFailureHandler guard(&support::throwing_failure_handler);
+
+  const int fault_count = static_cast<int>(FaultInjector::Fault::kCount_);
+  for (int m = 0; m < kMutationsPerBenchmark; ++m) {
+    const auto fault = static_cast<FaultInjector::Fault>(m % fault_count);
+    FaultInjector injector(static_cast<std::uint64_t>(m) * 6271 + 29);
+    const std::string mutated = injector.apply(pristine, fault);
+    SCOPED_TRACE(std::string(GetParam()) + " / " + FaultInjector::to_string(fault) +
+                 " / binary mutation " + std::to_string(m));
+
+    store::ReadResult strict_result;
+    {  // Strict: ok, or a Status locating the fault (record ordinal, chunk
+       // ordinal, or 1 for header/footer damage). Never a throw.
+      TraceContext ctx;
+      strict_result = store::read_trace(mutated, ctx, store::ReadOptions{});
+      if (!strict_result.status.is_ok()) {
+        EXPECT_GT(strict_result.status.line(), 0u) << strict_result.status.to_string();
+        EXPECT_FALSE(strict_result.finished);
+      } else {
+        EXPECT_TRUE(strict_result.finished);
+      }
+    }
+
+    {  // Lenient: always finishes a validator-clean degraded stream, and the
+       // full analysis runs on top; parallel decode must behave identically.
+      TraceContext ctx;
+      core::PatternAnalyzer analyzer(ctx);
+      DiagSink diags;
+      Validator validator(&diags);
+      ctx.add_sink(&validator);
+      store::ReadOptions options;
+      options.mode = ReplayMode::Lenient;
+      options.diags = &diags;
+      options.jobs = (m % 2 == 0) ? 1 : 4;  // alternate serial/parallel decode
+      const store::ReadResult result = store::read_trace(mutated, ctx, options);
+      ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+      EXPECT_TRUE(result.finished);
+      EXPECT_TRUE(validator.ok()) << validator.status().to_string();
+      const core::AnalysisResult analysis = analyzer.analyze();
+      (void)analysis;
+
+      if (!strict_result.status.is_ok()) {
+        EXPECT_GT(result.dropped + result.skipped_chunks + result.repaired_scopes +
+                      diags.total(),
+                  0u)
+            << strict_result.status.to_string();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, BinaryFaultInjection,
                          ::testing::Values("ludcmp", "reg_detect", "fluidanimate",
                                            "rot-cc", "Correlation", "2mm", "fib", "sort",
                                            "strassen", "3mm", "mvt", "fdtd-2d", "kmeans",

@@ -1,0 +1,512 @@
+// Unit tests for ppd::store: the .ppdt container primitives (varints,
+// CRC32, framing), the writer/reader pair including the strict/lenient
+// corruption contract, decode-parallelism determinism, and the batch
+// driver's content-addressed report cache.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "store/batch.hpp"
+#include "store/format.hpp"
+#include "store/reader.hpp"
+#include "store/writer.hpp"
+#include "support/status.hpp"
+#include "trace/context.hpp"
+#include "trace/serialize.hpp"
+#include "trace/validator.hpp"
+
+namespace ppd::store {
+namespace {
+
+using support::DiagSink;
+using support::ErrorCode;
+using trace::ReplayMode;
+
+// ---- primitives -------------------------------------------------------------
+
+TEST(StoreFormat, VarintRoundtripBoundaries) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  (std::uint64_t{1} << 32) - 1,
+                                  std::uint64_t{1} << 32,
+                                  (std::uint64_t{1} << 56) - 1,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t value : values) {
+    std::string encoded;
+    put_varint(encoded, value);
+    EXPECT_LE(encoded.size(), 10u);
+    ByteReader reader(encoded);
+    std::uint64_t decoded = 0;
+    ASSERT_TRUE(reader.read_varint(decoded)) << value;
+    EXPECT_EQ(decoded, value);
+    EXPECT_TRUE(reader.at_end());
+  }
+}
+
+TEST(StoreFormat, VarintRejectsOverlongAndTruncated) {
+  {  // Eleven continuation bytes can never be a valid 64-bit varint.
+    const std::string overlong(11, '\x80');
+    ByteReader reader(overlong);
+    std::uint64_t decoded = 0;
+    EXPECT_FALSE(reader.read_varint(decoded));
+  }
+  {  // A tenth byte with payload bits above 2^64 must be rejected.
+    std::string bad(9, '\x80');
+    bad += '\x7F';
+    ByteReader reader(bad);
+    std::uint64_t decoded = 0;
+    EXPECT_FALSE(reader.read_varint(decoded));
+  }
+  {  // Truncated mid-varint: continuation bit set on the final byte.
+    const std::string torn = "\x80";
+    ByteReader reader(torn);
+    std::uint64_t decoded = 0;
+    EXPECT_FALSE(reader.read_varint(decoded));
+  }
+}
+
+TEST(StoreFormat, ZigzagRoundtrip) {
+  const std::int64_t values[] = {0, -1, 1, -2, 2, 1000, -1000,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  for (const std::int64_t value : values) {
+    EXPECT_EQ(unzigzag(zigzag(value)), value);
+  }
+  // Small magnitudes encode small: the point of the mapping.
+  EXPECT_EQ(zigzag(0), 0u);
+  EXPECT_EQ(zigzag(-1), 1u);
+  EXPECT_EQ(zigzag(1), 2u);
+}
+
+TEST(StoreFormat, Crc32KnownVector) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+  EXPECT_NE(crc32("a"), crc32("b"));
+}
+
+TEST(StoreFormat, Fnv1a64SeedSensitivity) {
+  EXPECT_EQ(fnv1a64(""), kFnv1aOffset);
+  EXPECT_NE(fnv1a64("trace"), fnv1a64("tracf"));
+  EXPECT_NE(fnv1a64("trace", 1), fnv1a64("trace", 2));
+  EXPECT_EQ(content_key("bytes", 7), content_key("bytes", 7));
+  EXPECT_NE(content_key("bytes", 7), content_key("bytes", 8));
+}
+
+// ---- synthetic traced program ----------------------------------------------
+
+/// A tiny reduction kernel; `iters` scales the record count so tests can
+/// force single- or many-chunk containers.
+void run_program(trace::TraceContext& ctx, int iters) {
+  trace::FunctionScope fn(ctx, "main", 1);
+  const VarId a = ctx.var("a");
+  const VarId s = ctx.var("s");
+  trace::LoopScope loop(ctx, "main_loop", 2);
+  for (int i = 0; i < iters; ++i) {
+    loop.begin_iteration();
+    trace::StatementScope stmt(ctx, "acc", 3);
+    ctx.read(a, static_cast<std::uint64_t>(i), 3);
+    ctx.update(s, 0, 3, trace::UpdateOp::Sum);
+    ctx.compute(3, 2);
+  }
+}
+
+std::string make_binary(int iters, std::uint32_t target_chunk_bytes,
+                        std::uint64_t* chunks_out = nullptr) {
+  std::ostringstream out;
+  trace::TraceContext ctx;
+  BinaryTraceWriter::Options options;
+  options.target_chunk_bytes = target_chunk_bytes;
+  BinaryTraceWriter writer(ctx, out, options);
+  ctx.add_sink(&writer);
+  run_program(ctx, iters);
+  ctx.finish();
+  if (chunks_out != nullptr) *chunks_out = writer.chunks_written();
+  return out.str();
+}
+
+std::string make_text(int iters) {
+  std::ostringstream out;
+  trace::TraceContext ctx;
+  trace::TraceWriter writer(ctx, out);
+  ctx.add_sink(&writer);
+  run_program(ctx, iters);
+  ctx.finish();
+  return out.str();
+}
+
+/// Replays `bytes` (either format) into a fresh context and re-serializes
+/// the dispatched stream as text — a canonical form for equality checks.
+std::string reserialize(const std::string& bytes, const ReadOptions& options,
+                        ReadResult* result_out = nullptr) {
+  std::ostringstream out;
+  trace::TraceContext ctx;
+  trace::TraceWriter writer(ctx, out);
+  ctx.add_sink(&writer);
+  if (is_binary_trace(bytes)) {
+    const ReadResult result = read_trace(bytes, ctx, options);
+    if (result_out != nullptr) *result_out = result;
+  } else {
+    std::istringstream in(bytes);
+    trace::ReplayOptions replay_options;
+    replay_options.mode = options.mode;
+    const trace::ReplayResult replay = trace::replay_trace(in, ctx, replay_options);
+    if (result_out != nullptr) result_out->status = replay.status;
+  }
+  return out.str();
+}
+
+// ---- writer/reader roundtrip ------------------------------------------------
+
+TEST(StoreRoundtrip, MagicSniffing) {
+  EXPECT_TRUE(is_binary_trace(make_binary(4, 1u << 16)));
+  EXPECT_FALSE(is_binary_trace(make_text(4)));
+  EXPECT_FALSE(is_binary_trace(""));
+  EXPECT_FALSE(is_binary_trace("PPDT"));  // prefix alone is not the magic
+}
+
+TEST(StoreRoundtrip, BinaryReplayMatchesTextReplay) {
+  const std::string binary = make_binary(16, 1u << 16);
+  const std::string text = make_text(16);
+
+  ReadResult result;
+  const std::string from_binary = reserialize(binary, ReadOptions{}, &result);
+  const std::string from_text = reserialize(text, ReadOptions{});
+
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_TRUE(result.finished);
+  EXPECT_EQ(result.dropped, 0u);
+  EXPECT_EQ(from_binary, from_text);
+}
+
+TEST(StoreRoundtrip, ReaderAccountsRecordsAndChunks) {
+  std::uint64_t chunks = 0;
+  const std::string binary = make_binary(64, 256, &chunks);
+  EXPECT_GT(chunks, 2u) << "tiny target_chunk_bytes must split the stream";
+
+  trace::TraceContext ctx;
+  const ReadResult result = read_trace(binary, ctx, ReadOptions{});
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_EQ(result.chunks, chunks);
+  EXPECT_GT(result.records, 0u);
+}
+
+TEST(StoreRoundtrip, ParallelDecodeIsDeterministic) {
+  std::uint64_t chunks = 0;
+  const std::string binary = make_binary(256, 128, &chunks);
+  ASSERT_GT(chunks, 4u);
+
+  ReadOptions serial;
+  serial.jobs = 1;
+  ReadOptions fanout;
+  fanout.jobs = 4;
+
+  ReadResult serial_result;
+  ReadResult fanout_result;
+  const std::string from_serial = reserialize(binary, serial, &serial_result);
+  const std::string from_fanout = reserialize(binary, fanout, &fanout_result);
+
+  ASSERT_TRUE(serial_result.status.is_ok());
+  ASSERT_TRUE(fanout_result.status.is_ok());
+  EXPECT_EQ(serial_result.records, fanout_result.records);
+  EXPECT_EQ(from_serial, from_fanout);
+}
+
+TEST(StoreRoundtrip, EmptyProgramRoundtrips) {
+  std::ostringstream out;
+  trace::TraceContext ctx;
+  BinaryTraceWriter writer(ctx, out);
+  ctx.add_sink(&writer);
+  ctx.finish();
+
+  trace::TraceContext replay_ctx;
+  const ReadResult result = read_trace(out.str(), replay_ctx, ReadOptions{});
+  EXPECT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_EQ(result.records, 0u);
+  EXPECT_TRUE(result.finished);
+}
+
+// ---- corruption contract ----------------------------------------------------
+
+TEST(StoreCorruption, NonBinaryInputIsBadHeader) {
+  trace::TraceContext ctx;
+  EXPECT_EQ(read_trace("", ctx, ReadOptions{}).status.code(), ErrorCode::BadHeader);
+  trace::TraceContext ctx2;
+  EXPECT_EQ(read_trace("ppd-trace 1\n", ctx2, ReadOptions{}).status.code(),
+            ErrorCode::BadHeader);
+  trace::TraceContext ctx3;
+  EXPECT_EQ(read_trace(std::string_view(kMagic, 4), ctx3, ReadOptions{}).status.code(),
+            ErrorCode::BadHeader);
+}
+
+TEST(StoreCorruption, CorruptChunkStrictStopsLenientSkips) {
+  std::uint64_t chunks = 0;
+  const std::string pristine = make_binary(64, 256, &chunks);
+  ASSERT_GT(chunks, 2u);
+
+  // First byte of the first chunk payload: a single flipped payload byte is
+  // guaranteed to break that section's CRC.
+  std::string corrupt = pristine;
+  corrupt[kMagicSize + kSectionHeaderSize] =
+      static_cast<char>(corrupt[kMagicSize + kSectionHeaderSize] ^ 0x5A);
+
+  {
+    trace::TraceContext ctx;
+    const ReadResult result = read_trace(corrupt, ctx, ReadOptions{});
+    EXPECT_EQ(result.status.code(), ErrorCode::ChunkCorrupt)
+        << result.status.to_string();
+    EXPECT_GT(result.status.line(), 0u);
+    EXPECT_FALSE(result.finished);
+  }
+  {
+    trace::TraceContext ctx;
+    DiagSink diags;
+    trace::Validator validator(&diags);
+    ctx.add_sink(&validator);
+    ReadOptions options;
+    options.mode = ReplayMode::Lenient;
+    options.diags = &diags;
+    const ReadResult result = read_trace(corrupt, ctx, options);
+    ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+    EXPECT_TRUE(result.finished);
+    EXPECT_EQ(result.skipped_chunks, 1u);
+    EXPECT_GT(result.dropped, 0u);  // the chunk's declared records
+    EXPECT_GE(diags.total(), 1u);
+    EXPECT_TRUE(validator.ok()) << validator.status().to_string();
+  }
+}
+
+TEST(StoreCorruption, FooterDamageStrictFailsLenientRecoversAllRecords) {
+  const std::string pristine = make_binary(64, 256);
+  trace::TraceContext pristine_ctx;
+  const ReadResult pristine_result = read_trace(pristine, pristine_ctx, ReadOptions{});
+  ASSERT_TRUE(pristine_result.status.is_ok());
+
+  std::string damaged = pristine;
+  damaged.back() = static_cast<char>(damaged.back() ^ 0x1);  // breaks the trailer magic
+
+  {
+    trace::TraceContext ctx;
+    const ReadResult result = read_trace(damaged, ctx, ReadOptions{});
+    EXPECT_EQ(result.status.code(), ErrorCode::BadFooter) << result.status.to_string();
+    EXPECT_FALSE(result.finished);
+  }
+  {  // The sections are self-delimiting: a forward scan recovers everything.
+    trace::TraceContext ctx;
+    DiagSink diags;
+    ReadOptions options;
+    options.mode = ReplayMode::Lenient;
+    options.diags = &diags;
+    const ReadResult result = read_trace(damaged, ctx, options);
+    ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+    EXPECT_TRUE(result.finished);
+    EXPECT_EQ(result.records, pristine_result.records);
+    EXPECT_EQ(result.dropped, 0u);
+    EXPECT_GE(diags.total(), 1u);  // the footer damage itself is reported
+  }
+}
+
+TEST(StoreCorruption, TruncationStrictFailsLenientFinishes) {
+  const std::string pristine = make_binary(64, 256);
+  const std::string torn = pristine.substr(0, pristine.size() / 2);
+
+  {
+    trace::TraceContext ctx;
+    const ReadResult result = read_trace(torn, ctx, ReadOptions{});
+    EXPECT_FALSE(result.status.is_ok());
+    EXPECT_FALSE(result.finished);
+  }
+  {
+    trace::TraceContext ctx;
+    DiagSink diags;
+    trace::Validator validator(&diags);
+    ctx.add_sink(&validator);
+    ReadOptions options;
+    options.mode = ReplayMode::Lenient;
+    options.diags = &diags;
+    const ReadResult result = read_trace(torn, ctx, options);
+    ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+    EXPECT_TRUE(result.finished);
+    EXPECT_TRUE(validator.ok()) << validator.status().to_string();
+  }
+}
+
+TEST(StoreCorruption, RecordCapIsFatalInBothModes) {
+  const std::string binary = make_binary(64, 1u << 16);
+  for (const ReplayMode mode : {ReplayMode::Strict, ReplayMode::Lenient}) {
+    trace::TraceContext ctx;
+    ReadOptions options;
+    options.mode = mode;
+    options.limits.max_records = 3;
+    const ReadResult result = read_trace(binary, ctx, options);
+    EXPECT_EQ(result.status.code(), ErrorCode::ResourceLimit)
+        << result.status.to_string();
+    EXPECT_FALSE(result.finished);
+  }
+}
+
+// ---- batch driver and report cache ------------------------------------------
+
+class StoreBatch : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("ppd_store_batch_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string write_file(const std::string& name, const std::string& bytes) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(StoreBatch, CachePathAndFraming) {
+  const std::string path = cache_path("cache", 0xDEADBEEFull);
+  EXPECT_EQ(path, (std::filesystem::path("cache") / "00000000deadbeef.ppdr").string());
+}
+
+TEST_F(StoreBatch, FindTracesSniffsBothFormatsAndSorts) {
+  write_file("b.ppdt", make_binary(4, 1u << 16));
+  write_file("a.txt", make_text(4));
+  write_file("junk.bin", "not a trace at all\n");
+
+  const std::vector<std::string> traces = find_traces(dir_.string());
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_NE(traces[0].find("a.txt"), std::string::npos);
+  EXPECT_NE(traces[1].find("b.ppdt"), std::string::npos);
+
+  // A plain file path passes through untouched, trace or not.
+  const std::vector<std::string> single = find_traces(traces[0]);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], traces[0]);
+}
+
+TEST_F(StoreBatch, SecondRunIsServedEntirelyFromCache) {
+  const std::string text_path = write_file("a.txt", make_text(8));
+  const std::string binary_path = write_file("b.ppdt", make_binary(8, 1u << 16));
+  const std::vector<std::string> paths = {text_path, binary_path};
+
+  std::atomic<int> calls{0};
+  const AnalyzeFn analyze = [&calls](const std::string& path, const std::string&) {
+    ++calls;
+    AnalyzeOutcome outcome;
+    outcome.report = "report for " + path + "\n";
+    return outcome;
+  };
+
+  BatchOptions options;
+  options.jobs = 2;
+  options.cache_dir = (dir_ / "cache").string();
+
+  const BatchSummary first = analyze_batch(paths, options, analyze);
+  ASSERT_EQ(first.items.size(), 2u);
+  EXPECT_EQ(first.failures, 0u);
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_EQ(calls.load(), 2);
+
+  const BatchSummary second = analyze_batch(paths, options, analyze);
+  EXPECT_EQ(second.cache_hits, 2u);
+  EXPECT_EQ(second.failures, 0u);
+  EXPECT_EQ(calls.load(), 2) << "cache hits must not re-analyze";
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    EXPECT_EQ(second.items[i].report, first.items[i].report);
+    EXPECT_TRUE(second.items[i].cached);
+  }
+
+  // --refresh re-analyzes even though the cache entry exists.
+  BatchOptions refresh = options;
+  refresh.refresh = true;
+  const BatchSummary third = analyze_batch(paths, refresh, analyze);
+  EXPECT_EQ(third.cache_hits, 0u);
+  EXPECT_EQ(calls.load(), 4);
+
+  // A different salt (changed analysis configuration) misses the cache.
+  BatchOptions salted = options;
+  salted.salt = 99;
+  const BatchSummary fourth = analyze_batch(paths, salted, analyze);
+  EXPECT_EQ(fourth.cache_hits, 0u);
+  EXPECT_EQ(calls.load(), 6);
+}
+
+TEST_F(StoreBatch, DegradedOutcomesAreNeverCached) {
+  const std::string path = write_file("a.txt", make_text(4));
+  std::atomic<int> calls{0};
+  const AnalyzeFn analyze = [&calls](const std::string&, const std::string&) {
+    ++calls;
+    AnalyzeOutcome outcome;
+    outcome.report = "degraded report\n";
+    outcome.cacheable = false;
+    return outcome;
+  };
+  BatchOptions options;
+  options.cache_dir = (dir_ / "cache").string();
+  (void)analyze_batch({path}, options, analyze);
+  const BatchSummary second = analyze_batch({path}, options, analyze);
+  EXPECT_EQ(second.cache_hits, 0u);
+  EXPECT_EQ(calls.load(), 2);
+}
+
+TEST_F(StoreBatch, UnreadableFileBecomesFailedItem) {
+  const std::string missing = (dir_ / "missing.txt").string();
+  const AnalyzeFn analyze = [](const std::string&, const std::string&) {
+    return AnalyzeOutcome{};
+  };
+  const BatchSummary summary = analyze_batch({missing}, BatchOptions{}, analyze);
+  ASSERT_EQ(summary.items.size(), 1u);
+  EXPECT_EQ(summary.failures, 1u);
+  EXPECT_EQ(summary.items[0].status.code(), ErrorCode::IoError);
+}
+
+TEST_F(StoreBatch, TornCacheEntryIsAMiss) {
+  const std::string path = write_file("a.txt", make_text(4));
+  std::atomic<int> calls{0};
+  const AnalyzeFn analyze = [&calls](const std::string&, const std::string&) {
+    ++calls;
+    AnalyzeOutcome outcome;
+    outcome.report = "fresh report\n";
+    return outcome;
+  };
+  BatchOptions options;
+  options.cache_dir = (dir_ / "cache").string();
+  (void)analyze_batch({path}, options, analyze);
+  ASSERT_EQ(calls.load(), 1);
+
+  // Truncate the stored entry: the length check must reject it.
+  std::string bytes;
+  ASSERT_TRUE(slurp_file(path, bytes));
+  const std::string entry = cache_path(options.cache_dir, content_key(bytes, 0));
+  std::string cached;
+  ASSERT_TRUE(slurp_file(entry, cached));
+  {
+    std::ofstream out(entry, std::ios::binary | std::ios::trunc);
+    out.write(cached.data(), static_cast<std::streamsize>(cached.size() / 2));
+  }
+  const BatchSummary summary = analyze_batch({path}, options, analyze);
+  EXPECT_EQ(summary.cache_hits, 0u);
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_EQ(summary.items[0].report, "fresh report\n");
+}
+
+}  // namespace
+}  // namespace ppd::store

@@ -1,0 +1,203 @@
+// Round-trip property suite: for every bundled benchmark, converting the
+// text trace to the binary container and replaying it must reproduce the
+// *exact* event stream of a direct text replay — every AccessEvent field
+// (ids, costs, loop iteration vectors, activation numbers, sequence
+// numbers), every scope transition, and, as the end-to-end check, the
+// byte-identical markdown report of the full downstream analysis. This is
+// the acceptance bar for the binary format: detectors cannot tell which
+// container the stream came from.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bs/benchmark.hpp"
+#include "core/analyzer.hpp"
+#include "report/markdown.hpp"
+#include "store/reader.hpp"
+#include "store/writer.hpp"
+#include "trace/context.hpp"
+#include "trace/serialize.hpp"
+#include "trace/validator.hpp"
+
+namespace ppd::store {
+namespace {
+
+using trace::ReplayMode;
+
+/// Flattens every event into a comparable text form, capturing all fields a
+/// detector can observe (the loop stack included).
+class EventRecorder final : public trace::EventSink {
+ public:
+  void on_region_enter(const trace::RegionInfo& region) override {
+    add("E", region.id.value(), region.kind == trace::RegionKind::Loop, region.name,
+        region.line);
+  }
+  void on_region_exit(const trace::RegionInfo& region) override {
+    add("X", region.id.value(), region.kind == trace::RegionKind::Loop, region.name,
+        region.line);
+  }
+  void on_iteration(const trace::RegionInfo& loop, std::uint64_t iteration) override {
+    out_ += "I " + std::to_string(loop.id.value()) + " " + std::to_string(iteration) +
+            "\n";
+  }
+  void on_access(const trace::AccessEvent& a) override {
+    out_ += a.kind == trace::AccessKind::Read ? "R" : "W";
+    out_ += ' ';
+    out_ += std::to_string(a.var.value()) + " " + std::to_string(a.addr) + " " +
+            std::to_string(a.line) + " " + std::to_string(a.cost) + " " +
+            std::to_string(static_cast<int>(a.op)) + " " +
+            std::to_string(a.stmt.valid() ? a.stmt.value() : ~0u) + " " +
+            std::to_string(a.region.valid() ? a.region.value() : ~0u) + " " +
+            std::to_string(a.func.valid() ? a.func.value() : ~0u) + " " +
+            std::to_string(a.func_activation) + " " + std::to_string(a.seq) + " [";
+    for (const trace::LoopPosition& pos : a.loop_stack) {
+      out_ += std::to_string(pos.loop.value()) + ":" + std::to_string(pos.iteration) +
+              " ";
+    }
+    out_ += "]\n";
+  }
+  void on_compute(const trace::ComputeEvent& c) override {
+    out_ += "C " + std::to_string(c.line) + " " + std::to_string(c.cost) + " " +
+            std::to_string(c.stmt.valid() ? c.stmt.value() : ~0u) + " " +
+            std::to_string(c.region.valid() ? c.region.value() : ~0u) + "\n";
+  }
+  void on_statement_enter(const trace::StatementInfo& stmt) override {
+    add("S", stmt.id.value(), false, stmt.name, stmt.line);
+  }
+  void on_statement_exit(const trace::StatementInfo& stmt) override {
+    add("P", stmt.id.value(), false, stmt.name, stmt.line);
+  }
+  void on_trace_end() override { out_ += "END\n"; }
+
+  [[nodiscard]] const std::string& recorded() const { return out_; }
+
+ private:
+  void add(const char* tag, std::uint32_t id, bool is_loop, const std::string& name,
+           std::uint32_t line) {
+    out_ += tag;
+    out_ += ' ';
+    out_ += std::to_string(id) + " " + std::to_string(is_loop) + " " + name + " " +
+            std::to_string(line) + "\n";
+  }
+
+  std::string out_;
+};
+
+std::string record_text_trace(const bs::Benchmark& benchmark) {
+  std::ostringstream out;
+  trace::TraceContext ctx;
+  trace::TraceWriter writer(ctx, out);
+  ctx.add_sink(&writer);
+  benchmark.run_traced(ctx);
+  ctx.finish();
+  return out.str();
+}
+
+/// text -> binary conversion through the replay pipeline (what the CLI's
+/// `convert` does). Small chunks force multi-chunk containers everywhere.
+std::string convert_to_binary(const std::string& text) {
+  std::ostringstream out;
+  trace::TraceContext ctx;
+  BinaryTraceWriter::Options options;
+  options.target_chunk_bytes = 512;
+  BinaryTraceWriter writer(ctx, out, options);
+  ctx.add_sink(&writer);
+  std::istringstream in(text);
+  const trace::ReplayResult replay = trace::replay_trace(in, ctx, trace::ReplayOptions{});
+  EXPECT_TRUE(replay.status.is_ok()) << replay.status.to_string();
+  return out.str();
+}
+
+struct ReplayCapture {
+  std::string events;
+  std::string markdown;
+  bool validator_clean = false;
+};
+
+ReplayCapture replay_text(const std::string& text) {
+  trace::TraceContext ctx;
+  core::PatternAnalyzer analyzer(ctx);
+  EventRecorder recorder;
+  trace::Validator validator;
+  ctx.add_sink(&recorder);
+  ctx.add_sink(&validator);
+  std::istringstream in(text);
+  const trace::ReplayResult replay = trace::replay_trace(in, ctx, trace::ReplayOptions{});
+  EXPECT_TRUE(replay.status.is_ok()) << replay.status.to_string();
+  ReplayCapture capture;
+  capture.events = recorder.recorded();
+  capture.markdown = report::markdown_report(analyzer.analyze(), ctx, "roundtrip");
+  capture.validator_clean = validator.ok();
+  return capture;
+}
+
+ReplayCapture replay_binary(const std::string& binary, ReplayMode mode,
+                            std::size_t jobs) {
+  trace::TraceContext ctx;
+  core::PatternAnalyzer analyzer(ctx);
+  EventRecorder recorder;
+  trace::Validator validator;
+  ctx.add_sink(&recorder);
+  ctx.add_sink(&validator);
+  ReadOptions options;
+  options.mode = mode;
+  options.jobs = jobs;
+  const ReadResult result = read_trace(binary, ctx, options);
+  EXPECT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_TRUE(result.finished);
+  ReplayCapture capture;
+  capture.events = recorder.recorded();
+  capture.markdown = report::markdown_report(analyzer.analyze(), ctx, "roundtrip");
+  capture.validator_clean = validator.ok();
+  return capture;
+}
+
+class StoreRoundtripProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StoreRoundtripProperty, BinaryReplayIsBitIdenticalToTextReplay) {
+  const bs::Benchmark* benchmark = bs::find_benchmark(GetParam());
+  ASSERT_NE(benchmark, nullptr);
+
+  const std::string text = record_text_trace(*benchmark);
+  ASSERT_FALSE(text.empty());
+  const std::string binary = convert_to_binary(text);
+  ASSERT_TRUE(is_binary_trace(binary));
+
+  const ReplayCapture from_text = replay_text(text);
+  ASSERT_TRUE(from_text.validator_clean);
+
+  // Strict serial, strict parallel, and lenient replay of a pristine
+  // container must all reproduce the identical event stream — and hence the
+  // identical downstream report.
+  const ReplayCapture strict_serial = replay_binary(binary, ReplayMode::Strict, 1);
+  EXPECT_EQ(strict_serial.events, from_text.events);
+  EXPECT_EQ(strict_serial.markdown, from_text.markdown);
+  EXPECT_TRUE(strict_serial.validator_clean);
+
+  const ReplayCapture strict_parallel = replay_binary(binary, ReplayMode::Strict, 4);
+  EXPECT_EQ(strict_parallel.events, from_text.events);
+
+  const ReplayCapture lenient = replay_binary(binary, ReplayMode::Lenient, 2);
+  EXPECT_EQ(lenient.events, from_text.events);
+  EXPECT_EQ(lenient.markdown, from_text.markdown);
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, StoreRoundtripProperty,
+                         ::testing::Values("ludcmp", "reg_detect", "fluidanimate",
+                                           "rot-cc", "Correlation", "2mm", "fib", "sort",
+                                           "strassen", "3mm", "mvt", "fdtd-2d", "kmeans",
+                                           "streamcluster", "nqueens", "bicg", "gesummv",
+                                           "sum_local", "sum_module"),
+                         [](const ::testing::TestParamInfo<const char*>& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace ppd::store

@@ -4,17 +4,33 @@
 //   ppd-analyze --list                       list the bundled benchmarks
 //   ppd-analyze <benchmark>                  profile + detect + report
 //   ppd-analyze <benchmark> --dump-trace F   also write the event trace to F
+//                                            (text, or .ppdt binary by extension)
 //   ppd-analyze <benchmark> --markdown F     also write a markdown report to F
 //   ppd-analyze <benchmark> --dot PREFIX     also write PREFIX.pet.dot / PREFIX.cu.dot
 //   ppd-analyze <benchmark> --comm on        print the communication matrix (§II [16])
 //   ppd-analyze <benchmark> --omp on         print OpenMP skeletons per pattern
-//   ppd-analyze --trace F [--strict|--lenient] [--max-records N]
-//                                            analyze a previously dumped trace
+//   ppd-analyze --trace F [--strict|--lenient] [--max-records N] [--jobs N]
+//                                            analyze a dumped trace (text or .ppdt,
+//                                            sniffed by content; --jobs fans the
+//                                            binary chunk decode over N threads)
+//   ppd-analyze convert IN OUT [--chunk-bytes N] [--lenient]
+//                                            convert text <-> binary (direction
+//                                            follows the input format)
+//   ppd-analyze --batch PATH... [--jobs N] [--cache DIR | --no-cache] [--refresh]
+//               [--strict|--lenient] [--max-records N]
+//                                            analyze every trace in the given
+//                                            files/directories concurrently; a
+//                                            content-hash keyed cache skips
+//                                            traces that did not change
+//
+// Output discipline: the report goes to stdout; everything else — progress,
+// diagnostics, errors — goes to stderr, so reports stay pipeable.
 //
 // Traces are untrusted input: --strict (the default) stops at the first
 // malformed record with a diagnostic naming the offending line; --lenient
-// drops bad records, repairs unbalanced scopes at EOF, and completes a
-// degraded analysis, reporting what was dropped in the diagnostics section.
+// drops bad records (and skips corrupt binary chunks), repairs unbalanced
+// scopes at EOF, and completes a degraded analysis, reporting what was
+// dropped in the diagnostics section.
 //
 // Exit codes: 0 success; 1 I/O error; 2 usage; 3 malformed trace;
 // 4 analysis failure.
@@ -24,12 +40,15 @@
 // reduction candidates with inferred operators, the fork/worker/barrier
 // classification of the best task-parallel scope, the ranked pattern list,
 // and the derived transformation hints.
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "bs/benchmark.hpp"
 #include "comm/comm.hpp"
@@ -37,6 +56,10 @@
 #include "core/analyzer.hpp"
 #include "core/omp_codegen.hpp"
 #include "report/markdown.hpp"
+#include "store/batch.hpp"
+#include "store/format.hpp"
+#include "store/reader.hpp"
+#include "store/writer.hpp"
 #include "support/status.hpp"
 #include "trace/serialize.hpp"
 #include "trace/validator.hpp"
@@ -52,47 +75,75 @@ constexpr int kExitBadTrace = 3;
 constexpr int kExitAnalysis = 4;
 
 int usage() {
-  std::puts("usage: ppd-analyze --list");
-  std::puts("       ppd-analyze <benchmark> [--dump-trace FILE] [--markdown FILE]");
-  std::puts("                   [--dot PREFIX] [--comm on] [--omp on]");
-  std::puts("       ppd-analyze --trace FILE [--strict|--lenient] [--max-records N]");
-  std::puts("exit codes: 0 ok, 1 i/o error, 2 usage, 3 malformed trace,");
-  std::puts("            4 analysis failure");
+  std::fputs(
+      "usage: ppd-analyze --list\n"
+      "       ppd-analyze <benchmark> [--dump-trace FILE] [--markdown FILE]\n"
+      "                   [--dot PREFIX] [--comm on] [--omp on]\n"
+      "       ppd-analyze --trace FILE [--strict|--lenient] [--max-records N]\n"
+      "                   [--jobs N]\n"
+      "       ppd-analyze convert IN OUT [--chunk-bytes N] [--lenient]\n"
+      "       ppd-analyze --batch PATH... [--jobs N] [--cache DIR | --no-cache]\n"
+      "                   [--refresh] [--strict|--lenient] [--max-records N]\n"
+      "exit codes: 0 ok, 1 i/o error, 2 usage, 3 malformed trace,\n"
+      "            4 analysis failure\n",
+      stderr);
   return kExitUsage;
 }
 
-void print_report(const core::AnalysisResult& result, const trace::TraceContext& ctx) {
-  std::puts("== Program execution tree (hotspots >= 2%) ==");
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void appendf(std::string& out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list sized;
+  va_copy(sized, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, sized);
+  va_end(sized);
+  if (needed > 0) {
+    std::vector<char> buffer(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buffer.data(), buffer.size(), fmt, args);
+    out.append(buffer.data(), static_cast<std::size_t>(needed));
+  }
+  va_end(args);
+}
+
+std::string render_report(const core::AnalysisResult& result,
+                          const trace::TraceContext& ctx) {
+  std::string out;
+  appendf(out, "== Program execution tree (hotspots >= 2%%) ==\n");
   for (pet::NodeIndex node : result.pet.hotspots(0.02)) {
     const pet::PetNode& n = result.pet.node(node);
-    std::printf("  %-24s %6.2f%%  (%s%s)\n", n.name.c_str(),
-                result.pet.cost_fraction(node) * 100.0, n.is_loop() ? "loop" : "function",
-                n.recursive ? ", recursive" : "");
+    appendf(out, "  %-24s %6.2f%%  (%s%s)\n", n.name.c_str(),
+            result.pet.cost_fraction(node) * 100.0, n.is_loop() ? "loop" : "function",
+            n.recursive ? ", recursive" : "");
   }
 
-  std::printf("\nPrimary pattern: %s\n", result.primary_description.c_str());
-  std::printf("Supporting structure: %s\n\n", core::supporting_structure(result.primary));
+  appendf(out, "\nPrimary pattern: %s\n", result.primary_description.c_str());
+  appendf(out, "Supporting structure: %s\n\n",
+          core::supporting_structure(result.primary));
 
   const auto pipelines = result.reported_pipelines();
   if (!pipelines.empty()) {
-    std::puts("== Multi-loop pipelines ==");
+    appendf(out, "== Multi-loop pipelines ==\n");
     for (const core::MultiLoopPipeline* p : pipelines) {
-      std::printf("  %s -> %s: a=%.2f b=%.2f e=%.2f%s\n",
-                  ctx.region(p->loop_x).name.c_str(), ctx.region(p->loop_y).name.c_str(),
-                  p->fit.a, p->fit.b, p->e, p->fusion ? " [fusion]" : "");
-      std::printf("    %s\n", core::describe_coefficients(p->fit.a, p->fit.b, 0.05).c_str());
+      appendf(out, "  %s -> %s: a=%.2f b=%.2f e=%.2f%s\n",
+              ctx.region(p->loop_x).name.c_str(), ctx.region(p->loop_y).name.c_str(),
+              p->fit.a, p->fit.b, p->e, p->fusion ? " [fusion]" : "");
+      appendf(out, "    %s\n",
+              core::describe_coefficients(p->fit.a, p->fit.b, 0.05).c_str());
     }
-    std::puts("");
+    appendf(out, "\n");
   }
 
   if (!result.reductions.empty()) {
-    std::puts("== Reduction candidates (Algorithm 3) ==");
+    appendf(out, "== Reduction candidates (Algorithm 3) ==\n");
     for (const core::ReductionCandidate& r : result.reductions) {
-      std::printf("  loop '%s': variable '%s' at line %u, operator %s\n",
-                  ctx.region(r.loop).name.c_str(), ctx.var_info(r.var).name.c_str(), r.line,
-                  trace::to_string(r.op));
+      appendf(out, "  loop '%s': variable '%s' at line %u, operator %s\n",
+              ctx.region(r.loop).name.c_str(), ctx.var_info(r.var).name.c_str(), r.line,
+              trace::to_string(r.op));
     }
-    std::puts("");
+    appendf(out, "\n");
   }
 
   const core::ScopeTaskParallelism* tasks = result.primary_tasks();
@@ -105,89 +156,299 @@ void print_report(const core::AnalysisResult& result, const trace::TraceContext&
     }
   }
   if (tasks != nullptr && tasks->tp.worker_count() >= 1) {
-    std::printf("== Task classification in '%s' ==\n",
-                ctx.region(tasks->tp.scope).name.c_str());
-    std::fputs(tasks->tp.render(tasks->graph).c_str(), stdout);
-    std::puts("");
+    appendf(out, "== Task classification in '%s' ==\n",
+            ctx.region(tasks->tp.scope).name.c_str());
+    out += tasks->tp.render(tasks->graph);
+    appendf(out, "\n");
   }
 
   const auto ranked = core::rank_patterns(result, ctx);
   if (!ranked.empty()) {
-    std::puts("== Ranked patterns (best first) ==");
+    appendf(out, "== Ranked patterns (best first) ==\n");
     for (const core::RankedPattern& r : ranked) {
-      std::printf("  %-60s  benefit %.2fx  effort %-6s score %.3f\n", r.description.c_str(),
-                  r.expected_benefit, core::to_string(r.effort), r.score);
+      appendf(out, "  %-60s  benefit %.2fx  effort %-6s score %.3f\n",
+              r.description.c_str(), r.expected_benefit, core::to_string(r.effort),
+              r.score);
     }
-    std::puts("");
+    appendf(out, "\n");
   }
 
   const auto hints = core::derive_hints(result, ctx);
   if (!hints.empty()) {
-    std::puts("== Transformation hints ==");
+    appendf(out, "== Transformation hints ==\n");
     for (const core::TransformationHint& h : hints) {
-      std::printf("  [%s] %s\n", core::to_string(h.kind), h.text.c_str());
+      appendf(out, "  [%s] %s\n", core::to_string(h.kind), h.text.c_str());
     }
   }
+  return out;
 }
 
-void print_diagnostics(const trace::ReplayResult& replay, const support::DiagSink& diags,
-                       const trace::Validator& validator, trace::ReplayMode mode) {
-  std::puts("== Diagnostics ==");
-  std::printf("  mode: %s\n",
-              mode == trace::ReplayMode::Strict ? "strict" : "lenient");
-  std::printf("  records replayed: %llu, dropped: %llu, repaired scopes: %llu\n",
-              static_cast<unsigned long long>(replay.records),
-              static_cast<unsigned long long>(replay.dropped),
-              static_cast<unsigned long long>(replay.repaired_scopes));
-  std::printf("  stream-invariant violations: %llu\n",
-              static_cast<unsigned long long>(validator.violations()));
+/// Ingestion statistics shared by the text and the binary replay paths.
+struct IngestStats {
+  std::uint64_t records = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t repaired_scopes = 0;
+  std::uint64_t skipped_chunks = 0;
+  bool binary = false;
+};
+
+std::string render_diagnostics(const IngestStats& stats,
+                               const support::DiagSink& diags,
+                               const trace::Validator& validator,
+                               trace::ReplayMode mode) {
+  std::string out;
+  appendf(out, "== Diagnostics ==\n");
+  appendf(out, "  mode: %s\n",
+          mode == trace::ReplayMode::Strict ? "strict" : "lenient");
+  appendf(out, "  records replayed: %llu, dropped: %llu, repaired scopes: %llu\n",
+          static_cast<unsigned long long>(stats.records),
+          static_cast<unsigned long long>(stats.dropped),
+          static_cast<unsigned long long>(stats.repaired_scopes));
+  if (stats.binary) {
+    appendf(out, "  corrupt chunks skipped: %llu\n",
+            static_cast<unsigned long long>(stats.skipped_chunks));
+  }
+  appendf(out, "  stream-invariant violations: %llu\n",
+          static_cast<unsigned long long>(validator.violations()));
   constexpr std::size_t kMaxShown = 10;
   std::size_t shown = 0;
   for (const support::Diag& d : diags.diags()) {
     if (shown++ == kMaxShown) break;
-    std::printf("  - %s\n", d.to_string().c_str());
+    appendf(out, "  - %s\n", d.to_string().c_str());
   }
   if (diags.total() > kMaxShown) {
-    std::printf("  ... and %llu more\n",
-                static_cast<unsigned long long>(diags.total() - kMaxShown));
+    appendf(out, "  ... and %llu more\n",
+            static_cast<unsigned long long>(diags.total() - kMaxShown));
   }
-  std::puts("");
+  appendf(out, "\n");
+  return out;
 }
 
-int analyze_trace_file(const char* path, trace::ReplayOptions options) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open trace file '%s'\n", path);
-    return kExitIo;
-  }
+struct TraceRunOptions {
+  trace::ReplayMode mode = trace::ReplayMode::Strict;
+  std::uint64_t max_records = trace::ReplayLimits{}.max_records;
+  std::size_t jobs = 1;
+};
 
+/// Replays the trace bytes (either format) and runs the full analysis.
+/// Fills `report` (stdout payload) and `log` (stderr payload); returns the
+/// process exit code. `clean` reports whether the ingestion was pristine
+/// (cacheable by the batch driver).
+int analyze_trace_bytes(const std::string& path, const std::string& bytes,
+                        const TraceRunOptions& run, std::string& report,
+                        std::string& log, bool* clean = nullptr) {
   trace::TraceContext ctx;
   core::PatternAnalyzer analyzer(ctx);
   support::DiagSink diags;
   trace::Validator validator(&diags);
   ctx.add_sink(&validator);
-  options.diags = &diags;
 
-  const trace::ReplayResult replay = trace::replay_trace(in, ctx, options);
-  if (!replay.status.is_ok()) {
-    std::fprintf(stderr, "replay failed: %s\n", replay.status.to_string().c_str());
+  IngestStats stats;
+  support::Status status;
+  if (store::is_binary_trace(bytes)) {
+    store::ReadOptions options;
+    options.mode = run.mode;
+    options.limits.max_records = run.max_records;
+    options.diags = &diags;
+    options.jobs = run.jobs;
+    const store::ReadResult read = store::read_trace(bytes, ctx, options);
+    status = read.status;
+    stats.records = read.records;
+    stats.dropped = read.dropped;
+    stats.repaired_scopes = read.repaired_scopes;
+    stats.skipped_chunks = read.skipped_chunks;
+    stats.binary = true;
+  } else {
+    trace::ReplayOptions options;
+    options.mode = run.mode;
+    options.limits.max_records = run.max_records;
+    options.diags = &diags;
+    std::istringstream in(bytes);
+    const trace::ReplayResult replay = trace::replay_trace(in, ctx, options);
+    status = replay.status;
+    stats.records = replay.records;
+    stats.dropped = replay.dropped;
+    stats.repaired_scopes = replay.repaired_scopes;
+  }
+
+  if (!status.is_ok()) {
+    appendf(log, "replay failed: %s\n", status.to_string().c_str());
+    if (clean != nullptr) *clean = false;
     return kExitBadTrace;
   }
-  std::printf("replayed %llu records from %s\n\n",
-              static_cast<unsigned long long>(replay.records), path);
-  if (replay.dropped != 0 || replay.repaired_scopes != 0 || !validator.ok() ||
-      !diags.empty()) {
-    print_diagnostics(replay, diags, validator, options.mode);
-  }
+  appendf(log, "replayed %llu records from %s (%s)\n",
+          static_cast<unsigned long long>(stats.records), path.c_str(),
+          stats.binary ? "binary" : "text");
+  const bool degraded = stats.dropped != 0 || stats.repaired_scopes != 0 ||
+                        stats.skipped_chunks != 0 || !validator.ok() ||
+                        !diags.empty();
+  if (degraded) log += render_diagnostics(stats, diags, validator, run.mode);
+  if (clean != nullptr) *clean = !degraded;
 
   try {
     const core::AnalysisResult result = analyzer.analyze();
-    print_report(result, ctx);
+    report = render_report(result, ctx);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "analysis failed: %s\n", e.what());
+    appendf(log, "analysis failed: %s\n", e.what());
+    if (clean != nullptr) *clean = false;
     return kExitAnalysis;
   }
   return kExitOk;
+}
+
+int analyze_trace_file(const char* path, const TraceRunOptions& run) {
+  std::string bytes;
+  if (!store::slurp_file(path, bytes)) {
+    std::fprintf(stderr, "cannot open trace file '%s'\n", path);
+    return kExitIo;
+  }
+  std::string report;
+  std::string log;
+  const int code = analyze_trace_bytes(path, bytes, run, report, log);
+  std::fputs(log.c_str(), stderr);
+  std::fputs(report.c_str(), stdout);
+  return code;
+}
+
+// ---- convert ----------------------------------------------------------------
+
+int convert_trace(const char* in_path, const char* out_path,
+                  trace::ReplayMode mode, std::uint32_t chunk_bytes) {
+  std::string bytes;
+  if (!store::slurp_file(in_path, bytes)) {
+    std::fprintf(stderr, "cannot open trace file '%s'\n", in_path);
+    return kExitIo;
+  }
+  const bool from_binary = store::is_binary_trace(bytes);
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write trace file '%s'\n", out_path);
+    return kExitIo;
+  }
+
+  trace::TraceContext ctx;
+  support::DiagSink diags;
+  std::uint64_t records = 0;
+  if (from_binary) {
+    trace::TraceWriter writer(ctx, out);
+    ctx.add_sink(&writer);
+    store::ReadOptions options;
+    options.mode = mode;
+    options.diags = &diags;
+    const store::ReadResult read = store::read_trace(bytes, ctx, options);
+    if (!read.status.is_ok()) {
+      std::fprintf(stderr, "conversion failed: %s\n", read.status.to_string().c_str());
+      return kExitBadTrace;
+    }
+    records = read.records;
+  } else {
+    store::BinaryTraceWriter::Options writer_options;
+    if (chunk_bytes != 0) writer_options.target_chunk_bytes = chunk_bytes;
+    store::BinaryTraceWriter writer(ctx, out, writer_options);
+    ctx.add_sink(&writer);
+    trace::ReplayOptions options;
+    options.mode = mode;
+    options.diags = &diags;
+    std::istringstream in(bytes);
+    const trace::ReplayResult replay = trace::replay_trace(in, ctx, options);
+    if (!replay.status.is_ok()) {
+      std::fprintf(stderr, "conversion failed: %s\n", replay.status.to_string().c_str());
+      return kExitBadTrace;
+    }
+    records = replay.records;
+  }
+  if (!out.flush()) {
+    std::fprintf(stderr, "cannot write trace file '%s'\n", out_path);
+    return kExitIo;
+  }
+  std::fprintf(stderr, "converted %llu records: %s (%s) -> %s (%s)\n",
+               static_cast<unsigned long long>(records), in_path,
+               from_binary ? "binary" : "text", out_path,
+               from_binary ? "text" : "binary");
+  for (const support::Diag& d : diags.diags()) {
+    std::fprintf(stderr, "  - %s\n", d.to_string().c_str());
+  }
+  return kExitOk;
+}
+
+// ---- batch ------------------------------------------------------------------
+
+int run_batch(const std::vector<std::string>& inputs, const TraceRunOptions& run,
+              const std::string& cache_dir, bool refresh) {
+  std::vector<std::string> paths;
+  for (const std::string& input : inputs) {
+    for (std::string& found : store::find_traces(input)) {
+      paths.push_back(std::move(found));
+    }
+  }
+  if (paths.empty()) {
+    std::fputs("no trace files found\n", stderr);
+    return kExitIo;
+  }
+
+  store::BatchOptions options;
+  options.jobs = run.jobs;
+  options.cache_dir = cache_dir;
+  options.refresh = refresh;
+  {
+    // Fold everything that changes the report into the cache key.
+    std::string config = "ppd-analyze batch v1|";
+    config += run.mode == trace::ReplayMode::Strict ? "strict" : "lenient";
+    config += '|';
+    config += std::to_string(run.max_records);
+    options.salt = store::fnv1a64(config);
+  }
+
+  int worst = kExitOk;
+  const store::AnalyzeFn analyze = [&run, &worst](const std::string& path,
+                                                  const std::string& bytes) {
+    store::AnalyzeOutcome outcome;
+    TraceRunOptions per_trace = run;
+    per_trace.jobs = 1;  // parallelism is across traces here
+    const int code = analyze_trace_bytes(path, bytes, per_trace, outcome.report,
+                                         outcome.log, &outcome.cacheable);
+    if (code != kExitOk) {
+      outcome.status = support::Status::error(support::ErrorCode::AnalysisFailed,
+                                              "exit code " + std::to_string(code));
+      outcome.cacheable = false;
+    }
+    return outcome;
+  };
+
+  const store::BatchSummary summary = store::analyze_batch(paths, options, analyze);
+  for (std::size_t i = 0; i < summary.items.size(); ++i) {
+    const store::BatchItem& item = summary.items[i];
+    std::fprintf(stderr, "[%zu/%zu] %s: %s\n", i + 1, summary.items.size(),
+                 item.path.c_str(),
+                 item.cached ? "cached" : (item.status.is_ok() ? "analyzed" : "failed"));
+    std::fputs(item.log.c_str(), stderr);
+    std::printf("== %s ==\n", item.path.c_str());
+    std::fputs(item.report.c_str(), stdout);
+    if (!item.status.is_ok()) {
+      // Derive the worst exit code from the recorded failure.
+      const std::string& msg = item.status.message();
+      int code = kExitAnalysis;
+      if (item.status.code() == support::ErrorCode::IoError) {
+        code = kExitIo;
+      } else if (msg == "exit code 3") {
+        code = kExitBadTrace;
+      } else if (msg == "exit code 1") {
+        code = kExitIo;
+      }
+      if (code > worst) worst = code;
+    }
+  }
+  std::fprintf(stderr, "analyzed %zu trace(s): %zu from cache, %zu failure(s)\n",
+               summary.items.size(), summary.cache_hits, summary.failures);
+  return worst;
+}
+
+bool parse_positive(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == nullptr || *end != '\0' || value == 0) return false;
+  out = value;
+  return true;
 }
 
 }  // namespace
@@ -203,24 +464,80 @@ int main(int argc, char** argv) {
     return kExitOk;
   }
 
-  if (std::strcmp(argv[1], "--trace") == 0) {
-    if (argc < 3) return usage();
-    trace::ReplayOptions options;
-    for (int i = 3; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--strict") == 0) {
-        options.mode = trace::ReplayMode::Strict;
-      } else if (std::strcmp(argv[i], "--lenient") == 0) {
-        options.mode = trace::ReplayMode::Lenient;
-      } else if (std::strcmp(argv[i], "--max-records") == 0 && i + 1 < argc) {
-        char* end = nullptr;
-        const unsigned long long cap = std::strtoull(argv[++i], &end, 10);
-        if (end == nullptr || *end != '\0' || cap == 0) return usage();
-        options.limits.max_records = cap;
+  if (std::strcmp(argv[1], "convert") == 0) {
+    if (argc < 4) return usage();
+    trace::ReplayMode mode = trace::ReplayMode::Strict;
+    std::uint32_t chunk_bytes = 0;
+    for (int i = 4; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--lenient") == 0) {
+        mode = trace::ReplayMode::Lenient;
+      } else if (std::strcmp(argv[i], "--strict") == 0) {
+        mode = trace::ReplayMode::Strict;
+      } else if (std::strcmp(argv[i], "--chunk-bytes") == 0 && i + 1 < argc) {
+        std::uint64_t value = 0;
+        if (!parse_positive(argv[++i], value) || value > (std::uint64_t{1} << 30)) {
+          return usage();
+        }
+        chunk_bytes = static_cast<std::uint32_t>(value);
       } else {
         return usage();
       }
     }
-    return analyze_trace_file(argv[2], options);
+    return convert_trace(argv[2], argv[3], mode, chunk_bytes);
+  }
+
+  if (std::strcmp(argv[1], "--trace") == 0) {
+    if (argc < 3) return usage();
+    TraceRunOptions run;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--strict") == 0) {
+        run.mode = trace::ReplayMode::Strict;
+      } else if (std::strcmp(argv[i], "--lenient") == 0) {
+        run.mode = trace::ReplayMode::Lenient;
+      } else if (std::strcmp(argv[i], "--max-records") == 0 && i + 1 < argc) {
+        if (!parse_positive(argv[++i], run.max_records)) return usage();
+      } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+        std::uint64_t jobs = 0;
+        if (!parse_positive(argv[++i], jobs) || jobs > 256) return usage();
+        run.jobs = static_cast<std::size_t>(jobs);
+      } else {
+        return usage();
+      }
+    }
+    return analyze_trace_file(argv[2], run);
+  }
+
+  if (std::strcmp(argv[1], "--batch") == 0) {
+    if (argc < 3) return usage();
+    TraceRunOptions run;
+    std::vector<std::string> inputs;
+    std::string cache_dir = ".ppd-cache";
+    bool refresh = false;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--strict") == 0) {
+        run.mode = trace::ReplayMode::Strict;
+      } else if (std::strcmp(argv[i], "--lenient") == 0) {
+        run.mode = trace::ReplayMode::Lenient;
+      } else if (std::strcmp(argv[i], "--max-records") == 0 && i + 1 < argc) {
+        if (!parse_positive(argv[++i], run.max_records)) return usage();
+      } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+        std::uint64_t jobs = 0;
+        if (!parse_positive(argv[++i], jobs) || jobs > 256) return usage();
+        run.jobs = static_cast<std::size_t>(jobs);
+      } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+        cache_dir = argv[++i];
+      } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+        cache_dir.clear();
+      } else if (std::strcmp(argv[i], "--refresh") == 0) {
+        refresh = true;
+      } else if (argv[i][0] == '-') {
+        return usage();
+      } else {
+        inputs.emplace_back(argv[i]);
+      }
+    }
+    if (inputs.empty()) return usage();
+    return run_batch(inputs, run, cache_dir, refresh);
   }
 
   const bs::Benchmark* benchmark = bs::find_benchmark(argv[1]);
@@ -256,26 +573,39 @@ int main(int argc, char** argv) {
   comm::CommProfiler comm_profiler;
   if (want_comm) ctx.add_sink(&comm_profiler);
 
+  // The dump format follows the file extension: .ppdt selects the binary
+  // container, anything else the text format.
   std::unique_ptr<std::ofstream> dump;
-  std::unique_ptr<trace::TraceWriter> writer;
+  std::unique_ptr<trace::TraceWriter> text_writer;
+  std::unique_ptr<store::BinaryTraceWriter> binary_writer;
   if (dump_path != nullptr) {
-    dump = std::make_unique<std::ofstream>(dump_path);
+    dump = std::make_unique<std::ofstream>(dump_path, std::ios::binary);
     if (!*dump) {
       std::fprintf(stderr, "cannot write trace file '%s'\n", dump_path);
       return kExitIo;
     }
-    writer = std::make_unique<trace::TraceWriter>(ctx, *dump);
-    ctx.add_sink(writer.get());
+    const std::string_view path_view(dump_path);
+    if (path_view.size() >= 5 && path_view.substr(path_view.size() - 5) == ".ppdt") {
+      binary_writer = std::make_unique<store::BinaryTraceWriter>(ctx, *dump);
+      ctx.add_sink(binary_writer.get());
+    } else {
+      text_writer = std::make_unique<trace::TraceWriter>(ctx, *dump);
+      ctx.add_sink(text_writer.get());
+    }
   }
 
   try {
     benchmark->run_traced(ctx);
+    ctx.finish();
     const core::AnalysisResult result = analyzer.analyze();
-    if (writer != nullptr) {
-      std::printf("trace written: %llu records\n\n",
-                  static_cast<unsigned long long>(writer->records_written()));
+    if (text_writer != nullptr || binary_writer != nullptr) {
+      const std::uint64_t written = text_writer != nullptr
+                                        ? text_writer->records_written()
+                                        : binary_writer->records_written();
+      std::fprintf(stderr, "trace written: %llu records\n",
+                   static_cast<unsigned long long>(written));
     }
-    print_report(result, ctx);
+    std::fputs(render_report(result, ctx).c_str(), stdout);
 
     if (want_comm) {
       std::puts("\n== Communication characterization ==");
@@ -292,7 +622,7 @@ int main(int argc, char** argv) {
     if (markdown_path != nullptr) {
       std::ofstream md(markdown_path);
       md << report::markdown_report(result, ctx, benchmark->paper().name);
-      std::printf("\nmarkdown report written to %s\n", markdown_path);
+      std::fprintf(stderr, "markdown report written to %s\n", markdown_path);
     }
     if (dot_prefix != nullptr) {
       {
@@ -305,7 +635,7 @@ int main(int argc, char** argv) {
         std::ofstream cu_dot(std::string(dot_prefix) + ".cu.dot");
         cu_dot << report::cu_graph_to_dot(tasks->graph, &tasks->tp);
       }
-      std::printf("Graphviz files written with prefix %s\n", dot_prefix);
+      std::fprintf(stderr, "Graphviz files written with prefix %s\n", dot_prefix);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "analysis failed: %s\n", e.what());
