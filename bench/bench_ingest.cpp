@@ -19,9 +19,11 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bs/benchmark.hpp"
+#include "obs/obs.hpp"
 #include "store/reader.hpp"
 #include "store/writer.hpp"
 #include "trace/context.hpp"
@@ -180,7 +182,35 @@ int main(int argc, char** argv) {
     emit_config(json, config, m, binary.size(), text_m.seconds,
                 i + 1 == std::size(job_counts));
   }
-  json += "  ]\n}\n";
+  // One extra instrumented pass for the per-phase breakdown: an
+  // aggregate-only collector (keep_spans = false) folds span durations into
+  // registry histograms without storing them. The timed configs above ran
+  // enabled-but-unsinked, so this pass never perturbs the guard numbers.
+  obs::Registry::instance().reset();
+  obs::SpanCollector collector(/*keep_spans=*/false);
+  obs::install_collector(&collector);
+  (void)run_binary(binary, 4);
+  obs::install_collector(nullptr);
+
+  json += "  ],\n  \"phases_binary_4j_ns\": {\n";
+  bool first_phase = true;
+  for (const auto& [key, value] : obs::Registry::instance().snapshot()) {
+    // Keep the total time per phase: keys shaped span.<phase>_ns.sum.
+    constexpr std::string_view prefix = "span.";
+    constexpr std::string_view suffix = "_ns.sum";
+    if (key.size() <= prefix.size() + suffix.size()) continue;
+    if (key.compare(0, prefix.size(), prefix) != 0) continue;
+    if (key.compare(key.size() - suffix.size(), suffix.size(), suffix) != 0) continue;
+    const std::string phase =
+        key.substr(prefix.size(), key.size() - prefix.size() - suffix.size());
+    char buffer[128];
+    std::snprintf(buffer, sizeof(buffer), "%s    \"%s\": %lld",
+                  first_phase ? "" : ",\n", phase.c_str(),
+                  static_cast<long long>(value));
+    json += buffer;
+    first_phase = false;
+  }
+  json += first_phase ? "  }\n}\n" : "\n  }\n}\n";
 
   std::fputs(json.c_str(), stdout);
   std::ofstream out("BENCH_ingest.json", std::ios::trunc);

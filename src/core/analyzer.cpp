@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace ppd::core {
 
 const ScopeTaskParallelism* AnalysisResult::primary_tasks() const {
@@ -29,24 +31,41 @@ PatternAnalyzer::PatternAnalyzer(trace::TraceContext& ctx, AnalyzerConfig config
 }
 
 AnalysisResult PatternAnalyzer::analyze() {
+  PPD_OBS_SPAN("analyze");
   ctx_.finish();
 
   AnalysisResult result;
   result.profile = profiler_.take();
-  result.pet = pet_builder_.take();
+  {
+    PPD_OBS_SPAN("pet.build");
+    result.pet = pet_builder_.take();
+  }
   result.cus = cu::form_cus(cu_facts_, ctx_);
-  result.reductions = detect_reductions(result.profile);
-  result.pipelines = detect_pipelines(result.profile, result.pet, config_.pipeline);
-  result.geometric =
-      detect_geometric_decomposition(result.profile, result.pet, config_.hotspot_fraction);
+  {
+    PPD_OBS_SPAN("detect.reduction");
+    result.reductions = detect_reductions(result.profile);
+  }
+  {
+    PPD_OBS_SPAN("detect.pipeline");
+    result.pipelines = detect_pipelines(result.profile, result.pet, config_.pipeline);
+  }
+  {
+    PPD_OBS_SPAN("detect.geometric");
+    result.geometric = detect_geometric_decomposition(result.profile, result.pet,
+                                                      config_.hotspot_fraction);
+  }
 
   // Task parallelism on every hotspot scope that has structure to offer.
-  for (pet::NodeIndex node : result.pet.hotspots(config_.hotspot_fraction)) {
-    cu::CuGraph graph =
-        cu::build_cu_graph(result.cus, result.profile, result.pet, node, ctx_);
-    if (graph.size() < 2) continue;
-    TaskParallelism tp = detect_task_parallelism(graph);
-    result.tasks.push_back(ScopeTaskParallelism{node, std::move(graph), std::move(tp)});
+  {
+    PPD_OBS_SPAN("detect.tasks");
+    for (pet::NodeIndex node : result.pet.hotspots(config_.hotspot_fraction)) {
+      cu::CuGraph graph =
+          cu::build_cu_graph(result.cus, result.profile, result.pet, node, ctx_);
+      if (graph.size() < 2) continue;
+      TaskParallelism tp = detect_task_parallelism(graph);
+      result.tasks.push_back(
+          ScopeTaskParallelism{node, std::move(graph), std::move(tp)});
+    }
   }
 
   choose_primary(result);

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace ppd::cu {
@@ -34,6 +35,7 @@ class UnionFind {
 }  // namespace
 
 std::vector<Cu> form_cus(const CuFacts& facts, const trace::TraceContext& program) {
+  PPD_OBS_SPAN("cu.form");
   std::vector<const SiteFacts*> sites;
   sites.reserve(facts.sites().size());
   for (const auto& [key, site] : facts.sites()) sites.push_back(&site);
@@ -143,6 +145,7 @@ struct CuLookup {
 CuGraph build_cu_graph(const std::vector<Cu>& cus, const prof::Profile& profile,
                        const pet::Pet& pet, pet::NodeIndex scope_node,
                        const trace::TraceContext& program, bool filter_cross_activation) {
+  PPD_OBS_SPAN("cu.graph");
   (void)program;  // reserved for name resolution in render paths
   const pet::PetNode& scope = pet.node(scope_node);
 

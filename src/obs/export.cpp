@@ -1,0 +1,130 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace ppd::obs {
+namespace {
+
+/// JSON string escaping for span names (control chars, quote, backslash).
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_event(std::string& out, bool& first, std::string_view name,
+                  char phase, std::uint32_t tid, std::uint64_t ts_ns) {
+  char buffer[64];
+  // Microseconds with nanosecond precision; ns/1000 renders exactly in
+  // three decimals, so per-track monotonicity survives the conversion.
+  std::snprintf(buffer, sizeof(buffer), "%llu.%03llu",
+                static_cast<unsigned long long>(ts_ns / 1000),
+                static_cast<unsigned long long>(ts_ns % 1000));
+  if (!first) out += ",\n";
+  first = false;
+  out += "    {\"name\": \"";
+  out += json_escape(name);
+  out += "\", \"ph\": \"";
+  out += phase;
+  out += "\", \"pid\": 1, \"tid\": ";
+  out += std::to_string(tid);
+  out += ", \"ts\": ";
+  out += buffer;
+  out += "}";
+}
+
+void append_metadata(std::string& out, bool& first, std::string_view name,
+                     std::uint32_t tid, std::string_view value) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "    {\"name\": \"";
+  out += json_escape(name);
+  out += "\", \"ph\": \"M\", \"pid\": 1, \"tid\": ";
+  out += std::to_string(tid);
+  out += ", \"args\": {\"name\": \"";
+  out += json_escape(value);
+  out += "\"}}";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(std::vector<SpanRecord> spans) {
+  // Group by thread; each thread's spans form properly nested intervals
+  // (RAII timers), so sorting by (begin asc, end desc) yields parents
+  // before children and a stack walk emits balanced B/E pairs with
+  // nondecreasing timestamps.
+  std::map<std::uint32_t, std::vector<SpanRecord*>> tracks;
+  for (SpanRecord& span : spans) tracks[span.tid].push_back(&span);
+
+  std::string out = "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  bool first = true;
+  append_metadata(out, first, "process_name", 0, "ppd");
+  for (const auto& [tid, track] : tracks) {
+    append_metadata(out, first, "thread_name", tid,
+                    tid == 0 ? std::string("main")
+                             : "worker-" + std::to_string(tid));
+  }
+
+  for (auto& [tid, track] : tracks) {
+    std::sort(track.begin(), track.end(),
+              [](const SpanRecord* a, const SpanRecord* b) {
+                if (a->begin_ns != b->begin_ns) return a->begin_ns < b->begin_ns;
+                return a->end_ns > b->end_ns;
+              });
+    std::vector<SpanRecord*> stack;
+    for (SpanRecord* span : track) {
+      while (!stack.empty() && stack.back()->end_ns <= span->begin_ns) {
+        append_event(out, first, stack.back()->name, 'E', tid,
+                     stack.back()->end_ns);
+        stack.pop_back();
+      }
+      // Clamp a child that claims to outlive its enclosing span.
+      if (!stack.empty() && span->end_ns > stack.back()->end_ns) {
+        span->end_ns = stack.back()->end_ns;
+      }
+      append_event(out, first, span->name, 'B', tid, span->begin_ns);
+      stack.push_back(span);
+    }
+    while (!stack.empty()) {
+      append_event(out, first, stack.back()->name, 'E', tid,
+                   stack.back()->end_ns);
+      stack.pop_back();
+    }
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string metrics_dump() { return Registry::instance().render_metrics(); }
+
+}  // namespace ppd::obs

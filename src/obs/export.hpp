@@ -1,0 +1,33 @@
+// Exporters for the collected observability data.
+//
+// chrome_trace_json() renders completed spans as a Chrome trace-event JSON
+// object (the `traceEvents` format understood by Perfetto and
+// chrome://tracing): one B/E duration-event pair per span, one track per
+// recorded thread (metadata `thread_name` events name them "main" /
+// "worker-N"), timestamps in microseconds with nanosecond precision.
+// Within a track, events are emitted with nondecreasing timestamps and
+// strictly balanced B/E nesting — spans from RAII timers nest properly per
+// thread; a child that outlives its parent (possible only with hand-rolled
+// records) is clamped to the parent's end rather than emitted unbalanced.
+//
+// metrics_dump() renders the process-wide registry as sorted `key=value`
+// lines (see Registry::snapshot for the key scheme).
+//
+// Both functions are pure renderers over plain data, so they compile and
+// work identically with PPD_OBS=OFF (they just render an empty run).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace ppd::obs {
+
+/// Chrome trace-event JSON of the given spans (consumes them).
+[[nodiscard]] std::string chrome_trace_json(std::vector<SpanRecord> spans);
+
+/// Registry::instance() rendered as sorted `key=value` lines.
+[[nodiscard]] std::string metrics_dump();
+
+}  // namespace ppd::obs

@@ -1,0 +1,158 @@
+#include "obs/obs.hpp"
+
+#if !defined(PPD_OBS_DISABLED)
+
+#include <algorithm>
+#include <chrono>
+
+namespace ppd::obs {
+namespace {
+
+std::atomic<SpanCollector*> g_collector{nullptr};
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  // Anchored at the first call so span timestamps stay small and the
+  // exported trace starts near t=0.
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+std::uint32_t thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::uint64_t Histogram::quantile_upper_bound(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(total));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += bucket(i);
+    if (cumulative > rank || (cumulative == total && cumulative != 0)) {
+      return std::min(bucket_upper_bound(i), max());
+    }
+  }
+  return max();
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<MetricEntry> Registry::snapshot() const {
+  std::vector<MetricEntry> out;
+  {
+    std::lock_guard lock(mutex_);
+    out.reserve(counters_.size() + 2 * gauges_.size() + 6 * histograms_.size());
+    for (const auto& [name, counter] : counters_) {
+      out.emplace_back(name, static_cast<std::int64_t>(counter->value()));
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      out.emplace_back(name, gauge->value());
+      out.emplace_back(name + ".max", gauge->max());
+    }
+    for (const auto& [name, hist] : histograms_) {
+      out.emplace_back(name + ".count", static_cast<std::int64_t>(hist->count()));
+      out.emplace_back(name + ".sum", static_cast<std::int64_t>(hist->sum()));
+      out.emplace_back(name + ".max", static_cast<std::int64_t>(hist->max()));
+      out.emplace_back(name + ".p50", static_cast<std::int64_t>(
+                                          hist->quantile_upper_bound(0.50)));
+      out.emplace_back(name + ".p90", static_cast<std::int64_t>(
+                                          hist->quantile_upper_bound(0.90)));
+      out.emplace_back(name + ".p99", static_cast<std::int64_t>(
+                                          hist->quantile_upper_bound(0.99)));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Registry::render_metrics() const {
+  std::string out;
+  for (const MetricEntry& entry : snapshot()) {
+    out += entry.first;
+    out += '=';
+    out += std::to_string(entry.second);
+    out += '\n';
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, hist] : histograms_) hist->reset();
+}
+
+void SpanCollector::record(std::string name, std::uint32_t tid,
+                           std::uint64_t begin_ns, std::uint64_t end_ns) {
+  const std::uint64_t duration = end_ns >= begin_ns ? end_ns - begin_ns : 0;
+  Registry::instance().histogram("span." + name + "_ns").record(duration);
+  if (!keep_spans_) return;
+  std::lock_guard lock(mutex_);
+  spans_.push_back(SpanRecord{std::move(name), tid, begin_ns, end_ns});
+}
+
+std::vector<SpanRecord> SpanCollector::take() {
+  std::lock_guard lock(mutex_);
+  std::vector<SpanRecord> out = std::move(spans_);
+  spans_.clear();
+  return out;
+}
+
+std::size_t SpanCollector::size() const {
+  std::lock_guard lock(mutex_);
+  return spans_.size();
+}
+
+void install_collector(SpanCollector* collector) {
+  g_collector.store(collector, std::memory_order_release);
+}
+
+SpanCollector* active_collector() {
+  return g_collector.load(std::memory_order_acquire);
+}
+
+}  // namespace ppd::obs
+
+#endif  // !PPD_OBS_DISABLED

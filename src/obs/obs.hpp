@@ -1,0 +1,350 @@
+// ppd::obs — observability for the analysis pipeline itself.
+//
+// The tool chain is a heavy dynamic-analysis pipeline (trace replay → CU
+// construction → dependence profiling → pattern detectors → report) that
+// runs chunk-parallel on a thread pool, and a pipeline we cannot see into
+// cannot be made faster. This module provides the measurement substrate:
+//
+//  * a thread-safe metrics **Registry** of named monotonic counters,
+//    gauges (with high-water mark), and fixed-bucket power-of-two
+//    histograms — always on, cheap enough to leave in hot-ish paths
+//    (single relaxed atomic RMW per update; name lookup is done once and
+//    the returned reference cached by the instrumented site);
+//
+//  * RAII **ScopedSpan** phase timers that record per-thread begin/end
+//    events into an installed SpanCollector. Spans are a *runtime* no-op
+//    when no collector is installed (one relaxed atomic load per scope)
+//    and a *compile-time* no-op when the library is built with
+//    `-DPPD_OBS=OFF` (every type below collapses to an empty inline stub,
+//    so instrumented call sites compile unchanged and vanish).
+//
+// Exporters (obs/export.hpp) turn the collected data into a Chrome
+// trace-event JSON file (loadable in Perfetto / chrome://tracing, one
+// track per worker thread) and a flat sorted `key=value` metrics dump.
+//
+// Threading contract: install_collector() must happen-before any thread
+// that will record spans starts its work, and the collector must outlive
+// every recording thread (install(nullptr) + join before destroying it).
+// The CLI owns exactly that window around a run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#if !defined(PPD_OBS_DISABLED)
+#include <atomic>
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+#endif
+
+namespace ppd::obs {
+
+/// One completed phase: [begin_ns, end_ns) on thread `tid` (small dense
+/// per-process thread ordinal, not the OS id).
+struct SpanRecord {
+  std::string name;
+  std::uint32_t tid = 0;
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+/// Flat metrics snapshot entry (see Registry::snapshot for the key scheme).
+using MetricEntry = std::pair<std::string, std::int64_t>;
+
+#if !defined(PPD_OBS_DISABLED)
+
+/// Nanoseconds on the steady clock, anchored at the first call so span
+/// timestamps stay small.
+[[nodiscard]] std::uint64_t now_ns();
+
+/// Dense per-process ordinal of the calling thread (first caller gets 0).
+[[nodiscard]] std::uint32_t thread_id();
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Signed gauge with a high-water mark (e.g. instantaneous queue depth).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+    raise_max(v);
+  }
+  void add(std::int64_t delta) noexcept {
+    const std::int64_t v =
+        value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    raise_max(v);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void raise_max(std::int64_t v) noexcept {
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Fixed-bucket latency/size histogram. Bucket i holds values whose bit
+/// width is i (i.e. upper bound 2^i - 1), so record() is a shift and one
+/// relaxed RMW — no per-value allocation, mergeable by addition.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+    return total;
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper edge of bucket i.
+  [[nodiscard]] static constexpr std::uint64_t bucket_upper_bound(std::size_t i) {
+    return i + 1 >= kBuckets ? ~std::uint64_t{0}
+                             : (std::uint64_t{1} << (i + 1)) - 1;
+  }
+  [[nodiscard]] static constexpr std::size_t bucket_index(std::uint64_t v) {
+    const std::size_t width = static_cast<std::size_t>(std::bit_width(v));
+    return width == 0 ? 0 : width - 1;
+  }
+
+  /// Upper bound of the bucket where the cumulative count crosses `q`
+  /// (0 < q <= 1); 0 when the histogram is empty.
+  [[nodiscard]] std::uint64_t quantile_upper_bound(double q) const noexcept;
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Process-wide named-instrument registry. Lookup takes a mutex; the
+/// returned references are stable for the process lifetime (instruments
+/// are never deallocated — reset() zeroes, it does not erase), so hot
+/// sites look up once and keep the reference.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Flat snapshot, sorted by key. Counters appear as `name`; gauges as
+  /// `name` and `name.max`; histograms as `name.count`, `name.sum`,
+  /// `name.max`, `name.p50`, `name.p90`, `name.p99` (bucket upper bounds).
+  /// Zero-valued counters/empty histograms are included — an instrument
+  /// that exists but never fired is itself a finding.
+  [[nodiscard]] std::vector<MetricEntry> snapshot() const;
+
+  /// snapshot() rendered as sorted `key=value` lines.
+  [[nodiscard]] std::string render_metrics() const;
+
+  /// Zeroes every instrument; references handed out stay valid.
+  void reset();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Collects completed spans. Every record() also folds the duration into
+/// the registry histogram `span.<name>_ns`, so a metrics-only run (no
+/// Chrome trace wanted) can install a collector with keep_spans = false
+/// and pay no per-span storage.
+class SpanCollector {
+ public:
+  explicit SpanCollector(bool keep_spans = true) : keep_spans_(keep_spans) {}
+
+  void record(std::string name, std::uint32_t tid, std::uint64_t begin_ns,
+              std::uint64_t end_ns);
+
+  /// Moves the collected spans out (collector stays usable).
+  [[nodiscard]] std::vector<SpanRecord> take();
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  const bool keep_spans_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// Installs (or with nullptr uninstalls) the process-wide span collector.
+/// See the threading contract in the header comment.
+void install_collector(SpanCollector* collector);
+[[nodiscard]] SpanCollector* active_collector();
+
+/// RAII phase timer. Captures the collector once at construction: when none
+/// is installed the constructor is a single relaxed load and the destructor
+/// a branch; the span name is only materialized when it will be recorded.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name) : collector_(active_collector()) {
+    if (collector_ != nullptr) {
+      name_ = name;
+      begin_ns_ = now_ns();
+    }
+  }
+  explicit ScopedSpan(const char* name) : ScopedSpan(std::string_view(name)) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (collector_ != nullptr) {
+      collector_->record(std::move(name_), thread_id(), begin_ns_, now_ns());
+    }
+  }
+
+ private:
+  SpanCollector* collector_;
+  std::string name_;
+  std::uint64_t begin_ns_ = 0;
+};
+
+#else  // PPD_OBS_DISABLED — every instrument is an empty inline stub so
+       // instrumented call sites compile unchanged and optimize away.
+
+inline std::uint64_t now_ns() { return 0; }
+inline std::uint32_t thread_id() { return 0; }
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) noexcept {}
+  [[nodiscard]] std::uint64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t) noexcept {}
+  void add(std::int64_t) noexcept {}
+  [[nodiscard]] std::int64_t value() const noexcept { return 0; }
+  [[nodiscard]] std::int64_t max() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 1;
+  void record(std::uint64_t) noexcept {}
+  [[nodiscard]] std::uint64_t count() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t) const noexcept { return 0; }
+  [[nodiscard]] static constexpr std::uint64_t bucket_upper_bound(std::size_t) {
+    return 0;
+  }
+  [[nodiscard]] std::uint64_t quantile_upper_bound(double) const noexcept {
+    return 0;
+  }
+  void reset() noexcept {}
+};
+
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry registry;
+    return registry;
+  }
+  Counter& counter(std::string_view) { return counter_; }
+  Gauge& gauge(std::string_view) { return gauge_; }
+  Histogram& histogram(std::string_view) { return histogram_; }
+  [[nodiscard]] std::vector<MetricEntry> snapshot() const { return {}; }
+  [[nodiscard]] std::string render_metrics() const { return {}; }
+  void reset() {}
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+class SpanCollector {
+ public:
+  explicit SpanCollector(bool = true) {}
+  void record(std::string, std::uint32_t, std::uint64_t, std::uint64_t) {}
+  [[nodiscard]] std::vector<SpanRecord> take() { return {}; }
+  [[nodiscard]] std::size_t size() const { return 0; }
+};
+
+inline void install_collector(SpanCollector*) {}
+inline SpanCollector* active_collector() { return nullptr; }
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view) {}
+  explicit ScopedSpan(const char*) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+};
+
+#endif  // PPD_OBS_DISABLED
+
+}  // namespace ppd::obs
+
+// Spans read as one line at the top of the phase they time:
+//   PPD_OBS_SPAN("cu.form");
+#define PPD_OBS_CONCAT_IMPL_(a, b) a##b
+#define PPD_OBS_CONCAT_(a, b) PPD_OBS_CONCAT_IMPL_(a, b)
+#define PPD_OBS_SPAN(name) \
+  ::ppd::obs::ScopedSpan PPD_OBS_CONCAT_(ppd_obs_span_, __LINE__)(name)

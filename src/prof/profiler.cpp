@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <tuple>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 #include "trace/context.hpp"
 
@@ -195,6 +196,7 @@ void DependenceProfiler::on_access(const trace::AccessEvent& access) {
 void DependenceProfiler::on_trace_end() {}
 
 Profile DependenceProfiler::take() const {
+  PPD_OBS_SPAN("prof.take");
   Profile profile;
   profile.dependences.reserve(deps_.size());
   for (const auto& [key, dep] : deps_) profile.dependences.push_back(dep);

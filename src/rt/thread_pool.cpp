@@ -8,7 +8,11 @@
 
 namespace ppd::rt {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads)
+    : tasks_executed_(obs::Registry::instance().counter("rt.pool.tasks")),
+      busy_ns_(obs::Registry::instance().counter("rt.pool.busy_ns")),
+      idle_ns_(obs::Registry::instance().counter("rt.pool.idle_ns")),
+      queue_depth_(obs::Registry::instance().gauge("rt.pool.queue_depth")) {
   PPD_ASSERT(threads > 0);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
@@ -43,6 +47,7 @@ void ThreadPool::submit(std::function<void()> task) {
           ": submit on a shut-down thread pool");
     }
     queue_.push_back(std::move(task));
+    queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
   }
   cv_.notify_one();
 }
@@ -50,14 +55,23 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
+    const std::uint64_t wait_begin = obs::now_ns();
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and drained
+      if (queue_.empty()) {  // stopping and drained
+        idle_ns_.add(obs::now_ns() - wait_begin);
+        return;
+      }
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
     }
+    idle_ns_.add(obs::now_ns() - wait_begin);
+    const std::uint64_t run_begin = obs::now_ns();
     task();
+    busy_ns_.add(obs::now_ns() - run_begin);
+    tasks_executed_.add(1);
   }
 }
 

@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace ppd::rt {
 
 /// Fixed-size pool of worker threads consuming a shared FIFO work queue.
@@ -53,6 +55,13 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
+
+  // Pool observability (process-wide aggregates across pools; references
+  // resolved once here so the worker loop never touches the registry).
+  obs::Counter& tasks_executed_;
+  obs::Counter& busy_ns_;
+  obs::Counter& idle_ns_;
+  obs::Gauge& queue_depth_;
 };
 
 /// Fork/join group: run() forks tasks onto the pool, wait() joins them all

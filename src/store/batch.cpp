@@ -1,12 +1,15 @@
 #include "store/batch.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <system_error>
 
+#include "obs/obs.hpp"
 #include "rt/thread_pool.hpp"
 #include "store/format.hpp"
 #include "support/status.hpp"
@@ -73,6 +76,9 @@ void store_cache_entry(const std::string& path, std::uint64_t key,
 
 void process_one(const std::string& path, const BatchOptions& options,
                  const AnalyzeFn& analyze, BatchItem& item) {
+  // Named per trace so a batch profile shows which trace occupied which
+  // worker; recorded on the executing thread's track.
+  obs::ScopedSpan span("batch:" + path);
   item.path = path;
   std::string bytes;
   if (!slurp_file(path, bytes)) {
@@ -160,24 +166,48 @@ std::vector<std::string> find_traces(const std::string& path) {
 
 BatchSummary analyze_batch(const std::vector<std::string>& paths,
                            const BatchOptions& options, const AnalyzeFn& analyze) {
+  PPD_OBS_SPAN("batch");
   BatchSummary summary;
   summary.items.resize(paths.size());
+
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> hits{0};
+  std::mutex progress_mutex;
+  const auto completed = [&](const BatchItem& item) {
+    if (item.cached) hits.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (options.progress) {
+      std::lock_guard lock(progress_mutex);
+      options.progress(finished, paths.size(),
+                       hits.load(std::memory_order_relaxed));
+    }
+  };
+
   if (options.jobs > 1 && paths.size() > 1) {
     rt::ThreadPool pool(std::min(options.jobs, paths.size()));
     rt::TaskGroup group(pool);
     for (std::size_t i = 0; i < paths.size(); ++i) {
-      group.run([&, i] { process_one(paths[i], options, analyze, summary.items[i]); });
+      group.run([&, i] {
+        process_one(paths[i], options, analyze, summary.items[i]);
+        completed(summary.items[i]);
+      });
     }
     group.wait();
   } else {
     for (std::size_t i = 0; i < paths.size(); ++i) {
       process_one(paths[i], options, analyze, summary.items[i]);
+      completed(summary.items[i]);
     }
   }
   for (const BatchItem& item : summary.items) {
     if (!item.status.is_ok()) ++summary.failures;
     if (item.cached) ++summary.cache_hits;
   }
+
+  obs::Registry& registry = obs::Registry::instance();
+  registry.counter("batch.traces").add(summary.items.size());
+  registry.counter("batch.cache_hits").add(summary.cache_hits);
+  registry.counter("batch.failures").add(summary.failures);
   return summary;
 }
 

@@ -25,6 +25,12 @@
 
 namespace ppd::store {
 
+/// Completion heartbeat: items finished so far, total, and how many of the
+/// finished ones were served from the cache. Invocations are serialized by
+/// the driver but may come from any worker thread.
+using ProgressFn =
+    std::function<void(std::size_t done, std::size_t total, std::size_t cache_hits)>;
+
 struct BatchOptions {
   /// Concurrent analysis tasks (and thread-pool size).
   std::size_t jobs = 1;
@@ -35,6 +41,8 @@ struct BatchOptions {
   std::uint64_t salt = 0;
   /// Re-analyze even on a cache hit (fresh results still refresh the cache).
   bool refresh = false;
+  /// Optional heartbeat called after every completed item.
+  ProgressFn progress;
 };
 
 /// What the per-trace analysis callback produced.

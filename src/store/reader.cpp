@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "rt/thread_pool.hpp"
 #include "store/format.hpp"
 #include "trace/validator.hpp"
@@ -48,25 +49,39 @@ class BinaryReplayer {
       : ctx_(ctx), options_(options) {}
 
   ReadResult run(std::string_view bytes) {
+    PPD_OBS_SPAN("ingest.ppdt");
     if (Status s = locate_sections(bytes); !s.is_ok()) {
       result_.status = s;
-      return result_;
+      return finish_metrics();
     }
     result_.chunks = chunks_.size();
-    if (Status s = decode_strtab(); !s.is_ok()) {
-      result_.status = s;
-      return result_;
+    {
+      PPD_OBS_SPAN("ppdt.strtab");
+      if (Status s = decode_strtab(); !s.is_ok()) {
+        result_.status = s;
+        return finish_metrics();
+      }
     }
     if (Status s = precheck_record_total(); !s.is_ok()) {
       result_.status = s;
-      return result_;
+      return finish_metrics();
     }
-    if (!dispatch_all(decode_chunks())) return result_;
+    if (!dispatch_all(decode_chunks())) return finish_metrics();
     finish();
-    return result_;
+    return finish_metrics();
   }
 
  private:
+  /// Folds the replay tallies into the metrics registry on every exit path.
+  ReadResult& finish_metrics() {
+    obs::Registry& registry = obs::Registry::instance();
+    registry.counter("ingest.ppdt.records").add(result_.records);
+    registry.counter("ingest.ppdt.dropped").add(result_.dropped);
+    registry.counter("ingest.ppdt.chunks").add(result_.chunks);
+    registry.counter("ingest.ppdt.skipped_chunks").add(result_.skipped_chunks);
+    return result_;
+  }
+
   struct VarDef {
     bool local = false;
     std::string name;
@@ -560,6 +575,7 @@ class BinaryReplayer {
   /// Results land in chunk order regardless of scheduling, so the merge into
   /// the dispatch phase is deterministic.
   [[nodiscard]] std::vector<DecodedChunk> decode_chunks() {
+    PPD_OBS_SPAN("ppdt.decode");
     std::vector<std::uint64_t> base(chunks_.size(), 0);
     for (std::size_t i = 1; i < chunks_.size(); ++i) {
       base[i] = base[i - 1] + chunks_[i - 1].records;
@@ -576,12 +592,16 @@ class BinaryReplayer {
       rt::TaskGroup group(*pool);
       for (std::size_t i = 0; i < chunks_.size(); ++i) {
         group.run([this, &decoded, &base, i] {
+          // Recorded on the worker thread, so each decode lands on its
+          // worker's track in the exported Chrome trace.
+          PPD_OBS_SPAN("ppdt.chunk");
           decoded[i] = decode_chunk(chunks_[i], i + 1, base[i]);
         });
       }
       group.wait();
     } else {
       for (std::size_t i = 0; i < chunks_.size(); ++i) {
+        PPD_OBS_SPAN("ppdt.chunk");
         decoded[i] = decode_chunk(chunks_[i], i + 1, base[i]);
       }
     }
@@ -603,6 +623,7 @@ class BinaryReplayer {
   /// Replays decoded chunks in order. Returns false when the replay stopped
   /// with a fatal status.
   [[nodiscard]] bool dispatch_all(std::vector<DecodedChunk> decoded) {
+    PPD_OBS_SPAN("ppdt.dispatch");
     for (std::size_t i = 0; i < decoded.size(); ++i) {
       DecodedChunk& chunk = decoded[i];
       if (!chunk.error.is_ok()) {

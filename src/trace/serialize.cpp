@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace ppd::trace {
@@ -574,7 +575,12 @@ void TraceWriter::on_trace_end() { out_.flush(); }
 
 ReplayResult replay_trace(std::istream& in, TraceContext& ctx,
                           const ReplayOptions& options) {
-  return Replayer(ctx, options).run(in);
+  PPD_OBS_SPAN("ingest.text");
+  const ReplayResult result = Replayer(ctx, options).run(in);
+  obs::Registry& registry = obs::Registry::instance();
+  registry.counter("ingest.text.records").add(result.records);
+  registry.counter("ingest.text.dropped").add(result.dropped);
+  return result;
 }
 
 std::uint64_t replay_trace(std::istream& in, TraceContext& ctx) {

@@ -1,0 +1,71 @@
+# Exit-code and help conventions of ppd-analyze, exercised end to end:
+#   - --help / -h print usage to stdout and exit 0,
+#   - --version prints the version line to stdout and exits 0,
+#   - usage errors print usage to stderr and exit 2.
+#
+# Driven by ctest:  cmake -DPPD_ANALYZE=<exe> -P <this file>
+if(NOT DEFINED PPD_ANALYZE)
+  message(FATAL_ERROR "usage: cmake -DPPD_ANALYZE=<exe> -P check_cli_conventions.cmake")
+endif()
+
+function(run_expect code_expected out_var err_var)
+  execute_process(
+    COMMAND ${PPD_ANALYZE} ${ARGN}
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL ${code_expected})
+    message(FATAL_ERROR "ppd-analyze ${ARGN}: expected exit ${code_expected}, got ${code}\nstderr:\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+  set(${err_var} "${err}" PARENT_SCOPE)
+endfunction()
+
+function(expect_contains text needle what)
+  string(FIND "${text}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "${what}: expected to find \"${needle}\" in:\n${text}")
+  endif()
+endfunction()
+
+function(expect_empty text what)
+  if(NOT text STREQUAL "")
+    message(FATAL_ERROR "${what}: expected empty, got:\n${text}")
+  endif()
+endfunction()
+
+# 1. --help and -h: usage on stdout, exit 0, quiet stderr.
+run_expect(0 help_out help_err --help)
+expect_contains("${help_out}" "usage: ppd-analyze" "--help stdout")
+expect_contains("${help_out}" "--profile" "--help stdout documents observability flags")
+expect_empty("${help_err}" "--help stderr")
+
+run_expect(0 h_out h_err -h)
+expect_contains("${h_out}" "usage: ppd-analyze" "-h stdout")
+
+# --help wins even when combined with other (even broken) arguments.
+run_expect(0 mixed_out mixed_err --trace nonexistent --help)
+expect_contains("${mixed_out}" "usage: ppd-analyze" "mixed --help stdout")
+
+# 2. --version: single version line on stdout, exit 0.
+run_expect(0 ver_out ver_err --version)
+expect_contains("${ver_out}" "ppd-analyze " "--version stdout")
+expect_contains("${ver_out}" "ppdt container v" "--version reports container format")
+expect_empty("${ver_err}" "--version stderr")
+
+# 3. Usage errors exit 2 with the problem on stderr and nothing on stdout.
+run_expect(2 noargs_out noargs_err)
+expect_contains("${noargs_err}" "usage: ppd-analyze" "no-args stderr")
+expect_empty("${noargs_out}" "no-args stdout")
+
+run_expect(2 badflag_out badflag_err --trace)
+expect_contains("${badflag_err}" "usage: ppd-analyze" "missing operand stderr")
+
+run_expect(2 unknown_out unknown_err this-benchmark-does-not-exist)
+expect_contains("${unknown_err}" "unknown benchmark" "unknown benchmark stderr")
+
+# Observability flags need a file operand.
+run_expect(2 obsflag_out obsflag_err --trace x.ppdt --profile=)
+expect_contains("${obsflag_err}" "usage: ppd-analyze" "empty --profile stderr")
+
+message(STATUS "cli conventions: ok")

@@ -67,4 +67,36 @@ if(NOT bin_out STREQUAL text_out)
   message(FATAL_ERROR "binary replay report differs from the text replay report")
 endif()
 
+# 5. Observability flags leave stdout untouched: the report stays byte-equal
+#    to the unprofiled run, the "written" confirmations go to stderr, and
+#    the profile is a Chrome trace-event file.
+run_tool(prof_out prof_err --trace fib.ppdt --jobs 2
+         --profile=prof.json --metrics=metrics.txt)
+if(NOT prof_out STREQUAL bin_out)
+  message(FATAL_ERROR "--profile/--metrics changed the report on stdout")
+endif()
+expect_absent("${prof_out}" "profile written" "profiled stdout")
+expect_contains("${prof_err}" "profile written" "profiled stderr")
+expect_contains("${prof_err}" "metrics written" "profiled stderr")
+if(PPD_OBS_ENABLED)
+  file(READ "${WORK_DIR}/prof.json" prof_json)
+  expect_contains("${prof_json}" "traceEvents" "profile file")
+  expect_contains("${prof_json}" "\"ph\": \"B\"" "profile file has begin events")
+  file(READ "${WORK_DIR}/metrics.txt" metrics_text)
+  expect_contains("${metrics_text}" "ingest.ppdt.records=" "metrics file")
+endif()
+
+# 6. Batch mode: per-trace "## <trace>" headers and the machine-readable
+#    summary line on stdout; --progress heartbeats on stderr only.
+file(MAKE_DIRECTORY "${WORK_DIR}/traces")
+file(COPY "${WORK_DIR}/fib.txt" DESTINATION "${WORK_DIR}/traces")
+file(COPY "${WORK_DIR}/fib.ppdt" DESTINATION "${WORK_DIR}/traces")
+run_tool(batch_out batch_err --batch traces --jobs 2 --no-cache --progress)
+expect_contains("${batch_out}" "## traces/fib.txt" "batch stdout header")
+expect_contains("${batch_out}" "## traces/fib.ppdt" "batch stdout header")
+expect_contains("${batch_out}" "## summary traces=2 cached=0 failed=0" "batch summary line")
+expect_contains("${batch_err}" "progress: " "batch stderr heartbeat")
+expect_contains("${batch_err}" "2/2 traces" "batch stderr final heartbeat")
+expect_absent("${batch_out}" "progress: " "batch stdout")
+
 message(STATUS "cli stream discipline: ok")

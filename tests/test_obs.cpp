@@ -1,0 +1,526 @@
+// Tests for ppd::obs: instrument semantics, registry behaviour under
+// concurrency (run under PPD_SANITIZE=thread in CI), span collection, and a
+// round trip of the Chrome trace exporter through a minimal in-test JSON
+// parser that checks the three properties a trace viewer needs: the output
+// is valid JSON, timestamps are nondecreasing per track, and B/E events are
+// strictly balanced.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+
+namespace ppd::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser — just enough to validate the exporter output.
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : p_(text.data()), end_(text.data() + text.size()) {}
+
+  /// Parses one value and requires end of input after it.
+  bool parse_document(JsonValue& out) {
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return p_ == end_;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) ++p_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (p_ == end_ || *p_ != c) return false;
+    ++p_;
+    return true;
+  }
+
+  bool parse_literal(std::string_view word) {
+    if (static_cast<std::size_t>(end_ - p_) < word.size()) return false;
+    if (std::string_view(p_, word.size()) != word) return false;
+    p_ += word.size();
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c == '\\') {
+        if (p_ == end_) return false;
+        const char esc = *p_++;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (end_ - p_ < 4) return false;
+            for (int i = 0; i < 4; ++i) {
+              const char h = p_[i];
+              if (!((h >= '0' && h <= '9') || (h >= 'a' && h <= 'f') ||
+                    (h >= 'A' && h <= 'F'))) {
+                return false;
+              }
+            }
+            p_ += 4;
+            out += '?';  // exact code point does not matter for these tests
+            break;
+          }
+          default: return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // control characters must be escaped
+      } else {
+        out += c;
+      }
+    }
+    return p_ != end_ && *p_++ == '"';
+  }
+
+  bool parse_number(double& out) {
+    const char* start = p_;
+    if (p_ != end_ && *p_ == '-') ++p_;
+    while (p_ != end_ && ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' || *p_ == 'e' ||
+                          *p_ == 'E' || *p_ == '+' || *p_ == '-')) {
+      ++p_;
+    }
+    if (p_ == start) return false;
+    out = std::stod(std::string(start, static_cast<std::size_t>(p_ - start)));
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {  // NOLINT(misc-no-recursion)
+    skip_ws();
+    if (p_ == end_) return false;
+    switch (*p_) {
+      case '{': {
+        ++p_;
+        out.kind = JsonValue::Kind::Object;
+        skip_ws();
+        if (p_ != end_ && *p_ == '}') {
+          ++p_;
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return false;
+          if (!consume(':')) return false;
+          JsonValue value;
+          if (!parse_value(value)) return false;
+          out.object.emplace_back(std::move(key), std::move(value));
+          if (consume(',')) continue;
+          return consume('}');
+        }
+      }
+      case '[': {
+        ++p_;
+        out.kind = JsonValue::Kind::Array;
+        skip_ws();
+        if (p_ != end_ && *p_ == ']') {
+          ++p_;
+          return true;
+        }
+        while (true) {
+          JsonValue value;
+          if (!parse_value(value)) return false;
+          out.array.push_back(std::move(value));
+          if (consume(',')) continue;
+          return consume(']');
+        }
+      }
+      case '"':
+        out.kind = JsonValue::Kind::String;
+        return parse_string(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = true;
+        return parse_literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = false;
+        return parse_literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::Null;
+        return parse_literal("null");
+      default:
+        out.kind = JsonValue::Kind::Number;
+        return parse_number(out.number);
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+/// Parses exporter output into `doc` and checks the trace-viewer contract:
+/// valid JSON, per-tid nondecreasing timestamps, strictly balanced B/E
+/// nesting. (void so gtest ASSERT_* may be used; unused when the library
+/// is built with PPD_OBS=OFF and the span tests compile out.)
+[[maybe_unused]] void validate_chrome_trace(const std::string& json, JsonValue& doc) {
+  JsonParser parser(json);
+  ASSERT_TRUE(parser.parse_document(doc)) << "exporter emitted invalid JSON:\n" << json;
+  ASSERT_EQ(doc.kind, JsonValue::Kind::Object);
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr) << "missing traceEvents array";
+  ASSERT_EQ(events->kind, JsonValue::Kind::Array);
+
+  struct TrackState {
+    double last_ts = -1.0;
+    std::vector<std::string> stack;  // open B-event names
+  };
+  std::vector<std::pair<double, TrackState>> tracks;  // keyed by tid
+  auto track = [&tracks](double tid) -> TrackState& {
+    for (auto& [key, state] : tracks) {
+      if (key == tid) return state;
+    }
+    tracks.emplace_back(tid, TrackState{});
+    return tracks.back().second;
+  };
+
+  for (const JsonValue& event : events->array) {
+    ASSERT_EQ(event.kind, JsonValue::Kind::Object);
+    const JsonValue* ph = event.find("ph");
+    const JsonValue* name = event.find("name");
+    const JsonValue* tid = event.find("tid");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(tid, nullptr);
+    if (ph->string == "M") continue;  // metadata has no timestamp ordering
+    ASSERT_TRUE(ph->string == "B" || ph->string == "E")
+        << "unexpected event phase '" << ph->string << "'";
+    const JsonValue* ts = event.find("ts");
+    ASSERT_NE(ts, nullptr);
+    TrackState& state = track(tid->number);
+    EXPECT_GE(ts->number, state.last_ts)
+        << "timestamps went backwards on tid " << tid->number;
+    state.last_ts = ts->number;
+    if (ph->string == "B") {
+      state.stack.push_back(name->string);
+    } else {
+      ASSERT_FALSE(state.stack.empty())
+          << "E event '" << name->string << "' without matching B";
+      EXPECT_EQ(state.stack.back(), name->string) << "interleaved B/E events";
+      state.stack.pop_back();
+    }
+  }
+  for (const auto& [tid, state] : tracks) {
+    EXPECT_TRUE(state.stack.empty())
+        << "unclosed B event on tid " << tid << ": "
+        << (state.stack.empty() ? std::string() : state.stack.back());
+  }
+}
+
+#if !defined(PPD_OBS_DISABLED)
+
+TEST(ObsCounter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsGauge, TracksValueAndHighWaterMark) {
+  Gauge g;
+  g.set(5);
+  g.add(7);
+  g.add(-10);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max(), 12);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max(), 0);
+}
+
+TEST(ObsHistogram, BucketsByBitWidth) {
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 0u);
+  EXPECT_EQ(Histogram::bucket_index(2), 1u);
+  EXPECT_EQ(Histogram::bucket_index(3), 1u);
+  EXPECT_EQ(Histogram::bucket_index(4), 2u);
+  EXPECT_EQ(Histogram::bucket_index(1023), 9u);
+  EXPECT_EQ(Histogram::bucket_index(1024), 10u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(0), 1u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(9), 1023u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(Histogram::kBuckets - 1),
+            ~std::uint64_t{0});
+}
+
+TEST(ObsHistogram, CountSumMaxQuantiles) {
+  Histogram h;
+  EXPECT_EQ(h.quantile_upper_bound(0.5), 0u);  // empty
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 5050u);
+  EXPECT_EQ(h.max(), 100u);
+  // Quantiles are bucket upper bounds: conservative (>= the true quantile)
+  // but never beyond the observed max.
+  EXPECT_GE(h.quantile_upper_bound(0.5), 50u);
+  EXPECT_LE(h.quantile_upper_bound(0.5), 100u);
+  EXPECT_EQ(h.quantile_upper_bound(0.99), 100u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(ObsRegistry, HandsOutStableReferences) {
+  Registry& registry = Registry::instance();
+  registry.reset();
+  Counter& a = registry.counter("test.stable");
+  Counter& b = registry.counter("test.stable");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  registry.reset();
+  EXPECT_EQ(a.value(), 0u);  // reset zeroes, does not invalidate
+}
+
+TEST(ObsRegistry, SnapshotKeySchemeAndOrder) {
+  Registry& registry = Registry::instance();
+  registry.reset();
+  registry.counter("test.snap.count").add(7);
+  registry.gauge("test.snap.depth").set(3);
+  registry.histogram("test.snap.lat").record(100);
+
+  const std::string dump = registry.render_metrics();
+  EXPECT_NE(dump.find("test.snap.count=7\n"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("test.snap.depth=3\n"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("test.snap.depth.max=3\n"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("test.snap.lat.count=1\n"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("test.snap.lat.sum=100\n"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("test.snap.lat.max=100\n"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("test.snap.lat.p99="), std::string::npos) << dump;
+
+  const std::vector<MetricEntry> entries = Registry::instance().snapshot();
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LE(entries[i - 1].first, entries[i].first) << "snapshot not sorted";
+  }
+}
+
+// The concurrency contract of the registry and its instruments: many
+// threads hammering lookups and updates while a reader snapshots. Run
+// under -DPPD_SANITIZE=thread this is the data-race test for the module.
+TEST(ObsRegistry, ConcurrentUpdatesAndSnapshots) {
+  Registry& registry = Registry::instance();
+  registry.reset();
+  constexpr std::uint64_t kThreads = 8;
+  constexpr std::uint64_t kIters = 5000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (std::uint64_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter& counter = registry.counter("test.mt.counter");
+      Gauge& gauge = registry.gauge("test.mt.gauge");
+      Histogram& hist = registry.histogram("test.mt.hist");
+      for (std::uint64_t i = 0; i < kIters; ++i) {
+        counter.add();
+        gauge.add(1);
+        hist.record(i & 0xFFu);
+        gauge.add(-1);
+      }
+    });
+  }
+  threads.emplace_back([&registry] {
+    for (int i = 0; i < 100; ++i) {
+      (void)registry.snapshot();
+    }
+  });
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(registry.counter("test.mt.counter").value(), kThreads * kIters);
+  EXPECT_EQ(registry.gauge("test.mt.gauge").value(), 0);
+  EXPECT_LE(registry.gauge("test.mt.gauge").max(),
+            static_cast<std::int64_t>(kThreads));
+  EXPECT_EQ(registry.histogram("test.mt.hist").count(), kThreads * kIters);
+  registry.reset();
+}
+
+TEST(ObsSpan, NoCollectorIsANoOp) {
+  ASSERT_EQ(active_collector(), nullptr);
+  { PPD_OBS_SPAN("test.orphan"); }
+  // Nothing to observe directly; the point is that this neither crashes nor
+  // touches a collector. The registry histogram must not have been created
+  // by the orphan span either (record() is what creates it).
+  const std::string dump = Registry::instance().render_metrics();
+  EXPECT_EQ(dump.find("span.test.orphan"), std::string::npos);
+}
+
+TEST(ObsSpan, CollectorRecordsAndFoldsIntoRegistry) {
+  Registry::instance().reset();
+  SpanCollector collector;
+  install_collector(&collector);
+  {
+    PPD_OBS_SPAN("test.outer");
+    PPD_OBS_SPAN("test.inner");
+  }
+  install_collector(nullptr);
+
+  std::vector<SpanRecord> spans = collector.take();
+  ASSERT_EQ(spans.size(), 2u);
+  // RAII order: inner destructs (records) first.
+  EXPECT_EQ(spans[0].name, "test.inner");
+  EXPECT_EQ(spans[1].name, "test.outer");
+  EXPECT_LE(spans[1].begin_ns, spans[0].begin_ns);
+  EXPECT_GE(spans[1].end_ns, spans[0].end_ns);
+
+  const std::string dump = Registry::instance().render_metrics();
+  EXPECT_NE(dump.find("span.test.outer_ns.count=1\n"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("span.test.inner_ns.count=1\n"), std::string::npos) << dump;
+}
+
+TEST(ObsSpan, AggregateOnlyCollectorKeepsNoSpans) {
+  Registry::instance().reset();
+  SpanCollector collector(/*keep_spans=*/false);
+  install_collector(&collector);
+  { PPD_OBS_SPAN("test.agg"); }
+  install_collector(nullptr);
+  EXPECT_EQ(collector.size(), 0u);
+  const std::string dump = Registry::instance().render_metrics();
+  EXPECT_NE(dump.find("span.test.agg_ns.count=1\n"), std::string::npos) << dump;
+}
+
+TEST(ObsExport, ChromeTraceRoundTripsThroughJsonParser) {
+  Registry::instance().reset();
+  SpanCollector collector;
+  install_collector(&collector);
+
+  // Nested spans on the main thread plus concurrent spans on worker
+  // threads — the shape a real profiled run produces.
+  {
+    PPD_OBS_SPAN("main.outer");
+    {
+      PPD_OBS_SPAN("main.middle \"quoted\\path\"");
+      PPD_OBS_SPAN("main.inner");
+    }
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 3; ++t) {
+      workers.emplace_back([] {
+        for (int i = 0; i < 4; ++i) {
+          PPD_OBS_SPAN("worker.task");
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  install_collector(nullptr);
+
+  const std::size_t span_count = collector.size();
+  ASSERT_GE(span_count, 3u + 3u * 4u);
+  const std::string json = chrome_trace_json(collector.take());
+  JsonValue doc;
+  ASSERT_NO_FATAL_FAILURE(validate_chrome_trace(json, doc));
+
+  // One B and one E per span, plus metadata events.
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::size_t begins = 0;
+  std::size_t ends = 0;
+  std::size_t thread_names = 0;
+  for (const JsonValue& event : events->array) {
+    const std::string& ph = event.find("ph")->string;
+    if (ph == "B") ++begins;
+    if (ph == "E") ++ends;
+    if (ph == "M" && event.find("name")->string == "thread_name") ++thread_names;
+  }
+  EXPECT_EQ(begins, span_count);
+  EXPECT_EQ(ends, span_count);
+  EXPECT_GE(thread_names, 4u);  // main + 3 workers at minimum
+}
+
+TEST(ObsExport, ClampsChildOverflowingItsParent) {
+  // Hand-rolled records can overlap in ways RAII spans cannot; the exporter
+  // must still emit balanced, monotone events.
+  std::vector<SpanRecord> spans;
+  spans.push_back(SpanRecord{"parent", 7, 1000, 2000});
+  spans.push_back(SpanRecord{"child", 7, 1500, 2500});  // outlives parent
+  const std::string json = chrome_trace_json(std::move(spans));
+  JsonValue doc;
+  validate_chrome_trace(json, doc);
+}
+
+TEST(ObsExport, EmptyRunIsValidJson) {
+  const std::string json = chrome_trace_json({});
+  JsonValue doc;
+  JsonParser parser(json);
+  ASSERT_TRUE(parser.parse_document(doc)) << json;
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->kind, JsonValue::Kind::Array);
+}
+
+TEST(ObsExport, MetricsDumpMatchesRegistry) {
+  Registry::instance().reset();
+  Registry::instance().counter("test.dump.one").add(1);
+  const std::string dump = metrics_dump();
+  EXPECT_NE(dump.find("test.dump.one=1\n"), std::string::npos) << dump;
+}
+
+#else  // PPD_OBS_DISABLED
+
+TEST(ObsDisabled, StubsCompileAndDoNothing) {
+  Registry& registry = Registry::instance();
+  registry.counter("x").add(5);
+  registry.gauge("y").set(9);
+  registry.histogram("z").record(100);
+  EXPECT_EQ(registry.counter("x").value(), 0u);
+  EXPECT_EQ(registry.gauge("y").value(), 0);
+  EXPECT_EQ(registry.histogram("z").count(), 0u);
+  EXPECT_TRUE(registry.render_metrics().empty());
+  EXPECT_TRUE(registry.snapshot().empty());
+
+  SpanCollector collector;
+  install_collector(&collector);
+  { PPD_OBS_SPAN("stub"); }
+  install_collector(nullptr);
+  EXPECT_TRUE(collector.take().empty());
+}
+
+TEST(ObsDisabled, ExportersRenderAnEmptyRun) {
+  const std::string json = chrome_trace_json({});
+  JsonValue doc;
+  JsonParser parser(json);
+  ASSERT_TRUE(parser.parse_document(doc)) << json;
+  ASSERT_NE(doc.find("traceEvents"), nullptr);
+  EXPECT_TRUE(metrics_dump().empty());
+}
+
+#endif  // PPD_OBS_DISABLED
+
+}  // namespace
+}  // namespace ppd::obs

@@ -22,9 +22,18 @@
 //                                            files/directories concurrently; a
 //                                            content-hash keyed cache skips
 //                                            traces that did not change
+//   ppd-analyze --help | --version           exit 0
+//
+// Observability (any mode): --profile=FILE.json writes a Chrome trace-event
+// profile of the run (open in Perfetto or chrome://tracing; one track per
+// worker thread); --metrics=FILE writes a flat key=value metrics dump
+// (aggregated across a whole --batch run); --progress emits a heartbeat to
+// stderr during --batch (traces done/total, cache hits, ETA).
 //
 // Output discipline: the report goes to stdout; everything else — progress,
-// diagnostics, errors — goes to stderr, so reports stay pipeable.
+// diagnostics, errors — goes to stderr, so reports stay pipeable. A --batch
+// run separates reports with a "## <trace>" header line and ends with one
+// machine-readable "## summary traces=N cached=C failed=F" line.
 //
 // Traces are untrusted input: --strict (the default) stops at the first
 // malformed record with a diagnostic naming the offending line; --lenient
@@ -32,14 +41,16 @@
 // scopes at EOF, and completes a degraded analysis, reporting what was
 // dropped in the diagnostics section.
 //
-// Exit codes: 0 success; 1 I/O error; 2 usage; 3 malformed trace;
-// 4 analysis failure.
+// Exit codes: 0 success (including --help/--version); 1 I/O error; 2 usage;
+// 3 malformed trace; 4 analysis failure.
 //
 // The report covers: the PET with hotspots, the detected patterns (primary
 // first), multi-loop pipeline coefficients with the Table II reading,
 // reduction candidates with inferred operators, the fork/worker/barrier
 // classification of the best task-parallel scope, the ranked pattern list,
 // and the derived transformation hints.
+#include <algorithm>
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -48,6 +59,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bs/benchmark.hpp"
@@ -55,6 +67,8 @@
 #include "core/advisor.hpp"
 #include "core/analyzer.hpp"
 #include "core/omp_codegen.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "report/markdown.hpp"
 #include "store/batch.hpp"
 #include "store/format.hpp"
@@ -74,21 +88,39 @@ constexpr int kExitUsage = 2;
 constexpr int kExitBadTrace = 3;
 constexpr int kExitAnalysis = 4;
 
+constexpr const char kVersion[] = "0.6.0";
+
+constexpr const char kUsageText[] =
+    "usage: ppd-analyze --list\n"
+    "       ppd-analyze <benchmark> [--dump-trace FILE] [--markdown FILE]\n"
+    "                   [--dot PREFIX] [--comm on] [--omp on]\n"
+    "       ppd-analyze --trace FILE [--strict|--lenient] [--max-records N]\n"
+    "                   [--jobs N]\n"
+    "       ppd-analyze convert IN OUT [--chunk-bytes N] [--lenient]\n"
+    "       ppd-analyze --batch PATH... [--jobs N] [--cache DIR | --no-cache]\n"
+    "                   [--refresh] [--strict|--lenient] [--max-records N]\n"
+    "       ppd-analyze --help | --version\n"
+    "observability (any mode):\n"
+    "       --profile=FILE.json  write a Chrome trace-event profile of the run\n"
+    "       --metrics=FILE       write a flat key=value metrics dump\n"
+    "       --progress           heartbeat to stderr during --batch\n"
+    "exit codes: 0 ok, 1 i/o error, 2 usage, 3 malformed trace,\n"
+    "            4 analysis failure\n";
+
 int usage() {
-  std::fputs(
-      "usage: ppd-analyze --list\n"
-      "       ppd-analyze <benchmark> [--dump-trace FILE] [--markdown FILE]\n"
-      "                   [--dot PREFIX] [--comm on] [--omp on]\n"
-      "       ppd-analyze --trace FILE [--strict|--lenient] [--max-records N]\n"
-      "                   [--jobs N]\n"
-      "       ppd-analyze convert IN OUT [--chunk-bytes N] [--lenient]\n"
-      "       ppd-analyze --batch PATH... [--jobs N] [--cache DIR | --no-cache]\n"
-      "                   [--refresh] [--strict|--lenient] [--max-records N]\n"
-      "exit codes: 0 ok, 1 i/o error, 2 usage, 3 malformed trace,\n"
-      "            4 analysis failure\n",
-      stderr);
+  std::fputs(kUsageText, stderr);
   return kExitUsage;
 }
+
+/// Cross-cutting observability flags, stripped from argv before the mode
+/// dispatch so every mode accepts them uniformly.
+struct ObsOptions {
+  std::string profile_path;  ///< Chrome trace-event JSON destination
+  std::string metrics_path;  ///< key=value metrics dump destination
+  bool progress = false;     ///< batch heartbeat on stderr
+};
+
+ObsOptions g_obs;
 
 #if defined(__GNUC__)
 __attribute__((format(printf, 2, 3)))
@@ -398,6 +430,25 @@ int run_batch(const std::vector<std::string>& inputs, const TraceRunOptions& run
     config += std::to_string(run.max_records);
     options.salt = store::fnv1a64(config);
   }
+  if (g_obs.progress) {
+    // Heartbeat after every completed trace: done/total, cache hits, and an
+    // ETA extrapolated from the mean per-trace time so far.
+    const auto start = std::chrono::steady_clock::now();
+    options.progress = [start](std::size_t done, std::size_t total,
+                               std::size_t cache_hits) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      const double eta =
+          done > 0 ? elapsed * static_cast<double>(total - done) /
+                         static_cast<double>(done)
+                   : 0.0;
+      std::fprintf(stderr,
+                   "progress: %zu/%zu traces, %zu cached, elapsed %.1fs, "
+                   "eta %.1fs\n",
+                   done, total, cache_hits, elapsed, eta);
+    };
+  }
 
   int worst = kExitOk;
   const store::AnalyzeFn analyze = [&run, &worst](const std::string& path,
@@ -422,7 +473,9 @@ int run_batch(const std::vector<std::string>& inputs, const TraceRunOptions& run
                  item.path.c_str(),
                  item.cached ? "cached" : (item.status.is_ok() ? "analyzed" : "failed"));
     std::fputs(item.log.c_str(), stderr);
-    std::printf("== %s ==\n", item.path.c_str());
+    // One "## <trace>" header per report so a concatenated batch stdout
+    // splits mechanically at /^## /.
+    std::printf("## %s\n", item.path.c_str());
     std::fputs(item.report.c_str(), stdout);
     if (!item.status.is_ok()) {
       // Derive the worst exit code from the recorded failure.
@@ -440,6 +493,9 @@ int run_batch(const std::vector<std::string>& inputs, const TraceRunOptions& run
   }
   std::fprintf(stderr, "analyzed %zu trace(s): %zu from cache, %zu failure(s)\n",
                summary.items.size(), summary.cache_hits, summary.failures);
+  // Machine-readable batch summary, last line of stdout.
+  std::printf("## summary traces=%zu cached=%zu failed=%zu\n",
+              summary.items.size(), summary.cache_hits, summary.failures);
   return worst;
 }
 
@@ -451,9 +507,10 @@ bool parse_positive(const char* text, std::uint64_t& out) {
   return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+/// The mode dispatch, over argv with the observability flags already
+/// stripped. Split out of main() so profile/metrics export runs on every
+/// exit path.
+int run_cli(int argc, char** argv) {
   if (argc < 2) return usage();
 
   if (std::strcmp(argv[1], "--list") == 0) {
@@ -642,4 +699,98 @@ int main(int argc, char** argv) {
     return kExitAnalysis;
   }
   return kExitOk;
+}
+
+/// Parses and strips the cross-cutting observability flags from argv.
+/// Returns false on a malformed flag (empty path).
+bool strip_obs_flags(int& argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--progress") {
+      g_obs.progress = true;
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      g_obs.profile_path = arg.substr(std::strlen("--profile="));
+      if (g_obs.profile_path.empty()) return false;
+    } else if (arg == "--profile" && i + 1 < argc) {
+      g_obs.profile_path = argv[++i];
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      g_obs.metrics_path = arg.substr(std::strlen("--metrics="));
+      if (g_obs.metrics_path.empty()) return false;
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      g_obs.metrics_path = argv[++i];
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  return true;
+}
+
+/// Best-effort export; failures demote a successful run to an I/O error.
+void write_observability_file(const std::string& path, const std::string& payload,
+                              const char* what, std::size_t items, int& code) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << payload;
+  if (!out.flush()) {
+    std::fprintf(stderr, "cannot write %s file '%s'\n", what, path.c_str());
+    if (code == kExitOk) code = kExitIo;
+    return;
+  }
+  std::fprintf(stderr, "%s written: %zu entr%s -> %s\n", what, items,
+               items == 1 ? "y" : "ies", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Conventional front-door flags: anywhere on the command line, exit 0,
+  // payload on stdout.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::fputs(kUsageText, stdout);
+      return kExitOk;
+    }
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("ppd-analyze %s (ppdt container v%llu)\n", kVersion,
+                  static_cast<unsigned long long>(store::kFormatVersion));
+      return kExitOk;
+    }
+  }
+  if (!strip_obs_flags(argc, argv)) return usage();
+
+  // Span collection is runtime-gated: without --profile/--metrics no
+  // collector is installed and every ScopedSpan in the pipeline is a
+  // relaxed load. --metrics alone aggregates durations without storing
+  // per-span records.
+  std::unique_ptr<obs::SpanCollector> collector;
+  if (!g_obs.profile_path.empty() || !g_obs.metrics_path.empty()) {
+    collector =
+        std::make_unique<obs::SpanCollector>(!g_obs.profile_path.empty());
+    obs::install_collector(collector.get());
+#if defined(PPD_OBS_DISABLED)
+    std::fputs("note: built with PPD_OBS=OFF; profile/metrics will be empty\n",
+               stderr);
+#endif
+  }
+
+  int code = run_cli(argc, argv);
+
+  if (collector != nullptr) {
+    obs::install_collector(nullptr);
+    if (!g_obs.profile_path.empty()) {
+      std::vector<obs::SpanRecord> spans = collector->take();
+      const std::size_t count = spans.size();
+      write_observability_file(g_obs.profile_path,
+                               obs::chrome_trace_json(std::move(spans)),
+                               "profile", count, code);
+    }
+    if (!g_obs.metrics_path.empty()) {
+      const std::string dump = obs::metrics_dump();
+      const std::size_t lines =
+          static_cast<std::size_t>(std::count(dump.begin(), dump.end(), '\n'));
+      write_observability_file(g_obs.metrics_path, dump, "metrics", lines, code);
+    }
+  }
+  return code;
 }
