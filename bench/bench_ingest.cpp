@@ -17,13 +17,19 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "bs/benchmark.hpp"
 #include "obs/obs.hpp"
+#include "prof/profiler.hpp"
+#include "prof/sharded_profiler.hpp"
+#include "prof/sharded_shadow.hpp"
+#include "rt/thread_pool.hpp"
 #include "store/reader.hpp"
 #include "store/writer.hpp"
 #include "trace/context.hpp"
@@ -90,6 +96,44 @@ Measurement run_text(const std::string& text) {
   return m;
 }
 
+/// End-to-end ingest + dependence profiling: binary replay with the
+/// profiler subscribed, then take(). jobs == 0 is the serial reference
+/// (DependenceProfiler, inline decode); jobs >= 1 runs the sharded
+/// profiler, sharing one pool between chunk decode and profiling blocks —
+/// the `ppd-analyze --trace --jobs N` wiring. `dump_out`, when non-null,
+/// receives the canonical profile dump (the bit-identity oracle).
+Measurement run_dispatch(const std::string& binary, std::size_t jobs,
+                         std::string* dump_out) {
+  const auto start = std::chrono::steady_clock::now();
+  std::unique_ptr<rt::ThreadPool> pool;
+  if (jobs > 1) pool = std::make_unique<rt::ThreadPool>(jobs);
+
+  trace::TraceContext ctx;
+  std::unique_ptr<prof::DependenceProfiler> serial;
+  std::unique_ptr<prof::ShardedProfiler> sharded;
+  if (jobs == 0) {
+    serial = std::make_unique<prof::DependenceProfiler>();
+    ctx.add_sink(serial.get());
+  } else {
+    prof::ShardedProfiler::Options options;
+    options.pool = pool.get();
+    sharded = std::make_unique<prof::ShardedProfiler>(options);
+    ctx.add_sink(sharded.get());
+  }
+
+  store::ReadOptions options;
+  options.jobs = jobs == 0 ? 1 : jobs;
+  options.pool = pool.get();
+  const store::ReadResult result = store::read_trace(binary, ctx, options);
+
+  const prof::Profile profile = serial ? serial->take() : sharded->take();
+  Measurement m;
+  m.seconds = seconds_since(start);
+  m.records = result.status.is_ok() ? result.records : 0;
+  if (dump_out != nullptr) *dump_out = prof::to_debug_string(profile);
+  return m;
+}
+
 Measurement run_binary(const std::string& binary, std::size_t jobs) {
   const auto start = std::chrono::steady_clock::now();
   trace::TraceContext ctx;
@@ -103,17 +147,19 @@ Measurement run_binary(const std::string& binary, std::size_t jobs) {
 }
 
 void emit_config(std::string& json, const char* name, const Measurement& m,
-                 std::size_t input_bytes, double baseline_seconds, bool last) {
+                 std::size_t input_bytes, double baseline_seconds, bool last,
+                 const char* speedup_key = "speedup_vs_text") {
   char buffer[512];
   std::snprintf(buffer, sizeof(buffer),
                 "    {\"config\": \"%s\", \"seconds\": %.6f, "
                 "\"events_per_sec\": %.0f, \"mb_per_sec\": %.2f, "
-                "\"speedup_vs_text\": %.2f}%s\n",
+                "\"%s\": %.2f}%s\n",
                 name, m.seconds,
                 m.seconds > 0 ? static_cast<double>(m.records) / m.seconds : 0.0,
                 m.seconds > 0
                     ? static_cast<double>(input_bytes) / (1e6 * m.seconds)
                     : 0.0,
+                speedup_key,
                 m.seconds > 0 ? baseline_seconds / m.seconds : 0.0,
                 last ? "" : ",");
   json += buffer;
@@ -215,5 +261,64 @@ int main(int argc, char** argv) {
   std::fputs(json.c_str(), stdout);
   std::ofstream out("BENCH_ingest.json", std::ios::trunc);
   out << json;
-  return out ? 0 : 1;
+  if (!out) return 1;
+
+  // ---- dispatch-phase scaling: ingest + dependence profiling end to end ----
+  //
+  // The configs above measure decode only; the dispatch wall is the serial
+  // profiling behind it. This section replays the same container with the
+  // profiler subscribed: the serial reference (DependenceProfiler), then the
+  // sharded profiler at 1/2/4/8 jobs. Every configuration's canonical
+  // profile dump must equal the serial reference — the run is a bit-identity
+  // check as well as a timing. Results go to BENCH_dispatch.json.
+  obs::Registry::instance().reset();
+  std::string reference_dump;
+  const Measurement serial_m = best_of([&] {
+    return run_dispatch(binary, 0, &reference_dump);
+  });
+  if (serial_m.records == 0 || reference_dump.empty()) {
+    std::fprintf(stderr, "serial dispatch reference failed\n");
+    return 1;
+  }
+
+  std::string dispatch = "{\n";
+  {
+    char buffer[320];
+    std::snprintf(buffer, sizeof(buffer),
+                  "  \"benchmark\": \"%s\", \"events\": %llu,\n"
+                  "  \"binary_bytes\": %zu, \"shards\": %zu,\n"
+                  "  \"hardware_concurrency\": %u,\n"
+                  "  \"configs\": [\n",
+                  name, static_cast<unsigned long long>(serial_m.records),
+                  binary.size(), prof::ShardedProfiler::Options{}.shards,
+                  std::thread::hardware_concurrency());
+    dispatch += buffer;
+  }
+  emit_config(dispatch, "serial_1j", serial_m, binary.size(), serial_m.seconds,
+              false, "speedup_vs_serial");
+
+  for (std::size_t i = 0; i < std::size(job_counts); ++i) {
+    const std::size_t jobs = job_counts[i];
+    std::string dump;
+    const Measurement m = best_of([&] { return run_dispatch(binary, jobs, &dump); });
+    if (m.records != serial_m.records) {
+      std::fprintf(stderr, "dispatch record mismatch at jobs=%zu\n", jobs);
+      return 1;
+    }
+    if (dump != reference_dump) {
+      std::fprintf(stderr, "profile diverged from serial reference at jobs=%zu\n",
+                   jobs);
+      return 1;
+    }
+    char config[32];
+    std::snprintf(config, sizeof(config), "sharded_%zuj", jobs);
+    emit_config(dispatch, config, m, binary.size(), serial_m.seconds,
+                i + 1 == std::size(job_counts), "speedup_vs_serial");
+  }
+  dispatch += "  ]\n}\n";
+
+  std::fputs(dispatch.c_str(), stdout);
+  std::ofstream dispatch_out("BENCH_dispatch.json", std::ios::trunc);
+  dispatch_out << dispatch;
+  return dispatch_out ? 0 : 1;
 }

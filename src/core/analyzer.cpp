@@ -25,9 +25,26 @@ std::vector<const MultiLoopPipeline*> AnalysisResult::reported_pipelines() const
 
 PatternAnalyzer::PatternAnalyzer(trace::TraceContext& ctx, AnalyzerConfig config)
     : ctx_(ctx), config_(config) {
-  ctx_.add_sink(&profiler_);
+  if (config_.profiler_mode == ProfilerMode::Sharded) {
+    prof::ShardedProfiler::Options options;
+    options.shards = config_.profile_shards;
+    options.pool = config_.pool;
+    if (options.pool == nullptr && config_.profile_jobs > 1) {
+      owned_pool_ = std::make_unique<rt::ThreadPool>(config_.profile_jobs);
+      options.pool = owned_pool_.get();
+    }
+    sharded_profiler_ = std::make_unique<prof::ShardedProfiler>(options);
+    ctx_.add_sink(sharded_profiler_.get());
+  } else {
+    serial_profiler_ = std::make_unique<prof::DependenceProfiler>();
+    ctx_.add_sink(serial_profiler_.get());
+  }
   ctx_.add_sink(&pet_builder_);
   ctx_.add_sink(&cu_facts_);
+}
+
+prof::Profile PatternAnalyzer::take_profile() {
+  return serial_profiler_ ? serial_profiler_->take() : sharded_profiler_->take();
 }
 
 AnalysisResult PatternAnalyzer::analyze() {
@@ -35,7 +52,7 @@ AnalysisResult PatternAnalyzer::analyze() {
   ctx_.finish();
 
   AnalysisResult result;
-  result.profile = profiler_.take();
+  result.profile = take_profile();
   {
     PPD_OBS_SPAN("pet.build");
     result.pet = pet_builder_.take();

@@ -18,6 +18,7 @@
 //   5. plain do-all.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,9 +31,17 @@
 #include "cu/facts.hpp"
 #include "pet/pet.hpp"
 #include "prof/profiler.hpp"
+#include "prof/sharded_profiler.hpp"
+#include "rt/thread_pool.hpp"
 #include "trace/context.hpp"
 
 namespace ppd::core {
+
+/// Which dependence-profiler front-end the analyzer wires up. Both produce
+/// bit-identical profiles (the `bitidentity` ctest label enforces this);
+/// Sharded overlaps the shadow-memory work with event dispatch on a thread
+/// pool and is the default for multi-job CLI runs.
+enum class ProfilerMode { Serial, Sharded };
 
 /// Tuning knobs for the full analysis.
 struct AnalyzerConfig {
@@ -43,6 +52,18 @@ struct AnalyzerConfig {
   double min_task_speedup = 1.3;
   /// ... and at least this many worker CUs.
   std::size_t min_workers = 2;
+
+  ProfilerMode profiler_mode = ProfilerMode::Serial;
+  /// Sharded mode: worker threads profiling concurrently. Values <= 1 keep
+  /// the striped state but process inline (no pool) — useful for tests.
+  std::size_t profile_jobs = 1;
+  /// Sharded mode: address stripes (power of two; see ShardedShadow).
+  std::size_t profile_shards = 64;
+  /// Sharded mode: externally owned pool to profile on. When null and
+  /// profile_jobs > 1, the analyzer creates its own pool of profile_jobs
+  /// workers. Sharing the reader's decode pool here is the intended setup
+  /// (decode tasks and profiling blocks interleave on the same workers).
+  rt::ThreadPool* pool = nullptr;
 };
 
 /// Task-parallelism result bound to the scope it was detected in.
@@ -84,10 +105,18 @@ class PatternAnalyzer {
 
  private:
   void choose_primary(AnalysisResult& result) const;
+  [[nodiscard]] prof::Profile take_profile();
 
   trace::TraceContext& ctx_;
   AnalyzerConfig config_;
-  prof::DependenceProfiler profiler_;
+  /// Pool created when Sharded mode asked for jobs but supplied no pool.
+  /// Declared before the profiler so it is destroyed after it (the sharded
+  /// profiler's destructor drains onto the pool).
+  std::unique_ptr<rt::ThreadPool> owned_pool_;
+  /// Exactly one of the two profiler front-ends is instantiated, per
+  /// config_.profiler_mode.
+  std::unique_ptr<prof::DependenceProfiler> serial_profiler_;
+  std::unique_ptr<prof::ShardedProfiler> sharded_profiler_;
   pet::PetBuilder pet_builder_;
   cu::CuFacts cu_facts_{ctx_};
 };

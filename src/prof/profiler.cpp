@@ -1,11 +1,6 @@
 #include "prof/profiler.hpp"
 
-#include <algorithm>
-#include <tuple>
-
 #include "obs/obs.hpp"
-#include "support/assert.hpp"
-#include "trace/context.hpp"
 
 namespace ppd::prof {
 
@@ -39,23 +34,8 @@ const LoopInfo* Profile::loop_info(RegionId loop) const {
   return it == loops.end() ? nullptr : &it->second;
 }
 
-std::size_t DependenceProfiler::DepKeyHash::operator()(const DepKey& k) const noexcept {
-  std::size_t h = std::hash<std::uint32_t>{}(static_cast<std::uint32_t>(k.kind));
-  auto mix = [&h](std::size_t v) { h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2); };
-  mix(std::hash<VarId>{}(k.var));
-  mix(std::hash<SourceLine>{}(k.src_line));
-  mix(std::hash<SourceLine>{}(k.dst_line));
-  mix(std::hash<StatementId>{}(k.src_stmt));
-  mix(std::hash<StatementId>{}(k.dst_stmt));
-  mix(std::hash<RegionId>{}(k.carrier));
-  return h;
-}
-
 void DependenceProfiler::on_region_enter(const trace::RegionInfo& region) {
-  if (region.kind != trace::RegionKind::Loop) return;
-  LoopInfo& info = loops_[region.id];
-  info.loop = region.id;
-  ++info.instances;
+  tally_.on_enter(region);
 }
 
 void DependenceProfiler::on_region_exit(const trace::RegionInfo& region) {
@@ -64,158 +44,25 @@ void DependenceProfiler::on_region_exit(const trace::RegionInfo& region) {
 
 void DependenceProfiler::on_iteration(const trace::RegionInfo& loop,
                                       std::uint64_t iteration) {
-  LoopInfo& info = loops_[loop.id];
-  info.loop = loop.id;
-  ++info.total_iterations;
-  info.max_iterations = std::max(info.max_iterations, iteration + 1);
-}
-
-DependenceProfiler::LoopRelation DependenceProfiler::relate_loops(
-    const mem::InlineLoopStack& src, const mem::InlineLoopStack& dst) {
-  LoopRelation rel;
-  // Walk the common prefix of loop ids; the first level where the iteration
-  // differs is the carrier loop (outermost-carried convention). Levels where
-  // the loop ids themselves differ mark the branch into two distinct loops.
-  const std::size_t common = std::min(src.size(), dst.size());
-  std::size_t level = 0;
-  for (; level < common; ++level) {
-    if (src[level].loop != dst[level].loop) break;
-    if (src[level].iteration != dst[level].iteration) {
-      rel.carrier = src[level].loop;
-      const std::uint64_t a = src[level].iteration;
-      const std::uint64_t b = dst[level].iteration;
-      rel.distance = a > b ? a - b : b - a;
-      return rel;
-    }
-  }
-  // Same iteration of every common-prefix loop: loop-independent at the
-  // shared levels. Report the branching loops (if any) for cross-loop pairs.
-  if (level < src.size()) rel.src_branch = src[level].loop;
-  if (level < dst.size()) rel.dst_branch = dst[level].loop;
-  return rel;
-}
-
-void DependenceProfiler::record_dependence(DepKind kind, VarId var, Address addr,
-                                           const mem::AccessRecord& src,
-                                           const mem::AccessRecord& dst) {
-  const LoopRelation rel = relate_loops(src.loops, dst.loops);
-  DepKey key{kind, var, src.line, dst.line, src.stmt, dst.stmt, rel.carrier};
-  auto [it, inserted] = deps_.try_emplace(key);
-  Dependence& dep = it->second;
-  const bool cross = src.func.valid() && src.func == dst.func &&
-                     src.func_activation != dst.func_activation;
-  if (inserted) {
-    dep.kind = kind;
-    dep.var = var;
-    dep.source = DepSite{src.line, src.stmt, src.region};
-    dep.sink = DepSite{dst.line, dst.stmt, dst.region};
-    dep.cross_activation = cross;
-    dep.carrier_loop = rel.carrier;
-    dep.min_distance = rel.distance;
-    dep.max_distance = rel.distance;
-  } else {
-    dep.min_distance = std::min(dep.min_distance, rel.distance);
-    dep.max_distance = std::max(dep.max_distance, rel.distance);
-    // A dependence that occurs within one activation at least once is a
-    // genuine per-activation edge.
-    dep.cross_activation = dep.cross_activation && cross;
-  }
-  ++dep.count;
-
-  // Feed the reduction summary: accesses participating in an inter-iteration
-  // RAW dependence of a loop, keyed by the written variable (Algorithm 3
-  // instruments exactly these).
-  if (rel.carrier.valid() && kind == DepKind::Raw) {
-    note_carried_access(rel.carrier, var, src.line, dst.line, addr, src.op);
-  }
-}
-
-void DependenceProfiler::note_carried_access(RegionId loop, VarId var,
-                                             SourceLine write_line, SourceLine read_line,
-                                             Address addr, trace::UpdateOp op) {
-  CarriedVarAccess& acc = carried_vars_[loop][var];
-  acc.write_lines.insert(write_line);
-  acc.read_lines.insert(read_line);
-  acc.addresses.insert(addr);
-  ++acc.occurrences;
-  acc.ops.insert(op);
-}
-
-void DependenceProfiler::maybe_record_pipeline_pair(const trace::AccessEvent& read,
-                                                    const mem::AccessRecord& write) {
-  const mem::InlineLoopStack read_loops{read.loop_stack};
-  const LoopRelation rel = relate_loops(write.loops, read_loops);
-  // A cross-loop pair exists when, after an iteration-identical common
-  // prefix, the write continues into loop x and the read into loop y != x.
-  if (rel.carrier.valid()) return;
-  if (!rel.src_branch.valid() || !rel.dst_branch.valid()) return;
-  if (rel.src_branch == rel.dst_branch) return;
-
-  const LoopPairKey key{rel.src_branch, rel.dst_branch};
-  PairData& data = loop_pairs_[key];
-  // Keep only the *first* read of each address in loop y; the shadow cell
-  // already holds the *last* write in loop x because loop x finished before
-  // loop y started reading (sequential execution).
-  if (!data.recorded_addresses.insert(read.addr).second) return;
-  data.pairs.push_back(IterPair{write.loops.iteration_of(rel.src_branch),
-                                read_loops.iteration_of(rel.dst_branch)});
+  tally_.on_iteration(loop, iteration);
 }
 
 void DependenceProfiler::on_access(const trace::AccessEvent& access) {
   // Guard against corrupt streams (replayed traces are untrusted input): an
   // access without a defined variable or with loop nesting beyond what the
   // inline records hold is ignored and counted instead of killing the run.
-  if (!access.var.valid() ||
-      access.loop_stack.size() > mem::InlineLoopStack::kMaxDepth) {
+  if (!profilable(access)) {
     ++ignored_events_;
     return;
   }
-  for (const trace::LoopPosition& pos : access.loop_stack) {
-    loop_footprints_[pos.loop].insert(access.addr);
-  }
-  mem::ShadowCell& cell = shadow_.cell(access.addr);
-  const mem::AccessRecord current = mem::AccessRecord::from_event(access);
-
-  if (access.kind == trace::AccessKind::Read) {
-    if (cell.last_write.valid) {
-      record_dependence(DepKind::Raw, access.var, access.addr, cell.last_write, current);
-      maybe_record_pipeline_pair(access, cell.last_write);
-    }
-    cell.last_read = current;
-  } else {
-    if (cell.last_write.valid) {
-      record_dependence(DepKind::Waw, access.var, access.addr, cell.last_write, current);
-    }
-    if (cell.last_read.valid && cell.last_read.seq > cell.last_write.seq) {
-      record_dependence(DepKind::War, access.var, access.addr, cell.last_read, current);
-    }
-    cell.last_write = current;
-  }
+  state_.process(capture(access));
 }
 
 void DependenceProfiler::on_trace_end() {}
 
 Profile DependenceProfiler::take() const {
   PPD_OBS_SPAN("prof.take");
-  Profile profile;
-  profile.dependences.reserve(deps_.size());
-  for (const auto& [key, dep] : deps_) profile.dependences.push_back(dep);
-  // Deterministic order for tests and table output.
-  std::sort(profile.dependences.begin(), profile.dependences.end(),
-            [](const Dependence& a, const Dependence& b) {
-              return std::tie(a.source.line, a.sink.line, a.kind, a.var) <
-                     std::tie(b.source.line, b.sink.line, b.kind, b.var);
-            });
-  profile.loops = loops_;
-  for (auto& [loop, info] : profile.loops) {
-    auto it = loop_footprints_.find(loop);
-    info.distinct_addresses = it == loop_footprints_.end() ? 0 : it->second.size();
-  }
-  profile.carried_vars = carried_vars_;
-  for (const auto& [key, data] : loop_pairs_) {
-    profile.loop_pairs.emplace(key, data.pairs);
-  }
-  return profile;
+  return merge_stripes({&state_, 1}, tally_.loops);
 }
 
 }  // namespace ppd::prof

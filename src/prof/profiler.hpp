@@ -1,4 +1,4 @@
-// Dynamic data-dependence profiler.
+// Dynamic data-dependence profiler (serial reference front-end).
 //
 // Reproduces DiscoPoP's second analysis (the efficient data-dependence
 // profiler, [14] in the paper): it observes the instrumented event stream,
@@ -13,14 +13,18 @@
 //  * the reduction access-line summary (Algorithm 3): per loop and variable,
 //    the source lines of accesses participating in inter-iteration
 //    dependences.
+//
+// The per-access semantics live in prof/sharded_shadow.hpp (StripeState);
+// this front-end processes every access inline through exactly one stripe
+// and finalizes through the same merge_stripes() reduction the concurrent
+// ShardedProfiler uses. The unit suite pins this serial path, and the
+// sharded path is bit-identical to it by construction.
 #pragma once
 
 #include <unordered_map>
-#include <unordered_set>
 
-#include "mem/access_record.hpp"
-#include "mem/shadow.hpp"
 #include "prof/dependence.hpp"
+#include "prof/sharded_shadow.hpp"
 #include "trace/events.hpp"
 
 namespace ppd::prof {
@@ -44,10 +48,10 @@ class DependenceProfiler final : public trace::EventSink {
   [[nodiscard]] Profile take() const;
 
   /// Number of distinct static dependences recorded so far.
-  [[nodiscard]] std::size_t dependence_count() const { return deps_.size(); }
+  [[nodiscard]] std::size_t dependence_count() const { return state_.deps.size(); }
 
   /// Shadow-memory footprint (for the profiler microbenchmarks).
-  [[nodiscard]] std::size_t shadow_bytes() const { return shadow_.touched_bytes(); }
+  [[nodiscard]] std::size_t shadow_bytes() const { return state_.shadow.touched_bytes(); }
 
   /// Accesses ignored because they violated profiler limits (undefined
   /// variable id, or loop nesting deeper than InlineLoopStack::kMaxDepth).
@@ -56,52 +60,8 @@ class DependenceProfiler final : public trace::EventSink {
   [[nodiscard]] std::uint64_t ignored_events() const { return ignored_events_; }
 
  private:
-  struct DepKey {
-    DepKind kind;
-    VarId var;
-    SourceLine src_line;
-    SourceLine dst_line;
-    StatementId src_stmt;
-    StatementId dst_stmt;
-    RegionId carrier;
-
-    friend bool operator==(const DepKey&, const DepKey&) = default;
-  };
-  struct DepKeyHash {
-    std::size_t operator()(const DepKey& k) const noexcept;
-  };
-
-  void record_dependence(DepKind kind, VarId var, Address addr,
-                         const mem::AccessRecord& src, const mem::AccessRecord& dst);
-
-  /// Finds the outermost common loop with differing iterations; also reports
-  /// the first position after the common (id+iteration)-equal prefix, which
-  /// drives cross-loop pair detection.
-  struct LoopRelation {
-    RegionId carrier;                 ///< invalid if loop-independent
-    std::uint64_t distance = 0;       ///< |iteration delta| at the carrier
-    RegionId src_branch;              ///< src-side loop right after the common prefix
-    RegionId dst_branch;              ///< dst-side loop right after the common prefix
-  };
-  [[nodiscard]] static LoopRelation relate_loops(const mem::InlineLoopStack& src,
-                                                 const mem::InlineLoopStack& dst);
-
-  void maybe_record_pipeline_pair(const trace::AccessEvent& read,
-                                  const mem::AccessRecord& write);
-  void note_carried_access(RegionId loop, VarId var, SourceLine write_line,
-                           SourceLine read_line, Address addr, trace::UpdateOp op);
-
-  mem::ShadowMemory<mem::ShadowCell> shadow_;
-  std::unordered_map<RegionId, std::unordered_set<Address>> loop_footprints_;
-  std::unordered_map<DepKey, Dependence, DepKeyHash> deps_;
-  std::unordered_map<RegionId, LoopInfo> loops_;
-  std::unordered_map<RegionId, std::unordered_map<VarId, CarriedVarAccess>> carried_vars_;
-
-  struct PairData {
-    std::vector<IterPair> pairs;
-    std::unordered_set<Address> recorded_addresses;
-  };
-  std::unordered_map<LoopPairKey, PairData, LoopPairKeyHash> loop_pairs_;
+  StripeState state_;
+  LoopTally tally_;
   std::uint64_t ignored_events_ = 0;
 };
 

@@ -1,0 +1,163 @@
+#include "prof/sharded_profiler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "rt/thread_pool.hpp"
+
+namespace ppd::prof {
+
+ShardedProfiler::ShardedProfiler(Options options)
+    : options_(options), shadow_(options.shards) {
+  if (options_.block_records == 0) options_.block_records = 1;
+  const std::size_t n = shadow_.stripe_count();
+  fill_.resize(n);
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<StripeQueue>());
+  }
+  obs::Registry::instance().gauge("prof.shards").set(static_cast<std::int64_t>(n));
+}
+
+ShardedProfiler::~ShardedProfiler() {
+  // Workers capture `this`; never destroy with blocks in flight.
+  drain();
+}
+
+void ShardedProfiler::on_region_enter(const trace::RegionInfo& region) {
+  tally_.on_enter(region);
+}
+
+void ShardedProfiler::on_iteration(const trace::RegionInfo& loop,
+                                   std::uint64_t iteration) {
+  tally_.on_iteration(loop, iteration);
+}
+
+void ShardedProfiler::on_access(const trace::AccessEvent& access) {
+  if (!profilable(access)) {
+    ++ignored_events_;
+    return;
+  }
+  const std::size_t stripe = shadow_.stripe_of(access.addr);
+  if (options_.pool == nullptr) {
+    shadow_.stripe(stripe).process(capture(access));
+    return;
+  }
+  std::vector<CapturedAccess>& fill = fill_[stripe];
+  fill.push_back(capture(access));
+  if (fill.size() >= options_.block_records) flush_stripe(stripe);
+}
+
+void ShardedProfiler::on_trace_end() { drain(); }
+
+void ShardedProfiler::flush_stripe(std::size_t stripe) {
+  if (fill_[stripe].empty()) return;
+  std::vector<CapturedAccess> block;
+  block.swap(fill_[stripe]);
+
+  // Count the block as pending *before* it becomes visible on the queue: an
+  // already-scheduled worker may pop and finish it the moment it is pushed,
+  // and its decrement must not precede this increment (pending_blocks_ is
+  // unsigned; an early decrement would wrap and deadlock drain()).
+  {
+    std::lock_guard lock(done_mutex_);
+    ++pending_blocks_;
+  }
+  StripeQueue& queue = *queues_[stripe];
+  bool schedule = false;
+  {
+    std::lock_guard lock(queue.mutex);
+    queue.blocks.push_back(std::move(block));
+    if (!queue.scheduled) {
+      queue.scheduled = true;
+      schedule = true;
+    }
+  }
+  obs::Registry::instance().counter("prof.shard.blocks").add(1);
+  if (!schedule) return;
+  try {
+    options_.pool->submit([this, stripe] { drain_stripe(stripe); });
+  } catch (const std::exception&) {
+    // Pool already shut down: process inline. The stripe's FIFO still sees
+    // its blocks in dispatch order, so the result is unchanged.
+    drain_stripe(stripe);
+  }
+}
+
+void ShardedProfiler::drain_stripe(std::size_t stripe) {
+  StripeQueue& queue = *queues_[stripe];
+  StripeState& state = shadow_.stripe(stripe);
+  for (;;) {
+    std::vector<CapturedAccess> block;
+    {
+      std::lock_guard lock(queue.mutex);
+      if (queue.blocks.empty()) {
+        queue.scheduled = false;
+        return;
+      }
+      block = std::move(queue.blocks.front());
+      queue.blocks.pop_front();
+    }
+    bool failed = false;
+    {
+      PPD_OBS_SPAN("prof.shard");
+      try {
+        for (const CapturedAccess& access : block) state.process(access);
+      } catch (...) {
+        // Keep draining so pending_blocks_ reaches zero (a stuck drain()
+        // would deadlock the dispatch thread); take() reports the failure.
+        failed = true;
+      }
+    }
+    // Decide whether to keep the stripe *before* publishing the block as
+    // done: the moment pending_blocks_ reaches zero, drain() may return and
+    // the profiler may be destroyed, so after its final decrement this task
+    // must not touch the queue, the stripe, or any other member.
+    bool more;
+    {
+      std::lock_guard lock(queue.mutex);
+      more = !queue.blocks.empty();
+      if (!more) queue.scheduled = false;
+    }
+    {
+      std::lock_guard lock(done_mutex_);
+      if (failed) ++worker_errors_;
+      if (--pending_blocks_ == 0) done_cv_.notify_all();
+    }
+    if (!more) return;
+  }
+}
+
+void ShardedProfiler::drain() {
+  if (options_.pool == nullptr) return;
+  PPD_OBS_SPAN("prof.drain");
+  for (std::size_t i = 0; i < shadow_.stripe_count(); ++i) flush_stripe(i);
+  std::unique_lock lock(done_mutex_);
+  done_cv_.wait(lock, [this] { return pending_blocks_ == 0; });
+}
+
+Profile ShardedProfiler::take() {
+  drain();
+  {
+    std::lock_guard lock(done_mutex_);
+    if (worker_errors_ != 0) {
+      throw std::runtime_error("sharded profiling failed on " +
+                               std::to_string(worker_errors_) + " block(s)");
+    }
+  }
+  // Shard balance: how evenly the striping spread the access stream.
+  obs::Histogram& balance =
+      obs::Registry::instance().histogram("prof.shard.accesses");
+  std::uint64_t total = 0;
+  for (const StripeState& stripe : shadow_.stripes()) {
+    if (stripe.accesses == 0) continue;
+    balance.record(stripe.accesses);
+    total += stripe.accesses;
+  }
+  obs::Registry::instance().gauge("prof.sharded.accesses").set(
+      static_cast<std::int64_t>(total));
+  return merge_stripes(shadow_.stripes(), tally_.loops, options_.pool);
+}
+
+}  // namespace ppd::prof

@@ -1,0 +1,111 @@
+// Concurrent dependence-profiling front-end over the striped shadow core.
+//
+// The trace reader dispatches events on one thread in program order (the
+// sink contract). Previously the profiler also did all shadow-memory and
+// dependence-map work on that thread, which BENCH_ingest.json showed to be
+// the pipeline's serialization wall. This front-end keeps only the cheap
+// part on the dispatch thread — materializing each access and appending it
+// to its address stripe's buffer — and moves the heavy StripeState::process
+// work onto rt::ThreadPool workers, overlapped with dispatch.
+//
+// Concurrency scheme (one actor per stripe):
+//  * the dispatch thread batches captured accesses per stripe; a full block
+//    is pushed onto the stripe's FIFO queue;
+//  * at most one worker task drains a given stripe at a time (a `scheduled`
+//    flag under the queue mutex), so each StripeState is only ever touched
+//    by one thread at a time and sees its blocks in dispatch order — the
+//    program-order-per-stripe precondition of the core;
+//  * take()/drain() wait on a pending-block count, then run the same
+//    deterministic merge_stripes() reduction the serial profiler uses.
+//
+// Output is therefore bit-identical to DependenceProfiler for any stripe
+// count, pool size, and worker completion order (see DESIGN.md §10).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "prof/dependence.hpp"
+#include "prof/sharded_shadow.hpp"
+#include "trace/events.hpp"
+
+namespace ppd::rt {
+class ThreadPool;
+}
+
+namespace ppd::prof {
+
+/// EventSink front-end profiling concurrently into a ShardedShadow.
+/// Subscribe to a TraceContext like DependenceProfiler; events must arrive
+/// from a single thread (the usual sink contract).
+class ShardedProfiler final : public trace::EventSink {
+ public:
+  struct Options {
+    /// Address stripes (rounded up to a power of two, clamped to
+    /// ShardedShadow::kMaxStripes). More stripes mean less queue contention
+    /// and finer work granularity; 64 feeds 8 workers comfortably.
+    std::size_t shards = 64;
+    /// Accesses buffered per stripe before a block is queued for a worker.
+    std::size_t block_records = 4096;
+    /// Worker pool; null processes every access inline on the dispatch
+    /// thread (still through the striped state, for shard-count tests).
+    rt::ThreadPool* pool = nullptr;
+  };
+
+  ShardedProfiler() : ShardedProfiler(Options{}) {}
+  explicit ShardedProfiler(Options options);
+  ~ShardedProfiler() override;
+
+  ShardedProfiler(const ShardedProfiler&) = delete;
+  ShardedProfiler& operator=(const ShardedProfiler&) = delete;
+
+  void on_region_enter(const trace::RegionInfo& region) override;
+  void on_iteration(const trace::RegionInfo& loop, std::uint64_t iteration) override;
+  void on_access(const trace::AccessEvent& access) override;
+  void on_trace_end() override;
+
+  /// Flushes every buffered block and blocks until all workers drained
+  /// their stripes. After drain() the stripe states are quiescent.
+  void drain();
+
+  /// Drains, then merges all stripes into the canonical Profile. Like the
+  /// serial profiler, taking is non-destructive: profiling may continue and
+  /// a later take() returns the further-merged profile. Throws
+  /// std::runtime_error if a worker failed (e.g. allocation failure).
+  [[nodiscard]] Profile take();
+
+  [[nodiscard]] std::size_t shard_count() const { return shadow_.stripe_count(); }
+  [[nodiscard]] std::size_t shadow_bytes() const { return shadow_.touched_bytes(); }
+  [[nodiscard]] std::uint64_t ignored_events() const { return ignored_events_; }
+
+ private:
+  struct StripeQueue {
+    std::mutex mutex;
+    std::deque<std::vector<CapturedAccess>> blocks;
+    bool scheduled = false;  ///< a worker task currently owns this stripe
+  };
+
+  void flush_stripe(std::size_t stripe);
+  void drain_stripe(std::size_t stripe);
+
+  Options options_;
+  ShardedShadow shadow_;
+  LoopTally tally_;
+  std::uint64_t ignored_events_ = 0;
+
+  /// Dispatch-side per-stripe fill buffers (dispatch thread only).
+  std::vector<std::vector<CapturedAccess>> fill_;
+  /// Worker-side queues (unique_ptr: mutexes are not movable).
+  std::vector<std::unique_ptr<StripeQueue>> queues_;
+
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  std::size_t pending_blocks_ = 0;  ///< queued but not yet processed blocks
+  std::size_t worker_errors_ = 0;  ///< tasks that threw (profile is suspect)
+};
+
+}  // namespace ppd::prof

@@ -1,0 +1,427 @@
+#include "prof/sharded_shadow.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <tuple>
+
+#include "obs/obs.hpp"
+#include "rt/parallel.hpp"
+#include "support/assert.hpp"
+
+namespace ppd::prof {
+namespace {
+
+/// Strict total order over the full dependence key. Distinct DepKeys always
+/// compare unequal here (every key field participates), so the sorted
+/// dependence list has exactly one valid permutation — a requirement for
+/// bit-identity across stripe counts.
+[[nodiscard]] auto dep_order(const Dependence& d) {
+  return std::tuple(d.source.line, d.sink.line, static_cast<unsigned>(d.kind), d.var,
+                    d.source.stmt, d.sink.stmt, d.carrier_loop);
+}
+
+[[nodiscard]] bool dep_less(const MergedDep& a, const MergedDep& b) {
+  return dep_order(a.dep) < dep_order(b.dep);
+}
+
+/// Combines two records of the same static dependence. Commutative and
+/// associative: the earliest dynamic occurrence (min first_seq) defines the
+/// sites, counts sum, distances min/max, cross-activation ANDs — the same
+/// result the serial profiler reaches by processing every occurrence in
+/// program order.
+void combine_dep(MergedDep& into, const MergedDep& other) {
+  if (other.first_seq < into.first_seq) {
+    const std::uint64_t count = into.dep.count;
+    const std::uint64_t min_d = into.dep.min_distance;
+    const std::uint64_t max_d = into.dep.max_distance;
+    const bool cross = into.dep.cross_activation;
+    into = other;
+    into.dep.count += count;
+    into.dep.min_distance = std::min(into.dep.min_distance, min_d);
+    into.dep.max_distance = std::max(into.dep.max_distance, max_d);
+    into.dep.cross_activation = into.dep.cross_activation && cross;
+  } else {
+    into.dep.count += other.dep.count;
+    into.dep.min_distance = std::min(into.dep.min_distance, other.dep.min_distance);
+    into.dep.max_distance = std::max(into.dep.max_distance, other.dep.max_distance);
+    into.dep.cross_activation = into.dep.cross_activation && other.dep.cross_activation;
+  }
+}
+
+struct LoopPairKeyLess {
+  bool operator()(const LoopPairKey& a, const LoopPairKey& b) const {
+    return std::tuple(a.x, a.y) < std::tuple(b.x, b.y);
+  }
+};
+
+/// Per-stripe state flattened into sorted containers, ready for an ordered
+/// two-way fold. Sorting is the parallelizable part of the merge.
+struct StripeSummary {
+  std::vector<MergedDep> deps;  ///< sorted by dep_order
+  std::map<RegionId, std::map<VarId, CarriedVarAccess>> carried;
+  /// Pairs per loop pair, ascending by the reading access's seq.
+  std::map<LoopPairKey, std::vector<StripeState::PairRec>, LoopPairKeyLess> pairs;
+  std::map<RegionId, std::uint64_t> footprints;  ///< distinct addresses per loop
+};
+
+[[nodiscard]] StripeSummary summarize(const StripeState& stripe) {
+  StripeSummary summary;
+  summary.deps.reserve(stripe.deps.size());
+  for (const auto& [key, merged] : stripe.deps) summary.deps.push_back(merged);
+  std::sort(summary.deps.begin(), summary.deps.end(), dep_less);
+  for (const auto& [loop, vars] : stripe.carried) {
+    auto& out = summary.carried[loop];
+    for (const auto& [var, acc] : vars) out.emplace(var, acc);
+  }
+  for (const auto& [key, data] : stripe.pair_data) {
+    // Each stripe records its pairs in program order already (per-stripe
+    // processing is program-ordered), so this is a copy, not a sort.
+    summary.pairs.emplace(key, data.pairs);
+  }
+  for (const auto& [loop, addresses] : stripe.footprints) {
+    summary.footprints[loop] = addresses.size();
+  }
+  return summary;
+}
+
+void merge_carried(CarriedVarAccess& into, const CarriedVarAccess& other) {
+  into.write_lines.insert(other.write_lines.begin(), other.write_lines.end());
+  into.read_lines.insert(other.read_lines.begin(), other.read_lines.end());
+  into.addresses.insert(other.addresses.begin(), other.addresses.end());
+  into.occurrences += other.occurrences;
+  into.ops.insert(other.ops.begin(), other.ops.end());
+}
+
+/// Ordered fold step: combines two summaries. All per-key operations are
+/// commutative and associative, so the fold result is independent of the
+/// fold order — stripe order is used purely for reproducibility.
+[[nodiscard]] StripeSummary fold(StripeSummary acc, StripeSummary next) {
+  if (acc.deps.empty() && acc.carried.empty() && acc.pairs.empty() &&
+      acc.footprints.empty()) {
+    return next;
+  }
+  StripeSummary out;
+  // Two-pointer merge of the sorted dependence lists, combining equal keys.
+  out.deps.reserve(acc.deps.size() + next.deps.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < acc.deps.size() && j < next.deps.size()) {
+    if (dep_less(acc.deps[i], next.deps[j])) {
+      out.deps.push_back(std::move(acc.deps[i++]));
+    } else if (dep_less(next.deps[j], acc.deps[i])) {
+      out.deps.push_back(std::move(next.deps[j++]));
+    } else {
+      MergedDep merged = std::move(acc.deps[i++]);
+      combine_dep(merged, next.deps[j++]);
+      out.deps.push_back(std::move(merged));
+    }
+  }
+  for (; i < acc.deps.size(); ++i) out.deps.push_back(std::move(acc.deps[i]));
+  for (; j < next.deps.size(); ++j) out.deps.push_back(std::move(next.deps[j]));
+
+  out.carried = std::move(acc.carried);
+  for (auto& [loop, vars] : next.carried) {
+    auto& into = out.carried[loop];
+    for (auto& [var, access] : vars) {
+      auto [it, inserted] = into.try_emplace(var, std::move(access));
+      if (!inserted) merge_carried(it->second, access);
+    }
+  }
+
+  out.pairs = std::move(acc.pairs);
+  for (auto& [key, pairs] : next.pairs) {
+    auto [it, inserted] = out.pairs.try_emplace(key, std::move(pairs));
+    if (!inserted) {
+      // Addresses are stripe-disjoint, so the two lists never share an
+      // address; interleave them back into program order by seq.
+      std::vector<StripeState::PairRec> merged;
+      merged.reserve(it->second.size() + pairs.size());
+      std::merge(it->second.begin(), it->second.end(), pairs.begin(), pairs.end(),
+                 std::back_inserter(merged),
+                 [](const StripeState::PairRec& a, const StripeState::PairRec& b) {
+                   return a.seq < b.seq;
+                 });
+      it->second = std::move(merged);
+    }
+  }
+
+  out.footprints = std::move(acc.footprints);
+  for (const auto& [loop, count] : next.footprints) out.footprints[loop] += count;
+  return out;
+}
+
+}  // namespace
+
+std::size_t DepKeyHash::operator()(const DepKey& k) const noexcept {
+  std::size_t h = std::hash<std::uint32_t>{}(static_cast<std::uint32_t>(k.kind));
+  auto mix = [&h](std::size_t v) { h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2); };
+  mix(std::hash<VarId>{}(k.var));
+  mix(std::hash<SourceLine>{}(k.src_line));
+  mix(std::hash<SourceLine>{}(k.dst_line));
+  mix(std::hash<StatementId>{}(k.src_stmt));
+  mix(std::hash<StatementId>{}(k.dst_stmt));
+  mix(std::hash<RegionId>{}(k.carrier));
+  return h;
+}
+
+void LoopTally::on_enter(const trace::RegionInfo& region) {
+  if (region.kind != trace::RegionKind::Loop) return;
+  LoopInfo& info = loops[region.id];
+  info.loop = region.id;
+  ++info.instances;
+}
+
+void LoopTally::on_iteration(const trace::RegionInfo& loop, std::uint64_t iteration) {
+  LoopInfo& info = loops[loop.id];
+  info.loop = loop.id;
+  ++info.total_iterations;
+  info.max_iterations = std::max(info.max_iterations, iteration + 1);
+}
+
+LoopRelation relate_loops(const mem::InlineLoopStack& src,
+                          const mem::InlineLoopStack& dst) {
+  LoopRelation rel;
+  // Walk the common prefix of loop ids; the first level where the iteration
+  // differs is the carrier loop (outermost-carried convention). Levels where
+  // the loop ids themselves differ mark the branch into two distinct loops.
+  const std::size_t common = std::min(src.size(), dst.size());
+  std::size_t level = 0;
+  for (; level < common; ++level) {
+    if (src[level].loop != dst[level].loop) break;
+    if (src[level].iteration != dst[level].iteration) {
+      rel.carrier = src[level].loop;
+      const std::uint64_t a = src[level].iteration;
+      const std::uint64_t b = dst[level].iteration;
+      rel.distance = a > b ? a - b : b - a;
+      return rel;
+    }
+  }
+  // Same iteration of every common-prefix loop: loop-independent at the
+  // shared levels. Report the branching loops (if any) for cross-loop pairs.
+  if (level < src.size()) rel.src_branch = src[level].loop;
+  if (level < dst.size()) rel.dst_branch = dst[level].loop;
+  return rel;
+}
+
+void StripeState::record_dependence(DepKind kind, VarId var, Address addr,
+                                    const mem::AccessRecord& src,
+                                    const mem::AccessRecord& dst) {
+  const LoopRelation rel = relate_loops(src.loops, dst.loops);
+  DepKey key{kind, var, src.line, dst.line, src.stmt, dst.stmt, rel.carrier};
+  auto [it, inserted] = deps.try_emplace(key);
+  Dependence& dep = it->second.dep;
+  const bool cross = src.func.valid() && src.func == dst.func &&
+                     src.func_activation != dst.func_activation;
+  if (inserted) {
+    dep.kind = kind;
+    dep.var = var;
+    dep.source = DepSite{src.line, src.stmt, src.region};
+    dep.sink = DepSite{dst.line, dst.stmt, dst.region};
+    dep.cross_activation = cross;
+    dep.carrier_loop = rel.carrier;
+    dep.min_distance = rel.distance;
+    dep.max_distance = rel.distance;
+    // Per-stripe processing is program-ordered, so the first occurrence seen
+    // here is the stripe-wise earliest; merge_stripes picks the global
+    // earliest by this sequence number.
+    it->second.first_seq = dst.seq;
+  } else {
+    dep.min_distance = std::min(dep.min_distance, rel.distance);
+    dep.max_distance = std::max(dep.max_distance, rel.distance);
+    // A dependence that occurs within one activation at least once is a
+    // genuine per-activation edge.
+    dep.cross_activation = dep.cross_activation && cross;
+  }
+  ++dep.count;
+
+  // Feed the reduction summary: accesses participating in an inter-iteration
+  // RAW dependence of a loop, keyed by the written variable (Algorithm 3
+  // instruments exactly these).
+  if (rel.carrier.valid() && kind == DepKind::Raw) {
+    note_carried_access(rel.carrier, var, src.line, dst.line, addr, src.op);
+  }
+}
+
+void StripeState::note_carried_access(RegionId loop, VarId var, SourceLine write_line,
+                                      SourceLine read_line, Address addr,
+                                      trace::UpdateOp op) {
+  CarriedVarAccess& acc = carried[loop][var];
+  acc.write_lines.insert(write_line);
+  acc.read_lines.insert(read_line);
+  acc.addresses.insert(addr);
+  ++acc.occurrences;
+  acc.ops.insert(op);
+}
+
+void StripeState::maybe_record_pipeline_pair(const CapturedAccess& read,
+                                             const mem::AccessRecord& write) {
+  const LoopRelation rel = relate_loops(write.loops, read.record.loops);
+  // A cross-loop pair exists when, after an iteration-identical common
+  // prefix, the write continues into loop x and the read into loop y != x.
+  if (rel.carrier.valid()) return;
+  if (!rel.src_branch.valid() || !rel.dst_branch.valid()) return;
+  if (rel.src_branch == rel.dst_branch) return;
+
+  const LoopPairKey key{rel.src_branch, rel.dst_branch};
+  PairData& data = pair_data[key];
+  // Keep only the *first* read of each address in loop y; the shadow cell
+  // already holds the *last* write in loop x because loop x finished before
+  // loop y started reading (sequential execution). Addresses are owned by
+  // exactly one stripe, so per-stripe dedup equals global dedup.
+  if (!data.recorded_addresses.insert(read.addr).second) return;
+  data.pairs.push_back(PairRec{IterPair{write.loops.iteration_of(rel.src_branch),
+                                        read.record.loops.iteration_of(rel.dst_branch)},
+                               read.record.seq});
+}
+
+void StripeState::process(const CapturedAccess& access) {
+  ++accesses;
+  for (const trace::LoopPosition& pos : access.record.loops.span()) {
+    footprints[pos.loop].insert(access.addr);
+  }
+  mem::ShadowCell& cell = shadow.cell(access.addr);
+  const mem::AccessRecord& current = access.record;
+
+  if (access.kind == trace::AccessKind::Read) {
+    if (cell.last_write.valid) {
+      record_dependence(DepKind::Raw, access.var, access.addr, cell.last_write, current);
+      maybe_record_pipeline_pair(access, cell.last_write);
+    }
+    cell.last_read = current;
+  } else {
+    if (cell.last_write.valid) {
+      record_dependence(DepKind::Waw, access.var, access.addr, cell.last_write, current);
+    }
+    if (cell.last_read.valid && cell.last_read.seq > cell.last_write.seq) {
+      record_dependence(DepKind::War, access.var, access.addr, cell.last_read, current);
+    }
+    cell.last_write = current;
+  }
+}
+
+ShardedShadow::ShardedShadow(std::size_t stripes) {
+  std::size_t n = std::bit_ceil(std::clamp<std::size_t>(stripes, 1, kMaxStripes));
+  stripes_ = std::vector<StripeState>(n);
+  mask_ = n - 1;
+}
+
+std::uint64_t ShardedShadow::mix(std::uint64_t x) {
+  // splitmix64 finalizer: spreads the (var << 40 | index) address structure
+  // across all stripe bits so neither dense indices nor dense var ids load
+  // one stripe.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::size_t ShardedShadow::touched_bytes() const {
+  std::size_t total = 0;
+  for (const StripeState& stripe : stripes_) total += stripe.shadow.touched_bytes();
+  return total;
+}
+
+Profile merge_stripes(std::span<const StripeState> stripes,
+                      const std::unordered_map<RegionId, LoopInfo>& loops,
+                      rt::ThreadPool* pool) {
+  PPD_OBS_SPAN("prof.merge");
+  StripeSummary total;
+  if (pool != nullptr && stripes.size() > 1) {
+    total = rt::parallel_map_fold(
+        *pool, stripes.size(), StripeSummary{},
+        [&](std::uint64_t i) { return summarize(stripes[i]); },
+        [](StripeSummary acc, StripeSummary next) {
+          return fold(std::move(acc), std::move(next));
+        });
+  } else {
+    for (const StripeState& stripe : stripes) {
+      total = fold(std::move(total), summarize(stripe));
+    }
+  }
+
+  Profile profile;
+  profile.dependences.reserve(total.deps.size());
+  for (const MergedDep& merged : total.deps) profile.dependences.push_back(merged.dep);
+
+  // Rebuild every hash map by ascending key so iteration order — which
+  // detectors and report tables observe — is a canonical function of the
+  // content, not of insertion history.
+  std::vector<RegionId> loop_ids;
+  loop_ids.reserve(loops.size());
+  for (const auto& [id, info] : loops) loop_ids.push_back(id);
+  std::sort(loop_ids.begin(), loop_ids.end());
+  for (const RegionId id : loop_ids) {
+    LoopInfo info = loops.at(id);
+    auto it = total.footprints.find(id);
+    info.distinct_addresses = it == total.footprints.end() ? 0 : it->second;
+    profile.loops.emplace(id, info);
+  }
+
+  for (const auto& [loop, vars] : total.carried) {
+    auto& out = profile.carried_vars[loop];
+    for (const auto& [var, access] : vars) out.emplace(var, access);
+  }
+
+  for (const auto& [key, pairs] : total.pairs) {
+    std::vector<IterPair> flat;
+    flat.reserve(pairs.size());
+    for (const StripeState::PairRec& rec : pairs) flat.push_back(rec.pair);
+    profile.loop_pairs.emplace(key, std::move(flat));
+  }
+  return profile;
+}
+
+std::string to_debug_string(const Profile& profile) {
+  std::string out;
+  auto id = [](auto v) {
+    return v.valid() ? std::to_string(v.value()) : std::string("-");
+  };
+  out += "deps " + std::to_string(profile.dependences.size()) + "\n";
+  for (const Dependence& d : profile.dependences) {
+    out += std::string(to_string(d.kind)) + " var=" + id(d.var);
+    out += " src=" + std::to_string(d.source.line) + "/" + id(d.source.stmt) + "/" +
+           id(d.source.region);
+    out += " dst=" + std::to_string(d.sink.line) + "/" + id(d.sink.stmt) + "/" +
+           id(d.sink.region);
+    out += " cross=" + std::to_string(d.cross_activation);
+    out += " carrier=" + id(d.carrier_loop);
+    out += " dist=" + std::to_string(d.min_distance) + ".." +
+           std::to_string(d.max_distance);
+    out += " count=" + std::to_string(d.count) + "\n";
+  }
+  // Hash-map sections print in iteration order on purpose: the dump then
+  // also certifies that both paths expose identical container layouts.
+  out += "loops\n";
+  for (const auto& [loop, info] : profile.loops) {
+    out += "  " + id(loop) + " iters=" + std::to_string(info.total_iterations) +
+           " inst=" + std::to_string(info.instances) +
+           " max=" + std::to_string(info.max_iterations) +
+           " addrs=" + std::to_string(info.distinct_addresses) + "\n";
+  }
+  out += "carried\n";
+  for (const auto& [loop, vars] : profile.carried_vars) {
+    for (const auto& [var, acc] : vars) {
+      out += "  loop=" + id(loop) + " var=" + id(var) + " w=[";
+      for (const SourceLine line : acc.write_lines) out += std::to_string(line) + " ";
+      out += "] r=[";
+      for (const SourceLine line : acc.read_lines) out += std::to_string(line) + " ";
+      out += "] addrs=" + std::to_string(acc.addresses.size()) +
+             " occ=" + std::to_string(acc.occurrences) + " ops=[";
+      for (const trace::UpdateOp op : acc.ops) {
+        out += std::string(trace::to_string(op)) + " ";
+      }
+      out += "]\n";
+    }
+  }
+  out += "pairs\n";
+  for (const auto& [key, pairs] : profile.loop_pairs) {
+    out += "  " + id(key.x) + "->" + id(key.y) + ":";
+    for (const IterPair& pair : pairs) {
+      out += " (" + std::to_string(pair.ix) + "," + std::to_string(pair.iy) + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ppd::prof

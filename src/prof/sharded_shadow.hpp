@@ -1,0 +1,209 @@
+// Address-striped dependence-profiling core.
+//
+// BENCH_ingest.json showed ingest throughput saturating once the
+// chunk-parallel reader funnels every event through one serial dispatch
+// thread into the profiler's shadow memory. The fix exploits the key
+// property of dependence profiling: whether two accesses form a RAW/WAR/WAW
+// dependence depends *only* on the program-ordered access sequence of their
+// common address. Partitioning the address space into power-of-two stripes
+// therefore partitions the profiling work exactly — each stripe sees the
+// full program-ordered subsequence of its own addresses and never needs
+// another stripe's state.
+//
+// This header holds the shared core both profiler front-ends run through:
+//
+//  * StripeState::process() — the per-access transition function (shadow
+//    update, dependence classification, pipeline-pair and reduction
+//    recorders). The serial DependenceProfiler is exactly one StripeState;
+//    the concurrent ShardedProfiler is N of them. One implementation means
+//    the serial path — pinned by the existing unit suite — *is* the
+//    semantics of the sharded path.
+//
+//  * merge_stripes() — the deterministic reduction from per-stripe state to
+//    a Profile. Determinism argument (DESIGN.md §10): per-key combination
+//    uses only commutative/associative operators (count sums, distance
+//    min/max, cross-activation AND, earliest-occurrence site selection via
+//    min first_seq), every container in the result is rebuilt in a canonical
+//    sorted order, and pipeline iteration pairs carry the reading access's
+//    sequence number so the merged list reproduces program order no matter
+//    which stripe recorded which pair. The merged Profile is a pure function
+//    of the event stream — independent of stripe count, worker count, and
+//    chunk completion order — and for one stripe it reduces to the serial
+//    profiler's output.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mem/access_record.hpp"
+#include "mem/shadow.hpp"
+#include "prof/dependence.hpp"
+#include "trace/events.hpp"
+
+namespace ppd::rt {
+class ThreadPool;
+}
+
+namespace ppd::prof {
+
+/// Identity of one deduplicated static dependence. The enclosing regions of
+/// the two sites are *not* part of the key: the first dynamic occurrence
+/// defines them (see MergedDep::first_seq).
+struct DepKey {
+  DepKind kind;
+  VarId var;
+  SourceLine src_line;
+  SourceLine dst_line;
+  StatementId src_stmt;
+  StatementId dst_stmt;
+  RegionId carrier;
+
+  friend bool operator==(const DepKey&, const DepKey&) = default;
+};
+
+struct DepKeyHash {
+  std::size_t operator()(const DepKey& k) const noexcept;
+};
+
+/// A materialized access event: everything process() needs, with the loop
+/// stack copied out of the dispatch thread's transient span. Captured on the
+/// dispatch thread, processed on whichever worker owns the stripe.
+struct CapturedAccess {
+  trace::AccessKind kind = trace::AccessKind::Read;
+  Address addr = 0;
+  VarId var;
+  mem::AccessRecord record;
+};
+
+/// True when the profiler accepts the event; mirrors the corrupt-stream
+/// guard both front-ends apply before capture (invalid events are tallied
+/// as ignored, not profiled).
+[[nodiscard]] inline bool profilable(const trace::AccessEvent& access) {
+  return access.var.valid() &&
+         access.loop_stack.size() <= mem::InlineLoopStack::kMaxDepth;
+}
+
+/// Materializes an event for deferred processing. Call only when
+/// profilable(access).
+[[nodiscard]] inline CapturedAccess capture(const trace::AccessEvent& access) {
+  return CapturedAccess{access.kind, access.addr, access.var,
+                        mem::AccessRecord::from_event(access)};
+}
+
+/// Loop bookkeeping driven by region/iteration events. Lives on the dispatch
+/// thread in both front-ends (these events are global, not per-address).
+struct LoopTally {
+  std::unordered_map<RegionId, LoopInfo> loops;
+
+  void on_enter(const trace::RegionInfo& region);
+  void on_iteration(const trace::RegionInfo& loop, std::uint64_t iteration);
+};
+
+/// One dependence record plus the sequence number of its first dynamic
+/// occurrence. The earliest occurrence defines the DepSites (their regions
+/// are not in the key), exactly as the serial profiler's insertion order
+/// does; merge_stripes keeps the record with the smallest first_seq.
+struct MergedDep {
+  Dependence dep;
+  std::uint64_t first_seq = 0;
+};
+
+/// Profiling state of one address stripe. process() must be called with the
+/// stripe's accesses in program order (the dispatch thread captures them in
+/// order; per-stripe FIFO queues preserve it).
+struct StripeState {
+  mem::ShadowMemory<mem::ShadowCell> shadow;
+  std::unordered_map<DepKey, MergedDep, DepKeyHash> deps;
+  std::unordered_map<RegionId, std::unordered_set<Address>> footprints;
+  std::unordered_map<RegionId, std::unordered_map<VarId, CarriedVarAccess>> carried;
+
+  /// One pipeline iteration pair plus the reading access's sequence number,
+  /// so merged pair lists can be restored to program order across stripes.
+  struct PairRec {
+    IterPair pair;
+    std::uint64_t seq = 0;
+  };
+  struct PairData {
+    std::vector<PairRec> pairs;
+    std::unordered_set<Address> recorded_addresses;
+  };
+  std::unordered_map<LoopPairKey, PairData, LoopPairKeyHash> pair_data;
+
+  /// Accesses processed by this stripe (shard-balance observability).
+  std::uint64_t accesses = 0;
+
+  void process(const CapturedAccess& access);
+
+ private:
+  void record_dependence(DepKind kind, VarId var, Address addr,
+                         const mem::AccessRecord& src, const mem::AccessRecord& dst);
+  void note_carried_access(RegionId loop, VarId var, SourceLine write_line,
+                           SourceLine read_line, Address addr, trace::UpdateOp op);
+  void maybe_record_pipeline_pair(const CapturedAccess& read,
+                                  const mem::AccessRecord& write);
+};
+
+/// Relation between the loop stacks of two accesses: the outermost common
+/// loop with differing iterations (the carrier), or the loops the two sides
+/// branch into after an iteration-identical prefix.
+struct LoopRelation {
+  RegionId carrier;            ///< invalid if loop-independent
+  std::uint64_t distance = 0;  ///< |iteration delta| at the carrier
+  RegionId src_branch;         ///< src-side loop right after the common prefix
+  RegionId dst_branch;         ///< dst-side loop right after the common prefix
+};
+
+[[nodiscard]] LoopRelation relate_loops(const mem::InlineLoopStack& src,
+                                        const mem::InlineLoopStack& dst);
+
+/// Striped shadow state: stripe_of() routes each address to its owning
+/// stripe via a mixed hash (stripes are a power of two, so the mask picks
+/// uniformly mixed bits rather than raw low address bits, which alias var
+/// index 0 across variables).
+class ShardedShadow {
+ public:
+  static constexpr std::size_t kMaxStripes = 4096;
+
+  /// `stripes` is clamped to [1, kMaxStripes] and rounded up to a power of
+  /// two.
+  explicit ShardedShadow(std::size_t stripes = 1);
+
+  [[nodiscard]] std::size_t stripe_count() const { return stripes_.size(); }
+  [[nodiscard]] std::size_t stripe_of(Address addr) const {
+    return static_cast<std::size_t>(mix(addr) & mask_);
+  }
+  [[nodiscard]] StripeState& stripe(std::size_t i) { return stripes_[i]; }
+  [[nodiscard]] const StripeState& stripe(std::size_t i) const { return stripes_[i]; }
+  [[nodiscard]] std::span<const StripeState> stripes() const { return stripes_; }
+
+  /// Total shadow-memory footprint across stripes.
+  [[nodiscard]] std::size_t touched_bytes() const;
+
+ private:
+  static std::uint64_t mix(std::uint64_t x);
+
+  std::vector<StripeState> stripes_;
+  std::uint64_t mask_ = 0;
+};
+
+/// Deterministic reduction of per-stripe states into a Profile (see the
+/// header comment for the determinism argument). `loops` is the front-end
+/// LoopTally result. When `pool` is non-null the per-stripe finalization
+/// (sorting each stripe's records) fans out over the pool; the fold itself
+/// is always sequential in stripe order and the result is identical with or
+/// without a pool.
+[[nodiscard]] Profile merge_stripes(std::span<const StripeState> stripes,
+                                    const std::unordered_map<RegionId, LoopInfo>& loops,
+                                    rt::ThreadPool* pool = nullptr);
+
+/// Canonical full-field dump of a Profile, used by the bit-identity oracle
+/// tests and the bench fingerprint. Two Profiles produce equal dumps iff
+/// every field a detector can observe is equal (including container
+/// iteration order, which the canonical rebuild in merge_stripes fixes).
+[[nodiscard]] std::string to_debug_string(const Profile& profile);
+
+}  // namespace ppd::prof

@@ -60,6 +60,28 @@ template <typename T, typename Fold, typename Combine>
   return acc;
 }
 
+/// Ordered map/reduce: computes map(i) for i in [0, n) on the pool, then
+/// folds the results into `init` strictly in index order on the calling
+/// thread. Unlike parallel_reduce, the fold sees every mapped value exactly
+/// once and in a fixed order, so it is deterministic even when the fold
+/// operation is only associative in spirit (e.g. floating-point sums or
+/// order-sensitive merges). The maps must be independent; group.wait()
+/// sequences every map before the first fold.
+template <typename R, typename Map, typename Fold>
+[[nodiscard]] R parallel_map_fold(ThreadPool& pool, std::uint64_t n, R init, Map&& map,
+                                  Fold&& fold) {
+  using T = decltype(map(std::uint64_t{0}));
+  std::vector<T> mapped(n);
+  TaskGroup group(pool);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    group.run([i, &mapped, &map] { mapped[i] = map(i); });
+  }
+  group.wait();
+  R acc = std::move(init);
+  for (std::uint64_t i = 0; i < n; ++i) acc = fold(std::move(acc), std::move(mapped[i]));
+  return acc;
+}
+
 /// Progress counter used to overlap dependent loops: producers publish how
 /// many iterations completed; consumers block until a prefix is done.
 class IterationBarrier {

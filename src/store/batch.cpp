@@ -12,6 +12,7 @@
 #include "obs/obs.hpp"
 #include "rt/thread_pool.hpp"
 #include "store/format.hpp"
+#include "support/mapped_file.hpp"
 #include "support/status.hpp"
 
 namespace ppd::store {
@@ -80,13 +81,16 @@ void process_one(const std::string& path, const BatchOptions& options,
   // worker; recorded on the executing thread's track.
   obs::ScopedSpan span("batch:" + path);
   item.path = path;
-  std::string bytes;
-  if (!slurp_file(path, bytes)) {
+  // Zero-copy view of the trace; `mapped` must outlive the analyze() call
+  // below (the callback may replay straight out of the mapping).
+  support::MappedFile mapped;
+  if (!mapped.open(path).is_ok()) {
     item.status = Status::error(ErrorCode::IoError,
                                 "cannot read trace file '" + path + "'");
     item.log = "cannot read trace file '" + path + "'\n";
     return;
   }
+  const std::string_view bytes = mapped.bytes();
   item.key = content_key(bytes, options.salt);
 
   const bool use_cache = !options.cache_dir.empty();

@@ -69,9 +69,11 @@ struct BatchSummary {
   std::size_t cache_hits = 0;
 };
 
-/// Analysis callback: receives the trace path and its raw bytes.
+/// Analysis callback: receives the trace path and its raw bytes. The view
+/// is backed by the batch worker's mapped file and is valid only for the
+/// duration of the call — copy anything that must outlive it.
 using AnalyzeFn =
-    std::function<AnalyzeOutcome(const std::string& path, const std::string& bytes)>;
+    std::function<AnalyzeOutcome(const std::string& path, std::string_view bytes)>;
 
 /// Analyzes every path concurrently (`options.jobs` workers), consulting and
 /// populating the artifact cache. Missing/unreadable files become failed

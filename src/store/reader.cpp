@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "support/mapped_file.hpp"
 #include "rt/thread_pool.hpp"
 #include "store/format.hpp"
 #include "trace/validator.hpp"
@@ -806,6 +807,19 @@ class BinaryReplayer {
 ReadResult read_trace(std::string_view bytes, trace::TraceContext& ctx,
                       const ReadOptions& options) {
   return BinaryReplayer(ctx, options).run(bytes);
+}
+
+ReadResult read_trace_file(const std::string& path, trace::TraceContext& ctx,
+                           const ReadOptions& options) {
+  support::MappedFile file;
+  const support::Status mapped = file.open(path);
+  if (!mapped.is_ok()) {
+    ReadResult result;
+    result.status = mapped;
+    return result;
+  }
+  // `file` outlives the replay; the reader interns everything it keeps.
+  return read_trace(file.bytes(), ctx, options);
 }
 
 }  // namespace ppd::store

@@ -73,4 +73,13 @@ struct ReadResult {
 [[nodiscard]] ReadResult read_trace(std::string_view bytes, trace::TraceContext& ctx,
                                     const ReadOptions& options);
 
+/// Maps `path` (support::MappedFile — zero-copy on POSIX) and replays it via
+/// read_trace; the mapping lives exactly for the duration of the call, which
+/// is safe because the reader retains no views into its input. Unreadable
+/// files report ErrorCode::IoError through the ReadResult, keeping the
+/// never-throws contract.
+[[nodiscard]] ReadResult read_trace_file(const std::string& path,
+                                         trace::TraceContext& ctx,
+                                         const ReadOptions& options);
+
 }  // namespace ppd::store

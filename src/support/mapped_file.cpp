@@ -1,0 +1,94 @@
+#include "support/mapped_file.hpp"
+
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PPD_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#include <fstream>
+#include <sstream>
+#endif
+
+namespace ppd::support {
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : mapping_(std::exchange(other.mapping_, nullptr)),
+      mapped_size_(std::exchange(other.mapped_size_, 0)),
+      fallback_(std::move(other.fallback_)),
+      view_(std::exchange(other.view_, {})) {
+  // A fallback-backed view must chase the moved string's storage.
+  if (mapping_ == nullptr && !view_.empty()) view_ = fallback_;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+  reset();
+  mapping_ = std::exchange(other.mapping_, nullptr);
+  mapped_size_ = std::exchange(other.mapped_size_, 0);
+  fallback_ = std::move(other.fallback_);
+  view_ = std::exchange(other.view_, {});
+  if (mapping_ == nullptr && !view_.empty()) view_ = fallback_;
+  return *this;
+}
+
+void MappedFile::reset() {
+#if PPD_HAVE_MMAP
+  if (mapping_ != nullptr) ::munmap(mapping_, mapped_size_);
+#endif
+  mapping_ = nullptr;
+  mapped_size_ = 0;
+  fallback_.clear();
+  fallback_.shrink_to_fit();
+  view_ = {};
+}
+
+Status MappedFile::open(const std::string& path) {
+  reset();
+#if PPD_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::error(ErrorCode::IoError, "cannot open '" + path + "'");
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::error(ErrorCode::IoError, "cannot stat '" + path + "'");
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    // mmap of length 0 is EINVAL; an empty file is simply an empty view.
+    ::close(fd);
+    return Status::ok();
+  }
+  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the pages; the descriptor is done
+  if (mapping == MAP_FAILED) {
+    return Status::error(ErrorCode::IoError, "cannot map '" + path + "'");
+  }
+  mapping_ = mapping;
+  mapped_size_ = size;
+  view_ = std::string_view(static_cast<const char*>(mapping_), size);
+  return Status::ok();
+#else
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::error(ErrorCode::IoError, "cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::error(ErrorCode::IoError, "cannot read '" + path + "'");
+  }
+  fallback_ = buffer.str();
+  view_ = fallback_;
+  return Status::ok();
+#endif
+}
+
+}  // namespace ppd::support

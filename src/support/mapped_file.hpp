@@ -1,0 +1,65 @@
+// Read-only memory-mapped file.
+//
+// The batch driver and the CLI used to slurp every trace into a std::string
+// before handing it to the reader — one full copy of what can be a large
+// .ppdt container, made on the single dispatch-side thread. MappedFile maps
+// the file read-only instead (POSIX mmap, MAP_PRIVATE) and exposes it as a
+// string_view, so the chunk-parallel reader decodes straight out of the
+// page cache with zero copies.
+//
+// Lifetime rule (DESIGN.md §10): bytes() views into the live mapping. The
+// MappedFile must outlive every view derived from it — in particular it
+// must stay alive across the whole read_trace()/analyze() call chain. The
+// reader itself never retains views into the input past its return (names
+// are interned into the TraceContext as owned strings), so destroying the
+// MappedFile after the reader returns is safe.
+//
+// Edge cases, all deliberate:
+//  * zero-length files: mmap(len=0) is EINVAL on POSIX, so empty files get
+//    an empty view with no mapping — still a successful open();
+//  * platforms without mmap: falls back to a heap slurp, same interface
+//    (zero_copy() reports which path was taken);
+//  * open/stat/map failures: Status{IoError}, never an exception.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "support/status.hpp"
+
+namespace ppd::support {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only, replacing any previous mapping. On failure the
+  /// object is left empty and the Status carries ErrorCode::IoError.
+  [[nodiscard]] Status open(const std::string& path);
+
+  /// The mapped contents. Valid until reset()/destruction/next open().
+  [[nodiscard]] std::string_view bytes() const { return view_; }
+  [[nodiscard]] std::size_t size() const { return view_.size(); }
+
+  /// True when bytes() points into a live mmap (false for the empty-file
+  /// case and the no-mmap fallback slurp).
+  [[nodiscard]] bool zero_copy() const { return mapping_ != nullptr; }
+
+  /// Unmaps/releases; bytes() becomes empty.
+  void reset();
+
+ private:
+  void* mapping_ = nullptr;
+  std::size_t mapped_size_ = 0;
+  std::string fallback_;  ///< owns the bytes when mmap is unavailable
+  std::string_view view_;
+};
+
+}  // namespace ppd::support

@@ -1,0 +1,90 @@
+# --jobs handling of ppd-analyze, exercised end to end:
+#   - the "--jobs=N" spelling parses identically to "--jobs N",
+#   - asking for more workers than the machine has prints exactly one
+#     clamp note to stderr and nothing extra to stdout,
+#   - the clamped (sharded) run's report stays byte-identical to the
+#     serial run — the user-visible face of the bit-identity contract,
+#   - out-of-range values (0, non-numeric, > 256) are usage errors.
+#
+# Driven by ctest:  cmake -DPPD_ANALYZE=<exe> -DWORK_DIR=<dir> -P <this file>
+if(NOT DEFINED PPD_ANALYZE OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DPPD_ANALYZE=<exe> -DWORK_DIR=<dir> -P check_jobs_clamp.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_expect code_expected out_var err_var)
+  execute_process(
+    COMMAND ${PPD_ANALYZE} ${ARGN}
+    WORKING_DIRECTORY "${WORK_DIR}"
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL ${code_expected})
+    message(FATAL_ERROR "ppd-analyze ${ARGN}: expected exit ${code_expected}, got ${code}\nstderr:\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+  set(${err_var} "${err}" PARENT_SCOPE)
+endfunction()
+
+function(expect_contains text needle what)
+  string(FIND "${text}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "${what}: expected to find \"${needle}\" in:\n${text}")
+  endif()
+endfunction()
+
+function(expect_absent text needle what)
+  string(FIND "${text}" "${needle}" at)
+  if(NOT at EQUAL -1)
+    message(FATAL_ERROR "${what}: \"${needle}\" must not appear in:\n${text}")
+  endif()
+endfunction()
+
+# Fixture: a small binary trace to replay.
+run_expect(0 seed_out seed_err fib --dump-trace fib.txt)
+run_expect(0 conv_out conv_err convert fib.txt fib.ppdt)
+
+# 1. Serial baseline.
+run_expect(0 serial_out serial_err --trace fib.ppdt --jobs 1)
+expect_contains("${serial_out}" "Primary pattern:" "serial stdout")
+expect_absent("${serial_err}" "exceeds hardware concurrency" "serial stderr")
+
+# 2. Oversubscribed run: 256 is the largest accepted value and exceeds the
+#    hardware concurrency of any supported CI runner, so the clamp note must
+#    appear — once, on stderr only — and the report must not change.
+run_expect(0 clamp_out clamp_err --trace fib.ppdt --jobs 256)
+expect_contains("${clamp_err}" "note: --jobs 256 exceeds hardware concurrency" "clamped stderr")
+expect_absent("${clamp_out}" "exceeds hardware concurrency" "clamped stdout")
+string(FIND "${clamp_err}" "exceeds hardware concurrency" first_at)
+math(EXPR after_first "${first_at} + 1")
+string(SUBSTRING "${clamp_err}" ${after_first} -1 err_tail)
+expect_absent("${err_tail}" "exceeds hardware concurrency" "clamp note printed once")
+if(NOT clamp_out STREQUAL serial_out)
+  message(FATAL_ERROR "clamped --jobs 256 report differs from the serial report")
+endif()
+
+# 3. The "--jobs=N" spelling is equivalent.
+run_expect(0 eq_out eq_err --trace fib.ppdt --jobs=256)
+expect_contains("${eq_err}" "note: --jobs 256 exceeds hardware concurrency" "--jobs= stderr")
+if(NOT eq_out STREQUAL serial_out)
+  message(FATAL_ERROR "--jobs=256 report differs from the serial report")
+endif()
+
+# 4. Batch mode clamps through the same helper.
+file(MAKE_DIRECTORY "${WORK_DIR}/traces")
+file(COPY "${WORK_DIR}/fib.ppdt" DESTINATION "${WORK_DIR}/traces")
+run_expect(0 batch_out batch_err --batch traces --jobs 256 --no-cache)
+expect_contains("${batch_err}" "note: --jobs 256 exceeds hardware concurrency" "batch stderr")
+expect_absent("${batch_out}" "exceeds hardware concurrency" "batch stdout")
+
+# 5. Out-of-range values are usage errors (exit 2, nothing on stdout).
+run_expect(2 zero_out zero_err --trace fib.ppdt --jobs 0)
+expect_contains("${zero_err}" "usage: ppd-analyze" "--jobs 0 stderr")
+run_expect(2 huge_out huge_err --trace fib.ppdt --jobs 257)
+expect_contains("${huge_err}" "usage: ppd-analyze" "--jobs 257 stderr")
+run_expect(2 text_out2 text_err2 --trace fib.ppdt --jobs=banana)
+expect_contains("${text_err2}" "usage: ppd-analyze" "--jobs=banana stderr")
+
+message(STATUS "cli jobs clamp: ok")

@@ -3,8 +3,17 @@
 // summaries, cross-activation flags, and shadow memory.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
 #include "mem/shadow.hpp"
 #include "prof/profiler.hpp"
+#include "prof/sharded_profiler.hpp"
+#include "prof/sharded_shadow.hpp"
+#include "rt/thread_pool.hpp"
 #include "trace/context.hpp"
 
 namespace ppd::prof {
@@ -306,6 +315,237 @@ TEST(ShadowMemory, ForEachVisitsAllCells) {
   });
   EXPECT_EQ(visited, 16);
   EXPECT_EQ(nonzero, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic-merge unit tests: hand-built adversarial event streams,
+// processed through explicitly controlled stripe interleavings, must merge
+// to the exact serial profile. These pin the merge_stripes() determinism
+// argument (DESIGN.md §10) at the unit level; the bitidentity suite pins it
+// end to end.
+
+/// Records the profiler-relevant event stream so it can be replayed into
+/// stripe states in arbitrary adversarial orders.
+class CaptureSink : public trace::EventSink {
+ public:
+  LoopTally tally;
+  std::vector<CapturedAccess> accesses;  ///< profilable accesses, program order
+
+  void on_region_enter(const trace::RegionInfo& region) override {
+    tally.on_enter(region);
+  }
+  void on_iteration(const trace::RegionInfo& loop, std::uint64_t iteration) override {
+    tally.on_iteration(loop, iteration);
+  }
+  void on_access(const trace::AccessEvent& access) override {
+    if (profilable(access)) accesses.push_back(capture(access));
+  }
+};
+
+std::string serial_dump(const CaptureSink& stream) {
+  StripeState state;
+  for (const CapturedAccess& access : stream.accesses) state.process(access);
+  return to_debug_string(merge_stripes({&state, 1}, stream.tally.loops));
+}
+
+/// Replays the stream through `stripes` stripe states using a seeded random
+/// interleaving: repeatedly pick a stripe with work left and process its
+/// next block of `block` accesses. Per-stripe program order (the FIFO
+/// invariant the sharded front-end guarantees) is preserved; which stripe
+/// advances when — the analogue of worker/chunk completion order — is
+/// adversarial. Returns the canonical merged dump.
+std::string shuffled_dump(const CaptureSink& stream, std::size_t stripes,
+                          std::uint32_t seed, std::size_t block) {
+  ShardedShadow shadow(stripes);
+  std::vector<std::vector<CapturedAccess>> per_stripe(shadow.stripe_count());
+  for (const CapturedAccess& access : stream.accesses) {
+    per_stripe[shadow.stripe_of(access.addr)].push_back(access);
+  }
+
+  std::vector<std::size_t> cursor(per_stripe.size(), 0);
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < per_stripe.size(); ++i) {
+    if (!per_stripe[i].empty()) live.push_back(i);
+  }
+  std::mt19937 rng(seed);
+  while (!live.empty()) {
+    std::uniform_int_distribution<std::size_t> pick(0, live.size() - 1);
+    const std::size_t slot = pick(rng);
+    const std::size_t s = live[slot];
+    StripeState& state = shadow.stripe(s);
+    std::size_t& at = cursor[s];
+    const std::size_t end = std::min(at + block, per_stripe[s].size());
+    for (; at < end; ++at) state.process(per_stripe[s][at]);
+    if (at == per_stripe[s].size()) {
+      live[slot] = live.back();
+      live.pop_back();
+    }
+  }
+  return to_debug_string(merge_stripes(shadow.stripes(), stream.tally.loops));
+}
+
+/// Adversarial fixture program: a hot accumulator address touched in every
+/// iteration, an array whose elements scatter across stripes with RAW, WAW,
+/// and WAR at every element, a reduction, a two-loop producer/consumer
+/// (pipeline pairs), and wrap-around indices that alias through the 2^40
+/// index mask.
+void run_adversarial_program(TraceContext& ctx) {
+  constexpr std::uint64_t kIndexWrap = std::uint64_t{1} << 40;
+  const VarId hot = ctx.var("hot");
+  const VarId arr = ctx.var("arr");
+  const VarId acc = ctx.var("acc");
+  const VarId ring = ctx.var("ring");
+
+  FunctionScope fs(ctx, "main", 1);
+  {
+    LoopScope l(ctx, "mix", 10);
+    for (std::uint64_t i = 0; i < 48; ++i) {
+      l.begin_iteration();
+      // Hot address: the same cell through every iteration (and, in the
+      // sharded front-end, across many blocks).
+      ctx.read(hot, 0, 11);
+      ctx.write(hot, 0, 12);
+      // Scattered elements: WAW + RAW + WAR per element, elements spread
+      // over stripes.
+      ctx.write(arr, i % 7, 13);
+      ctx.read(arr, i % 7, 14);
+      ctx.write(arr, i % 7, 15);
+      // Reduction candidate.
+      ctx.update(acc, 0, 16, trace::UpdateOp::Sum);
+      // Wrap-around aliases: index 2^40 + k masks down to k, so these hit
+      // the same cells as the plain writes above and as each other.
+      ctx.write(ring, kIndexWrap - 1, 17);
+      ctx.read(ring, (kIndexWrap - 1) + kIndexWrap, 18);  // aliases 2^40 - 1
+      ctx.write(arr, kIndexWrap + (i % 7), 19);           // aliases arr[i % 7]
+    }
+  }
+  // Producer/consumer loop pair: writes in `produce` are read by `consume`
+  // one iteration later — pipeline iteration pairs across stripes.
+  {
+    LoopScope produce(ctx, "produce", 20);
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      produce.begin_iteration();
+      ctx.write(arr, 100 + i, 21);
+    }
+  }
+  {
+    LoopScope consume(ctx, "consume", 30);
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      consume.begin_iteration();
+      ctx.read(arr, 100 + i, 31);
+    }
+  }
+}
+
+TEST(ShardMerge, WrapAroundIndicesAliasTheSameCell) {
+  constexpr std::uint64_t kIndexWrap = std::uint64_t{1} << 40;
+  Fixture f;
+  const VarId v = f.ctx.var("v");
+  {
+    FunctionScope fs(f.ctx, "f", 1);
+    f.ctx.write(v, 0, 10);
+    f.ctx.read(v, kIndexWrap, 20);  // masks down to index 0
+    f.ctx.write(v, kIndexWrap - 1, 30);
+    f.ctx.read(v, (kIndexWrap - 1) + kIndexWrap, 40);  // masks to 2^40 - 1
+  }
+  const Profile p = f.profiler.take();
+  EXPECT_NE(find_dep(p, DepKind::Raw, 10, 20), nullptr);
+  EXPECT_NE(find_dep(p, DepKind::Raw, 30, 40), nullptr);
+}
+
+TEST(ShardMerge, ShuffledStripeOrderMatchesSerial) {
+  CaptureSink stream;
+  TraceContext ctx;
+  ctx.add_sink(&stream);
+  run_adversarial_program(ctx);
+  ctx.finish();
+  ASSERT_FALSE(stream.accesses.empty());
+
+  const std::string reference = serial_dump(stream);
+  ASSERT_FALSE(reference.empty());
+
+  // The adversarial program must actually exercise cross-stripe merging.
+  {
+    ShardedShadow shadow(64);
+    std::vector<bool> hit(shadow.stripe_count(), false);
+    std::size_t distinct = 0;
+    for (const CapturedAccess& access : stream.accesses) {
+      const std::size_t s = shadow.stripe_of(access.addr);
+      if (!hit[s]) {
+        hit[s] = true;
+        ++distinct;
+      }
+    }
+    EXPECT_GE(distinct, 8u) << "fixture too small to stress striping";
+  }
+
+  for (const std::size_t stripes : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}, std::size_t{64}}) {
+    for (const std::uint32_t seed : {1u, 7u, 99u, 12345u}) {
+      // block = 1 maximizes interleaving; 16 mimics real block dispatch.
+      for (const std::size_t block : {std::size_t{1}, std::size_t{16}}) {
+        EXPECT_EQ(shuffled_dump(stream, stripes, seed, block), reference)
+            << "diverged at stripes=" << stripes << " seed=" << seed
+            << " block=" << block;
+      }
+    }
+  }
+}
+
+TEST(ShardMerge, SingleStripeReducesToSerialProfiler) {
+  // The whole stream through one stripe must equal the serial profiler's
+  // take() — the base case of the determinism argument.
+  CaptureSink stream;
+  DependenceProfiler profiler;
+  TraceContext ctx;
+  ctx.add_sink(&stream);
+  ctx.add_sink(&profiler);
+  run_adversarial_program(ctx);
+  ctx.finish();
+
+  EXPECT_EQ(serial_dump(stream), to_debug_string(profiler.take()));
+}
+
+TEST(ShardMerge, ShardedProfilerSmallBlocksMatchesSerial) {
+  // End-to-end concurrent stress: tiny blocks force one queue push per
+  // access, maximizing worker interleaving. The TSan CI leg runs this test
+  // to certify the stripe-actor scheme race-free.
+  DependenceProfiler serial;
+  rt::ThreadPool pool(4);
+  ShardedProfiler::Options options;
+  options.shards = 8;
+  options.block_records = 1;
+  options.pool = &pool;
+  ShardedProfiler sharded(options);
+
+  TraceContext ctx;
+  ctx.add_sink(&serial);
+  ctx.add_sink(&sharded);
+  run_adversarial_program(ctx);
+  ctx.finish();
+
+  const std::string reference = to_debug_string(serial.take());
+  EXPECT_EQ(to_debug_string(sharded.take()), reference);
+  // take() is non-destructive, so taking again reproduces the profile.
+  EXPECT_EQ(to_debug_string(sharded.take()), reference);
+  EXPECT_EQ(sharded.ignored_events(), serial.ignored_events());
+}
+
+TEST(ShardMerge, ShardedProfilerInlineModeMatchesSerial) {
+  // No pool: every access processed inline on the dispatch thread, still
+  // through the striped state — isolates striping from concurrency.
+  DependenceProfiler serial;
+  ShardedProfiler::Options options;
+  options.shards = 64;
+  ShardedProfiler sharded(options);
+
+  TraceContext ctx;
+  ctx.add_sink(&serial);
+  ctx.add_sink(&sharded);
+  run_adversarial_program(ctx);
+  ctx.finish();
+
+  EXPECT_EQ(to_debug_string(sharded.take()), to_debug_string(serial.take()));
 }
 
 }  // namespace

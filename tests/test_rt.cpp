@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "rt/parallel.hpp"
@@ -131,6 +134,41 @@ TEST(ParallelReduce, EmptyRangeReturnsIdentity) {
       pool, 3, 3, 42, [](int acc, std::uint64_t) { return acc + 1; },
       [](int a, int b) { return a + b; });
   EXPECT_EQ(result, 42);
+}
+
+TEST(ParallelMapFold, FoldsInStrictIndexOrder) {
+  // Maps run concurrently, but the fold must consume results in ascending
+  // index order — the property merge_stripes() relies on for determinism.
+  ThreadPool pool(4);
+  const std::string folded = parallel_map_fold<std::string>(
+      pool, 8, "",
+      [](std::uint64_t i) { return std::to_string(i); },
+      [](std::string acc, std::string next) { return acc + ":" + next; });
+  EXPECT_EQ(folded, ":0:1:2:3:4:5:6:7");
+}
+
+TEST(ParallelMapFold, EmptyRangeReturnsInit) {
+  ThreadPool pool(2);
+  const int result = parallel_map_fold<int>(
+      pool, 0, 7, [](std::uint64_t) { return 1; },
+      [](int acc, int next) { return acc + next; });
+  EXPECT_EQ(result, 7);
+}
+
+TEST(ParallelMapFold, MoveOnlyResultsFlowThrough) {
+  // Mapped values and the accumulator are moved, never copied.
+  ThreadPool pool(2);
+  const auto folded = parallel_map_fold<std::unique_ptr<std::int64_t>>(
+      pool, 100, std::make_unique<std::int64_t>(0),
+      [](std::uint64_t i) {
+        return std::make_unique<std::int64_t>(static_cast<std::int64_t>(i));
+      },
+      [](std::unique_ptr<std::int64_t> acc, std::unique_ptr<std::int64_t> next) {
+        *acc += *next;
+        return acc;
+      });
+  ASSERT_NE(folded, nullptr);
+  EXPECT_EQ(*folded, 99 * 100 / 2);
 }
 
 TEST(IterationBarrier, PublishIsMonotone) {

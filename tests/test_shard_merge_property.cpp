@@ -1,0 +1,142 @@
+// Bit-identity oracle for sharded dependence profiling (ctest label
+// `bitidentity`): every bundled benchmark, replayed through the production
+// binary-container path, must produce *byte-identical* results from the
+// serial reference profiler and from the sharded profiler at every
+// combination of jobs ∈ {1,2,4,8} and shard counts ∈ {1,4,64}.
+//
+// Identity is asserted on two artifacts:
+//  * the canonical full-field profile dump (prof::to_debug_string) — every
+//    dependence with sites/kind/distances/counts, loop stats, reduction
+//    summaries, pipeline iteration pairs, *and* container iteration order,
+//    which downstream detectors observe;
+//  * the rendered markdown report — the end-to-end detector output a user
+//    sees, so a regression anywhere between profile and report is caught
+//    even if the profile dump were to miss a field.
+//
+// jobs > 1 runs use one shared ThreadPool for chunk decode and profiling
+// blocks, exactly like `ppd-analyze --trace --jobs N`, so worker scheduling
+// (and thus chunk completion order) varies run to run — the merge must not
+// care. The TSan CI leg runs this suite to certify the claim under a race
+// detector.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "bs/benchmark.hpp"
+#include "core/analyzer.hpp"
+#include "prof/sharded_shadow.hpp"
+#include "report/markdown.hpp"
+#include "rt/thread_pool.hpp"
+#include "store/reader.hpp"
+#include "store/writer.hpp"
+#include "trace/context.hpp"
+#include "trace/serialize.hpp"
+
+namespace ppd {
+namespace {
+
+std::string record_text_trace(const bs::Benchmark& benchmark) {
+  std::ostringstream out;
+  trace::TraceContext ctx;
+  trace::TraceWriter writer(ctx, out);
+  ctx.add_sink(&writer);
+  benchmark.run_traced(ctx);
+  ctx.finish();
+  return out.str();
+}
+
+std::string convert_to_binary(const std::string& text) {
+  std::ostringstream out;
+  trace::TraceContext ctx;
+  store::BinaryTraceWriter::Options options;
+  options.target_chunk_bytes = 1024;  // force multi-chunk containers
+  store::BinaryTraceWriter writer(ctx, out, options);
+  ctx.add_sink(&writer);
+  std::istringstream in(text);
+  const trace::ReplayResult replay = trace::replay_trace(in, ctx, trace::ReplayOptions{});
+  EXPECT_TRUE(replay.status.is_ok()) << replay.status.to_string();
+  return out.str();
+}
+
+struct AnalysisCapture {
+  std::string profile_dump;
+  std::string markdown;
+};
+
+/// Replays `binary` and analyzes with the given profiler configuration.
+/// jobs > 1 shares one pool between the reader's chunk decode and the
+/// sharded profiler, mirroring the CLI wiring.
+AnalysisCapture run_analysis(const std::string& binary, core::ProfilerMode mode,
+                             std::size_t jobs, std::size_t shards) {
+  std::unique_ptr<rt::ThreadPool> pool;
+  if (jobs > 1) pool = std::make_unique<rt::ThreadPool>(jobs);
+
+  core::AnalyzerConfig config;
+  config.profiler_mode = mode;
+  config.profile_jobs = jobs;
+  config.profile_shards = shards;
+  config.pool = pool.get();
+
+  trace::TraceContext ctx;
+  core::PatternAnalyzer analyzer(ctx, config);
+  store::ReadOptions options;
+  options.jobs = jobs;
+  options.pool = pool.get();
+  const store::ReadResult read = store::read_trace(binary, ctx, options);
+  EXPECT_TRUE(read.status.is_ok()) << read.status.to_string();
+  EXPECT_TRUE(read.finished);
+
+  const core::AnalysisResult result = analyzer.analyze();
+  AnalysisCapture capture;
+  capture.profile_dump = prof::to_debug_string(result.profile);
+  capture.markdown = report::markdown_report(result, ctx, "bitidentity");
+  return capture;
+}
+
+class ShardMergeProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ShardMergeProperty, ShardedProfileIsBitIdenticalToSerial) {
+  const bs::Benchmark* benchmark = bs::find_benchmark(GetParam());
+  ASSERT_NE(benchmark, nullptr);
+
+  const std::string text = record_text_trace(*benchmark);
+  ASSERT_FALSE(text.empty());
+  const std::string binary = convert_to_binary(text);
+
+  const AnalysisCapture serial =
+      run_analysis(binary, core::ProfilerMode::Serial, /*jobs=*/1, /*shards=*/1);
+  ASSERT_FALSE(serial.profile_dump.empty());
+
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                 std::size_t{8}}) {
+    for (const std::size_t shards :
+         {std::size_t{1}, std::size_t{4}, std::size_t{64}}) {
+      const AnalysisCapture sharded =
+          run_analysis(binary, core::ProfilerMode::Sharded, jobs, shards);
+      EXPECT_EQ(sharded.profile_dump, serial.profile_dump)
+          << "profile diverged at jobs=" << jobs << " shards=" << shards;
+      EXPECT_EQ(sharded.markdown, serial.markdown)
+          << "report diverged at jobs=" << jobs << " shards=" << shards;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, ShardMergeProperty,
+                         ::testing::Values("ludcmp", "reg_detect", "fluidanimate",
+                                           "rot-cc", "Correlation", "2mm", "fib", "sort",
+                                           "strassen", "3mm", "mvt", "fdtd-2d", "kmeans",
+                                           "streamcluster", "nqueens", "bicg", "gesummv",
+                                           "sum_local", "sum_module"),
+                         [](const ::testing::TestParamInfo<const char*>& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace ppd

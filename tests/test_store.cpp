@@ -16,8 +16,10 @@
 #include "store/format.hpp"
 #include "store/reader.hpp"
 #include "store/writer.hpp"
+#include "support/mapped_file.hpp"
 #include "support/status.hpp"
 #include "trace/context.hpp"
+#include "trace/fault_injector.hpp"
 #include "trace/serialize.hpp"
 #include "trace/validator.hpp"
 
@@ -26,6 +28,7 @@ namespace {
 
 using support::DiagSink;
 using support::ErrorCode;
+using support::Status;
 using trace::ReplayMode;
 
 // ---- primitives -------------------------------------------------------------
@@ -408,7 +411,7 @@ TEST_F(StoreBatch, SecondRunIsServedEntirelyFromCache) {
   const std::vector<std::string> paths = {text_path, binary_path};
 
   std::atomic<int> calls{0};
-  const AnalyzeFn analyze = [&calls](const std::string& path, const std::string&) {
+  const AnalyzeFn analyze = [&calls](const std::string& path, std::string_view) {
     ++calls;
     AnalyzeOutcome outcome;
     outcome.report = "report for " + path + "\n";
@@ -452,7 +455,7 @@ TEST_F(StoreBatch, SecondRunIsServedEntirelyFromCache) {
 TEST_F(StoreBatch, DegradedOutcomesAreNeverCached) {
   const std::string path = write_file("a.txt", make_text(4));
   std::atomic<int> calls{0};
-  const AnalyzeFn analyze = [&calls](const std::string&, const std::string&) {
+  const AnalyzeFn analyze = [&calls](const std::string&, std::string_view) {
     ++calls;
     AnalyzeOutcome outcome;
     outcome.report = "degraded report\n";
@@ -469,7 +472,7 @@ TEST_F(StoreBatch, DegradedOutcomesAreNeverCached) {
 
 TEST_F(StoreBatch, UnreadableFileBecomesFailedItem) {
   const std::string missing = (dir_ / "missing.txt").string();
-  const AnalyzeFn analyze = [](const std::string&, const std::string&) {
+  const AnalyzeFn analyze = [](const std::string&, std::string_view) {
     return AnalyzeOutcome{};
   };
   const BatchSummary summary = analyze_batch({missing}, BatchOptions{}, analyze);
@@ -481,7 +484,7 @@ TEST_F(StoreBatch, UnreadableFileBecomesFailedItem) {
 TEST_F(StoreBatch, TornCacheEntryIsAMiss) {
   const std::string path = write_file("a.txt", make_text(4));
   std::atomic<int> calls{0};
-  const AnalyzeFn analyze = [&calls](const std::string&, const std::string&) {
+  const AnalyzeFn analyze = [&calls](const std::string&, std::string_view) {
     ++calls;
     AnalyzeOutcome outcome;
     outcome.report = "fresh report\n";
@@ -506,6 +509,182 @@ TEST_F(StoreBatch, TornCacheEntryIsAMiss) {
   EXPECT_EQ(summary.cache_hits, 0u);
   EXPECT_EQ(calls.load(), 2);
   EXPECT_EQ(summary.items[0].report, "fresh report\n");
+}
+
+// ---- mmap read path ---------------------------------------------------------
+//
+// read_trace_file (support::MappedFile under the hood) must be
+// indistinguishable from read_trace over slurped bytes: same Status codes,
+// same tallies, same dispatched stream — for pristine containers and for
+// every byte-level corruption the FaultInjector can produce. The CI
+// sanitizer leg runs these tests to certify the mapped path's bounds
+// handling.
+
+class StoreMmap : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("ppd_store_mmap_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string write_file(const std::string& name, const std::string& bytes) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+/// Replays via the mapped-file entry point and re-serializes the dispatched
+/// stream, mirroring reserialize() for in-memory bytes.
+std::string reserialize_file(const std::string& path, const ReadOptions& options,
+                             ReadResult* result_out = nullptr) {
+  std::ostringstream out;
+  trace::TraceContext ctx;
+  trace::TraceWriter writer(ctx, out);
+  ctx.add_sink(&writer);
+  const ReadResult result = read_trace_file(path, ctx, options);
+  if (result_out != nullptr) *result_out = result;
+  return out.str();
+}
+
+TEST_F(StoreMmap, MappedFileBasics) {
+  support::MappedFile file;
+  const std::string path = write_file("data.bin", "hello mapped world");
+  ASSERT_TRUE(file.open(path).is_ok());
+  EXPECT_EQ(file.bytes(), "hello mapped world");
+  EXPECT_EQ(file.size(), 18u);
+
+  // Re-open replaces the previous mapping.
+  const std::string other = write_file("other.bin", "xy");
+  ASSERT_TRUE(file.open(other).is_ok());
+  EXPECT_EQ(file.bytes(), "xy");
+
+  // Move transfers the view; the source becomes empty.
+  support::MappedFile moved = std::move(file);
+  EXPECT_EQ(moved.bytes(), "xy");
+  EXPECT_EQ(file.size(), 0u);
+
+  moved.reset();
+  EXPECT_EQ(moved.size(), 0u);
+}
+
+TEST_F(StoreMmap, ZeroLengthFileMapsAsEmptyView) {
+  support::MappedFile file;
+  ASSERT_TRUE(file.open(write_file("empty.bin", "")).is_ok());
+  EXPECT_EQ(file.size(), 0u);
+  EXPECT_EQ(file.bytes(), std::string_view());
+}
+
+TEST_F(StoreMmap, MissingFileIsIoError) {
+  support::MappedFile file;
+  const Status status = file.open((dir_ / "does_not_exist").string());
+  EXPECT_EQ(status.code(), ErrorCode::IoError) << status.to_string();
+  EXPECT_EQ(file.size(), 0u);
+}
+
+TEST_F(StoreMmap, DirectoryIsIoError) {
+  support::MappedFile file;
+  const Status status = file.open(dir_.string());
+  EXPECT_EQ(status.code(), ErrorCode::IoError) << status.to_string();
+}
+
+TEST_F(StoreMmap, ReadTraceFileMatchesInMemoryReplay) {
+  const std::string pristine = make_binary(64, 256);
+  const std::string path = write_file("trace.ppdt", pristine);
+
+  ReadResult mem_result;
+  const std::string mem_stream = reserialize(pristine, ReadOptions{}, &mem_result);
+  ReadResult file_result;
+  const std::string file_stream = reserialize_file(path, ReadOptions{}, &file_result);
+
+  ASSERT_TRUE(file_result.status.is_ok()) << file_result.status.to_string();
+  EXPECT_EQ(file_stream, mem_stream);
+  EXPECT_EQ(file_result.records, mem_result.records);
+  EXPECT_EQ(file_result.chunks, mem_result.chunks);
+  EXPECT_TRUE(file_result.finished);
+}
+
+TEST_F(StoreMmap, MissingTraceFileReportsIoErrorThroughReadResult) {
+  trace::TraceContext ctx;
+  const ReadResult result =
+      read_trace_file((dir_ / "missing.ppdt").string(), ctx, ReadOptions{});
+  EXPECT_EQ(result.status.code(), ErrorCode::IoError) << result.status.to_string();
+  EXPECT_FALSE(result.finished);
+}
+
+TEST_F(StoreMmap, ZeroLengthTraceFileIsBadHeaderLikeEmptyBytes) {
+  const std::string path = write_file("empty.ppdt", "");
+  trace::TraceContext ctx;
+  const ReadResult file_result = read_trace_file(path, ctx, ReadOptions{});
+  trace::TraceContext ctx2;
+  const ReadResult mem_result = read_trace("", ctx2, ReadOptions{});
+  EXPECT_EQ(file_result.status.code(), mem_result.status.code());
+  EXPECT_EQ(file_result.status.code(), ErrorCode::BadHeader);
+}
+
+TEST_F(StoreMmap, FaultMutantsBehaveIdenticallyMappedAndSlurped) {
+  // Every byte-level fault the injector knows, in both replay modes: the
+  // mapped path must report the same Status code and tallies and dispatch
+  // the same stream as the in-memory path over identical bytes.
+  const std::string pristine = make_binary(64, 256);
+  const trace::FaultInjector::Fault faults[] = {
+      trace::FaultInjector::Fault::ChunkTruncate,
+      trace::FaultInjector::Fault::CrcCorrupt,
+      trace::FaultInjector::Fault::FooterDamage,
+      trace::FaultInjector::Fault::TruncateTail,
+      trace::FaultInjector::Fault::BitFlip,
+  };
+  int case_id = 0;
+  for (const trace::FaultInjector::Fault fault : faults) {
+    for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+      trace::FaultInjector injector(seed);
+      const std::string mutated = injector.apply(pristine, fault);
+      const std::string path =
+          write_file("mutant_" + std::to_string(case_id++) + ".ppdt", mutated);
+      for (const ReplayMode mode : {ReplayMode::Strict, ReplayMode::Lenient}) {
+        SCOPED_TRACE(std::string(trace::FaultInjector::to_string(fault)) +
+                     " seed=" + std::to_string(seed) +
+                     (mode == ReplayMode::Strict ? " strict" : " lenient"));
+        ReadOptions options;
+        options.mode = mode;
+        // Mem side goes straight through read_trace (no format sniffing):
+        // read_trace_file unconditionally takes the binary path, so the
+        // comparison must too, even for mutants that damaged the magic.
+        ReadResult mem_result;
+        std::string mem_stream;
+        {
+          std::ostringstream out;
+          trace::TraceContext ctx;
+          trace::TraceWriter writer(ctx, out);
+          ctx.add_sink(&writer);
+          mem_result = read_trace(mutated, ctx, options);
+          mem_stream = out.str();
+        }
+        ReadResult file_result;
+        const std::string file_stream = reserialize_file(path, options, &file_result);
+
+        EXPECT_EQ(file_result.status.code(), mem_result.status.code())
+            << "file: " << file_result.status.to_string()
+            << " mem: " << mem_result.status.to_string();
+        EXPECT_EQ(file_stream, mem_stream);
+        EXPECT_EQ(file_result.records, mem_result.records);
+        EXPECT_EQ(file_result.dropped, mem_result.dropped);
+        EXPECT_EQ(file_result.skipped_chunks, mem_result.skipped_chunks);
+        EXPECT_EQ(file_result.repaired_scopes, mem_result.repaired_scopes);
+        EXPECT_EQ(file_result.finished, mem_result.finished);
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -60,6 +60,7 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "bs/benchmark.hpp"
@@ -70,10 +71,12 @@
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "report/markdown.hpp"
+#include "rt/thread_pool.hpp"
 #include "store/batch.hpp"
 #include "store/format.hpp"
 #include "store/reader.hpp"
 #include "store/writer.hpp"
+#include "support/mapped_file.hpp"
 #include "support/status.hpp"
 #include "trace/serialize.hpp"
 #include "trace/validator.hpp"
@@ -95,7 +98,7 @@ constexpr const char kUsageText[] =
     "       ppd-analyze <benchmark> [--dump-trace FILE] [--markdown FILE]\n"
     "                   [--dot PREFIX] [--comm on] [--omp on]\n"
     "       ppd-analyze --trace FILE [--strict|--lenient] [--max-records N]\n"
-    "                   [--jobs N]\n"
+    "                   [--jobs N | --jobs=N]\n"
     "       ppd-analyze convert IN OUT [--chunk-bytes N] [--lenient]\n"
     "       ppd-analyze --batch PATH... [--jobs N] [--cache DIR | --no-cache]\n"
     "                   [--refresh] [--strict|--lenient] [--max-records N]\n"
@@ -262,15 +265,57 @@ struct TraceRunOptions {
   std::size_t jobs = 1;
 };
 
+/// Caps --jobs at the hardware concurrency. Extra workers past the core
+/// count only add contention, so the cap was always applied in effect —
+/// but silently; now it says so once on stderr and records both values in
+/// the metrics dump (cli.jobs.requested / cli.jobs.effective).
+bool parse_positive(const char* text, std::uint64_t& out);
+
+std::size_t clamped_jobs(std::size_t requested) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  obs::Registry::instance().gauge("cli.jobs.requested")
+      .set(static_cast<std::int64_t>(requested));
+  std::size_t effective = requested;
+  if (hw != 0 && requested > hw) {
+    effective = hw;
+    std::fprintf(stderr,
+                 "note: --jobs %zu exceeds hardware concurrency %u; using %u\n",
+                 requested, hw, hw);
+  }
+  obs::Registry::instance().gauge("cli.jobs.effective")
+      .set(static_cast<std::int64_t>(effective));
+  return effective;
+}
+
+/// Parses the operand of --jobs (given either as "--jobs N" or "--jobs=N").
+bool parse_jobs(const char* text, std::size_t& jobs_out) {
+  std::uint64_t jobs = 0;
+  if (!parse_positive(text, jobs) || jobs > 256) return false;
+  jobs_out = clamped_jobs(static_cast<std::size_t>(jobs));
+  return true;
+}
+
 /// Replays the trace bytes (either format) and runs the full analysis.
 /// Fills `report` (stdout payload) and `log` (stderr payload); returns the
 /// process exit code. `clean` reports whether the ingestion was pristine
 /// (cacheable by the batch driver).
-int analyze_trace_bytes(const std::string& path, const std::string& bytes,
+int analyze_trace_bytes(const std::string& path, std::string_view bytes,
                         const TraceRunOptions& run, std::string& report,
                         std::string& log, bool* clean = nullptr) {
+  // One pool serves both the chunk decoder and the sharded dependence
+  // profiler, so decode tasks and profiling blocks interleave on the same
+  // workers. Declared before the analyzer: the sharded profiler drains onto
+  // the pool in its destructor.
+  std::unique_ptr<rt::ThreadPool> pool;
+  core::AnalyzerConfig config;
+  if (run.jobs > 1) {
+    pool = std::make_unique<rt::ThreadPool>(run.jobs);
+    config.profiler_mode = core::ProfilerMode::Sharded;
+    config.profile_jobs = run.jobs;
+    config.pool = pool.get();
+  }
   trace::TraceContext ctx;
-  core::PatternAnalyzer analyzer(ctx);
+  core::PatternAnalyzer analyzer(ctx, config);
   support::DiagSink diags;
   trace::Validator validator(&diags);
   ctx.add_sink(&validator);
@@ -283,6 +328,7 @@ int analyze_trace_bytes(const std::string& path, const std::string& bytes,
     options.limits.max_records = run.max_records;
     options.diags = &diags;
     options.jobs = run.jobs;
+    options.pool = pool.get();
     const store::ReadResult read = store::read_trace(bytes, ctx, options);
     status = read.status;
     stats.records = read.records;
@@ -295,7 +341,7 @@ int analyze_trace_bytes(const std::string& path, const std::string& bytes,
     options.mode = run.mode;
     options.limits.max_records = run.max_records;
     options.diags = &diags;
-    std::istringstream in(bytes);
+    std::istringstream in{std::string(bytes)};
     const trace::ReplayResult replay = trace::replay_trace(in, ctx, options);
     status = replay.status;
     stats.records = replay.records;
@@ -329,14 +375,16 @@ int analyze_trace_bytes(const std::string& path, const std::string& bytes,
 }
 
 int analyze_trace_file(const char* path, const TraceRunOptions& run) {
-  std::string bytes;
-  if (!store::slurp_file(path, bytes)) {
+  // Mapped, not slurped: the binary reader decodes chunks straight out of
+  // the page cache. The mapping outlives the analysis call below.
+  support::MappedFile mapped;
+  if (!mapped.open(path).is_ok()) {
     std::fprintf(stderr, "cannot open trace file '%s'\n", path);
     return kExitIo;
   }
   std::string report;
   std::string log;
-  const int code = analyze_trace_bytes(path, bytes, run, report, log);
+  const int code = analyze_trace_bytes(path, mapped.bytes(), run, report, log);
   std::fputs(log.c_str(), stderr);
   std::fputs(report.c_str(), stdout);
   return code;
@@ -346,11 +394,12 @@ int analyze_trace_file(const char* path, const TraceRunOptions& run) {
 
 int convert_trace(const char* in_path, const char* out_path,
                   trace::ReplayMode mode, std::uint32_t chunk_bytes) {
-  std::string bytes;
-  if (!store::slurp_file(in_path, bytes)) {
+  support::MappedFile mapped;
+  if (!mapped.open(in_path).is_ok()) {
     std::fprintf(stderr, "cannot open trace file '%s'\n", in_path);
     return kExitIo;
   }
+  const std::string_view bytes = mapped.bytes();
   const bool from_binary = store::is_binary_trace(bytes);
   std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
   if (!out) {
@@ -381,7 +430,7 @@ int convert_trace(const char* in_path, const char* out_path,
     trace::ReplayOptions options;
     options.mode = mode;
     options.diags = &diags;
-    std::istringstream in(bytes);
+    std::istringstream in{std::string(bytes)};
     const trace::ReplayResult replay = trace::replay_trace(in, ctx, options);
     if (!replay.status.is_ok()) {
       std::fprintf(stderr, "conversion failed: %s\n", replay.status.to_string().c_str());
@@ -452,7 +501,7 @@ int run_batch(const std::vector<std::string>& inputs, const TraceRunOptions& run
 
   int worst = kExitOk;
   const store::AnalyzeFn analyze = [&run, &worst](const std::string& path,
-                                                  const std::string& bytes) {
+                                                  std::string_view bytes) {
     store::AnalyzeOutcome outcome;
     TraceRunOptions per_trace = run;
     per_trace.jobs = 1;  // parallelism is across traces here
@@ -554,9 +603,9 @@ int run_cli(int argc, char** argv) {
       } else if (std::strcmp(argv[i], "--max-records") == 0 && i + 1 < argc) {
         if (!parse_positive(argv[++i], run.max_records)) return usage();
       } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-        std::uint64_t jobs = 0;
-        if (!parse_positive(argv[++i], jobs) || jobs > 256) return usage();
-        run.jobs = static_cast<std::size_t>(jobs);
+        if (!parse_jobs(argv[++i], run.jobs)) return usage();
+      } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+        if (!parse_jobs(argv[i] + 7, run.jobs)) return usage();
       } else {
         return usage();
       }
@@ -578,9 +627,9 @@ int run_cli(int argc, char** argv) {
       } else if (std::strcmp(argv[i], "--max-records") == 0 && i + 1 < argc) {
         if (!parse_positive(argv[++i], run.max_records)) return usage();
       } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-        std::uint64_t jobs = 0;
-        if (!parse_positive(argv[++i], jobs) || jobs > 256) return usage();
-        run.jobs = static_cast<std::size_t>(jobs);
+        if (!parse_jobs(argv[++i], run.jobs)) return usage();
+      } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+        if (!parse_jobs(argv[i] + 7, run.jobs)) return usage();
       } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
         cache_dir = argv[++i];
       } else if (std::strcmp(argv[i], "--no-cache") == 0) {
