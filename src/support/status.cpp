@@ -24,6 +24,12 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::BadFooter: return "bad-footer";
     case ErrorCode::ChunkCorrupt: return "chunk-corrupt";
     case ErrorCode::IoError: return "io-error";
+    case ErrorCode::BadFrame: return "bad-frame";
+    case ErrorCode::CrcMismatch: return "crc-mismatch";
+    case ErrorCode::OversizedFrame: return "oversized-frame";
+    case ErrorCode::UnsupportedVersion: return "unsupported-version";
+    case ErrorCode::Overloaded: return "overloaded";
+    case ErrorCode::ConnectionLost: return "connection-lost";
   }
   return "unknown";
 }

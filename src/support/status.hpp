@@ -43,6 +43,13 @@ enum class ErrorCode : std::uint8_t {
   BadFooter,             ///< .ppdt footer/trailer missing, damaged, or lying
   ChunkCorrupt,          ///< .ppdt section failed its CRC or framing checks
   IoError,               ///< file could not be read or written
+  // ---- service wire protocol (ppd::svc) ----
+  BadFrame,              ///< frame header malformed or payload grammar violated
+  CrcMismatch,           ///< frame payload failed its CRC-32 check
+  OversizedFrame,        ///< frame length prefix exceeds the negotiated cap
+  UnsupportedVersion,    ///< no protocol version shared by client and server
+  Overloaded,            ///< admission control rejected the request (queue full)
+  ConnectionLost,        ///< peer vanished mid-frame or mid-request
 };
 
 [[nodiscard]] const char* to_string(ErrorCode code);

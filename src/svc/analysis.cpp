@@ -1,0 +1,246 @@
+#include "svc/analysis.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/advisor.hpp"
+#include "obs/obs.hpp"
+#include "rt/thread_pool.hpp"
+#include "store/batch.hpp"
+#include "store/format.hpp"
+#include "store/reader.hpp"
+#include "trace/validator.hpp"
+
+namespace ppd::svc {
+
+namespace {
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void appendf(std::string& out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list sized;
+  va_copy(sized, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, sized);
+  va_end(sized);
+  if (needed > 0) {
+    std::vector<char> buffer(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buffer.data(), buffer.size(), fmt, args);
+    out.append(buffer.data(), static_cast<std::size_t>(needed));
+  }
+  va_end(args);
+}
+
+/// Ingestion statistics shared by the text and the binary replay paths.
+struct IngestStats {
+  std::uint64_t records = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t repaired_scopes = 0;
+  std::uint64_t skipped_chunks = 0;
+  bool binary = false;
+};
+
+std::string render_diagnostics(const IngestStats& stats,
+                               const support::DiagSink& diags,
+                               const trace::Validator& validator,
+                               trace::ReplayMode mode) {
+  std::string out;
+  appendf(out, "== Diagnostics ==\n");
+  appendf(out, "  mode: %s\n",
+          mode == trace::ReplayMode::Strict ? "strict" : "lenient");
+  appendf(out, "  records replayed: %llu, dropped: %llu, repaired scopes: %llu\n",
+          static_cast<unsigned long long>(stats.records),
+          static_cast<unsigned long long>(stats.dropped),
+          static_cast<unsigned long long>(stats.repaired_scopes));
+  if (stats.binary) {
+    appendf(out, "  corrupt chunks skipped: %llu\n",
+            static_cast<unsigned long long>(stats.skipped_chunks));
+  }
+  appendf(out, "  stream-invariant violations: %llu\n",
+          static_cast<unsigned long long>(validator.violations()));
+  constexpr std::size_t kMaxShown = 10;
+  std::size_t shown = 0;
+  for (const support::Diag& d : diags.diags()) {
+    if (shown++ == kMaxShown) break;
+    appendf(out, "  - %s\n", d.to_string().c_str());
+  }
+  if (diags.total() > kMaxShown) {
+    appendf(out, "  ... and %llu more\n",
+            static_cast<unsigned long long>(diags.total() - kMaxShown));
+  }
+  appendf(out, "\n");
+  return out;
+}
+
+}  // namespace
+
+std::string render_report(const core::AnalysisResult& result,
+                          const trace::TraceContext& ctx) {
+  std::string out;
+  appendf(out, "== Program execution tree (hotspots >= 2%%) ==\n");
+  for (pet::NodeIndex node : result.pet.hotspots(0.02)) {
+    const pet::PetNode& n = result.pet.node(node);
+    appendf(out, "  %-24s %6.2f%%  (%s%s)\n", n.name.c_str(),
+            result.pet.cost_fraction(node) * 100.0, n.is_loop() ? "loop" : "function",
+            n.recursive ? ", recursive" : "");
+  }
+
+  appendf(out, "\nPrimary pattern: %s\n", result.primary_description.c_str());
+  appendf(out, "Supporting structure: %s\n\n",
+          core::supporting_structure(result.primary));
+
+  const auto pipelines = result.reported_pipelines();
+  if (!pipelines.empty()) {
+    appendf(out, "== Multi-loop pipelines ==\n");
+    for (const core::MultiLoopPipeline* p : pipelines) {
+      appendf(out, "  %s -> %s: a=%.2f b=%.2f e=%.2f%s\n",
+              ctx.region(p->loop_x).name.c_str(), ctx.region(p->loop_y).name.c_str(),
+              p->fit.a, p->fit.b, p->e, p->fusion ? " [fusion]" : "");
+      appendf(out, "    %s\n",
+              core::describe_coefficients(p->fit.a, p->fit.b, 0.05).c_str());
+    }
+    appendf(out, "\n");
+  }
+
+  if (!result.reductions.empty()) {
+    appendf(out, "== Reduction candidates (Algorithm 3) ==\n");
+    for (const core::ReductionCandidate& r : result.reductions) {
+      appendf(out, "  loop '%s': variable '%s' at line %u, operator %s\n",
+              ctx.region(r.loop).name.c_str(), ctx.var_info(r.var).name.c_str(), r.line,
+              trace::to_string(r.op));
+    }
+    appendf(out, "\n");
+  }
+
+  const core::ScopeTaskParallelism* tasks = result.primary_tasks();
+  if (tasks == nullptr) {
+    for (const core::ScopeTaskParallelism& t : result.tasks) {
+      if (t.tp.worker_count() >= 2 &&
+          (tasks == nullptr || t.tp.estimated_speedup > tasks->tp.estimated_speedup)) {
+        tasks = &t;
+      }
+    }
+  }
+  if (tasks != nullptr && tasks->tp.worker_count() >= 1) {
+    appendf(out, "== Task classification in '%s' ==\n",
+            ctx.region(tasks->tp.scope).name.c_str());
+    out += tasks->tp.render(tasks->graph);
+    appendf(out, "\n");
+  }
+
+  const auto ranked = core::rank_patterns(result, ctx);
+  if (!ranked.empty()) {
+    appendf(out, "== Ranked patterns (best first) ==\n");
+    for (const core::RankedPattern& r : ranked) {
+      appendf(out, "  %-60s  benefit %.2fx  effort %-6s score %.3f\n",
+              r.description.c_str(), r.expected_benefit, core::to_string(r.effort),
+              r.score);
+    }
+    appendf(out, "\n");
+  }
+
+  const auto hints = core::derive_hints(result, ctx);
+  if (!hints.empty()) {
+    appendf(out, "== Transformation hints ==\n");
+    for (const core::TransformationHint& h : hints) {
+      appendf(out, "  [%s] %s\n", core::to_string(h.kind), h.text.c_str());
+    }
+  }
+  return out;
+}
+
+AnalysisOutput analyze_trace_bytes(const std::string& name, std::string_view bytes,
+                                   const AnalysisOptions& options) {
+  AnalysisOutput out;
+  // One pool serves both the chunk decoder and the sharded dependence
+  // profiler, so decode tasks and profiling blocks interleave on the same
+  // workers. Declared before the analyzer: the sharded profiler drains onto
+  // the pool in its destructor.
+  std::unique_ptr<rt::ThreadPool> pool;
+  core::AnalyzerConfig config;
+  if (options.jobs > 1) {
+    pool = std::make_unique<rt::ThreadPool>(options.jobs);
+    config.profiler_mode = core::ProfilerMode::Sharded;
+    config.profile_jobs = options.jobs;
+    config.pool = pool.get();
+  }
+  trace::TraceContext ctx;
+  core::PatternAnalyzer analyzer(ctx, config);
+  support::DiagSink diags;
+  trace::Validator validator(&diags);
+  ctx.add_sink(&validator);
+
+  IngestStats stats;
+  support::Status status;
+  if (store::is_binary_trace(bytes)) {
+    store::ReadOptions read_options;
+    read_options.mode = options.mode;
+    read_options.limits.max_records = options.max_records;
+    read_options.diags = &diags;
+    read_options.jobs = options.jobs;
+    read_options.pool = pool.get();
+    const store::ReadResult read = store::read_trace(bytes, ctx, read_options);
+    status = read.status;
+    stats.records = read.records;
+    stats.dropped = read.dropped;
+    stats.repaired_scopes = read.repaired_scopes;
+    stats.skipped_chunks = read.skipped_chunks;
+    stats.binary = true;
+  } else {
+    trace::ReplayOptions replay_options;
+    replay_options.mode = options.mode;
+    replay_options.limits.max_records = options.max_records;
+    replay_options.diags = &diags;
+    std::istringstream in{std::string(bytes)};
+    const trace::ReplayResult replay = trace::replay_trace(in, ctx, replay_options);
+    status = replay.status;
+    stats.records = replay.records;
+    stats.dropped = replay.dropped;
+    stats.repaired_scopes = replay.repaired_scopes;
+  }
+
+  if (!status.is_ok()) {
+    appendf(out.log, "replay failed: %s\n", status.to_string().c_str());
+    out.status = status;
+    out.clean = false;
+    return out;
+  }
+  appendf(out.log, "replayed %llu records from %s (%s)\n",
+          static_cast<unsigned long long>(stats.records), name.c_str(),
+          stats.binary ? "binary" : "text");
+  const bool degraded = stats.dropped != 0 || stats.repaired_scopes != 0 ||
+                        stats.skipped_chunks != 0 || !validator.ok() ||
+                        !diags.empty();
+  if (degraded) {
+    out.log += render_diagnostics(stats, diags, validator, options.mode);
+  }
+  out.clean = !degraded;
+
+  try {
+    const core::AnalysisResult result = analyzer.analyze();
+    out.report = render_report(result, ctx);
+  } catch (const std::exception& e) {
+    appendf(out.log, "analysis failed: %s\n", e.what());
+    out.status = support::Status::error(support::ErrorCode::AnalysisFailed, e.what());
+    out.clean = false;
+    return out;
+  }
+  out.status = support::Status::ok();
+  return out;
+}
+
+std::uint64_t analysis_salt(const AnalysisOptions& options, std::string_view tag) {
+  std::string config(tag);
+  config += '|';
+  config += options.mode == trace::ReplayMode::Strict ? "strict" : "lenient";
+  config += '|';
+  config += std::to_string(options.max_records);
+  return store::fnv1a64(config);
+}
+
+}  // namespace ppd::svc

@@ -1,0 +1,62 @@
+// The one analysis entry point shared by every front end.
+//
+// `ppd-analyze --trace`, the `--batch` driver, and the `ppd-analyzed`
+// daemon must all produce byte-identical reports for the same trace bytes
+// and options — the service's cache and its regression suite both depend
+// on it. The only way to guarantee that is to have exactly one
+// implementation: this module owns trace replay (either container,
+// sniffed by content), the full detector pipeline, report rendering, and
+// the diagnostics section, and every front end calls it. Front ends keep
+// only their own concerns: stream/exit-code discipline for the CLI,
+// frames and admission control for the daemon.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/analyzer.hpp"
+#include "support/status.hpp"
+#include "trace/context.hpp"
+#include "trace/serialize.hpp"
+
+namespace ppd::svc {
+
+struct AnalysisOptions {
+  trace::ReplayMode mode = trace::ReplayMode::Strict;
+  /// Per-request record budget (PR 1's ReplayLimits cap).
+  std::uint64_t max_records = trace::ReplayLimits{}.max_records;
+  /// Workers for chunk decode + sharded profiling; 1 keeps the run serial
+  /// (the daemon parallelizes across requests, not within them).
+  std::size_t jobs = 1;
+};
+
+struct AnalysisOutput {
+  /// Ok, or why replay/analysis failed (AnalysisFailed for detector
+  /// errors; the precise ingestion code otherwise).
+  support::Status status;
+  std::string report;  ///< the stdout payload
+  std::string log;     ///< progress + diagnostics, kept off stdout
+  /// Pristine ingestion: nothing dropped, repaired, or flagged. Only clean
+  /// outputs are cacheable — degraded runs must keep reproducing their
+  /// diagnostics.
+  bool clean = true;
+};
+
+/// Replays `bytes` (text or .ppdt, sniffed) and runs the full detector
+/// pipeline. `name` appears in log lines only — never in the report — so
+/// reports stay content-addressable.
+[[nodiscard]] AnalysisOutput analyze_trace_bytes(const std::string& name,
+                                                 std::string_view bytes,
+                                                 const AnalysisOptions& options);
+
+/// Renders the standard text report (the `ppd-analyze` stdout format).
+[[nodiscard]] std::string render_report(const core::AnalysisResult& result,
+                                        const trace::TraceContext& ctx);
+
+/// Cache-key salt folding everything that changes the report: the replay
+/// options plus a front-end tag that names the report format revision.
+[[nodiscard]] std::uint64_t analysis_salt(const AnalysisOptions& options,
+                                          std::string_view tag);
+
+}  // namespace ppd::svc

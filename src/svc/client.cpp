@@ -1,0 +1,210 @@
+#include "svc/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ppd::svc {
+
+using support::ErrorCode;
+using support::Status;
+
+namespace {
+
+/// Client-side frame budget: generous, because the report + log of a large
+/// analysis ride in one frame.
+constexpr std::uint64_t kClientMaxPayload = kMaxFramePayload;
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  version_ = 0;
+  server_name_.clear();
+}
+
+Status Client::next_frame(Frame& frame) {
+  const Status status = read_frame(fd_, kClientMaxPayload, buffer_, frame);
+  if (!status.is_ok()) close();
+  return status;
+}
+
+Status Client::connect(const std::string& socket_path,
+                       const std::string& client_name) {
+  close();
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::error(ErrorCode::IoError,
+                         "socket path empty or too long: '" + socket_path + "'");
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::error(ErrorCode::IoError,
+                         std::string("socket: ") + std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const Status status = Status::error(
+        ErrorCode::IoError, "connect '" + socket_path + "': " + std::strerror(errno));
+    close();
+    return status;
+  }
+
+  std::string payload;
+  encode_hello(payload,
+               HelloPayload{kProtocolVersion, kProtocolVersion, client_name});
+  Status status = write_frame(fd_, FrameType::Hello, payload);
+  if (!status.is_ok()) {
+    // The server may have refused us (an Overloaded greeting) and hung up
+    // before our hello landed; the refusal frame is still queued — prefer
+    // its precise status over a generic ConnectionLost.
+    Frame pending;
+    if (read_frame(fd_, kClientMaxPayload, buffer_, pending).is_ok() &&
+        pending.type == FrameType::Error) {
+      Status refusal;
+      if (decode_status(pending.payload, refusal) && !refusal.is_ok()) {
+        status = refusal;
+      }
+    }
+    close();
+    return status;
+  }
+  Frame frame;
+  status = next_frame(frame);
+  if (!status.is_ok()) return status;
+  if (frame.type == FrameType::Error) {
+    Status refusal;
+    if (!decode_status(frame.payload, refusal)) {
+      refusal = Status::error(ErrorCode::BadFrame, "undecodable server error frame");
+    }
+    close();
+    return refusal;
+  }
+  HelloAckPayload ack;
+  if (frame.type != FrameType::HelloAck || !decode_hello_ack(frame.payload, ack)) {
+    close();
+    return Status::error(ErrorCode::BadFrame, "expected hello-ack");
+  }
+  version_ = ack.version;
+  server_name_ = ack.server;
+  return Status::ok();
+}
+
+Client::Result Client::analyze(std::string_view trace_bytes,
+                               const RequestOptions& options,
+                               const ProgressFn& progress) {
+  Result result;
+  if (!connected()) {
+    result.status = Status::error(ErrorCode::ConnectionLost, "not connected");
+    return result;
+  }
+  RequestPayload request;
+  request.mode = options.mode;
+  request.max_records = options.max_records;
+  request.no_cache = options.no_cache;
+  request.refresh = options.refresh;
+  request.trace = trace_bytes;
+  std::string payload;
+  encode_request(payload, request);
+  result.status = write_frame(fd_, FrameType::AnalyzeRequest, payload);
+  if (!result.status.is_ok()) {
+    close();
+    return result;
+  }
+
+  for (;;) {
+    Frame frame;
+    result.status = next_frame(frame);
+    if (!result.status.is_ok()) return result;
+    switch (frame.type) {
+      case FrameType::Progress: {
+        ProgressPayload stage;
+        if (decode_progress(frame.payload, stage) && progress) progress(stage);
+        break;
+      }
+      case FrameType::Report: {
+        ReportPayload report;
+        if (!decode_report(frame.payload, report)) {
+          result.status =
+              Status::error(ErrorCode::BadFrame, "undecodable report frame");
+          close();
+          return result;
+        }
+        result.report = std::move(report.report);
+        result.log = std::move(report.log);
+        result.cached = report.cached;
+        result.status = Status::ok();
+        return result;
+      }
+      case FrameType::Error: {
+        if (!decode_status(frame.payload, result.status) ||
+            result.status.is_ok()) {
+          result.status =
+              Status::error(ErrorCode::BadFrame, "undecodable server error frame");
+          close();
+        }
+        return result;
+      }
+      default:
+        result.status = Status::error(
+            ErrorCode::BadFrame,
+            std::string("unexpected frame type ") + to_string(frame.type));
+        close();
+        return result;
+    }
+  }
+}
+
+Status Client::ping() {
+  if (!connected()) {
+    return Status::error(ErrorCode::ConnectionLost, "not connected");
+  }
+  Status status = write_frame(fd_, FrameType::Ping, {});
+  if (!status.is_ok()) {
+    close();
+    return status;
+  }
+  Frame frame;
+  status = next_frame(frame);
+  if (!status.is_ok()) return status;
+  if (frame.type == FrameType::Error) {
+    Status refusal;
+    if (decode_status(frame.payload, refusal) && !refusal.is_ok()) return refusal;
+  }
+  if (frame.type != FrameType::Pong) {
+    close();
+    return Status::error(ErrorCode::BadFrame, "expected pong");
+  }
+  return Status::ok();
+}
+
+Status Client::shutdown_server() {
+  if (!connected()) {
+    return Status::error(ErrorCode::ConnectionLost, "not connected");
+  }
+  Status status = write_frame(fd_, FrameType::Shutdown, {});
+  if (!status.is_ok()) {
+    close();
+    return status;
+  }
+  Frame frame;
+  status = next_frame(frame);
+  if (!status.is_ok()) return status;
+  if (frame.type != FrameType::Shutdown) {
+    close();
+    return Status::error(ErrorCode::BadFrame, "expected shutdown ack");
+  }
+  close();
+  return Status::ok();
+}
+
+}  // namespace ppd::svc

@@ -1,0 +1,83 @@
+// Client side of the framed analysis protocol.
+//
+// Wraps one Unix-socket connection to a ppd-analyzed daemon: connect()
+// performs the Hello/HelloAck version negotiation, analyze() runs one
+// request-response exchange (streaming progress frames into an optional
+// callback), ping() probes liveness, shutdown_server() asks the daemon to
+// exit. `ppd-analyze remote` and the test suites are the two in-tree
+// users; third parties implement the same exchange from docs/PROTOCOL.md.
+//
+// The connection is sequential by design — one request in flight at a
+// time; open several clients for concurrency (that is exactly what the
+// daemon's scheduler multiplexes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "svc/frame.hpp"
+#include "support/status.hpp"
+#include "trace/serialize.hpp"
+
+namespace ppd::svc {
+
+class Client {
+ public:
+  struct RequestOptions {
+    trace::ReplayMode mode = trace::ReplayMode::Strict;
+    std::uint64_t max_records = 0;  ///< 0: server default
+    bool no_cache = false;
+    bool refresh = false;
+  };
+
+  struct Result {
+    support::Status status;  ///< Ok, or the server's wire-encoded Status
+    std::string report;
+    std::string log;
+    bool cached = false;
+  };
+
+  using ProgressFn = std::function<void(const ProgressPayload&)>;
+
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects and negotiates. On any failure the client stays closed and
+  /// the Status says why (IoError for socket trouble, the server's own
+  /// refusal otherwise).
+  [[nodiscard]] support::Status connect(const std::string& socket_path,
+                                        const std::string& client_name);
+
+  /// Sends one analysis request and blocks until Report or Error. Progress
+  /// frames invoke `progress` as they arrive. A transport failure closes
+  /// the connection and surfaces as ConnectionLost.
+  [[nodiscard]] Result analyze(std::string_view trace_bytes,
+                               const RequestOptions& options,
+                               const ProgressFn& progress = {});
+
+  [[nodiscard]] support::Status ping();
+
+  /// Asks the daemon to exit; Ok once the shutdown ack arrived.
+  [[nodiscard]] support::Status shutdown_server();
+
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  [[nodiscard]] std::uint8_t version() const { return version_; }
+  [[nodiscard]] const std::string& server_name() const { return server_name_; }
+
+ private:
+  /// Reads the next frame, translating transport errors; closes on error.
+  [[nodiscard]] support::Status next_frame(Frame& frame);
+
+  int fd_ = -1;
+  std::uint8_t version_ = 0;
+  std::string server_name_;
+  std::string buffer_;
+};
+
+}  // namespace ppd::svc

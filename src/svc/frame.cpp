@@ -1,0 +1,369 @@
+#include "svc/frame.hpp"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ppd::svc {
+
+namespace {
+
+using support::ErrorCode;
+using support::Status;
+
+constexpr std::uint8_t kMinFrameType = static_cast<std::uint8_t>(FrameType::Hello);
+constexpr std::uint8_t kMaxFrameType = static_cast<std::uint8_t>(FrameType::Shutdown);
+
+/// Display names are bounded like .ppdt definition names: hostile peers
+/// cannot balloon memory through a length prefix.
+constexpr std::uint64_t kMaxStringField = store::kMaxNameLength;
+
+void put_string(std::string& out, std::string_view text) {
+  store::put_varint(out, text.size());
+  out.append(text);
+}
+
+[[nodiscard]] bool read_string(store::ByteReader& reader, std::string& out,
+                               std::uint64_t cap = kMaxStringField) {
+  std::uint64_t length = 0;
+  if (!reader.read_varint(length) || length > cap) return false;
+  std::string_view bytes;
+  if (!reader.read_bytes(bytes, static_cast<std::size_t>(length))) return false;
+  out.assign(bytes);
+  return true;
+}
+
+/// The parsed fixed-size header, before the payload has been seen.
+struct Header {
+  FrameType type = FrameType::Error;
+  std::uint32_t length = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Validates the 16 header bytes. Field order doubles as the validation
+/// order, so a garbage stream is rejected on its earliest bad byte.
+[[nodiscard]] Status parse_header(const char* bytes, std::uint64_t max_payload,
+                                  Header& out) {
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, bytes, 4);
+  if (magic != kFrameMagic) {
+    return Status::error(ErrorCode::BadFrame, "bad frame magic");
+  }
+  const auto version = static_cast<std::uint8_t>(bytes[4]);
+  if (version != kProtocolVersion) {
+    return Status::error(ErrorCode::UnsupportedVersion,
+                         "frame version " + std::to_string(version) +
+                             ", expected " + std::to_string(kProtocolVersion));
+  }
+  const auto type = static_cast<std::uint8_t>(bytes[5]);
+  if (type < kMinFrameType || type > kMaxFrameType) {
+    return Status::error(ErrorCode::BadFrame,
+                         "unknown frame type " + std::to_string(type));
+  }
+  if (bytes[6] != 0 || bytes[7] != 0) {
+    return Status::error(ErrorCode::BadFrame, "reserved header bytes set");
+  }
+  std::uint32_t length = 0;
+  std::memcpy(&length, bytes + 8, 4);
+  const std::uint64_t cap = max_payload < kMaxFramePayload ? max_payload : kMaxFramePayload;
+  if (length > cap) {
+    return Status::error(ErrorCode::OversizedFrame,
+                         "frame payload of " + std::to_string(length) +
+                             " bytes exceeds the cap of " + std::to_string(cap));
+  }
+  out.type = static_cast<FrameType>(type);
+  out.length = length;
+  std::memcpy(&out.crc, bytes + 12, 4);
+  return Status::ok();
+}
+
+}  // namespace
+
+const char* to_string(FrameType type) {
+  switch (type) {
+    case FrameType::Hello: return "hello";
+    case FrameType::HelloAck: return "hello-ack";
+    case FrameType::AnalyzeRequest: return "analyze-request";
+    case FrameType::Progress: return "progress";
+    case FrameType::Report: return "report";
+    case FrameType::Error: return "error";
+    case FrameType::Ping: return "ping";
+    case FrameType::Pong: return "pong";
+    case FrameType::Shutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  store::put_u32le(out, kFrameMagic);
+  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(type));
+  out.push_back(0);
+  out.push_back(0);
+  store::put_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  store::put_u32le(out, store::crc32(payload));
+  out.append(payload);
+  return out;
+}
+
+DecodeResult decode_frame(std::string_view bytes, std::uint64_t max_payload,
+                          Frame& frame, std::size_t& consumed, Status& status) {
+  consumed = 0;
+  if (bytes.size() < kFrameHeaderSize) {
+    // Validate the prefix we do have, so a wrong-protocol peer is rejected
+    // on its first bytes instead of being strung along until EOF.
+    char header[kFrameHeaderSize] = {};
+    std::memcpy(header, bytes.data(), bytes.size());
+    if (bytes.size() >= 4) {
+      std::uint32_t magic = 0;
+      std::memcpy(&magic, header, 4);
+      if (magic != kFrameMagic) {
+        status = Status::error(ErrorCode::BadFrame, "bad frame magic");
+        return DecodeResult::Error;
+      }
+    }
+    if (bytes.size() >= 5 &&
+        static_cast<std::uint8_t>(header[4]) != kProtocolVersion) {
+      status = Status::error(ErrorCode::UnsupportedVersion,
+                             "frame version " +
+                                 std::to_string(static_cast<std::uint8_t>(header[4])) +
+                                 ", expected " + std::to_string(kProtocolVersion));
+      return DecodeResult::Error;
+    }
+    return DecodeResult::NeedMore;
+  }
+
+  Header header;
+  status = parse_header(bytes.data(), max_payload, header);
+  if (!status.is_ok()) return DecodeResult::Error;
+  if (bytes.size() < kFrameHeaderSize + header.length) return DecodeResult::NeedMore;
+
+  const std::string_view payload = bytes.substr(kFrameHeaderSize, header.length);
+  if (store::crc32(payload) != header.crc) {
+    status = Status::error(ErrorCode::CrcMismatch,
+                           "frame payload failed its CRC-32 check");
+    return DecodeResult::Error;
+  }
+  frame.type = header.type;
+  frame.payload = payload;
+  consumed = kFrameHeaderSize + header.length;
+  status = Status::ok();
+  return DecodeResult::Ok;
+}
+
+// ---- payload grammars -------------------------------------------------------
+
+void encode_hello(std::string& out, const HelloPayload& hello) {
+  store::put_varint(out, hello.min_version);
+  store::put_varint(out, hello.max_version);
+  put_string(out, hello.client);
+}
+
+void encode_hello_ack(std::string& out, const HelloAckPayload& ack) {
+  store::put_varint(out, ack.version);
+  put_string(out, ack.server);
+}
+
+void encode_request(std::string& out, const RequestPayload& request) {
+  std::uint8_t flags = 0;
+  if (request.mode == trace::ReplayMode::Lenient) flags |= 0x01;
+  if (request.no_cache) flags |= 0x02;
+  if (request.refresh) flags |= 0x04;
+  out.push_back(static_cast<char>(flags));
+  store::put_varint(out, request.max_records);
+  store::put_varint(out, request.trace.size());
+  out.append(request.trace);
+}
+
+void encode_progress(std::string& out, const ProgressPayload& progress) {
+  put_string(out, progress.stage);
+  store::put_varint(out, progress.done);
+  store::put_varint(out, progress.total);
+}
+
+void encode_report(std::string& out, const ReportPayload& report) {
+  out.push_back(report.cached ? 1 : 0);
+  store::put_varint(out, report.report.size());
+  out.append(report.report);
+  store::put_varint(out, report.log.size());
+  out.append(report.log);
+}
+
+void encode_status(std::string& out, const Status& status) {
+  out.push_back(static_cast<char>(status.code()));
+  store::put_varint(out, status.line());
+  put_string(out, status.message());
+}
+
+bool decode_hello(std::string_view payload, HelloPayload& out) {
+  store::ByteReader reader(payload);
+  std::uint64_t min_version = 0;
+  std::uint64_t max_version = 0;
+  if (!reader.read_varint(min_version) || !reader.read_varint(max_version) ||
+      min_version == 0 || min_version > 255 || max_version > 255 ||
+      min_version > max_version) {
+    return false;
+  }
+  if (!read_string(reader, out.client)) return false;
+  out.min_version = static_cast<std::uint8_t>(min_version);
+  out.max_version = static_cast<std::uint8_t>(max_version);
+  return reader.at_end();
+}
+
+bool decode_hello_ack(std::string_view payload, HelloAckPayload& out) {
+  store::ByteReader reader(payload);
+  std::uint64_t version = 0;
+  if (!reader.read_varint(version) || version == 0 || version > 255) return false;
+  if (!read_string(reader, out.server)) return false;
+  out.version = static_cast<std::uint8_t>(version);
+  return reader.at_end();
+}
+
+bool decode_request(std::string_view payload, RequestPayload& out) {
+  store::ByteReader reader(payload);
+  std::uint8_t flags = 0;
+  if (!reader.read_u8(flags) || (flags & ~0x07u) != 0) return false;
+  out.mode = (flags & 0x01u) != 0 ? trace::ReplayMode::Lenient
+                                  : trace::ReplayMode::Strict;
+  out.no_cache = (flags & 0x02u) != 0;
+  out.refresh = (flags & 0x04u) != 0;
+  if (!reader.read_varint(out.max_records)) return false;
+  std::uint64_t trace_length = 0;
+  if (!reader.read_varint(trace_length) || trace_length > reader.remaining()) {
+    return false;
+  }
+  if (!reader.read_bytes(out.trace, static_cast<std::size_t>(trace_length))) {
+    return false;
+  }
+  return reader.at_end();
+}
+
+bool decode_progress(std::string_view payload, ProgressPayload& out) {
+  store::ByteReader reader(payload);
+  if (!read_string(reader, out.stage)) return false;
+  if (!reader.read_varint(out.done) || !reader.read_varint(out.total)) return false;
+  return reader.at_end();
+}
+
+bool decode_report(std::string_view payload, ReportPayload& out) {
+  store::ByteReader reader(payload);
+  std::uint8_t cached = 0;
+  if (!reader.read_u8(cached) || cached > 1) return false;
+  out.cached = cached != 0;
+  if (!read_string(reader, out.report, kMaxFramePayload)) return false;
+  if (!read_string(reader, out.log, kMaxFramePayload)) return false;
+  return reader.at_end();
+}
+
+bool decode_status(std::string_view payload, Status& out) {
+  store::ByteReader reader(payload);
+  std::uint8_t code = 0;
+  std::uint64_t line = 0;
+  std::string message;
+  if (!reader.read_u8(code) ||
+      code > static_cast<std::uint8_t>(ErrorCode::ConnectionLost) ||
+      !reader.read_varint(line) || !read_string(reader, message) ||
+      !reader.at_end()) {
+    return false;
+  }
+  if (static_cast<ErrorCode>(code) == ErrorCode::Ok) {
+    out = Status::ok();
+  } else {
+    out = Status::error(static_cast<ErrorCode>(code), std::move(message), line);
+  }
+  return true;
+}
+
+std::uint8_t negotiate_version(std::uint8_t client_min, std::uint8_t client_max,
+                               std::uint8_t server_min, std::uint8_t server_max) {
+  const std::uint8_t low = client_min > server_min ? client_min : server_min;
+  const std::uint8_t high = client_max < server_max ? client_max : server_max;
+  return low <= high ? high : 0;
+}
+
+// ---- blocking socket I/O ----------------------------------------------------
+
+namespace {
+
+/// send() the whole buffer; MSG_NOSIGNAL so a vanished peer surfaces as an
+/// error return, not SIGPIPE.
+[[nodiscard]] bool send_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t sent = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (sent == 0) return false;
+    data += sent;
+    size -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+enum class ReadExact : std::uint8_t { Ok, Eof, Error };
+
+[[nodiscard]] ReadExact recv_exact(int fd, char* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ReadExact::Error;
+    }
+    if (n == 0) return got == 0 ? ReadExact::Eof : ReadExact::Error;
+    got += static_cast<std::size_t>(n);
+  }
+  return ReadExact::Ok;
+}
+
+}  // namespace
+
+Status write_frame(int fd, FrameType type, std::string_view payload) {
+  const std::string bytes = encode_frame(type, payload);
+  if (!send_all(fd, bytes.data(), bytes.size())) {
+    return Status::error(ErrorCode::ConnectionLost, "peer closed while writing");
+  }
+  return Status::ok();
+}
+
+Status read_frame(int fd, std::uint64_t max_payload, std::string& buffer,
+                  Frame& frame) {
+  buffer.resize(kFrameHeaderSize);
+  switch (recv_exact(fd, buffer.data(), kFrameHeaderSize)) {
+    case ReadExact::Eof:
+      return Status::error(ErrorCode::ConnectionLost, "eof");
+    case ReadExact::Error:
+      return Status::error(ErrorCode::ConnectionLost, "truncated frame");
+    case ReadExact::Ok:
+      break;
+  }
+  Header header;
+  // The oversize check runs on the 16 header bytes alone — a hostile length
+  // prefix is rejected before a single payload byte is buffered.
+  const Status status = parse_header(buffer.data(), max_payload, header);
+  if (!status.is_ok()) return status;
+
+  buffer.resize(kFrameHeaderSize + header.length);
+  if (header.length > 0 &&
+      recv_exact(fd, buffer.data() + kFrameHeaderSize, header.length) !=
+          ReadExact::Ok) {
+    return Status::error(ErrorCode::ConnectionLost, "truncated frame");
+  }
+  const std::string_view payload =
+      std::string_view(buffer).substr(kFrameHeaderSize, header.length);
+  if (store::crc32(payload) != header.crc) {
+    return Status::error(ErrorCode::CrcMismatch,
+                         "frame payload failed its CRC-32 check");
+  }
+  frame.type = header.type;
+  frame.payload = payload;
+  return Status::ok();
+}
+
+}  // namespace ppd::svc

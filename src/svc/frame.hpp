@@ -1,0 +1,174 @@
+// ppd::svc wire framing — the byte protocol of the resident analysis
+// service, protocol version 1.
+//
+// Everything the daemon and its clients exchange travels in one frame
+// shape: a fixed 16-byte header followed by a CRC-32-guarded payload.
+// The header is deliberately minimal — magic (so a stray client speaking
+// the wrong protocol is detected on the first four bytes), protocol
+// version, frame type, a length prefix bounded by the negotiated cap, and
+// the payload CRC — and every multi-byte field is little-endian, matching
+// the .ppdt container. Payload grammars reuse the container's primitives
+// (LEB128 varints, length-prefixed strings, store::ByteReader), and error
+// payloads are the wire encoding of support::Status, so a remote failure
+// carries exactly the same stable error code the offline tool would print.
+//
+// The normative byte-level spec (the one third-party clients implement
+// from) is docs/PROTOCOL.md; this header is its in-tree mirror.
+//
+// Decoding is incremental and hostile-input safe: decode_frame() reports
+// NeedMore on a short buffer (never an error), and every malformed input
+// maps onto a precise ErrorCode — BadFrame, OversizedFrame, CrcMismatch,
+// UnsupportedVersion — that the server echoes back as a per-connection
+// diagnostic before hanging up. A corrupt frame can cost the client its
+// connection, never the daemon its life.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "store/format.hpp"
+#include "support/status.hpp"
+#include "trace/serialize.hpp"
+
+namespace ppd::svc {
+
+/// First protocol revision. Hello/HelloAck negotiate a version from the
+/// ranges both sides support; the frame header always carries the revision
+/// the sender speaks.
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// "PPDA" little-endian — Parallel Pattern Detection, Analysis service.
+inline constexpr std::uint32_t kFrameMagic = 0x41445050u;
+
+/// magic:u32 version:u8 type:u8 reserved:u16 length:u32 crc32:u32.
+inline constexpr std::size_t kFrameHeaderSize = 16;
+
+/// Absolute protocol ceiling on one frame's payload. Servers typically run
+/// with a much smaller per-request byte budget (ServerOptions); this bound
+/// exists so length prefixes can be sanity-checked before any allocation.
+inline constexpr std::uint64_t kMaxFramePayload = std::uint64_t{1} << 30;
+
+enum class FrameType : std::uint8_t {
+  Hello = 1,           ///< client → server: version range + client name
+  HelloAck = 2,        ///< server → client: chosen version + server name
+  AnalyzeRequest = 3,  ///< client → server: options + trace bytes
+  Progress = 4,        ///< server → client: request stage heartbeat
+  Report = 5,          ///< server → client: final report + log
+  Error = 6,           ///< server → client: wire-encoded support::Status
+  Ping = 7,            ///< client → server: liveness probe (empty payload)
+  Pong = 8,            ///< server → client: probe reply (empty payload)
+  Shutdown = 9,        ///< client → server: stop the daemon (echoed as ack)
+};
+
+[[nodiscard]] const char* to_string(FrameType type);
+
+/// One decoded frame: type plus a view of the payload (into the caller's
+/// buffer — copy it to outlive the buffer).
+struct Frame {
+  FrameType type = FrameType::Error;
+  std::string_view payload;
+};
+
+/// Renders header + payload, stamping length and CRC-32.
+[[nodiscard]] std::string encode_frame(FrameType type, std::string_view payload);
+
+enum class DecodeResult : std::uint8_t {
+  Ok,        ///< `frame` filled, `consumed` bytes eaten
+  NeedMore,  ///< prefix of a valid frame; feed more bytes
+  Error,     ///< malformed; see the Status
+};
+
+/// Incremental decode of the first frame in `bytes`. `max_payload` is the
+/// receiver's byte budget (requests larger than it are rejected with
+/// OversizedFrame *from the length prefix alone*, before buffering).
+/// On Ok, `frame.payload` points into `bytes` and `consumed` is the total
+/// frame size.
+[[nodiscard]] DecodeResult decode_frame(std::string_view bytes, std::uint64_t max_payload,
+                                        Frame& frame, std::size_t& consumed,
+                                        support::Status& status);
+
+// ---- payload grammars -------------------------------------------------------
+
+/// Hello: the version range the client speaks plus a display name.
+struct HelloPayload {
+  std::uint8_t min_version = kProtocolVersion;
+  std::uint8_t max_version = kProtocolVersion;
+  std::string client;
+};
+
+/// HelloAck: the version the server chose plus its display name.
+struct HelloAckPayload {
+  std::uint8_t version = kProtocolVersion;
+  std::string server;
+};
+
+/// AnalyzeRequest: replay options plus the trace bytes (either format).
+struct RequestPayload {
+  trace::ReplayMode mode = trace::ReplayMode::Strict;
+  bool no_cache = false;  ///< skip the report cache entirely
+  bool refresh = false;   ///< ignore a cached report but store the fresh one
+  std::uint64_t max_records = 0;  ///< 0: server default (subject to its cap)
+  std::string_view trace;         ///< view into the request frame payload
+};
+
+/// Progress: coarse request stage heartbeat (done/total are stage ordinals).
+struct ProgressPayload {
+  std::string stage;
+  std::uint64_t done = 0;
+  std::uint64_t total = 0;
+};
+
+/// Report: the final analysis output. `report` is byte-identical to the
+/// offline `ppd-analyze --trace` stdout for the same bytes and options.
+struct ReportPayload {
+  bool cached = false;
+  std::string report;
+  std::string log;
+};
+
+void encode_hello(std::string& out, const HelloPayload& hello);
+void encode_hello_ack(std::string& out, const HelloAckPayload& ack);
+void encode_request(std::string& out, const RequestPayload& request);
+void encode_progress(std::string& out, const ProgressPayload& progress);
+void encode_report(std::string& out, const ReportPayload& report);
+
+/// Wire encoding of a Status: code:u8, line:varint, message:string. The
+/// codes are the stable support::ErrorCode registry (docs/PROTOCOL.md §5).
+void encode_status(std::string& out, const support::Status& status);
+
+[[nodiscard]] bool decode_hello(std::string_view payload, HelloPayload& out);
+[[nodiscard]] bool decode_hello_ack(std::string_view payload, HelloAckPayload& out);
+/// `out.trace` views into `payload`; keep the frame buffer alive.
+[[nodiscard]] bool decode_request(std::string_view payload, RequestPayload& out);
+[[nodiscard]] bool decode_progress(std::string_view payload, ProgressPayload& out);
+[[nodiscard]] bool decode_report(std::string_view payload, ReportPayload& out);
+[[nodiscard]] bool decode_status(std::string_view payload, support::Status& out);
+
+/// Version negotiation: highest revision inside both [min, max] ranges, or
+/// 0 when the ranges are disjoint (the server then answers with an
+/// UnsupportedVersion error and closes).
+[[nodiscard]] std::uint8_t negotiate_version(std::uint8_t client_min,
+                                             std::uint8_t client_max,
+                                             std::uint8_t server_min,
+                                             std::uint8_t server_max);
+
+// ---- blocking socket I/O ----------------------------------------------------
+//
+// Both sides run one blocking reader per connection, so the socket layer
+// stays simple: read/write exactly, loop on EINTR, never raise SIGPIPE.
+
+/// Writes one frame to `fd`. ConnectionLost when the peer vanished.
+[[nodiscard]] support::Status write_frame(int fd, FrameType type,
+                                          std::string_view payload);
+
+/// Reads one frame from `fd` into `buffer` (reused across calls; the
+/// returned frame's payload views into it). Blocks until a full frame,
+/// a framing error, or EOF. EOF at a frame boundary yields ConnectionLost
+/// with message "eof"; EOF mid-frame yields ConnectionLost "truncated
+/// frame". Framing errors (BadFrame/OversizedFrame/CrcMismatch/
+/// UnsupportedVersion) leave the stream unusable — callers must close.
+[[nodiscard]] support::Status read_frame(int fd, std::uint64_t max_payload,
+                                         std::string& buffer, Frame& frame);
+
+}  // namespace ppd::svc

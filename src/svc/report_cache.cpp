@@ -1,0 +1,192 @@
+#include "svc/report_cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "store/batch.hpp"
+
+namespace ppd::svc {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// splitmix-style finalizer: the shard index must not correlate with the
+/// filename (the low hex digits of the key), or one shard would soak up
+/// whole key ranges.
+[[nodiscard]] std::uint64_t mix(std::uint64_t key) {
+  key ^= key >> 33;
+  key *= 0xFF51AFD7ED558CCDull;
+  key ^= key >> 33;
+  return key;
+}
+
+[[nodiscard]] std::string hex_key(std::uint64_t key) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(key));
+  return std::string(buffer);
+}
+
+}  // namespace
+
+ReportCache::ReportCache(Options options)
+    : options_(std::move(options)),
+      hits_(obs::Registry::instance().counter("svc.cache.hit")),
+      misses_(obs::Registry::instance().counter("svc.cache.miss")),
+      evictions_(obs::Registry::instance().counter("svc.cache.eviction")),
+      bytes_gauge_(obs::Registry::instance().gauge("svc.cache.bytes")),
+      entries_gauge_(obs::Registry::instance().gauge("svc.cache.entries")) {
+  if (options_.shards == 0) options_.shards = 1;
+  if (options_.shards > 256) options_.shards = 256;
+  shards_ = std::vector<Shard>(options_.shards);
+  shard_budget_ = options_.max_bytes / options_.shards;
+  if (shard_budget_ == 0) shard_budget_ = 1;
+  if (enabled()) adopt_existing_files();
+}
+
+ReportCache::Shard& ReportCache::shard_for(std::uint64_t key) {
+  return shards_[mix(key) % shards_.size()];
+}
+
+std::string ReportCache::entry_path(std::uint64_t key) const {
+  const std::size_t shard = mix(key) % shards_.size();
+  return options_.dir + "/s" + std::to_string(shard) + "/" + hex_key(key) +
+         ".ppdr";
+}
+
+void ReportCache::adopt_existing_files() {
+  std::error_code ec;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_entries = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::string subdir = "s";
+    subdir += std::to_string(i);
+    const fs::path dir = fs::path(options_.dir) / subdir;
+    fs::create_directories(dir, ec);
+    for (const auto& file : fs::directory_iterator(dir, ec)) {
+      const fs::path& path = file.path();
+      if (path.extension() != ".ppdr") continue;
+      const std::string stem = path.stem().string();
+      if (stem.size() != 16) continue;
+      char* end = nullptr;
+      const std::uint64_t key = std::strtoull(stem.c_str(), &end, 16);
+      if (end == nullptr || *end != '\0') continue;
+      std::error_code size_ec;
+      const std::uint64_t size = fs::file_size(path, size_ec);
+      if (size_ec) continue;
+      // A key that hashes to a different shard than the directory it sits
+      // in was planted by something else; leave it on disk, don't index it.
+      if (mix(key) % shards_.size() != i) continue;
+      Shard& shard = shards_[i];
+      shard.entries[key] =
+          Entry{size, clock_.fetch_add(1, std::memory_order_relaxed)};
+      shard.bytes += size;
+      total_bytes += size;
+      ++total_entries;
+    }
+  }
+  bytes_gauge_.set(static_cast<std::int64_t>(total_bytes));
+  entries_gauge_.set(static_cast<std::int64_t>(total_entries));
+  // Budgets apply to adopted state too: a restart with a smaller budget
+  // trims the directory immediately.
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    evict_over_budget(shard);
+  }
+}
+
+bool ReportCache::get(std::uint64_t key, std::string& out) {
+  if (!enabled()) return false;
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) {
+      misses_.add();
+      return false;
+    }
+    if (!store::slurp_file(entry_path(key), out)) {
+      // Evicted behind our back (operator rm, disk trouble): drop the index
+      // entry and report an honest miss.
+      const std::uint64_t size = it->second.size;
+      shard.bytes -= size;
+      shard.entries.erase(it);
+      bytes_gauge_.add(-static_cast<std::int64_t>(size));
+      entries_gauge_.add(-1);
+      misses_.add();
+      return false;
+    }
+    it->second.tick = clock_.fetch_add(1, std::memory_order_relaxed);
+  }
+  hits_.add();
+  return true;
+}
+
+void ReportCache::put(std::uint64_t key, std::string_view report) {
+  if (!enabled()) return;
+  Shard& shard = shard_for(key);
+  const std::string path = entry_path(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(report.data(), static_cast<std::streamsize>(report.size()));
+    if (!out.flush()) {
+      // Disk refused; leave the cache consistent by not indexing the stub.
+      std::error_code ec;
+      fs::remove(path, ec);
+      return;
+    }
+  }
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    shard.bytes -= it->second.size;
+    bytes_gauge_.add(-static_cast<std::int64_t>(it->second.size));
+    entries_gauge_.add(-1);
+  }
+  shard.entries[key] =
+      Entry{report.size(), clock_.fetch_add(1, std::memory_order_relaxed)};
+  shard.bytes += report.size();
+  bytes_gauge_.add(static_cast<std::int64_t>(report.size()));
+  entries_gauge_.add(1);
+  evict_over_budget(shard);
+}
+
+void ReportCache::evict_over_budget(Shard& shard) {
+  while (shard.bytes > shard_budget_ && !shard.entries.empty()) {
+    auto victim = shard.entries.begin();
+    for (auto it = shard.entries.begin(); it != shard.entries.end(); ++it) {
+      if (it->second.tick < victim->second.tick) victim = it;
+    }
+    std::error_code ec;
+    fs::remove(entry_path(victim->first), ec);
+    shard.bytes -= victim->second.size;
+    bytes_gauge_.add(-static_cast<std::int64_t>(victim->second.size));
+    entries_gauge_.add(-1);
+    evictions_.add();
+    shard.entries.erase(victim);
+  }
+}
+
+std::size_t ReportCache::entries() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+std::uint64_t ReportCache::bytes() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.bytes;
+  }
+  return total;
+}
+
+}  // namespace ppd::svc

@@ -1,0 +1,99 @@
+// Persistent sharded report cache for the resident analysis service.
+//
+// The batch driver's cache (PR 4) is a flat directory consulted once per
+// run; a daemon needs the long-lived version: bounded, concurrent, and
+// observable. Reports are keyed by the same content hash
+// (store::content_key over the trace bytes, salted with everything that
+// changes the report), stored one file per entry under `<dir>/s<shard>/`,
+// and evicted least-recently-used when a shard exceeds its byte budget.
+//
+// Sharding serves concurrency, not distribution: each shard has its own
+// mutex, index, and byte budget, so cache traffic from N connections
+// contends only when two requests hash to the same shard. The LRU clock is
+// a process-wide atomic tick — cheap, and total ordering across shards is
+// irrelevant because eviction is per shard.
+//
+// Persistence is the directory itself: on construction the cache rescans
+// its shard directories and adopts every `.ppdr` file (recency resets to
+// file order — an approximation that only costs eviction precision right
+// after a restart). Hit/miss/eviction counters and byte/entry gauges live
+// in the ppd::obs registry, so cache effectiveness is a first-class
+// metric of the running daemon.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace ppd::svc {
+
+class ReportCache {
+ public:
+  struct Options {
+    std::string dir;          ///< root directory; empty disables the cache
+    std::size_t shards = 8;   ///< clamped to [1, 256]
+    /// Total byte budget across shards (each shard gets an equal slice).
+    /// A single report larger than its shard's slice is stored and then
+    /// immediately becomes the next eviction victim.
+    std::uint64_t max_bytes = std::uint64_t{256} << 20;
+  };
+
+  explicit ReportCache(Options options);
+
+  ReportCache(const ReportCache&) = delete;
+  ReportCache& operator=(const ReportCache&) = delete;
+
+  /// False when constructed with an empty dir (get/put become no-ops).
+  [[nodiscard]] bool enabled() const { return !options_.dir.empty(); }
+
+  /// Loads the report stored under `key` into `out`. A file that vanished
+  /// or fails to read is treated (and counted) as a miss and dropped from
+  /// the index.
+  [[nodiscard]] bool get(std::uint64_t key, std::string& out);
+
+  /// Stores `report` under `key`, then evicts least-recently-used entries
+  /// until the shard is back under budget.
+  void put(std::uint64_t key, std::string_view report);
+
+  // Introspection (tests and the daemon's status line).
+  [[nodiscard]] std::size_t entries() const;
+  [[nodiscard]] std::uint64_t bytes() const;
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::uint64_t size = 0;
+    std::uint64_t tick = 0;  ///< last-use stamp from the global clock
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::uint64_t, Entry> entries;
+    std::uint64_t bytes = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t key);
+  [[nodiscard]] std::string entry_path(std::uint64_t key) const;
+  void adopt_existing_files();
+  /// Caller holds the shard mutex.
+  void evict_over_budget(Shard& shard);
+
+  Options options_;
+  std::uint64_t shard_budget_ = 0;
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> clock_{1};
+
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& evictions_;
+  obs::Gauge& bytes_gauge_;
+  obs::Gauge& entries_gauge_;
+};
+
+}  // namespace ppd::svc

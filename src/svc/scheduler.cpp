@@ -1,0 +1,69 @@
+#include "svc/scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ppd::svc {
+
+using support::ErrorCode;
+using support::Status;
+
+Scheduler::Scheduler(rt::ThreadPool& pool, Options options)
+    : pool_(pool),
+      options_(options),
+      admitted_(obs::Registry::instance().counter("svc.sched.admitted")),
+      rejected_(obs::Registry::instance().counter("svc.sched.rejected")),
+      completed_(obs::Registry::instance().counter("svc.sched.completed")),
+      inflight_gauge_(obs::Registry::instance().gauge("svc.sched.inflight")) {
+  if (options_.max_pending == 0) options_.max_pending = 1;
+}
+
+Scheduler::~Scheduler() { drain(); }
+
+Status Scheduler::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (in_flight_ >= options_.max_pending) {
+      rejected_.add();
+      return Status::error(
+          ErrorCode::Overloaded,
+          std::to_string(in_flight_) + " requests in flight (limit " +
+              std::to_string(options_.max_pending) + "); retry later");
+    }
+    ++in_flight_;
+    inflight_gauge_.add(1);
+  }
+  admitted_.add();
+
+  try {
+    pool_.submit([this, job = std::move(job)] {
+      job();
+      completed_.add();
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      inflight_gauge_.add(-1);
+      if (in_flight_ == 0) idle_cv_.notify_all();
+    });
+  } catch (const std::runtime_error& e) {
+    // Pool shut down between the admission check and the submit: roll the
+    // accounting back and surface the defined error.
+    std::lock_guard<std::mutex> lock(mutex_);
+    --in_flight_;
+    inflight_gauge_.add(-1);
+    if (in_flight_ == 0) idle_cv_.notify_all();
+    return Status::error(ErrorCode::PoolShutdown, e.what());
+  }
+  return Status::ok();
+}
+
+void Scheduler::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+std::size_t Scheduler::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+}  // namespace ppd::svc

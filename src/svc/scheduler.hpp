@@ -1,0 +1,70 @@
+// Admission-controlled request scheduler.
+//
+// The daemon multiplexes every connection's analysis requests onto one
+// rt::ThreadPool. Without admission control an overloaded service degrades
+// the worst way possible — every request gets slower together until all of
+// them time out. This scheduler bounds the number of admitted-but-
+// unfinished requests instead: past the bound, submit() returns an
+// immediate Overloaded status that the connection turns into an error
+// frame, so clients learn "busy, retry" in microseconds while the admitted
+// requests keep their latency. (Load shedding at the front door — the
+// standard resident-service discipline.)
+//
+// The bound covers queued *and* running work: a pool with P workers and a
+// bound of N admits at most N requests, of which min(N, P) execute while
+// the rest wait in the pool's FIFO.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+
+#include "obs/obs.hpp"
+#include "rt/thread_pool.hpp"
+#include "support/status.hpp"
+
+namespace ppd::svc {
+
+class Scheduler {
+ public:
+  struct Options {
+    /// Maximum admitted-but-unfinished jobs; further submissions are
+    /// rejected with Overloaded.
+    std::size_t max_pending = 16;
+  };
+
+  Scheduler(rt::ThreadPool& pool, Options options);
+  /// Drains: blocks until every admitted job has finished.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Admits `job` onto the pool, or rejects it without blocking:
+  /// Overloaded when the in-flight bound is reached, PoolShutdown when the
+  /// pool no longer accepts work. Jobs must not throw (exceptions are the
+  /// pool's raw-submit contract); completion is accounted either way.
+  [[nodiscard]] support::Status submit(std::function<void()> job);
+
+  /// Blocks until every admitted job has finished.
+  void drain();
+
+  [[nodiscard]] std::size_t in_flight() const;
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  rt::ThreadPool& pool_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+
+  obs::Counter& admitted_;
+  obs::Counter& rejected_;
+  obs::Counter& completed_;
+  obs::Gauge& inflight_gauge_;
+};
+
+}  // namespace ppd::svc

@@ -1,0 +1,430 @@
+#include "svc/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "store/batch.hpp"
+#include "svc/analysis.hpp"
+
+namespace ppd::svc {
+
+using support::ErrorCode;
+using support::Status;
+
+namespace {
+
+/// Tag folded into the cache salt; bump when the report format changes.
+constexpr const char kCacheTag[] = "ppd-analyzed v1";
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+Server::Server(Options options)
+    : options_(std::move(options)),
+      pool_(options_.jobs == 0 ? 1 : options_.jobs),
+      scheduler_(pool_, Scheduler::Options{options_.max_pending}),
+      cache_(options_.cache),
+      conns_accepted_(obs::Registry::instance().counter("svc.conn.accepted")),
+      conns_rejected_(obs::Registry::instance().counter("svc.conn.rejected")),
+      protocol_errors_(obs::Registry::instance().counter("svc.conn.protocol_errors")),
+      conns_active_(obs::Registry::instance().gauge("svc.conn.active")),
+      requests_received_(obs::Registry::instance().counter("svc.requests.received")),
+      requests_completed_(obs::Registry::instance().counter("svc.requests.completed")),
+      requests_failed_(obs::Registry::instance().counter("svc.requests.failed")),
+      requests_rejected_(obs::Registry::instance().counter("svc.requests.rejected")),
+      request_bytes_(obs::Registry::instance().histogram("svc.request.bytes")),
+      request_ns_(obs::Registry::instance().histogram("svc.request.ns")) {}
+
+Server::~Server() { stop(); }
+
+Status Server::start() {
+  if (running_.load()) {
+    return Status::error(ErrorCode::Internal, "server already started");
+  }
+  sockaddr_un addr{};
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::error(ErrorCode::IoError,
+                         "socket path empty or longer than " +
+                             std::to_string(sizeof(addr.sun_path) - 1) +
+                             " bytes: '" + options_.socket_path + "'");
+  }
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::error(ErrorCode::IoError,
+                         std::string("socket: ") + std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+  // A stale socket file from a dead daemon would make bind fail forever.
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    const Status status = Status::error(
+        ErrorCode::IoError, "bind/listen '" + options_.socket_path +
+                                "': " + std::strerror(errno));
+    close_fd(listen_fd_);
+    return status;
+  }
+  if (::pipe(wake_pipe_) < 0) {
+    close_fd(listen_fd_);
+    return Status::error(ErrorCode::IoError,
+                         std::string("pipe: ") + std::strerror(errno));
+  }
+  const int flags = ::fcntl(listen_fd_, F_GETFL, 0);
+  ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
+
+  stopping_.store(false);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return Status::ok();
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  // Wake the accept loop, then wake every connection reader. In-flight
+  // analyses finish on the pool before their reader threads exit.
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    (void)!::write(wake_pipe_[1], &byte, 1);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto& conn : connections_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  for (;;) {
+    std::unique_ptr<Connection> conn;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      if (connections_.empty()) break;
+      conn = std::move(connections_.front());
+      connections_.pop_front();
+    }
+    if (conn->thread.joinable()) conn->thread.join();
+    close_fd(conn->fd);
+  }
+  scheduler_.drain();
+  close_fd(listen_fd_);
+  close_fd(wake_pipe_[0]);
+  close_fd(wake_pipe_[1]);
+  ::unlink(options_.socket_path.c_str());
+  // Unblock anyone parked in wait_for_shutdown().
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  shutdown_cv_.notify_all();
+}
+
+bool Server::running() const { return running_.load(); }
+
+bool Server::wait_for_shutdown(unsigned poll_ms) {
+  std::unique_lock<std::mutex> lock(shutdown_mutex_);
+  shutdown_cv_.wait_for(lock, std::chrono::milliseconds(poll_ms));
+  return shutdown_requested_ || !running_.load();
+}
+
+void Server::reap_finished_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->finished.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      close_fd((*it)->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0 || stopping_.load()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    for (;;) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        break;
+      }
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      reap_finished_locked();
+      if (active_connections_.load() >= options_.max_connections) {
+        // Connection-level load shedding, same contract as request
+        // admission: an immediate, explicit rejection.
+        std::string payload;
+        encode_status(payload,
+                      Status::error(ErrorCode::Overloaded,
+                                    "connection limit reached; retry later"));
+        (void)write_frame(fd, FrameType::Error, payload);
+        ::close(fd);
+        conns_rejected_.add();
+        continue;
+      }
+      auto conn = std::make_unique<Connection>();
+      conn->id = next_conn_id_++;
+      conn->fd = fd;
+      conns_accepted_.add();
+      conns_active_.add(1);
+      active_connections_.fetch_add(1);
+      Connection* raw = conn.get();
+      conn->thread = std::thread([this, raw] {
+        run_connection(*raw);
+        // Signal EOF to the peer right away; the close itself waits for the
+        // reap (or stop()) so the fd cannot be double-closed or reused
+        // while a pool worker still holds a reference to this connection.
+        ::shutdown(raw->fd, SHUT_RDWR);
+        conns_active_.add(-1);
+        active_connections_.fetch_sub(1);
+        raw->finished.store(true);
+      });
+      connections_.push_back(std::move(conn));
+    }
+  }
+}
+
+void Server::log_conn(const Connection& conn, const std::string& what) {
+  if (!options_.log_connections) return;
+  std::fprintf(stderr, "%s: conn %llu: %s\n", options_.name.c_str(),
+               static_cast<unsigned long long>(conn.id), what.c_str());
+}
+
+void Server::send(Connection& conn, FrameType type, std::string_view payload) {
+  std::lock_guard<std::mutex> lock(conn.write_mutex);
+  if (conn.dead) return;
+  if (!write_frame(conn.fd, type, payload).is_ok()) conn.dead = true;
+}
+
+void Server::send_error(Connection& conn, const Status& status) {
+  std::string payload;
+  encode_status(payload, status);
+  send(conn, FrameType::Error, payload);
+}
+
+void Server::run_connection(Connection& conn) {
+  std::string buffer;
+  Frame frame;
+
+  // Handshake: exactly one Hello, answered with HelloAck (or a refusal).
+  Status status = read_frame(conn.fd, options_.max_request_bytes, buffer, frame);
+  if (!status.is_ok()) {
+    if (status.code() == ErrorCode::ConnectionLost && status.message() == "eof") {
+      log_conn(conn, "disconnected before hello");  // port scan, not a fault
+      return;
+    }
+    protocol_errors_.add();
+    log_conn(conn, "handshake failed: " + status.to_string());
+    send_error(conn, status);
+    return;
+  }
+  HelloPayload hello;
+  if (frame.type != FrameType::Hello || !decode_hello(frame.payload, hello)) {
+    protocol_errors_.add();
+    const Status bad = Status::error(ErrorCode::BadFrame, "expected a valid hello");
+    log_conn(conn, bad.to_string());
+    send_error(conn, bad);
+    return;
+  }
+  const std::uint8_t version = negotiate_version(
+      hello.min_version, hello.max_version, kProtocolVersion, kProtocolVersion);
+  if (version == 0) {
+    protocol_errors_.add();
+    const Status bad = Status::error(
+        ErrorCode::UnsupportedVersion,
+        "client speaks " + std::to_string(hello.min_version) + ".." +
+            std::to_string(hello.max_version) + ", server speaks " +
+            std::to_string(kProtocolVersion));
+    log_conn(conn, bad.to_string());
+    send_error(conn, bad);
+    return;
+  }
+  {
+    std::string payload;
+    encode_hello_ack(payload, HelloAckPayload{version, options_.name});
+    send(conn, FrameType::HelloAck, payload);
+  }
+  log_conn(conn, "hello from '" + hello.client + "' (v" + std::to_string(version) + ")");
+
+  while (!stopping_.load()) {
+    status = read_frame(conn.fd, options_.max_request_bytes, buffer, frame);
+    if (!status.is_ok()) {
+      if (status.code() == ErrorCode::ConnectionLost) {
+        log_conn(conn, status.message() == "eof" ? "disconnected"
+                                                 : "lost: " + status.to_string());
+      } else {
+        // Framing violation: answer with the diagnostic, then hang up —
+        // the byte stream can no longer be trusted.
+        protocol_errors_.add();
+        log_conn(conn, status.to_string());
+        send_error(conn, status);
+      }
+      return;
+    }
+    switch (frame.type) {
+      case FrameType::Ping:
+        send(conn, FrameType::Pong, {});
+        break;
+      case FrameType::Shutdown: {
+        log_conn(conn, "shutdown requested");
+        send(conn, FrameType::Shutdown, {});
+        std::lock_guard<std::mutex> lock(shutdown_mutex_);
+        shutdown_requested_ = true;
+        shutdown_cv_.notify_all();
+        return;
+      }
+      case FrameType::AnalyzeRequest:
+        if (!handle_request(conn, frame.payload)) return;
+        break;
+      default: {
+        protocol_errors_.add();
+        const Status bad =
+            Status::error(ErrorCode::BadFrame,
+                          std::string("unexpected frame type ") +
+                              svc::to_string(frame.type));
+        log_conn(conn, bad.to_string());
+        send_error(conn, bad);
+        return;
+      }
+    }
+  }
+}
+
+bool Server::handle_request(Connection& conn, std::string_view payload) {
+  requests_received_.add();
+  RequestPayload request;
+  if (!decode_request(payload, request)) {
+    protocol_errors_.add();
+    const Status bad =
+        Status::error(ErrorCode::BadFrame, "malformed analyze-request payload");
+    log_conn(conn, bad.to_string());
+    send_error(conn, bad);
+    return false;
+  }
+  request_bytes_.record(request.trace.size());
+
+  AnalysisOptions options;
+  options.mode = request.mode;
+  options.max_records = request.max_records == 0
+                            ? options_.max_records
+                            : std::min(request.max_records, options_.max_records);
+  options.jobs = 1;  // parallelism is across requests
+
+  const bool use_cache = cache_.enabled() && !request.no_cache;
+  const std::uint64_t key =
+      store::content_key(request.trace, analysis_salt(options, kCacheTag));
+  if (use_cache && !request.refresh) {
+    std::string cached;
+    if (cache_.get(key, cached)) {
+      log_conn(conn, "request served from cache");
+      {
+        std::string progress;
+        encode_progress(progress, ProgressPayload{"cache", 1, 1});
+        send(conn, FrameType::Progress, progress);
+      }
+      std::string report;
+      encode_report(report, ReportPayload{true, std::move(cached), {}});
+      send(conn, FrameType::Report, report);
+      requests_completed_.add();
+      return true;
+    }
+  }
+
+  // The frame buffer is reused for the next read; the admitted job owns a
+  // copy of the trace bytes.
+  struct Pending {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    AnalysisOutput output;
+  };
+  Pending pending;
+  std::string trace_copy(request.trace);
+  // "queued" precedes admission so progress frames arrive in stage order;
+  // a rejected request therefore streams queued → error, which the
+  // protocol permits (PROTOCOL.md §4).
+  {
+    std::string progress;
+    encode_progress(progress, ProgressPayload{"queued", 1, 3});
+    send(conn, FrameType::Progress, progress);
+  }
+  const Status admitted = scheduler_.submit([this, &conn, &pending, options,
+                                             trace_copy = std::move(trace_copy)] {
+    {
+      std::string progress;
+      encode_progress(progress, ProgressPayload{"running", 2, 3});
+      send(conn, FrameType::Progress, progress);
+    }
+    const std::uint64_t begin = obs::now_ns();
+    AnalysisOutput output;
+    {
+      PPD_OBS_SPAN("svc.request");
+      output = analyze_trace_bytes("request", trace_copy, options);
+    }
+    request_ns_.record(obs::now_ns() - begin);
+    std::lock_guard<std::mutex> lock(pending.mutex);
+    pending.output = std::move(output);
+    pending.done = true;
+    pending.cv.notify_all();
+  });
+  if (!admitted.is_ok()) {
+    // Overload (or a stopping pool) is an immediate, explicit rejection —
+    // the connection survives; the client may retry.
+    requests_rejected_.add();
+    log_conn(conn, "rejected: " + admitted.to_string());
+    send_error(conn, admitted);
+    return true;
+  }
+
+  AnalysisOutput output;
+  {
+    std::unique_lock<std::mutex> lock(pending.mutex);
+    pending.cv.wait(lock, [&pending] { return pending.done; });
+    output = std::move(pending.output);
+  }
+
+  if (!output.status.is_ok()) {
+    requests_failed_.add();
+    log_conn(conn, "request failed: " + output.status.to_string());
+    send_error(conn, output.status);
+    return true;
+  }
+  if (use_cache && output.clean) cache_.put(key, output.report);
+  {
+    std::string progress;
+    encode_progress(progress, ProgressPayload{"analyzed", 3, 3});
+    send(conn, FrameType::Progress, progress);
+  }
+  std::string report;
+  encode_report(report,
+                ReportPayload{false, std::move(output.report), std::move(output.log)});
+  send(conn, FrameType::Report, report);
+  requests_completed_.add();
+  log_conn(conn, "request completed");
+  return true;
+}
+
+}  // namespace ppd::svc

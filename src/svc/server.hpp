@@ -1,0 +1,146 @@
+// The resident analysis service: ppd-analyzed's engine.
+//
+// A Server listens on a Unix-domain stream socket and speaks the framed
+// protocol of svc/frame.hpp. Each accepted connection gets a reader
+// thread; analysis requests are admitted through the Scheduler onto one
+// shared rt::ThreadPool, so concurrency is across requests (each request
+// analyzes serially, like the batch driver) and overload turns into an
+// immediate Overloaded error frame instead of collective latency collapse.
+// Clean reports are cached in the persistent sharded ReportCache keyed by
+// the PR 4 content hash salted with the analysis options.
+//
+// Containment contract (proven by the `wirefault` ctest suite): any
+// malformed, truncated, CRC-corrupt, oversized, or mid-request-vanishing
+// client costs at most its own connection — the fault surfaces as a
+// wire-encoded Status diagnostic on that connection (best effort) and a
+// per-connection stderr log line, while every other connection's requests
+// complete with byte-identical reports to the offline tool. Nothing a
+// client sends can crash, wedge, or OOM the daemon: frame lengths are
+// bounded before allocation, request bytes are bounded by admission
+// budgets, replay is the PR 1 hardened path, and detector exceptions are
+// caught into AnalysisFailed statuses.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "rt/thread_pool.hpp"
+#include "svc/frame.hpp"
+#include "svc/report_cache.hpp"
+#include "svc/scheduler.hpp"
+#include "trace/serialize.hpp"
+
+namespace ppd::svc {
+
+class Server {
+ public:
+  struct Options {
+    std::string socket_path;
+    /// Server display name sent in HelloAck.
+    std::string name = "ppd-analyzed";
+    /// Thread-pool workers executing analyses.
+    std::size_t jobs = 2;
+    /// Admission bound: admitted-but-unfinished analysis requests.
+    std::size_t max_pending = 16;
+    /// Connection bound: further connects are greeted with Overloaded.
+    std::size_t max_connections = 64;
+    /// Per-request byte budget — the frame-payload cap. A hostile length
+    /// prefix above it is rejected from the 16 header bytes alone.
+    std::uint64_t max_request_bytes = std::uint64_t{64} << 20;
+    /// Server-side ceiling on the per-request record budget; client
+    /// requests may lower it, never raise it.
+    std::uint64_t max_records = trace::ReplayLimits{}.max_records;
+    /// Report cache configuration; an empty dir disables caching.
+    ReportCache::Options cache;
+    /// Per-connection diagnostics on stderr (the daemon's log).
+    bool log_connections = false;
+  };
+
+  explicit Server(Options options);
+  ~Server();  ///< stop()s if still running.
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket (unlinking a stale one), starts the accept loop.
+  [[nodiscard]] support::Status start();
+
+  /// Stops accepting, wakes and joins every connection (in-flight requests
+  /// finish first), drains the scheduler. Idempotent.
+  void stop();
+
+  /// True while start() succeeded and stop() has not run.
+  [[nodiscard]] bool running() const;
+
+  /// Waits up to `poll_ms` for a client Shutdown frame (or stop()).
+  /// Returns true once shutdown was requested — the caller then stop()s.
+  [[nodiscard]] bool wait_for_shutdown(unsigned poll_ms);
+
+  [[nodiscard]] const Options& options() const { return options_; }
+  [[nodiscard]] ReportCache& cache() { return cache_; }
+
+ private:
+  struct Connection {
+    std::uint64_t id = 0;
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> finished{false};
+    /// Writes come from the reader thread and, mid-request, from the pool
+    /// worker streaming progress; the mutex serializes them and `dead`
+    /// latches the first failed write so a vanished client is not written
+    /// to again.
+    std::mutex write_mutex;
+    bool dead = false;
+  };
+
+  void accept_loop();
+  void run_connection(Connection& conn);
+  /// Handles one AnalyzeRequest. Returns false when the connection must
+  /// close (protocol violation), true to keep serving it.
+  bool handle_request(Connection& conn, std::string_view payload);
+  /// Serialized, dead-latching frame write.
+  void send(Connection& conn, FrameType type, std::string_view payload);
+  void send_error(Connection& conn, const support::Status& status);
+  void log_conn(const Connection& conn, const std::string& what);
+  void reap_finished_locked();
+
+  Options options_;
+  rt::ThreadPool pool_;
+  Scheduler scheduler_;
+  ReportCache cache_;
+  std::uint64_t cache_salt_ = 0;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conn_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+  std::uint64_t next_conn_id_ = 1;
+  std::atomic<std::size_t> active_connections_{0};
+
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+
+  obs::Counter& conns_accepted_;
+  obs::Counter& conns_rejected_;
+  obs::Counter& protocol_errors_;
+  obs::Gauge& conns_active_;
+  obs::Counter& requests_received_;
+  obs::Counter& requests_completed_;
+  obs::Counter& requests_failed_;
+  obs::Counter& requests_rejected_;
+  obs::Histogram& request_bytes_;
+  obs::Histogram& request_ns_;
+};
+
+}  // namespace ppd::svc

@@ -1,0 +1,78 @@
+# Help/README drift check, driven by the documented_flags.txt manifest:
+#   1. every manifest flag appears in that tool's live --help output,
+#   2. every manifest flag marked `both` also appears in README.md,
+#   3. every --flag token the live --help output mentions has a manifest
+#      line — so a new flag cannot ship undocumented.
+#
+# Driven by ctest:
+#   cmake -DPPD_ANALYZE=<exe> -DPPD_ANALYZED=<exe>
+#         -DMANIFEST=<documented_flags.txt> -DREADME=<README.md> -P <this file>
+foreach(var PPD_ANALYZE PPD_ANALYZED MANIFEST README)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_help_manifest.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+function(capture_help exe out_var)
+  execute_process(
+    COMMAND ${exe} --help
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "${exe} --help: expected exit 0, got ${code}\nstderr:\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+capture_help(${PPD_ANALYZE} help_ppd-analyze)
+capture_help(${PPD_ANALYZED} help_ppd-analyzed)
+file(READ ${README} readme)
+file(STRINGS ${MANIFEST} manifest_lines)
+
+# Pass 1: manifest -> --help (and README for `both` entries).
+set(known_ppd-analyze "")
+set(known_ppd-analyzed "")
+foreach(line IN LISTS manifest_lines)
+  if(line MATCHES "^#" OR line STREQUAL "")
+    continue()
+  endif()
+  if(NOT line MATCHES "^(ppd-analyze|ppd-analyzed) (--[a-z0-9-]+) (both|help)$")
+    message(FATAL_ERROR "malformed manifest line: '${line}'")
+  endif()
+  set(tool ${CMAKE_MATCH_1})
+  set(flag ${CMAKE_MATCH_2})
+  set(where ${CMAKE_MATCH_3})
+  list(APPEND known_${tool} ${flag})
+  string(FIND "${help_${tool}}" "${flag}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR
+      "manifest flag ${flag} is not in `${tool} --help` — remove the manifest "
+      "line or document the flag in the usage text")
+  endif()
+  if(where STREQUAL "both")
+    string(FIND "${readme}" "${flag}" at)
+    if(at EQUAL -1)
+      message(FATAL_ERROR
+        "manifest flag ${flag} (${tool}) is marked `both` but README.md never "
+        "mentions it — document it or demote the manifest entry to `help`")
+    endif()
+  endif()
+endforeach()
+
+# Pass 2: --help -> manifest. A flag in the usage text that the manifest
+# does not know is exactly the drift this test exists to catch.
+foreach(tool ppd-analyze ppd-analyzed)
+  string(REGEX MATCHALL "--[a-z0-9-]+" tokens "${help_${tool}}")
+  list(REMOVE_DUPLICATES tokens)
+  foreach(flag IN LISTS tokens)
+    list(FIND known_${tool} ${flag} at)
+    if(at EQUAL -1)
+      message(FATAL_ERROR
+        "`${tool} --help` mentions ${flag} but tests/cli/documented_flags.txt "
+        "has no entry for it — add one (and README coverage if user-facing)")
+    endif()
+  endforeach()
+endforeach()
+
+message(STATUS "help manifest: ok")

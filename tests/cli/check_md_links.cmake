@@ -1,0 +1,35 @@
+# Markdown link check: every relative link target in the given documents
+# must exist on disk, so the repo map and the cross-references between
+# README.md, DESIGN.md, and docs/PROTOCOL.md cannot silently rot.
+# External (http/https/mailto) links and pure #anchors are skipped.
+#
+# Driven by ctest:
+#   cmake -DROOT=<repo root> "-DFILES=README.md;DESIGN.md;..." -P <this file>
+if(NOT DEFINED ROOT OR NOT DEFINED FILES)
+  message(FATAL_ERROR "usage: cmake -DROOT=<dir> -DFILES=<list> -P check_md_links.cmake")
+endif()
+
+set(checked 0)
+foreach(doc IN LISTS FILES)
+  set(path ${ROOT}/${doc})
+  if(NOT EXISTS ${path})
+    message(FATAL_ERROR "document to check does not exist: ${path}")
+  endif()
+  file(READ ${path} text)
+  string(REGEX MATCHALL "\\[[^]]*\\]\\(([^)]+)\\)" links "${text}")
+  foreach(link IN LISTS links)
+    string(REGEX REPLACE "^\\[[^]]*\\]\\(([^)]+)\\)$" "\\1" target "${link}")
+    if(target MATCHES "^(https?|mailto):" OR target MATCHES "^#")
+      continue()
+    endif()
+    # Drop a trailing #section anchor; only the file's existence is checked.
+    string(REGEX REPLACE "#.*$" "" target "${target}")
+    get_filename_component(dir ${path} DIRECTORY)
+    if(NOT EXISTS ${dir}/${target})
+      message(FATAL_ERROR "${doc}: broken relative link '${target}' (${link})")
+    endif()
+    math(EXPR checked "${checked} + 1")
+  endforeach()
+endforeach()
+
+message(STATUS "markdown links: ${checked} relative links resolve")

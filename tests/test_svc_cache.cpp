@@ -1,0 +1,184 @@
+// ReportCache suite: the daemon's persistent sharded LRU report store.
+//
+// Properties proven here: a stored report comes back byte-identical, the
+// directory IS the persistence (a second instance over the same dir serves
+// the first instance's entries), budgets evict least-recently-used
+// (get() refreshes recency), a restart under a smaller budget trims
+// immediately, a vanished file degrades to an honest counted miss, and
+// the obs hit/miss/eviction counters account for every one of those
+// events — they are the daemon's cache-effectiveness metric, so they are
+// validated in-test, not assumed.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "obs/obs.hpp"
+#include "svc/report_cache.hpp"
+
+namespace ppd::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Unique scratch directory, removed on scope exit.
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/ppd_svc_cache_XXXXXX";
+    path = mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+/// Snapshot of the cache's obs instruments, for delta assertions (the
+/// registry is process-global and cumulative across tests).
+struct CacheCounters {
+  std::uint64_t hits = obs::Registry::instance().counter("svc.cache.hit").value();
+  std::uint64_t misses =
+      obs::Registry::instance().counter("svc.cache.miss").value();
+  std::uint64_t evictions =
+      obs::Registry::instance().counter("svc.cache.eviction").value();
+};
+
+TEST(SvcCache, RoundTripsAndCountsHitsAndMisses) {
+  TempDir dir;
+  ReportCache cache({dir.path, 4, 1 << 20});
+  ASSERT_TRUE(cache.enabled());
+
+  const CacheCounters before;
+  std::string out;
+  EXPECT_FALSE(cache.get(0x1111, out));
+  cache.put(0x1111, "report one");
+  ASSERT_TRUE(cache.get(0x1111, out));
+  EXPECT_EQ(out, "report one");
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), 10u);
+
+#if !defined(PPD_OBS_DISABLED)
+  const CacheCounters after;
+  EXPECT_EQ(after.misses - before.misses, 1u);
+  EXPECT_EQ(after.hits - before.hits, 1u);
+  EXPECT_EQ(after.evictions - before.evictions, 0u);
+#endif
+}
+
+TEST(SvcCache, PersistsAcrossInstances) {
+  TempDir dir;
+  {
+    ReportCache cache({dir.path, 8, 1 << 20});
+    cache.put(0xAAAA, "persistent report");
+    cache.put(0xBBBB, "another");
+  }
+  ReportCache reopened({dir.path, 8, 1 << 20});
+  EXPECT_EQ(reopened.entries(), 2u);
+  std::string out;
+  ASSERT_TRUE(reopened.get(0xAAAA, out));
+  EXPECT_EQ(out, "persistent report");
+  ASSERT_TRUE(reopened.get(0xBBBB, out));
+  EXPECT_EQ(out, "another");
+}
+
+TEST(SvcCache, EvictsLeastRecentlyUsedWithinBudget) {
+  TempDir dir;
+  // One shard so the whole budget is one LRU domain and eviction order is
+  // deterministic. Budget fits two 40-byte reports, not three.
+  ReportCache cache({dir.path, 1, 100});
+  const std::string report(40, 'r');
+
+  const CacheCounters before;
+  cache.put(1, report);
+  cache.put(2, report);
+  // Touch key 1 so key 2 becomes the LRU victim.
+  std::string out;
+  ASSERT_TRUE(cache.get(1, out));
+  cache.put(3, report);
+
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_TRUE(cache.get(1, out));
+  EXPECT_TRUE(cache.get(3, out));
+  EXPECT_FALSE(cache.get(2, out));  // evicted
+#if !defined(PPD_OBS_DISABLED)
+  const CacheCounters after;
+  EXPECT_EQ(after.evictions - before.evictions, 1u);
+#endif
+}
+
+TEST(SvcCache, RestartUnderASmallerBudgetTrimsImmediately) {
+  TempDir dir;
+  {
+    ReportCache cache({dir.path, 1, 1 << 20});
+    for (std::uint64_t key = 1; key <= 8; ++key) {
+      cache.put(key, std::string(100, 'x'));
+    }
+    EXPECT_EQ(cache.entries(), 8u);
+  }
+  ReportCache trimmed({dir.path, 1, 250});
+  EXPECT_LE(trimmed.bytes(), 250u);
+  EXPECT_EQ(trimmed.entries(), 2u);
+}
+
+TEST(SvcCache, DisabledCacheIsANoOp) {
+  ReportCache cache({"", 8, 1 << 20});
+  EXPECT_FALSE(cache.enabled());
+  cache.put(1, "report");
+  std::string out;
+  EXPECT_FALSE(cache.get(1, out));
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(SvcCache, VanishedFileIsAnHonestMiss) {
+  TempDir dir;
+  ReportCache cache({dir.path, 1, 1 << 20});
+  cache.put(0xDEAD, "ephemeral");
+  ASSERT_EQ(cache.entries(), 1u);
+
+  // Delete the entry file behind the cache's back (an operator cleaning
+  // the directory of a running daemon must not wedge it).
+  for (const auto& entry : fs::recursive_directory_iterator(dir.path)) {
+    if (entry.path().extension() == ".ppdr") fs::remove(entry.path());
+  }
+
+  const CacheCounters before;
+  std::string out;
+  EXPECT_FALSE(cache.get(0xDEAD, out));
+  EXPECT_EQ(cache.entries(), 0u);  // dropped from the index
+#if !defined(PPD_OBS_DISABLED)
+  const CacheCounters after;
+  EXPECT_EQ(after.misses - before.misses, 1u);
+#endif
+}
+
+TEST(SvcCache, AdoptionIgnoresForeignFiles) {
+  TempDir dir;
+  { ReportCache cache({dir.path, 1, 1 << 20}); }  // creates s0/
+  // Plant files the cache did not write: wrong extension, wrong stem shape.
+  std::ofstream(dir.path + "/s0/readme.txt") << "not a report";
+  std::ofstream(dir.path + "/s0/abc.ppdr") << "short stem";
+  std::ofstream(dir.path + "/s0/zzzzzzzzzzzzzzzz.ppdr") << "not hex";
+
+  ReportCache cache({dir.path, 1, 1 << 20});
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(SvcCache, OverwriteReplacesBytesAndAccounting) {
+  TempDir dir;
+  ReportCache cache({dir.path, 2, 1 << 20});
+  cache.put(7, "first");
+  cache.put(7, "second version");
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), 14u);
+  std::string out;
+  ASSERT_TRUE(cache.get(7, out));
+  EXPECT_EQ(out, "second version");
+}
+
+}  // namespace
+}  // namespace ppd::svc

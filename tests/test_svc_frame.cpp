@@ -1,0 +1,349 @@
+// Wire-framing suite: the codec underneath the resident analysis service.
+//
+// The framing layer is the daemon's outermost trust boundary, so the
+// properties proven here are adversarial, not just happy-path: every
+// prefix of a valid frame decodes as NeedMore (never an error, never a
+// short read misparse), every single-byte payload corruption is caught by
+// the CRC, every malformed header field maps onto its precise ErrorCode,
+// and an oversized length prefix is rejected from the 16 header bytes
+// alone. The payload grammars and the Status wire codec get the same
+// treatment: roundtrip for every value, rejection for every truncation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+#include "svc/frame.hpp"
+
+namespace ppd::svc {
+namespace {
+
+using support::ErrorCode;
+using support::Status;
+
+const std::vector<FrameType> kAllTypes = {
+    FrameType::Hello,   FrameType::HelloAck, FrameType::AnalyzeRequest,
+    FrameType::Progress, FrameType::Report,  FrameType::Error,
+    FrameType::Ping,    FrameType::Pong,     FrameType::Shutdown,
+};
+
+TEST(SvcFrame, RoundTripsEveryTypeAndPayloadSize) {
+  for (const FrameType type : kAllTypes) {
+    for (const std::size_t size : {std::size_t{0}, std::size_t{1},
+                                   std::size_t{7}, std::size_t{4096}}) {
+      const std::string payload(size, static_cast<char>('a' + size % 26));
+      const std::string bytes = encode_frame(type, payload);
+      ASSERT_EQ(bytes.size(), kFrameHeaderSize + size);
+
+      Frame frame;
+      std::size_t consumed = 0;
+      Status status;
+      ASSERT_EQ(decode_frame(bytes, kMaxFramePayload, frame, consumed, status),
+                DecodeResult::Ok);
+      EXPECT_TRUE(status.is_ok());
+      EXPECT_EQ(frame.type, type);
+      EXPECT_EQ(frame.payload, payload);
+      EXPECT_EQ(consumed, bytes.size());
+    }
+  }
+}
+
+TEST(SvcFrame, DecodeLeavesTrailingBytesForTheNextFrame) {
+  const std::string first = encode_frame(FrameType::Ping, {});
+  const std::string second = encode_frame(FrameType::Progress, "tail");
+  const std::string stream = first + second;
+
+  Frame frame;
+  std::size_t consumed = 0;
+  Status status;
+  ASSERT_EQ(decode_frame(stream, kMaxFramePayload, frame, consumed, status),
+            DecodeResult::Ok);
+  EXPECT_EQ(frame.type, FrameType::Ping);
+  EXPECT_EQ(consumed, first.size());
+
+  const std::string_view rest = std::string_view(stream).substr(consumed);
+  ASSERT_EQ(decode_frame(rest, kMaxFramePayload, frame, consumed, status),
+            DecodeResult::Ok);
+  EXPECT_EQ(frame.type, FrameType::Progress);
+  EXPECT_EQ(frame.payload, "tail");
+}
+
+TEST(SvcFrame, EveryPrefixOfAValidFrameIsNeedMore) {
+  const std::string bytes = encode_frame(FrameType::Report, "payload bytes");
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    Frame frame;
+    std::size_t consumed = 0;
+    Status status;
+    EXPECT_EQ(decode_frame(std::string_view(bytes).substr(0, cut),
+                           kMaxFramePayload, frame, consumed, status),
+              DecodeResult::NeedMore)
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+TEST(SvcFrame, BadMagicIsRejectedFromFourBytes) {
+  std::string bytes = encode_frame(FrameType::Ping, {});
+  bytes[0] = 'X';
+  for (const std::size_t cut : {std::size_t{4}, bytes.size()}) {
+    Frame frame;
+    std::size_t consumed = 0;
+    Status status;
+    EXPECT_EQ(decode_frame(std::string_view(bytes).substr(0, cut),
+                           kMaxFramePayload, frame, consumed, status),
+              DecodeResult::Error);
+    EXPECT_EQ(status.code(), ErrorCode::BadFrame);
+  }
+}
+
+TEST(SvcFrame, WrongVersionIsRejectedFromFiveBytes) {
+  std::string bytes = encode_frame(FrameType::Ping, {});
+  bytes[4] = static_cast<char>(kProtocolVersion + 1);
+  for (const std::size_t cut : {std::size_t{5}, bytes.size()}) {
+    Frame frame;
+    std::size_t consumed = 0;
+    Status status;
+    EXPECT_EQ(decode_frame(std::string_view(bytes).substr(0, cut),
+                           kMaxFramePayload, frame, consumed, status),
+              DecodeResult::Error);
+    EXPECT_EQ(status.code(), ErrorCode::UnsupportedVersion);
+  }
+}
+
+TEST(SvcFrame, UnknownTypeAndReservedBytesAreBadFrames) {
+  for (const std::uint8_t bad_type : {std::uint8_t{0}, std::uint8_t{10},
+                                      std::uint8_t{255}}) {
+    std::string bytes = encode_frame(FrameType::Ping, {});
+    bytes[5] = static_cast<char>(bad_type);
+    Frame frame;
+    std::size_t consumed = 0;
+    Status status;
+    EXPECT_EQ(decode_frame(bytes, kMaxFramePayload, frame, consumed, status),
+              DecodeResult::Error);
+    EXPECT_EQ(status.code(), ErrorCode::BadFrame);
+  }
+  for (const std::size_t reserved_byte : {std::size_t{6}, std::size_t{7}}) {
+    std::string bytes = encode_frame(FrameType::Ping, {});
+    bytes[reserved_byte] = 1;
+    Frame frame;
+    std::size_t consumed = 0;
+    Status status;
+    EXPECT_EQ(decode_frame(bytes, kMaxFramePayload, frame, consumed, status),
+              DecodeResult::Error);
+    EXPECT_EQ(status.code(), ErrorCode::BadFrame);
+  }
+}
+
+TEST(SvcFrame, OversizedLengthPrefixIsRejectedFromTheHeaderAlone) {
+  // A hostile length prefix with no payload behind it: the 16 header bytes
+  // must be enough to reject, otherwise the decoder would report NeedMore
+  // and string the receiver along buffering garbage.
+  std::string header = encode_frame(FrameType::AnalyzeRequest, {});
+  const std::uint32_t huge = 0xFFFFFFFFu;
+  header[8] = static_cast<char>(huge & 0xFF);
+  header[9] = static_cast<char>((huge >> 8) & 0xFF);
+  header[10] = static_cast<char>((huge >> 16) & 0xFF);
+  header[11] = static_cast<char>((huge >> 24) & 0xFF);
+
+  Frame frame;
+  std::size_t consumed = 0;
+  Status status;
+  EXPECT_EQ(decode_frame(header, kMaxFramePayload, frame, consumed, status),
+            DecodeResult::Error);
+  EXPECT_EQ(status.code(), ErrorCode::OversizedFrame);
+}
+
+TEST(SvcFrame, ReceiverBudgetTightensTheOversizeBound) {
+  // A frame over the receiver's budget but far under the absolute protocol
+  // cap is still rejected — the budget is per receiver, not global.
+  const std::string payload(1024, 'x');
+  const std::string bytes = encode_frame(FrameType::AnalyzeRequest, payload);
+  Frame frame;
+  std::size_t consumed = 0;
+  Status status;
+  EXPECT_EQ(decode_frame(bytes, 512, frame, consumed, status),
+            DecodeResult::Error);
+  EXPECT_EQ(status.code(), ErrorCode::OversizedFrame);
+  EXPECT_EQ(decode_frame(bytes, 1024, frame, consumed, status),
+            DecodeResult::Ok);
+}
+
+TEST(SvcFrame, EverySingleByteCorruptionOfThePayloadFailsTheCrc) {
+  const std::string bytes = encode_frame(FrameType::Report, "corruptible");
+  for (std::size_t i = kFrameHeaderSize; i < bytes.size(); ++i) {
+    for (const std::uint8_t mask : {std::uint8_t{0x01}, std::uint8_t{0x80}}) {
+      std::string mutant = bytes;
+      mutant[i] = static_cast<char>(mutant[i] ^ mask);
+      Frame frame;
+      std::size_t consumed = 0;
+      Status status;
+      EXPECT_EQ(decode_frame(mutant, kMaxFramePayload, frame, consumed, status),
+                DecodeResult::Error)
+          << "payload byte " << i << " mask " << int(mask);
+      EXPECT_EQ(status.code(), ErrorCode::CrcMismatch);
+    }
+  }
+}
+
+TEST(SvcFrame, CrcFieldCorruptionIsCaught) {
+  std::string bytes = encode_frame(FrameType::Report, "guarded");
+  bytes[12] = static_cast<char>(bytes[12] ^ 0x40);
+  Frame frame;
+  std::size_t consumed = 0;
+  Status status;
+  EXPECT_EQ(decode_frame(bytes, kMaxFramePayload, frame, consumed, status),
+            DecodeResult::Error);
+  EXPECT_EQ(status.code(), ErrorCode::CrcMismatch);
+}
+
+// ---- payload grammars -------------------------------------------------------
+
+TEST(SvcPayloads, HelloRoundTrip) {
+  std::string payload;
+  encode_hello(payload, HelloPayload{1, 3, "test-client"});
+  HelloPayload out;
+  ASSERT_TRUE(decode_hello(payload, out));
+  EXPECT_EQ(out.min_version, 1);
+  EXPECT_EQ(out.max_version, 3);
+  EXPECT_EQ(out.client, "test-client");
+
+  // Truncations and trailing junk are rejected.
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    HelloPayload ignored;
+    EXPECT_FALSE(decode_hello(payload.substr(0, cut), ignored)) << cut;
+  }
+  HelloPayload ignored;
+  EXPECT_FALSE(decode_hello(payload + "x", ignored));
+  // min > max and min == 0 are grammar violations.
+  std::string inverted;
+  encode_hello(inverted, HelloPayload{3, 1, "c"});
+  EXPECT_FALSE(decode_hello(inverted, ignored));
+  std::string zero;
+  encode_hello(zero, HelloPayload{0, 1, "c"});
+  EXPECT_FALSE(decode_hello(zero, ignored));
+}
+
+TEST(SvcPayloads, HelloAckRoundTrip) {
+  std::string payload;
+  encode_hello_ack(payload, HelloAckPayload{1, "ppd-analyzed"});
+  HelloAckPayload out;
+  ASSERT_TRUE(decode_hello_ack(payload, out));
+  EXPECT_EQ(out.version, 1);
+  EXPECT_EQ(out.server, "ppd-analyzed");
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    HelloAckPayload ignored;
+    EXPECT_FALSE(decode_hello_ack(payload.substr(0, cut), ignored)) << cut;
+  }
+}
+
+TEST(SvcPayloads, RequestRoundTripAllFlagCombinations) {
+  const std::string trace = "ppd-trace 1\nsome bytes";
+  for (int lenient = 0; lenient <= 1; ++lenient) {
+    for (int no_cache = 0; no_cache <= 1; ++no_cache) {
+      for (int refresh = 0; refresh <= 1; ++refresh) {
+        RequestPayload request;
+        request.mode = lenient != 0 ? trace::ReplayMode::Lenient
+                                    : trace::ReplayMode::Strict;
+        request.no_cache = no_cache != 0;
+        request.refresh = refresh != 0;
+        request.max_records = 12345;
+        request.trace = trace;
+        std::string payload;
+        encode_request(payload, request);
+        RequestPayload out;
+        ASSERT_TRUE(decode_request(payload, out));
+        EXPECT_EQ(out.mode, request.mode);
+        EXPECT_EQ(out.no_cache, request.no_cache);
+        EXPECT_EQ(out.refresh, request.refresh);
+        EXPECT_EQ(out.max_records, 12345u);
+        EXPECT_EQ(out.trace, trace);
+      }
+    }
+  }
+}
+
+TEST(SvcPayloads, RequestRejectsUnknownFlagsAndLyingLengths) {
+  RequestPayload request;
+  request.trace = "bytes";
+  std::string payload;
+  encode_request(payload, request);
+
+  // Undefined flag bits must be rejected, not ignored — they are the
+  // protocol's forward-compatibility escape hatch.
+  std::string bad_flags = payload;
+  bad_flags[0] = static_cast<char>(0x08);
+  RequestPayload out;
+  EXPECT_FALSE(decode_request(bad_flags, out));
+
+  // A trace length prefix beyond the payload is a lie, not a NeedMore.
+  std::string bad_length = payload;
+  bad_length.pop_back();
+  EXPECT_FALSE(decode_request(bad_length, out));
+  EXPECT_FALSE(decode_request(payload + "junk", out));
+  EXPECT_FALSE(decode_request(std::string_view{}, out));
+}
+
+TEST(SvcPayloads, ProgressAndReportRoundTrip) {
+  std::string payload;
+  encode_progress(payload, ProgressPayload{"running", 2, 3});
+  ProgressPayload progress;
+  ASSERT_TRUE(decode_progress(payload, progress));
+  EXPECT_EQ(progress.stage, "running");
+  EXPECT_EQ(progress.done, 2u);
+  EXPECT_EQ(progress.total, 3u);
+
+  ReportPayload report_in;
+  report_in.cached = true;
+  report_in.report = std::string(100000, 'r');
+  report_in.log = "replayed 10 records\n";
+  payload.clear();
+  encode_report(payload, report_in);
+  ReportPayload report_out;
+  ASSERT_TRUE(decode_report(payload, report_out));
+  EXPECT_TRUE(report_out.cached);
+  EXPECT_EQ(report_out.report, report_in.report);
+  EXPECT_EQ(report_out.log, report_in.log);
+
+  // cached is a strict boolean on the wire.
+  payload[0] = 2;
+  EXPECT_FALSE(decode_report(payload, report_out));
+}
+
+TEST(SvcPayloads, StatusCodecCoversTheWholeRegistry) {
+  for (std::uint8_t code = 0;
+       code <= static_cast<std::uint8_t>(ErrorCode::ConnectionLost); ++code) {
+    const Status in =
+        code == 0 ? Status::ok()
+                  : Status::error(static_cast<ErrorCode>(code), "why", 42);
+    std::string payload;
+    encode_status(payload, in);
+    Status out;
+    ASSERT_TRUE(decode_status(payload, out)) << int(code);
+    EXPECT_EQ(out.code(), in.code());
+    if (code != 0) {
+      EXPECT_EQ(out.message(), "why");
+      EXPECT_EQ(out.line(), 42u);
+    }
+  }
+  // A code beyond the registry is a framing violation: a newer peer must
+  // fail loudly, not alias onto a random known code.
+  std::string payload;
+  encode_status(payload, Status::error(ErrorCode::ConnectionLost, "m", 1));
+  payload[0] = static_cast<char>(
+      static_cast<std::uint8_t>(ErrorCode::ConnectionLost) + 1);
+  Status out;
+  EXPECT_FALSE(decode_status(payload, out));
+}
+
+TEST(SvcNegotiation, PicksTheHighestCommonVersion) {
+  EXPECT_EQ(negotiate_version(1, 1, 1, 1), 1);
+  EXPECT_EQ(negotiate_version(1, 3, 2, 5), 3);
+  EXPECT_EQ(negotiate_version(2, 5, 1, 3), 3);
+  EXPECT_EQ(negotiate_version(1, 2, 3, 4), 0);  // disjoint
+  EXPECT_EQ(negotiate_version(3, 4, 1, 2), 0);  // disjoint, other side
+}
+
+}  // namespace
+}  // namespace ppd::svc

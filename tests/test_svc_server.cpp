@@ -1,0 +1,419 @@
+// Resident-service suite: scheduler admission control and the daemon
+// end to end over a real Unix socket.
+//
+// The acceptance bar of the service PR is proven here: a remote analysis
+// returns a report byte-identical to the one svc::analyze_trace_bytes
+// produces offline for the same bytes and options; a repeat request is
+// served from the report cache byte-identically, with the obs hit/miss
+// counters moving exactly as the cache story claims; admission control
+// rejects with an immediate Overloaded instead of queueing without bound;
+// and N concurrent clients (the soak — run it under TSan) each get their
+// own isolated, correct answers.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bs/benchmark.hpp"
+#include "obs/obs.hpp"
+#include "rt/thread_pool.hpp"
+#include "store/writer.hpp"
+#include "svc/analysis.hpp"
+#include "svc/client.hpp"
+#include "svc/scheduler.hpp"
+#include "svc/server.hpp"
+#include "trace/context.hpp"
+#include "trace/serialize.hpp"
+
+namespace ppd::svc {
+namespace {
+
+using support::ErrorCode;
+using support::Status;
+
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/ppd_svc_srv_XXXXXX";
+    path = mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+/// Serializes one bundled benchmark into .ppdt bytes (the daemon accepts
+/// either container; binary exercises the chunked path).
+std::string make_trace(const char* benchmark_name) {
+  std::ostringstream out;
+  trace::TraceContext ctx;
+  store::BinaryTraceWriter writer(ctx, out);
+  ctx.add_sink(&writer);
+  const bs::Benchmark* benchmark = bs::find_benchmark(benchmark_name);
+  EXPECT_NE(benchmark, nullptr) << benchmark_name;
+  benchmark->run_traced(ctx);
+  ctx.finish();
+  return out.str();
+}
+
+/// The offline ground truth the daemon must reproduce byte for byte.
+std::string offline_report(const std::string& trace_bytes) {
+  AnalysisOptions options;
+  options.jobs = 1;
+  const AnalysisOutput output =
+      analyze_trace_bytes("request", trace_bytes, options);
+  EXPECT_TRUE(output.status.is_ok());
+  return output.report;
+}
+
+// ---- scheduler --------------------------------------------------------------
+
+TEST(SvcScheduler, RejectsBeyondTheAdmissionBound) {
+  rt::ThreadPool pool(2);
+  Scheduler scheduler(pool, {2});
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> finished{0};
+  const auto blocking_job = [&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return release; });
+    finished.fetch_add(1);
+  };
+
+  ASSERT_TRUE(scheduler.submit(blocking_job).is_ok());
+  ASSERT_TRUE(scheduler.submit(blocking_job).is_ok());
+  // Both slots admitted: the third submission is shed immediately.
+  const Status rejected = scheduler.submit([] {});
+  ASSERT_FALSE(rejected.is_ok());
+  EXPECT_EQ(rejected.code(), ErrorCode::Overloaded);
+  EXPECT_EQ(scheduler.in_flight(), 2u);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.drain();
+  EXPECT_EQ(finished.load(), 2);
+  EXPECT_EQ(scheduler.in_flight(), 0u);
+
+  // Capacity is reusable after completion.
+  EXPECT_TRUE(scheduler.submit([] {}).is_ok());
+  scheduler.drain();
+}
+
+TEST(SvcScheduler, DrainWaitsForQueuedWork) {
+  rt::ThreadPool pool(1);
+  Scheduler scheduler(pool, {8});
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(scheduler.submit([&done] { done.fetch_add(1); }).is_ok());
+  }
+  scheduler.drain();
+  EXPECT_EQ(done.load(), 8);
+}
+
+// ---- server end to end ------------------------------------------------------
+
+TEST(SvcServer, StartsStopsAndAnswersPing) {
+  TempDir dir;
+  Server::Options options;
+  options.socket_path = dir.path + "/d.sock";
+  options.cache.dir.clear();
+  Server server(options);
+  ASSERT_TRUE(server.start().is_ok());
+  EXPECT_TRUE(server.running());
+
+  Client client;
+  ASSERT_TRUE(client.connect(options.socket_path, "test").is_ok());
+  EXPECT_EQ(client.version(), kProtocolVersion);
+  EXPECT_EQ(client.server_name(), "ppd-analyzed");
+  EXPECT_TRUE(client.ping().is_ok());
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  // The socket file is gone; reconnecting fails cleanly.
+  Client late;
+  EXPECT_FALSE(late.connect(options.socket_path, "late").is_ok());
+}
+
+TEST(SvcServer, RemoteReportIsByteIdenticalToOffline) {
+  TempDir dir;
+  const std::string trace = make_trace("gesummv");
+  const std::string expected = offline_report(trace);
+
+  Server::Options options;
+  options.socket_path = dir.path + "/d.sock";
+  options.cache.dir = dir.path + "/cache";
+  Server server(options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client client;
+  ASSERT_TRUE(client.connect(options.socket_path, "test").is_ok());
+  std::vector<std::string> stages;
+  const Client::Result result = client.analyze(
+      trace, {}, [&stages](const ProgressPayload& p) { stages.push_back(p.stage); });
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_EQ(result.report, expected);
+  EXPECT_FALSE(result.cached);
+  EXPECT_FALSE(result.log.empty());
+  ASSERT_EQ(stages.size(), 3u);
+  EXPECT_EQ(stages[0], "queued");
+  EXPECT_EQ(stages[1], "running");
+  EXPECT_EQ(stages[2], "analyzed");
+  server.stop();
+}
+
+TEST(SvcServer, SecondRequestHitsTheCacheByteIdentically) {
+  TempDir dir;
+  const std::string trace = make_trace("bicg");
+  const std::string expected = offline_report(trace);
+
+  Server::Options options;
+  options.socket_path = dir.path + "/d.sock";
+  options.cache.dir = dir.path + "/cache";
+  Server server(options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  const std::uint64_t hits_before =
+      obs::Registry::instance().counter("svc.cache.hit").value();
+  const std::uint64_t misses_before =
+      obs::Registry::instance().counter("svc.cache.miss").value();
+
+  Client client;
+  ASSERT_TRUE(client.connect(options.socket_path, "test").is_ok());
+  const Client::Result first = client.analyze(trace, {});
+  ASSERT_TRUE(first.status.is_ok());
+  EXPECT_FALSE(first.cached);
+
+  const Client::Result second = client.analyze(trace, {});
+  ASSERT_TRUE(second.status.is_ok());
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(second.report, first.report);
+  EXPECT_EQ(second.report, expected);
+
+#if !defined(PPD_OBS_DISABLED)
+  EXPECT_EQ(obs::Registry::instance().counter("svc.cache.hit").value() -
+                hits_before,
+            1u);
+  EXPECT_EQ(obs::Registry::instance().counter("svc.cache.miss").value() -
+                misses_before,
+            1u);
+#endif
+
+  // --refresh ignores the stored report but re-stores the fresh one.
+  Client::RequestOptions refresh;
+  refresh.refresh = true;
+  const Client::Result third = client.analyze(trace, refresh);
+  ASSERT_TRUE(third.status.is_ok());
+  EXPECT_FALSE(third.cached);
+  EXPECT_EQ(third.report, expected);
+
+  // --no-cache bypasses the cache in both directions.
+  Client::RequestOptions no_cache;
+  no_cache.no_cache = true;
+  const Client::Result fourth = client.analyze(trace, no_cache);
+  ASSERT_TRUE(fourth.status.is_ok());
+  EXPECT_FALSE(fourth.cached);
+  EXPECT_EQ(fourth.report, expected);
+  server.stop();
+}
+
+TEST(SvcServer, CacheSurvivesARestart) {
+  TempDir dir;
+  const std::string trace = make_trace("mvt");
+  Server::Options options;
+  options.socket_path = dir.path + "/d.sock";
+  options.cache.dir = dir.path + "/cache";
+
+  std::string first_report;
+  {
+    Server server(options);
+    ASSERT_TRUE(server.start().is_ok());
+    Client client;
+    ASSERT_TRUE(client.connect(options.socket_path, "test").is_ok());
+    const Client::Result result = client.analyze(trace, {});
+    ASSERT_TRUE(result.status.is_ok());
+    first_report = result.report;
+    server.stop();
+  }
+  {
+    Server server(options);
+    ASSERT_TRUE(server.start().is_ok());
+    Client client;
+    ASSERT_TRUE(client.connect(options.socket_path, "test").is_ok());
+    const Client::Result result = client.analyze(trace, {});
+    ASSERT_TRUE(result.status.is_ok());
+    EXPECT_TRUE(result.cached);  // served from the adopted directory
+    EXPECT_EQ(result.report, first_report);
+    server.stop();
+  }
+}
+
+TEST(SvcServer, DifferentOptionsMissTheCache) {
+  TempDir dir;
+  const std::string trace = make_trace("gesummv");
+  Server::Options options;
+  options.socket_path = dir.path + "/d.sock";
+  options.cache.dir = dir.path + "/cache";
+  Server server(options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client client;
+  ASSERT_TRUE(client.connect(options.socket_path, "test").is_ok());
+  ASSERT_TRUE(client.analyze(trace, {}).status.is_ok());
+
+  // Same bytes, different replay options: a different cache key.
+  Client::RequestOptions lenient;
+  lenient.mode = trace::ReplayMode::Lenient;
+  const Client::Result result = client.analyze(trace, lenient);
+  ASSERT_TRUE(result.status.is_ok());
+  EXPECT_FALSE(result.cached);
+  server.stop();
+}
+
+TEST(SvcServer, ConnectionLimitGreetsWithOverloaded) {
+  TempDir dir;
+  Server::Options options;
+  options.socket_path = dir.path + "/d.sock";
+  options.cache.dir.clear();
+  options.max_connections = 1;
+  Server server(options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client first;
+  ASSERT_TRUE(first.connect(options.socket_path, "one").is_ok());
+  Client second;
+  const Status refused = second.connect(options.socket_path, "two");
+  ASSERT_FALSE(refused.is_ok());
+  EXPECT_EQ(refused.code(), ErrorCode::Overloaded);
+
+  // The slot frees when the first client leaves.
+  first.close();
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    if (second.connect(options.socket_path, "two").is_ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(second.connected());
+  server.stop();
+}
+
+TEST(SvcServer, MalformedRequestGetsAnErrorNotACrash) {
+  TempDir dir;
+  Server::Options options;
+  options.socket_path = dir.path + "/d.sock";
+  options.cache.dir.clear();
+  Server server(options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  // A structurally valid trace container is not required — garbage trace
+  // bytes must come back as a precise ingestion Status, not a hangup.
+  Client client;
+  ASSERT_TRUE(client.connect(options.socket_path, "test").is_ok());
+  const Client::Result result = client.analyze("this is not a trace", {});
+  ASSERT_FALSE(result.status.is_ok());
+  EXPECT_EQ(result.status.code(), ErrorCode::BadHeader);
+
+  // The connection survived the failed request.
+  EXPECT_TRUE(client.connected());
+  EXPECT_TRUE(client.ping().is_ok());
+  server.stop();
+}
+
+TEST(SvcServer, ShutdownFrameStopsTheDaemon) {
+  TempDir dir;
+  Server::Options options;
+  options.socket_path = dir.path + "/d.sock";
+  options.cache.dir.clear();
+  Server server(options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client client;
+  ASSERT_TRUE(client.connect(options.socket_path, "test").is_ok());
+  ASSERT_TRUE(client.shutdown_server().is_ok());
+  EXPECT_TRUE(server.wait_for_shutdown(1000));
+  server.stop();
+}
+
+// The TSan soak: concurrent clients with distinct and shared traces, cache
+// hits and misses interleaving, every client validating its own answers.
+TEST(SvcServer, ConcurrentClientSoakKeepsPerClientIsolation) {
+  TempDir dir;
+  const std::vector<const char*> benchmarks = {"gesummv", "bicg", "mvt"};
+  std::vector<std::string> traces;
+  std::vector<std::string> expected;
+  for (const char* name : benchmarks) {
+    traces.push_back(make_trace(name));
+    expected.push_back(offline_report(traces.back()));
+  }
+
+  Server::Options options;
+  options.socket_path = dir.path + "/d.sock";
+  options.cache.dir = dir.path + "/cache";
+  options.jobs = 4;
+  options.max_pending = 64;
+  Server server(options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  const std::uint64_t hits_before =
+      obs::Registry::instance().counter("svc.cache.hit").value();
+  const std::uint64_t misses_before =
+      obs::Registry::instance().counter("svc.cache.miss").value();
+
+  constexpr int kClients = 6;
+  constexpr int kIterations = 4;
+  std::atomic<int> failures{0};
+  std::atomic<std::uint64_t> cache_requests{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client;
+      if (!client.connect(options.socket_path, "soak").is_ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kIterations; ++i) {
+        const std::size_t which =
+            static_cast<std::size_t>(c + i) % traces.size();
+        const Client::Result result = client.analyze(traces[which], {});
+        cache_requests.fetch_add(1);
+        if (!result.status.is_ok() || result.report != expected[which]) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+#if !defined(PPD_OBS_DISABLED)
+  // Counter correctness under concurrency: every cache-consulting request
+  // is exactly one hit or one miss, nothing lost, nothing double-counted.
+  const std::uint64_t hits =
+      obs::Registry::instance().counter("svc.cache.hit").value() - hits_before;
+  const std::uint64_t misses =
+      obs::Registry::instance().counter("svc.cache.miss").value() -
+      misses_before;
+  EXPECT_EQ(hits + misses, cache_requests.load());
+  // Each distinct trace misses at least once; everything else must hit.
+  EXPECT_GE(misses, traces.size());
+  EXPECT_GE(hits, cache_requests.load() - misses);
+#endif
+  server.stop();
+}
+
+}  // namespace
+}  // namespace ppd::svc

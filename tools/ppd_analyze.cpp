@@ -22,13 +22,20 @@
 //                                            files/directories concurrently; a
 //                                            content-hash keyed cache skips
 //                                            traces that did not change
+//   ppd-analyze remote --socket PATH (--trace F | --ping | --shutdown)
+//               [--strict|--lenient] [--max-records N] [--no-cache] [--refresh]
+//                                            submit the trace to a running
+//                                            ppd-analyzed daemon (docs/PROTOCOL.md);
+//                                            the report is byte-identical to the
+//                                            offline --trace run
 //   ppd-analyze --help | --version           exit 0
 //
 // Observability (any mode): --profile=FILE.json writes a Chrome trace-event
 // profile of the run (open in Perfetto or chrome://tracing; one track per
 // worker thread); --metrics=FILE writes a flat key=value metrics dump
 // (aggregated across a whole --batch run); --progress emits a heartbeat to
-// stderr during --batch (traces done/total, cache hits, ETA).
+// stderr during --batch (traces done/total, cache hits, ETA) and during
+// remote --trace (the daemon's streamed stage frames).
 //
 // Output discipline: the report goes to stdout; everything else — progress,
 // diagnostics, errors — goes to stderr, so reports stay pipeable. A --batch
@@ -41,8 +48,9 @@
 // scopes at EOF, and completes a degraded analysis, reporting what was
 // dropped in the diagnostics section.
 //
-// Exit codes: 0 success (including --help/--version); 1 I/O error; 2 usage;
-// 3 malformed trace; 4 analysis failure.
+// Exit codes: 0 success (including --help/--version); 1 I/O or connection
+// error; 2 usage; 3 malformed trace; 4 analysis failure; 5 server
+// overloaded (remote admission control rejected the request — retry).
 //
 // The report covers: the PET with hotspots, the detected patterns (primary
 // first), multi-loop pipeline coefficients with the Table II reading,
@@ -51,13 +59,11 @@
 // and the derived transformation hints.
 #include <algorithm>
 #include <chrono>
-#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
-#include <sstream>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -71,15 +77,15 @@
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "report/markdown.hpp"
-#include "rt/thread_pool.hpp"
 #include "store/batch.hpp"
 #include "store/format.hpp"
 #include "store/reader.hpp"
 #include "store/writer.hpp"
 #include "support/mapped_file.hpp"
 #include "support/status.hpp"
+#include "svc/analysis.hpp"
+#include "svc/client.hpp"
 #include "trace/serialize.hpp"
-#include "trace/validator.hpp"
 
 namespace {
 
@@ -90,8 +96,9 @@ constexpr int kExitIo = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitBadTrace = 3;
 constexpr int kExitAnalysis = 4;
+constexpr int kExitBusy = 5;
 
-constexpr const char kVersion[] = "0.6.0";
+constexpr const char kVersion[] = "0.7.0";
 
 constexpr const char kUsageText[] =
     "usage: ppd-analyze --list\n"
@@ -102,17 +109,45 @@ constexpr const char kUsageText[] =
     "       ppd-analyze convert IN OUT [--chunk-bytes N] [--lenient]\n"
     "       ppd-analyze --batch PATH... [--jobs N] [--cache DIR | --no-cache]\n"
     "                   [--refresh] [--strict|--lenient] [--max-records N]\n"
+    "       ppd-analyze remote --socket PATH (--trace FILE | --ping | --shutdown)\n"
+    "                   [--strict|--lenient] [--max-records N] [--no-cache]\n"
+    "                   [--refresh]\n"
     "       ppd-analyze --help | --version\n"
     "observability (any mode):\n"
     "       --profile=FILE.json  write a Chrome trace-event profile of the run\n"
     "       --metrics=FILE       write a flat key=value metrics dump\n"
-    "       --progress           heartbeat to stderr during --batch\n"
-    "exit codes: 0 ok, 1 i/o error, 2 usage, 3 malformed trace,\n"
-    "            4 analysis failure\n";
+    "       --progress           heartbeat to stderr (--batch, remote --trace)\n"
+    "exit codes: 0 ok, 1 i/o or connection error, 2 usage, 3 malformed trace,\n"
+    "            4 analysis failure, 5 server overloaded\n";
 
 int usage() {
   std::fputs(kUsageText, stderr);
   return kExitUsage;
+}
+
+/// Exit code for a Status, shared by the offline and the remote paths:
+/// transport/protocol trouble is an I/O error, admission-control rejection
+/// is its own retryable class, detector failures keep exit 4, and every
+/// ingestion code stays exit 3.
+int exit_code_for_status(const support::Status& status) {
+  using support::ErrorCode;
+  if (status.is_ok()) return kExitOk;
+  switch (status.code()) {
+    case ErrorCode::AnalysisFailed:
+      return kExitAnalysis;
+    case ErrorCode::Overloaded:
+      return kExitBusy;
+    case ErrorCode::IoError:
+    case ErrorCode::ConnectionLost:
+    case ErrorCode::BadFrame:
+    case ErrorCode::CrcMismatch:
+    case ErrorCode::OversizedFrame:
+    case ErrorCode::UnsupportedVersion:
+    case ErrorCode::PoolShutdown:
+      return kExitIo;
+    default:
+      return kExitBadTrace;
+  }
 }
 
 /// Cross-cutting observability flags, stripped from argv before the mode
@@ -120,144 +155,10 @@ int usage() {
 struct ObsOptions {
   std::string profile_path;  ///< Chrome trace-event JSON destination
   std::string metrics_path;  ///< key=value metrics dump destination
-  bool progress = false;     ///< batch heartbeat on stderr
+  bool progress = false;     ///< batch / remote heartbeat on stderr
 };
 
 ObsOptions g_obs;
-
-#if defined(__GNUC__)
-__attribute__((format(printf, 2, 3)))
-#endif
-void appendf(std::string& out, const char* fmt, ...) {
-  va_list args;
-  va_start(args, fmt);
-  va_list sized;
-  va_copy(sized, args);
-  const int needed = std::vsnprintf(nullptr, 0, fmt, sized);
-  va_end(sized);
-  if (needed > 0) {
-    std::vector<char> buffer(static_cast<std::size_t>(needed) + 1);
-    std::vsnprintf(buffer.data(), buffer.size(), fmt, args);
-    out.append(buffer.data(), static_cast<std::size_t>(needed));
-  }
-  va_end(args);
-}
-
-std::string render_report(const core::AnalysisResult& result,
-                          const trace::TraceContext& ctx) {
-  std::string out;
-  appendf(out, "== Program execution tree (hotspots >= 2%%) ==\n");
-  for (pet::NodeIndex node : result.pet.hotspots(0.02)) {
-    const pet::PetNode& n = result.pet.node(node);
-    appendf(out, "  %-24s %6.2f%%  (%s%s)\n", n.name.c_str(),
-            result.pet.cost_fraction(node) * 100.0, n.is_loop() ? "loop" : "function",
-            n.recursive ? ", recursive" : "");
-  }
-
-  appendf(out, "\nPrimary pattern: %s\n", result.primary_description.c_str());
-  appendf(out, "Supporting structure: %s\n\n",
-          core::supporting_structure(result.primary));
-
-  const auto pipelines = result.reported_pipelines();
-  if (!pipelines.empty()) {
-    appendf(out, "== Multi-loop pipelines ==\n");
-    for (const core::MultiLoopPipeline* p : pipelines) {
-      appendf(out, "  %s -> %s: a=%.2f b=%.2f e=%.2f%s\n",
-              ctx.region(p->loop_x).name.c_str(), ctx.region(p->loop_y).name.c_str(),
-              p->fit.a, p->fit.b, p->e, p->fusion ? " [fusion]" : "");
-      appendf(out, "    %s\n",
-              core::describe_coefficients(p->fit.a, p->fit.b, 0.05).c_str());
-    }
-    appendf(out, "\n");
-  }
-
-  if (!result.reductions.empty()) {
-    appendf(out, "== Reduction candidates (Algorithm 3) ==\n");
-    for (const core::ReductionCandidate& r : result.reductions) {
-      appendf(out, "  loop '%s': variable '%s' at line %u, operator %s\n",
-              ctx.region(r.loop).name.c_str(), ctx.var_info(r.var).name.c_str(), r.line,
-              trace::to_string(r.op));
-    }
-    appendf(out, "\n");
-  }
-
-  const core::ScopeTaskParallelism* tasks = result.primary_tasks();
-  if (tasks == nullptr) {
-    for (const core::ScopeTaskParallelism& t : result.tasks) {
-      if (t.tp.worker_count() >= 2 &&
-          (tasks == nullptr || t.tp.estimated_speedup > tasks->tp.estimated_speedup)) {
-        tasks = &t;
-      }
-    }
-  }
-  if (tasks != nullptr && tasks->tp.worker_count() >= 1) {
-    appendf(out, "== Task classification in '%s' ==\n",
-            ctx.region(tasks->tp.scope).name.c_str());
-    out += tasks->tp.render(tasks->graph);
-    appendf(out, "\n");
-  }
-
-  const auto ranked = core::rank_patterns(result, ctx);
-  if (!ranked.empty()) {
-    appendf(out, "== Ranked patterns (best first) ==\n");
-    for (const core::RankedPattern& r : ranked) {
-      appendf(out, "  %-60s  benefit %.2fx  effort %-6s score %.3f\n",
-              r.description.c_str(), r.expected_benefit, core::to_string(r.effort),
-              r.score);
-    }
-    appendf(out, "\n");
-  }
-
-  const auto hints = core::derive_hints(result, ctx);
-  if (!hints.empty()) {
-    appendf(out, "== Transformation hints ==\n");
-    for (const core::TransformationHint& h : hints) {
-      appendf(out, "  [%s] %s\n", core::to_string(h.kind), h.text.c_str());
-    }
-  }
-  return out;
-}
-
-/// Ingestion statistics shared by the text and the binary replay paths.
-struct IngestStats {
-  std::uint64_t records = 0;
-  std::uint64_t dropped = 0;
-  std::uint64_t repaired_scopes = 0;
-  std::uint64_t skipped_chunks = 0;
-  bool binary = false;
-};
-
-std::string render_diagnostics(const IngestStats& stats,
-                               const support::DiagSink& diags,
-                               const trace::Validator& validator,
-                               trace::ReplayMode mode) {
-  std::string out;
-  appendf(out, "== Diagnostics ==\n");
-  appendf(out, "  mode: %s\n",
-          mode == trace::ReplayMode::Strict ? "strict" : "lenient");
-  appendf(out, "  records replayed: %llu, dropped: %llu, repaired scopes: %llu\n",
-          static_cast<unsigned long long>(stats.records),
-          static_cast<unsigned long long>(stats.dropped),
-          static_cast<unsigned long long>(stats.repaired_scopes));
-  if (stats.binary) {
-    appendf(out, "  corrupt chunks skipped: %llu\n",
-            static_cast<unsigned long long>(stats.skipped_chunks));
-  }
-  appendf(out, "  stream-invariant violations: %llu\n",
-          static_cast<unsigned long long>(validator.violations()));
-  constexpr std::size_t kMaxShown = 10;
-  std::size_t shown = 0;
-  for (const support::Diag& d : diags.diags()) {
-    if (shown++ == kMaxShown) break;
-    appendf(out, "  - %s\n", d.to_string().c_str());
-  }
-  if (diags.total() > kMaxShown) {
-    appendf(out, "  ... and %llu more\n",
-            static_cast<unsigned long long>(diags.total() - kMaxShown));
-  }
-  appendf(out, "\n");
-  return out;
-}
 
 struct TraceRunOptions {
   trace::ReplayMode mode = trace::ReplayMode::Strict;
@@ -295,85 +196,6 @@ bool parse_jobs(const char* text, std::size_t& jobs_out) {
   return true;
 }
 
-/// Replays the trace bytes (either format) and runs the full analysis.
-/// Fills `report` (stdout payload) and `log` (stderr payload); returns the
-/// process exit code. `clean` reports whether the ingestion was pristine
-/// (cacheable by the batch driver).
-int analyze_trace_bytes(const std::string& path, std::string_view bytes,
-                        const TraceRunOptions& run, std::string& report,
-                        std::string& log, bool* clean = nullptr) {
-  // One pool serves both the chunk decoder and the sharded dependence
-  // profiler, so decode tasks and profiling blocks interleave on the same
-  // workers. Declared before the analyzer: the sharded profiler drains onto
-  // the pool in its destructor.
-  std::unique_ptr<rt::ThreadPool> pool;
-  core::AnalyzerConfig config;
-  if (run.jobs > 1) {
-    pool = std::make_unique<rt::ThreadPool>(run.jobs);
-    config.profiler_mode = core::ProfilerMode::Sharded;
-    config.profile_jobs = run.jobs;
-    config.pool = pool.get();
-  }
-  trace::TraceContext ctx;
-  core::PatternAnalyzer analyzer(ctx, config);
-  support::DiagSink diags;
-  trace::Validator validator(&diags);
-  ctx.add_sink(&validator);
-
-  IngestStats stats;
-  support::Status status;
-  if (store::is_binary_trace(bytes)) {
-    store::ReadOptions options;
-    options.mode = run.mode;
-    options.limits.max_records = run.max_records;
-    options.diags = &diags;
-    options.jobs = run.jobs;
-    options.pool = pool.get();
-    const store::ReadResult read = store::read_trace(bytes, ctx, options);
-    status = read.status;
-    stats.records = read.records;
-    stats.dropped = read.dropped;
-    stats.repaired_scopes = read.repaired_scopes;
-    stats.skipped_chunks = read.skipped_chunks;
-    stats.binary = true;
-  } else {
-    trace::ReplayOptions options;
-    options.mode = run.mode;
-    options.limits.max_records = run.max_records;
-    options.diags = &diags;
-    std::istringstream in{std::string(bytes)};
-    const trace::ReplayResult replay = trace::replay_trace(in, ctx, options);
-    status = replay.status;
-    stats.records = replay.records;
-    stats.dropped = replay.dropped;
-    stats.repaired_scopes = replay.repaired_scopes;
-  }
-
-  if (!status.is_ok()) {
-    appendf(log, "replay failed: %s\n", status.to_string().c_str());
-    if (clean != nullptr) *clean = false;
-    return kExitBadTrace;
-  }
-  appendf(log, "replayed %llu records from %s (%s)\n",
-          static_cast<unsigned long long>(stats.records), path.c_str(),
-          stats.binary ? "binary" : "text");
-  const bool degraded = stats.dropped != 0 || stats.repaired_scopes != 0 ||
-                        stats.skipped_chunks != 0 || !validator.ok() ||
-                        !diags.empty();
-  if (degraded) log += render_diagnostics(stats, diags, validator, run.mode);
-  if (clean != nullptr) *clean = !degraded;
-
-  try {
-    const core::AnalysisResult result = analyzer.analyze();
-    report = render_report(result, ctx);
-  } catch (const std::exception& e) {
-    appendf(log, "analysis failed: %s\n", e.what());
-    if (clean != nullptr) *clean = false;
-    return kExitAnalysis;
-  }
-  return kExitOk;
-}
-
 int analyze_trace_file(const char* path, const TraceRunOptions& run) {
   // Mapped, not slurped: the binary reader decodes chunks straight out of
   // the page cache. The mapping outlives the analysis call below.
@@ -382,12 +204,15 @@ int analyze_trace_file(const char* path, const TraceRunOptions& run) {
     std::fprintf(stderr, "cannot open trace file '%s'\n", path);
     return kExitIo;
   }
-  std::string report;
-  std::string log;
-  const int code = analyze_trace_bytes(path, mapped.bytes(), run, report, log);
-  std::fputs(log.c_str(), stderr);
-  std::fputs(report.c_str(), stdout);
-  return code;
+  svc::AnalysisOptions options;
+  options.mode = run.mode;
+  options.max_records = run.max_records;
+  options.jobs = run.jobs;
+  const svc::AnalysisOutput output =
+      svc::analyze_trace_bytes(path, mapped.bytes(), options);
+  std::fputs(output.log.c_str(), stderr);
+  std::fputs(output.report.c_str(), stdout);
+  return exit_code_for_status(output.status);
 }
 
 // ---- convert ----------------------------------------------------------------
@@ -499,23 +324,23 @@ int run_batch(const std::vector<std::string>& inputs, const TraceRunOptions& run
     };
   }
 
-  int worst = kExitOk;
-  const store::AnalyzeFn analyze = [&run, &worst](const std::string& path,
-                                                  std::string_view bytes) {
+  const store::AnalyzeFn analyze = [&run](const std::string& path,
+                                          std::string_view bytes) {
     store::AnalyzeOutcome outcome;
-    TraceRunOptions per_trace = run;
+    svc::AnalysisOptions per_trace;
+    per_trace.mode = run.mode;
+    per_trace.max_records = run.max_records;
     per_trace.jobs = 1;  // parallelism is across traces here
-    const int code = analyze_trace_bytes(path, bytes, per_trace, outcome.report,
-                                         outcome.log, &outcome.cacheable);
-    if (code != kExitOk) {
-      outcome.status = support::Status::error(support::ErrorCode::AnalysisFailed,
-                                              "exit code " + std::to_string(code));
-      outcome.cacheable = false;
-    }
+    svc::AnalysisOutput output = svc::analyze_trace_bytes(path, bytes, per_trace);
+    outcome.status = output.status;
+    outcome.report = std::move(output.report);
+    outcome.log = std::move(output.log);
+    outcome.cacheable = output.clean;
     return outcome;
   };
 
   const store::BatchSummary summary = store::analyze_batch(paths, options, analyze);
+  int worst = kExitOk;
   for (std::size_t i = 0; i < summary.items.size(); ++i) {
     const store::BatchItem& item = summary.items[i];
     std::fprintf(stderr, "[%zu/%zu] %s: %s\n", i + 1, summary.items.size(),
@@ -526,19 +351,8 @@ int run_batch(const std::vector<std::string>& inputs, const TraceRunOptions& run
     // splits mechanically at /^## /.
     std::printf("## %s\n", item.path.c_str());
     std::fputs(item.report.c_str(), stdout);
-    if (!item.status.is_ok()) {
-      // Derive the worst exit code from the recorded failure.
-      const std::string& msg = item.status.message();
-      int code = kExitAnalysis;
-      if (item.status.code() == support::ErrorCode::IoError) {
-        code = kExitIo;
-      } else if (msg == "exit code 3") {
-        code = kExitBadTrace;
-      } else if (msg == "exit code 1") {
-        code = kExitIo;
-      }
-      if (code > worst) worst = code;
-    }
+    const int code = exit_code_for_status(item.status);
+    if (code > worst) worst = code;
   }
   std::fprintf(stderr, "analyzed %zu trace(s): %zu from cache, %zu failure(s)\n",
                summary.items.size(), summary.cache_hits, summary.failures);
@@ -546,6 +360,97 @@ int run_batch(const std::vector<std::string>& inputs, const TraceRunOptions& run
   std::printf("## summary traces=%zu cached=%zu failed=%zu\n",
               summary.items.size(), summary.cache_hits, summary.failures);
   return worst;
+}
+
+// ---- remote -----------------------------------------------------------------
+
+/// `remote`: the thin client of a running ppd-analyzed daemon. Stream and
+/// exit-code discipline match the offline modes, so scripts can switch
+/// between local and remote analysis by swapping one flag.
+int run_remote(int argc, char** argv) {
+  std::string socket_path;
+  const char* trace_path = nullptr;
+  bool ping = false;
+  bool shutdown = false;
+  svc::Client::RequestOptions request;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--ping") == 0) {
+      ping = true;
+    } else if (std::strcmp(argv[i], "--shutdown") == 0) {
+      shutdown = true;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      request.mode = trace::ReplayMode::Strict;
+    } else if (std::strcmp(argv[i], "--lenient") == 0) {
+      request.mode = trace::ReplayMode::Lenient;
+    } else if (std::strcmp(argv[i], "--max-records") == 0 && i + 1 < argc) {
+      if (!parse_positive(argv[++i], request.max_records)) return usage();
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      request.no_cache = true;
+    } else if (std::strcmp(argv[i], "--refresh") == 0) {
+      request.refresh = true;
+    } else {
+      return usage();
+    }
+  }
+  const int actions = (trace_path != nullptr ? 1 : 0) + (ping ? 1 : 0) +
+                      (shutdown ? 1 : 0);
+  if (socket_path.empty() || actions != 1) return usage();
+
+  svc::Client client;
+  support::Status status = client.connect(socket_path, "ppd-analyze");
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "remote: %s\n", status.to_string().c_str());
+    return exit_code_for_status(status);
+  }
+
+  if (ping) {
+    status = client.ping();
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "remote: %s\n", status.to_string().c_str());
+      return exit_code_for_status(status);
+    }
+    std::fprintf(stderr, "pong from %s (protocol v%u)\n",
+                 client.server_name().c_str(), client.version());
+    return kExitOk;
+  }
+  if (shutdown) {
+    status = client.shutdown_server();
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "remote: %s\n", status.to_string().c_str());
+      return exit_code_for_status(status);
+    }
+    std::fputs("daemon shutdown acknowledged\n", stderr);
+    return kExitOk;
+  }
+
+  support::MappedFile mapped;
+  if (!mapped.open(trace_path).is_ok()) {
+    std::fprintf(stderr, "cannot open trace file '%s'\n", trace_path);
+    return kExitIo;
+  }
+  svc::Client::ProgressFn progress;
+  if (g_obs.progress) {
+    progress = [](const svc::ProgressPayload& stage) {
+      std::fprintf(stderr, "progress: %s (%llu/%llu)\n", stage.stage.c_str(),
+                   static_cast<unsigned long long>(stage.done),
+                   static_cast<unsigned long long>(stage.total));
+    };
+  }
+  const svc::Client::Result result =
+      client.analyze(mapped.bytes(), request, progress);
+  std::fputs(result.log.c_str(), stderr);
+  if (result.cached) std::fputs("report served from daemon cache\n", stderr);
+  if (!result.status.is_ok()) {
+    std::fprintf(stderr, "remote analysis failed: %s\n",
+                 result.status.to_string().c_str());
+    return exit_code_for_status(result.status);
+  }
+  std::fputs(result.report.c_str(), stdout);
+  return kExitOk;
 }
 
 bool parse_positive(const char* text, std::uint64_t& out) {
@@ -590,6 +495,10 @@ int run_cli(int argc, char** argv) {
       }
     }
     return convert_trace(argv[2], argv[3], mode, chunk_bytes);
+  }
+
+  if (std::strcmp(argv[1], "remote") == 0) {
+    return run_remote(argc, argv);
   }
 
   if (std::strcmp(argv[1], "--trace") == 0) {
@@ -711,7 +620,7 @@ int run_cli(int argc, char** argv) {
       std::fprintf(stderr, "trace written: %llu records\n",
                    static_cast<unsigned long long>(written));
     }
-    std::fputs(render_report(result, ctx).c_str(), stdout);
+    std::fputs(svc::render_report(result, ctx).c_str(), stdout);
 
     if (want_comm) {
       std::puts("\n== Communication characterization ==");
@@ -801,8 +710,9 @@ int main(int argc, char** argv) {
       return kExitOk;
     }
     if (std::strcmp(argv[i], "--version") == 0) {
-      std::printf("ppd-analyze %s (ppdt container v%llu)\n", kVersion,
-                  static_cast<unsigned long long>(store::kFormatVersion));
+      std::printf("ppd-analyze %s (ppdt container v%llu, protocol v%u)\n", kVersion,
+                  static_cast<unsigned long long>(store::kFormatVersion),
+                  svc::kProtocolVersion);
       return kExitOk;
     }
   }

@@ -1,0 +1,217 @@
+// ppd-analyzed: the resident analysis daemon.
+//
+// Listens on a Unix-domain socket and serves framed analysis requests
+// (docs/PROTOCOL.md) from `ppd-analyze remote` or any client speaking the
+// protocol. Reports are byte-identical to the offline tool by construction:
+// both front ends call the same svc::analyze_trace_bytes.
+//
+// Usage:
+//   ppd-analyzed --socket PATH [--jobs N] [--max-pending N]
+//                [--max-request-bytes N] [--max-records N]
+//                [--cache DIR | --no-cache] [--cache-budget BYTES]
+//                [--quiet] [--profile=FILE.json] [--metrics=FILE]
+//   ppd-analyzed --help | --version
+//
+// The daemon runs until SIGINT/SIGTERM or a client Shutdown frame, then
+// drains in-flight requests, writes the requested profile/metrics files,
+// and exits. Exit codes: 0 clean shutdown, 1 I/O error (bind/export
+// failure), 2 usage.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+using namespace ppd;
+
+constexpr int kExitOk = 0;
+constexpr int kExitIo = 1;
+constexpr int kExitUsage = 2;
+
+constexpr const char kVersion[] = "0.7.0";
+
+constexpr const char kUsageText[] =
+    "usage: ppd-analyzed --socket PATH [--jobs N] [--max-pending N]\n"
+    "                    [--max-request-bytes N] [--max-records N]\n"
+    "                    [--cache DIR | --no-cache] [--cache-budget BYTES]\n"
+    "                    [--quiet] [--profile=FILE.json] [--metrics=FILE]\n"
+    "       ppd-analyzed --help | --version\n"
+    "flags:\n"
+    "       --socket PATH         Unix-domain socket to listen on (required)\n"
+    "       --jobs N              analysis worker threads (default 2)\n"
+    "       --max-pending N       admitted-but-unfinished request bound; excess\n"
+    "                             requests are rejected as overloaded (default 16)\n"
+    "       --max-request-bytes N per-request frame-payload budget (default 64MiB)\n"
+    "       --max-records N       server-side trace record ceiling; client\n"
+    "                             requests may lower it, never raise it\n"
+    "       --cache DIR           persistent report-cache directory\n"
+    "                             (default .ppd-analyzed-cache)\n"
+    "       --no-cache            disable the report cache\n"
+    "       --cache-budget BYTES  cache eviction budget (default 256MiB)\n"
+    "       --quiet               suppress per-connection stderr logging\n"
+    "       --profile=FILE.json   write a Chrome trace-event profile on exit\n"
+    "       --metrics=FILE        write a key=value metrics dump on exit\n"
+    "exit codes: 0 clean shutdown, 1 i/o error, 2 usage\n";
+
+int usage() {
+  std::fputs(kUsageText, stderr);
+  return kExitUsage;
+}
+
+std::sig_atomic_t volatile g_signal = 0;
+
+void on_signal(int signo) { g_signal = signo; }
+
+bool parse_positive(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == nullptr || *end != '\0' || value == 0) return false;
+  out = value;
+  return true;
+}
+
+/// Best-effort export on shutdown; failure demotes exit 0 to exit 1.
+void write_observability_file(const std::string& path, const std::string& payload,
+                              const char* what, int& code) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << payload;
+  if (!out.flush()) {
+    std::fprintf(stderr, "ppd-analyzed: cannot write %s file '%s'\n", what,
+                 path.c_str());
+    if (code == kExitOk) code = kExitIo;
+    return;
+  }
+  std::fprintf(stderr, "ppd-analyzed: %s written to %s\n", what, path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::fputs(kUsageText, stdout);
+      return kExitOk;
+    }
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("ppd-analyzed %s (protocol v%u)\n", kVersion,
+                  svc::kProtocolVersion);
+      return kExitOk;
+    }
+  }
+
+  svc::Server::Options options;
+  options.cache.dir = ".ppd-analyzed-cache";
+  options.log_connections = true;
+  std::string profile_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--socket" && i + 1 < argc) {
+      options.socket_path = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      std::uint64_t value = 0;
+      if (!parse_positive(argv[++i], value) || value > 256) return usage();
+      options.jobs = static_cast<std::size_t>(value);
+    } else if (arg == "--max-pending" && i + 1 < argc) {
+      std::uint64_t value = 0;
+      if (!parse_positive(argv[++i], value) || value > 4096) return usage();
+      options.max_pending = static_cast<std::size_t>(value);
+    } else if (arg == "--max-request-bytes" && i + 1 < argc) {
+      std::uint64_t value = 0;
+      if (!parse_positive(argv[++i], value) || value > svc::kMaxFramePayload) {
+        return usage();
+      }
+      options.max_request_bytes = value;
+    } else if (arg == "--max-records" && i + 1 < argc) {
+      if (!parse_positive(argv[++i], options.max_records)) return usage();
+    } else if (arg == "--cache" && i + 1 < argc) {
+      options.cache.dir = argv[++i];
+    } else if (arg == "--no-cache") {
+      options.cache.dir.clear();
+    } else if (arg == "--cache-budget" && i + 1 < argc) {
+      if (!parse_positive(argv[++i], options.cache.max_bytes)) return usage();
+    } else if (arg == "--quiet") {
+      options.log_connections = false;
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      profile_path = arg.substr(std::strlen("--profile="));
+      if (profile_path.empty()) return usage();
+    } else if (arg == "--profile" && i + 1 < argc) {
+      profile_path = argv[++i];
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(std::strlen("--metrics="));
+      if (metrics_path.empty()) return usage();
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (options.socket_path.empty()) return usage();
+
+  std::unique_ptr<obs::SpanCollector> collector;
+  if (!profile_path.empty() || !metrics_path.empty()) {
+    collector = std::make_unique<obs::SpanCollector>(!profile_path.empty());
+    obs::install_collector(collector.get());
+#if defined(PPD_OBS_DISABLED)
+    std::fputs(
+        "ppd-analyzed: built with PPD_OBS=OFF; profile/metrics will be empty\n",
+        stderr);
+#endif
+  }
+
+  svc::Server server(options);
+  const support::Status status = server.start();
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "ppd-analyzed: %s\n", status.to_string().c_str());
+    return kExitIo;
+  }
+  std::fprintf(stderr,
+               "ppd-analyzed: listening on %s (jobs=%zu, max-pending=%zu, "
+               "cache=%s)\n",
+               options.socket_path.c_str(), options.jobs, options.max_pending,
+               options.cache.dir.empty() ? "<disabled>" : options.cache.dir.c_str());
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Poll the shutdown condition so a signal is noticed within one tick even
+  // though the accept loop itself never returns from poll() for it.
+  for (;;) {
+    if (server.wait_for_shutdown(200)) {
+      std::fputs("ppd-analyzed: shutdown requested by client\n", stderr);
+      break;
+    }
+    if (g_signal != 0) {
+      std::fprintf(stderr, "ppd-analyzed: caught signal %d, shutting down\n",
+                   static_cast<int>(g_signal));
+      break;
+    }
+  }
+  server.stop();
+
+  int code = kExitOk;
+  if (collector != nullptr) {
+    obs::install_collector(nullptr);
+    if (!profile_path.empty()) {
+      write_observability_file(profile_path,
+                               obs::chrome_trace_json(collector->take()),
+                               "profile", code);
+    }
+    if (!metrics_path.empty()) {
+      write_observability_file(metrics_path, obs::metrics_dump(), "metrics",
+                               code);
+    }
+  }
+  std::fputs("ppd-analyzed: exit\n", stderr);
+  return code;
+}
