@@ -8,9 +8,11 @@
 #include "bs/benchmark.hpp"
 #include "comm/comm.hpp"
 #include "cu/builder.hpp"
+#include "pat/task_pool.hpp"
 #include "pet/pet.hpp"
 #include "prof/profiler.hpp"
 #include "regress/linreg.hpp"
+#include "rt/thread_pool.hpp"
 #include "sim/lowering.hpp"
 #include "sim/task_dag.hpp"
 #include "trace/context.hpp"
@@ -143,6 +145,61 @@ void BM_TraceSerializeReplay(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(text.size()));
 }
 BENCHMARK(BM_TraceSerializeReplay);
+
+// ---- ThreadPool task-dispatch overhead ------------------------------------
+// The floor under every ppd::pat primitive: what one task costs to submit,
+// schedule, execute, and retire. Bodies are empty, so items/s inverts
+// directly to per-task ns, and the whole round-trip is queue traffic —
+// rising per-task time as the worker count grows is contention on the
+// pool's one mutex-guarded FIFO, not compute.
+
+constexpr int kDispatchTasks = 4096;
+
+void BM_ThreadPoolTaskDispatch(benchmark::State& state) {
+  rt::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    rt::TaskGroup group(pool);
+    for (int i = 0; i < kDispatchTasks; ++i) group.run([] {});
+    group.wait();
+  }
+  state.SetItemsProcessed(state.iterations() * kDispatchTasks);
+}
+BENCHMARK(BM_ThreadPoolTaskDispatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Queue contention with producers on both sides: half the tasks are seeded
+// from the driver, each seed submits one follow-up from inside its worker,
+// so the workers push and pop the shared queue concurrently with the
+// driver's submissions — the access pattern a task-parallel pattern
+// generates, as opposed to the batch-submit pattern above.
+void BM_ThreadPoolQueueContention(benchmark::State& state) {
+  rt::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    rt::TaskGroup group(pool);
+    for (int i = 0; i < kDispatchTasks / 2; ++i) {
+      group.run([&group] { group.run([] {}); });
+    }
+    group.wait();
+  }
+  state.SetItemsProcessed(state.iterations() * kDispatchTasks);
+}
+BENCHMARK(BM_ThreadPoolQueueContention)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// The same worker-side spawn stream through pat::TaskPool: children go to
+// the spawning worker's own deque (LIFO pop, FIFO steal), so the shared
+// queue is touched only by the driver's seeds. The gap to
+// BM_ThreadPoolQueueContention is what the per-worker deques buy.
+void BM_PatTaskPoolDispatch(benchmark::State& state) {
+  rt::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    pat::TaskPool tasks(pool);
+    for (int i = 0; i < kDispatchTasks / 2; ++i) {
+      tasks.submit([&tasks] { tasks.submit([] {}); });
+    }
+    tasks.wait();
+  }
+  state.SetItemsProcessed(state.iterations() * kDispatchTasks);
+}
+BENCHMARK(BM_PatTaskPoolDispatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_CommMatrix(benchmark::State& state) {
   trace::TraceContext ctx;

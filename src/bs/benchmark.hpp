@@ -62,6 +62,13 @@ class Benchmark {
   /// pattern, on the real thread-pool runtime) and compares outputs.
   [[nodiscard]] virtual VerifyOutcome verify_parallel(std::size_t threads) const = 0;
 
+  /// Same comparison, but the parallel side runs on the ppd::pat pattern
+  /// runtime (parallel_for_reduce / Pipeline / TaskPool) instead of the raw
+  /// rt primitives. The execution-verification suite (ctest -L execverify)
+  /// runs this at jobs {1, 2, 4, 8} and requires identical results at every
+  /// width.
+  [[nodiscard]] virtual VerifyOutcome verify_pat(std::size_t threads) const = 0;
+
   /// Task DAG of the implemented parallel version, with costs taken from
   /// the analysis of this benchmark's own trace.
   [[nodiscard]] virtual sim::TaskDag build_sim_dag(

@@ -12,6 +12,7 @@
 
 #include "bs/benchmark.hpp"
 #include "bs/detail.hpp"
+#include "pat/pat.hpp"
 #include "rt/parallel.hpp"
 #include "sim/lowering.hpp"
 
@@ -107,6 +108,37 @@ class Bicg final : public Benchmark {
           return acc;
         },
         [](std::vector<double> a, const std::vector<double>& b) {
+          for (std::size_t j = 0; j < kN; ++j) a[j] += b[j];
+          return a;
+        });
+
+    std::vector<double> seq_all = s_seq;
+    seq_all.insert(seq_all.end(), q_seq.begin(), q_seq.end());
+    std::vector<double> par_all = s_par;
+    par_all.insert(par_all.end(), q_par.begin(), q_par.end());
+    return compare_results(seq_all, par_all);
+  }
+
+  VerifyOutcome verify_pat(std::size_t threads) const override {
+    const Workload& w = workload();
+    std::vector<double> s_seq(kN, 0.0), q_seq(kN, 0.0);
+    run_sequential(w, s_seq, q_seq);
+
+    // Same reduction on the pattern runtime: per-chunk private copies of s,
+    // combined in chunk order.
+    std::vector<double> q_par(kN, 0.0);
+    rt::ThreadPool pool(threads);
+    const std::vector<double> s_par = pat::parallel_for_reduce(
+        pool, 0, kN, std::vector<double>(kN, 0.0),
+        [&](std::vector<double> acc, std::uint64_t i) {
+          q_par[i] = 0.0;
+          for (std::size_t j = 0; j < kN; ++j) {
+            acc[j] += w.r[i] * w.a.at(i, j);
+            q_par[i] += w.a.at(i, j) * w.p[j];
+          }
+          return acc;
+        },
+        [](std::vector<double> a, std::vector<double> b) {
           for (std::size_t j = 0; j < kN; ++j) a[j] += b[j];
           return a;
         });

@@ -11,6 +11,7 @@
 
 #include "bs/benchmark.hpp"
 #include "bs/detail.hpp"
+#include "pat/pat.hpp"
 #include "rt/parallel.hpp"
 #include "sim/lowering.hpp"
 
@@ -120,6 +121,33 @@ class Correlation final : public Benchmark {
       stats_column(data_par, mean_par, std_par, static_cast<std::size_t>(j));
       normalize_column(data_par, mean_par, std_par, static_cast<std::size_t>(j));
     });
+    return compare_results(data_seq.data, data_par.data);
+  }
+
+  VerifyOutcome verify_pat(std::size_t threads) const override {
+    const Workload& w = workload();
+    Matrix data_seq = w.data;
+    std::vector<double> mean_seq(kCols, 0.0);
+    std::vector<double> std_seq(kCols, 0.0);
+    for (std::size_t j = 0; j < kCols; ++j) stats_column(data_seq, mean_seq, std_seq, j);
+    for (std::size_t j = 0; j < kCols; ++j) normalize_column(data_seq, mean_seq, std_seq, j);
+
+    // The fused per-column do-all on the pattern runtime; guided chunking
+    // exercises the decreasing-chunk plan.
+    Matrix data_par = w.data;
+    std::vector<double> mean_par(kCols, 0.0);
+    std::vector<double> std_par(kCols, 0.0);
+    rt::ThreadPool pool(threads);
+    pat::ForOptions options;
+    options.chunking = pat::Chunking::Guided;
+    options.min_chunk = 4;
+    pat::parallel_for(
+        pool, 0, kCols,
+        [&](std::uint64_t j) {
+          stats_column(data_par, mean_par, std_par, static_cast<std::size_t>(j));
+          normalize_column(data_par, mean_par, std_par, static_cast<std::size_t>(j));
+        },
+        options);
     return compare_results(data_seq.data, data_par.data);
   }
 

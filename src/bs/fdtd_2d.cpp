@@ -12,6 +12,7 @@
 
 #include "bs/benchmark.hpp"
 #include "bs/detail.hpp"
+#include "pat/pat.hpp"
 #include "rt/parallel.hpp"
 #include "sim/lowering.hpp"
 
@@ -157,6 +158,32 @@ class Fdtd2d final : public Benchmark {
       workers.run([&] { ey_update_rows(par, 1, kNx); });
       workers.run([&] { ex_update_rows(par, 0, kNx); });
       workers.wait();
+      hz_update(par);
+    }
+
+    std::vector<double> seq_all = seq.hz.data;
+    seq_all.insert(seq_all.end(), seq.ex.data.begin(), seq.ex.data.end());
+    seq_all.insert(seq_all.end(), seq.ey.data.begin(), seq.ey.data.end());
+    std::vector<double> par_all = par.hz.data;
+    par_all.insert(par_all.end(), par.ex.data.begin(), par.ex.data.end());
+    par_all.insert(par_all.end(), par.ey.data.begin(), par.ey.data.end());
+    return compare_results(seq_all, par_all);
+  }
+
+  VerifyOutcome verify_pat(std::size_t threads) const override {
+    Fields seq;
+    run_sequential(seq);
+
+    // The detected per-step task graph on the pattern runtime: the three
+    // independent updates as TaskPool tasks, hz as their barrier.
+    Fields par;
+    rt::ThreadPool pool(threads);
+    for (std::size_t t = 0; t < kSteps; ++t) {
+      pat::TaskPool tasks(pool);
+      tasks.submit([&par, t] { fict_update(par, t); });
+      tasks.submit([&par] { ey_update_rows(par, 1, kNx); });
+      tasks.submit([&par] { ex_update_rows(par, 0, kNx); });
+      tasks.wait();
       hz_update(par);
     }
 

@@ -9,10 +9,13 @@
 // graph, leaving the diamond check -> {x, y} -> return that Algorithm 1
 // classifies as fork / worker / worker / barrier — the classification shown
 // in Listing 4. BOTS's task-parallel version reaches 13.25x at 32 threads.
+#include <atomic>
 #include <cstdint>
+#include <functional>
 
 #include "bs/benchmark.hpp"
 #include "bs/detail.hpp"
+#include "pat/pat.hpp"
 #include "rt/parallel.hpp"
 #include "sim/lowering.hpp"
 
@@ -97,6 +100,34 @@ class Fib final : public Benchmark {
     VerifyOutcome out;
     out.ok = (x + y) == expected;
     out.detail = "fib(" + std::to_string(kInput) + ") = " + std::to_string(x + y) +
+                 ", expected " + std::to_string(expected);
+    return out;
+  }
+
+  VerifyOutcome verify_pat(std::size_t threads) const override {
+    const std::int64_t expected = fib_plain(kInput);
+    rt::ThreadPool pool(threads);
+    // The full recursive spawn tree with a cutoff: every activation above
+    // the cutoff spawns its two children before returning (the TaskPool
+    // dependency discipline); leaves fold into a shared sum — fib is
+    // additive over its leaves, so the sum is exact.
+    std::atomic<std::int64_t> total{0};
+    {
+      pat::TaskPool tasks(pool);
+      std::function<void(int, int)> spawn = [&](int n, int budget) {
+        if (n < 2 || budget == 0) {
+          total.fetch_add(fib_plain(n), std::memory_order_relaxed);
+          return;
+        }
+        tasks.submit([&spawn, n, budget] { spawn(n - 1, budget - 1); });
+        tasks.submit([&spawn, n, budget] { spawn(n - 2, budget - 1); });
+      };
+      tasks.submit([&spawn] { spawn(kInput, 5); });
+      tasks.wait();
+    }
+    VerifyOutcome out;
+    out.ok = total.load() == expected;
+    out.detail = "fib(" + std::to_string(kInput) + ") = " + std::to_string(total.load()) +
                  ", expected " + std::to_string(expected);
     return out;
   }

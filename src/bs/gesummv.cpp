@@ -10,6 +10,7 @@
 
 #include "bs/benchmark.hpp"
 #include "bs/detail.hpp"
+#include "pat/pat.hpp"
 #include "rt/parallel.hpp"
 #include "sim/lowering.hpp"
 
@@ -104,6 +105,21 @@ class Gesummv final : public Benchmark {
     // Rows are independent; within a row the two accumulators reduce over
     // column chunks.
     rt::parallel_for(pool, 0, kN, [&](std::uint64_t i) {
+      gesummv_row(w, y_par, static_cast<std::size_t>(i));
+    });
+    return compare_results(y_seq, y_par);
+  }
+
+  VerifyOutcome verify_pat(std::size_t threads) const override {
+    const Workload& w = workload();
+    std::vector<double> y_seq(kN, 0.0);
+    for (std::size_t i = 0; i < kN; ++i) gesummv_row(w, y_seq, i);
+
+    // Row do-all on the pattern runtime (rows independent, y[i] private to
+    // its row).
+    std::vector<double> y_par(kN, 0.0);
+    rt::ThreadPool pool(threads);
+    pat::parallel_for(pool, 0, kN, [&](std::uint64_t i) {
       gesummv_row(w, y_par, static_cast<std::size_t>(i));
     });
     return compare_results(y_seq, y_par);

@@ -15,6 +15,7 @@
 
 #include "bs/benchmark.hpp"
 #include "bs/detail.hpp"
+#include "pat/pat.hpp"
 #include "rt/parallel.hpp"
 #include "sim/lowering.hpp"
 
@@ -209,6 +210,44 @@ class Kmeans final : public Benchmark {
         for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += chunk_counts[c][i];
       }
       recompute_centroids(centroids, sums, counts);
+    }
+    return compare_results(expected, centroids);
+  }
+
+  VerifyOutcome verify_pat(std::size_t threads) const override {
+    const Workload& w = workload();
+    const std::vector<double> expected = run_sequential(w);
+
+    // Geometric decomposition + reduction on the pattern runtime: per
+    // round, chunks of points fold into private sums/counts partials that
+    // combine in chunk order.
+    struct Partial {
+      std::vector<double> sums = std::vector<double>(kClusters * kDim, 0.0);
+      std::vector<double> counts = std::vector<double>(kClusters, 0.0);
+    };
+    std::vector<double> centroids(kClusters * kDim, 0.0);
+    initial_centroids(w, centroids);
+    std::vector<std::size_t> assign(kPoints, 0);
+    rt::ThreadPool pool(threads);
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      Partial combined = pat::parallel_for_reduce(
+          pool, 0, kPoints, Partial{},
+          [&](Partial acc, std::uint64_t p) {
+            const std::size_t point = static_cast<std::size_t>(p);
+            const std::size_t c = nearest(w, centroids, point);
+            assign[point] = c;
+            for (std::size_t k = 0; k < kDim; ++k) {
+              acc.sums[c * kDim + k] += w.coords[point * kDim + k];
+            }
+            acc.counts[c] += 1.0;
+            return acc;
+          },
+          [](Partial a, Partial b) {
+            for (std::size_t i = 0; i < a.sums.size(); ++i) a.sums[i] += b.sums[i];
+            for (std::size_t i = 0; i < a.counts.size(); ++i) a.counts[i] += b.counts[i];
+            return a;
+          });
+      recompute_centroids(centroids, combined.sums, combined.counts);
     }
     return compare_results(expected, centroids);
   }

@@ -13,6 +13,7 @@
 
 #include "bs/benchmark.hpp"
 #include "bs/detail.hpp"
+#include "pat/pat.hpp"
 #include "rt/parallel.hpp"
 #include "sim/lowering.hpp"
 
@@ -119,6 +120,41 @@ class Ludcmp final : public Benchmark {
         [&](std::uint64_t i) { stage1(w, b_par, static_cast<std::size_t>(i)); },
         [&](std::uint64_t j) { stage2(w, b_par, y_par, static_cast<std::size_t>(j)); },
         /*x_doall=*/true);
+    return compare_results(y_seq, y_par);
+  }
+
+  VerifyOutcome verify_pat(std::size_t threads) const override {
+    const Workload& w = workload();
+    std::vector<double> b_seq(kN, 0.0);
+    std::vector<double> y_seq(kN, 0.0);
+    run_sequential(w, b_seq, y_seq);
+
+    // The detected pipeline on the pattern runtime: row blocks stream
+    // through a farm running the do-all stage 1 (blocks are independent);
+    // the ordered sink runs the substitution recurrence, which by the a=1,
+    // b=0 dependence only ever reads b rows from blocks already delivered.
+    std::vector<double> b_par(kN, 0.0);
+    std::vector<double> y_par(kN, 0.0);
+    rt::ThreadPool pool(threads);
+    constexpr std::size_t kBlock = 8;
+    std::uint64_t next_block = 0;
+    pat::Pipeline<std::uint64_t> pipe(pool);
+    pipe.farm(
+        [&](std::uint64_t block) {
+          const std::size_t lo = static_cast<std::size_t>(block) * kBlock;
+          for (std::size_t i = lo; i < lo + kBlock; ++i) stage1(w, b_par, i);
+          return block;
+        },
+        4);
+    pipe.run(
+        [&]() -> std::optional<std::uint64_t> {
+          if (next_block >= kN / kBlock) return std::nullopt;
+          return next_block++;
+        },
+        [&](std::uint64_t block) {
+          const std::size_t lo = static_cast<std::size_t>(block) * kBlock;
+          for (std::size_t i = lo; i < lo + kBlock; ++i) stage2(w, b_par, y_par, i);
+        });
     return compare_results(y_seq, y_par);
   }
 

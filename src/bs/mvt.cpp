@@ -10,6 +10,7 @@
 
 #include "bs/benchmark.hpp"
 #include "bs/detail.hpp"
+#include "pat/pat.hpp"
 #include "rt/parallel.hpp"
 #include "sim/lowering.hpp"
 
@@ -121,6 +122,43 @@ class Mvt final : public Benchmark {
         for (std::size_t i = 0; i < kN; ++i) x2_row(w, x2_par, i);
       });
       workers.wait();
+    }
+    std::vector<double> seq_all = x1_seq;
+    seq_all.insert(seq_all.end(), x2_seq.begin(), x2_seq.end());
+    std::vector<double> par_all = x1_par;
+    par_all.insert(par_all.end(), x2_par.begin(), x2_par.end());
+    return compare_results(seq_all, par_all);
+  }
+
+  VerifyOutcome verify_pat(std::size_t threads) const override {
+    const Workload& w = workload();
+    std::vector<double> x1_seq(kN, 0.0), x2_seq(kN, 0.0);
+    for (std::size_t i = 0; i < kN; ++i) x1_row(w, x1_seq, i);
+    for (std::size_t i = 0; i < kN; ++i) x2_row(w, x2_seq, i);
+
+    // Task parallelism + do-all on the pattern runtime: the two worker
+    // tasks each spawn their row blocks as child tasks (rows are disjoint,
+    // so placement is free to vary under stealing).
+    std::vector<double> x1_par(kN, 0.0), x2_par(kN, 0.0);
+    rt::ThreadPool pool(threads);
+    {
+      pat::TaskPool tasks(pool);
+      constexpr std::size_t kBlock = 8;
+      tasks.submit([&] {
+        for (std::size_t lo = 0; lo < kN; lo += kBlock) {
+          tasks.submit([&, lo] {
+            for (std::size_t i = lo; i < std::min(kN, lo + kBlock); ++i) x1_row(w, x1_par, i);
+          });
+        }
+      });
+      tasks.submit([&] {
+        for (std::size_t lo = 0; lo < kN; lo += kBlock) {
+          tasks.submit([&, lo] {
+            for (std::size_t i = lo; i < std::min(kN, lo + kBlock); ++i) x2_row(w, x2_par, i);
+          });
+        }
+      });
+      tasks.wait();
     }
     std::vector<double> seq_all = x1_seq;
     seq_all.insert(seq_all.end(), x2_seq.begin(), x2_seq.end());

@@ -13,6 +13,7 @@
 
 #include "bs/benchmark.hpp"
 #include "bs/detail.hpp"
+#include "pat/pat.hpp"
 #include "rt/parallel.hpp"
 #include "sim/lowering.hpp"
 
@@ -94,6 +95,31 @@ class Nqueens final : public Benchmark {
           return acc + nqueens_plain(board, 1);
         },
         [](std::int64_t a, std::int64_t b) { return a + b; });
+
+    VerifyOutcome out;
+    out.ok = total == expected;
+    out.detail = "solutions = " + std::to_string(total) + ", expected " +
+                 std::to_string(expected) + " (92 for 8x8)";
+    return out;
+  }
+
+  VerifyOutcome verify_pat(std::size_t threads) const override {
+    std::vector<int> seq_board(kBoard, -1);
+    const std::int64_t expected = nqueens_plain(seq_board, 0);
+
+    // The same privatized reduction on the pattern runtime; guided chunks
+    // soak up the irregular subtree sizes.
+    rt::ThreadPool pool(threads);
+    pat::ForOptions options;
+    options.chunking = pat::Chunking::Guided;
+    const std::int64_t total = pat::parallel_for_reduce(
+        pool, 0, kBoard, std::int64_t{0},
+        [](std::int64_t acc, std::uint64_t col) {
+          std::vector<int> board(kBoard, -1);
+          board[0] = static_cast<int>(col);
+          return acc + nqueens_plain(board, 1);
+        },
+        [](std::int64_t a, std::int64_t b) { return a + b; }, options);
 
     VerifyOutcome out;
     out.ok = total == expected;

@@ -15,6 +15,7 @@
 
 #include "bs/benchmark.hpp"
 #include "bs/detail.hpp"
+#include "pat/pat.hpp"
 #include "rt/parallel.hpp"
 #include "sim/lowering.hpp"
 
@@ -122,6 +123,48 @@ class RegDetect final : public Benchmark {
         [&](std::uint64_t i) { mean_row(w, mean_par, static_cast<std::size_t>(i)); },
         [&](std::uint64_t k) { path_row(mean_par, path_par, static_cast<std::size_t>(k) + 1); },
         /*x_doall=*/true);
+    return compare_results(path_seq.data, path_par.data);
+  }
+
+  VerifyOutcome verify_pat(std::size_t threads) const override {
+    const Workload& w = workload();
+    Matrix mean_seq(kGrid, kCols);
+    Matrix path_seq(kGrid, kCols);
+    run_sequential(w, mean_seq, path_seq);
+
+    // The detected pipeline on the pattern runtime: mean row blocks stream
+    // through a farm (the do-all stage); the ordered sink advances the path
+    // recurrence across every row whose mean block has been delivered
+    // (a = 1, b = -1: path row i needs mean rows <= i).
+    Matrix mean_par(kGrid, kCols);
+    Matrix path_par(kGrid, kCols);
+    rt::ThreadPool pool(threads);
+    constexpr std::size_t kBlock = 25;
+    const std::size_t mean_rows = kGrid - 1;
+    const std::uint64_t blocks = (mean_rows + kBlock - 1) / kBlock;
+    std::uint64_t next_block = 0;
+    std::size_t next_path = 1;
+    pat::Pipeline<std::uint64_t> pipe(pool);
+    pipe.farm(
+        [&](std::uint64_t block) {
+          const std::size_t lo = static_cast<std::size_t>(block) * kBlock;
+          const std::size_t hi = std::min(mean_rows, lo + kBlock);
+          for (std::size_t i = lo; i < hi; ++i) mean_row(w, mean_par, i);
+          return block;
+        },
+        4);
+    pipe.run(
+        [&]() -> std::optional<std::uint64_t> {
+          if (next_block >= blocks) return std::nullopt;
+          return next_block++;
+        },
+        [&](std::uint64_t block) {
+          const std::size_t progress = std::min(mean_rows, (static_cast<std::size_t>(block) + 1) * kBlock);
+          while (next_path < mean_rows && next_path < progress) {
+            path_row(mean_par, path_par, next_path);
+            ++next_path;
+          }
+        });
     return compare_results(path_seq.data, path_par.data);
   }
 

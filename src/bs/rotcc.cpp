@@ -9,6 +9,7 @@
 
 #include "bs/benchmark.hpp"
 #include "bs/detail.hpp"
+#include "pat/pat.hpp"
 #include "rt/parallel.hpp"
 #include "sim/lowering.hpp"
 
@@ -115,6 +116,42 @@ class RotCc final : public Benchmark {
       rotate_pixel(w, rot_par, static_cast<std::size_t>(i));
       convert_pixel(rot_par, out_par, static_cast<std::size_t>(i));
     });
+    return compare_results(out_seq, out_par);
+  }
+
+  VerifyOutcome verify_pat(std::size_t threads) const override {
+    const Workload& w = workload();
+    std::vector<double> rot_seq(kPixels, 0.0);
+    std::vector<double> out_seq(kPixels, 0.0);
+    run_sequential(w, rot_seq, out_seq);
+
+    // The fusion as a farm: pixel blocks stream through replicated fused
+    // rotate+convert workers (Starbench's chunked worker scheme); blocks
+    // are disjoint, so replica placement is free.
+    std::vector<double> rot_par(kPixels, 0.0);
+    std::vector<double> out_par(kPixels, 0.0);
+    rt::ThreadPool pool(threads);
+    constexpr std::size_t kBlock = 512;
+    const std::uint64_t blocks = (kPixels + kBlock - 1) / kBlock;
+    std::uint64_t next_block = 0;
+    pat::Pipeline<std::uint64_t> pipe(pool);
+    pipe.farm(
+        [&](std::uint64_t block) {
+          const std::size_t lo = static_cast<std::size_t>(block) * kBlock;
+          const std::size_t hi = std::min(kPixels, lo + kBlock);
+          for (std::size_t i = lo; i < hi; ++i) {
+            rotate_pixel(w, rot_par, i);
+            convert_pixel(rot_par, out_par, i);
+          }
+          return block;
+        },
+        4);
+    pipe.run(
+        [&]() -> std::optional<std::uint64_t> {
+          if (next_block >= blocks) return std::nullopt;
+          return next_block++;
+        },
+        [](std::uint64_t) {});
     return compare_results(out_seq, out_par);
   }
 

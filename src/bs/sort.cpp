@@ -14,6 +14,7 @@
 
 #include "bs/benchmark.hpp"
 #include "bs/detail.hpp"
+#include "pat/pat.hpp"
 #include "rt/parallel.hpp"
 #include "sim/lowering.hpp"
 
@@ -208,6 +209,57 @@ class Sort final : public Benchmark {
                      tmp.data());
       });
       merges.run([&] {
+        merge_ranges(data.data() + 2 * q, data.data() + 3 * q, data.data() + 3 * q,
+                     data.data() + kElems, tmp.data() + 2 * q);
+      });
+      merges.wait();
+    }
+    merge_ranges(tmp.data(), tmp.data() + 2 * q, tmp.data() + 2 * q, tmp.data() + kElems,
+                 data.data());
+
+    VerifyOutcome out;
+    out.ok = data == expected;
+    out.detail = out.ok ? "sorted output matches sequential cilksort"
+                        : "parallel sort output differs";
+    return out;
+  }
+
+  VerifyOutcome verify_pat(std::size_t threads) const override {
+    std::vector<std::uint64_t> expected = make_input();
+    {
+      std::vector<std::uint64_t> tmp(kElems, 0);
+      cilksort_seq(expected, tmp, 0, kElems);
+    }
+
+    // The same fork/join phases on the work-stealing TaskPool: the quarter
+    // sorts as one spawn episode, the pair merges as the next, the final
+    // merge serial — the detected CU graph's barriers become wait()s.
+    std::vector<std::uint64_t> data = make_input();
+    std::vector<std::uint64_t> tmp(kElems, 0);
+    rt::ThreadPool pool(threads);
+    const std::size_t q = kElems / 4;
+    {
+      pat::TaskPool sorts(pool);
+      sorts.submit([&] {
+        // One parent task fans out the quarters so three of them sit in a
+        // single worker's deque — stealing is what spreads them.
+        for (int k = 0; k < 4; ++k) {
+          sorts.submit([&data, k, q] {
+            std::vector<std::uint64_t> scratch(kElems, 0);
+            cilksort_seq(data, scratch, static_cast<std::size_t>(k) * q,
+                         (static_cast<std::size_t>(k) + 1) * q);
+          });
+        }
+      });
+      sorts.wait();
+    }
+    {
+      pat::TaskPool merges(pool);
+      merges.submit([&] {
+        merge_ranges(data.data(), data.data() + q, data.data() + q, data.data() + 2 * q,
+                     tmp.data());
+      });
+      merges.submit([&] {
         merge_ranges(data.data() + 2 * q, data.data() + 3 * q, data.data() + 3 * q,
                      data.data() + kElems, tmp.data() + 2 * q);
       });

@@ -10,6 +10,7 @@
 
 #include "bs/benchmark.hpp"
 #include "bs/detail.hpp"
+#include "pat/pat.hpp"
 #include "rt/parallel.hpp"
 #include "sim/lowering.hpp"
 
@@ -200,6 +201,53 @@ class Strassen final : public Benchmark {
       workers.run([&] { m[5] = strassen_seq(add(a21, a11, -1.0), add(b11, b12)); });
       workers.run([&] { m[6] = strassen_seq(add(a12, a22, -1.0), add(b21, b22)); });
       workers.wait();
+    }
+    Matrix c(kN, kN);
+    for (std::size_t i = 0; i < h; ++i) {
+      for (std::size_t j = 0; j < h; ++j) {
+        c.at(i, j) = m[0].at(i, j) + m[3].at(i, j) - m[4].at(i, j) + m[6].at(i, j);
+        c.at(i, j + h) = m[2].at(i, j) + m[4].at(i, j);
+        c.at(i + h, j) = m[1].at(i, j) + m[3].at(i, j);
+        c.at(i + h, j + h) = m[0].at(i, j) - m[1].at(i, j) + m[2].at(i, j) + m[5].at(i, j);
+      }
+    }
+
+    VerifyOutcome strassen_vs_seq = compare_results(c.data, expected.data, 1e-9);
+    VerifyOutcome strassen_vs_classic = compare_results(c.data, reference.data, 1e-6);
+    VerifyOutcome out;
+    out.ok = strassen_vs_seq.ok && strassen_vs_classic.ok;
+    out.detail = "vs sequential strassen: " + strassen_vs_seq.detail +
+                 "; vs classic multiply: " + strassen_vs_classic.detail;
+    return out;
+  }
+
+  VerifyOutcome verify_pat(std::size_t threads) const override {
+    const Workload& w = workload();
+    const Matrix expected = strassen_seq(w.a, w.b);
+    const Matrix reference = matmul_base(w.a, w.b);
+
+    // The seven products spawned from one parent task on the TaskPool: six
+    // sit in the spawner's deque waiting to be stolen, the classic
+    // divide-and-conquer shape. Each product writes its own slot.
+    const std::size_t h = kN / 2;
+    const Matrix a11 = quadrant(w.a, 0, 0), a12 = quadrant(w.a, 0, 1);
+    const Matrix a21 = quadrant(w.a, 1, 0), a22 = quadrant(w.a, 1, 1);
+    const Matrix b11 = quadrant(w.b, 0, 0), b12 = quadrant(w.b, 0, 1);
+    const Matrix b21 = quadrant(w.b, 1, 0), b22 = quadrant(w.b, 1, 1);
+    std::vector<Matrix> m(7);
+    rt::ThreadPool pool(threads);
+    {
+      pat::TaskPool tasks(pool);
+      tasks.submit([&] {
+        tasks.submit([&] { m[0] = strassen_seq(add(a11, a22), add(b11, b22)); });
+        tasks.submit([&] { m[1] = strassen_seq(add(a21, a22), b11); });
+        tasks.submit([&] { m[2] = strassen_seq(a11, add(b12, b22, -1.0)); });
+        tasks.submit([&] { m[3] = strassen_seq(a22, add(b21, b11, -1.0)); });
+        tasks.submit([&] { m[4] = strassen_seq(add(a11, a12), b22); });
+        tasks.submit([&] { m[5] = strassen_seq(add(a21, a11, -1.0), add(b11, b12)); });
+        tasks.submit([&] { m[6] = strassen_seq(add(a12, a22, -1.0), add(b21, b22)); });
+      });
+      tasks.wait();
     }
     Matrix c(kN, kN);
     for (std::size_t i = 0; i < h; ++i) {

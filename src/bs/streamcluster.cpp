@@ -14,6 +14,7 @@
 
 #include "bs/benchmark.hpp"
 #include "bs/detail.hpp"
+#include "pat/pat.hpp"
 #include "rt/parallel.hpp"
 #include "sim/lowering.hpp"
 
@@ -210,6 +211,44 @@ class Streamcluster final : public Benchmark {
       // Greedy refinement, candidates evaluated in parallel.
       std::vector<double> gains((kPointsPerRound + 15) / 16, 0.0);
       rt::parallel_for(pool, 0, gains.size(), [&](std::uint64_t g) {
+        gains[g] = pgain(centers, pts, kPointsPerRound, pts[g * 16]);
+      });
+      double best_gain = 0.0;
+      std::size_t best_candidate = 0;
+      for (std::size_t g = 0; g < gains.size(); ++g) {
+        if (gains[g] > best_gain) {
+          best_gain = gains[g];
+          best_candidate = g * 16;
+        }
+      }
+      if (best_gain > 0.0) centers[0] = pts[best_candidate];
+      totals[r] = total;
+    }
+    totals.insert(totals.end(), centers.begin(), centers.end());
+    return compare_results(expected, totals);
+  }
+
+  VerifyOutcome verify_pat(std::size_t threads) const override {
+    const Workload& w = workload();
+    const std::vector<double> expected = run_sequential(w);
+
+    // The same geometric decomposition on the pattern runtime: the
+    // per-point cost loop and the candidate-gain loop run as pat do-alls
+    // per round; the cost total folds per chunk, combined in chunk order.
+    std::vector<double> centers(kCenters, 0.0);
+    for (std::size_t c = 0; c < kCenters; ++c) centers[c] = static_cast<double>(c) * 2.0;
+    std::vector<double> totals(kRounds, 0.0);
+    rt::ThreadPool pool(threads);
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      const double* pts = w.points.data() + r * kPointsPerRound;
+      std::vector<double> costs(kPointsPerRound, 0.0);
+      pat::parallel_for(pool, 0, kPointsPerRound, [&](std::uint64_t p) {
+        costs[p] = nearest_center_cost(centers, pts[p]);
+      });
+      double total = 0.0;
+      for (double c : costs) total += c;
+      std::vector<double> gains((kPointsPerRound + 15) / 16, 0.0);
+      pat::parallel_for(pool, 0, gains.size(), [&](std::uint64_t g) {
         gains[g] = pgain(centers, pts, kPointsPerRound, pts[g * 16]);
       });
       double best_gain = 0.0;

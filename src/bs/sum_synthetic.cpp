@@ -11,6 +11,7 @@
 
 #include "bs/benchmark.hpp"
 #include "bs/detail.hpp"
+#include "pat/pat.hpp"
 #include "rt/parallel.hpp"
 #include "sim/lowering.hpp"
 
@@ -81,6 +82,19 @@ class SumLocal final : public Benchmark {
     return out;
   }
 
+  VerifyOutcome verify_pat(std::size_t threads) const override {
+    const std::int64_t expected = sum_local_plain();
+    rt::ThreadPool pool(threads);
+    const std::int64_t total = pat::parallel_for_reduce(
+        pool, 0, kElems, std::int64_t{0},
+        [](std::int64_t acc, std::uint64_t i) { return acc + input()[i]; },
+        [](std::int64_t a, std::int64_t b) { return a + b; });
+    VerifyOutcome out;
+    out.ok = total == expected;
+    out.detail = "sum = " + std::to_string(total) + ", expected " + std::to_string(expected);
+    return out;
+  }
+
   sim::TaskDag build_sim_dag(const core::AnalysisResult& analysis) const override {
     const pet::PetNode& loop = pet_node_named(analysis, "sum_local_loop");
     sim::DagBuilder builder;
@@ -140,6 +154,24 @@ class SumModule final : public Benchmark {
         pool, 0, kElems, 0,
         [](std::int64_t acc, std::uint64_t i) { return acc + heavy_work(input()[i]); },
         [](std::int64_t a, std::int64_t b) { return a + b; });
+    VerifyOutcome out;
+    out.ok = total == expected;
+    out.detail = "sum = " + std::to_string(total) + ", expected " + std::to_string(expected);
+    return out;
+  }
+
+  VerifyOutcome verify_pat(std::size_t threads) const override {
+    const std::int64_t expected = sum_module_plain();
+    rt::ThreadPool pool(threads);
+    // Guided chunking: the interesting leg for the cross-module reduction,
+    // since the heavy per-element callee is what the guided plan amortizes.
+    pat::ForOptions options;
+    options.chunking = pat::Chunking::Guided;
+    options.min_chunk = 32;
+    const std::int64_t total = pat::parallel_for_reduce(
+        pool, 0, kElems, std::int64_t{0},
+        [](std::int64_t acc, std::uint64_t i) { return acc + heavy_work(input()[i]); },
+        [](std::int64_t a, std::int64_t b) { return a + b; }, options);
     VerifyOutcome out;
     out.ok = total == expected;
     out.detail = "sum = " + std::to_string(total) + ", expected " + std::to_string(expected);

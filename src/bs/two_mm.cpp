@@ -10,6 +10,7 @@
 
 #include "bs/benchmark.hpp"
 #include "bs/detail.hpp"
+#include "pat/pat.hpp"
 #include "rt/parallel.hpp"
 #include "sim/lowering.hpp"
 
@@ -113,6 +114,25 @@ class TwoMm final : public Benchmark {
     Matrix d_par(kN, kN);
     rt::ThreadPool pool(threads);
     rt::parallel_for(pool, 0, kN, [&](std::uint64_t i) {
+      tmp_row(w, tmp_par, static_cast<std::size_t>(i));
+      d_row(w, tmp_par, d_par, static_cast<std::size_t>(i));
+    });
+    return compare_results(d_seq.data, d_par.data);
+  }
+
+  VerifyOutcome verify_pat(std::size_t threads) const override {
+    const Workload& w = workload();
+    Matrix tmp_seq(kN, kN);
+    Matrix d_seq(kN, kN);
+    for (std::size_t i = 0; i < kN; ++i) tmp_row(w, tmp_seq, i);
+    for (std::size_t i = 0; i < kN; ++i) d_row(w, tmp_seq, d_seq, i);
+
+    // The detected fusion as one pat do-all: row i of tmp feeds only row i
+    // of d, so both multiplies run back-to-back per iteration.
+    Matrix tmp_par(kN, kN);
+    Matrix d_par(kN, kN);
+    rt::ThreadPool pool(threads);
+    pat::parallel_for(pool, 0, kN, [&](std::uint64_t i) {
       tmp_row(w, tmp_par, static_cast<std::size_t>(i));
       d_row(w, tmp_par, d_par, static_cast<std::size_t>(i));
     });

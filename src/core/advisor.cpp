@@ -291,4 +291,17 @@ std::vector<RankedPattern> rank_patterns(const AnalysisResult& analysis,
   return ranked;
 }
 
+const char* pat_construct(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::DoAll: return "pat::parallel_for";
+    case PatternKind::Reduction: return "pat::parallel_for_reduce";
+    case PatternKind::Fusion: return "pat::parallel_for (fused body)";
+    case PatternKind::MultiLoopPipeline: return "pat::Pipeline (farm)";
+    case PatternKind::TaskParallelism: return "pat::TaskPool";
+    case PatternKind::GeometricDecomposition: return "pat::parallel_for (chunked)";
+    case PatternKind::None: break;
+  }
+  return "(none)";
+}
+
 }  // namespace ppd::core

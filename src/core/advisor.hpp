@@ -77,4 +77,9 @@ struct RankedPattern {
 [[nodiscard]] std::vector<RankedPattern> rank_patterns(const AnalysisResult& analysis,
                                                        const trace::TraceContext& program);
 
+/// The ppd::pat construct implementing a pattern — the executable backend's
+/// counterpart of Table I's supporting-structure column. Patterns without a
+/// pat counterpart (None) map to "(none)".
+[[nodiscard]] const char* pat_construct(PatternKind kind);
+
 }  // namespace ppd::core

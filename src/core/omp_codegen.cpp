@@ -136,6 +136,28 @@ std::vector<OmpSuggestion> generate_openmp(const AnalysisResult& analysis,
     out.push_back(std::move(s));
   }
 
+  // Perfectly nested do-all pairs: the outer hotspot loop's only child is
+  // another do-all loop, so both iteration spaces collapse into one
+  // parallel-for — more parallelism when the outer trip count alone is
+  // smaller than the machine. Appended after the per-loop sections so the
+  // primary suggestion for a loop stays the pattern that detected it.
+  for (pet::NodeIndex node : analysis.pet.hotspots(0.02)) {
+    const pet::PetNode& n = analysis.pet.node(node);
+    if (!n.is_loop() || n.children.size() != 1) continue;
+    const pet::PetNode& inner = analysis.pet.node(n.children.front());
+    if (!inner.is_loop()) continue;
+    const LoopAnalysis outer_la = analyze_loop(analysis.profile, n.region);
+    const LoopAnalysis inner_la = analyze_loop(analysis.profile, inner.region);
+    if (outer_la.cls != LoopClass::DoAll || inner_la.cls != LoopClass::DoAll) continue;
+    OmpSuggestion s;
+    s.region = n.region;
+    s.construct = "#pragma omp parallel for collapse(2)";
+    s.note = "loops '" + n.name + "' and '" + inner.name +
+             "' are perfectly nested do-alls; collapsing multiplies the parallel "
+             "iteration space";
+    out.push_back(std::move(s));
+  }
+
   // Do-across schedules for residual sequential hotspot loops.
   for (pet::NodeIndex node : analysis.pet.hotspots(0.02)) {
     const pet::PetNode& n = analysis.pet.node(node);

@@ -1,0 +1,416 @@
+#include "core/pat_codegen.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/advisor.hpp"
+#include "support/table.hpp"
+
+namespace ppd::core {
+namespace {
+
+std::string region_name(const trace::TraceContext& program, RegionId region) {
+  return region.valid() ? program.region(region).name : std::string("<unknown>");
+}
+
+/// Per-instance trip count of the loop backing `region`, clamped to a range
+/// that keeps the generated synthetic workload meaningful but quick.
+std::uint64_t loop_trip(const AnalysisResult& analysis, RegionId region) {
+  std::uint64_t trip = 0;
+  const pet::NodeIndex idx = analysis.pet.find(region);
+  if (idx != pet::kInvalidPetNode) {
+    const pet::PetNode& node = analysis.pet.node(idx);
+    if (node.instances > 0) trip = node.iterations / node.instances;
+  }
+  return std::clamp<std::uint64_t>(trip, 64, 65536);
+}
+
+/// One synthetic accumulator per reduction operator. Arithmetic is uint64
+/// throughout: wraparound is defined, and the chunk-ordered combine of
+/// pat::parallel_for_reduce makes every result exactly reproducible.
+struct OpShape {
+  const char* label;     ///< operator name for comments / check labels
+  const char* identity;  ///< identity element expression
+  const char* fold;      ///< fold expression over (acc, synth(i))
+  const char* combine;   ///< combine expression over (a, b)
+};
+
+OpShape op_shape(trace::UpdateOp op) {
+  switch (op) {
+    case trace::UpdateOp::Sum:
+      return {"+", "0", "acc + synth(i)", "a + b"};
+    case trace::UpdateOp::Product:
+      return {"*", "1", "acc * (1u + synth(i) % 3u)", "a * b"};
+    case trace::UpdateOp::Min:
+      return {"min", "~std::uint64_t{0}", "std::min(acc, synth(i))", "std::min(a, b)"};
+    case trace::UpdateOp::Max:
+      return {"max", "0", "std::max(acc, synth(i))", "std::max(a, b)"};
+    case trace::UpdateOp::None:
+      break;
+  }
+  // Operator not inferred: verify with the associative default and leave
+  // the substitution to the programmer (mirrors the omp backend's '?').
+  return {"?", "0", "acc + synth(i)", "a + b"};
+}
+
+/// One emitted pattern instance: the paste-in snippet plus the verifying
+/// block of the translation unit, generated together so the two outputs of
+/// this backend can never drift apart.
+struct Block {
+  PatSuggestion suggestion;
+  std::string tu;  ///< body of one `{ ... }` block inside the jobs loop
+};
+
+std::string join_vars(const trace::TraceContext& program, const std::vector<VarId>& vars) {
+  std::string out;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    out += (i > 0 ? ", " : "") + program.var_info(vars[i]).name;
+  }
+  return out;
+}
+
+void emit_fusion(const AnalysisResult& analysis, const trace::TraceContext& program,
+                 const MultiLoopPipeline& p, std::vector<Block>& blocks) {
+  const std::string x = region_name(program, p.loop_x);
+  const std::string y = region_name(program, p.loop_y);
+  const std::uint64_t n = loop_trip(analysis, p.loop_x);
+  Block b;
+  b.suggestion.region = p.loop_x;
+  b.suggestion.snippet =
+      "ppd::pat::parallel_for(pool, 0, n, [&](std::uint64_t i) {\n"
+      "  /* body of '" + x + "' iteration i */\n"
+      "  /* body of '" + y + "' iteration i */\n"
+      "});";
+  b.suggestion.note = "after fusing '" + x + "' and '" + y + "' into one loop body";
+  b.tu =
+      "    {\n"
+      "      // fusion: '" + x + "' + '" + y + "' as one pat do-all (" +
+      std::to_string(n) + " iterations); iteration i of the second loop\n"
+      "      // reads exactly what iteration i of the first wrote.\n"
+      "      const std::uint64_t n = " + std::to_string(n) + ";\n"
+      "      std::vector<std::uint64_t> mid(n, 0), out(n, 0);\n"
+      "      std::vector<std::uint64_t> mid_seq(n, 0), out_seq(n, 0);\n"
+      "      for (std::uint64_t i = 0; i < n; ++i) {\n"
+      "        mid_seq[i] = synth(i) * 3u;\n"
+      "        out_seq[i] = mid_seq[i] + 7u;\n"
+      "      }\n"
+      "      ppd::pat::parallel_for(pool, 0, n, [&](std::uint64_t i) {\n"
+      "        mid[i] = synth(i) * 3u;\n"
+      "        out[i] = mid[i] + 7u;\n"
+      "      });\n"
+      "      check(out == out_seq, \"fusion '" + x + "'+'" + y + "'\", jobs);\n"
+      "      ++patterns;\n"
+      "    }\n";
+  blocks.push_back(std::move(b));
+}
+
+void emit_pipeline(const AnalysisResult& analysis, const trace::TraceContext& program,
+                   const MultiLoopPipeline& p, std::vector<Block>& blocks) {
+  const std::string x = region_name(program, p.loop_x);
+  const std::string y = region_name(program, p.loop_y);
+  const std::uint64_t n = loop_trip(analysis, p.loop_x);
+  const std::string need = "need(j) = ceil((j - (" + support::format_fixed(p.fit.b, 2) +
+                           ")) / " + support::format_fixed(p.fit.a, 2) + ")";
+  Block b;
+  b.suggestion.region = p.loop_x;
+  b.suggestion.snippet =
+      "ppd::pat::Pipeline<std::uint64_t> pipe(pool);\n"
+      "pipe.farm([&](std::uint64_t j) { /* '" + x + "' iteration j */ return j; }, 2);\n"
+      "pipe.run(source /* yields 0..n-1 */,\n"
+      "         [&](std::uint64_t j) { /* '" + y + "' iteration j */ });";
+  b.suggestion.note = "the farm preserves delivery order, so the sink runs '" + y +
+                      "' exactly when " + need + " producer iterations are done";
+  b.tu =
+      "    {\n"
+      "      // pipeline: '" + x + "' farmed, '" + y + "' ordered at the sink\n"
+      "      // (" + need + ", " + std::to_string(n) + " iterations)\n"
+      "      const std::uint64_t n = " + std::to_string(n) + ";\n"
+      "      std::vector<std::uint64_t> mid(n, 0), out(n, 0), out_seq(n, 0);\n"
+      "      for (std::uint64_t j = 0; j < n; ++j) out_seq[j] = synth(j) * 3u + 7u;\n"
+      "      std::uint64_t next = 0, expect = 0;\n"
+      "      ppd::pat::Pipeline<std::uint64_t> pipe(pool);\n"
+      "      pipe.farm([&](std::uint64_t j) { mid[j] = synth(j) * 3u; return j; }, 2);\n"
+      "      pipe.run(\n"
+      "          [&]() -> std::optional<std::uint64_t> {\n"
+      "            if (next >= n) return std::nullopt;\n"
+      "            return next++;\n"
+      "          },\n"
+      "          [&](std::uint64_t j) {\n"
+      "            check(j == expect, \"pipeline '" + x + "' delivery order\", jobs);\n"
+      "            ++expect;\n"
+      "            out[j] = mid[j] + 7u;\n"
+      "          });\n"
+      "      check(out == out_seq, \"pipeline '" + x + "' -> '" + y + "'\", jobs);\n"
+      "      ++patterns;\n"
+      "    }\n";
+  blocks.push_back(std::move(b));
+}
+
+void emit_reduction(const AnalysisResult& analysis, const trace::TraceContext& program,
+                    RegionId loop, trace::UpdateOp op, const std::string& vars,
+                    std::vector<Block>& blocks) {
+  const std::string name = region_name(program, loop);
+  const OpShape shape = op_shape(op);
+  const std::uint64_t n = loop_trip(analysis, loop);
+  Block b;
+  b.suggestion.region = loop;
+  b.suggestion.snippet =
+      "auto result = ppd::pat::parallel_for_reduce(\n"
+      "    pool, 0, n, /* identity */ " + std::string(shape.identity) + ",\n"
+      "    [&](auto acc, std::uint64_t i) { /* '" + name + "' body folding " + vars +
+      " */ return acc; },\n"
+      "    [](auto a, auto b) { return " + shape.combine + "; });";
+  b.suggestion.note = "for loop '" + name + "' (operator " + shape.label + ": " + vars + ")";
+  if (shape.label[0] == '?') {
+    b.suggestion.note +=
+        "; the operator was not inferred — confirm associativity and substitute it";
+  }
+  b.tu =
+      "    {\n"
+      "      // reduction: loop '" + name + "' over " + vars + " (operator " + shape.label +
+      ", " + std::to_string(n) + " iterations)\n"
+      "      const std::uint64_t n = " + std::to_string(n) + ";\n"
+      "      std::uint64_t seq = " + shape.identity + ";\n"
+      "      for (std::uint64_t i = 0; i < n; ++i) {\n"
+      "        const std::uint64_t acc = seq;\n"
+      "        seq = " + shape.fold + ";\n"
+      "      }\n"
+      "      const std::uint64_t par = ppd::pat::parallel_for_reduce(\n"
+      "          pool, 0, n, std::uint64_t{" + shape.identity + "},\n"
+      "          [](std::uint64_t acc, std::uint64_t i) { return " + shape.fold + "; },\n"
+      "          [](std::uint64_t a, std::uint64_t b) { return " + shape.combine + "; });\n"
+      "      check(par == seq, \"reduction '" + name + "' (" + shape.label + ")\", jobs);\n"
+      "      ++patterns;\n"
+      "    }\n";
+  blocks.push_back(std::move(b));
+}
+
+void emit_tasks(const trace::TraceContext& program, const ScopeTaskParallelism& t,
+                std::vector<Block>& blocks) {
+  const std::string scope = region_name(program, t.tp.scope);
+  const std::size_t workers = t.tp.worker_count();
+  std::string worker_names;
+  for (std::size_t i = 0; i < t.tp.roles.size(); ++i) {
+    if (t.tp.roles[i] != CuRole::Worker) continue;
+    if (!worker_names.empty()) worker_names += ", ";
+    worker_names += t.graph.cu(static_cast<graph::NodeIndex>(i)).name;
+  }
+  Block b;
+  b.suggestion.region = t.tp.scope;
+  b.suggestion.snippet =
+      "ppd::pat::TaskPool tasks(pool);\n"
+      "tasks.submit([&] { /* worker CU */ });  // one per worker: " + worker_names + "\n"
+      "tasks.wait();  // barrier CU runs after";
+  b.suggestion.note = "in '" + scope + "'; work stealing spreads the " +
+                      std::to_string(workers) + " worker task(s) across the pool";
+  b.tu =
+      "    {\n"
+      "      // fork/worker/barrier: scope '" + scope + "', " + std::to_string(workers) +
+      " worker task(s) (" + worker_names + ")\n"
+      "      const std::size_t workers = " + std::to_string(workers) + ";\n"
+      "      const std::uint64_t n = 4096;\n"
+      "      std::vector<std::uint64_t> partial(workers, 0);\n"
+      "      {\n"
+      "        ppd::pat::TaskPool tasks(pool);\n"
+      "        for (std::size_t w = 0; w < workers; ++w) {\n"
+      "          tasks.submit([&, w] {\n"
+      "            const std::uint64_t lo = n * w / workers;\n"
+      "            const std::uint64_t hi = n * (w + 1) / workers;\n"
+      "            std::uint64_t acc = 0;\n"
+      "            for (std::uint64_t i = lo; i < hi; ++i) acc += synth(i);\n"
+      "            partial[w] = acc;\n"
+      "          });\n"
+      "        }\n"
+      "        tasks.wait();\n"
+      "      }\n"
+      "      std::uint64_t total = 0, seq = 0;\n"
+      "      for (const std::uint64_t v : partial) total += v;\n"
+      "      for (std::uint64_t i = 0; i < n; ++i) seq += synth(i);\n"
+      "      check(total == seq, \"tasks '" + scope + "'\", jobs);\n"
+      "      ++patterns;\n"
+      "    }\n";
+  blocks.push_back(std::move(b));
+}
+
+void emit_geometric(const trace::TraceContext& program, const GeometricDecomposition& gd,
+                    std::vector<Block>& blocks) {
+  const std::string fn = region_name(program, gd.function);
+  Block b;
+  b.suggestion.region = gd.function;
+  b.suggestion.snippet =
+      "ppd::pat::parallel_for(pool, 0, chunks, [&](std::uint64_t c) {\n"
+      "  " + fn + "(data + c * chunk_size, chunk_size);\n"
+      "});";
+  b.suggestion.note = "split the input of '" + fn +
+                      "' into contiguous chunks; combine per-chunk results afterwards";
+  b.tu =
+      "    {\n"
+      "      // geometric decomposition: '" + fn + "' over contiguous data chunks\n"
+      "      const std::uint64_t n = 4096, chunks = 8;\n"
+      "      std::vector<std::uint64_t> out(n, 0), out_seq(n, 0);\n"
+      "      for (std::uint64_t i = 0; i < n; ++i) out_seq[i] = synth(i) + 1u;\n"
+      "      ppd::pat::parallel_for(pool, 0, chunks, [&](std::uint64_t c) {\n"
+      "        const std::uint64_t lo = n * c / chunks;\n"
+      "        const std::uint64_t hi = n * (c + 1) / chunks;\n"
+      "        for (std::uint64_t i = lo; i < hi; ++i) out[i] = synth(i) + 1u;\n"
+      "      });\n"
+      "      check(out == out_seq, \"geometric '" + fn + "'\", jobs);\n"
+      "      ++patterns;\n"
+      "    }\n";
+  blocks.push_back(std::move(b));
+}
+
+void emit_privatized_doall(const AnalysisResult& analysis, const trace::TraceContext& program,
+                           RegionId loop, const LoopAnalysis& la, std::vector<Block>& blocks) {
+  const std::string name = region_name(program, loop);
+  const std::string vars = join_vars(program, la.privatizable);
+  const std::uint64_t n = loop_trip(analysis, loop);
+  Block b;
+  b.suggestion.region = loop;
+  b.suggestion.snippet =
+      "ppd::pat::parallel_for(pool, 0, n, [&](std::uint64_t i) {\n"
+      "  /* '" + name + "' body with " + vars + " declared inside the lambda */\n"
+      "});";
+  b.suggestion.note = "for loop '" + name + "': moving " + vars +
+                      " into the iteration body privatizes every carried dependence";
+  b.tu =
+      "    {\n"
+      "      // privatized do-all: loop '" + name + "' (" + std::to_string(n) +
+      " iterations; private: " + vars + ")\n"
+      "      const std::uint64_t n = " + std::to_string(n) + ";\n"
+      "      std::vector<std::uint64_t> out(n, 0), out_seq(n, 0);\n"
+      "      for (std::uint64_t i = 0; i < n; ++i) {\n"
+      "        const std::uint64_t t = synth(i);\n"
+      "        out_seq[i] = t * t;\n"
+      "      }\n"
+      "      ppd::pat::parallel_for(pool, 0, n, [&](std::uint64_t i) {\n"
+      "        const std::uint64_t t = synth(i);  // the privatized temporary\n"
+      "        out[i] = t * t;\n"
+      "      });\n"
+      "      check(out == out_seq, \"privatized do-all '" + name + "'\", jobs);\n"
+      "      ++patterns;\n"
+      "    }\n";
+  blocks.push_back(std::move(b));
+}
+
+/// Every executable pattern instance, in generate_openmp() order. Do-across
+/// schedules are the one family with no pat counterpart (the runtime has no
+/// ordered construct); they stay on the OpenMP backend and are omitted here.
+std::vector<Block> collect_blocks(const AnalysisResult& analysis,
+                                  const trace::TraceContext& program) {
+  std::vector<Block> blocks;
+
+  for (const MultiLoopPipeline* p : analysis.reported_pipelines()) {
+    if (p->fusion) {
+      emit_fusion(analysis, program, *p, blocks);
+    } else {
+      emit_pipeline(analysis, program, *p, blocks);
+    }
+  }
+
+  // Reductions, grouped like the omp backend: one block per (loop, op).
+  std::map<RegionId, std::map<trace::UpdateOp, std::vector<VarId>>> by_loop;
+  for (const ReductionCandidate& r : analysis.reductions) {
+    by_loop[r.loop][r.op].push_back(r.var);
+  }
+  for (const auto& [loop, per_op] : by_loop) {
+    for (const auto& [op, vars] : per_op) {
+      emit_reduction(analysis, program, loop, op, join_vars(program, vars), blocks);
+    }
+  }
+
+  for (const ScopeTaskParallelism& t : analysis.tasks) {
+    if (t.tp.worker_count() < 2) continue;
+    emit_tasks(program, t, blocks);
+  }
+
+  for (const GeometricDecomposition& gd : analysis.geometric) {
+    emit_geometric(program, gd, blocks);
+  }
+
+  for (const pet::NodeIndex node : analysis.pet.hotspots(0.02)) {
+    const pet::PetNode& n = analysis.pet.node(node);
+    if (!n.is_loop()) continue;
+    const LoopAnalysis la = analyze_loop(analysis.profile, n.region);
+    if (la.cls != LoopClass::Sequential || !la.doall_after_transform) continue;
+    emit_privatized_doall(analysis, program, n.region, la, blocks);
+  }
+
+  return blocks;
+}
+
+}  // namespace
+
+std::vector<PatSuggestion> generate_pat(const AnalysisResult& analysis,
+                                        const trace::TraceContext& program) {
+  std::vector<PatSuggestion> out;
+  for (Block& b : collect_blocks(analysis, program)) {
+    out.push_back(std::move(b.suggestion));
+  }
+  return out;
+}
+
+std::string pat_translation_unit(const AnalysisResult& analysis,
+                                 const trace::TraceContext& program,
+                                 const std::string& program_name) {
+  const std::vector<Block> blocks = collect_blocks(analysis, program);
+  if (blocks.empty()) return {};
+
+  std::string tu;
+  tu +=
+      "// Generated by ppd-analyze --emit pat from '" + program_name + "'.\n"
+      "// Primary pattern: " + std::string(to_string(analysis.primary)) +
+      " (supporting construct: " + pat_construct(analysis.primary) + ").\n"
+      "//\n"
+      "// Self-verifying: every detected pattern instance runs on ppd::pat\n"
+      "// with a synthetic workload sized from the analysis, at jobs\n"
+      "// {1,2,4,8}, and is compared against the sequential evaluation.\n"
+      "// Exit 0 iff all results match. Compile with -I <repo>/src plus\n"
+      "// rt/thread_pool.cpp, obs/obs.cpp, support/assert.cpp,\n"
+      "// support/status.cpp and -pthread (tests/cli/check_emit_pat.cmake\n"
+      "// does exactly this).\n"
+      "#include <algorithm>\n"
+      "#include <cstdint>\n"
+      "#include <cstdio>\n"
+      "#include <optional>\n"
+      "#include <vector>\n"
+      "\n"
+      "#include \"pat/pat.hpp\"\n"
+      "#include \"rt/thread_pool.hpp\"\n"
+      "\n"
+      "namespace {\n"
+      "\n"
+      "int g_failures = 0;\n"
+      "\n"
+      "void check(bool ok, const char* what, std::size_t jobs) {\n"
+      "  if (!ok) {\n"
+      "    ++g_failures;\n"
+      "    std::fprintf(stderr, \"FAIL: %s at jobs=%zu\\n\", what, jobs);\n"
+      "  }\n"
+      "}\n"
+      "\n"
+      "/// Deterministic synthetic element: stands in for the real loop body.\n"
+      "std::uint64_t synth(std::uint64_t i) {\n"
+      "  return (i * 2654435761u + 12345u) % 1000u;\n"
+      "}\n"
+      "\n"
+      "}  // namespace\n"
+      "\n"
+      "int main() {\n"
+      "  int patterns = 0;\n"
+      "  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{4},\n"
+      "                                 std::size_t{8}}) {\n"
+      "    ppd::rt::ThreadPool pool(jobs);\n"
+      "    patterns = 0;\n";
+  for (const Block& b : blocks) tu += b.tu;
+  tu +=
+      "  }\n"
+      "  if (g_failures != 0) return 1;\n"
+      "  std::printf(\"pat-verify: %d pattern instance(s) verified at jobs 1/2/4/8\\n\",\n"
+      "              patterns);\n"
+      "  return 0;\n"
+      "}\n";
+  return tu;
+}
+
+}  // namespace ppd::core

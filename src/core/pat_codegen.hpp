@@ -1,0 +1,44 @@
+// ppd::pat skeleton generation: the executable second backend.
+//
+// Where omp_codegen emits pragma *text* the programmer pastes into their
+// own sources, this backend emits C++ against the ppd::pat runtime — code
+// the repo itself can compile, run, and time. Two granularities:
+//
+//  * generate_pat(): per-pattern snippets (the pat counterpart of each
+//    OmpSuggestion), for reports and side-by-side display;
+//  * pat_translation_unit(): one complete, self-verifying program that
+//    instantiates every detected pattern with a synthetic workload sized
+//    from the analysis, runs it on ppd::pat at jobs {1,2,4,8}, compares
+//    against the sequential evaluation, and exits 0 iff all results match.
+//    `ppd-analyze <benchmark> --emit pat > gen.cpp` pipes straight into a
+//    compiler (see tests/cli/check_emit_pat.cmake).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+
+namespace ppd::core {
+
+/// One generated suggestion: where it applies and the pat code to paste.
+struct PatSuggestion {
+  RegionId region;      ///< the loop/function the construct replaces
+  std::string snippet;  ///< C++ against the ppd::pat API, '\n'-separated
+  std::string note;     ///< what the programmer still has to adapt
+};
+
+/// Generates ppd::pat snippets for every detected pattern instance, in the
+/// same order as generate_openmp() so the two backends can be compared
+/// suggestion by suggestion.
+[[nodiscard]] std::vector<PatSuggestion> generate_pat(const AnalysisResult& analysis,
+                                                      const trace::TraceContext& program);
+
+/// Emits the complete self-verifying translation unit described above.
+/// Returns the empty string when no executable pattern was detected (the
+/// caller reports the no-pattern diagnostic; see ppd-analyze exit code 6).
+[[nodiscard]] std::string pat_translation_unit(const AnalysisResult& analysis,
+                                               const trace::TraceContext& program,
+                                               const std::string& program_name);
+
+}  // namespace ppd::core

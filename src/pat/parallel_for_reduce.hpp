@@ -1,0 +1,163 @@
+// pat::parallel_for / pat::parallel_for_reduce — the executable form of the
+// do-all, fusion, geometric-decomposition, and reduction patterns.
+//
+// Unlike the minimal rt::parallel_for (one static chunk per worker), these
+// run over an explicit *chunk plan* claimed dynamically by the workers:
+//
+//  * Static   — `workers` equal ranges, the classic SPMD split;
+//  * Guided   — decreasing chunk sizes (remaining / 2·workers, floored at
+//               min_chunk), so stragglers at the tail cost little when the
+//               per-iteration cost is irregular.
+//
+// Determinism contract: the chunk *boundaries* are computed up front from
+// (begin, end, workers, chunking) alone, and the reduction combines the
+// per-chunk partials in chunk order on the calling thread. Which worker
+// executes which chunk varies run to run; the combine order never does, so
+// even non-associative-in-practice folds (floating-point sums) produce
+// bit-identical results at every job count. The execution-verification
+// suite (ctest -L execverify) leans on exactly this property.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "rt/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace ppd::pat {
+
+/// How parallel_for / parallel_for_reduce carve [begin, end) into chunks.
+enum class Chunking { Static, Guided };
+
+/// Tuning for the chunk plan.
+struct ForOptions {
+  Chunking chunking = Chunking::Static;
+  /// Guided floor: no chunk smaller than this (also the tail granularity).
+  std::uint64_t min_chunk = 1;
+};
+
+/// Half-open iteration range [lo, hi).
+struct ChunkRange {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+};
+
+/// The deterministic chunk plan for [begin, end): covers the range exactly,
+/// in order, without overlap. Exposed for tests and for the codegen
+/// backend's generated comments.
+[[nodiscard]] inline std::vector<ChunkRange> plan_chunks(std::uint64_t begin,
+                                                         std::uint64_t end,
+                                                         std::size_t workers,
+                                                         const ForOptions& options = {}) {
+  std::vector<ChunkRange> plan;
+  if (begin >= end) return plan;
+  PPD_ASSERT(workers > 0);
+  const std::uint64_t n = end - begin;
+  const std::uint64_t min_chunk = options.min_chunk == 0 ? 1 : options.min_chunk;
+  if (options.chunking == Chunking::Static) {
+    const std::uint64_t chunks =
+        std::min<std::uint64_t>(n, static_cast<std::uint64_t>(workers));
+    plan.reserve(static_cast<std::size_t>(chunks));
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      plan.push_back({begin + n * c / chunks, begin + n * (c + 1) / chunks});
+    }
+    return plan;
+  }
+  // Guided: each next chunk takes remaining / (2 * workers), floored.
+  std::uint64_t lo = begin;
+  while (lo < end) {
+    const std::uint64_t remaining = end - lo;
+    std::uint64_t size = remaining / (2 * static_cast<std::uint64_t>(workers));
+    if (size < min_chunk) size = min_chunk;
+    if (size > remaining) size = remaining;
+    plan.push_back({lo, lo + size});
+    lo += size;
+  }
+  return plan;
+}
+
+namespace detail {
+
+/// Registry references resolved once per process (see obs::Registry note on
+/// stable references).
+struct ForCounters {
+  obs::Counter& invocations;
+  obs::Counter& chunks;
+  static ForCounters& instance() {
+    static ForCounters counters{
+        obs::Registry::instance().counter("pat.pfr.invocations"),
+        obs::Registry::instance().counter("pat.pfr.chunks")};
+    return counters;
+  }
+};
+
+/// Runs the plan: `workers` pool tasks claim chunk indices from a shared
+/// atomic cursor and call run_chunk(chunk_index) for each.
+template <typename RunChunk>
+void execute_plan(rt::ThreadPool& pool, std::size_t chunk_count, std::size_t workers,
+                  RunChunk&& run_chunk) {
+  std::atomic<std::size_t> cursor{0};
+  rt::TaskGroup group(pool);
+  const std::size_t tasks = std::min(workers, chunk_count);
+  for (std::size_t w = 0; w < tasks; ++w) {
+    group.run([&cursor, chunk_count, &run_chunk] {
+      for (;;) {
+        const std::size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (c >= chunk_count) return;
+        run_chunk(c);
+      }
+    });
+  }
+  group.wait();
+}
+
+}  // namespace detail
+
+/// Do-all over [begin, end): body(i) for every i, chunk-claimed by the
+/// pool's workers. Blocks until every iteration finished; body exceptions
+/// propagate (first one rethrown).
+template <typename Body>
+void parallel_for(rt::ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
+                  Body&& body, const ForOptions& options = {}) {
+  if (begin >= end) return;
+  PPD_OBS_SPAN("pat.parallel_for");
+  const std::size_t workers = pool.thread_count();
+  const std::vector<ChunkRange> plan = plan_chunks(begin, end, workers, options);
+  detail::ForCounters::instance().invocations.add(1);
+  detail::ForCounters::instance().chunks.add(plan.size());
+  detail::execute_plan(pool, plan.size(), workers, [&](std::size_t c) {
+    for (std::uint64_t i = plan[c].lo; i < plan[c].hi; ++i) body(i);
+  });
+}
+
+/// Reduction over [begin, end): every chunk folds its range with
+/// fold(acc, i) starting from `identity`; the per-chunk partials combine in
+/// chunk order with combine(acc, partial) on the calling thread. The result
+/// is bit-identical at every job count (see the determinism contract above).
+template <typename T, typename Fold, typename Combine>
+[[nodiscard]] T parallel_for_reduce(rt::ThreadPool& pool, std::uint64_t begin,
+                                    std::uint64_t end, T identity, Fold&& fold,
+                                    Combine&& combine, const ForOptions& options = {}) {
+  if (begin >= end) return identity;
+  PPD_OBS_SPAN("pat.parallel_for_reduce");
+  const std::size_t workers = pool.thread_count();
+  const std::vector<ChunkRange> plan = plan_chunks(begin, end, workers, options);
+  detail::ForCounters::instance().invocations.add(1);
+  detail::ForCounters::instance().chunks.add(plan.size());
+  std::vector<T> partial(plan.size(), identity);
+  detail::execute_plan(pool, plan.size(), workers, [&](std::size_t c) {
+    T acc = identity;
+    for (std::uint64_t i = plan[c].lo; i < plan[c].hi; ++i) {
+      acc = fold(std::move(acc), i);
+    }
+    partial[c] = std::move(acc);
+  });
+  T acc = std::move(identity);
+  for (T& p : partial) acc = combine(std::move(acc), std::move(p));
+  return acc;
+}
+
+}  // namespace ppd::pat

@@ -1,0 +1,18 @@
+// ppd::pat — executable pattern runtime (umbrella header).
+//
+// The analysis pipeline detects patterns; this library *runs* them. Three
+// composable primitives over rt::ThreadPool, one per Algorithm Structure
+// branch the detector reports:
+//
+//   parallel_for_reduce.hpp  do-all / geometric / reduction  (by-data)
+//   pipeline.hpp             pipeline + farm stages          (by-flow)
+//   task_pool.hpp            task / divide-and-conquer       (by-task)
+//
+// All three are deterministic at every worker count (see each header's
+// contract), which is what lets the execution-verification suite assert
+// parallel == sequential bit-for-bit across jobs {1,2,4,8}.
+#pragma once
+
+#include "pat/parallel_for_reduce.hpp"
+#include "pat/pipeline.hpp"
+#include "pat/task_pool.hpp"

@@ -1,0 +1,320 @@
+// pat::Pipeline — the executable form of the multi-loop pipeline pattern:
+// an ordered stream of items flowing through serial stages and replicated
+// *farm* stages, connected by bounded queues with back-pressure.
+//
+// Semantics (the invariants DESIGN.md §12 documents):
+//
+//  * Ordering. The sink observes items in exactly the order the source
+//    produced them, farms included: a farm dispatches round-robin across
+//    its replicas and the downstream side collects round-robin in the same
+//    order, so replica r carries precisely the subsequence i ≡ r (mod k)
+//    and the merge is a deterministic interleave — no reorder buffer, no
+//    sequence numbers, bit-identical output at every replica count.
+//
+//  * Back-pressure. Every link is a BoundedQueue of fixed capacity; a
+//    producer that outruns its consumer blocks in push() (counted in
+//    pat.pipeline.push_waits). Memory in flight is bounded by
+//    capacity × queues regardless of stream length.
+//
+//  * Placement. The source and every stage replica run as long-lived tasks
+//    on the rt::ThreadPool; the sink runs on the calling thread. When the
+//    pool has fewer workers than the pipeline needs actors, run() degrades
+//    to a sequential in-order execution of the same stages on the calling
+//    thread (pat.pipeline.sequential_fallbacks) — same results, no overlap,
+//    never a deadlock from actors waiting on unscheduled actors.
+//
+//  * Failure. A throwing stage closes every queue, which unwinds all
+//    actors; run() rethrows the first exception after joining them.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "rt/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace ppd::pat {
+
+namespace detail {
+struct PipelineCounters {
+  obs::Counter& runs;
+  obs::Counter& items;
+  obs::Counter& push_waits;
+  obs::Counter& pop_waits;
+  obs::Counter& sequential_fallbacks;
+  static PipelineCounters& instance() {
+    static PipelineCounters counters{
+        obs::Registry::instance().counter("pat.pipeline.runs"),
+        obs::Registry::instance().counter("pat.pipeline.items"),
+        obs::Registry::instance().counter("pat.pipeline.push_waits"),
+        obs::Registry::instance().counter("pat.pipeline.pop_waits"),
+        obs::Registry::instance().counter("pat.pipeline.sequential_fallbacks")};
+    return counters;
+  }
+};
+}  // namespace detail
+
+/// Blocking MPSC-safe bounded queue (in the pipeline each end is touched by
+/// one actor, but the implementation is safe for any number of threads).
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Blocks while the queue is full (back-pressure). Returns false — and
+  /// drops the item — once the queue is closed.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    if (!(closed_ || items_.size() < capacity_)) {
+      detail::PipelineCounters::instance().push_waits.add(1);
+      not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty; std::nullopt once closed *and*
+  /// drained (close never discards queued items).
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    if (items_.empty() && !closed_) {
+      detail::PipelineCounters::instance().pop_waits.add(1);
+      not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    }
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Wakes every blocked producer and consumer; push() fails from now on,
+  /// pop() drains the remaining items then reports end of stream.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+/// An ordered pipeline over items of type T. Build with stage()/farm(),
+/// execute with run(); a Pipeline object is single-use.
+template <typename T>
+class Pipeline {
+ public:
+  struct Options {
+    /// Capacity of each bounded queue (per farm replica link).
+    std::size_t queue_capacity = 64;
+  };
+
+  explicit Pipeline(rt::ThreadPool& pool, Options options = {})
+      : pool_(pool), options_(options) {}
+
+  /// Appends a serial, order-preserving transformation stage.
+  Pipeline& stage(std::function<T(T)> fn) {
+    stages_.push_back({std::move(fn), 1});
+    return *this;
+  }
+
+  /// Appends a farm: `replicas` copies of fn over the round-robin-split
+  /// stream. Two adjacent farms are not supported (insert a serial stage
+  /// between them); replicas == 1 is exactly stage().
+  Pipeline& farm(std::function<T(T)> fn, std::size_t replicas) {
+    PPD_ASSERT(replicas > 0);
+    PPD_ASSERT_MSG(stages_.empty() || stages_.back().replicas == 1 || replicas == 1,
+                   "adjacent farm stages are not supported");
+    stages_.push_back({std::move(fn), replicas});
+    return *this;
+  }
+
+  /// Actors run() will place on the pool: the source plus every replica.
+  [[nodiscard]] std::size_t pool_actors() const {
+    std::size_t actors = 1;  // the source
+    for (const StageSpec& s : stages_) actors += s.replicas;
+    return actors;
+  }
+
+  /// Drives source() until it returns std::nullopt, streams every item
+  /// through the stages, and hands them to sink in source order.
+  void run(std::function<std::optional<T>()> source, std::function<void(T)> sink) {
+    PPD_OBS_SPAN("pat.pipeline.run");
+    detail::PipelineCounters::instance().runs.add(1);
+    if (pool_.thread_count() < pool_actors()) {
+      run_sequential(source, sink);
+      return;
+    }
+
+    // One channel per link; channel i feeds stage i, the last channel feeds
+    // the sink. A channel has one queue per *reader* when the reader is a
+    // farm, else one queue per *writer* (the farm's replicas each own their
+    // output queue and the downstream reader merges round-robin).
+    std::vector<Channel> channels(stages_.size() + 1);
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+      const std::size_t writers = i == 0 ? 1 : stages_[i - 1].replicas;
+      const std::size_t readers = i < stages_.size() ? stages_[i].replicas : 1;
+      channels[i].queues.reserve(std::max(writers, readers));
+      for (std::size_t q = 0; q < std::max(writers, readers); ++q) {
+        channels[i].queues.push_back(
+            std::make_unique<BoundedQueue<T>>(options_.queue_capacity));
+      }
+    }
+    auto close_all = [&channels] {
+      for (Channel& c : channels) {
+        for (auto& q : c.queues) q->close();
+      }
+    };
+
+    rt::TaskGroup group(pool_);
+    // The source: round-robin into channel 0.
+    group.run([&] {
+      try {
+        Writer out(channels.front());
+        while (std::optional<T> item = source()) {
+          if (!out.write(std::move(*item))) return;  // aborted downstream
+        }
+        out.finish();
+      } catch (...) {
+        close_all();
+        throw;
+      }
+    });
+    // Every stage replica: replica r of stage i reads queue r of channel i
+    // when the stage is a farm (its own input lane), else merges the
+    // channel round-robin; output mirrors that on channel i+1.
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+      const StageSpec& spec = stages_[i];
+      for (std::size_t r = 0; r < spec.replicas; ++r) {
+        group.run([&, i, r] {
+          try {
+            Channel& in = channels[i];
+            Channel& out_channel = channels[i + 1];
+            const bool farm_lane = stages_[i].replicas > 1;
+            Reader input(in, farm_lane ? r : 0, farm_lane);
+            Writer output(out_channel, farm_lane ? r : 0, farm_lane);
+            while (std::optional<T> item = input.read()) {
+              if (!output.write(stages_[i].fn(std::move(*item)))) return;
+            }
+            output.finish();
+          } catch (...) {
+            close_all();
+            throw;
+          }
+        });
+      }
+    }
+    // The sink runs here, on the calling thread.
+    try {
+      Reader final_input(channels.back(), 0, /*single_lane=*/false);
+      while (std::optional<T> item = final_input.read()) {
+        detail::PipelineCounters::instance().items.add(1);
+        sink(std::move(*item));
+      }
+    } catch (...) {
+      close_all();
+      group.wait();
+      throw;
+    }
+    group.wait();  // rethrows the first stage/source exception
+  }
+
+ private:
+  struct StageSpec {
+    std::function<T(T)> fn;
+    std::size_t replicas = 1;
+  };
+
+  struct Channel {
+    std::vector<std::unique_ptr<BoundedQueue<T>>> queues;
+  };
+
+  /// Writes an ordered stream into a channel: a farm replica owns one fixed
+  /// lane; every other writer round-robins across all lanes.
+  class Writer {
+   public:
+    explicit Writer(Channel& channel, std::size_t lane = 0, bool single_lane = false)
+        : channel_(channel), cursor_(lane), single_lane_(single_lane) {}
+
+    bool write(T item) {
+      const bool ok = channel_.queues[cursor_]->push(std::move(item));
+      if (!single_lane_) cursor_ = (cursor_ + 1) % channel_.queues.size();
+      return ok;
+    }
+
+    /// End of stream: closes the lanes this writer owns.
+    void finish() {
+      if (single_lane_) {
+        channel_.queues[cursor_]->close();
+      } else {
+        for (auto& q : channel_.queues) q->close();
+      }
+    }
+
+   private:
+    Channel& channel_;
+    std::size_t cursor_;
+    const bool single_lane_;
+  };
+
+  /// Reads an ordered stream out of a channel; mirror of Writer.
+  class Reader {
+   public:
+    explicit Reader(Channel& channel, std::size_t lane, bool single_lane)
+        : channel_(channel), cursor_(lane), single_lane_(single_lane) {}
+
+    std::optional<T> read() {
+      std::optional<T> item = channel_.queues[cursor_]->pop();
+      if (!single_lane_ && item.has_value()) {
+        cursor_ = (cursor_ + 1) % channel_.queues.size();
+      }
+      return item;
+    }
+
+   private:
+    Channel& channel_;
+    std::size_t cursor_;
+    const bool single_lane_;
+  };
+
+  void run_sequential(const std::function<std::optional<T>()>& source,
+                      const std::function<void(T)>& sink) {
+    detail::PipelineCounters::instance().sequential_fallbacks.add(1);
+    while (std::optional<T> item = source()) {
+      T value = std::move(*item);
+      for (const StageSpec& s : stages_) value = s.fn(std::move(value));
+      detail::PipelineCounters::instance().items.add(1);
+      sink(std::move(value));
+    }
+  }
+
+  rt::ThreadPool& pool_;
+  Options options_;
+  std::vector<StageSpec> stages_;
+};
+
+}  // namespace ppd::pat

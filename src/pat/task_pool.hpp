@@ -1,0 +1,244 @@
+// pat::TaskPool — the executable form of the divide-and-conquer / task
+// parallelism pattern: dynamically spawned tasks over per-worker deques
+// with work stealing, layered on rt::ThreadPool without changing it.
+//
+// Mechanics (the invariants DESIGN.md §12 documents):
+//
+//  * Each pool worker that hosts a runner owns a deque slot. A task
+//    submitted from inside a runner goes to the submitting worker's slot
+//    and is popped LIFO (depth-first, cache-warm); idle runners steal from
+//    other slots FIFO (breadth-first, the oldest — typically largest —
+//    subtree), the classic Cilk-style discipline. Steals use try_lock and
+//    move on, so a contended slot never blocks an idle runner.
+//
+//  * Submissions from threads outside the pool land in a shared inject
+//    queue that runners drain between local pops and steals.
+//
+//  * The runners are plain long-lived rt::ThreadPool tasks, one per worker
+//    they occupy; a TaskPool is single-use: spawn, wait(), destroy.
+//
+// Blocking contract: tasks must not wait on other TaskPool tasks (the pool
+// has no suspension — a blocked runner is a lost worker). Express
+// dependencies by submitting children *before* the parent returns; wait()
+// observes quiescence only when the whole spawn tree has drained, because
+// the pending count never transits zero while any parent is still running.
+//
+// Failure: task exceptions are captured; wait() drains the remaining tasks
+// and rethrows the first one.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "rt/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace ppd::pat {
+
+namespace detail {
+struct TaskCounters {
+  obs::Counter& spawned;
+  obs::Counter& injected;
+  obs::Counter& executed_local;
+  obs::Counter& stolen;
+  static TaskCounters& instance() {
+    static TaskCounters counters{
+        obs::Registry::instance().counter("pat.task.spawned"),
+        obs::Registry::instance().counter("pat.task.injected"),
+        obs::Registry::instance().counter("pat.task.executed_local"),
+        obs::Registry::instance().counter("pat.task.stolen")};
+    return counters;
+  }
+};
+}  // namespace detail
+
+/// Work-stealing task executor scoped to one spawn/wait episode.
+class TaskPool {
+ public:
+  /// Starts min(workers, pool.thread_count()) runners (workers == 0 means
+  /// all of them). The runners occupy their pool workers until wait().
+  explicit TaskPool(rt::ThreadPool& pool, std::size_t workers = 0)
+      : pool_(pool),
+        slots_(pool.thread_count()),
+        group_(pool) {
+    const std::size_t wanted = workers == 0 ? pool_.thread_count() : workers;
+    runner_count_ = std::min(wanted, pool_.thread_count());
+    PPD_ASSERT_MSG(!pool_.owns_current_thread(),
+                   "TaskPool must be created from outside its thread pool");
+    for (std::size_t r = 0; r < runner_count_; ++r) {
+      group_.run([this] { runner_loop(); });
+    }
+  }
+
+  ~TaskPool() { finish(); }
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Spawns a task. Callable from anywhere: inside a running task it pushes
+  /// onto the calling worker's own deque (popped LIFO, stealable FIFO);
+  /// from any other thread it goes through the inject queue.
+  void submit(std::function<void()> fn) {
+    detail::TaskCounters::instance().spawned.add(1);
+    // Count the task *before* publishing it: once it is visible in a deque,
+    // a runner may pop, execute, and decrement it immediately, and an
+    // uncounted in-flight task would let pending_ transit zero — premature
+    // quiescence. The epoch bump comes *after* publication for the mirror
+    // reason: a runner woken early would find nothing and sleep through
+    // the task's arrival.
+    {
+      std::lock_guard lock(mutex_);
+      PPD_ASSERT_MSG(!finished_, "submit on a finished TaskPool");
+      ++pending_;
+    }
+    const std::size_t slot = pool_.owns_current_thread()
+                                 ? rt::ThreadPool::current_worker_index()
+                                 : rt::ThreadPool::kNotAWorker;
+    if (slot != rt::ThreadPool::kNotAWorker) {
+      std::lock_guard slot_lock(slots_[slot].mutex);
+      slots_[slot].tasks.push_back(std::move(fn));
+    } else {
+      detail::TaskCounters::instance().injected.add(1);
+      std::lock_guard inject_lock(inject_mutex_);
+      inject_.push_back(std::move(fn));
+    }
+    {
+      std::lock_guard lock(mutex_);
+      ++epoch_;
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until every spawned task (including transitively spawned
+  /// children) has finished, releases the runners back to the pool, and
+  /// rethrows the first captured task exception. Call once, from outside
+  /// the pool.
+  void wait() {
+    finish();
+    std::exception_ptr err;
+    {
+      std::lock_guard lock(mutex_);
+      err = first_error_;
+      first_error_ = nullptr;
+    }
+    if (err) std::rethrow_exception(err);
+  }
+
+  [[nodiscard]] std::size_t runner_count() const { return runner_count_; }
+
+ private:
+  using Task = std::function<void()>;
+
+  struct Slot {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void finish() {
+    {
+      std::lock_guard lock(mutex_);
+      if (finished_) return;
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return pending_ == 0; });
+      finished_ = true;
+    }
+    cv_.notify_all();  // runners observe stopping_ && pending_ == 0
+    group_.wait();
+  }
+
+  [[nodiscard]] bool done_locked() const { return stopping_ && pending_ == 0; }
+
+  void runner_loop() {
+    const std::size_t my_slot = rt::ThreadPool::current_worker_index();
+    PPD_ASSERT(my_slot < slots_.size());
+    for (;;) {
+      std::uint64_t epoch;
+      {
+        std::lock_guard lock(mutex_);
+        if (done_locked()) return;
+        epoch = epoch_;
+      }
+      if (std::optional<Task> task = find_task(my_slot)) {
+        execute(std::move(*task));
+        continue;
+      }
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return epoch_ != epoch || done_locked(); });
+    }
+  }
+
+  std::optional<Task> find_task(std::size_t my_slot) {
+    // 1. Own deque, newest first (LIFO).
+    {
+      std::lock_guard lock(slots_[my_slot].mutex);
+      if (!slots_[my_slot].tasks.empty()) {
+        Task task = std::move(slots_[my_slot].tasks.back());
+        slots_[my_slot].tasks.pop_back();
+        detail::TaskCounters::instance().executed_local.add(1);
+        return task;
+      }
+    }
+    // 2. The inject queue, oldest first.
+    {
+      std::lock_guard lock(inject_mutex_);
+      if (!inject_.empty()) {
+        Task task = std::move(inject_.front());
+        inject_.pop_front();
+        return task;
+      }
+    }
+    // 3. Steal: scan the other slots, oldest first, skipping contended ones.
+    for (std::size_t offset = 1; offset < slots_.size(); ++offset) {
+      Slot& victim = slots_[(my_slot + offset) % slots_.size()];
+      std::unique_lock lock(victim.mutex, std::try_to_lock);
+      if (!lock.owns_lock() || victim.tasks.empty()) continue;
+      Task task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      detail::TaskCounters::instance().stolen.add(1);
+      return task;
+    }
+    return std::nullopt;
+  }
+
+  void execute(Task task) {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    std::lock_guard lock(mutex_);
+    --pending_;
+    if (pending_ == 0) cv_.notify_all();
+  }
+
+  rt::ThreadPool& pool_;
+  std::vector<Slot> slots_;
+  rt::TaskGroup group_;
+  std::size_t runner_count_ = 0;
+
+  std::mutex inject_mutex_;
+  std::deque<Task> inject_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t epoch_ = 0;
+  std::size_t pending_ = 0;
+  bool stopping_ = false;
+  bool finished_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace ppd::pat

@@ -7,6 +7,15 @@
 #include "support/status.hpp"
 
 namespace ppd::rt {
+namespace {
+
+/// Identity of the calling thread when it is a pool worker: its dense index
+/// and the pool that owns it. Written once at worker start, read by the
+/// work-stealing hooks below.
+thread_local std::size_t t_worker_index = ThreadPool::kNotAWorker;
+thread_local const ThreadPool* t_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads)
     : tasks_executed_(obs::Registry::instance().counter("rt.pool.tasks")),
@@ -16,9 +25,13 @@ ThreadPool::ThreadPool(std::size_t threads)
   PPD_ASSERT(threads > 0);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
+
+std::size_t ThreadPool::current_worker_index() { return t_worker_index; }
+
+bool ThreadPool::owns_current_thread() const { return t_worker_pool == this; }
 
 ThreadPool::~ThreadPool() { shutdown(); }
 
@@ -52,7 +65,9 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  t_worker_index = index;
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     const std::uint64_t wait_begin = obs::now_ns();

@@ -47,8 +47,23 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
+  /// Sentinel for current_worker_index(): the calling thread is not a pool
+  /// worker.
+  static constexpr std::size_t kNotAWorker = ~std::size_t{0};
+
+  /// Work-stealing hook: the dense index [0, thread_count()) of the calling
+  /// thread within the pool that owns it, or kNotAWorker when the caller is
+  /// not a pool worker at all. Pattern runtimes built on top of the pool
+  /// (ppd::pat) use this to pick a per-worker deque without a hash lookup.
+  /// The index is per-pool: with several pools alive, a worker reports its
+  /// index within its own pool only.
+  [[nodiscard]] static std::size_t current_worker_index();
+
+  /// True when the calling thread is a worker of *this* pool specifically.
+  [[nodiscard]] bool owns_current_thread() const;
+
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

@@ -1,0 +1,47 @@
+# --emit on a pattern-free trace: an explicit diagnostic on stderr, nothing
+# on stdout, and the dedicated exit code 6 (distinct from an analysis
+# failure: the analysis succeeded, there is just nothing to generate).
+# The fixture trace is a hotspot loop whose carried RAW distances alternate
+# (1, 2, 1, ...): sequential, not privatizable, and irregular, so neither
+# a do-across schedule nor any other pattern applies.
+#
+# Driven by ctest:
+#   cmake -DPPD_ANALYZE=<exe> -DTRACE=<no_pattern.trace> -P <this file>
+foreach(var PPD_ANALYZE TRACE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_emit_no_pattern.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+foreach(backend pat omp)
+  execute_process(
+    COMMAND ${PPD_ANALYZE} --trace ${TRACE} --emit ${backend}
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 6)
+    message(FATAL_ERROR
+      "--emit ${backend} on a pattern-free trace: expected exit 6, got ${code}\n"
+      "stderr:\n${err}")
+  endif()
+  if(NOT out STREQUAL "")
+    message(FATAL_ERROR
+      "--emit ${backend} with no pattern put bytes on stdout:\n${out}")
+  endif()
+  if(NOT err MATCHES "no pattern detected")
+    message(FATAL_ERROR
+      "--emit ${backend} with no pattern is missing the diagnostic; stderr:\n${err}")
+  endif()
+endforeach()
+
+# A bad backend operand is a usage error (exit 2), not exit 6.
+execute_process(
+  COMMAND ${PPD_ANALYZE} --trace ${TRACE} --emit fortran
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 2)
+  message(FATAL_ERROR "--emit fortran: expected usage exit 2, got ${code}")
+endif()
+
+message(STATUS "emit no-pattern diagnostics: ok")

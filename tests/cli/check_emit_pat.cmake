@@ -1,0 +1,58 @@
+# Compile-and-run check of the executable codegen backend: the translation
+# unit `ppd-analyze <benchmark> --emit pat` prints must
+#   1. compile cleanly against src/ with only the four runtime .cpp files
+#      the generated header comment promises,
+#   2. run and self-verify (exit 0) at jobs {1,2,4,8},
+#   3. report at least one verified pattern instance on stdout.
+#
+# Driven by ctest (LABEL execverify):
+#   cmake -DPPD_ANALYZE=<exe> -DBENCHMARK=<name> -DCXX=<compiler>
+#         -DSRC=<repo>/src -DWORK_DIR=<dir> -P <this file>
+foreach(var PPD_ANALYZE BENCHMARK CXX SRC WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_emit_pat.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(gen ${WORK_DIR}/gen_${BENCHMARK}.cpp)
+set(bin ${WORK_DIR}/gen_${BENCHMARK})
+
+execute_process(
+  COMMAND ${PPD_ANALYZE} ${BENCHMARK} --emit pat
+  OUTPUT_FILE ${gen}
+  ERROR_VARIABLE err
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR
+    "--emit pat for '${BENCHMARK}': expected exit 0, got ${code}\nstderr:\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${CXX} -std=c++20 -O2 -pthread -I${SRC} ${gen}
+          ${SRC}/rt/thread_pool.cpp ${SRC}/obs/obs.cpp
+          ${SRC}/support/assert.cpp ${SRC}/support/status.cpp
+          -o ${bin}
+  ERROR_VARIABLE err
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR
+    "generated code for '${BENCHMARK}' does not compile (exit ${code}):\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${bin}
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR
+    "generated code for '${BENCHMARK}' failed self-verification (exit ${code}):\n"
+    "stdout:\n${out}\nstderr:\n${err}")
+endif()
+if(NOT out MATCHES "pat-verify: [1-9][0-9]* pattern instance")
+  message(FATAL_ERROR
+    "generated code for '${BENCHMARK}' verified nothing:\nstdout:\n${out}")
+endif()
+
+message(STATUS "emit pat (${BENCHMARK}): ok — ${out}")

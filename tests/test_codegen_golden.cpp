@@ -1,0 +1,167 @@
+// Golden-file tests locking the codegen backends' output for the edge
+// cases the unit tests don't pin byte-for-byte: reduction over multiple
+// variables (several operators sharing one loop), perfectly nested do-all
+// collapse, and empty-body loops. Both backends render against the same
+// fixture traces, so omp_codegen and pat_codegen cannot drift apart
+// silently — a deliberate output change is made by regenerating the
+// .golden files (run with PPD_REGEN_GOLDEN=1) and reviewing the diff.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/analyzer.hpp"
+#include "core/omp_codegen.hpp"
+#include "core/pat_codegen.hpp"
+#include "trace/context.hpp"
+
+#ifndef PPD_GOLDEN_DIR
+#error "PPD_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace ppd::core {
+namespace {
+
+using trace::FunctionScope;
+using trace::LoopScope;
+using trace::TraceContext;
+
+/// Canonical rendering of both backends over one analysis, the unit the
+/// golden files store.
+std::string render_backends(const AnalysisResult& analysis, const TraceContext& ctx,
+                            bool with_translation_unit) {
+  std::string out = "== omp ==\n";
+  const auto omp = generate_openmp(analysis, ctx);
+  if (omp.empty()) out += "(no suggestions)\n";
+  for (std::size_t i = 0; i < omp.size(); ++i) {
+    out += "-- suggestion " + std::to_string(i) + " --\n";
+    out += omp[i].construct + "\n";
+    out += "note: " + omp[i].note + "\n";
+  }
+  out += "== pat ==\n";
+  const auto pat = generate_pat(analysis, ctx);
+  if (pat.empty()) out += "(no suggestions)\n";
+  for (std::size_t i = 0; i < pat.size(); ++i) {
+    out += "-- suggestion " + std::to_string(i) + " --\n";
+    out += pat[i].snippet + "\n";
+    out += "note: " + pat[i].note + "\n";
+  }
+  if (with_translation_unit) {
+    out += "== pat translation unit ==\n";
+    out += pat_translation_unit(analysis, ctx, "golden");
+  }
+  return out;
+}
+
+void compare_golden(const std::string& actual, const char* name) {
+  const std::string path = std::string(PPD_GOLDEN_DIR) + "/" + name + ".golden";
+  if (std::getenv("PPD_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << actual;
+    ASSERT_TRUE(out.good()) << "cannot regenerate " << path;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate with PPD_REGEN_GOLDEN=1)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "codegen output drifted from " << path
+      << " — if intended, regenerate with PPD_REGEN_GOLDEN=1 and review the diff";
+}
+
+TEST(CodegenGolden, MultiVariableReduction) {
+  // One loop, three accumulators, three operators: the + and * clauses must
+  // come out grouped per operator, and the pat backend must emit one
+  // verified block per (loop, operator) pair.
+  TraceContext ctx;
+  PatternAnalyzer analyzer(ctx);
+  const VarId arr = ctx.var("arr");
+  const VarId sum = ctx.var("total");
+  const VarId cnt = ctx.var("count");
+  const VarId best = ctx.var("best");
+  {
+    FunctionScope fn(ctx, "accumulate", 1);
+    LoopScope loop(ctx, "acc_loop", 2);
+    for (std::uint64_t i = 0; i < 48; ++i) {
+      loop.begin_iteration();
+      ctx.read(arr, i, 3);
+      ctx.compute(3, 4);
+      ctx.update(sum, 0, 4, trace::UpdateOp::Sum);
+      ctx.update(cnt, 0, 5, trace::UpdateOp::Sum);
+      ctx.update(best, 0, 6, trace::UpdateOp::Max);
+    }
+  }
+  const AnalysisResult analysis = analyzer.analyze();
+  compare_golden(render_backends(analysis, ctx, /*with_translation_unit=*/true),
+                 "multi_var_reduction");
+}
+
+TEST(CodegenGolden, NestedDoAllCollapse) {
+  // A perfectly nested do-all pair (the outer loop's only child is an inner
+  // do-all writing disjoint cells): the omp backend appends the collapse(2)
+  // suggestion after the per-loop sections.
+  TraceContext ctx;
+  PatternAnalyzer analyzer(ctx);
+  const VarId grid = ctx.var("grid");
+  {
+    FunctionScope fn(ctx, "sweep", 1);
+    LoopScope rows(ctx, "row_loop", 2);
+    for (std::uint64_t i = 0; i < 12; ++i) {
+      rows.begin_iteration();
+      LoopScope cols(ctx, "col_loop", 3);
+      for (std::uint64_t j = 0; j < 8; ++j) {
+        cols.begin_iteration();
+        ctx.compute(4, 3);
+        ctx.write(grid, i * 8 + j, 4);
+      }
+    }
+  }
+  const AnalysisResult analysis = analyzer.analyze();
+  bool collapsed = false;
+  for (const OmpSuggestion& s : generate_openmp(analysis, ctx)) {
+    if (s.construct.find("collapse(2)") != std::string::npos) collapsed = true;
+  }
+  EXPECT_TRUE(collapsed);
+  compare_golden(render_backends(analysis, ctx, /*with_translation_unit=*/false),
+                 "nested_collapse");
+}
+
+TEST(CodegenGolden, EmptyBodyLoops) {
+  // Two degenerate loops — one iterating with an empty body, one never
+  // entered. Neither backend may emit a per-loop suggestion for them (or
+  // crash). What both DO emit is pinned by the golden: an empty-body loop
+  // has no dependences at all, so it classifies as do-all and drags its
+  // enclosing function into a geometric-decomposition suggestion — the
+  // degenerate-input behavior this test exists to keep visible.
+  TraceContext ctx;
+  PatternAnalyzer analyzer(ctx);
+  {
+    FunctionScope fn(ctx, "main", 1);
+    ctx.compute(1, 500);
+    {
+      LoopScope empty(ctx, "empty_body_loop", 4);
+      for (std::uint64_t i = 0; i < 16; ++i) empty.begin_iteration();
+    }
+    {
+      LoopScope never(ctx, "zero_trip_loop", 7);
+    }
+  }
+  const AnalysisResult analysis = analyzer.analyze();
+  for (const OmpSuggestion& s : generate_openmp(analysis, ctx)) {
+    EXPECT_EQ(s.note.find("empty_body_loop"), std::string::npos) << s.note;
+    EXPECT_EQ(s.note.find("zero_trip_loop"), std::string::npos) << s.note;
+  }
+  for (const PatSuggestion& s : generate_pat(analysis, ctx)) {
+    EXPECT_EQ(s.note.find("empty_body_loop"), std::string::npos) << s.note;
+    EXPECT_EQ(s.note.find("zero_trip_loop"), std::string::npos) << s.note;
+  }
+  compare_golden(render_backends(analysis, ctx, /*with_translation_unit=*/false),
+                 "empty_body_loops");
+}
+
+}  // namespace
+}  // namespace ppd::core

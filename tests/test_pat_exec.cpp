@@ -1,0 +1,38 @@
+// Execution verification (ctest -L execverify): for every benchmark in the
+// suite, run the ppd::pat implementation of its detected pattern against
+// the sequential kernel at jobs {1, 2, 4, 8} and require identical results
+// at every width. This is the executable counterpart of the report the
+// analysis pipeline emits — the pattern is not just *named*, it runs.
+#include <cstddef>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bs/benchmark.hpp"
+
+namespace {
+
+class PatExecVerify : public ::testing::TestWithParam<const ppd::bs::Benchmark*> {};
+
+TEST_P(PatExecVerify, MatchesSequentialAtJobs1248) {
+  const ppd::bs::Benchmark* benchmark = GetParam();
+  for (std::size_t jobs : {1u, 2u, 4u, 8u}) {
+    const ppd::bs::VerifyOutcome outcome = benchmark->verify_pat(jobs);
+    EXPECT_TRUE(outcome.ok) << benchmark->paper().name << " at jobs=" << jobs
+                            << ": " << outcome.detail;
+  }
+}
+
+std::string benchmark_name(const ::testing::TestParamInfo<const ppd::bs::Benchmark*>& info) {
+  std::string name = info.param->paper().name;
+  for (char& c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, PatExecVerify,
+                         ::testing::ValuesIn(ppd::bs::all_benchmarks()),
+                         benchmark_name);
+
+}  // namespace

@@ -74,6 +74,7 @@
 #include "core/advisor.hpp"
 #include "core/analyzer.hpp"
 #include "core/omp_codegen.hpp"
+#include "core/pat_codegen.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "report/markdown.hpp"
@@ -97,15 +98,16 @@ constexpr int kExitUsage = 2;
 constexpr int kExitBadTrace = 3;
 constexpr int kExitAnalysis = 4;
 constexpr int kExitBusy = 5;
+constexpr int kExitNoPattern = 6;
 
 constexpr const char kVersion[] = "0.7.0";
 
 constexpr const char kUsageText[] =
     "usage: ppd-analyze --list\n"
     "       ppd-analyze <benchmark> [--dump-trace FILE] [--markdown FILE]\n"
-    "                   [--dot PREFIX] [--comm on] [--omp on]\n"
+    "                   [--dot PREFIX] [--comm on] [--omp on] [--emit pat|omp]\n"
     "       ppd-analyze --trace FILE [--strict|--lenient] [--max-records N]\n"
-    "                   [--jobs N | --jobs=N]\n"
+    "                   [--jobs N | --jobs=N] [--emit pat|omp]\n"
     "       ppd-analyze convert IN OUT [--chunk-bytes N] [--lenient]\n"
     "       ppd-analyze --batch PATH... [--jobs N] [--cache DIR | --no-cache]\n"
     "                   [--refresh] [--strict|--lenient] [--max-records N]\n"
@@ -118,7 +120,7 @@ constexpr const char kUsageText[] =
     "       --metrics=FILE       write a flat key=value metrics dump\n"
     "       --progress           heartbeat to stderr (--batch, remote --trace)\n"
     "exit codes: 0 ok, 1 i/o or connection error, 2 usage, 3 malformed trace,\n"
-    "            4 analysis failure, 5 server overloaded\n";
+    "            4 analysis failure, 5 server overloaded, 6 --emit found no pattern\n";
 
 int usage() {
   std::fputs(kUsageText, stderr);
@@ -164,7 +166,48 @@ struct TraceRunOptions {
   trace::ReplayMode mode = trace::ReplayMode::Strict;
   std::uint64_t max_records = trace::ReplayLimits{}.max_records;
   std::size_t jobs = 1;
+  const char* emit_backend = nullptr;  ///< "pat" or "omp"; nullptr = report
 };
+
+/// Validates the operand of --emit (shared by benchmark and --trace modes).
+bool parse_emit(const char* backend) {
+  if (std::strcmp(backend, "pat") == 0 || std::strcmp(backend, "omp") == 0) return true;
+  std::fprintf(stderr, "--emit takes 'pat' or 'omp', not '%s'\n", backend);
+  return false;
+}
+
+/// Renders the selected codegen backend for a finished analysis. The
+/// generated code is the *only* stdout payload, so the output pipes
+/// straight into a compiler or a .cpp file. No pattern to emit is its own
+/// exit code (6), distinct from an analysis failure: the analysis itself
+/// succeeded, there is just nothing to generate.
+int emit_generated(const core::AnalysisResult& result, const trace::TraceContext& ctx,
+                   const char* name, const char* backend) {
+  if (std::strcmp(backend, "pat") == 0) {
+    const std::string tu = core::pat_translation_unit(result, ctx, name);
+    if (tu.empty()) {
+      std::fprintf(stderr,
+                   "no pattern detected in '%s': nothing to emit for the pat "
+                   "backend (primary pattern: %s)\n",
+                   name, core::to_string(result.primary));
+      return kExitNoPattern;
+    }
+    std::fputs(tu.c_str(), stdout);
+    return kExitOk;
+  }
+  const auto suggestions = core::generate_openmp(result, ctx);
+  if (suggestions.empty()) {
+    std::fprintf(stderr,
+                 "no pattern detected in '%s': nothing to emit for the omp "
+                 "backend (primary pattern: %s)\n",
+                 name, core::to_string(result.primary));
+    return kExitNoPattern;
+  }
+  for (const core::OmpSuggestion& s : suggestions) {
+    std::printf("%s\n// note: %s\n\n", s.construct.c_str(), s.note.c_str());
+  }
+  return kExitOk;
+}
 
 /// Caps --jobs at the hardware concurrency. Extra workers past the core
 /// count only add contention, so the cap was always applied in effect —
@@ -196,6 +239,43 @@ bool parse_jobs(const char* text, std::size_t& jobs_out) {
   return true;
 }
 
+/// `--trace F --emit pat|omp`: replay the trace, then hand the finished
+/// analysis to the selected codegen backend instead of the report renderer.
+int emit_from_trace_bytes(const char* path, std::string_view bytes,
+                          const TraceRunOptions& run) {
+  trace::TraceContext ctx;
+  core::PatternAnalyzer analyzer(ctx);
+  support::DiagSink diags;
+  support::Status status;
+  if (store::is_binary_trace(bytes)) {
+    store::ReadOptions options;
+    options.mode = run.mode;
+    options.diags = &diags;
+    status = store::read_trace(bytes, ctx, options).status;
+  } else {
+    trace::ReplayOptions options;
+    options.mode = run.mode;
+    options.diags = &diags;
+    std::istringstream in{std::string(bytes)};
+    status = trace::replay_trace(in, ctx, options).status;
+  }
+  for (const support::Diag& d : diags.diags()) {
+    std::fprintf(stderr, "  - %s\n", d.to_string().c_str());
+  }
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "cannot replay trace '%s': %s\n", path,
+                 status.to_string().c_str());
+    return exit_code_for_status(status);
+  }
+  try {
+    const core::AnalysisResult result = analyzer.analyze();
+    return emit_generated(result, ctx, path, run.emit_backend);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "analysis failed: %s\n", e.what());
+    return kExitAnalysis;
+  }
+}
+
 int analyze_trace_file(const char* path, const TraceRunOptions& run) {
   // Mapped, not slurped: the binary reader decodes chunks straight out of
   // the page cache. The mapping outlives the analysis call below.
@@ -203,6 +283,9 @@ int analyze_trace_file(const char* path, const TraceRunOptions& run) {
   if (!mapped.open(path).is_ok()) {
     std::fprintf(stderr, "cannot open trace file '%s'\n", path);
     return kExitIo;
+  }
+  if (run.emit_backend != nullptr) {
+    return emit_from_trace_bytes(path, mapped.bytes(), run);
   }
   svc::AnalysisOptions options;
   options.mode = run.mode;
@@ -515,6 +598,9 @@ int run_cli(int argc, char** argv) {
         if (!parse_jobs(argv[++i], run.jobs)) return usage();
       } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
         if (!parse_jobs(argv[i] + 7, run.jobs)) return usage();
+      } else if (std::strcmp(argv[i], "--emit") == 0 && i + 1 < argc) {
+        run.emit_backend = argv[++i];
+        if (!parse_emit(run.emit_backend)) return usage();
       } else {
         return usage();
       }
@@ -569,6 +655,7 @@ int run_cli(int argc, char** argv) {
   const char* dot_prefix = nullptr;
   bool want_comm = false;
   bool want_omp = false;
+  const char* emit_backend = nullptr;  // "pat" or "omp"
   for (int i = 2; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--dump-trace") == 0) {
       dump_path = argv[i + 1];
@@ -580,6 +667,9 @@ int run_cli(int argc, char** argv) {
       want_comm = true;
     } else if (std::strcmp(argv[i], "--omp") == 0) {
       want_omp = true;
+    } else if (std::strcmp(argv[i], "--emit") == 0) {
+      emit_backend = argv[i + 1];
+      if (!parse_emit(emit_backend)) return usage();
     } else {
       return usage();
     }
@@ -613,6 +703,11 @@ int run_cli(int argc, char** argv) {
     benchmark->run_traced(ctx);
     ctx.finish();
     const core::AnalysisResult result = analyzer.analyze();
+
+    if (emit_backend != nullptr) {
+      return emit_generated(result, ctx, benchmark->paper().name, emit_backend);
+    }
+
     if (text_writer != nullptr || binary_writer != nullptr) {
       const std::uint64_t written = text_writer != nullptr
                                         ? text_writer->records_written()
