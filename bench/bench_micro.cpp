@@ -7,6 +7,7 @@
 
 #include "bs/benchmark.hpp"
 #include "comm/comm.hpp"
+#include "obs/obs.hpp"
 #include "cu/builder.hpp"
 #include "pat/task_pool.hpp"
 #include "pet/pet.hpp"
@@ -200,6 +201,41 @@ void BM_PatTaskPoolDispatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kDispatchTasks);
 }
 BENCHMARK(BM_PatTaskPoolDispatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Registry hot path: full by-name lookup (map probe under the shared
+// registry mutex) vs the per-thread handle cache (one thread-local probe,
+// registry touched only on a thread's first use of a name) vs a
+// pre-resolved reference (the floor). Single-threaded, the cache saves
+// only the uncontended lock; the threaded rows are the real story — every
+// by-name worker serializes on the registry mutex while the handle cache
+// scales flat, which is why daemon worker-loop call sites go through
+// counter_handle & co.
+void BM_ObsRegistryLookup(benchmark::State& state) {
+  obs::Registry& registry = obs::Registry::instance();
+  for (auto _ : state) {
+    registry.counter("bench.micro.obs.lookup").add();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsRegistryLookup)->Threads(1)->Threads(4);
+
+void BM_ObsCounterHandleCache(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::counter_handle("bench.micro.obs.handle").add();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterHandleCache)->Threads(1)->Threads(4);
+
+void BM_ObsCounterPreResolved(benchmark::State& state) {
+  obs::Counter& counter =
+      obs::Registry::instance().counter("bench.micro.obs.resolved");
+  for (auto _ : state) {
+    counter.add();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterPreResolved)->Threads(1)->Threads(4);
 
 void BM_CommMatrix(benchmark::State& state) {
   trace::TraceContext ctx;

@@ -1,0 +1,215 @@
+// Observability overhead guard: span-on vs span-off trace ingest.
+//
+// The telemetry story of the resident daemon only holds if always-on
+// instrumentation is close to free. This benchmark runs the same
+// chunk-parallel binary ingest + sharded dependence profiling twice over
+// an amplified trace — once with no span sink installed (the ScopedSpan
+// fast path: two relaxed atomic loads per macro), once fully armed the
+// way ppd-analyzed runs in production: an aggregate-only SpanCollector, a
+// flight-recorder ring, and an active request TraceContext propagated
+// through the thread pool — and gates the relative slowdown.
+//
+// Results are printed as JSON to stdout and written to BENCH_obs.json.
+// The exit status is the gate: overhead above kMaxOverheadPct fails the
+// run (and CI with it). Timing is best-of-kReps minimums, which is stable
+// enough for a single-digit-percent guard on a quiet machine.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "bs/benchmark.hpp"
+#include "obs/flight.hpp"
+#include "obs/obs.hpp"
+#include "prof/sharded_profiler.hpp"
+#include "rt/thread_pool.hpp"
+#include "store/reader.hpp"
+#include "store/writer.hpp"
+#include "trace/context.hpp"
+#include "trace/serialize.hpp"
+
+namespace {
+
+using namespace ppd;
+
+constexpr int kAmplify = 40;        // body repetitions in the amplified trace
+constexpr int kReps = 5;            // timing repetitions; best (min) is kept
+constexpr std::size_t kJobs = 2;    // decode/profile fan-out per run
+constexpr double kMaxOverheadPct = 3.0;
+
+std::string record_text_trace(const bs::Benchmark& benchmark) {
+  std::ostringstream out;
+  trace::TraceContext ctx;
+  trace::TraceWriter writer(ctx, out);
+  ctx.add_sink(&writer);
+  benchmark.run_traced(ctx);
+  ctx.finish();
+  return out.str();
+}
+
+/// Repeats the record body of a text trace; see bench_ingest.cpp for why
+/// the amplified text is itself a well-formed trace.
+std::string amplify(const std::string& text, int times) {
+  const std::size_t eol = text.find('\n');
+  const std::string header = text.substr(0, eol + 1);
+  const std::string body = text.substr(eol + 1);
+  std::string out = header;
+  out.reserve(header.size() + body.size() * static_cast<std::size_t>(times));
+  for (int i = 0; i < times; ++i) out += body;
+  return out;
+}
+
+struct Measurement {
+  double seconds = 0;
+  std::uint64_t records = 0;
+};
+
+/// One end-to-end ingest: chunked binary decode fanned out over a fresh
+/// pool, sharded dependence profiling subscribed — the span-densest path
+/// a daemon request takes.
+Measurement run_ingest(const std::string& binary) {
+  const auto start = std::chrono::steady_clock::now();
+  rt::ThreadPool pool(kJobs);
+  trace::TraceContext ctx;
+  prof::ShardedProfiler::Options profiler_options;
+  profiler_options.pool = &pool;
+  prof::ShardedProfiler profiler(profiler_options);
+  ctx.add_sink(&profiler);
+
+  store::ReadOptions options;
+  options.jobs = kJobs;
+  options.pool = &pool;
+  const store::ReadResult result = store::read_trace(binary, ctx, options);
+  const prof::Profile profile = profiler.take();
+  (void)profile;
+
+  Measurement m;
+  m.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  m.records = result.status.is_ok() ? result.records : 0;
+  return m;
+}
+
+template <typename Setup, typename Teardown>
+Measurement best_of(const std::string& binary, Setup&& setup,
+                    Teardown&& teardown) {
+  Measurement best;
+  for (int rep = 0; rep < kReps; ++rep) {
+    setup();
+    const Measurement m = run_ingest(binary);
+    teardown();
+    if (rep == 0 || m.seconds < best.seconds) best = m;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* name = argc > 1 ? argv[1] : "2mm";
+  const bs::Benchmark* benchmark = bs::find_benchmark(name);
+  if (benchmark == nullptr) {
+    std::fprintf(stderr, "benchmark %s not registered\n", name);
+    return 1;
+  }
+
+  const std::string text = amplify(record_text_trace(*benchmark), kAmplify);
+  std::ostringstream binary_out;
+  {
+    trace::TraceContext ctx;
+    store::BinaryTraceWriter::Options options;
+    options.target_chunk_bytes = std::uint32_t{1} << 14;
+    store::BinaryTraceWriter writer(ctx, binary_out, options);
+    ctx.add_sink(&writer);
+    std::istringstream in(text);
+    const trace::ReplayResult replay =
+        trace::replay_trace(in, ctx, trace::ReplayOptions{});
+    if (!replay.status.is_ok()) {
+      std::fprintf(stderr, "amplified trace did not replay: %s\n",
+                   replay.status.to_string().c_str());
+      return 1;
+    }
+  }
+  const std::string binary = binary_out.str();
+
+  // Warm-up: fault the trace bytes and code paths in before timing.
+  (void)run_ingest(binary);
+
+  // spans off: no sink installed, no active trace — every PPD_OBS_SPAN
+  // reduces to its disarmed fast path.
+  const Measurement off =
+      best_of(binary, [] {}, [] {});
+  if (off.records == 0) {
+    std::fprintf(stderr, "span-off ingest failed\n");
+    return 1;
+  }
+
+  // spans on: the production daemon arming — aggregate-only collector,
+  // flight ring, and a live request trace context that ThreadPool::submit
+  // propagates to every decode/profile block.
+  obs::SpanCollector collector(/*keep_spans=*/false);
+  obs::FlightRecorder flight;
+  std::unique_ptr<obs::WithTrace> request_trace;
+  const Measurement on = best_of(
+      binary,
+      [&] {
+        obs::Registry::instance().reset();
+        obs::install_collector(&collector);
+        obs::install_flight_recorder(&flight);
+        request_trace = std::make_unique<obs::WithTrace>(
+            obs::TraceContext{obs::mint_id(), 0});
+      },
+      [&] {
+        request_trace.reset();
+        obs::install_flight_recorder(nullptr);
+        obs::install_collector(nullptr);
+      });
+  if (on.records != off.records) {
+    std::fprintf(stderr, "span-on ingest record mismatch (%llu vs %llu)\n",
+                 static_cast<unsigned long long>(on.records),
+                 static_cast<unsigned long long>(off.records));
+    return 1;
+  }
+
+  const double overhead_pct =
+      off.seconds > 0 ? (on.seconds / off.seconds - 1.0) * 100.0 : 0.0;
+#if defined(PPD_OBS_DISABLED)
+  const bool gated = false;  // nothing to gate: spans compile to nothing
+#else
+  const bool gated = true;
+#endif
+  const bool pass = !gated || overhead_pct <= kMaxOverheadPct;
+
+  char buffer[1024];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\n"
+      "  \"benchmark\": \"%s\", \"amplify\": %d, \"events\": %llu,\n"
+      "  \"jobs\": %zu, \"reps\": %d,\n"
+      "  \"spans_off_seconds\": %.6f,\n"
+      "  \"spans_on_seconds\": %.6f,\n"
+      "  \"overhead_pct\": %.2f,\n"
+      "  \"gate_max_overhead_pct\": %.1f,\n"
+      "  \"gated\": %s,\n"
+      "  \"pass\": %s\n"
+      "}\n",
+      name, kAmplify, static_cast<unsigned long long>(off.records), kJobs,
+      kReps, off.seconds, on.seconds, overhead_pct, kMaxOverheadPct,
+      gated ? "true" : "false", pass ? "true" : "false");
+
+  std::fputs(buffer, stdout);
+  std::ofstream json_file("BENCH_obs.json", std::ios::trunc);
+  json_file << buffer;
+
+  if (!pass) {
+    std::fprintf(stderr,
+                 "obs overhead gate FAILED: %.2f%% > %.1f%% (span-on %.3fs vs "
+                 "span-off %.3fs)\n",
+                 overhead_pct, kMaxOverheadPct, on.seconds, off.seconds);
+    return 1;
+  }
+  return 0;
+}

@@ -43,7 +43,8 @@ std::string json_escape(std::string_view text) {
 }
 
 void append_event(std::string& out, bool& first, std::string_view name,
-                  char phase, std::uint32_t tid, std::uint64_t ts_ns) {
+                  char phase, std::uint32_t tid, std::uint64_t ts_ns,
+                  const SpanRecord* args_from = nullptr) {
   char buffer[64];
   // Microseconds with nanosecond precision; ns/1000 renders exactly in
   // three decimals, so per-track monotonicity survives the conversion.
@@ -60,6 +61,15 @@ void append_event(std::string& out, bool& first, std::string_view name,
   out += std::to_string(tid);
   out += ", \"ts\": ";
   out += buffer;
+  if (args_from != nullptr && args_from->trace_id != 0) {
+    out += ", \"args\": {\"trace\": ";
+    out += std::to_string(args_from->trace_id);
+    out += ", \"span\": ";
+    out += std::to_string(args_from->span_id);
+    out += ", \"parent\": ";
+    out += std::to_string(args_from->parent_span_id);
+    out += "}";
+  }
   out += "}";
 }
 
@@ -74,6 +84,29 @@ void append_metadata(std::string& out, bool& first, std::string_view name,
   out += ", \"args\": {\"name\": \"";
   out += json_escape(value);
   out += "\"}}";
+}
+
+/// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; the registry's
+/// dotted names map onto that with '.' → '_' and a 'ppd_' namespace
+/// prefix (which also fixes names that would start with a digit).
+std::string prom_name(std::string_view name) {
+  std::string out = "ppd_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void append_prom_line(std::string& out, const std::string& name,
+                      std::string_view labels, std::uint64_t value) {
+  out += name;
+  out += labels;
+  out += ' ';
+  out += std::to_string(value);
+  out += '\n';
 }
 
 }  // namespace
@@ -112,7 +145,7 @@ std::string chrome_trace_json(std::vector<SpanRecord> spans) {
       if (!stack.empty() && span->end_ns > stack.back()->end_ns) {
         span->end_ns = stack.back()->end_ns;
       }
-      append_event(out, first, span->name, 'B', tid, span->begin_ns);
+      append_event(out, first, span->name, 'B', tid, span->begin_ns, span);
       stack.push_back(span);
     }
     while (!stack.empty()) {
@@ -126,5 +159,55 @@ std::string chrome_trace_json(std::vector<SpanRecord> spans) {
 }
 
 std::string metrics_dump() { return Registry::instance().render_metrics(); }
+
+std::string prometheus_dump() {
+  const RegistrySnapshot snap = Registry::instance().structured_snapshot();
+  std::string out;
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string prom = prom_name(name) + "_total";
+    out += "# TYPE " + prom + " counter\n";
+    append_prom_line(out, prom, "", value);
+  }
+
+  for (const auto& [name, gauge] : snap.gauges) {
+    const std::string prom = prom_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + ' ' + std::to_string(gauge.value) + '\n';
+    out += "# TYPE " + prom + "_max gauge\n";
+    out += prom + "_max " + std::to_string(gauge.max) + '\n';
+  }
+
+  for (const auto& [name, hist] : snap.histograms) {
+    const std::string prom = prom_name(name);
+    out += "# TYPE " + prom + " histogram\n";
+    // Cumulative `le` buckets; empty buckets are skipped (sparse series
+    // are valid as long as `le` increases and counts are nondecreasing)
+    // so 64 pow2 buckets don't balloon the exposition.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (hist.buckets[i] == 0) continue;
+      cumulative += hist.buckets[i];
+      append_prom_line(out, prom + "_bucket",
+                       "{le=\"" +
+                           std::to_string(Histogram::bucket_upper_bound(i)) +
+                           "\"}",
+                       cumulative);
+    }
+    append_prom_line(out, prom + "_bucket", "{le=\"+Inf\"}", hist.count);
+    append_prom_line(out, prom + "_sum", "", hist.sum);
+    append_prom_line(out, prom + "_count", "", hist.count);
+    // Quantile estimates from the same coherent snapshot, exposed as
+    // gauges (a Prometheus histogram itself carries no quantiles).
+    for (const auto& [suffix, q] :
+         {std::pair<const char*, double>{"_p50", 0.50},
+          std::pair<const char*, double>{"_p90", 0.90},
+          std::pair<const char*, double>{"_p99", 0.99}}) {
+      out += "# TYPE " + prom + suffix + " gauge\n";
+      append_prom_line(out, prom + suffix, "", hist.quantile_upper_bound(q));
+    }
+  }
+  return out;
+}
 
 }  // namespace ppd::obs

@@ -9,11 +9,22 @@
 // strictly balanced B/E nesting — spans from RAII timers nest properly per
 // thread; a child that outlives its parent (possible only with hand-rolled
 // records) is clamped to the parent's end rather than emitted unbalanced.
+// Spans that carry a trace context get `args: {"trace": .., "span": ..,
+// "parent": ..}` on their B event, so one remote request's spans can be
+// filtered out of the daemon's timeline by trace id.
 //
 // metrics_dump() renders the process-wide registry as sorted `key=value`
 // lines (see Registry::snapshot for the key scheme).
 //
-// Both functions are pure renderers over plain data, so they compile and
+// prometheus_dump() renders the registry in the Prometheus text
+// exposition format (version 0.0.4), built from one coherent
+// Registry::structured_snapshot(): counters become `ppd_<name>_total`,
+// gauges a value/`_max` pair, histograms a cumulative-`le` bucket series
+// with `_sum`/`_count` plus `_p50`/`_p90`/`_p99` gauges from the
+// snapshot's quantile estimator. Metric names are sanitized to the
+// Prometheus charset (dots become underscores).
+//
+// All three are pure renderers over plain data, so they compile and
 // work identically with PPD_OBS=OFF (they just render an empty run).
 #pragma once
 
@@ -29,5 +40,8 @@ namespace ppd::obs {
 
 /// Registry::instance() rendered as sorted `key=value` lines.
 [[nodiscard]] std::string metrics_dump();
+
+/// Registry::instance() rendered as Prometheus text exposition.
+[[nodiscard]] std::string prometheus_dump();
 
 }  // namespace ppd::obs

@@ -1,0 +1,303 @@
+#include "obs/flight.hpp"
+
+#if !defined(PPD_OBS_DISABLED)
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/sigsafe.hpp"
+#include "support/assert.hpp"
+
+namespace ppd::obs {
+namespace {
+
+/// Fixed-size destination path: the crash handler cannot read a
+/// std::string whose heap the crash may have corrupted.
+char g_dump_path[512] = {};
+std::atomic<bool> g_handlers_installed{false};
+
+std::atomic<FlightRecorder*> g_flight{nullptr};
+
+/// Hook bodies handed to obs.cpp (detail::set_flight_hooks): the span and
+/// event paths re-read g_flight so an uninstall between the hook load and
+/// the call degrades to a no-op, never a dangling recorder.
+void flight_span_hook(std::string_view name, std::uint32_t tid,
+                      std::uint64_t begin_ns, std::uint64_t end_ns,
+                      std::uint64_t trace_id, std::uint64_t span_id,
+                      std::uint64_t parent_span_id) {
+  if (FlightRecorder* flight = g_flight.load(std::memory_order_acquire)) {
+    flight->record_span(name, tid, begin_ns, end_ns, trace_id, span_id,
+                        parent_span_id);
+  }
+}
+
+void flight_event_hook(std::string_view name) {
+  if (FlightRecorder* flight = g_flight.load(std::memory_order_acquire)) {
+    flight->record_event(name);
+  }
+}
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT};
+
+const char* signal_name(int sig) noexcept {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    case SIGABRT: return "SIGABRT";
+  }
+  return "signal";
+}
+
+/// The shared dump body: reason line, flight ring, metrics walk. Async-
+/// signal-safe (both dump paths format through FdWriter).
+void write_dump(int fd, std::string_view reason) noexcept {
+  {
+    FdWriter writer(fd);
+    writer.put("ppd-flight-dump v1\nreason=");
+    writer.put(reason);
+    writer.put("\n");
+    writer.flush();
+  }
+  if (const FlightRecorder* flight = active_flight_recorder()) {
+    flight->dump(fd);
+  }
+  {
+    FdWriter writer(fd);
+    writer.put("metrics\n");
+    writer.flush();
+  }
+  Registry::instance().crash_dump(fd);
+  FdWriter writer(fd);
+  writer.put("end\n");
+  writer.flush();
+}
+
+void crash_signal_handler(int sig) {
+  if (g_dump_path[0] != '\0') {
+    const int fd = ::open(g_dump_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      write_dump(fd, signal_name(sig));
+      ::close(fd);
+    }
+  }
+  // SA_RESETHAND restored the default disposition before we ran; re-raise
+  // so the process dies with the real signal (and the right wait status).
+  ::raise(sig);
+}
+
+/// Assert failures record the failing expression into the ring and abort;
+/// the SIGABRT handler above then writes the dump, so the post-mortem
+/// carries both the assertion text and the spans leading up to it.
+void flight_failure_handler(const char* expr, const char* file, int line,
+                            const char* msg) {
+  flight_event("assert.fail");
+  if (expr != nullptr) flight_event(expr);
+  std::fprintf(stderr, "ppd assertion failed: %s (%s:%d)%s%s\n",
+               expr != nullptr ? expr : "?", file != nullptr ? file : "?",
+               line, msg != nullptr ? " — " : "",
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace
+
+void install_flight_recorder(FlightRecorder* recorder) {
+  g_flight.store(recorder, std::memory_order_release);
+  if (recorder != nullptr) {
+    detail::set_flight_hooks(flight_span_hook, flight_event_hook);
+  } else {
+    detail::set_flight_hooks(nullptr, nullptr);
+  }
+}
+
+FlightRecorder* active_flight_recorder() {
+  return g_flight.load(std::memory_order_acquire);
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : records_(Registry::instance().counter("obs.flight.records")),
+      events_(Registry::instance().counter("obs.flight.events")) {
+  std::size_t rounded = 1;
+  while (rounded < capacity) rounded <<= 1;
+  mask_ = rounded - 1;
+  ring_ = std::make_unique<Record[]>(rounded);
+}
+
+void FlightRecorder::write_record(Kind kind, std::string_view name,
+                                  std::uint32_t tid, std::uint64_t begin_ns,
+                                  std::uint64_t end_ns, std::uint64_t trace_id,
+                                  std::uint64_t span_id,
+                                  std::uint64_t parent_span_id) noexcept {
+  const std::uint64_t index = head_.fetch_add(1, std::memory_order_relaxed);
+  Record& slot = ring_[index & mask_];
+  // Seqlock write: invalidate, fill, publish. A reader that observes
+  // seq == index + 1 on both sides of its copy got a whole record.
+  slot.seq.store(0, std::memory_order_release);
+  slot.kind = kind;
+  slot.tid = tid;
+  slot.begin_ns = begin_ns;
+  slot.end_ns = end_ns;
+  slot.trace_id = trace_id;
+  slot.span_id = span_id;
+  slot.parent_span_id = parent_span_id;
+  const std::size_t copy = std::min(name.size(), kNameBytes - 1);
+  std::memcpy(slot.name, name.data(), copy);
+  slot.name[copy] = '\0';
+  slot.seq.store(index + 1, std::memory_order_release);
+}
+
+void FlightRecorder::record_span(std::string_view name, std::uint32_t tid,
+                                 std::uint64_t begin_ns, std::uint64_t end_ns,
+                                 std::uint64_t trace_id, std::uint64_t span_id,
+                                 std::uint64_t parent_span_id) noexcept {
+  records_.add();
+  write_record(Kind::Span, name, tid, begin_ns, end_ns, trace_id, span_id,
+               parent_span_id);
+}
+
+void FlightRecorder::record_event(std::string_view name) noexcept {
+  events_.add();
+  const TraceContext ctx = current_trace();
+  const std::uint64_t at = now_ns();
+  write_record(Kind::Event, name, thread_id(), at, at, ctx.trace_id,
+               ctx.span_id, 0);
+}
+
+bool FlightRecorder::read_slot(std::uint64_t index, Record& out,
+                               std::uint64_t& seq) const noexcept {
+  const Record& slot = ring_[index & mask_];
+  const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
+  if (before == 0) return false;
+  out.kind = slot.kind;
+  out.tid = slot.tid;
+  out.begin_ns = slot.begin_ns;
+  out.end_ns = slot.end_ns;
+  out.trace_id = slot.trace_id;
+  out.span_id = slot.span_id;
+  out.parent_span_id = slot.parent_span_id;
+  std::memcpy(out.name, slot.name, kNameBytes);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  const std::uint64_t after = slot.seq.load(std::memory_order_acquire);
+  if (after != before) return false;  // torn: a writer lapped us mid-copy
+  seq = before - 1;
+  return true;
+}
+
+std::vector<FlightRecorder::Entry> FlightRecorder::snapshot() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t span = std::min<std::uint64_t>(head, capacity());
+  std::vector<Entry> out;
+  out.reserve(static_cast<std::size_t>(span));
+  for (std::uint64_t i = head - span; i < head; ++i) {
+    Record record;
+    std::uint64_t seq = 0;
+    if (!read_slot(i, record, seq)) continue;
+    Entry entry;
+    entry.seq = seq;
+    entry.kind = record.kind;
+    entry.tid = record.tid;
+    entry.begin_ns = record.begin_ns;
+    entry.end_ns = record.end_ns;
+    entry.trace_id = record.trace_id;
+    entry.span_id = record.span_id;
+    entry.parent_span_id = record.parent_span_id;
+    entry.name = record.name;
+    out.push_back(std::move(entry));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+  return out;
+}
+
+void FlightRecorder::dump(int fd) const noexcept {
+  FdWriter writer(fd);
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t span = std::min<std::uint64_t>(head, capacity());
+  writer.put("flight total=");
+  writer.put_u64(head);
+  writer.put(" kept=");
+  writer.put_u64(span);
+  writer.put("\n");
+  for (std::uint64_t i = head - span; i < head; ++i) {
+    Record record;
+    std::uint64_t seq = 0;
+    if (!read_slot(i, record, seq)) continue;
+    if (record.kind == Kind::Span) {
+      writer.put("span seq=");
+      writer.put_u64(seq);
+      writer.put(" trace=");
+      writer.put_u64(record.trace_id);
+      writer.put(" span=");
+      writer.put_u64(record.span_id);
+      writer.put(" parent=");
+      writer.put_u64(record.parent_span_id);
+      writer.put(" tid=");
+      writer.put_u64(record.tid);
+      writer.put(" begin_ns=");
+      writer.put_u64(record.begin_ns);
+      writer.put(" end_ns=");
+      writer.put_u64(record.end_ns);
+    } else {
+      writer.put("event seq=");
+      writer.put_u64(seq);
+      writer.put(" trace=");
+      writer.put_u64(record.trace_id);
+      writer.put(" span=");
+      writer.put_u64(record.span_id);
+      writer.put(" tid=");
+      writer.put_u64(record.tid);
+      writer.put(" at_ns=");
+      writer.put_u64(record.begin_ns);
+    }
+    writer.put(" name=");
+    writer.put(record.name);
+    writer.put("\n");
+  }
+  writer.flush();
+}
+
+bool enable_crash_dump(const std::string& path) {
+  if (path.empty() || path.size() >= sizeof(g_dump_path)) return false;
+  std::memcpy(g_dump_path, path.c_str(), path.size() + 1);
+  // Touch the registry now: its function-local static must be constructed
+  // before a signal handler can walk it (static init is not signal-safe).
+  Registry::instance().counter("obs.flight.dumps");
+  if (!g_handlers_installed.exchange(true)) {
+    struct sigaction action {};
+    action.sa_handler = crash_signal_handler;
+    sigemptyset(&action.sa_mask);
+    // RESETHAND: one shot, default disposition restored before the handler
+    // runs. NODEFER: the re-raise inside the handler delivers immediately.
+    action.sa_flags =
+        static_cast<int>(static_cast<unsigned>(SA_RESETHAND) |
+                         static_cast<unsigned>(SA_NODEFER));
+    for (const int sig : kFatalSignals) {
+      ::sigaction(sig, &action, nullptr);
+    }
+    support::set_failure_handler(flight_failure_handler);
+  }
+  return true;
+}
+
+std::string_view crash_dump_path() noexcept { return g_dump_path; }
+
+bool flight_dump_now(std::string_view reason) noexcept {
+  if (g_dump_path[0] == '\0') return false;
+  const int fd = ::open(g_dump_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  Registry::instance().counter("obs.flight.dumps").add();
+  write_dump(fd, reason);
+  ::close(fd);
+  return true;
+}
+
+}  // namespace ppd::obs
+
+#endif  // !PPD_OBS_DISABLED

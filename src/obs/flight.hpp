@@ -1,0 +1,177 @@
+// Flight recorder: a fixed-size lock-free ring of recent span and event
+// records, kept by the daemon so a crash (fatal signal), an assertion
+// failure, or a wirefault containment leaves a post-mortem trail of what
+// the process was doing — including the span tree of the request that
+// went hostile — plus a metrics snapshot, in a plain-text dump file.
+//
+// Design constraints, in order:
+//
+//  * Recording must be cheap and wait-free: writers claim a slot with one
+//    fetch_add and publish it with a per-slot sequence store (a seqlock):
+//    seq is zeroed before the fields are written and set to the record's
+//    global index + 1 after, both with release ordering. Readers skip
+//    slots whose sequence is 0 or changes across the field copy — a torn
+//    slot costs one lost record, never a lock or a crash.
+//
+//  * Dumping must be async-signal-safe: dump() walks the ring oldest-
+//    first with acquire loads, formats with obs::FdWriter (hand-rolled
+//    integers, stack buffers, raw write(2)) and never allocates, locks,
+//    or calls the C library's formatted I/O. It is therefore callable
+//    from the SIGSEGV handler that enable_crash_dump() installs.
+//
+//  * Names are truncated into a fixed in-record array (kNameBytes) at
+//    record time, so the ring owns no heap memory a crashed allocator
+//    could corrupt.
+//
+// Wiring: install_flight_recorder() (obs.hpp) makes ScopedSpan record
+// every completed span here; flight_event() drops point events. The
+// daemon enables the whole stack with one enable_crash_dump(path) call —
+// fatal-signal handlers, an assert failure handler, and the dump path
+// used by flight_dump_now() for non-fatal containment dumps.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace ppd::obs {
+
+#if !defined(PPD_OBS_DISABLED)
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kNameBytes = 48;
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  enum class Kind : std::uint8_t { Span = 1, Event = 2 };
+
+  /// A decoded record, as returned by snapshot(). For events begin_ns ==
+  /// end_ns (the moment it fired).
+  struct Entry {
+    std::uint64_t seq = 0;  ///< global record index (monotonic, 0-based)
+    Kind kind = Kind::Span;
+    std::uint32_t tid = 0;
+    std::uint64_t begin_ns = 0;
+    std::uint64_t end_ns = 0;
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_span_id = 0;
+    std::string name;
+  };
+
+  /// Capacity is rounded up to a power of two.
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void record_span(std::string_view name, std::uint32_t tid,
+                   std::uint64_t begin_ns, std::uint64_t end_ns,
+                   std::uint64_t trace_id, std::uint64_t span_id,
+                   std::uint64_t parent_span_id) noexcept;
+
+  /// Point event stamped with now_ns() and the caller's current context.
+  void record_event(std::string_view name) noexcept;
+
+  /// Readable copy of the ring, oldest first, torn slots skipped.
+  [[nodiscard]] std::vector<Entry> snapshot() const;
+
+  /// Async-signal-safe text dump of the ring to `fd`, oldest first:
+  ///   span seq=.. trace=.. span=.. parent=.. tid=.. begin_ns=.. end_ns=.. name=..
+  ///   event seq=.. trace=.. span=.. tid=.. at_ns=.. name=..
+  void dump(int fd) const noexcept;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+  /// Total records ever written (ring keeps the last capacity() of them).
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Record {
+    std::atomic<std::uint64_t> seq{0};  ///< 0 = empty/in-flight, else index+1
+    Kind kind = Kind::Span;
+    std::uint32_t tid = 0;
+    std::uint64_t begin_ns = 0;
+    std::uint64_t end_ns = 0;
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_span_id = 0;
+    char name[kNameBytes] = {};
+  };
+
+  void write_record(Kind kind, std::string_view name, std::uint32_t tid,
+                    std::uint64_t begin_ns, std::uint64_t end_ns,
+                    std::uint64_t trace_id, std::uint64_t span_id,
+                    std::uint64_t parent_span_id) noexcept;
+  /// Seqlock read of one slot; false when empty or torn.
+  [[nodiscard]] bool read_slot(std::uint64_t index, Record& out,
+                               std::uint64_t& seq) const noexcept;
+
+  std::atomic<std::uint64_t> head_{0};
+  std::size_t mask_ = 0;
+  std::unique_ptr<Record[]> ring_;
+  Counter& records_;
+  Counter& events_;
+};
+
+/// Turns the crash path on: remembers `path` as the dump destination,
+/// installs fatal-signal handlers (SIGSEGV, SIGBUS, SIGFPE, SIGILL,
+/// SIGABRT) that write the flight ring + a metrics walk to it and then
+/// re-raise, and installs a support::assert failure handler that records
+/// the failing expression as a flight event before aborting (the SIGABRT
+/// handler then writes the dump). Call once, before recording threads
+/// start; the path buffer is fixed (long paths are rejected with false).
+bool enable_crash_dump(const std::string& path);
+
+/// The configured dump path ("" when enable_crash_dump was never called).
+[[nodiscard]] std::string_view crash_dump_path() noexcept;
+
+/// Writes a dump (reason line, flight ring, metrics) to the configured
+/// path right now — the non-fatal spelling used on wirefault containment.
+/// False when no path is configured. Safe from any thread, not just
+/// signal handlers.
+bool flight_dump_now(std::string_view reason) noexcept;
+
+#else  // PPD_OBS_DISABLED
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kNameBytes = 1;
+  static constexpr std::size_t kDefaultCapacity = 0;
+  enum class Kind : std::uint8_t { Span = 1, Event = 2 };
+  struct Entry {
+    std::uint64_t seq = 0;
+    Kind kind = Kind::Span;
+    std::uint32_t tid = 0;
+    std::uint64_t begin_ns = 0;
+    std::uint64_t end_ns = 0;
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_span_id = 0;
+    std::string name;
+  };
+  explicit FlightRecorder(std::size_t = 0) {}
+  void record_span(std::string_view, std::uint32_t, std::uint64_t,
+                   std::uint64_t, std::uint64_t, std::uint64_t,
+                   std::uint64_t) noexcept {}
+  void record_event(std::string_view) noexcept {}
+  [[nodiscard]] std::vector<Entry> snapshot() const { return {}; }
+  void dump(int) const noexcept {}
+  [[nodiscard]] std::size_t capacity() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept { return 0; }
+};
+
+inline bool enable_crash_dump(const std::string&) { return false; }
+inline std::string_view crash_dump_path() noexcept { return {}; }
+inline bool flight_dump_now(std::string_view) noexcept { return false; }
+
+#endif  // PPD_OBS_DISABLED
+
+}  // namespace ppd::obs

@@ -4,13 +4,51 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
+#include <unordered_map>
+
+#include "obs/sigsafe.hpp"
 
 namespace ppd::obs {
 namespace {
 
 std::atomic<SpanCollector*> g_collector{nullptr};
 
+constexpr std::uint32_t kSinkCollector = 0x1;
+constexpr std::uint32_t kSinkFlight = 0x2;
+
+thread_local TraceContext t_trace{};
+
+/// Heterogeneous string hashing so handle-cache lookups take a
+/// string_view without materializing a std::string on the hot path.
+struct StringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+template <typename T>
+using HandleMap =
+    std::unordered_map<std::string, T*, StringHash, std::equal_to<>>;
+
 }  // namespace
+
+namespace detail {
+std::atomic<std::uint32_t> g_span_sinks{0};
+std::atomic<FlightSpanHook> g_flight_span_hook{nullptr};
+std::atomic<FlightEventHook> g_flight_event_hook{nullptr};
+
+void set_flight_hooks(FlightSpanHook span_hook, FlightEventHook event_hook) {
+  g_flight_span_hook.store(span_hook, std::memory_order_release);
+  g_flight_event_hook.store(event_hook, std::memory_order_release);
+  if (span_hook != nullptr || event_hook != nullptr) {
+    g_span_sinks.fetch_or(kSinkFlight, std::memory_order_release);
+  } else {
+    g_span_sinks.fetch_and(~kSinkFlight, std::memory_order_release);
+  }
+}
+}  // namespace detail
 
 std::uint64_t now_ns() {
   // Anchored at the first call so span timestamps stay small and the
@@ -30,24 +68,67 @@ std::uint32_t thread_id() {
   return id;
 }
 
-std::uint64_t Histogram::quantile_upper_bound(double q) const noexcept {
-  const std::uint64_t total = count();
-  if (total == 0) return 0;
-  const auto rank = static_cast<std::uint64_t>(
-      q * static_cast<double>(total));
+// ---- trace context ----------------------------------------------------------
+
+TraceContext current_trace() noexcept { return t_trace; }
+
+void set_current_trace(TraceContext ctx) noexcept { t_trace = ctx; }
+
+std::uint64_t mint_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---- histogram snapshots ----------------------------------------------------
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot s;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.buckets[i];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::uint64_t Histogram::Snapshot::quantile_upper_bound(double q) const noexcept {
+  if (count == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
-    cumulative += bucket(i);
-    if (cumulative > rank || (cumulative == total && cumulative != 0)) {
-      return std::min(bucket_upper_bound(i), max());
+    cumulative += buckets[i];
+    if (cumulative > rank || (cumulative == count && cumulative != 0)) {
+      return std::min(bucket_upper_bound(i), max);
     }
   }
-  return max();
+  return max;
 }
+
+std::uint64_t Histogram::quantile_upper_bound(double q) const noexcept {
+  // Through the one-pass snapshot: the cumulative walk and the total it
+  // compares against come from the same bucket copy, so a concurrent
+  // record() can no longer skew the rank against a moving total.
+  return snapshot().quantile_upper_bound(q);
+}
+
+// ---- registry ---------------------------------------------------------------
 
 Registry& Registry::instance() {
   static Registry registry;
   return registry;
+}
+
+void Registry::push_dir_locked(const char* name, Kind kind,
+                               const void* instrument) {
+  // Nodes are never freed (instruments never are either); the list is the
+  // crash handler's lock-free view of the registry.
+  auto* node = new DirNode{name, kind, instrument, nullptr};
+  node->next = dir_head_.load(std::memory_order_relaxed);
+  while (!dir_head_.compare_exchange_weak(node->next, node,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+  }
 }
 
 Counter& Registry::counter(std::string_view name) {
@@ -55,6 +136,7 @@ Counter& Registry::counter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+    push_dir_locked(it->first.c_str(), Kind::Counter, it->second.get());
   }
   return *it->second;
 }
@@ -64,6 +146,7 @@ Gauge& Registry::gauge(std::string_view name) {
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+    push_dir_locked(it->first.c_str(), Kind::Gauge, it->second.get());
   }
   return *it->second;
 }
@@ -74,33 +157,51 @@ Histogram& Registry::histogram(std::string_view name) {
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
              .first;
+    push_dir_locked(it->first.c_str(), Kind::Histogram, it->second.get());
   }
   return *it->second;
 }
 
+RegistrySnapshot Registry::structured_snapshot() const {
+  RegistrySnapshot out;
+  std::lock_guard lock(mutex_);
+  out.counters.reserve(counters_.size());
+  out.gauges.reserve(gauges_.size());
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace_back(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace_back(name, gauge->snapshot());
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out.histograms.emplace_back(name, hist->snapshot());
+  }
+  return out;
+}
+
 std::vector<MetricEntry> Registry::snapshot() const {
+  const RegistrySnapshot snap = structured_snapshot();
   std::vector<MetricEntry> out;
-  {
-    std::lock_guard lock(mutex_);
-    out.reserve(counters_.size() + 2 * gauges_.size() + 6 * histograms_.size());
-    for (const auto& [name, counter] : counters_) {
-      out.emplace_back(name, static_cast<std::int64_t>(counter->value()));
-    }
-    for (const auto& [name, gauge] : gauges_) {
-      out.emplace_back(name, gauge->value());
-      out.emplace_back(name + ".max", gauge->max());
-    }
-    for (const auto& [name, hist] : histograms_) {
-      out.emplace_back(name + ".count", static_cast<std::int64_t>(hist->count()));
-      out.emplace_back(name + ".sum", static_cast<std::int64_t>(hist->sum()));
-      out.emplace_back(name + ".max", static_cast<std::int64_t>(hist->max()));
-      out.emplace_back(name + ".p50", static_cast<std::int64_t>(
-                                          hist->quantile_upper_bound(0.50)));
-      out.emplace_back(name + ".p90", static_cast<std::int64_t>(
-                                          hist->quantile_upper_bound(0.90)));
-      out.emplace_back(name + ".p99", static_cast<std::int64_t>(
-                                          hist->quantile_upper_bound(0.99)));
-    }
+  out.reserve(snap.counters.size() + 2 * snap.gauges.size() +
+              6 * snap.histograms.size());
+  for (const auto& [name, value] : snap.counters) {
+    out.emplace_back(name, static_cast<std::int64_t>(value));
+  }
+  for (const auto& [name, gauge] : snap.gauges) {
+    out.emplace_back(name, gauge.value);
+    out.emplace_back(name + ".max", gauge.max);
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    out.emplace_back(name + ".count", static_cast<std::int64_t>(hist.count));
+    out.emplace_back(name + ".sum", static_cast<std::int64_t>(hist.sum));
+    out.emplace_back(name + ".max", static_cast<std::int64_t>(hist.max));
+    out.emplace_back(name + ".p50", static_cast<std::int64_t>(
+                                        hist.quantile_upper_bound(0.50)));
+    out.emplace_back(name + ".p90", static_cast<std::int64_t>(
+                                        hist.quantile_upper_bound(0.90)));
+    out.emplace_back(name + ".p99", static_cast<std::int64_t>(
+                                        hist.quantile_upper_bound(0.99)));
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -117,6 +218,54 @@ std::string Registry::render_metrics() const {
   return out;
 }
 
+void Registry::crash_dump(int fd) const noexcept {
+  FdWriter writer(fd);
+  for (const DirNode* node = dir_head_.load(std::memory_order_acquire);
+       node != nullptr; node = node->next) {
+    switch (node->kind) {
+      case Kind::Counter: {
+        const auto* counter = static_cast<const Counter*>(node->instrument);
+        writer.put(node->name);
+        writer.put("=");
+        writer.put_u64(counter->value());
+        writer.put("\n");
+        break;
+      }
+      case Kind::Gauge: {
+        const auto* gauge = static_cast<const Gauge*>(node->instrument);
+        const GaugeSnapshot snap = gauge->snapshot();
+        writer.put(node->name);
+        writer.put("=");
+        writer.put_i64(snap.value);
+        writer.put("\n");
+        writer.put(node->name);
+        writer.put(".max=");
+        writer.put_i64(snap.max);
+        writer.put("\n");
+        break;
+      }
+      case Kind::Histogram: {
+        const auto* hist = static_cast<const Histogram*>(node->instrument);
+        const Histogram::Snapshot snap = hist->snapshot();
+        writer.put(node->name);
+        writer.put(".count=");
+        writer.put_u64(snap.count);
+        writer.put("\n");
+        writer.put(node->name);
+        writer.put(".sum=");
+        writer.put_u64(snap.sum);
+        writer.put("\n");
+        writer.put(node->name);
+        writer.put(".max=");
+        writer.put_u64(snap.max);
+        writer.put("\n");
+        break;
+      }
+    }
+  }
+  writer.flush();
+}
+
 void Registry::reset() {
   std::lock_guard lock(mutex_);
   for (auto& [name, counter] : counters_) counter->reset();
@@ -124,13 +273,68 @@ void Registry::reset() {
   for (auto& [name, hist] : histograms_) hist->reset();
 }
 
-void SpanCollector::record(std::string name, std::uint32_t tid,
-                           std::uint64_t begin_ns, std::uint64_t end_ns) {
-  const std::uint64_t duration = end_ns >= begin_ns ? end_ns - begin_ns : 0;
-  Registry::instance().histogram("span." + name + "_ns").record(duration);
+// ---- per-thread handle cache ------------------------------------------------
+
+Counter& counter_handle(std::string_view name) {
+  thread_local HandleMap<Counter> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(std::string(name), &Registry::instance().counter(name))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& gauge_handle(std::string_view name) {
+  thread_local HandleMap<Gauge> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(std::string(name), &Registry::instance().gauge(name))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& histogram_handle(std::string_view name) {
+  thread_local HandleMap<Histogram> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(std::string(name), &Registry::instance().histogram(name))
+             .first;
+  }
+  return *it->second;
+}
+
+namespace {
+
+/// Duration histogram for a span name, memoized per thread under the
+/// *span* name so the "span.<name>_ns" metric string is built once per
+/// (thread, name) instead of once per record.
+Histogram& span_histogram(std::string_view span_name) {
+  thread_local HandleMap<Histogram> cache;
+  auto it = cache.find(span_name);
+  if (it == cache.end()) {
+    std::string metric = "span.";
+    metric += span_name;
+    metric += "_ns";
+    it = cache.emplace(std::string(span_name),
+                       &Registry::instance().histogram(metric))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+// ---- span sinks -------------------------------------------------------------
+
+void SpanCollector::record(SpanRecord record) {
+  const std::uint64_t duration =
+      record.end_ns >= record.begin_ns ? record.end_ns - record.begin_ns : 0;
+  span_histogram(record.name).record(duration);
   if (!keep_spans_) return;
   std::lock_guard lock(mutex_);
-  spans_.push_back(SpanRecord{std::move(name), tid, begin_ns, end_ns});
+  spans_.push_back(std::move(record));
 }
 
 std::vector<SpanRecord> SpanCollector::take() {
@@ -147,10 +351,55 @@ std::size_t SpanCollector::size() const {
 
 void install_collector(SpanCollector* collector) {
   g_collector.store(collector, std::memory_order_release);
+  if (collector != nullptr) {
+    detail::g_span_sinks.fetch_or(kSinkCollector, std::memory_order_release);
+  } else {
+    detail::g_span_sinks.fetch_and(~kSinkCollector, std::memory_order_release);
+  }
 }
 
 SpanCollector* active_collector() {
   return g_collector.load(std::memory_order_acquire);
+}
+
+// install_flight_recorder / active_flight_recorder live in obs/flight.cpp;
+// this translation unit reaches the recorder only through the hooks, so a
+// binary that never installs one (generated pattern runtimes link obs.cpp
+// standalone) carries no reference to FlightRecorder's code.
+
+void flight_event(std::string_view name) {
+  if (const detail::FlightEventHook hook =
+          detail::g_flight_event_hook.load(std::memory_order_acquire)) {
+    hook(name);
+  }
+}
+
+void ScopedSpan::begin(std::string_view name) {
+  collector_ = active_collector();
+  flight_ = detail::g_flight_span_hook.load(std::memory_order_acquire);
+  if (collector_ == nullptr && flight_ == nullptr) return;  // sink raced away
+  name_ = name;
+  const TraceContext parent = current_trace();
+  trace_id_ = parent.trace_id;
+  parent_span_id_ = parent.span_id;
+  span_id_ = mint_id();
+  set_current_trace(TraceContext{trace_id_, span_id_});
+  active_ = true;
+  begin_ns_ = now_ns();
+}
+
+void ScopedSpan::finish() {
+  const std::uint64_t end_ns = now_ns();
+  set_current_trace(TraceContext{trace_id_, parent_span_id_});
+  if (flight_ != nullptr) {
+    flight_(name_, thread_id(), begin_ns_, end_ns, trace_id_, span_id_,
+            parent_span_id_);
+  }
+  if (collector_ != nullptr) {
+    collector_->record(SpanRecord{std::move(name_), thread_id(), begin_ns_,
+                                  end_ns, trace_id_, span_id_,
+                                  parent_span_id_});
+  }
 }
 
 }  // namespace ppd::obs

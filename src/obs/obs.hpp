@@ -3,29 +3,51 @@
 // The tool chain is a heavy dynamic-analysis pipeline (trace replay → CU
 // construction → dependence profiling → pattern detectors → report) that
 // runs chunk-parallel on a thread pool, and a pipeline we cannot see into
-// cannot be made faster. This module provides the measurement substrate:
+// cannot be made faster. Since the pipeline also runs as a resident
+// daemon (ppd-analyzed), the substrate serves two audiences: offline
+// profiling of one run, and live inspection of a long-running service.
+// This module provides:
 //
 //  * a thread-safe metrics **Registry** of named monotonic counters,
 //    gauges (with high-water mark), and fixed-bucket power-of-two
 //    histograms — always on, cheap enough to leave in hot-ish paths
 //    (single relaxed atomic RMW per update; name lookup is done once and
-//    the returned reference cached by the instrumented site);
+//    the returned reference cached by the instrumented site, or resolved
+//    through the lock-free per-thread *handle cache* below);
 //
 //  * RAII **ScopedSpan** phase timers that record per-thread begin/end
-//    events into an installed SpanCollector. Spans are a *runtime* no-op
-//    when no collector is installed (one relaxed atomic load per scope)
-//    and a *compile-time* no-op when the library is built with
-//    `-DPPD_OBS=OFF` (every type below collapses to an empty inline stub,
-//    so instrumented call sites compile unchanged and vanish).
+//    events into the installed sinks (a SpanCollector, a FlightRecorder,
+//    or both). Spans are a *runtime* no-op when no sink is installed (one
+//    relaxed atomic load per scope) and a *compile-time* no-op when the
+//    library is built with `-DPPD_OBS=OFF` (every type below collapses to
+//    an empty inline stub, so instrumented call sites compile unchanged
+//    and vanish);
+//
+//  * a **TraceContext** — a (trace id, span id) pair carried in a
+//    thread-local and propagated across rt::ThreadPool submissions — so
+//    every span records which request caused it. The service mints one
+//    trace id per remote request (and accepts one from the client over
+//    the wire, PROTOCOL.md §7), turning the daemon's span soup into
+//    causally-linked per-request trees;
+//
+//  * coherent **snapshots**: every instrument can be read in a single
+//    pass (Gauge value/max pair, Histogram bucket array) so a live scrape
+//    never observes torn counter/gauge pairs, and Registry::
+//    structured_snapshot() captures the whole registry under one lock
+//    hold.
 //
 // Exporters (obs/export.hpp) turn the collected data into a Chrome
 // trace-event JSON file (loadable in Perfetto / chrome://tracing, one
-// track per worker thread) and a flat sorted `key=value` metrics dump.
+// track per worker thread, trace/span ids as event args), a flat sorted
+// `key=value` metrics dump, and a Prometheus text exposition. The crash
+// path (obs/flight.hpp) dumps the flight-recorder ring and a lock-free
+// metrics walk from a fatal-signal handler.
 //
-// Threading contract: install_collector() must happen-before any thread
-// that will record spans starts its work, and the collector must outlive
-// every recording thread (install(nullptr) + join before destroying it).
-// The CLI owns exactly that window around a run.
+// Threading contract: install_collector() / install_flight_recorder()
+// must happen-before any thread that will record spans starts its work,
+// and the sink must outlive every recording thread (install(nullptr) +
+// join before destroying it). The CLI and daemon own exactly that window
+// around a run.
 #pragma once
 
 #include <cstddef>
@@ -45,19 +67,42 @@
 
 namespace ppd::obs {
 
+/// Request-scoped identity: which remote request (trace_id) and which
+/// enclosing span (span_id) the current work belongs to. Id 0 means
+/// "none" — spans recorded outside any request carry trace_id 0.
+/// Plain data in both build modes so wire code can carry it unchanged.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  [[nodiscard]] bool active() const noexcept { return trace_id != 0; }
+};
+
 /// One completed phase: [begin_ns, end_ns) on thread `tid` (small dense
-/// per-process thread ordinal, not the OS id).
+/// per-process thread ordinal, not the OS id). trace_id/span_id/
+/// parent_span_id link the span into its request's tree (0 = unlinked).
 struct SpanRecord {
   std::string name;
   std::uint32_t tid = 0;
   std::uint64_t begin_ns = 0;
   std::uint64_t end_ns = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
 };
 
 /// Flat metrics snapshot entry (see Registry::snapshot for the key scheme).
 using MetricEntry = std::pair<std::string, std::int64_t>;
 
+/// Coherent (value, max) pair read in one pass; max is clamped to at
+/// least value so a concurrent set() can never yield max < value.
+struct GaugeSnapshot {
+  std::int64_t value = 0;
+  std::int64_t max = 0;
+};
+
 #if !defined(PPD_OBS_DISABLED)
+
+class FlightRecorder;  // obs/flight.hpp — forward-declared sink
 
 /// Nanoseconds on the steady clock, anchored at the first call so span
 /// timestamps stay small.
@@ -65,6 +110,34 @@ using MetricEntry = std::pair<std::string, std::int64_t>;
 
 /// Dense per-process ordinal of the calling thread (first caller gets 0).
 [[nodiscard]] std::uint32_t thread_id();
+
+// ---- trace context ----------------------------------------------------------
+
+/// The calling thread's current context ({0,0} when none).
+[[nodiscard]] TraceContext current_trace() noexcept;
+void set_current_trace(TraceContext ctx) noexcept;
+
+/// Process-unique nonzero id (shared pool for trace and span ids).
+[[nodiscard]] std::uint64_t mint_id() noexcept;
+
+/// RAII: installs `ctx` as the thread's context, restores the previous
+/// one on destruction. rt::ThreadPool reinstalls the submitter's context
+/// around each task with exactly this guard, so context follows work
+/// across the pool without any caller plumbing.
+class WithTrace {
+ public:
+  explicit WithTrace(TraceContext ctx) noexcept : previous_(current_trace()) {
+    set_current_trace(ctx);
+  }
+  ~WithTrace() { set_current_trace(previous_); }
+  WithTrace(const WithTrace&) = delete;
+  WithTrace& operator=(const WithTrace&) = delete;
+
+ private:
+  TraceContext previous_;
+};
+
+// ---- instruments ------------------------------------------------------------
 
 /// Monotonic counter.
 class Counter {
@@ -99,6 +172,18 @@ class Gauge {
   [[nodiscard]] std::int64_t max() const noexcept {
     return max_.load(std::memory_order_relaxed);
   }
+
+  /// Single-pass coherent read: a concurrent set(v) whose raise_max has
+  /// not landed yet can make max_ lag value_; the clamp restores the
+  /// invariant max >= value for every snapshot consumer.
+  [[nodiscard]] GaugeSnapshot snapshot() const noexcept {
+    GaugeSnapshot s;
+    s.value = value_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    if (s.max < s.value) s.max = s.value;
+    return s;
+  }
+
   void reset() noexcept {
     value_.store(0, std::memory_order_relaxed);
     max_.store(0, std::memory_order_relaxed);
@@ -122,6 +207,21 @@ class Gauge {
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 64;
+
+  /// One-pass copy of the whole histogram. count is derived from the
+  /// copied buckets (not re-read), so quantiles computed from a Snapshot
+  /// are internally consistent even while writers keep recording — this
+  /// is the estimator the Prometheus exporter uses.
+  struct Snapshot {
+    std::uint64_t buckets[kBuckets] = {};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+
+    /// Upper bound of the bucket where the cumulative count crosses `q`
+    /// (0 < q <= 1), clamped to the observed max; 0 when empty.
+    [[nodiscard]] std::uint64_t quantile_upper_bound(double q) const noexcept;
+  };
 
   void record(std::uint64_t v) noexcept {
     buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
@@ -147,6 +247,8 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  [[nodiscard]] Snapshot snapshot() const noexcept;
+
   /// Inclusive upper edge of bucket i.
   [[nodiscard]] static constexpr std::uint64_t bucket_upper_bound(std::size_t i) {
     return i + 1 >= kBuckets ? ~std::uint64_t{0}
@@ -157,8 +259,7 @@ class Histogram {
     return width == 0 ? 0 : width - 1;
   }
 
-  /// Upper bound of the bucket where the cumulative count crosses `q`
-  /// (0 < q <= 1); 0 when the histogram is empty.
+  /// Convenience over snapshot().quantile_upper_bound(q).
   [[nodiscard]] std::uint64_t quantile_upper_bound(double q) const noexcept;
 
   void reset() noexcept {
@@ -173,10 +274,20 @@ class Histogram {
   std::atomic<std::uint64_t> max_{0};
 };
 
+/// Whole-registry snapshot captured under one lock hold: every instrument
+/// read exactly once, with its coherent per-instrument snapshot type.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, GaugeSnapshot>> gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+};
+
 /// Process-wide named-instrument registry. Lookup takes a mutex; the
 /// returned references are stable for the process lifetime (instruments
 /// are never deallocated — reset() zeroes, it does not erase), so hot
-/// sites look up once and keep the reference.
+/// sites look up once and keep the reference, or go through the
+/// per-thread handle cache (counter_handle & co.) which bypasses the
+/// mutex after the first hit.
 class Registry {
  public:
   static Registry& instance();
@@ -185,38 +296,78 @@ class Registry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
-  /// Flat snapshot, sorted by key. Counters appear as `name`; gauges as
-  /// `name` and `name.max`; histograms as `name.count`, `name.sum`,
-  /// `name.max`, `name.p50`, `name.p90`, `name.p99` (bucket upper bounds).
-  /// Zero-valued counters/empty histograms are included — an instrument
-  /// that exists but never fired is itself a finding.
+  /// Single-pass snapshot of every instrument, sorted by name within each
+  /// kind. The lock is held for the whole pass, so no instrument can be
+  /// *added* mid-snapshot and every (value, max) / bucket-array pair is
+  /// read through its coherent per-instrument snapshot.
+  [[nodiscard]] RegistrySnapshot structured_snapshot() const;
+
+  /// Flat rendering of structured_snapshot(), sorted by key. Counters
+  /// appear as `name`; gauges as `name` and `name.max`; histograms as
+  /// `name.count`, `name.sum`, `name.max`, `name.p50`, `name.p90`,
+  /// `name.p99` (bucket upper bounds). Zero-valued counters/empty
+  /// histograms are included — an instrument that exists but never fired
+  /// is itself a finding.
   [[nodiscard]] std::vector<MetricEntry> snapshot() const;
 
   /// snapshot() rendered as sorted `key=value` lines.
   [[nodiscard]] std::string render_metrics() const;
 
+  /// Async-signal-safe metrics walk: writes `key=value` lines to `fd`
+  /// using only write(2) and stack buffers, via a lock-free instrument
+  /// directory maintained on insert (names point at the stable map keys).
+  /// Order is insertion-reversed, not sorted — this is the crash path.
+  void crash_dump(int fd) const noexcept;
+
   /// Zeroes every instrument; references handed out stay valid.
   void reset();
 
  private:
+  enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+  /// Lock-free directory node for the crash path; pushed under mutex_,
+  /// read with acquire loads only.
+  struct DirNode {
+    const char* name;
+    Kind kind;
+    const void* instrument;
+    DirNode* next;
+  };
+
   Registry() = default;
+  void push_dir_locked(const char* name, Kind kind, const void* instrument);
 
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::atomic<DirNode*> dir_head_{nullptr};
 };
 
+// ---- per-thread handle cache ------------------------------------------------
+//
+// Registry lookup takes the global mutex; these resolve a name through a
+// thread-local map instead, touching the registry only on each thread's
+// first use of a name. The returned references are the same stable
+// registry instruments. This is the hot-path spelling for call sites
+// that cannot cache a reference themselves (dynamic names, or code that
+// runs before an owner could resolve one).
+
+[[nodiscard]] Counter& counter_handle(std::string_view name);
+[[nodiscard]] Gauge& gauge_handle(std::string_view name);
+[[nodiscard]] Histogram& histogram_handle(std::string_view name);
+
+// ---- span sinks -------------------------------------------------------------
+
 /// Collects completed spans. Every record() also folds the duration into
-/// the registry histogram `span.<name>_ns`, so a metrics-only run (no
-/// Chrome trace wanted) can install a collector with keep_spans = false
-/// and pay no per-span storage.
+/// the registry histogram `span.<name>_ns` (through the per-thread handle
+/// cache — no global mutex, no name allocation after first use), so a
+/// metrics-only run can install a collector with keep_spans = false and
+/// pay no per-span storage.
 class SpanCollector {
  public:
   explicit SpanCollector(bool keep_spans = true) : keep_spans_(keep_spans) {}
 
-  void record(std::string name, std::uint32_t tid, std::uint64_t begin_ns,
-              std::uint64_t end_ns);
+  void record(SpanRecord record);
 
   /// Moves the collected spans out (collector stays usable).
   [[nodiscard]] std::vector<SpanRecord> take();
@@ -233,16 +384,55 @@ class SpanCollector {
 void install_collector(SpanCollector* collector);
 [[nodiscard]] SpanCollector* active_collector();
 
-/// RAII phase timer. Captures the collector once at construction: when none
-/// is installed the constructor is a single relaxed load and the destructor
-/// a branch; the span name is only materialized when it will be recorded.
+/// Installs (or with nullptr uninstalls) the process-wide flight
+/// recorder. Spans and flight_event()s are recorded into its ring in
+/// addition to any collector. Defined in obs/flight.cpp — callers pull in
+/// the flight recorder; code that never installs one (e.g. generated
+/// standalone pattern runtimes, which link obs.cpp alone) carries no link
+/// dependency on it, because obs.cpp reaches the recorder only through
+/// the detail::g_flight_* hooks below.
+void install_flight_recorder(FlightRecorder* recorder);
+[[nodiscard]] FlightRecorder* active_flight_recorder();
+
+/// Records a point event (name + current trace context + timestamp) into
+/// the flight recorder; no-op when none is installed. Used for the
+/// moments worth seeing in a post-mortem: wirefault containment, assert
+/// fires, request admission failures.
+void flight_event(std::string_view name);
+
+namespace detail {
+/// Bitmask of installed span sinks (bit 0 collector, bit 1 flight
+/// recorder); spans_active() is the one relaxed-ish load every
+/// PPD_OBS_SPAN pays when nothing is recording.
+extern std::atomic<std::uint32_t> g_span_sinks;
+[[nodiscard]] inline bool spans_active() noexcept {
+  return g_span_sinks.load(std::memory_order_acquire) != 0;
+}
+
+/// Flight-recorder indirection: obs.cpp calls the recorder only through
+/// these function pointers, which install_flight_recorder (flight.cpp)
+/// sets together with the kSinkFlight bit. Null = no recorder.
+using FlightSpanHook = void (*)(std::string_view name, std::uint32_t tid,
+                                std::uint64_t begin_ns, std::uint64_t end_ns,
+                                std::uint64_t trace_id, std::uint64_t span_id,
+                                std::uint64_t parent_span_id);
+using FlightEventHook = void (*)(std::string_view name);
+extern std::atomic<FlightSpanHook> g_flight_span_hook;
+extern std::atomic<FlightEventHook> g_flight_event_hook;
+/// Atomically publishes both hooks and maintains the flight bit in
+/// g_span_sinks (both null clears it). Defined in obs.cpp.
+void set_flight_hooks(FlightSpanHook span_hook, FlightEventHook event_hook);
+}  // namespace detail
+
+/// RAII phase timer. Construction is a single sink-mask load when nothing
+/// is recording; when a sink is installed it captures the sinks, mints a
+/// span id, and pushes itself as the thread's current context (so nested
+/// spans and submitted tasks become its children). The destructor
+/// restores the parent context and records into every installed sink.
 class ScopedSpan {
  public:
-  explicit ScopedSpan(std::string_view name) : collector_(active_collector()) {
-    if (collector_ != nullptr) {
-      name_ = name;
-      begin_ns_ = now_ns();
-    }
+  explicit ScopedSpan(std::string_view name) {
+    if (detail::spans_active()) begin(name);
   }
   explicit ScopedSpan(const char* name) : ScopedSpan(std::string_view(name)) {}
 
@@ -250,22 +440,41 @@ class ScopedSpan {
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
   ~ScopedSpan() {
-    if (collector_ != nullptr) {
-      collector_->record(std::move(name_), thread_id(), begin_ns_, now_ns());
-    }
+    if (active_) finish();
   }
 
  private:
-  SpanCollector* collector_;
+  void begin(std::string_view name);
+  void finish();
+
+  SpanCollector* collector_ = nullptr;
+  detail::FlightSpanHook flight_ = nullptr;
   std::string name_;
   std::uint64_t begin_ns_ = 0;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_span_id_ = 0;
+  bool active_ = false;
 };
 
 #else  // PPD_OBS_DISABLED — every instrument is an empty inline stub so
        // instrumented call sites compile unchanged and optimize away.
 
+class FlightRecorder;
+
 inline std::uint64_t now_ns() { return 0; }
 inline std::uint32_t thread_id() { return 0; }
+
+inline TraceContext current_trace() noexcept { return {}; }
+inline void set_current_trace(TraceContext) noexcept {}
+inline std::uint64_t mint_id() noexcept { return 0; }
+
+class WithTrace {
+ public:
+  explicit WithTrace(TraceContext) noexcept {}
+  WithTrace(const WithTrace&) = delete;
+  WithTrace& operator=(const WithTrace&) = delete;
+};
 
 class Counter {
  public:
@@ -280,17 +489,28 @@ class Gauge {
   void add(std::int64_t) noexcept {}
   [[nodiscard]] std::int64_t value() const noexcept { return 0; }
   [[nodiscard]] std::int64_t max() const noexcept { return 0; }
+  [[nodiscard]] GaugeSnapshot snapshot() const noexcept { return {}; }
   void reset() noexcept {}
 };
 
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 1;
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    std::uint64_t buckets[kBuckets] = {0};
+    [[nodiscard]] std::uint64_t quantile_upper_bound(double) const noexcept {
+      return 0;
+    }
+  };
   void record(std::uint64_t) noexcept {}
   [[nodiscard]] std::uint64_t count() const noexcept { return 0; }
   [[nodiscard]] std::uint64_t sum() const noexcept { return 0; }
   [[nodiscard]] std::uint64_t max() const noexcept { return 0; }
   [[nodiscard]] std::uint64_t bucket(std::size_t) const noexcept { return 0; }
+  [[nodiscard]] Snapshot snapshot() const noexcept { return {}; }
   [[nodiscard]] static constexpr std::uint64_t bucket_upper_bound(std::size_t) {
     return 0;
   }
@@ -298,6 +518,12 @@ class Histogram {
     return 0;
   }
   void reset() noexcept {}
+};
+
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, GaugeSnapshot>> gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
 };
 
 class Registry {
@@ -309,8 +535,10 @@ class Registry {
   Counter& counter(std::string_view) { return counter_; }
   Gauge& gauge(std::string_view) { return gauge_; }
   Histogram& histogram(std::string_view) { return histogram_; }
+  [[nodiscard]] RegistrySnapshot structured_snapshot() const { return {}; }
   [[nodiscard]] std::vector<MetricEntry> snapshot() const { return {}; }
   [[nodiscard]] std::string render_metrics() const { return {}; }
+  void crash_dump(int) const noexcept {}
   void reset() {}
 
  private:
@@ -319,16 +547,29 @@ class Registry {
   Histogram histogram_;
 };
 
+inline Counter& counter_handle(std::string_view name) {
+  return Registry::instance().counter(name);
+}
+inline Gauge& gauge_handle(std::string_view name) {
+  return Registry::instance().gauge(name);
+}
+inline Histogram& histogram_handle(std::string_view name) {
+  return Registry::instance().histogram(name);
+}
+
 class SpanCollector {
  public:
   explicit SpanCollector(bool = true) {}
-  void record(std::string, std::uint32_t, std::uint64_t, std::uint64_t) {}
+  void record(SpanRecord) {}
   [[nodiscard]] std::vector<SpanRecord> take() { return {}; }
   [[nodiscard]] std::size_t size() const { return 0; }
 };
 
 inline void install_collector(SpanCollector*) {}
 inline SpanCollector* active_collector() { return nullptr; }
+inline void install_flight_recorder(FlightRecorder*) {}
+inline FlightRecorder* active_flight_recorder() { return nullptr; }
+inline void flight_event(std::string_view) {}
 
 class ScopedSpan {
  public:

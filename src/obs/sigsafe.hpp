@@ -1,0 +1,78 @@
+// Async-signal-safe buffered fd writer for the obs crash path.
+//
+// A fatal-signal handler may only call the handful of functions POSIX
+// lists as async-signal-safe — write(2) qualifies, snprintf/malloc/
+// iostreams/mutexes do not. FdWriter formats integers by hand into a
+// stack buffer and flushes with raw write() loops, so the flight-recorder
+// dump and the registry crash walk can run from inside a SIGSEGV handler
+// without touching the allocator or any lock.
+#pragma once
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ppd::obs {
+
+class FdWriter {
+ public:
+  explicit FdWriter(int fd) noexcept : fd_(fd) {}
+  ~FdWriter() { flush(); }
+
+  FdWriter(const FdWriter&) = delete;
+  FdWriter& operator=(const FdWriter&) = delete;
+
+  void put(std::string_view text) noexcept {
+    for (const char c : text) put_char(c);
+  }
+
+  void put_char(char c) noexcept {
+    if (length_ == sizeof(buffer_)) flush();
+    buffer_[length_++] = c;
+  }
+
+  void put_u64(std::uint64_t v) noexcept {
+    char digits[20];
+    std::size_t n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) put_char(digits[--n]);
+  }
+
+  void put_i64(std::int64_t v) noexcept {
+    if (v < 0) {
+      put_char('-');
+      // Negate via unsigned so INT64_MIN does not overflow.
+      put_u64(~static_cast<std::uint64_t>(v) + 1);
+    } else {
+      put_u64(static_cast<std::uint64_t>(v));
+    }
+  }
+
+  void flush() noexcept {
+    const char* data = buffer_;
+    std::size_t left = length_;
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, data, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;  // nowhere to report I/O trouble from a signal handler
+      }
+      data += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    length_ = 0;
+  }
+
+ private:
+  int fd_;
+  char buffer_[512];
+  std::size_t length_ = 0;
+};
+
+}  // namespace ppd::obs

@@ -51,13 +51,17 @@ struct PipelineCounters {
   obs::Counter& push_waits;
   obs::Counter& pop_waits;
   obs::Counter& sequential_fallbacks;
+  /// Link-queue depth after each push; the gauge's high-water `max` is the
+  /// watermark (how close to capacity the pipeline's back-pressure ran).
+  obs::Gauge& queue_depth;
   static PipelineCounters& instance() {
     static PipelineCounters counters{
         obs::Registry::instance().counter("pat.pipeline.runs"),
         obs::Registry::instance().counter("pat.pipeline.items"),
         obs::Registry::instance().counter("pat.pipeline.push_waits"),
         obs::Registry::instance().counter("pat.pipeline.pop_waits"),
-        obs::Registry::instance().counter("pat.pipeline.sequential_fallbacks")};
+        obs::Registry::instance().counter("pat.pipeline.sequential_fallbacks"),
+        obs::Registry::instance().gauge("pat.pipeline.queue_depth")};
     return counters;
   }
 };
@@ -80,6 +84,8 @@ class BoundedQueue {
     }
     if (closed_) return false;
     items_.push_back(std::move(item));
+    detail::PipelineCounters::instance().queue_depth.set(
+        static_cast<std::int64_t>(items_.size()));
     lock.unlock();
     not_empty_.notify_one();
     return true;

@@ -49,12 +49,18 @@ struct TaskCounters {
   obs::Counter& injected;
   obs::Counter& executed_local;
   obs::Counter& stolen;
+  /// Depth gauges: the live value tracks the last observed queue length,
+  /// the gauge's high-water `max` is the watermark a scrape reports.
+  obs::Gauge& deque_depth;
+  obs::Gauge& inject_depth;
   static TaskCounters& instance() {
     static TaskCounters counters{
         obs::Registry::instance().counter("pat.task.spawned"),
         obs::Registry::instance().counter("pat.task.injected"),
         obs::Registry::instance().counter("pat.task.executed_local"),
-        obs::Registry::instance().counter("pat.task.stolen")};
+        obs::Registry::instance().counter("pat.task.stolen"),
+        obs::Registry::instance().gauge("pat.task.deque_depth"),
+        obs::Registry::instance().gauge("pat.task.inject_depth")};
     return counters;
   }
 };
@@ -105,10 +111,14 @@ class TaskPool {
     if (slot != rt::ThreadPool::kNotAWorker) {
       std::lock_guard slot_lock(slots_[slot].mutex);
       slots_[slot].tasks.push_back(std::move(fn));
+      detail::TaskCounters::instance().deque_depth.set(
+          static_cast<std::int64_t>(slots_[slot].tasks.size()));
     } else {
       detail::TaskCounters::instance().injected.add(1);
       std::lock_guard inject_lock(inject_mutex_);
       inject_.push_back(std::move(fn));
+      detail::TaskCounters::instance().inject_depth.set(
+          static_cast<std::int64_t>(inject_.size()));
     }
     {
       std::lock_guard lock(mutex_);

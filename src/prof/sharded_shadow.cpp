@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <map>
 #include <tuple>
 
 #include "obs/obs.hpp"

@@ -52,6 +52,16 @@ bool ThreadPool::is_shut_down() const {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // Trace propagation happens here and only here: the submitter's context
+  // is captured with the task and reinstalled around its execution, so a
+  // request's spans stay on its trace across the thread hop. Everything
+  // built on the pool (TaskGroup, svc::Scheduler, ppd::pat) inherits this.
+  if (const obs::TraceContext trace = obs::current_trace(); trace.active()) {
+    task = [trace, task = std::move(task)] {
+      obs::WithTrace scope(trace);
+      task();
+    };
+  }
   {
     std::lock_guard lock(mutex_);
     if (stopping_) {

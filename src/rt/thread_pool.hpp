@@ -36,6 +36,8 @@ class ThreadPool {
   /// Enqueues a task for execution on some worker. Submitting to a pool
   /// that was shut down is a defined, recoverable error: it throws
   /// std::runtime_error (code pool-shutdown) and the task is not enqueued.
+  /// The submitter's obs trace context (when active) is captured with the
+  /// task and reinstalled around its execution on the worker.
   void submit(std::function<void()> task);
 
   /// Drains the queue, stops the workers, and joins them. Idempotent; called

@@ -59,9 +59,11 @@ Status Client::connect(const std::string& socket_path,
     return status;
   }
 
+  // The hello itself is always a v1 frame (svc/frame.hpp): an old server
+  // must be able to read it far enough to refuse us cleanly.
   std::string payload;
   encode_hello(payload,
-               HelloPayload{kProtocolVersion, kProtocolVersion, client_name});
+               HelloPayload{kProtocolVersionMin, kProtocolVersion, client_name});
   Status status = write_frame(fd_, FrameType::Hello, payload);
   if (!status.is_ok()) {
     // The server may have refused us (an Overloaded greeting) and hung up
@@ -94,6 +96,13 @@ Status Client::connect(const std::string& socket_path,
     close();
     return Status::error(ErrorCode::BadFrame, "expected hello-ack");
   }
+  if (ack.version < kProtocolVersionMin || ack.version > kProtocolVersion) {
+    close();
+    return Status::error(ErrorCode::UnsupportedVersion,
+                         "server chose version " + std::to_string(ack.version) +
+                             ", outside " + std::to_string(kProtocolVersionMin) +
+                             ".." + std::to_string(kProtocolVersion));
+  }
   version_ = ack.version;
   server_name_ = ack.server;
   return Status::ok();
@@ -115,7 +124,11 @@ Client::Result Client::analyze(std::string_view trace_bytes,
   request.trace = trace_bytes;
   std::string payload;
   encode_request(payload, request);
-  result.status = write_frame(fd_, FrameType::AnalyzeRequest, payload);
+  // On a v2 connection the caller's trace context (if any) rides along in
+  // the header extension; the server adopts it instead of minting its own.
+  const obs::TraceContext trace = obs::current_trace();
+  result.status =
+      write_frame(fd_, FrameType::AnalyzeRequest, payload, version_, &trace);
   if (!result.status.is_ok()) {
     close();
     return result;
@@ -184,6 +197,41 @@ Status Client::ping() {
     close();
     return Status::error(ErrorCode::BadFrame, "expected pong");
   }
+  return Status::ok();
+}
+
+Status Client::metrics(std::uint8_t format, std::string& text) {
+  if (!connected()) {
+    return Status::error(ErrorCode::ConnectionLost, "not connected");
+  }
+  if (version_ < 2) {
+    return Status::error(ErrorCode::UnsupportedVersion,
+                         "server negotiated protocol v" +
+                             std::to_string(version_) +
+                             "; metrics frames need v2");
+  }
+  std::string payload;
+  encode_metrics_request(payload, MetricsRequestPayload{format});
+  Status status =
+      write_frame(fd_, FrameType::MetricsRequest, payload, version_, nullptr);
+  if (!status.is_ok()) {
+    close();
+    return status;
+  }
+  Frame frame;
+  status = next_frame(frame);
+  if (!status.is_ok()) return status;
+  if (frame.type == FrameType::Error) {
+    Status refusal;
+    if (decode_status(frame.payload, refusal) && !refusal.is_ok()) return refusal;
+  }
+  MetricsReplyPayload reply;
+  if (frame.type != FrameType::MetricsReply ||
+      !decode_metrics_reply(frame.payload, reply) || reply.format != format) {
+    close();
+    return Status::error(ErrorCode::BadFrame, "expected metrics-reply");
+  }
+  text = std::move(reply.text);
   return Status::ok();
 }
 

@@ -62,6 +62,11 @@ class Client {
 
   [[nodiscard]] support::Status ping();
 
+  /// Scrapes the daemon's live metrics registry (v2 connections only;
+  /// UnsupportedVersion against a v1 server). `format` is one of the
+  /// kMetricsFormat* constants; on Ok, `text` holds the rendered metrics.
+  [[nodiscard]] support::Status metrics(std::uint8_t format, std::string& text);
+
   /// Asks the daemon to exit; Ok once the shutdown ack arrived.
   [[nodiscard]] support::Status shutdown_server();
 

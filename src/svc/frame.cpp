@@ -15,7 +15,10 @@ using support::ErrorCode;
 using support::Status;
 
 constexpr std::uint8_t kMinFrameType = static_cast<std::uint8_t>(FrameType::Hello);
-constexpr std::uint8_t kMaxFrameType = static_cast<std::uint8_t>(FrameType::Shutdown);
+/// v1 ends at Shutdown; the metrics pair exists only in v2 frames. A v1
+/// header carrying type 10 is a bad frame, exactly as it was before v2.
+constexpr std::uint8_t kMaxFrameTypeV1 = static_cast<std::uint8_t>(FrameType::Shutdown);
+constexpr std::uint8_t kMaxFrameTypeV2 = static_cast<std::uint8_t>(FrameType::MetricsReply);
 
 /// Display names are bounded like .ppdt definition names: hostile peers
 /// cannot balloon memory through a length prefix.
@@ -36,12 +39,30 @@ void put_string(std::string& out, std::string_view text) {
   return true;
 }
 
+[[nodiscard]] bool version_supported(std::uint8_t version) {
+  return version >= kProtocolVersionMin && version <= kProtocolVersion;
+}
+
+[[nodiscard]] Status unsupported_version(std::uint8_t version) {
+  return Status::error(ErrorCode::UnsupportedVersion,
+                       "frame version " + std::to_string(version) +
+                           ", expected " + std::to_string(kProtocolVersionMin) +
+                           ".." + std::to_string(kProtocolVersion));
+}
+
 /// The parsed fixed-size header, before the payload has been seen.
 struct Header {
   FrameType type = FrameType::Error;
+  std::uint8_t version = kProtocolVersionMin;
+  std::uint16_t flags = 0;
   std::uint32_t length = 0;
   std::uint32_t crc = 0;
 };
+
+/// Bytes of extension data (between header and payload) the flags announce.
+[[nodiscard]] std::size_t extension_size(const Header& header) {
+  return (header.flags & kFrameFlagTrace) != 0 ? kTraceContextSize : 0;
+}
 
 /// Validates the 16 header bytes. Field order doubles as the validation
 /// order, so a garbage stream is rejected on its earliest bad byte.
@@ -53,18 +74,25 @@ struct Header {
     return Status::error(ErrorCode::BadFrame, "bad frame magic");
   }
   const auto version = static_cast<std::uint8_t>(bytes[4]);
-  if (version != kProtocolVersion) {
-    return Status::error(ErrorCode::UnsupportedVersion,
-                         "frame version " + std::to_string(version) +
-                             ", expected " + std::to_string(kProtocolVersion));
+  if (!version_supported(version)) {
+    return unsupported_version(version);
   }
   const auto type = static_cast<std::uint8_t>(bytes[5]);
-  if (type < kMinFrameType || type > kMaxFrameType) {
+  const std::uint8_t max_type = version >= 2 ? kMaxFrameTypeV2 : kMaxFrameTypeV1;
+  if (type < kMinFrameType || type > max_type) {
     return Status::error(ErrorCode::BadFrame,
                          "unknown frame type " + std::to_string(type));
   }
-  if (bytes[6] != 0 || bytes[7] != 0) {
-    return Status::error(ErrorCode::BadFrame, "reserved header bytes set");
+  std::uint16_t flags = 0;
+  std::memcpy(&flags, bytes + 6, 2);
+  if (version < 2) {
+    // v1 never defined these bytes; any nonzero value is a corrupt header.
+    if (flags != 0) {
+      return Status::error(ErrorCode::BadFrame, "reserved header bytes set");
+    }
+  } else if ((flags & ~kFrameFlagsKnown) != 0) {
+    return Status::error(ErrorCode::BadFrame,
+                         "unknown header flags " + std::to_string(flags));
   }
   std::uint32_t length = 0;
   std::memcpy(&length, bytes + 8, 4);
@@ -75,9 +103,23 @@ struct Header {
                              " bytes exceeds the cap of " + std::to_string(cap));
   }
   out.type = static_cast<FrameType>(type);
+  out.version = version;
+  out.flags = flags;
   out.length = length;
   std::memcpy(&out.crc, bytes + 12, 4);
   return Status::ok();
+}
+
+/// Reads the trace-context extension into the frame (caller guarantees
+/// `bytes` holds kTraceContextSize bytes at the extension offset).
+void parse_trace_extension(const char* bytes, Frame& frame) {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::memcpy(&trace_id, bytes, 8);
+  std::memcpy(&span_id, bytes + 8, 8);
+  frame.has_trace = true;
+  frame.trace.trace_id = trace_id;
+  frame.trace.span_id = span_id;
 }
 
 }  // namespace
@@ -93,20 +135,44 @@ const char* to_string(FrameType type) {
     case FrameType::Ping: return "ping";
     case FrameType::Pong: return "pong";
     case FrameType::Shutdown: return "shutdown";
+    case FrameType::MetricsRequest: return "metrics-request";
+    case FrameType::MetricsReply: return "metrics-reply";
   }
   return "unknown";
 }
 
+namespace {
+
+void put_u64le(std::string& out, std::uint64_t value) {
+  store::put_u32le(out, static_cast<std::uint32_t>(value & 0xFFFFFFFFu));
+  store::put_u32le(out, static_cast<std::uint32_t>(value >> 32));
+}
+
+}  // namespace
+
 std::string encode_frame(FrameType type, std::string_view payload) {
+  return encode_frame(type, payload, kProtocolVersionMin, nullptr);
+}
+
+std::string encode_frame(FrameType type, std::string_view payload,
+                         std::uint8_t version, const obs::TraceContext* trace) {
+  const bool with_trace = version >= 2 && trace != nullptr && trace->active();
+  std::uint16_t flags = 0;
+  if (with_trace) flags |= kFrameFlagTrace;
   std::string out;
-  out.reserve(kFrameHeaderSize + payload.size());
+  out.reserve(kFrameHeaderSize + (with_trace ? kTraceContextSize : 0) +
+              payload.size());
   store::put_u32le(out, kFrameMagic);
-  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(version));
   out.push_back(static_cast<char>(type));
-  out.push_back(0);
-  out.push_back(0);
+  out.push_back(static_cast<char>(flags & 0xFF));
+  out.push_back(static_cast<char>(flags >> 8));
   store::put_u32le(out, static_cast<std::uint32_t>(payload.size()));
   store::put_u32le(out, store::crc32(payload));
+  if (with_trace) {
+    put_u64le(out, trace->trace_id);
+    put_u64le(out, trace->span_id);
+  }
   out.append(payload);
   return out;
 }
@@ -128,11 +194,8 @@ DecodeResult decode_frame(std::string_view bytes, std::uint64_t max_payload,
       }
     }
     if (bytes.size() >= 5 &&
-        static_cast<std::uint8_t>(header[4]) != kProtocolVersion) {
-      status = Status::error(ErrorCode::UnsupportedVersion,
-                             "frame version " +
-                                 std::to_string(static_cast<std::uint8_t>(header[4])) +
-                                 ", expected " + std::to_string(kProtocolVersion));
+        !version_supported(static_cast<std::uint8_t>(header[4]))) {
+      status = unsupported_version(static_cast<std::uint8_t>(header[4]));
       return DecodeResult::Error;
     }
     return DecodeResult::NeedMore;
@@ -141,9 +204,12 @@ DecodeResult decode_frame(std::string_view bytes, std::uint64_t max_payload,
   Header header;
   status = parse_header(bytes.data(), max_payload, header);
   if (!status.is_ok()) return DecodeResult::Error;
-  if (bytes.size() < kFrameHeaderSize + header.length) return DecodeResult::NeedMore;
+  const std::size_t ext = extension_size(header);
+  const std::size_t total = kFrameHeaderSize + ext + header.length;
+  if (bytes.size() < total) return DecodeResult::NeedMore;
 
-  const std::string_view payload = bytes.substr(kFrameHeaderSize, header.length);
+  const std::string_view payload =
+      bytes.substr(kFrameHeaderSize + ext, header.length);
   if (store::crc32(payload) != header.crc) {
     status = Status::error(ErrorCode::CrcMismatch,
                            "frame payload failed its CRC-32 check");
@@ -151,7 +217,13 @@ DecodeResult decode_frame(std::string_view bytes, std::uint64_t max_payload,
   }
   frame.type = header.type;
   frame.payload = payload;
-  consumed = kFrameHeaderSize + header.length;
+  frame.version = header.version;
+  frame.has_trace = false;
+  frame.trace = obs::TraceContext{};
+  if (ext != 0) {
+    parse_trace_extension(bytes.data() + kFrameHeaderSize, frame);
+  }
+  consumed = total;
   status = Status::ok();
   return DecodeResult::Ok;
 }
@@ -192,6 +264,16 @@ void encode_report(std::string& out, const ReportPayload& report) {
   out.append(report.report);
   store::put_varint(out, report.log.size());
   out.append(report.log);
+}
+
+void encode_metrics_request(std::string& out, const MetricsRequestPayload& request) {
+  out.push_back(static_cast<char>(request.format));
+}
+
+void encode_metrics_reply(std::string& out, const MetricsReplyPayload& reply) {
+  out.push_back(static_cast<char>(reply.format));
+  store::put_varint(out, reply.text.size());
+  out.append(reply.text);
 }
 
 void encode_status(std::string& out, const Status& status) {
@@ -260,6 +342,23 @@ bool decode_report(std::string_view payload, ReportPayload& out) {
   return reader.at_end();
 }
 
+bool decode_metrics_request(std::string_view payload, MetricsRequestPayload& out) {
+  store::ByteReader reader(payload);
+  std::uint8_t format = 0;
+  if (!reader.read_u8(format) || format > kMetricsFormatPrometheus) return false;
+  out.format = format;
+  return reader.at_end();
+}
+
+bool decode_metrics_reply(std::string_view payload, MetricsReplyPayload& out) {
+  store::ByteReader reader(payload);
+  std::uint8_t format = 0;
+  if (!reader.read_u8(format) || format > kMetricsFormatPrometheus) return false;
+  out.format = format;
+  if (!read_string(reader, out.text, kMaxFramePayload)) return false;
+  return reader.at_end();
+}
+
 bool decode_status(std::string_view payload, Status& out) {
   store::ByteReader reader(payload);
   std::uint8_t code = 0;
@@ -325,7 +424,12 @@ enum class ReadExact : std::uint8_t { Ok, Eof, Error };
 }  // namespace
 
 Status write_frame(int fd, FrameType type, std::string_view payload) {
-  const std::string bytes = encode_frame(type, payload);
+  return write_frame(fd, type, payload, kProtocolVersionMin, nullptr);
+}
+
+Status write_frame(int fd, FrameType type, std::string_view payload,
+                   std::uint8_t version, const obs::TraceContext* trace) {
+  const std::string bytes = encode_frame(type, payload, version, trace);
   if (!send_all(fd, bytes.data(), bytes.size())) {
     return Status::error(ErrorCode::ConnectionLost, "peer closed while writing");
   }
@@ -349,20 +453,27 @@ Status read_frame(int fd, std::uint64_t max_payload, std::string& buffer,
   const Status status = parse_header(buffer.data(), max_payload, header);
   if (!status.is_ok()) return status;
 
-  buffer.resize(kFrameHeaderSize + header.length);
-  if (header.length > 0 &&
-      recv_exact(fd, buffer.data() + kFrameHeaderSize, header.length) !=
+  const std::size_t ext = extension_size(header);
+  buffer.resize(kFrameHeaderSize + ext + header.length);
+  if (ext + header.length > 0 &&
+      recv_exact(fd, buffer.data() + kFrameHeaderSize, ext + header.length) !=
           ReadExact::Ok) {
     return Status::error(ErrorCode::ConnectionLost, "truncated frame");
   }
   const std::string_view payload =
-      std::string_view(buffer).substr(kFrameHeaderSize, header.length);
+      std::string_view(buffer).substr(kFrameHeaderSize + ext, header.length);
   if (store::crc32(payload) != header.crc) {
     return Status::error(ErrorCode::CrcMismatch,
                          "frame payload failed its CRC-32 check");
   }
   frame.type = header.type;
   frame.payload = payload;
+  frame.version = header.version;
+  frame.has_trace = false;
+  frame.trace = obs::TraceContext{};
+  if (ext != 0) {
+    parse_trace_extension(buffer.data() + kFrameHeaderSize, frame);
+  }
   return Status::ok();
 }
 

@@ -1,5 +1,5 @@
 // ppd::svc wire framing — the byte protocol of the resident analysis
-// service, protocol version 1.
+// service, protocol versions 1 and 2.
 //
 // Everything the daemon and its clients exchange travels in one frame
 // shape: a fixed 16-byte header followed by a CRC-32-guarded payload.
@@ -11,6 +11,18 @@
 // (LEB128 varints, length-prefixed strings, store::ByteReader), and error
 // payloads are the wire encoding of support::Status, so a remote failure
 // carries exactly the same stable error code the offline tool would print.
+//
+// Version 2 repurposes the v1 reserved header bytes as a flags word and
+// adds two things on top of v1:
+//   * an optional 16-byte trace-context extension (trace id + span id,
+//     both u64le) between header and payload, announced by flag bit 0.
+//     It is diagnostic metadata, deliberately outside the CRC: a flipped
+//     trace id must never cost a request its reply.
+//   * MetricsRequest/MetricsReply frames — a live scrape of the daemon's
+//     metrics registry without queueing an analysis.
+// Hello and HelloAck are always framed as version 1 regardless of what
+// the peers later negotiate, so an old peer can read the handshake far
+// enough to discover the mismatch and fail cleanly.
 //
 // The normative byte-level spec (the one third-party clients implement
 // from) is docs/PROTOCOL.md; this header is its in-tree mirror.
@@ -27,22 +39,38 @@
 #include <string>
 #include <string_view>
 
+#include "obs/obs.hpp"
 #include "store/format.hpp"
 #include "support/status.hpp"
 #include "trace/serialize.hpp"
 
 namespace ppd::svc {
 
-/// First protocol revision. Hello/HelloAck negotiate a version from the
-/// ranges both sides support; the frame header always carries the revision
-/// the sender speaks.
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Current (highest) protocol revision. Hello/HelloAck negotiate a version
+/// from the ranges both sides support; the frame header carries the
+/// revision the sender framed this particular frame with.
+inline constexpr std::uint8_t kProtocolVersion = 2;
+
+/// Oldest revision this build still speaks. The handshake itself is always
+/// framed as this version (see the file comment).
+inline constexpr std::uint8_t kProtocolVersionMin = 1;
 
 /// "PPDA" little-endian — Parallel Pattern Detection, Analysis service.
 inline constexpr std::uint32_t kFrameMagic = 0x41445050u;
 
-/// magic:u32 version:u8 type:u8 reserved:u16 length:u32 crc32:u32.
+/// magic:u32 version:u8 type:u8 flags:u16 length:u32 crc32:u32.
+/// (v1 called the flags word "reserved" and requires it to be zero.)
 inline constexpr std::size_t kFrameHeaderSize = 16;
+
+/// v2 flag bit 0: a 16-byte trace-context extension (trace_id:u64le
+/// span_id:u64le) follows the header, before the payload. Not CRC-covered.
+inline constexpr std::uint16_t kFrameFlagTrace = 0x0001;
+
+/// All header flag bits this build understands; the rest are rejected.
+inline constexpr std::uint16_t kFrameFlagsKnown = kFrameFlagTrace;
+
+/// Size of the trace-context extension announced by kFrameFlagTrace.
+inline constexpr std::size_t kTraceContextSize = 16;
 
 /// Absolute protocol ceiling on one frame's payload. Servers typically run
 /// with a much smaller per-request byte budget (ServerOptions); this bound
@@ -59,19 +87,34 @@ enum class FrameType : std::uint8_t {
   Ping = 7,            ///< client → server: liveness probe (empty payload)
   Pong = 8,            ///< server → client: probe reply (empty payload)
   Shutdown = 9,        ///< client → server: stop the daemon (echoed as ack)
+  MetricsRequest = 10,  ///< client → server: scrape the metrics registry (v2)
+  MetricsReply = 11,    ///< server → client: rendered metrics text (v2)
 };
 
 [[nodiscard]] const char* to_string(FrameType type);
 
 /// One decoded frame: type plus a view of the payload (into the caller's
-/// buffer — copy it to outlive the buffer).
+/// buffer — copy it to outlive the buffer), plus the header version and
+/// the trace context carried by the extension, when present.
 struct Frame {
   FrameType type = FrameType::Error;
   std::string_view payload;
+  std::uint8_t version = kProtocolVersionMin;
+  bool has_trace = false;
+  obs::TraceContext trace;
 };
 
-/// Renders header + payload, stamping length and CRC-32.
+/// Renders header + payload, stamping length and CRC-32. Frames as
+/// version 1 (no extension) — the form every peer understands; the
+/// handshake and all pre-v2 traffic use this.
 [[nodiscard]] std::string encode_frame(FrameType type, std::string_view payload);
+
+/// Renders header + payload framed as `version`. When `version` >= 2 and
+/// `trace` is non-null and active, the trace-context extension is attached
+/// (flag bit 0); on a v1 frame `trace` is ignored.
+[[nodiscard]] std::string encode_frame(FrameType type, std::string_view payload,
+                                       std::uint8_t version,
+                                       const obs::TraceContext* trace);
 
 enum class DecodeResult : std::uint8_t {
   Ok,        ///< `frame` filled, `consumed` bytes eaten
@@ -127,11 +170,28 @@ struct ReportPayload {
   std::string log;
 };
 
+/// MetricsRequest/MetricsReply text formats.
+inline constexpr std::uint8_t kMetricsFormatKeyValue = 0;    ///< sorted k=v lines
+inline constexpr std::uint8_t kMetricsFormatPrometheus = 1;  ///< text exposition
+
+/// MetricsRequest (v2): which rendering the client wants.
+struct MetricsRequestPayload {
+  std::uint8_t format = kMetricsFormatKeyValue;
+};
+
+/// MetricsReply (v2): the format echoed back plus the rendered text.
+struct MetricsReplyPayload {
+  std::uint8_t format = kMetricsFormatKeyValue;
+  std::string text;
+};
+
 void encode_hello(std::string& out, const HelloPayload& hello);
 void encode_hello_ack(std::string& out, const HelloAckPayload& ack);
 void encode_request(std::string& out, const RequestPayload& request);
 void encode_progress(std::string& out, const ProgressPayload& progress);
 void encode_report(std::string& out, const ReportPayload& report);
+void encode_metrics_request(std::string& out, const MetricsRequestPayload& request);
+void encode_metrics_reply(std::string& out, const MetricsReplyPayload& reply);
 
 /// Wire encoding of a Status: code:u8, line:varint, message:string. The
 /// codes are the stable support::ErrorCode registry (docs/PROTOCOL.md §5).
@@ -144,6 +204,10 @@ void encode_status(std::string& out, const support::Status& status);
 [[nodiscard]] bool decode_progress(std::string_view payload, ProgressPayload& out);
 [[nodiscard]] bool decode_report(std::string_view payload, ReportPayload& out);
 [[nodiscard]] bool decode_status(std::string_view payload, support::Status& out);
+[[nodiscard]] bool decode_metrics_request(std::string_view payload,
+                                          MetricsRequestPayload& out);
+[[nodiscard]] bool decode_metrics_reply(std::string_view payload,
+                                        MetricsReplyPayload& out);
 
 /// Version negotiation: highest revision inside both [min, max] ranges, or
 /// 0 when the ranges are disjoint (the server then answers with an
@@ -158,9 +222,16 @@ void encode_status(std::string& out, const support::Status& status);
 // Both sides run one blocking reader per connection, so the socket layer
 // stays simple: read/write exactly, loop on EINTR, never raise SIGPIPE.
 
-/// Writes one frame to `fd`. ConnectionLost when the peer vanished.
+/// Writes one v1 frame to `fd`. ConnectionLost when the peer vanished.
 [[nodiscard]] support::Status write_frame(int fd, FrameType type,
                                           std::string_view payload);
+
+/// Writes one frame framed as `version`, attaching the trace-context
+/// extension when `version` >= 2 and `trace` is non-null and active.
+[[nodiscard]] support::Status write_frame(int fd, FrameType type,
+                                          std::string_view payload,
+                                          std::uint8_t version,
+                                          const obs::TraceContext* trace);
 
 /// Reads one frame from `fd` into `buffer` (reused across calls; the
 /// returned frame's payload views into it). Blocks until a full frame,

@@ -67,6 +67,8 @@ void ReportCache::adopt_existing_files() {
     subdir += std::to_string(i);
     const fs::path dir = fs::path(options_.dir) / subdir;
     fs::create_directories(dir, ec);
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mutex);
     for (const auto& file : fs::directory_iterator(dir, ec)) {
       const fs::path& path = file.path();
       if (path.extension() != ".ppdr") continue;
@@ -81,22 +83,20 @@ void ReportCache::adopt_existing_files() {
       // A key that hashes to a different shard than the directory it sits
       // in was planted by something else; leave it on disk, don't index it.
       if (mix(key) % shards_.size() != i) continue;
-      Shard& shard = shards_[i];
       shard.entries[key] =
           Entry{size, clock_.fetch_add(1, std::memory_order_relaxed)};
       shard.bytes += size;
-      total_bytes += size;
-      ++total_entries;
     }
+    // Budgets apply to adopted state too: a restart with a smaller budget
+    // trims the directory immediately — before the totals are published, so
+    // a concurrent scrape never reads (and the gauges' high-water marks
+    // never record) a byte count the budget forbids.
+    evict_over_budget(shard, /*update_gauges=*/false);
+    total_bytes += shard.bytes;
+    total_entries += shard.entries.size();
   }
   bytes_gauge_.set(static_cast<std::int64_t>(total_bytes));
   entries_gauge_.set(static_cast<std::int64_t>(total_entries));
-  // Budgets apply to adopted state too: a restart with a smaller budget
-  // trims the directory immediately.
-  for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    evict_over_budget(shard);
-  }
 }
 
 bool ReportCache::get(std::uint64_t key, std::string& out) {
@@ -121,8 +121,12 @@ bool ReportCache::get(std::uint64_t key, std::string& out) {
       return false;
     }
     it->second.tick = clock_.fetch_add(1, std::memory_order_relaxed);
+    // Count the hit while still holding the shard lock: a scrape that runs
+    // between the index update and the counter bump would otherwise see a
+    // touched entry whose hit is not yet counted (a torn hit/miss pair
+    // against the gauges).
+    hits_.add();
   }
-  hits_.add();
   return true;
 }
 
@@ -155,7 +159,7 @@ void ReportCache::put(std::uint64_t key, std::string_view report) {
   evict_over_budget(shard);
 }
 
-void ReportCache::evict_over_budget(Shard& shard) {
+void ReportCache::evict_over_budget(Shard& shard, bool update_gauges) {
   while (shard.bytes > shard_budget_ && !shard.entries.empty()) {
     auto victim = shard.entries.begin();
     for (auto it = shard.entries.begin(); it != shard.entries.end(); ++it) {
@@ -164,27 +168,21 @@ void ReportCache::evict_over_budget(Shard& shard) {
     std::error_code ec;
     fs::remove(entry_path(victim->first), ec);
     shard.bytes -= victim->second.size;
-    bytes_gauge_.add(-static_cast<std::int64_t>(victim->second.size));
-    entries_gauge_.add(-1);
+    if (update_gauges) {
+      bytes_gauge_.add(-static_cast<std::int64_t>(victim->second.size));
+      entries_gauge_.add(-1);
+    }
     evictions_.add();
     shard.entries.erase(victim);
   }
 }
 
-std::size_t ReportCache::entries() const {
-  std::size_t total = 0;
+ReportCache::Stats ReportCache::stats() const {
+  Stats total;
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    total += shard.entries.size();
-  }
-  return total;
-}
-
-std::uint64_t ReportCache::bytes() const {
-  std::uint64_t total = 0;
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    total += shard.bytes;
+    total.entries += shard.entries.size();
+    total.bytes += shard.bytes;
   }
   return total;
 }

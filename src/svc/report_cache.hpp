@@ -61,9 +61,18 @@ class ReportCache {
   /// until the shard is back under budget.
   void put(std::uint64_t key, std::string_view report);
 
+  /// Entry/byte totals taken in one pass (each shard visited once, under
+  /// its lock), so the pair is coherent per shard — entries() and bytes()
+  /// are views of one stats() call, never two drifting walks.
+  struct Stats {
+    std::size_t entries = 0;
+    std::uint64_t bytes = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
   // Introspection (tests and the daemon's status line).
-  [[nodiscard]] std::size_t entries() const;
-  [[nodiscard]] std::uint64_t bytes() const;
+  [[nodiscard]] std::size_t entries() const { return stats().entries; }
+  [[nodiscard]] std::uint64_t bytes() const { return stats().bytes; }
   [[nodiscard]] const Options& options() const { return options_; }
 
  private:
@@ -81,8 +90,10 @@ class ReportCache {
   [[nodiscard]] Shard& shard_for(std::uint64_t key);
   [[nodiscard]] std::string entry_path(std::uint64_t key) const;
   void adopt_existing_files();
-  /// Caller holds the shard mutex.
-  void evict_over_budget(Shard& shard);
+  /// Caller holds the shard mutex. `update_gauges` is false only during
+  /// adoption, where the gauges are published once from the post-trim
+  /// totals — a scrape must never see the pre-trim byte count.
+  void evict_over_budget(Shard& shard, bool update_gauges = true);
 
   Options options_;
   std::uint64_t shard_budget_ = 0;

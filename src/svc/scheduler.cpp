@@ -14,7 +14,8 @@ Scheduler::Scheduler(rt::ThreadPool& pool, Options options)
       admitted_(obs::Registry::instance().counter("svc.sched.admitted")),
       rejected_(obs::Registry::instance().counter("svc.sched.rejected")),
       completed_(obs::Registry::instance().counter("svc.sched.completed")),
-      inflight_gauge_(obs::Registry::instance().gauge("svc.sched.inflight")) {
+      inflight_gauge_(obs::Registry::instance().gauge("svc.sched.inflight")),
+      occupancy_(obs::Registry::instance().histogram("svc.sched.occupancy")) {
   if (options_.max_pending == 0) options_.max_pending = 1;
 }
 
@@ -32,6 +33,7 @@ Status Scheduler::submit(std::function<void()> job) {
     }
     ++in_flight_;
     inflight_gauge_.add(1);
+    occupancy_.record(in_flight_);
   }
   admitted_.add();
 

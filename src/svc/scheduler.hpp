@@ -65,6 +65,9 @@ class Scheduler {
   obs::Counter& rejected_;
   obs::Counter& completed_;
   obs::Gauge& inflight_gauge_;
+  /// Admitted-set occupancy sampled at each admission: the distribution of
+  /// how full the admission window runs (pow2 buckets of in-flight count).
+  obs::Histogram& occupancy_;
 };
 
 }  // namespace ppd::svc

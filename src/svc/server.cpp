@@ -12,6 +12,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "store/batch.hpp"
 #include "svc/analysis.hpp"
 
@@ -47,6 +49,7 @@ Server::Server(Options options)
       requests_completed_(obs::Registry::instance().counter("svc.requests.completed")),
       requests_failed_(obs::Registry::instance().counter("svc.requests.failed")),
       requests_rejected_(obs::Registry::instance().counter("svc.requests.rejected")),
+      metrics_scrapes_(obs::Registry::instance().counter("svc.metrics.scrapes")),
       request_bytes_(obs::Registry::instance().histogram("svc.request.bytes")),
       request_ns_(obs::Registry::instance().histogram("svc.request.ns")) {}
 
@@ -214,15 +217,30 @@ void Server::log_conn(const Connection& conn, const std::string& what) {
 }
 
 void Server::send(Connection& conn, FrameType type, std::string_view payload) {
+  // Reader threads and pool workers both send while a request's trace
+  // context is installed, so the frames a request produces carry its ids.
+  const obs::TraceContext trace = obs::current_trace();
   std::lock_guard<std::mutex> lock(conn.write_mutex);
   if (conn.dead) return;
-  if (!write_frame(conn.fd, type, payload).is_ok()) conn.dead = true;
+  if (!write_frame(conn.fd, type, payload, conn.version, &trace).is_ok()) {
+    conn.dead = true;
+  }
 }
 
 void Server::send_error(Connection& conn, const Status& status) {
   std::string payload;
   encode_status(payload, status);
   send(conn, FrameType::Error, payload);
+}
+
+void Server::record_wirefault(const Status& status) {
+  protocol_errors_.add();
+  obs::flight_event("svc.wirefault");
+  obs::flight_event(status.message());
+  // When the daemon runs with a crash-dump path, a contained fault leaves
+  // the same post-mortem a fatal one would — the flight ring at the moment
+  // of containment, hostile request's spans included.
+  (void)obs::flight_dump_now("wirefault");
 }
 
 void Server::run_connection(Connection& conn) {
@@ -236,37 +254,42 @@ void Server::run_connection(Connection& conn) {
       log_conn(conn, "disconnected before hello");  // port scan, not a fault
       return;
     }
-    protocol_errors_.add();
+    record_wirefault(status);
     log_conn(conn, "handshake failed: " + status.to_string());
     send_error(conn, status);
     return;
   }
   HelloPayload hello;
   if (frame.type != FrameType::Hello || !decode_hello(frame.payload, hello)) {
-    protocol_errors_.add();
     const Status bad = Status::error(ErrorCode::BadFrame, "expected a valid hello");
+    record_wirefault(bad);
     log_conn(conn, bad.to_string());
     send_error(conn, bad);
     return;
   }
-  const std::uint8_t version = negotiate_version(
-      hello.min_version, hello.max_version, kProtocolVersion, kProtocolVersion);
+  const std::uint8_t version =
+      negotiate_version(hello.min_version, hello.max_version,
+                        kProtocolVersionMin, kProtocolVersion);
   if (version == 0) {
     protocol_errors_.add();
     const Status bad = Status::error(
         ErrorCode::UnsupportedVersion,
         "client speaks " + std::to_string(hello.min_version) + ".." +
             std::to_string(hello.max_version) + ", server speaks " +
+            std::to_string(kProtocolVersionMin) + ".." +
             std::to_string(kProtocolVersion));
     log_conn(conn, bad.to_string());
     send_error(conn, bad);
     return;
   }
   {
+    // The ack is framed as v1 (conn.version still holds the default), so
+    // an old client reads the chosen version before any v2 header reaches it.
     std::string payload;
     encode_hello_ack(payload, HelloAckPayload{version, options_.name});
     send(conn, FrameType::HelloAck, payload);
   }
+  conn.version = version;
   log_conn(conn, "hello from '" + hello.client + "' (v" + std::to_string(version) + ")");
 
   while (!stopping_.load()) {
@@ -278,7 +301,7 @@ void Server::run_connection(Connection& conn) {
       } else {
         // Framing violation: answer with the diagnostic, then hang up —
         // the byte stream can no longer be trusted.
-        protocol_errors_.add();
+        record_wirefault(status);
         log_conn(conn, status.to_string());
         send_error(conn, status);
       }
@@ -296,15 +319,27 @@ void Server::run_connection(Connection& conn) {
         shutdown_cv_.notify_all();
         return;
       }
-      case FrameType::AnalyzeRequest:
+      case FrameType::AnalyzeRequest: {
+        // One trace per request: adopt the client's ids when the frame
+        // carried the extension, mint fresh ones otherwise. Everything the
+        // request touches — progress frames, scheduler admission, the pool
+        // worker's spans, the flight ring — inherits this context.
+        obs::TraceContext ctx = frame.trace;
+        if (ctx.trace_id == 0) ctx.trace_id = obs::mint_id();
+        obs::WithTrace trace_scope(ctx);
+        obs::flight_event("svc.request.begin");
         if (!handle_request(conn, frame.payload)) return;
         break;
+      }
+      case FrameType::MetricsRequest:
+        if (!handle_metrics(conn, frame.payload)) return;
+        break;
       default: {
-        protocol_errors_.add();
         const Status bad =
             Status::error(ErrorCode::BadFrame,
                           std::string("unexpected frame type ") +
                               svc::to_string(frame.type));
+        record_wirefault(bad);
         log_conn(conn, bad.to_string());
         send_error(conn, bad);
         return;
@@ -313,13 +348,38 @@ void Server::run_connection(Connection& conn) {
   }
 }
 
+bool Server::handle_metrics(Connection& conn, std::string_view payload) {
+  MetricsRequestPayload request;
+  if (!decode_metrics_request(payload, request)) {
+    const Status bad =
+        Status::error(ErrorCode::BadFrame, "malformed metrics-request payload");
+    record_wirefault(bad);
+    log_conn(conn, bad.to_string());
+    send_error(conn, bad);
+    return false;
+  }
+  metrics_scrapes_.add();
+  // The scrape runs on the reader thread, outside the scheduler: it must
+  // answer while every pool worker is busy — that is the whole point.
+  MetricsReplyPayload reply;
+  reply.format = request.format;
+  reply.text = request.format == kMetricsFormatPrometheus
+                   ? obs::prometheus_dump()
+                   : obs::metrics_dump();
+  std::string bytes;
+  encode_metrics_reply(bytes, reply);
+  send(conn, FrameType::MetricsReply, bytes);
+  log_conn(conn, "metrics scraped");
+  return true;
+}
+
 bool Server::handle_request(Connection& conn, std::string_view payload) {
   requests_received_.add();
   RequestPayload request;
   if (!decode_request(payload, request)) {
-    protocol_errors_.add();
     const Status bad =
         Status::error(ErrorCode::BadFrame, "malformed analyze-request payload");
+    record_wirefault(bad);
     log_conn(conn, bad.to_string());
     send_error(conn, bad);
     return false;

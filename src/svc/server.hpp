@@ -89,6 +89,9 @@ class Server {
   struct Connection {
     std::uint64_t id = 0;
     int fd = -1;
+    /// Negotiated protocol revision; frames are written in this version
+    /// (the handshake itself is always v1-framed, see svc/frame.hpp).
+    std::uint8_t version = kProtocolVersionMin;
     std::thread thread;
     std::atomic<bool> finished{false};
     /// Writes come from the reader thread and, mid-request, from the pool
@@ -104,9 +107,17 @@ class Server {
   /// Handles one AnalyzeRequest. Returns false when the connection must
   /// close (protocol violation), true to keep serving it.
   bool handle_request(Connection& conn, std::string_view payload);
-  /// Serialized, dead-latching frame write.
+  /// Answers a MetricsRequest with a live registry scrape. Returns false
+  /// when the connection must close (malformed payload).
+  [[nodiscard]] bool handle_metrics(Connection& conn, std::string_view payload);
+  /// Serialized, dead-latching frame write. On a v2 connection the calling
+  /// thread's trace context (if active) rides along as the header extension.
   void send(Connection& conn, FrameType type, std::string_view payload);
   void send_error(Connection& conn, const support::Status& status);
+  /// Containment bookkeeping for a hostile/corrupt peer: counts the
+  /// protocol error, drops a flight-recorder event, and (when a crash-dump
+  /// path is configured) snapshots the flight ring to disk.
+  void record_wirefault(const support::Status& status);
   void log_conn(const Connection& conn, const std::string& what);
   void reap_finished_locked();
 
@@ -139,6 +150,7 @@ class Server {
   obs::Counter& requests_completed_;
   obs::Counter& requests_failed_;
   obs::Counter& requests_rejected_;
+  obs::Counter& metrics_scrapes_;
   obs::Histogram& request_bytes_;
   obs::Histogram& request_ns_;
 };

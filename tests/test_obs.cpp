@@ -6,14 +6,22 @@
 // strictly balanced.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
+#include "rt/thread_pool.hpp"
 
 namespace ppd::obs {
 namespace {
@@ -489,6 +497,330 @@ TEST(ObsExport, MetricsDumpMatchesRegistry) {
   Registry::instance().counter("test.dump.one").add(1);
   const std::string dump = metrics_dump();
   EXPECT_NE(dump.find("test.dump.one=1\n"), std::string::npos) << dump;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram edge buckets and the snapshot-based quantile estimator — the
+// inputs the Prometheus exporter depends on.
+
+TEST(ObsHistogram, EdgeBucketsZeroAndMax) {
+  Histogram h;
+  h.record(0);  // bit width 0 lands in bucket 0 alongside value 1
+  EXPECT_EQ(h.bucket(0), 1u);
+  h.record(1);
+  EXPECT_EQ(h.bucket(0), 2u);
+  h.record(~std::uint64_t{0});  // widest value: the last bucket
+  EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 1u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.max(), ~std::uint64_t{0});
+  // The top bucket's upper bound is already the maximal u64 — no overflow
+  // past it is representable, so the quantile can never exceed it.
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}), Histogram::kBuckets - 1);
+  EXPECT_EQ(h.quantile_upper_bound(0.99), ~std::uint64_t{0});
+}
+
+TEST(ObsHistogram, QuantileClampsBucketBoundToObservedMax) {
+  Histogram h;
+  h.record(5);  // bucket upper bound is 7; the estimate must clamp to 5
+  EXPECT_EQ(h.quantile_upper_bound(0.5), 5u);
+  EXPECT_EQ(h.quantile_upper_bound(1.0), 5u);
+}
+
+TEST(ObsHistogram, SnapshotIsInternallyConsistent) {
+  Histogram h;
+  for (const std::uint64_t v : {1ull, 2ull, 3ull, 100ull, 1000ull}) h.record(v);
+  const Histogram::Snapshot s = h.snapshot();
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) total += s.buckets[i];
+  EXPECT_EQ(total, s.count) << "snapshot count must derive from its buckets";
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.sum, 1106u);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_EQ(s.quantile_upper_bound(1.0), 1000u);
+  EXPECT_LE(s.quantile_upper_bound(0.5), s.max);
+  const Histogram::Snapshot empty = Histogram{}.snapshot();
+  EXPECT_EQ(empty.quantile_upper_bound(0.5), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread handle cache.
+
+TEST(ObsRegistry, HandleCacheResolvesToTheSameInstrument) {
+  Registry& registry = Registry::instance();
+  Counter& direct = registry.counter("test.handle.c");
+  EXPECT_EQ(&counter_handle("test.handle.c"), &direct);
+  EXPECT_EQ(&counter_handle("test.handle.c"), &direct);  // cached second hit
+  EXPECT_EQ(&gauge_handle("test.handle.g"), &registry.gauge("test.handle.g"));
+  EXPECT_EQ(&histogram_handle("test.handle.h"),
+            &registry.histogram("test.handle.h"));
+  // A different thread's cache resolves the name to the same instrument.
+  Counter* other = nullptr;
+  std::thread([&other] { other = &counter_handle("test.handle.c"); }).join();
+  EXPECT_EQ(other, &direct);
+}
+
+// ---------------------------------------------------------------------------
+// Trace context: nesting, span-tree linkage, thread-pool propagation.
+
+TEST(ObsTrace, WithTraceNestsAndRestores) {
+  EXPECT_FALSE(current_trace().active());
+  {
+    WithTrace outer(TraceContext{7, 1});
+    EXPECT_EQ(current_trace().trace_id, 7u);
+    EXPECT_EQ(current_trace().span_id, 1u);
+    {
+      WithTrace inner(TraceContext{9, 2});
+      EXPECT_EQ(current_trace().trace_id, 9u);
+    }
+    EXPECT_EQ(current_trace().trace_id, 7u);
+  }
+  EXPECT_FALSE(current_trace().active());
+}
+
+TEST(ObsTrace, SpansLinkIntoARequestTree) {
+  Registry::instance().reset();
+  SpanCollector collector;
+  install_collector(&collector);
+  {
+    WithTrace request(TraceContext{42, 0});
+    PPD_OBS_SPAN("test.tree.outer");
+    { PPD_OBS_SPAN("test.tree.inner"); }
+  }
+  install_collector(nullptr);
+  std::vector<SpanRecord> spans = collector.take();
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanRecord& inner = spans[0];  // RAII: inner records first
+  const SpanRecord& outer = spans[1];
+  EXPECT_EQ(outer.trace_id, 42u);
+  EXPECT_EQ(inner.trace_id, 42u);
+  EXPECT_NE(outer.span_id, 0u);
+  EXPECT_EQ(outer.parent_span_id, 0u);
+  EXPECT_EQ(inner.parent_span_id, outer.span_id);
+  EXPECT_NE(inner.span_id, outer.span_id);
+}
+
+TEST(ObsTrace, PropagatesAcrossThreadPoolSubmit) {
+  rt::ThreadPool pool(2);
+  TraceContext seen_with{};
+  TraceContext seen_without{};
+  {
+    WithTrace scope(TraceContext{77, 5});
+    rt::TaskGroup group(pool);
+    group.run([&seen_with] { seen_with = current_trace(); });
+    group.wait();
+  }
+  {
+    rt::TaskGroup group(pool);
+    group.run([&seen_without] { seen_without = current_trace(); });
+    group.wait();
+  }
+  EXPECT_EQ(seen_with.trace_id, 77u);
+  EXPECT_EQ(seen_with.span_id, 5u);
+  EXPECT_FALSE(seen_without.active()) << "context leaked across submissions";
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition, validated by an in-test parser.
+
+/// Minimal Prometheus text-format (0.0.4) validator: every sample line is
+/// `name[{labels}] value`, names use the legal charset, TYPE comments
+/// declare known types, histogram bucket series are cumulative with
+/// increasing `le` and end at `le="+Inf"` == `_count`.
+[[maybe_unused]] void validate_prometheus(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::string current_hist;           // prom name of the open histogram
+  std::uint64_t last_bucket = 0;      // last cumulative bucket count
+  double last_le = -1.0;              // last le edge
+  std::uint64_t inf_bucket = 0;
+  bool saw_inf = false;
+  auto is_name_char = [](char c, bool first) {
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    return first ? alpha : (alpha || (c >= '0' && c <= '9'));
+  };
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream meta(line);
+      std::string hash, keyword, name, type;
+      meta >> hash >> keyword >> name >> type;
+      ASSERT_EQ(keyword, "TYPE") << line;
+      ASSERT_TRUE(type == "counter" || type == "gauge" || type == "histogram")
+          << line;
+      if (type == "histogram") {
+        current_hist = name;
+        last_bucket = 0;
+        last_le = -1.0;
+        saw_inf = false;
+      }
+      continue;
+    }
+    // Sample line: name{labels} value | name value.
+    const std::size_t brace = line.find('{');
+    const std::size_t space = line.find(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::size_t name_end = std::min(brace, space);
+    ASSERT_GT(name_end, 0u) << line;
+    const std::string name = line.substr(0, name_end);
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      ASSERT_TRUE(is_name_char(name[i], i == 0)) << line;
+    }
+    const std::string value_text = line.substr(line.rfind(' ') + 1);
+    ASSERT_FALSE(value_text.empty()) << line;
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    ASSERT_EQ(*end, '\0') << "unparseable sample value: " << line;
+
+    if (!current_hist.empty() && name == current_hist + "_bucket") {
+      ASSERT_NE(brace, std::string::npos) << line;
+      const std::size_t le_at = line.find("le=\"", brace);
+      ASSERT_NE(le_at, std::string::npos) << line;
+      const std::size_t le_end = line.find('"', le_at + 4);
+      ASSERT_NE(le_end, std::string::npos) << line;
+      const std::string le_text = line.substr(le_at + 4, le_end - (le_at + 4));
+      const auto count = static_cast<std::uint64_t>(value);
+      if (le_text == "+Inf") {
+        saw_inf = true;
+        inf_bucket = count;
+        EXPECT_GE(count, last_bucket) << "+Inf bucket below a finite one";
+      } else {
+        const double le = std::strtod(le_text.c_str(), nullptr);
+        EXPECT_GT(le, last_le) << "le edges must increase: " << line;
+        EXPECT_GE(count, last_bucket) << "buckets must be cumulative: " << line;
+        last_le = le;
+        last_bucket = count;
+      }
+    } else if (!current_hist.empty() && name == current_hist + "_count") {
+      EXPECT_TRUE(saw_inf) << "histogram without +Inf bucket";
+      EXPECT_EQ(static_cast<std::uint64_t>(value), inf_bucket)
+          << "_count must equal the +Inf bucket";
+    }
+  }
+}
+
+TEST(ObsExport, PrometheusExpositionParsesAndIsCoherent) {
+  Registry::instance().reset();
+  Registry::instance().counter("test.prom.hits").add(3);
+  Registry::instance().gauge("test.prom.depth").set(2);
+  Histogram& h = Registry::instance().histogram("test.prom.lat");
+  for (const std::uint64_t v : {1ull, 10ull, 100ull, 100ull}) h.record(v);
+
+  const std::string text = prometheus_dump();
+  ASSERT_NO_FATAL_FAILURE(validate_prometheus(text));
+  EXPECT_NE(text.find("# TYPE ppd_test_prom_hits_total counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ppd_test_prom_hits_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("ppd_test_prom_depth 2\n"), std::string::npos);
+  EXPECT_NE(text.find("ppd_test_prom_depth_max 2\n"), std::string::npos);
+  EXPECT_NE(text.find("ppd_test_prom_lat_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ppd_test_prom_lat_sum 211\n"), std::string::npos);
+  EXPECT_NE(text.find("ppd_test_prom_lat_count 4\n"), std::string::npos);
+  EXPECT_NE(text.find("ppd_test_prom_lat_p50 "), std::string::npos);
+  EXPECT_NE(text.find("ppd_test_prom_lat_p99 "), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder: ring semantics, trace linkage, truncation, dump text.
+
+TEST(ObsFlight, RingKeepsTheLastCapacityRecords) {
+  FlightRecorder ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (int i = 0; i < 20; ++i) {
+    std::string name("e");
+    name += std::to_string(i);
+    ring.record_event(name);
+  }
+  EXPECT_EQ(ring.total_recorded(), 20u);
+  const std::vector<FlightRecorder::Entry> snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  EXPECT_EQ(snap.front().name, "e12");
+  EXPECT_EQ(snap.back().name, "e19");
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_GT(snap[i].seq, snap[i - 1].seq) << "snapshot not oldest-first";
+  }
+}
+
+TEST(ObsFlight, SpansAndEventsCarryTheTraceContext) {
+  FlightRecorder ring(16);
+  install_flight_recorder(&ring);
+  ASSERT_EQ(active_flight_recorder(), &ring);
+  {
+    WithTrace request(TraceContext{123, 0});
+    PPD_OBS_SPAN("test.flight.span");  // flight is the only sink installed
+    flight_event("test.flight.event");
+  }
+  install_flight_recorder(nullptr);
+  EXPECT_EQ(active_flight_recorder(), nullptr);
+  { PPD_OBS_SPAN("test.flight.after"); }  // must not reach the ring
+
+  const std::vector<FlightRecorder::Entry> snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].kind, FlightRecorder::Kind::Event);
+  EXPECT_EQ(snap[0].name, "test.flight.event");
+  EXPECT_EQ(snap[0].trace_id, 123u);
+  EXPECT_NE(snap[0].span_id, 0u) << "event should attach to the open span";
+  EXPECT_EQ(snap[1].kind, FlightRecorder::Kind::Span);
+  EXPECT_EQ(snap[1].name, "test.flight.span");
+  EXPECT_EQ(snap[1].trace_id, 123u);
+  EXPECT_EQ(snap[1].span_id, snap[0].span_id);
+}
+
+TEST(ObsFlight, TruncatesOverlongNames) {
+  FlightRecorder ring(4);
+  ring.record_event(std::string(100, 'x'));
+  const std::vector<FlightRecorder::Entry> snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].name, std::string(FlightRecorder::kNameBytes - 1, 'x'));
+}
+
+TEST(ObsFlight, ConcurrentRecordingStaysCoherent) {
+  FlightRecorder ring(64);
+  std::vector<std::thread> threads;
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&ring, t] {
+      for (std::uint64_t i = 0; i < 1000; ++i) {
+        ring.record_span("thread-span", t, i, i + 1, 1, 2, 3);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(ring.total_recorded(), 4000u);
+  // Torn slots are skipped, never emitted half-written: every surviving
+  // entry is exactly one of the records some thread wrote.
+  for (const FlightRecorder::Entry& e : ring.snapshot()) {
+    EXPECT_EQ(e.name, "thread-span");
+    EXPECT_EQ(e.trace_id, 1u);
+    EXPECT_EQ(e.span_id, 2u);
+    EXPECT_EQ(e.parent_span_id, 3u);
+    EXPECT_EQ(e.end_ns, e.begin_ns + 1);
+  }
+}
+
+TEST(ObsFlight, DumpWritesParseableText) {
+  FlightRecorder ring(8);
+  {
+    WithTrace request(TraceContext{9, 0});
+    ring.record_event("dump.me");
+  }
+  char path[] = "/tmp/ppd_obs_flight_XXXXXX";
+  const int fd = mkstemp(path);
+  ASSERT_GE(fd, 0);
+  ring.dump(fd);
+  ::close(fd);
+  std::string text;
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  std::remove(path);
+  EXPECT_NE(text.find("flight total=1 kept=1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("event seq=0 trace=9"), std::string::npos) << text;
+  EXPECT_NE(text.find("name=dump.me\n"), std::string::npos) << text;
 }
 
 #else  // PPD_OBS_DISABLED

@@ -1,0 +1,352 @@
+// Flight-recorder post-mortem suite (`ctest -L wirefault`): the crash
+// story of the resident daemon, proven end to end.
+//
+// Two legs. The containment leg drives a hostile frame into a live
+// in-process server running with a flight recorder and a crash-dump path,
+// and requires the contained wirefault to leave the same post-mortem a
+// fatal crash would: the dump names the fault, carries the flight ring
+// (hostile request's events included), and ends with a metrics snapshot.
+// The crash leg forks a real daemon process, serves one analysis request
+// through it, kills it with SIGSEGV, and requires the dump it leaves
+// behind to hold a coherent span tree covering that request — every span
+// of the request's trace parented inside the tree, with the
+// svc.request.begin event carrying the same trace id.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bs/benchmark.hpp"
+#include "obs/flight.hpp"
+#include "obs/obs.hpp"
+#include "store/writer.hpp"
+#include "svc/analysis.hpp"
+#include "svc/client.hpp"
+#include "svc/frame.hpp"
+#include "svc/server.hpp"
+#include "trace/context.hpp"
+
+namespace ppd::svc {
+namespace {
+
+using support::Status;
+
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/ppd_svc_fr_XXXXXX";
+    path = mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+#if !defined(PPD_OBS_DISABLED)
+
+std::string make_trace(const char* benchmark_name) {
+  std::ostringstream out;
+  trace::TraceContext ctx;
+  store::BinaryTraceWriter writer(ctx, out);
+  ctx.add_sink(&writer);
+  const bs::Benchmark* benchmark = bs::find_benchmark(benchmark_name);
+  EXPECT_NE(benchmark, nullptr) << benchmark_name;
+  benchmark->run_traced(ctx);
+  ctx.finish();
+  return out.str();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// One parsed `span ...` / `event ...` line of a flight dump.
+struct DumpRecord {
+  bool is_span = false;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  std::string name;
+};
+
+/// Parses the `k=v`-token grammar of ppd-flight-dump v1 record lines.
+/// `name=` is always the last field and runs to the end of the line
+/// (wirefault events embed free-text status messages).
+bool parse_dump_record(const std::string& line, DumpRecord& out) {
+  if (line.rfind("span ", 0) == 0) {
+    out.is_span = true;
+  } else if (line.rfind("event ", 0) == 0) {
+    out.is_span = false;
+  } else {
+    return false;
+  }
+  const std::size_t name_at = line.find(" name=");
+  if (name_at == std::string::npos) return false;
+  out.name = line.substr(name_at + std::strlen(" name="));
+
+  const auto field = [&](const char* key, std::uint64_t& value) {
+    const std::string needle = std::string(" ") + key + "=";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos || at >= name_at) return false;
+    value = std::strtoull(line.c_str() + at + needle.size(), nullptr, 10);
+    return true;
+  };
+  if (!field("trace", out.trace_id)) return false;
+  if (!field("span", out.span_id)) return false;
+  out.parent_span_id = 0;
+  if (out.is_span && !field("parent", out.parent_span_id)) return false;
+  return true;
+}
+
+/// Parses a whole dump: the header lines are validated, the records
+/// collected. Fatal-fails on anything that is not ppd-flight-dump v1.
+void parse_dump(const std::string& text, std::string& reason,
+                std::vector<DumpRecord>& records) {
+  std::istringstream lines(text);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  ASSERT_EQ(line, "ppd-flight-dump v1");
+  ASSERT_TRUE(std::getline(lines, line));
+  ASSERT_EQ(line.rfind("reason=", 0), 0u);
+  reason = line.substr(std::strlen("reason="));
+  ASSERT_TRUE(std::getline(lines, line));
+  ASSERT_EQ(line.rfind("flight total=", 0), 0u);
+  bool saw_metrics = false;
+  bool saw_end = false;
+  while (std::getline(lines, line)) {
+    if (line == "metrics") {
+      saw_metrics = true;
+      continue;
+    }
+    if (line == "end") {
+      saw_end = true;
+      continue;
+    }
+    DumpRecord record;
+    if (parse_dump_record(line, record)) {
+      ASSERT_FALSE(saw_metrics) << "record after the metrics section: " << line;
+      records.push_back(record);
+    } else {
+      // Everything between `metrics` and `end` is a key=value line.
+      ASSERT_TRUE(saw_metrics) << "unparseable flight line: " << line;
+      ASSERT_NE(line.find('='), std::string::npos) << line;
+    }
+  }
+  ASSERT_TRUE(saw_metrics);
+  ASSERT_TRUE(saw_end);
+}
+
+/// A raw hostile connection: valid hello, then a CRC-corrupt request.
+void send_corrupt_request(const std::string& socket_path,
+                          std::string_view trace_bytes) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr),
+            0);
+
+  std::string hello;
+  encode_hello(hello, HelloPayload{kProtocolVersion, kProtocolVersion, "evil"});
+  std::string request;
+  {
+    RequestPayload payload;
+    payload.trace = trace_bytes;
+    encode_request(request, payload);
+  }
+  std::string stream = encode_frame(FrameType::Hello, hello) +
+                       encode_frame(FrameType::AnalyzeRequest, request);
+  stream.back() = static_cast<char>(stream.back() ^ 0x01);  // fail the CRC
+
+  std::size_t off = 0;
+  while (off < stream.size()) {
+    const ssize_t n =
+        ::send(fd, stream.data() + off, stream.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // Drain until the server hangs up: its error reply (and with it the
+  // wirefault dump, written before the close) is complete by then.
+  ::shutdown(fd, SHUT_WR);
+  char sink[256];
+  for (;;) {
+    const ssize_t n = ::recv(fd, sink, sizeof sink, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+  }
+  ::close(fd);
+}
+
+TEST(SvcFlightRec, ContainedWirefaultLeavesAPostMortemDump) {
+  TempDir dir;
+  const std::string dump_path = dir.path + "/flight.txt";
+  static obs::FlightRecorder ring;  // outlives the server's worker threads
+  obs::install_flight_recorder(&ring);
+  ASSERT_TRUE(obs::enable_crash_dump(dump_path));
+
+  Server::Options options;
+  options.socket_path = dir.path + "/d.sock";
+  options.cache.dir.clear();
+  options.log_connections = false;
+  Server server(options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  // One clean request first, so the dump proves the ring held the daemon's
+  // recent history — not just the fault itself.
+  const std::string trace = make_trace("gesummv");
+  Client client;
+  ASSERT_TRUE(client.connect(options.socket_path, "clean").is_ok());
+  ASSERT_TRUE(client.analyze(trace, {}).status.is_ok());
+
+  send_corrupt_request(options.socket_path, trace);
+  server.stop();
+  obs::install_flight_recorder(nullptr);
+
+  const std::string text = read_file(dump_path);
+  ASSERT_FALSE(text.empty()) << "no flight dump at " << dump_path;
+  std::string reason;
+  std::vector<DumpRecord> records;
+  ASSERT_NO_FATAL_FAILURE(parse_dump(text, reason, records));
+  EXPECT_EQ(reason, "wirefault");
+
+  bool saw_fault_event = false;
+  bool saw_request_begin = false;
+  bool saw_request_span = false;
+  for (const DumpRecord& record : records) {
+    if (!record.is_span && record.name == "svc.wirefault") saw_fault_event = true;
+    if (!record.is_span && record.name == "svc.request.begin") {
+      saw_request_begin = true;
+      EXPECT_NE(record.trace_id, 0u) << "request event outside a trace";
+    }
+    if (record.is_span && record.name == "svc.request") saw_request_span = true;
+  }
+  EXPECT_TRUE(saw_fault_event) << text;
+  EXPECT_TRUE(saw_request_begin) << text;
+  EXPECT_TRUE(saw_request_span) << text;
+  // The dump's metrics snapshot saw the contained fault being counted.
+  EXPECT_NE(text.find("svc.conn.protocol_errors="), std::string::npos) << text;
+}
+
+TEST(SvcFlightRec, SigsegvDaemonDumpCoversTheRequestSpanTree) {
+  TempDir dir;
+  const std::string dump_path = dir.path + "/flight.txt";
+  const std::string socket_path = dir.path + "/d.sock";
+  const std::string trace = make_trace("bicg");
+
+  const pid_t pid = fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    // Child: a real daemon process with the flight recorder armed. It
+    // never returns to gtest — it dies by the parent's SIGSEGV, and the
+    // crash handler must leave the dump behind on its way down.
+    static obs::FlightRecorder ring;
+    obs::install_flight_recorder(&ring);
+    if (!obs::enable_crash_dump(dump_path)) _exit(3);
+    Server::Options options;
+    options.socket_path = socket_path;
+    options.cache.dir.clear();
+    options.log_connections = false;
+    Server server(options);
+    if (!server.start().is_ok()) _exit(4);
+    for (;;) pause();
+  }
+
+  // Parent: wait for the daemon socket, run one full request through it.
+  Client client;
+  Status connected = Status::ok();
+  for (int attempt = 0;; ++attempt) {
+    connected = client.connect(socket_path, "parent");
+    if (connected.is_ok()) break;
+    if (attempt > 200) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (!connected.is_ok()) {
+    kill(pid, SIGKILL);
+    waitpid(pid, nullptr, 0);
+    FAIL() << "daemon child never came up: " << connected.to_string();
+  }
+  const Client::Result result = client.analyze(trace, {});
+  EXPECT_TRUE(result.status.is_ok()) << result.status.to_string();
+  client.close();
+
+  ASSERT_EQ(kill(pid, SIGSEGV), 0);
+  int wait_status = 0;
+  ASSERT_EQ(waitpid(pid, &wait_status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wait_status));
+  EXPECT_EQ(WTERMSIG(wait_status), SIGSEGV);
+
+  const std::string text = read_file(dump_path);
+  ASSERT_FALSE(text.empty()) << "crashed daemon left no dump at " << dump_path;
+  std::string reason;
+  std::vector<DumpRecord> records;
+  ASSERT_NO_FATAL_FAILURE(parse_dump(text, reason, records));
+  EXPECT_EQ(reason, "SIGSEGV");
+
+  // The request's trace id comes from its begin event; the span tree of
+  // that trace must be present and internally parented.
+  std::uint64_t request_trace = 0;
+  for (const DumpRecord& record : records) {
+    if (!record.is_span && record.name == "svc.request.begin") {
+      request_trace = record.trace_id;
+    }
+  }
+  ASSERT_NE(request_trace, 0u) << text;
+
+  std::set<std::uint64_t> span_ids;
+  std::size_t request_spans = 0;
+  for (const DumpRecord& record : records) {
+    if (record.is_span && record.trace_id == request_trace) {
+      span_ids.insert(record.span_id);
+      ++request_spans;
+    }
+  }
+  EXPECT_GE(request_spans, 2u) << "span tree too small to cover the request";
+  std::size_t roots = 0;
+  for (const DumpRecord& record : records) {
+    if (!record.is_span || record.trace_id != request_trace) continue;
+    if (record.parent_span_id == 0) {
+      ++roots;
+    } else {
+      EXPECT_TRUE(span_ids.count(record.parent_span_id) != 0)
+          << "span " << record.span_id << " parented outside the dump";
+    }
+  }
+  EXPECT_GE(roots, 1u) << "no root span for trace " << request_trace;
+}
+
+#else  // PPD_OBS_DISABLED
+
+TEST(SvcFlightRec, FlightApiIsAnInertStubWithObsOff) {
+  // The disabled build must still link and no-op every entry point the
+  // daemon calls on the crash path.
+  obs::install_flight_recorder(nullptr);
+  EXPECT_EQ(obs::active_flight_recorder(), nullptr);
+  EXPECT_FALSE(obs::flight_dump_now("nothing"));
+}
+
+#endif  // PPD_OBS_DISABLED
+
+}  // namespace
+}  // namespace ppd::svc

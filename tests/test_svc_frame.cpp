@@ -337,12 +337,181 @@ TEST(SvcPayloads, StatusCodecCoversTheWholeRegistry) {
   EXPECT_FALSE(decode_status(payload, out));
 }
 
+TEST(SvcPayloads, MetricsRequestRoundTrip) {
+  for (const std::uint8_t format :
+       {kMetricsFormatKeyValue, kMetricsFormatPrometheus}) {
+    std::string payload;
+    encode_metrics_request(payload, MetricsRequestPayload{format});
+    MetricsRequestPayload out;
+    ASSERT_TRUE(decode_metrics_request(payload, out));
+    EXPECT_EQ(out.format, format);
+  }
+  // Empty payload, unknown format, and trailing junk are grammar violations.
+  MetricsRequestPayload ignored;
+  EXPECT_FALSE(decode_metrics_request(std::string_view{}, ignored));
+  std::string bad(1, static_cast<char>(kMetricsFormatPrometheus + 1));
+  EXPECT_FALSE(decode_metrics_request(bad, ignored));
+  std::string trailing(2, '\0');
+  EXPECT_FALSE(decode_metrics_request(trailing, ignored));
+}
+
+TEST(SvcPayloads, MetricsReplyRoundTrip) {
+  MetricsReplyPayload in;
+  in.format = kMetricsFormatPrometheus;
+  in.text = "# TYPE ppd_x_total counter\nppd_x_total 7\n";
+  std::string payload;
+  encode_metrics_reply(payload, in);
+  MetricsReplyPayload out;
+  ASSERT_TRUE(decode_metrics_reply(payload, out));
+  EXPECT_EQ(out.format, kMetricsFormatPrometheus);
+  EXPECT_EQ(out.text, in.text);
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    MetricsReplyPayload ignored;
+    EXPECT_FALSE(decode_metrics_reply(payload.substr(0, cut), ignored)) << cut;
+  }
+  MetricsReplyPayload ignored;
+  EXPECT_FALSE(decode_metrics_reply(payload + "x", ignored));
+}
+
 TEST(SvcNegotiation, PicksTheHighestCommonVersion) {
   EXPECT_EQ(negotiate_version(1, 1, 1, 1), 1);
   EXPECT_EQ(negotiate_version(1, 3, 2, 5), 3);
   EXPECT_EQ(negotiate_version(2, 5, 1, 3), 3);
   EXPECT_EQ(negotiate_version(1, 2, 3, 4), 0);  // disjoint
   EXPECT_EQ(negotiate_version(3, 4, 1, 2), 0);  // disjoint, other side
+}
+
+// ---- protocol version 2 -----------------------------------------------------
+
+TEST(SvcFrameV2, TraceExtensionRoundTrips) {
+  const obs::TraceContext trace{0xAABBCCDD11223344ull, 0x55667788ull};
+  const std::string payload = "traced payload";
+  const std::string bytes =
+      encode_frame(FrameType::AnalyzeRequest, payload, 2, &trace);
+  ASSERT_EQ(bytes.size(), kFrameHeaderSize + kTraceContextSize + payload.size());
+
+  Frame frame;
+  std::size_t consumed = 0;
+  Status status;
+  ASSERT_EQ(decode_frame(bytes, kMaxFramePayload, frame, consumed, status),
+            DecodeResult::Ok);
+  EXPECT_EQ(frame.version, 2);
+  EXPECT_EQ(frame.type, FrameType::AnalyzeRequest);
+  EXPECT_EQ(frame.payload, payload);
+  EXPECT_TRUE(frame.has_trace);
+  EXPECT_EQ(frame.trace.trace_id, trace.trace_id);
+  EXPECT_EQ(frame.trace.span_id, trace.span_id);
+  EXPECT_EQ(consumed, bytes.size());
+}
+
+TEST(SvcFrameV2, InactiveOrAbsentTraceOmitsTheExtension) {
+  // A null or inactive trace context must produce a plain v2 frame: the
+  // extension is opt-in per frame, not per connection.
+  const obs::TraceContext inactive{};
+  for (const obs::TraceContext* trace : {&inactive, (const obs::TraceContext*)nullptr}) {
+    const std::string bytes = encode_frame(FrameType::Ping, {}, 2, trace);
+    ASSERT_EQ(bytes.size(), kFrameHeaderSize);
+    Frame frame;
+    std::size_t consumed = 0;
+    Status status;
+    ASSERT_EQ(decode_frame(bytes, kMaxFramePayload, frame, consumed, status),
+              DecodeResult::Ok);
+    EXPECT_EQ(frame.version, 2);
+    EXPECT_FALSE(frame.has_trace);
+  }
+}
+
+TEST(SvcFrameV2, EveryPrefixOfATracedFrameIsNeedMore) {
+  const obs::TraceContext trace{9, 4};
+  const std::string bytes = encode_frame(FrameType::Report, "body", 2, &trace);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    Frame frame;
+    std::size_t consumed = 0;
+    Status status;
+    EXPECT_EQ(decode_frame(std::string_view(bytes).substr(0, cut),
+                           kMaxFramePayload, frame, consumed, status),
+              DecodeResult::NeedMore)
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+TEST(SvcFrameV2, UnknownFlagBitsAreRejected) {
+  const obs::TraceContext trace{1, 1};
+  for (const std::uint16_t bad : {std::uint16_t{0x0002}, std::uint16_t{0x8000}}) {
+    std::string bytes = encode_frame(FrameType::Ping, {}, 2, &trace);
+    const std::uint16_t flags = static_cast<std::uint16_t>(kFrameFlagTrace | bad);
+    bytes[6] = static_cast<char>(flags & 0xFF);
+    bytes[7] = static_cast<char>(flags >> 8);
+    Frame frame;
+    std::size_t consumed = 0;
+    Status status;
+    EXPECT_EQ(decode_frame(bytes, kMaxFramePayload, frame, consumed, status),
+              DecodeResult::Error);
+    EXPECT_EQ(status.code(), ErrorCode::BadFrame);
+  }
+}
+
+TEST(SvcFrameV2, TraceExtensionIsOutsideTheCrc) {
+  // The extension is diagnostic metadata: flipping its bytes changes the
+  // decoded trace ids but must never fail the frame.
+  const obs::TraceContext trace{0x0101010101010101ull, 0x0202020202020202ull};
+  const std::string bytes = encode_frame(FrameType::Report, "guarded", 2, &trace);
+  for (std::size_t i = kFrameHeaderSize; i < kFrameHeaderSize + kTraceContextSize;
+       ++i) {
+    std::string mutant = bytes;
+    mutant[i] = static_cast<char>(mutant[i] ^ 0x80);
+    Frame frame;
+    std::size_t consumed = 0;
+    Status status;
+    ASSERT_EQ(decode_frame(mutant, kMaxFramePayload, frame, consumed, status),
+              DecodeResult::Ok)
+        << "extension byte " << i;
+    EXPECT_TRUE(frame.has_trace);
+    EXPECT_EQ(frame.payload, "guarded");
+    EXPECT_NE(frame.trace.trace_id ^ frame.trace.span_id,
+              trace.trace_id ^ trace.span_id);
+  }
+}
+
+TEST(SvcFrameV2, MetricsTypesRequireAV2Header) {
+  // The metrics pair decodes fine in v2 frames...
+  for (const FrameType type : {FrameType::MetricsRequest, FrameType::MetricsReply}) {
+    const std::string bytes = encode_frame(type, "p", 2, nullptr);
+    Frame frame;
+    std::size_t consumed = 0;
+    Status status;
+    ASSERT_EQ(decode_frame(bytes, kMaxFramePayload, frame, consumed, status),
+              DecodeResult::Ok);
+    EXPECT_EQ(frame.type, type);
+  }
+  // ...but a v1 header carrying either type is a bad frame, exactly as any
+  // type > Shutdown was before v2 existed.
+  for (const FrameType type : {FrameType::MetricsRequest, FrameType::MetricsReply}) {
+    const std::string bytes = encode_frame(type, "p");
+    Frame frame;
+    std::size_t consumed = 0;
+    Status status;
+    EXPECT_EQ(decode_frame(bytes, kMaxFramePayload, frame, consumed, status),
+              DecodeResult::Error);
+    EXPECT_EQ(status.code(), ErrorCode::BadFrame);
+  }
+}
+
+TEST(SvcFrameV2, TracedPayloadCorruptionStillFailsTheCrc) {
+  // The CRC guards the payload even when it sits after an extension.
+  const obs::TraceContext trace{3, 7};
+  const std::string bytes = encode_frame(FrameType::Report, "corruptible", 2, &trace);
+  for (std::size_t i = kFrameHeaderSize + kTraceContextSize; i < bytes.size(); ++i) {
+    std::string mutant = bytes;
+    mutant[i] = static_cast<char>(mutant[i] ^ 0x01);
+    Frame frame;
+    std::size_t consumed = 0;
+    Status status;
+    EXPECT_EQ(decode_frame(mutant, kMaxFramePayload, frame, consumed, status),
+              DecodeResult::Error)
+        << "payload byte " << i;
+    EXPECT_EQ(status.code(), ErrorCode::CrcMismatch);
+  }
 }
 
 }  // namespace

@@ -346,6 +346,88 @@ TEST(SvcServer, ShutdownFrameStopsTheDaemon) {
   server.stop();
 }
 
+// ---- live metrics scrape ----------------------------------------------------
+
+/// Just enough Prometheus text-exposition parsing to prove a scrape is
+/// well-formed: every line is a comment or `name[{labels}] value` with a
+/// parseable value, and every metric name is preceded by a TYPE comment.
+void check_prometheus(const std::string& text) {
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '\n');
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t samples = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      ASSERT_EQ(line.rfind("# TYPE ppd_", 0), 0u) << line;
+      continue;
+    }
+    ASSERT_EQ(line.rfind("ppd_", 0), 0u) << line;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    char* end = nullptr;
+    const std::string value = line.substr(space + 1);
+    std::strtod(value.c_str(), &end);
+    ASSERT_TRUE(end != nullptr && *end == '\0') << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 0u);
+}
+
+TEST(SvcServer, MetricsScrapeIsLiveWhileARequestIsInFlight) {
+  TempDir dir;
+  const std::string trace = make_trace("gesummv");
+  const std::string expected = offline_report(trace);
+
+  Server::Options options;
+  options.socket_path = dir.path + "/d.sock";
+  options.cache.dir.clear();
+  Server server(options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client worker;
+  ASSERT_TRUE(worker.connect(options.socket_path, "worker").is_ok());
+  Client scraper;
+  ASSERT_TRUE(scraper.connect(options.socket_path, "scraper").is_ok());
+
+  // The scrape runs from inside the worker's progress callback: at that
+  // point the analyze request is admitted but its report not yet received,
+  // so the scrape is proven concurrent with a request in flight — and the
+  // daemon must serve it without waiting for the analysis to finish.
+  std::string mid_flight_prom;
+  std::string mid_flight_kv;
+  Status scrape_status = Status::ok();
+  const Client::Result result = worker.analyze(
+      trace, {}, [&](const ProgressPayload& progress) {
+        if (progress.stage != "running" || !scrape_status.is_ok() ||
+            !mid_flight_prom.empty()) {
+          return;
+        }
+        scrape_status =
+            scraper.metrics(kMetricsFormatPrometheus, mid_flight_prom);
+        if (scrape_status.is_ok()) {
+          scrape_status = scraper.metrics(kMetricsFormatKeyValue, mid_flight_kv);
+        }
+      });
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_EQ(result.report, expected);
+  ASSERT_TRUE(scrape_status.is_ok()) << scrape_status.to_string();
+
+#if defined(PPD_OBS_DISABLED)
+  // With obs compiled out the scrape succeeds but carries an empty registry.
+  (void)mid_flight_prom;
+  (void)mid_flight_kv;
+#else
+  ASSERT_NO_FATAL_FAILURE(check_prometheus(mid_flight_prom));
+  // The in-flight request is visible in the scrape itself.
+  EXPECT_NE(mid_flight_prom.find("ppd_svc_requests_received_total"), std::string::npos)
+      << mid_flight_prom;
+  EXPECT_NE(mid_flight_kv.find("svc.requests.received="), std::string::npos);
+#endif
+  server.stop();
+}
+
 // The TSan soak: concurrent clients with distinct and shared traces, cache
 // hits and misses interleaving, every client validating its own answers.
 TEST(SvcServer, ConcurrentClientSoakKeepsPerClientIsolation) {

@@ -22,12 +22,14 @@
 //                                            files/directories concurrently; a
 //                                            content-hash keyed cache skips
 //                                            traces that did not change
-//   ppd-analyze remote --socket PATH (--trace F | --ping | --shutdown)
+//   ppd-analyze remote --socket PATH (--trace F | --ping | --metrics | --shutdown)
 //               [--strict|--lenient] [--max-records N] [--no-cache] [--refresh]
 //                                            submit the trace to a running
 //                                            ppd-analyzed daemon (docs/PROTOCOL.md);
 //                                            the report is byte-identical to the
-//                                            offline --trace run
+//                                            offline --trace run. Bare --metrics
+//                                            scrapes the daemon's live registry as
+//                                            Prometheus text exposition on stdout
 //   ppd-analyze --help | --version           exit 0
 //
 // Observability (any mode): --profile=FILE.json writes a Chrome trace-event
@@ -111,13 +113,15 @@ constexpr const char kUsageText[] =
     "       ppd-analyze convert IN OUT [--chunk-bytes N] [--lenient]\n"
     "       ppd-analyze --batch PATH... [--jobs N] [--cache DIR | --no-cache]\n"
     "                   [--refresh] [--strict|--lenient] [--max-records N]\n"
-    "       ppd-analyze remote --socket PATH (--trace FILE | --ping | --shutdown)\n"
-    "                   [--strict|--lenient] [--max-records N] [--no-cache]\n"
-    "                   [--refresh]\n"
+    "       ppd-analyze remote --socket PATH (--trace FILE | --ping | --metrics\n"
+    "                   | --shutdown) [--strict|--lenient] [--max-records N]\n"
+    "                   [--no-cache] [--refresh]\n"
     "       ppd-analyze --help | --version\n"
     "observability (any mode):\n"
     "       --profile=FILE.json  write a Chrome trace-event profile of the run\n"
-    "       --metrics=FILE       write a flat key=value metrics dump\n"
+    "       --metrics=FILE       write a flat key=value metrics dump; bare\n"
+    "                            --metrics under `remote` scrapes the daemon's\n"
+    "                            live registry (Prometheus text) to stdout\n"
     "       --progress           heartbeat to stderr (--batch, remote --trace)\n"
     "exit codes: 0 ok, 1 i/o or connection error, 2 usage, 3 malformed trace,\n"
     "            4 analysis failure, 5 server overloaded, 6 --emit found no pattern\n";
@@ -454,6 +458,7 @@ int run_remote(int argc, char** argv) {
   std::string socket_path;
   const char* trace_path = nullptr;
   bool ping = false;
+  bool metrics = false;
   bool shutdown = false;
   svc::Client::RequestOptions request;
   for (int i = 2; i < argc; ++i) {
@@ -463,6 +468,8 @@ int run_remote(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--ping") == 0) {
       ping = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
     } else if (std::strcmp(argv[i], "--shutdown") == 0) {
       shutdown = true;
     } else if (std::strcmp(argv[i], "--strict") == 0) {
@@ -480,7 +487,7 @@ int run_remote(int argc, char** argv) {
     }
   }
   const int actions = (trace_path != nullptr ? 1 : 0) + (ping ? 1 : 0) +
-                      (shutdown ? 1 : 0);
+                      (metrics ? 1 : 0) + (shutdown ? 1 : 0);
   if (socket_path.empty() || actions != 1) return usage();
 
   svc::Client client;
@@ -498,6 +505,18 @@ int run_remote(int argc, char** argv) {
     }
     std::fprintf(stderr, "pong from %s (protocol v%u)\n",
                  client.server_name().c_str(), client.version());
+    return kExitOk;
+  }
+  if (metrics) {
+    // Live scrape: Prometheus text exposition on stdout, pipeable straight
+    // into promtool or a node exporter's textfile collector.
+    std::string text;
+    status = client.metrics(svc::kMetricsFormatPrometheus, text);
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "remote: %s\n", status.to_string().c_str());
+      return exit_code_for_status(status);
+    }
+    std::fputs(text.c_str(), stdout);
     return kExitOk;
   }
   if (shutdown) {
@@ -765,12 +784,15 @@ bool strip_obs_flags(int& argc, char** argv) {
     } else if (arg.rfind("--profile=", 0) == 0) {
       g_obs.profile_path = arg.substr(std::strlen("--profile="));
       if (g_obs.profile_path.empty()) return false;
-    } else if (arg == "--profile" && i + 1 < argc) {
+    } else if (arg == "--profile" && i + 1 < argc && argv[i + 1][0] != '-') {
       g_obs.profile_path = argv[++i];
     } else if (arg.rfind("--metrics=", 0) == 0) {
       g_obs.metrics_path = arg.substr(std::strlen("--metrics="));
       if (g_obs.metrics_path.empty()) return false;
-    } else if (arg == "--metrics" && i + 1 < argc) {
+    } else if (arg == "--metrics" && i + 1 < argc && argv[i + 1][0] != '-') {
+      // A bare --metrics (last arg, or followed by another flag) is not the
+      // export flag — `remote --metrics` is a live-scrape action; leave it
+      // for the mode parser instead of eating the next flag as a filename.
       g_obs.metrics_path = argv[++i];
     } else {
       argv[kept++] = argv[i];

@@ -10,6 +10,7 @@
 //                [--max-request-bytes N] [--max-records N]
 //                [--cache DIR | --no-cache] [--cache-budget BYTES]
 //                [--quiet] [--profile=FILE.json] [--metrics=FILE]
+//                [--flight-recorder=FILE]
 //   ppd-analyzed --help | --version
 //
 // The daemon runs until SIGINT/SIGTERM or a client Shutdown frame, then
@@ -26,6 +27,7 @@
 #include <string_view>
 
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 #include "svc/server.hpp"
 
@@ -44,6 +46,7 @@ constexpr const char kUsageText[] =
     "                    [--max-request-bytes N] [--max-records N]\n"
     "                    [--cache DIR | --no-cache] [--cache-budget BYTES]\n"
     "                    [--quiet] [--profile=FILE.json] [--metrics=FILE]\n"
+    "                    [--flight-recorder=FILE]\n"
     "       ppd-analyzed --help | --version\n"
     "flags:\n"
     "       --socket PATH         Unix-domain socket to listen on (required)\n"
@@ -60,6 +63,9 @@ constexpr const char kUsageText[] =
     "       --quiet               suppress per-connection stderr logging\n"
     "       --profile=FILE.json   write a Chrome trace-event profile on exit\n"
     "       --metrics=FILE        write a key=value metrics dump on exit\n"
+    "       --flight-recorder=FILE keep a ring of recent spans/events and dump\n"
+    "                             it (with a metrics snapshot) to FILE on a\n"
+    "                             fatal signal, assert failure, or wirefault\n"
     "exit codes: 0 clean shutdown, 1 i/o error, 2 usage\n";
 
 int usage() {
@@ -113,6 +119,7 @@ int main(int argc, char** argv) {
   options.log_connections = true;
   std::string profile_path;
   std::string metrics_path;
+  std::string flight_path;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg == "--socket" && i + 1 < argc) {
@@ -151,11 +158,34 @@ int main(int argc, char** argv) {
       if (metrics_path.empty()) return usage();
     } else if (arg == "--metrics" && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (arg.rfind("--flight-recorder=", 0) == 0) {
+      flight_path = arg.substr(std::strlen("--flight-recorder="));
+      if (flight_path.empty()) return usage();
+    } else if (arg == "--flight-recorder" && i + 1 < argc) {
+      flight_path = argv[++i];
     } else {
       return usage();
     }
   }
   if (options.socket_path.empty()) return usage();
+
+  if (!flight_path.empty()) {
+#if defined(PPD_OBS_DISABLED)
+    std::fputs(
+        "ppd-analyzed: built with PPD_OBS=OFF; --flight-recorder is inert\n",
+        stderr);
+#else
+    // Static: the recorder must outlive every recording thread, including
+    // any that are still unwinding when main returns.
+    static obs::FlightRecorder flight;
+    obs::install_flight_recorder(&flight);
+    if (!obs::enable_crash_dump(flight_path)) {
+      std::fprintf(stderr, "ppd-analyzed: flight-recorder path too long: '%s'\n",
+                   flight_path.c_str());
+      return usage();
+    }
+#endif
+  }
 
   std::unique_ptr<obs::SpanCollector> collector;
   if (!profile_path.empty() || !metrics_path.empty()) {
